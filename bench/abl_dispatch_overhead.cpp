@@ -1,0 +1,59 @@
+// Ablation — manager dispatch overhead (paper §6): "at even one
+// millisecond per task, it would still take a thousand seconds to dispatch
+// a million tasks". Sweeps per-dispatch cost for a workload of short tasks
+// and reports where the manager, rather than the workers, becomes the
+// bottleneck.
+#include <cstdio>
+#include <cstring>
+
+#include "apps/report.hpp"
+#include "sim/cluster_sim.hpp"
+
+using vineapps::summary_row;
+
+namespace {
+
+double run_with_overhead(double overhead_s, int tasks, int workers,
+                         double task_seconds) {
+  vinesim::SimConfig cfg;
+  cfg.dispatch_overhead = overhead_s;
+  vinesim::ClusterSim sim(cfg);
+  for (int w = 0; w < workers; ++w) {
+    sim.add_worker("w" + std::to_string(w), 0, 8);
+  }
+  for (int i = 0; i < tasks; ++i) {
+    sim.add_task("t", task_seconds);
+  }
+  return sim.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int tasks = 20000, workers = 100;
+  double task_seconds = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) tasks = 2000;
+  }
+
+  std::printf("# abl_dispatch_overhead: %d x %.0fs tasks on %d 8-core workers\n",
+              tasks, task_seconds, workers);
+  // Ideal makespan with free dispatch: tasks*duration/cores.
+  double ideal = tasks * task_seconds / (workers * 8.0);
+  summary_row("abl_dispatch", "ideal_makespan_s", ideal);
+
+  double base = 0;
+  for (double overhead : {0.0, 0.0001, 0.001, 0.01}) {
+    double makespan = run_with_overhead(overhead, tasks, workers, task_seconds);
+    if (overhead == 0.0) base = makespan;
+    std::printf("row,abl_dispatch,%g,%.2f\n", overhead, makespan);
+  }
+
+  // The dispatch-bound regime: at 10 ms/task the manager needs
+  // tasks*0.01 seconds just to issue work, dominating the ideal makespan.
+  double bound = run_with_overhead(0.01, tasks, workers, task_seconds);
+  summary_row("abl_dispatch", "dispatch_bound_floor_s", tasks * 0.01);
+  bool shape_ok = bound > std::max(base, tasks * 0.01 * 0.9);
+  summary_row("abl_dispatch", "shape_holds", shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

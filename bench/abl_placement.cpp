@@ -1,0 +1,89 @@
+// Ablation — task placement policy. The paper schedules tasks to the
+// worker holding the most of their dependencies; this sweep compares that
+// against random / round-robin / first-fit on a cache-heavy workload
+// (BLAST-like: big shared assets plus per-task buffers) and reports the
+// resulting data movement.
+#include <cstdio>
+#include <cstring>
+
+#include "apps/blast.hpp"
+#include "apps/report.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cluster_sim.hpp"
+
+using namespace vineapps;
+using vinesim::SimFile;
+
+namespace {
+
+struct Outcome {
+  double makespan;
+  double gb_moved;
+};
+
+Outcome run_policy(vine::PlacementPolicy policy, int tasks, int workers) {
+  vinesim::SimConfig cfg;
+  cfg.sched.placement = policy;
+  cfg.sched.worker_source_limit = 3;
+  vinesim::ClusterSim sim(cfg);
+  for (int w = 0; w < workers; ++w) {
+    sim.add_worker("w" + std::to_string(w), 0, 4);
+  }
+  // Two large shared datasets; each task uses one of them (half and half),
+  // so good placement should converge to dataset-per-worker affinity.
+  auto* a = sim.declare_file("dataset-a", 500 * 1000 * 1000, SimFile::Origin::archive);
+  auto* b = sim.declare_file("dataset-b", 500 * 1000 * 1000, SimFile::Origin::archive);
+  vine::Rng rng(5);
+  for (int i = 0; i < tasks; ++i) {
+    auto* t = sim.add_task("t", rng.exponential(20));
+    t->inputs = {(i % 2 == 0) ? a : b};
+  }
+  double makespan = sim.run();
+  const auto& st = sim.stats();
+  double gb = (st.bytes_from_archive + st.bytes_from_peers) / 1e9;
+  return {makespan, gb};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int tasks = 2000, workers = 50;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      tasks = 400;
+      workers = 20;
+    }
+  }
+  std::printf("# abl_placement: %d tasks over %d workers, two 500MB shared datasets\n",
+              tasks, workers);
+
+  struct Row {
+    const char* name;
+    vine::PlacementPolicy policy;
+  } rows[] = {
+      {"most_cached", vine::PlacementPolicy::most_cached},
+      {"random", vine::PlacementPolicy::random},
+      {"round_robin", vine::PlacementPolicy::round_robin},
+      {"first_fit", vine::PlacementPolicy::first_fit},
+  };
+
+  double most_cached_gb = 0, worst_gb = 0;
+  for (const auto& row : rows) {
+    auto out = run_policy(row.policy, tasks, workers);
+    std::printf("row,abl_placement,%s,%.2f,%.3f\n", row.name, out.makespan,
+                out.gb_moved);
+    if (row.policy == vine::PlacementPolicy::most_cached) {
+      most_cached_gb = out.gb_moved;
+    }
+    worst_gb = std::max(worst_gb, out.gb_moved);
+  }
+
+  // Shape: dependency-aware placement moves no more data than the
+  // alternatives (it cannot always win on makespan — idle cores also
+  // matter — but it must win on bytes moved).
+  bool shape_ok = most_cached_gb <= worst_gb + 1e-9;
+  summary_row("abl_placement", "most_cached_GB", most_cached_gb);
+  summary_row("abl_placement", "worst_GB", worst_gb);
+  summary_row("abl_placement", "shape_holds", shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

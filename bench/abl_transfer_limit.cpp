@@ -1,0 +1,39 @@
+// Ablation — the per-source concurrent-transfer limit (paper §4.1: a limit
+// of 3 "was found to perform slightly better than two and four").
+// Sweeps the Figure 11c workload over limits {1,2,3,4,8,16}.
+#include <cstdio>
+#include <cstring>
+
+#include "apps/filedist.hpp"
+#include "apps/report.hpp"
+
+using namespace vineapps;
+
+int main(int argc, char** argv) {
+  FileDistParams params;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) params.workers = 100;
+  }
+
+  std::printf("# abl_transfer_limit: 200MB to %d workers, per-source limit sweep\n",
+              params.workers);
+
+  double best = 1e300;
+  int best_limit = 0;
+  for (int limit : {1, 2, 3, 4, 8, 16}) {
+    params.transfer_limit = limit;
+    auto run = run_filedist(params, DistMode::supervised);
+    std::printf("row,abl_transfer_limit,%d,%.2f\n", limit, run.makespan);
+    if (run.makespan < best) {
+      best = run.makespan;
+      best_limit = limit;
+    }
+  }
+  summary_row("abl_transfer_limit", "best_limit", best_limit);
+  summary_row("abl_transfer_limit", "best_makespan_s", best);
+
+  // Shape: a small limit (2-4) wins; both extremes are worse.
+  bool shape_ok = best_limit >= 2 && best_limit <= 4;
+  summary_row("abl_transfer_limit", "shape_holds", shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks — manager data structures and decision rates. The
+// paper's §6 observes that at one millisecond per task, dispatching a
+// million tasks costs a thousand seconds; these benches measure what this
+// implementation's placement and bookkeeping actually cost.
+#include <benchmark/benchmark.h>
+
+#include "catalog/replica_table.hpp"
+#include "catalog/transfer_table.hpp"
+#include "proto/messages.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace vine;
+
+void BM_ReplicaTableUpdate(benchmark::State& state) {
+  FileReplicaTable table;
+  int i = 0;
+  for (auto _ : state) {
+    table.set_replica("file-" + std::to_string(i % 10000),
+                      "w" + std::to_string(i % 500), ReplicaState::present, 100);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplicaTableUpdate);
+
+void BM_ReplicaTableLookup(benchmark::State& state) {
+  FileReplicaTable table;
+  for (int f = 0; f < 10000; ++f) {
+    table.set_replica("file-" + std::to_string(f), "w" + std::to_string(f % 500),
+                      ReplicaState::present, 100);
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.workers_with("file-" + std::to_string(i % 10000)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplicaTableLookup);
+
+void BM_TransferTableCycle(benchmark::State& state) {
+  CurrentTransferTable table;
+  for (auto _ : state) {
+    auto uuid = table.begin("f", "w1", TransferSource::from_worker("w2"), 0);
+    benchmark::DoNotOptimize(table.inflight_from(TransferSource::from_worker("w2")));
+    table.finish(uuid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransferTableCycle);
+
+FileRef bench_file(std::string name) {
+  auto f = std::make_shared<FileDecl>();
+  f->cache_name = std::move(name);
+  return f;
+}
+
+/// Placement cost as a function of cluster size — the §6 scaling concern.
+void BM_PickWorker(benchmark::State& state) {
+  int n_workers = static_cast<int>(state.range(0));
+  std::vector<WorkerSnapshot> workers(static_cast<std::size_t>(n_workers));
+  FileReplicaTable replicas;
+  for (int w = 0; w < n_workers; ++w) {
+    workers[static_cast<std::size_t>(w)].id = "w" + std::to_string(w);
+    workers[static_cast<std::size_t>(w)].total = {.cores = 8, .memory_mb = 16000,
+                                                  .disk_mb = 100000, .gpus = 0};
+    replicas.set_replica("dataset", "w" + std::to_string(w % 7),
+                         ReplicaState::present, 1 << 30);
+  }
+  TaskSpec task;
+  task.resources = {.cores = 1, .memory_mb = 100, .disk_mb = 10, .gpus = 0};
+  task.inputs.push_back({bench_file("dataset"), "dataset"});
+
+  Scheduler sched;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.pick_worker(task, workers, replicas));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PickWorker)->Arg(10)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_PlanSource(benchmark::State& state) {
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  for (int w = 0; w < 20; ++w) {
+    replicas.set_replica("pkg", "w" + std::to_string(w), ReplicaState::present,
+                         1 << 20);
+  }
+  Scheduler sched;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.plan_source(
+        "pkg", TransferSource::from_url("http://a"), "dest", replicas, transfers));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanSource);
+
+/// Full wire round trip of a task message: the per-dispatch serialization
+/// cost on the real control channel.
+void BM_TaskWireRoundTrip(benchmark::State& state) {
+  proto::WireTask task;
+  task.id = 42;
+  task.command = "blast -db landmark -q query";
+  task.env["BLASTDB"] = "landmark";
+  for (int i = 0; i < 3; ++i) {
+    task.inputs.push_back({"md5-0123456789abcdef0123456789abcdef",
+                           "input-" + std::to_string(i), CacheLevel::workflow});
+  }
+  for (auto _ : state) {
+    auto text = proto::wire_task_to_json(task).dump();
+    auto parsed = json::parse(text);
+    benchmark::DoNotOptimize(proto::wire_task_from_json(*parsed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskWireRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

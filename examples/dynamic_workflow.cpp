@@ -1,0 +1,73 @@
+// Dynamic workflow construction (paper §2.2: "the task graph can be built
+// incrementally, based on outside information or results returned from
+// completed tasks").
+//
+// A bisection search runs as a workflow: each task evaluates a function at
+// a midpoint; the *result of the completed task* decides which half to
+// explore next, so the graph is never known in advance. Intermediate state
+// flows through in-cluster temp files from iteration to iteration.
+//
+//   $ ./examples/dynamic_workflow
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/taskvine.hpp"
+
+using namespace vine;
+using namespace std::chrono_literals;
+
+int main() {
+  set_log_level(LogLevel::warn);
+
+  auto cluster = LocalCluster::create({.workers = 2});
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    return 1;
+  }
+  Manager& m = (*cluster)->manager();
+
+  // Find the root of f(x) = x^3 - 20 in [0, 10] by bisection, evaluating f
+  // in tasks. awk is the "scientific code"; each iteration's interval is
+  // carried in a temp file produced by the previous iteration's task.
+  double lo = 0, hi = 10;
+  FileRef interval = m.declare_buffer("0 10");
+
+  for (int iter = 0; iter < 30; ++iter) {
+    FileRef next_interval = m.declare_temp();
+    auto task =
+        TaskBuilder(
+            "read lo hi < interval; "
+            "mid=$(awk \"BEGIN{printf \\\"%.10f\\\", ($lo+$hi)/2}\"); "
+            "sign=$(awk \"BEGIN{print (($mid*$mid*$mid - 20) > 0) ? 1 : 0}\"); "
+            "if [ \"$sign\" = 1 ]; then echo \"$lo $mid\"; else echo \"$mid $hi\"; fi "
+            "> next; "
+            "echo \"mid=$mid sign=$sign\"")
+            .input(interval, "interval")
+            .output(next_interval, "next")
+            .build();
+    if (auto id = m.submit(std::move(task)); !id.ok()) {
+      std::fprintf(stderr, "submit failed\n");
+      return 1;
+    }
+    auto r = m.wait(30s);
+    if (!r.ok() || !r->ok()) {
+      std::fprintf(stderr, "iteration %d failed: %s\n", iter,
+                   r.ok() ? r->error_message.c_str() : "timeout");
+      return 1;
+    }
+
+    // Decide the next step from the completed task's result: read the new
+    // interval back and stop once it is narrow enough.
+    auto bounds = m.fetch_file(next_interval, 10s);
+    if (!bounds.ok()) return 1;
+    if (std::sscanf(bounds->c_str(), "%lf %lf", &lo, &hi) != 2) return 1;
+    std::printf("iter %2d: [%.9f, %.9f]  (%s)", iter, lo, hi, r->output.c_str());
+    if (hi - lo < 1e-7) break;
+    interval = next_interval;  // the next task consumes this temp in place
+  }
+
+  double root = (lo + hi) / 2;
+  std::printf("cbrt(20) = %.9f (true %.9f)\n", root, 2.714417617);
+  return (root > 2.7144 && root < 2.7145) ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+// The paper's Figure 5 serverless model, for real: a Library containing a
+// batch-gradient-descent routine is installed once per worker (paying the
+// "startup cost" — loading the dataset — once), then many FunctionCall
+// tasks invoke it with different initial models and the best result wins.
+//
+//   $ ./examples/serverless_bgd
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "core/taskvine.hpp"
+#include "json/json.hpp"
+
+using namespace vine;
+using namespace std::chrono_literals;
+
+namespace {
+
+// A toy learning problem: fit y = w*x + b to noisy points by batch
+// gradient descent. The "expensive" init builds the dataset once per
+// Library Instance; each FunctionCall then descends from its own seed.
+struct Dataset {
+  std::vector<double> xs, ys;
+};
+
+void register_bgd_library() {
+  LibraryBlueprint bp;
+  bp.name = "bgd";
+  bp.init = [](const FunctionContext&) -> Result<LibraryState> {
+    auto data = std::make_shared<Dataset>();
+    Rng rng(2024);
+    for (int i = 0; i < 2000; ++i) {
+      double x = rng.uniform(-5, 5);
+      data->xs.push_back(x);
+      data->ys.push_back(3.0 * x + 1.5 + rng.normal(0, 0.3));
+    }
+    return LibraryState(data);
+  };
+  bp.functions["descend"] = [](const LibraryState& state, const std::string& args,
+                               const FunctionContext&) -> Result<std::string> {
+    auto parsed = json::parse(args);
+    if (!parsed.ok()) return parsed.error();
+    double w = parsed->get_double("w0");
+    double b = parsed->get_double("b0");
+    const auto& data = *std::static_pointer_cast<Dataset>(state);
+
+    const double lr = 0.01;
+    double loss = 0;
+    for (int iter = 0; iter < 200; ++iter) {
+      double gw = 0, gb = 0;
+      loss = 0;
+      for (std::size_t i = 0; i < data.xs.size(); ++i) {
+        double err = w * data.xs[i] + b - data.ys[i];
+        gw += err * data.xs[i];
+        gb += err;
+        loss += err * err;
+      }
+      double n = static_cast<double>(data.xs.size());
+      w -= lr * gw / n;
+      b -= lr * gb / n;
+      loss /= n;
+    }
+    json::Object out;
+    out["w"] = w;
+    out["b"] = b;
+    out["loss"] = loss;
+    return json::Value(std::move(out)).dump();
+  };
+  LibraryRegistry::instance().register_library(bp);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::info);
+  register_bgd_library();
+
+  auto cluster = LocalCluster::create({.workers = 3});
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    return 1;
+  }
+  Manager& m = (*cluster)->manager();
+
+  // Figure 5: install the library, then dispatch FunctionCalls.
+  if (auto st = m.install_library(
+          "bgd", {.cores = 1, .memory_mb = 0, .disk_mb = 0, .gpus = 0});
+      !st.ok()) {
+    std::fprintf(stderr, "install failed: %s\n", st.error().to_string().c_str());
+    return 1;
+  }
+
+  Rng rng(7);
+  constexpr int kRuns = 24;
+  for (int i = 0; i < kRuns; ++i) {
+    json::Object seed;
+    seed["w0"] = rng.uniform(-10, 10);
+    seed["b0"] = rng.uniform(-10, 10);
+    auto call = TaskBuilder::function_call("bgd", "descend",
+                                           json::Value(std::move(seed)).dump())
+                    .cores(1)
+                    .build();
+    if (auto id = m.submit(std::move(call)); !id.ok()) return 1;
+  }
+
+  double best_loss = 1e300;
+  std::string best;
+  int finished = 0;
+  while (!m.idle() || m.has_completed()) {
+    auto r = m.wait(30s);
+    if (!r.ok() || !r->ok()) {
+      std::fprintf(stderr, "call failed\n");
+      return 1;
+    }
+    ++finished;
+    auto out = json::parse(r->output);
+    if (out.ok() && out->get_double("loss", 1e300) < best_loss) {
+      best_loss = out->get_double("loss");
+      best = r->output;
+    }
+  }
+
+  std::printf("ran %d BGD instances across %d library instances\n", finished,
+              m.library_instances("bgd"));
+  std::printf("best model (true: w=3.0 b=1.5): %s\n", best.c_str());
+  return best_loss < 1.0 ? 0 : 1;
+}

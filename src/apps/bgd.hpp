@@ -1,0 +1,42 @@
+// BGD workload (paper §4.2, Figures 12c/f): batch gradient descent as a
+// serverless workflow. A Library containing the BGD function is installed
+// on 200 workers (each instance pays the startup cost once: staging an
+// 89 MB environment via a mini-task, then initializing Python). 2000
+// FunctionCall tasks of 50-100 s each are dispatched as instances come up,
+// giving the characteristic ramp in the first ~5 minutes of Figure 12c.
+#pragma once
+
+#include <memory>
+
+#include "sim/cluster_sim.hpp"
+
+namespace vineapps {
+
+struct BgdParams {
+  int function_calls = 2000;
+  int workers = 200;
+  double worker_cores = 4;
+
+  std::int64_t env_bytes = 89 * 1000 * 1000;  ///< library environment tarball
+  std::int64_t env_unpacked_bytes = 300 * 1000 * 1000;
+  double library_init_seconds = 40;  ///< env activation + interpreter +
+                                     ///< imports, once/worker
+  double library_cores = 1;
+
+  double min_call_seconds = 50;   ///< paper: each call takes 50-100 s
+  double max_call_seconds = 100;
+
+  int transfer_limit = 3;
+  std::uint64_t seed = 23;
+};
+
+struct BgdRun {
+  std::unique_ptr<vinesim::ClusterSim> sim;
+  double makespan = 0;
+};
+
+/// serverless == false runs the ablation baseline: every task pays the
+/// environment staging + init cost itself (no Library reuse).
+BgdRun run_bgd(const BgdParams& params, bool serverless = true);
+
+}  // namespace vineapps

@@ -1,0 +1,52 @@
+#include "apps/blast.hpp"
+
+#include "common/rng.hpp"
+
+namespace vineapps {
+
+using vinesim::ClusterSim;
+using vinesim::SimConfig;
+using vinesim::SimFile;
+
+BlastRun run_blast(const BlastParams& params, bool hot) {
+  SimConfig cfg;
+  cfg.seed = params.seed;
+  cfg.sched.worker_source_limit = params.worker_source_limit;
+
+  auto sim = std::make_unique<ClusterSim>(cfg);
+  for (int w = 0; w < params.workers; ++w) {
+    sim->add_worker("w" + std::to_string(w), 0, params.worker_cores);
+  }
+
+  auto* sw_archive =
+      sim->declare_file("blast.vpak", params.sw_archive_bytes, SimFile::Origin::archive);
+  auto* sw = sim->declare_unpack(sw_archive, params.sw_unpacked_bytes);
+  auto* db_archive =
+      sim->declare_file("landmark.vpak", params.db_archive_bytes, SimFile::Origin::archive);
+  auto* db = sim->declare_unpack(db_archive, params.db_unpacked_bytes);
+
+  if (hot) {
+    for (int w = 0; w < params.workers; ++w) {
+      std::string id = "w" + std::to_string(w);
+      sim->preload(id, sw_archive);
+      sim->preload(id, db_archive);
+      sim->preload(id, sw);
+      sim->preload(id, db);
+    }
+  }
+
+  vine::Rng rng(params.seed);
+  for (int i = 0; i < params.tasks; ++i) {
+    auto* query = sim->declare_file("query-" + std::to_string(i),
+                                    params.query_bytes, SimFile::Origin::manager);
+    auto* t = sim->add_task("blast", rng.exponential(params.mean_task_seconds));
+    t->inputs = {query, sw, db};
+  }
+
+  BlastRun run;
+  run.makespan = sim->run();
+  run.sim = std::move(sim);
+  return run;
+}
+
+}  // namespace vineapps

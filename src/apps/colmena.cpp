@@ -1,0 +1,45 @@
+#include "apps/colmena.hpp"
+
+#include "common/rng.hpp"
+
+namespace vineapps {
+
+using vinesim::ClusterSim;
+using vinesim::SimConfig;
+using vinesim::SimFile;
+
+ColmenaRun run_colmena(const ColmenaParams& params, bool peer_transfers) {
+  SimConfig cfg;
+  cfg.seed = params.seed;
+  cfg.sched.prefer_peer_transfers = peer_transfers;
+  cfg.sched.worker_source_limit = params.transfer_limit;
+  cfg.sched.url_source_limit = peer_transfers ? params.transfer_limit : 0;
+
+  auto sim = std::make_unique<ClusterSim>(cfg);
+  for (int w = 0; w < params.workers; ++w) {
+    sim->add_worker("w" + std::to_string(w), 0, params.worker_cores);
+  }
+
+  auto* env_archive =
+      sim->declare_file("colmena-env.vpak", params.env_bytes, SimFile::Origin::sharedfs);
+  auto* env = sim->declare_unpack(env_archive, params.env_unpacked_bytes);
+
+  vine::Rng rng(params.seed);
+  for (int i = 0; i < params.inference_tasks; ++i) {
+    auto* t = sim->add_task("inference",
+                            rng.exponential(params.mean_inference_seconds));
+    t->inputs = {env};
+  }
+  for (int i = 0; i < params.simulation_tasks; ++i) {
+    auto* t = sim->add_task("simulation",
+                            rng.exponential(params.mean_simulation_seconds));
+    t->inputs = {env};
+  }
+
+  ColmenaRun run;
+  run.makespan = sim->run();
+  run.sim = std::move(sim);
+  return run;
+}
+
+}  // namespace vineapps

@@ -1,0 +1,40 @@
+// Colmena-XTB workload (paper §4.2, Figures 12b/e): AI-guided molecular
+// search over Parsl — 228 neural-network inference tasks steering 1000
+// molecular-dynamics simulation tasks, where every task needs a 1.4 GB
+// software environment (301 packages). The headline claim: with
+// worker-to-worker transfers (3 per source) only 3 workers ever touch the
+// shared filesystem for the tarball; the other 105 copies come from peers.
+#pragma once
+
+#include <memory>
+
+#include "sim/cluster_sim.hpp"
+
+namespace vineapps {
+
+struct ColmenaParams {
+  int inference_tasks = 228;
+  int simulation_tasks = 1000;
+  int workers = 108;
+  double worker_cores = 4;
+
+  std::int64_t env_bytes = 1400 * 1000 * 1000;       ///< compressed env tarball
+  std::int64_t env_unpacked_bytes = 4200 * 1000 * 1000;
+
+  double mean_inference_seconds = 30;
+  double mean_simulation_seconds = 240;
+
+  int transfer_limit = 3;  ///< per-source cap (both shared FS and peers)
+  std::uint64_t seed = 19;
+};
+
+struct ColmenaRun {
+  std::unique_ptr<vinesim::ClusterSim> sim;
+  double makespan = 0;
+};
+
+/// peer_transfers == false reproduces the baseline where every worker
+/// queries the shared filesystem for the tarball (108 queries).
+ColmenaRun run_colmena(const ColmenaParams& params, bool peer_transfers);
+
+}  // namespace vineapps

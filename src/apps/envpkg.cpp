@@ -1,0 +1,48 @@
+#include "apps/envpkg.hpp"
+
+namespace vineapps {
+
+using vinesim::ClusterSim;
+using vinesim::SimConfig;
+using vinesim::SimFile;
+
+EnvPkgRun run_envpkg(const EnvPkgParams& params, bool shared) {
+  SimConfig cfg;
+  cfg.seed = params.seed;
+  cfg.sched.worker_source_limit = params.worker_source_limit;
+  cfg.unpack_Bps = params.unpack_Bps;
+
+  auto sim = std::make_unique<ClusterSim>(cfg);
+  for (int w = 0; w < params.workers; ++w) {
+    sim->add_worker("w" + std::to_string(w), 0, params.worker_cores);
+  }
+
+  auto* archive =
+      sim->declare_file("env.vpak", params.package_bytes, SimFile::Origin::manager);
+
+  double unpack_seconds =
+      static_cast<double>(params.unpacked_bytes) / params.unpack_Bps;
+
+  if (shared) {
+    // One unpack mini-task materializes the tree; all tasks share it.
+    auto* env = sim->declare_unpack(archive, params.unpacked_bytes);
+    for (int i = 0; i < params.tasks; ++i) {
+      auto* t = sim->add_task("task", params.task_seconds);
+      t->inputs = {env};
+    }
+  } else {
+    // Each task carries the archive and spends its own time expanding it
+    // (the unpack cost is folded into the task's execution).
+    for (int i = 0; i < params.tasks; ++i) {
+      auto* t = sim->add_task("task", params.task_seconds + unpack_seconds);
+      t->inputs = {archive};
+    }
+  }
+
+  EnvPkgRun run;
+  run.makespan = sim->run();
+  run.sim = std::move(sim);
+  return run;
+}
+
+}  // namespace vineapps

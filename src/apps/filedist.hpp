@@ -1,0 +1,33 @@
+// Common-data distribution workload (paper §4.1, Figure 11): one 200 MB
+// file must reach 500 workers. Three transfer regimes:
+//   a. worker-to-URL: every worker downloads from the archive directly
+//      (peer transfers disabled);
+//   b. worker-to-worker without supervision: peers chosen blindly with no
+//      concurrency limits (hotspots form);
+//   c. worker-to-worker limited by the manager (the paper's limit of 3).
+#pragma once
+
+#include <memory>
+
+#include "sim/cluster_sim.hpp"
+
+namespace vineapps {
+
+enum class DistMode { worker_to_url, unsupervised, supervised };
+
+struct FileDistParams {
+  int workers = 500;
+  std::int64_t file_bytes = 200 * 1000 * 1000;
+  int transfer_limit = 3;  ///< per-source cap in supervised mode
+  double task_seconds = 1;
+  std::uint64_t seed = 13;
+};
+
+struct FileDistRun {
+  std::unique_ptr<vinesim::ClusterSim> sim;
+  double makespan = 0;
+};
+
+FileDistRun run_filedist(const FileDistParams& params, DistMode mode);
+
+}  // namespace vineapps

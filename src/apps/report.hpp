@@ -1,0 +1,36 @@
+// Bench output helpers: every fig* bench prints the same kinds of series
+// the paper plots, as simple prefixed CSV rows on stdout —
+//   curve,<label>,<t>,<tasks_done>      completion curves (Figs 9,10,11,13)
+//   taskrow,<label>,<id>,<start>,<end>  task view (Fig 12 top row)
+//   workerrow,<label>,<worker>,<state>,<begin>,<end>  worker view (bottom row)
+//   summary,<label>,<key>,<value>       headline numbers & shape checks
+#pragma once
+
+#include <string>
+
+#include "sim/cluster_sim.hpp"
+
+namespace vineapps {
+
+/// Print a completion curve sampled at `points` evenly spaced times.
+void print_completion_curve(const std::string& label,
+                            const vinesim::ClusterSim& sim, int points = 60);
+
+/// Print the Figure-12-style task view (one row per task, sorted by start).
+/// `max_rows` caps output size; rows are evenly subsampled beyond it.
+void print_task_view(const std::string& label, const vinesim::ClusterSim& sim,
+                     int max_rows = 400);
+
+/// Print the Figure-12-style worker view (activity intervals per worker).
+void print_worker_view(const std::string& label, const vinesim::ClusterSim& sim,
+                       int max_workers = 50);
+
+/// Print the stats block (transfer counts/bytes per source, makespan...).
+void print_summary(const std::string& label, const vinesim::ClusterSim& sim);
+
+/// One summary row.
+void summary_row(const std::string& label, const std::string& key, double value);
+void summary_row(const std::string& label, const std::string& key,
+                 const std::string& value);
+
+}  // namespace vineapps

@@ -1,0 +1,100 @@
+#include "apps/topeft.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace vineapps {
+
+using vinesim::ClusterSim;
+using vinesim::SimConfig;
+using vinesim::SimFile;
+using vinesim::SimTask;
+
+TopEftRun run_topeft(const TopEftParams& params, bool shared_storage) {
+  SimConfig cfg;
+  cfg.seed = params.seed;
+  cfg.sched.worker_source_limit = params.worker_source_limit;
+  cfg.retrieve_temp_outputs = shared_storage;
+  cfg.manager_nic_Bps = params.manager_Bps;
+
+  auto sim = std::make_unique<ClusterSim>(cfg);
+  vine::Rng rng(params.seed);
+
+  // Gradually arriving workers (shared cluster, Figure 12d).
+  for (int w = 0; w < params.workers; ++w) {
+    double join = params.worker_arrival_span * w / params.workers;
+    sim->add_worker("w" + std::to_string(w), join, params.worker_cores);
+  }
+
+  int n_data = std::max(1, static_cast<int>(params.processors_data * params.scale));
+  int n_mc = std::max(1, static_cast<int>(params.processors_mc * params.scale));
+
+  TopEftRun run;
+  int next_file = 0;
+
+  // Build one phase: processors + its accumulation tree; returns the root
+  // partial file of the phase.
+  auto build_phase = [&](const std::string& tag, int n_proc,
+                         std::int64_t chunk_bytes, double mean_seconds) {
+    std::vector<SimFile*> level;
+    level.reserve(static_cast<std::size_t>(n_proc));
+    for (int i = 0; i < n_proc; ++i) {
+      auto* chunk = sim->declare_file(
+          tag + "-chunk-" + std::to_string(next_file), chunk_bytes,
+          SimFile::Origin::sharedfs);
+      auto* partial = sim->declare_file(
+          tag + "-part-" + std::to_string(next_file), 0, SimFile::Origin::temp);
+      ++next_file;
+      auto* t = sim->add_task("proc-" + tag, rng.exponential(mean_seconds));
+      t->inputs = {chunk};
+      t->outputs.push_back({partial, params.partial_histogram_bytes});
+      level.push_back(partial);
+      ++run.total_tasks;
+    }
+
+    std::int64_t out_bytes = params.partial_histogram_bytes;
+    while (level.size() > 1) {
+      out_bytes = static_cast<std::int64_t>(
+          static_cast<double>(out_bytes) * params.histogram_growth);
+      std::vector<SimFile*> next;
+      for (std::size_t i = 0; i < level.size(); i += params.accumulation_fan_in) {
+        auto* merged = sim->declare_file(
+            tag + "-acc-" + std::to_string(next_file++), 0, SimFile::Origin::temp);
+        auto* t = sim->add_task("accum-" + tag,
+                                rng.exponential(params.mean_accumulator_seconds));
+        for (std::size_t j = i;
+             j < std::min(level.size(), i + params.accumulation_fan_in); ++j) {
+          t->inputs.push_back(level[j]);
+        }
+        t->outputs.push_back({merged, out_bytes});
+        next.push_back(merged);
+        ++run.total_tasks;
+      }
+      level = std::move(next);
+    }
+    return level.front();
+  };
+
+  SimFile* data_root = build_phase("data", n_data, params.chunk_bytes_data,
+                                   params.mean_processor_seconds_data);
+  SimFile* mc_root = build_phase("mc", n_mc, params.chunk_bytes_mc,
+                                 params.mean_processor_seconds_mc);
+
+  // Final combination; its output always returns to the application.
+  auto* final_hist = sim->declare_file("final-histograms", 0, SimFile::Origin::temp);
+  auto* final_task =
+      sim->add_task("final", rng.exponential(params.mean_accumulator_seconds));
+  final_task->inputs = {data_root, mc_root};
+  final_task->outputs.push_back(
+      {final_hist, static_cast<std::int64_t>(
+                       2e9)});  // gigabyte-scale final histograms (§4.2)
+  final_task->retrieve_outputs = true;
+  ++run.total_tasks;
+
+  run.makespan = sim->run();
+  run.sim = std::move(sim);
+  return run;
+}
+
+}  // namespace vineapps

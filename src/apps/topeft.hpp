@@ -1,0 +1,60 @@
+// TopEFT workload (paper §4.2, Figures 12a/d and 13): high-energy-physics
+// data analysis as an accumulation DAG. Processor tasks read collision-data
+// chunks from the shared filesystem and emit partial histograms; an
+// accumulation tree merges partials with outputs that grow exponentially
+// toward gigabyte-scale final histograms. Two phases (real data, then
+// Monte-Carlo) create the stall visible at the 30-minute mark of Figure
+// 12a. Figure 13 contrasts shared-storage mode (every partial returned to
+// the manager and fetched back for accumulation) with in-cluster temps.
+#pragma once
+
+#include <memory>
+
+#include "sim/cluster_sim.hpp"
+
+namespace vineapps {
+
+struct TopEftParams {
+  // Scale 1.0 reproduces the ~27K-task run of Figure 13; smaller scales
+  // shrink the processor count proportionally (tree depth adapts).
+  double scale = 1.0;
+
+  int processors_data = 4800;   ///< real-collision processor tasks
+  int processors_mc = 19200;    ///< Monte-Carlo processor tasks (more work)
+  int accumulation_fan_in = 16;
+
+  std::int64_t chunk_bytes_data = 70 * 1000 * 1000;   ///< 0.31 TB over 4800
+  std::int64_t chunk_bytes_mc = 73 * 1000 * 1000;     ///< 1.4 TB over 19200
+  std::int64_t partial_histogram_bytes = 25 * 1000 * 1000;
+  double histogram_growth = 6.0;  ///< per merge level (exponential growth,
+                                  ///< gigabyte-scale final files, §4.2)
+
+  /// Effective manager data throughput. The manager is a single process on
+  /// the head node doing protocol work per file; it does not sustain NIC
+  /// line rate (this is precisely why routing partials through it hurts).
+  double manager_Bps = 250e6;
+
+  double mean_processor_seconds_data = 60;
+  double mean_processor_seconds_mc = 110;
+  double mean_accumulator_seconds = 25;
+
+  int workers = 100;
+  double worker_cores = 8;
+  /// Workers arrive gradually on the shared cluster (Figure 12d).
+  double worker_arrival_span = 1800;
+
+  int worker_source_limit = 3;
+  std::uint64_t seed = 17;
+};
+
+struct TopEftRun {
+  std::unique_ptr<vinesim::ClusterSim> sim;
+  double makespan = 0;
+  int total_tasks = 0;
+};
+
+/// shared_storage == true  -> Figure 13a (partials routed via the manager);
+/// shared_storage == false -> Figure 13b (in-cluster temp files).
+TopEftRun run_topeft(const TopEftParams& params, bool shared_storage);
+
+}  // namespace vineapps

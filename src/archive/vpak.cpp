@@ -1,0 +1,204 @@
+#include "archive/vpak.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "fsutil/fsutil.hpp"
+#include "hash/md5.hpp"
+
+namespace vine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kMagic = "VPAK1\n";
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v);
+  out += static_cast<char>(v >> 8);
+  out += static_cast<char>(v >> 16);
+  out += static_cast<char>(v >> 24);
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint8_t>(p[0]) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
+}
+
+/// A path is safe when it is relative and never escapes upward.
+bool path_is_safe(std::string_view p) {
+  if (p.empty() || p.front() == '/') return false;
+  for (const auto& part : split(p, '/')) {
+    if (part.empty() || part == "." || part == "..") return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string vpak_write(const std::vector<VpakEntry>& entries) {
+  std::string out(kMagic);
+  for (const auto& e : entries) {
+    out += static_cast<char>(e.kind);
+    put_u32(out, static_cast<std::uint32_t>(e.path.size()));
+    put_u32(out, static_cast<std::uint32_t>(e.data.size()));
+    out += e.path;
+    out += e.data;
+  }
+  // Trailer: 'E' marker then MD5 of everything before it.
+  Md5 h;
+  h.update(out);
+  out += 'E';
+  auto digest = h.finish();
+  out.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+  return out;
+}
+
+Result<std::vector<VpakEntry>> vpak_read(std::string_view archive) {
+  if (archive.size() < kMagic.size() + 1 + Md5::kDigestSize ||
+      archive.substr(0, kMagic.size()) != kMagic) {
+    return Error{Errc::parse_error, "not a vpak archive"};
+  }
+
+  std::vector<VpakEntry> entries;
+  std::size_t pos = kMagic.size();
+  while (true) {
+    if (pos >= archive.size()) {
+      return Error{Errc::parse_error, "truncated archive: missing end marker"};
+    }
+    char kind = archive[pos];
+    if (kind == 'E') {
+      // Verify trailer digest.
+      if (archive.size() - pos - 1 != Md5::kDigestSize) {
+        return Error{Errc::parse_error, "malformed archive trailer"};
+      }
+      Md5 h;
+      h.update(archive.substr(0, pos));
+      auto digest = h.finish();
+      if (std::memcmp(digest.data(), archive.data() + pos + 1,
+                      Md5::kDigestSize) != 0) {
+        return Error{Errc::parse_error, "archive checksum mismatch"};
+      }
+      return entries;
+    }
+    if (kind != 'F' && kind != 'D' && kind != 'L') {
+      return Error{Errc::parse_error, "unknown entry kind"};
+    }
+    if (pos + 9 > archive.size()) {
+      return Error{Errc::parse_error, "truncated entry header"};
+    }
+    std::uint32_t path_len = get_u32(archive.data() + pos + 1);
+    std::uint32_t data_len = get_u32(archive.data() + pos + 5);
+    pos += 9;
+    if (pos + path_len + data_len > archive.size()) {
+      return Error{Errc::parse_error, "truncated entry body"};
+    }
+    VpakEntry e;
+    e.kind = static_cast<VpakEntry::Kind>(kind);
+    e.path = std::string(archive.substr(pos, path_len));
+    pos += path_len;
+    e.data = std::string(archive.substr(pos, data_len));
+    pos += data_len;
+    entries.push_back(std::move(e));
+  }
+}
+
+Status vpak_pack_tree(const fs::path& root, const fs::path& archive_out) {
+  std::error_code ec;
+  if (!fs::exists(root, ec)) {
+    return Error{Errc::not_found, "pack source missing: " + root.string()};
+  }
+
+  std::vector<VpakEntry> entries;
+
+  auto add_path = [&entries](const fs::path& p, const std::string& rel) -> Status {
+    std::error_code sec;
+    auto st = fs::symlink_status(p, sec);
+    if (sec) return Error{Errc::io_error, "cannot stat " + p.string()};
+    VpakEntry e;
+    e.path = rel;
+    if (fs::is_symlink(st)) {
+      e.kind = VpakEntry::Kind::symlink;
+      e.data = fs::read_symlink(p, sec).string();
+    } else if (fs::is_directory(st)) {
+      e.kind = VpakEntry::Kind::directory;
+    } else if (fs::is_regular_file(st)) {
+      e.kind = VpakEntry::Kind::file;
+      VINE_TRY(e.data, read_file(p));
+    } else {
+      return Error{Errc::invalid_argument, "unsupported type: " + p.string()};
+    }
+    entries.push_back(std::move(e));
+    return Status::success();
+  };
+
+  if (fs::is_regular_file(root, ec) || fs::is_symlink(root, ec)) {
+    VINE_TRY_STATUS(add_path(root, root.filename().string()));
+  } else {
+    // Collect all relative paths, sorted for deterministic archives.
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) return Error{Errc::io_error, "walk failed: " + ec.message()};
+      paths.push_back(it->path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths) {
+      // lexically_relative: fs::relative() canonicalizes and would resolve
+      // symlinks to their targets' paths.
+      VINE_TRY_STATUS(add_path(p, p.lexically_relative(root).generic_string()));
+    }
+  }
+
+  return write_file_atomic(archive_out, vpak_write(entries));
+}
+
+Status vpak_unpack(const fs::path& archive, const fs::path& dest_dir) {
+  VINE_TRY(std::string bytes, read_file(archive));
+  VINE_TRY(std::vector<VpakEntry> entries, vpak_read(bytes));
+
+  std::error_code ec;
+  fs::create_directories(dest_dir, ec);
+  if (ec) {
+    return Error{Errc::io_error, "cannot create " + dest_dir.string()};
+  }
+
+  for (const auto& e : entries) {
+    if (!path_is_safe(e.path)) {
+      return Error{Errc::parse_error, "unsafe path in archive: " + e.path};
+    }
+    fs::path target = dest_dir / fs::path(e.path);
+    switch (e.kind) {
+      case VpakEntry::Kind::directory:
+        fs::create_directories(target, ec);
+        if (ec) return Error{Errc::io_error, "mkdir failed: " + target.string()};
+        break;
+      case VpakEntry::Kind::file:
+        VINE_TRY_STATUS(write_file_atomic(target, e.data));
+        break;
+      case VpakEntry::Kind::symlink: {
+        if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
+        fs::remove(target, ec);
+        fs::create_symlink(e.data, target, ec);
+        if (ec) return Error{Errc::io_error, "symlink failed: " + target.string()};
+        break;
+      }
+    }
+  }
+  return Status::success();
+}
+
+Result<std::vector<std::string>> vpak_list(const fs::path& archive) {
+  VINE_TRY(std::string bytes, read_file(archive));
+  VINE_TRY(std::vector<VpakEntry> entries, vpak_read(bytes));
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (auto& e : entries) out.push_back(std::move(e.path));
+  return out;
+}
+
+}  // namespace vine

@@ -1,0 +1,57 @@
+// vpak: a self-contained tar substitute.
+//
+// The paper's workflows ship software and datasets as tarballs which a
+// MiniTask unpacks once per worker (declare_untar). This repo avoids a
+// dependency on external tar/gzip by defining a tiny archive format with
+// the same role: a directory tree serialized to one file, unpacked by the
+// built-in unpack mini-task.
+//
+// Format (all integers little-endian):
+//   magic   "VPAK1\n"
+//   entries repeated:
+//     u8   kind        'F' file | 'D' directory | 'L' symlink | 'E' end
+//     u32  path_len    relative path (within the archive root)
+//     u32  data_len    file bytes / symlink target length / 0 for dirs
+//     path bytes, data bytes
+//   trailer after 'E': 16-byte MD5 of everything before the 'E' byte,
+//   giving unpack a cheap integrity check.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vine {
+
+/// One archive entry, exposed for listing and for in-memory construction.
+struct VpakEntry {
+  enum class Kind : char { file = 'F', directory = 'D', symlink = 'L' };
+  Kind kind = Kind::file;
+  std::string path;  ///< relative path, '/'-separated
+  std::string data;  ///< file content or symlink target; empty for dirs
+};
+
+/// Serialize entries to the archive byte string. Entries are written in the
+/// order given; pack_tree sorts them for deterministic archives.
+std::string vpak_write(const std::vector<VpakEntry>& entries);
+
+/// Parse an archive byte string back into entries, verifying the trailer.
+Result<std::vector<VpakEntry>> vpak_read(std::string_view archive);
+
+/// Pack a directory tree (or single file) into an archive file.
+/// The archive records paths relative to `root`.
+Status vpak_pack_tree(const std::filesystem::path& root,
+                      const std::filesystem::path& archive_out);
+
+/// Unpack an archive file into `dest_dir` (created if needed). Rejects
+/// entries whose paths escape dest_dir ("../", absolute paths).
+Status vpak_unpack(const std::filesystem::path& archive,
+                   const std::filesystem::path& dest_dir);
+
+/// List entry paths without extracting (order as stored).
+Result<std::vector<std::string>> vpak_list(const std::filesystem::path& archive);
+
+}  // namespace vine

@@ -1,0 +1,111 @@
+#include "catalog/replica_table.hpp"
+
+namespace vine {
+
+void FileReplicaTable::set_replica(const std::string& cache_name,
+                                   const WorkerId& worker, ReplicaState state,
+                                   std::int64_t size) {
+  Replica& r = by_file_[cache_name][worker];
+  r.state = state;
+  if (size >= 0) r.size = size;
+  by_worker_[worker].insert(cache_name);
+}
+
+void FileReplicaTable::remove_replica(const std::string& cache_name,
+                                      const WorkerId& worker) {
+  auto fit = by_file_.find(cache_name);
+  if (fit != by_file_.end()) {
+    fit->second.erase(worker);
+    if (fit->second.empty()) by_file_.erase(fit);
+  }
+  auto wit = by_worker_.find(worker);
+  if (wit != by_worker_.end()) {
+    wit->second.erase(cache_name);
+    if (wit->second.empty()) by_worker_.erase(wit);
+  }
+}
+
+void FileReplicaTable::remove_worker(const WorkerId& worker) {
+  auto wit = by_worker_.find(worker);
+  if (wit == by_worker_.end()) return;
+  for (const auto& name : wit->second) {
+    auto fit = by_file_.find(name);
+    if (fit != by_file_.end()) {
+      fit->second.erase(worker);
+      if (fit->second.empty()) by_file_.erase(fit);
+    }
+  }
+  by_worker_.erase(wit);
+}
+
+void FileReplicaTable::remove_file(const std::string& cache_name) {
+  auto fit = by_file_.find(cache_name);
+  if (fit == by_file_.end()) return;
+  for (const auto& [worker, _] : fit->second) {
+    auto wit = by_worker_.find(worker);
+    if (wit != by_worker_.end()) {
+      wit->second.erase(cache_name);
+      if (wit->second.empty()) by_worker_.erase(wit);
+    }
+  }
+  by_file_.erase(fit);
+}
+
+std::optional<Replica> FileReplicaTable::find(const std::string& cache_name,
+                                              const WorkerId& worker) const {
+  auto fit = by_file_.find(cache_name);
+  if (fit == by_file_.end()) return std::nullopt;
+  auto rit = fit->second.find(worker);
+  if (rit == fit->second.end()) return std::nullopt;
+  return rit->second;
+}
+
+bool FileReplicaTable::has_present(const std::string& cache_name,
+                                   const WorkerId& worker) const {
+  auto r = find(cache_name, worker);
+  return r && r->state == ReplicaState::present;
+}
+
+std::vector<WorkerId> FileReplicaTable::workers_with(
+    const std::string& cache_name) const {
+  std::vector<WorkerId> out;
+  auto fit = by_file_.find(cache_name);
+  if (fit == by_file_.end()) return out;
+  for (const auto& [worker, replica] : fit->second) {
+    if (replica.state == ReplicaState::present) out.push_back(worker);
+  }
+  return out;
+}
+
+int FileReplicaTable::present_count(const std::string& cache_name) const {
+  int n = 0;
+  auto fit = by_file_.find(cache_name);
+  if (fit == by_file_.end()) return 0;
+  for (const auto& [_, replica] : fit->second) {
+    n += (replica.state == ReplicaState::present);
+  }
+  return n;
+}
+
+std::vector<std::string> FileReplicaTable::files_on(const WorkerId& worker) const {
+  auto wit = by_worker_.find(worker);
+  if (wit == by_worker_.end()) return {};
+  return {wit->second.begin(), wit->second.end()};
+}
+
+std::int64_t FileReplicaTable::known_size(const std::string& cache_name) const {
+  auto fit = by_file_.find(cache_name);
+  if (fit == by_file_.end()) return -1;
+  for (const auto& [_, replica] : fit->second) {
+    if (replica.size >= 0) return replica.size;
+  }
+  return -1;
+}
+
+std::size_t FileReplicaTable::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, workers] : by_file_) n += workers.size();
+  return n;
+}
+
+}  // namespace vine

@@ -1,0 +1,74 @@
+// File Replica Table (paper §3.3): the manager's unified view of cluster
+// storage — which cache objects exist (or are materializing) on which
+// workers. Placement ranks workers by cached input bytes; transfer planning
+// finds peer sources here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/worker_info.hpp"
+
+namespace vine {
+
+/// Lifecycle of one replica on one worker.
+enum class ReplicaState : std::uint8_t {
+  pending,  ///< transfer/materialization scheduled, not yet confirmed
+  present,  ///< cache-update received: usable for tasks and as a source
+};
+
+/// One replica record.
+struct Replica {
+  ReplicaState state = ReplicaState::pending;
+  std::int64_t size = -1;  ///< bytes once known
+};
+
+class FileReplicaTable {
+ public:
+  /// Record or update a replica of `cache_name` on `worker`.
+  void set_replica(const std::string& cache_name, const WorkerId& worker,
+                   ReplicaState state, std::int64_t size = -1);
+
+  /// Forget one replica (deletion or failed transfer).
+  void remove_replica(const std::string& cache_name, const WorkerId& worker);
+
+  /// Forget every replica on a departed worker.
+  void remove_worker(const WorkerId& worker);
+
+  /// Forget every replica of one file (workflow-end GC).
+  void remove_file(const std::string& cache_name);
+
+  /// Lookup one replica.
+  std::optional<Replica> find(const std::string& cache_name,
+                              const WorkerId& worker) const;
+
+  /// True when the worker holds a usable (present) copy.
+  bool has_present(const std::string& cache_name, const WorkerId& worker) const;
+
+  /// Workers holding a present copy, sorted by id (deterministic).
+  std::vector<WorkerId> workers_with(const std::string& cache_name) const;
+
+  /// Count of present replicas.
+  int present_count(const std::string& cache_name) const;
+
+  /// Cache names with any record on this worker (present or pending).
+  std::vector<std::string> files_on(const WorkerId& worker) const;
+
+  /// Known size of a file (from any present replica); -1 if unknown.
+  std::int64_t known_size(const std::string& cache_name) const;
+
+  /// Total number of (file, worker) replica records; for stats/tests.
+  std::size_t record_count() const;
+
+ private:
+  // cache_name -> worker -> replica
+  std::map<std::string, std::map<WorkerId, Replica>> by_file_;
+  // worker -> cache names (secondary index for files_on / remove_worker)
+  std::map<WorkerId, std::set<std::string>> by_worker_;
+};
+
+}  // namespace vine

@@ -1,0 +1,96 @@
+#include "catalog/transfer_table.hpp"
+
+#include "common/uuid.hpp"
+
+namespace vine {
+
+std::string TransferSource::account() const {
+  switch (kind) {
+    case Kind::manager: return "manager";
+    case Kind::url: return "url:" + key;
+    case Kind::worker: return "worker:" + key;
+  }
+  return "?";
+}
+
+std::string CurrentTransferTable::begin(const std::string& cache_name,
+                                        const WorkerId& dest,
+                                        const TransferSource& source,
+                                        double now) {
+  TransferRecord rec;
+  rec.uuid = generate_uuid();
+  rec.cache_name = cache_name;
+  rec.dest = dest;
+  rec.source = source;
+  rec.started_at = now;
+  ++inflight_by_source_[source.account()];
+  ++inflight_by_dest_[dest];
+  std::string uuid = rec.uuid;
+  by_uuid_.emplace(uuid, std::move(rec));
+  return uuid;
+}
+
+void CurrentTransferTable::decrement(const TransferRecord& rec) {
+  auto sit = inflight_by_source_.find(rec.source.account());
+  if (sit != inflight_by_source_.end() && --sit->second <= 0) {
+    inflight_by_source_.erase(sit);
+  }
+  auto dit = inflight_by_dest_.find(rec.dest);
+  if (dit != inflight_by_dest_.end() && --dit->second <= 0) {
+    inflight_by_dest_.erase(dit);
+  }
+}
+
+std::optional<TransferRecord> CurrentTransferTable::finish(const std::string& uuid) {
+  auto it = by_uuid_.find(uuid);
+  if (it == by_uuid_.end()) return std::nullopt;
+  TransferRecord rec = std::move(it->second);
+  by_uuid_.erase(it);
+  decrement(rec);
+  return rec;
+}
+
+int CurrentTransferTable::inflight_from(const TransferSource& source) const {
+  auto it = inflight_by_source_.find(source.account());
+  return it == inflight_by_source_.end() ? 0 : it->second;
+}
+
+int CurrentTransferTable::inflight_to(const WorkerId& dest) const {
+  auto it = inflight_by_dest_.find(dest);
+  return it == inflight_by_dest_.end() ? 0 : it->second;
+}
+
+bool CurrentTransferTable::pending_to(const std::string& cache_name,
+                                      const WorkerId& dest) const {
+  for (const auto& [_, rec] : by_uuid_) {
+    if (rec.cache_name == cache_name && rec.dest == dest) return true;
+  }
+  return false;
+}
+
+std::vector<TransferRecord> CurrentTransferTable::remove_worker(const WorkerId& worker) {
+  std::vector<TransferRecord> removed;
+  for (auto it = by_uuid_.begin(); it != by_uuid_.end();) {
+    const TransferRecord& rec = it->second;
+    bool involves = rec.dest == worker ||
+                    (rec.source.kind == TransferSource::Kind::worker &&
+                     rec.source.key == worker);
+    if (involves) {
+      decrement(rec);
+      removed.push_back(rec);
+      it = by_uuid_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<TransferRecord> CurrentTransferTable::snapshot() const {
+  std::vector<TransferRecord> out;
+  out.reserve(by_uuid_.size());
+  for (const auto& [_, rec] : by_uuid_) out.push_back(rec);
+  return out;
+}
+
+}  // namespace vine

@@ -1,0 +1,85 @@
+// Current Transfer Table (paper §3.3): every scheduled transfer is recorded
+// under a UUID which the worker echoes in its cache-update message. The
+// table lets the scheduler see how many concurrent connections each source
+// is serving, enforcing per-source limits that prevent hotspots (the key
+// mechanism behind Figure 11c).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/worker_info.hpp"
+
+namespace vine {
+
+/// Where a file comes from in one transfer.
+struct TransferSource {
+  enum class Kind : std::uint8_t { manager, url, worker };
+  Kind kind = Kind::manager;
+  std::string key;  ///< url text for Kind::url, worker id for Kind::worker,
+                    ///< "" for the manager
+
+  /// Canonical accounting key ("manager", "url:<url>", "worker:<id>").
+  std::string account() const;
+
+  static TransferSource from_manager() { return {Kind::manager, ""}; }
+  static TransferSource from_url(std::string url) {
+    return {Kind::url, std::move(url)};
+  }
+  static TransferSource from_worker(WorkerId id) {
+    return {Kind::worker, std::move(id)};
+  }
+
+  bool operator==(const TransferSource&) const = default;
+};
+
+/// One in-flight transfer.
+struct TransferRecord {
+  std::string uuid;
+  std::string cache_name;
+  WorkerId dest;
+  TransferSource source;
+  double started_at = 0;
+};
+
+class CurrentTransferTable {
+ public:
+  /// Register a new transfer; returns its UUID for the worker to echo.
+  std::string begin(const std::string& cache_name, const WorkerId& dest,
+                    const TransferSource& source, double now);
+
+  /// Complete (or fail) a transfer by UUID; returns the record, or nullopt
+  /// for an unknown/duplicate UUID.
+  std::optional<TransferRecord> finish(const std::string& uuid);
+
+  /// In-flight count drawing from this source.
+  int inflight_from(const TransferSource& source) const;
+
+  /// In-flight count arriving at this worker.
+  int inflight_to(const WorkerId& dest) const;
+
+  /// True when `cache_name` is already on its way to `dest` (avoid
+  /// scheduling duplicate transfers for concurrent tasks).
+  bool pending_to(const std::string& cache_name, const WorkerId& dest) const;
+
+  /// Drop all transfers involving a departed worker (as source or dest);
+  /// returns them so the manager can reschedule.
+  std::vector<TransferRecord> remove_worker(const WorkerId& worker);
+
+  std::size_t size() const { return by_uuid_.size(); }
+
+  /// All in-flight records (diagnostics).
+  std::vector<TransferRecord> snapshot() const;
+
+ private:
+  std::map<std::string, TransferRecord> by_uuid_;
+  std::map<std::string, int> inflight_by_source_;  // account() -> count
+  std::map<WorkerId, int> inflight_by_dest_;
+
+  void decrement(const TransferRecord& rec);
+};
+
+}  // namespace vine

@@ -1,0 +1,40 @@
+// Scheduler-facing view of a worker. The manager (and the simulator) keep
+// one snapshot per connected worker; the scheduler reads these plus the
+// replica table to make placement decisions.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "task/resources.hpp"
+
+namespace vine {
+
+/// Worker identity as used throughout the manager ("w-3", hostname:port...).
+using WorkerId = std::string;
+
+/// Live state of one worker from the manager's perspective.
+struct WorkerSnapshot {
+  WorkerId id;
+  std::string addr;           ///< control connection address
+  std::string transfer_addr;  ///< peer-transfer service address
+
+  // Resources defaults cores=1 (a sensible *task request* default); these
+  // are accumulators and must start at zero.
+  Resources total{.cores = 0, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+  Resources committed{.cores = 0, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+
+  int running_tasks = 0;
+
+  /// Names of libraries with a live instance on this worker.
+  std::set<std::string> libraries;
+
+  /// Remaining capacity available for new tasks.
+  Resources available() const {
+    Resources r = total;
+    r -= committed;
+    return r;
+  }
+};
+
+}  // namespace vine

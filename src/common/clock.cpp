@@ -1,0 +1,25 @@
+#include "common/clock.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace vine {
+
+SteadyClock::SteadyClock()
+    : epoch_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+double SteadyClock::now() const {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+  return static_cast<double>(ns - epoch_ns_) * 1e-9;
+}
+
+void ManualClock::advance_to(double t) {
+  assert(t >= now_ && "ManualClock must not move backwards");
+  if (t > now_) now_ = t;
+}
+
+}  // namespace vine

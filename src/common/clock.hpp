@@ -1,0 +1,43 @@
+// Clock abstraction. The real runtime uses the steady clock; the simulator
+// substitutes a virtual clock so the same timestamped bookkeeping (transfer
+// durations, task intervals) works in both worlds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace vine {
+
+/// Monotonic time source measured in seconds since an arbitrary epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds. Monotonic, non-decreasing.
+  virtual double now() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  double now() const override;
+
+ private:
+  std::int64_t epoch_ns_;
+};
+
+/// Manually advanced clock. The discrete-event simulator owns one and moves
+/// it forward as events fire; tests use it to make timing deterministic.
+class ManualClock final : public Clock {
+ public:
+  double now() const override { return now_; }
+  /// Advance to an absolute time; must not move backwards.
+  void advance_to(double t);
+  /// Advance by a delta >= 0.
+  void advance_by(double dt) { advance_to(now_ + dt); }
+
+ private:
+  double now_ = 0;
+};
+
+}  // namespace vine

@@ -1,0 +1,33 @@
+#include "common/error.hpp"
+
+namespace vine {
+
+const char* errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::io_error: return "io_error";
+    case Errc::parse_error: return "parse_error";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::resource_exhausted: return "resource_exhausted";
+    case Errc::task_failed: return "task_failed";
+    case Errc::cancelled: return "cancelled";
+    case Errc::timeout: return "timeout";
+    case Errc::unavailable: return "unavailable";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string s = errc_name(code);
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+}  // namespace vine

@@ -1,0 +1,117 @@
+// Error codes and a lightweight Result<T> (expected-like) type used across
+// all TaskVine modules. We do not throw across component boundaries; fallible
+// operations return Result<T> and callers decide how to react.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vine {
+
+/// Error categories shared by all modules.
+enum class Errc : std::uint8_t {
+  ok = 0,
+  invalid_argument,   ///< caller passed something malformed
+  not_found,          ///< file / task / worker / key does not exist
+  already_exists,     ///< uniqueness constraint violated
+  io_error,           ///< filesystem or socket failure
+  parse_error,        ///< malformed wire message / JSON / archive
+  protocol_error,     ///< peer violated the manager-worker protocol
+  resource_exhausted, ///< disk/cores/memory/transfer-slot exhaustion
+  task_failed,        ///< task ran but exited unsuccessfully
+  cancelled,          ///< operation aborted by shutdown or user request
+  timeout,            ///< deadline expired
+  unavailable,        ///< worker disconnected / service not running
+  internal,           ///< invariant violation: a bug in this library
+};
+
+/// Human-readable name of an error category ("io_error", ...).
+const char* errc_name(Errc c) noexcept;
+
+/// An error: category plus a free-form context message.
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  /// "io_error: cannot open /tmp/x"
+  std::string to_string() const;
+};
+
+/// Result<T>: either a value or an Error. A deliberately small subset of
+/// std::expected (not yet available on all toolchains we target).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error e) : v_(std::move(e)) {}      // NOLINT(google-explicit-constructor)
+  Result(Errc c, std::string msg) : v_(Error{c, std::move(msg)}) {}
+
+  bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Value access; undefined behaviour when !ok() (assert in debug).
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Error access; undefined behaviour when ok().
+  const Error& error() const& { return std::get<Error>(v_); }
+  Error&& error() && { return std::get<Error>(std::move(v_)); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> specialization: success or Error.
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Error e) : err_(std::move(e)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errc c, std::string msg) : err_(Error{c, std::move(msg)}) {}
+
+  bool ok() const noexcept { return !err_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  const Error& error() const& { return *err_; }
+
+  static Result success() { return Result{}; }
+
+ private:
+  std::optional<Error> err_;
+};
+
+using Status = Result<void>;
+
+}  // namespace vine
+
+#define VINE_TRY_CONCAT_INNER(a, b) a##b
+#define VINE_TRY_CONCAT(a, b) VINE_TRY_CONCAT_INNER(a, b)
+#define VINE_TRY_IMPL(tmp, decl, expr)   \
+  auto tmp = (expr);                     \
+  if (!tmp.ok()) return std::move(tmp).error(); \
+  decl = std::move(tmp).value()
+
+/// Propagate an error from an expression producing Result<T>.
+/// Usage: VINE_TRY(auto x, compute());
+#define VINE_TRY(decl, expr) \
+  VINE_TRY_IMPL(VINE_TRY_CONCAT(vine_try_tmp_, __LINE__), decl, expr)
+
+/// Propagate an error from a Status-producing expression.
+#define VINE_TRY_STATUS(expr)              \
+  do {                                     \
+    auto vine_st_ = (expr);                \
+    if (!vine_st_.ok()) return vine_st_.error(); \
+  } while (0)

@@ -1,0 +1,59 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace vine {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::warn)};
+std::mutex g_mutex;
+
+char level_char(LogLevel l) {
+  switch (l) {
+    case LogLevel::debug: return 'D';
+    case LogLevel::info: return 'I';
+    case LogLevel::warn: return 'W';
+    case LogLevel::error: return 'E';
+    default: return '?';
+  }
+}
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view text) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[%10.3f] %c %.*s: %.*s\n", elapsed_seconds(),
+               level_char(level), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(text.size()), text.data());
+}
+
+void logf(LogLevel level, const char* component, const char* fmt, ...) {
+  if (level < log_level()) return;
+  char buf[2048];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  log_line(level, component, buf);
+}
+
+}  // namespace vine

@@ -1,0 +1,32 @@
+// Thread-safe leveled logging. Components tag their lines ("manager",
+// "worker-3", ...). Intended for operator diagnostics, not data output;
+// benches print results on stdout while logs go to stderr.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace vine {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global minimum level; lines below it are dropped. Default: warn
+/// (quiet for tests/benches; examples raise it to info).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Write one log line: "[12.345] W manager: text". Thread safe.
+void log_line(LogLevel level, std::string_view component, std::string_view text);
+
+/// printf-style logging helper.
+#if defined(__GNUC__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void logf(LogLevel level, const char* component, const char* fmt, ...);
+
+}  // namespace vine
+
+#define VINE_LOG_DEBUG(component, ...) ::vine::logf(::vine::LogLevel::debug, component, __VA_ARGS__)
+#define VINE_LOG_INFO(component, ...) ::vine::logf(::vine::LogLevel::info, component, __VA_ARGS__)
+#define VINE_LOG_WARN(component, ...) ::vine::logf(::vine::LogLevel::warn, component, __VA_ARGS__)
+#define VINE_LOG_ERROR(component, ...) ::vine::logf(::vine::LogLevel::error, component, __VA_ARGS__)

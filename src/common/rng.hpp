@@ -1,0 +1,93 @@
+// Deterministic random number generation. The simulator and all workload
+// generators are seeded so every experiment is reproducible bit-for-bit.
+// xoshiro256** with a splitmix64 seeder; header-only for inlining.
+#pragma once
+
+#include <cstdint>
+
+namespace vine {
+
+/// splitmix64 step, used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG: fast, high quality, deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : s_) word = splitmix64(seed);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift; bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // 128-bit multiply keeps the distribution unbiased enough for workloads.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + uniform() * (hi - lo); }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Normal with the given mean and stddev (Box-Muller, one value per call).
+  double normal(double mean, double stddev) noexcept;
+
+  /// True with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+inline double Rng::exponential(double mean) noexcept {
+  // -mean * ln(U), U in (0,1]; avoid log(0) by flipping to 1 - uniform().
+  double u = 1.0 - uniform();
+  // Cheap, portable ln via std::log — fine for workload generation.
+  return -mean * __builtin_log(u);
+}
+
+inline double Rng::normal(double mean, double stddev) noexcept {
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+  return mean + stddev * r * __builtin_cos(6.283185307179586 * u2);
+}
+
+}  // namespace vine

@@ -1,0 +1,33 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vine {
+
+/// Split `s` on every occurrence of `sep`. Adjacent separators yield empty
+/// fields; an empty input yields a single empty field.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on `sep` but drop empty fields ("a//b" -> {"a","b"}).
+std::vector<std::string> split_nonempty(std::string_view s, char sep);
+
+/// Join `parts` with `sep` between each pair.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True when `s` begins with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Lowercase an ASCII string (locale-independent).
+std::string to_lower(std::string_view s);
+
+/// Escape a string for safe single-line logging (quotes + control chars).
+std::string escape_for_log(std::string_view s);
+
+}  // namespace vine

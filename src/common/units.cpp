@@ -1,0 +1,64 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace vine {
+
+Result<std::int64_t> parse_bytes(std::string_view text) {
+  std::string_view s = trim(text);
+  if (s.empty()) return Error{Errc::invalid_argument, "empty byte size"};
+
+  std::size_t i = 0;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) return Error{Errc::invalid_argument, "byte size must start with a number"};
+
+  double value = 0;
+  try {
+    value = std::stod(std::string(s.substr(0, i)));
+  } catch (...) {
+    return Error{Errc::invalid_argument, "malformed number in byte size"};
+  }
+
+  std::string unit = to_lower(trim(s.substr(i)));
+  double mult = 1;
+  if (unit.empty() || unit == "b") mult = 1;
+  else if (unit == "kb" || unit == "k") mult = static_cast<double>(kKB);
+  else if (unit == "mb" || unit == "m") mult = static_cast<double>(kMB);
+  else if (unit == "gb" || unit == "g") mult = static_cast<double>(kGB);
+  else if (unit == "tb" || unit == "t") mult = static_cast<double>(kTB);
+  else if (unit == "kib") mult = static_cast<double>(kKiB);
+  else if (unit == "mib") mult = static_cast<double>(kMiB);
+  else if (unit == "gib") mult = static_cast<double>(kGiB);
+  else return Error{Errc::invalid_argument, "unknown byte unit: " + unit};
+
+  return static_cast<std::int64_t>(std::llround(value * mult));
+}
+
+std::string format_bytes(std::int64_t bytes) {
+  char buf[64];
+  double b = static_cast<double>(bytes);
+  if (bytes < kKB) {
+    std::snprintf(buf, sizeof buf, "%lldB", static_cast<long long>(bytes));
+  } else if (bytes < kMB) {
+    std::snprintf(buf, sizeof buf, "%.2fKB", b / kKB);
+  } else if (bytes < kGB) {
+    std::snprintf(buf, sizeof buf, "%.2fMB", b / kMB);
+  } else if (bytes < kTB) {
+    std::snprintf(buf, sizeof buf, "%.2fGB", b / kGB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fTB", b / kTB);
+  }
+  return buf;
+}
+
+std::string format_rate(double bytes_per_second) {
+  return format_bytes(static_cast<std::int64_t>(bytes_per_second)) + "/s";
+}
+
+}  // namespace vine

@@ -1,0 +1,32 @@
+// Byte-size constants, parsing and formatting. TaskVine tracks cache and
+// transfer sizes everywhere; keeping formatting in one place makes the bench
+// output consistent with the paper's units (MB = 1e6 bytes, as in "200MB").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace vine {
+
+inline constexpr std::int64_t kKB = 1000;
+inline constexpr std::int64_t kMB = 1000 * kKB;
+inline constexpr std::int64_t kGB = 1000 * kMB;
+inline constexpr std::int64_t kTB = 1000 * kGB;
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// "200MB" / "1.4GB" / "512" (bytes) / "64KiB" -> byte count.
+Result<std::int64_t> parse_bytes(std::string_view text);
+
+/// Render a byte count with a human unit: 1400000000 -> "1.40GB".
+std::string format_bytes(std::int64_t bytes);
+
+/// Render a rate: bytes per second -> "1.25GB/s".
+std::string format_rate(double bytes_per_second);
+
+}  // namespace vine

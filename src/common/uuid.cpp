@@ -1,0 +1,71 @@
+#include "common/uuid.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "common/rng.hpp"
+
+namespace vine {
+namespace {
+
+std::mutex g_mutex;
+
+Rng& generator() {
+  static Rng rng(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  return rng;
+}
+
+constexpr char kHex[] = "0123456789abcdef";
+
+}  // namespace
+
+std::string generate_uuid() {
+  std::lock_guard lock(g_mutex);
+  std::uint64_t hi = generator().next();
+  std::uint64_t lo = generator().next();
+  // Set version (4) and variant (10xx) bits per RFC 4122.
+  hi = (hi & 0xffffffffffff0fffULL) | 0x0000000000004000ULL;
+  lo = (lo & 0x3fffffffffffffffULL) | 0x8000000000000000ULL;
+
+  std::string out;
+  out.reserve(36);
+  auto emit = [&out](std::uint64_t word, int nibbles) {
+    for (int i = nibbles - 1; i >= 0; --i) out += kHex[(word >> (4 * i)) & 0xf];
+  };
+  emit(hi >> 32, 8);
+  out += '-';
+  emit(hi >> 16, 4);
+  out += '-';
+  emit(hi, 4);
+  out += '-';
+  emit(lo >> 48, 4);
+  out += '-';
+  emit(lo, 12);
+  return out;
+}
+
+std::string generate_token(std::size_t hex_chars) {
+  std::lock_guard lock(g_mutex);
+  std::string out;
+  out.reserve(hex_chars);
+  std::uint64_t word = 0;
+  int left = 0;
+  for (std::size_t i = 0; i < hex_chars; ++i) {
+    if (left == 0) {
+      word = generator().next();
+      left = 16;
+    }
+    out += kHex[word & 0xf];
+    word >>= 4;
+    --left;
+  }
+  return out;
+}
+
+void reseed_uuid_generator(std::uint64_t seed) {
+  std::lock_guard lock(g_mutex);
+  generator().reseed(seed);
+}
+
+}  // namespace vine

@@ -1,0 +1,23 @@
+// UUID generation. The manager tags every scheduled transfer with a UUID so
+// the worker's asynchronous cache-update can be matched to the transfer it
+// completes (Current Transfer Table, paper §3.3). Cache names for files with
+// task/workflow lifetime are random names drawn from the same generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vine {
+
+/// Random 128-bit id rendered as canonical UUIDv4 text. Process-global
+/// generator, seeded once; thread safe.
+std::string generate_uuid();
+
+/// Random short hex token, e.g. "sd698d12" — used for task/workflow-lifetime
+/// cache names ("temp-xyz123" in the paper's Figure 4).
+std::string generate_token(std::size_t hex_chars = 12);
+
+/// Reseed the process-global id generator (tests use this for determinism).
+void reseed_uuid_generator(std::uint64_t seed);
+
+}  // namespace vine

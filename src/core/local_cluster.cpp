@@ -1,0 +1,50 @@
+#include "core/local_cluster.hpp"
+
+#include "common/uuid.hpp"
+
+namespace vine {
+
+using namespace std::chrono_literals;
+
+Result<std::unique_ptr<LocalCluster>> LocalCluster::create(LocalClusterConfig config) {
+  auto cluster = std::unique_ptr<LocalCluster>(new LocalCluster());
+
+  std::filesystem::path root = config.root_dir;
+  if (root.empty()) {
+    cluster->owned_root_.emplace("vine-cluster");
+    root = cluster->owned_root_->path();
+  }
+
+  if (config.fetcher && !config.manager.fetcher) {
+    config.manager.fetcher = config.fetcher;
+  }
+  cluster->manager_ = std::make_unique<Manager>(config.manager);
+  VINE_TRY_STATUS(cluster->manager_->start());
+
+  for (int i = 0; i < config.workers; ++i) {
+    WorkerConfig wc;
+    wc.id = "w" + std::to_string(i);
+    wc.manager_addr = cluster->manager_->address();
+    wc.resources = config.per_worker;
+    wc.root_dir = root / wc.id;
+    wc.max_concurrent_transfers = config.max_concurrent_transfers_per_worker;
+    wc.fetcher = config.fetcher;
+    VINE_TRY(auto worker, Worker::connect(std::move(wc)));
+    worker->start();
+    cluster->workers_.push_back(std::move(worker));
+  }
+
+  VINE_TRY_STATUS(cluster->manager_->wait_for_workers(config.workers, 10000ms));
+  return cluster;
+}
+
+void LocalCluster::shutdown() {
+  if (manager_) manager_->shutdown();
+  for (auto& w : workers_) {
+    if (w) w->stop();
+  }
+}
+
+LocalCluster::~LocalCluster() { shutdown(); }
+
+}  // namespace vine

@@ -1,0 +1,57 @@
+// LocalCluster: a manager plus N in-process workers wired over channel
+// transport — the one-call way to run a real TaskVine workflow inside a
+// single process (examples, tests). Worker storage lives under a shared
+// root directory; pass a persistent root to exercise cross-workflow
+// worker-lifetime caching.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fsutil/fsutil.hpp"
+#include "manager/manager.hpp"
+#include "worker/worker.hpp"
+
+namespace vine {
+
+struct LocalClusterConfig {
+  int workers = 4;
+  Resources per_worker{.cores = 4, .memory_mb = 8000, .disk_mb = 50000, .gpus = 0};
+  ManagerConfig manager{};
+
+  /// Storage root; one subdirectory per worker. Empty -> fresh temp dir
+  /// removed on destruction (cold cache every run).
+  std::filesystem::path root_dir;
+
+  /// Shared URL fetcher for manager naming and worker downloads (tests
+  /// inject a MemoryUrlFetcher to count archive hits).
+  std::shared_ptr<UrlFetcher> fetcher;
+
+  int max_concurrent_transfers_per_worker = 4;
+};
+
+class LocalCluster {
+ public:
+  /// Start the manager, connect all workers, and wait for registration.
+  static Result<std::unique_ptr<LocalCluster>> create(LocalClusterConfig config);
+
+  ~LocalCluster();
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  Manager& manager() { return *manager_; }
+  Worker& worker(std::size_t i) { return *workers_.at(i); }
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Graceful shutdown (also done by the destructor).
+  void shutdown();
+
+ private:
+  LocalCluster() = default;
+
+  std::optional<TempDir> owned_root_;
+  std::unique_ptr<Manager> manager_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace vine

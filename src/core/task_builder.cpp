@@ -1,0 +1,83 @@
+#include "core/task_builder.hpp"
+
+namespace vine {
+
+TaskBuilder::TaskBuilder(std::string command) {
+  spec_.kind = TaskKind::command;
+  spec_.command = std::move(command);
+}
+
+TaskBuilder TaskBuilder::function(std::string name, std::string args) {
+  TaskBuilder b;
+  b.spec_.kind = TaskKind::function;
+  b.spec_.function_name = std::move(name);
+  b.spec_.function_args = std::move(args);
+  return b;
+}
+
+TaskBuilder TaskBuilder::function_call(std::string library, std::string function,
+                                       std::string args) {
+  TaskBuilder b;
+  b.spec_.kind = TaskKind::function_call;
+  b.spec_.library_name = std::move(library);
+  b.spec_.function_name = std::move(function);
+  b.spec_.function_args = std::move(args);
+  return b;
+}
+
+TaskBuilder& TaskBuilder::input(const FileRef& file, std::string sandbox_name) {
+  spec_.inputs.push_back({file, std::move(sandbox_name)});
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::output(const FileRef& file, std::string sandbox_name) {
+  spec_.outputs.push_back({file, std::move(sandbox_name)});
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::env(std::string key, std::string value) {
+  spec_.env[std::move(key)] = std::move(value);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::resources(const Resources& r) {
+  spec_.resources = r;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::cores(double n) {
+  spec_.resources.cores = n;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::memory_mb(std::int64_t mb) {
+  spec_.resources.memory_mb = mb;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::disk_mb(std::int64_t mb) {
+  spec_.resources.disk_mb = mb;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::gpus(int n) {
+  spec_.resources.gpus = n;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::max_attempts(int n) {
+  spec_.max_attempts = n;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::timeout_seconds(double s) {
+  spec_.timeout_seconds = s;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::pin_to_worker(std::string worker_id) {
+  spec_.pinned_worker = std::move(worker_id);
+  return *this;
+}
+
+}  // namespace vine

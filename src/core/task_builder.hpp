@@ -1,0 +1,44 @@
+// Fluent construction of TaskSpec values — the ergonomic layer matching
+// the paper's Task API (add_input / add_output / set_env / resources).
+#pragma once
+
+#include <string>
+
+#include "task/task_spec.hpp"
+
+namespace vine {
+
+class TaskBuilder {
+ public:
+  /// A plain Unix command task (paper's vine.Task).
+  explicit TaskBuilder(std::string command);
+
+  /// A registered-function task (the PythonTask analog).
+  static TaskBuilder function(std::string name, std::string args);
+
+  /// A serverless invocation of a function in an installed library
+  /// (paper's FunctionCall, Figure 5).
+  static TaskBuilder function_call(std::string library, std::string function,
+                                   std::string args);
+
+  TaskBuilder& input(const FileRef& file, std::string sandbox_name);
+  TaskBuilder& output(const FileRef& file, std::string sandbox_name);
+  TaskBuilder& env(std::string key, std::string value);
+  TaskBuilder& resources(const Resources& r);
+  TaskBuilder& cores(double n);
+  TaskBuilder& memory_mb(std::int64_t mb);
+  TaskBuilder& disk_mb(std::int64_t mb);
+  TaskBuilder& gpus(int n);
+  TaskBuilder& max_attempts(int n);
+  TaskBuilder& timeout_seconds(double s);
+  TaskBuilder& pin_to_worker(std::string worker_id);
+
+  /// Finalize. The builder may be reused as a template; build() copies.
+  TaskSpec build() const { return spec_; }
+
+ private:
+  TaskBuilder() = default;
+  TaskSpec spec_;
+};
+
+}  // namespace vine

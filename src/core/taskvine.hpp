@@ -1,0 +1,35 @@
+// TaskVine public API — single include for applications.
+//
+// Mirrors the paper's programming model (Figures 3, 5, 6):
+//
+//   vine::Manager m;                      // the coordinating process
+//   m.start();
+//   auto sw   = m.declare_url("file:///archive/blast.vpak", CacheLevel::worker);
+//   auto blast= m.declare_unpack(*sw, CacheLevel::worker);
+//   auto land = m.declare_unpack(*m.declare_url(...), CacheLevel::workflow);
+//   for (...) {
+//     auto query = m.declare_buffer(make_query(i), CacheLevel::task);
+//     auto t = vine::TaskBuilder("blast/bin/blast -db landmark -q query")
+//                  .input(query, "query")
+//                  .input(*blast, "blast")
+//                  .input(*land, "landmark")
+//                  .env("BLASTDB", "landmark")
+//                  .build();
+//     m.submit(std::move(t));
+//   }
+//   while (!m.idle()) { auto r = m.wait(1s); ... }
+//
+// Workers run in-process (LocalCluster, channel transport) or as separate
+// processes (tools/vine_worker over TCP) — identical protocol either way.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "core/local_cluster.hpp"
+#include "core/task_builder.hpp"
+#include "files/file_decl.hpp"
+#include "manager/manager.hpp"
+#include "task/registry.hpp"
+#include "task/task_spec.hpp"
+#include "worker/worker.hpp"

@@ -1,0 +1,25 @@
+#include "files/file_decl.hpp"
+
+namespace vine {
+
+const char* cache_level_name(CacheLevel level) noexcept {
+  switch (level) {
+    case CacheLevel::task: return "task";
+    case CacheLevel::workflow: return "workflow";
+    case CacheLevel::worker: return "worker";
+  }
+  return "?";
+}
+
+const char* file_kind_name(FileKind kind) noexcept {
+  switch (kind) {
+    case FileKind::local: return "local";
+    case FileKind::buffer: return "buffer";
+    case FileKind::url: return "url";
+    case FileKind::temp: return "temp";
+    case FileKind::mini_task: return "mini_task";
+  }
+  return "?";
+}
+
+}  // namespace vine

@@ -1,0 +1,76 @@
+// File declarations: the data half of a TaskVine workflow graph (paper
+// §2.3). Every byte a workflow touches is declared as a File of one of the
+// subtypes below; the manager assigns each a unique cache name whose scope
+// matches the declared cache lifetime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace vine {
+
+/// Manager-assigned identity of a declared file.
+using FileId = std::uint64_t;
+
+/// Manager-assigned identity of a task.
+using TaskId = std::uint64_t;
+
+/// Cache lifetime hints (paper §2.3):
+/// - task:     consumed by one task only; discard right after.
+/// - workflow: reusable within this workflow run; deleted at its end.
+/// - worker:   reusable across workflows; kept while resources allow and
+///             requires a content-derived (perpetually unique) cache name.
+enum class CacheLevel : std::uint8_t { task = 0, workflow = 1, worker = 2 };
+
+const char* cache_level_name(CacheLevel level) noexcept;
+
+/// File subtypes (paper §2.3).
+enum class FileKind : std::uint8_t {
+  local,      ///< file/directory on the manager-visible shared filesystem
+  buffer,     ///< literal bytes held in the application's memory
+  url,        ///< remote object the worker downloads on demand
+  temp,       ///< ephemeral in-cluster file: output of a task, never
+              ///< materialized outside the cluster
+  mini_task,  ///< produced on demand at the worker by running a MiniTask
+};
+
+const char* file_kind_name(FileKind kind) noexcept;
+
+struct TaskSpec;  // defined in task/task_spec.hpp
+
+/// An immutable node in the workflow's file DAG. Created through the
+/// Manager's declare_* calls; applications treat FileRef as an opaque
+/// handle to attach to tasks.
+struct FileDecl {
+  FileId id = 0;
+  FileKind kind = FileKind::buffer;
+  CacheLevel cache = CacheLevel::workflow;
+
+  /// Unique cache name (see files/naming.hpp for generation rules). The
+  /// worker stores the object under this name; tasks see the user-visible
+  /// sandbox name instead.
+  std::string cache_name;
+
+  /// Size if known up front (buffers, local files); -1 when unknown until
+  /// the object materializes (urls before HEAD, temps, mini-task outputs).
+  std::int64_t size_hint = -1;
+
+  // --- kind-specific fields ---
+  std::string local_path;  ///< kind == local
+  std::string buffer;      ///< kind == buffer: the literal content
+  std::string url;         ///< kind == url
+
+  /// kind == mini_task: the producing task specification. The mini-task
+  /// runs at a worker on demand to materialize this file (paper §2.4/3.1).
+  std::shared_ptr<const TaskSpec> mini_task;
+
+  /// kind == temp: the id of the producing (normal) task, set when the
+  /// file is attached as a task output. Used for naming.
+  TaskId producer_task = 0;
+};
+
+/// Shared immutable handle; the manager owns the registry of declarations.
+using FileRef = std::shared_ptr<const FileDecl>;
+
+}  // namespace vine

@@ -1,0 +1,50 @@
+#include "files/naming.hpp"
+
+#include "common/uuid.hpp"
+#include "hash/digest.hpp"
+#include "hash/dirhash.hpp"
+
+namespace vine {
+
+std::string random_cache_name() { return "rnd-" + generate_token(12); }
+
+Result<std::string> local_file_cache_name(const std::string& path) {
+  VINE_TRY(std::string hash, merkle_hash_path(path));
+  return "md5-" + hash;
+}
+
+std::string buffer_cache_name(std::string_view content) {
+  return "md5-" + md5_buffer(content);
+}
+
+Result<std::string> url_cache_name(const std::string& url, UrlFetcher& fetcher) {
+  VINE_TRY(UrlMetadata meta, fetcher.head(url));
+
+  // Tier 1: the archive advertises a strong checksum; adopt it directly so
+  // the same object fetched from mirrors under different URLs unifies.
+  if (meta.content_md5 && !meta.content_md5->empty()) {
+    return "md5-" + *meta.content_md5;
+  }
+
+  // Tier 2: hash URL + version headers. Not content-derived, but the
+  // headers are guaranteed to change when the content changes, so a stale
+  // name can never alias fresh data.
+  if ((meta.etag && !meta.etag->empty()) ||
+      (meta.last_modified && !meta.last_modified->empty())) {
+    std::string doc = "vine-url-v1\n" + url + "\n" + meta.etag.value_or("") +
+                      "\n" + meta.last_modified.value_or("");
+    return "url-" + md5_buffer(doc);
+  }
+
+  // Tier 3 (last resort): download and hash the body.
+  VINE_TRY(std::string body, fetcher.fetch(url));
+  return "md5-" + md5_buffer(body);
+}
+
+std::string task_output_cache_name(const std::string& task_hash,
+                                   const std::string& output_name) {
+  if (output_name.empty()) return "task-" + task_hash;
+  return "task-" + md5_buffer("vine-taskout-v1\n" + task_hash + "\n" + output_name);
+}
+
+}  // namespace vine

@@ -1,0 +1,51 @@
+// Cache-name generation (paper §3.2).
+//
+// Scope of a name follows the declared cache lifetime:
+//  - task/workflow lifetime: a random per-run name ("temp-xyz123"); the
+//    manager guarantees uniqueness within the run and deletes the objects
+//    at workflow end, so collisions with future runs are impossible.
+//  - worker lifetime: a perpetually unique content-derived name, so that a
+//    future workflow (possibly under a different manager) recognizes and
+//    reuses the object:
+//      LocalFile   -> MD5 of content; directories via the Merkle tree doc.
+//      BufferFile  -> MD5 of the buffer.
+//      URLFile     -> three tiers: header checksum; else hash of
+//                     URL+ETag+Last-Modified; else hash of downloaded body.
+//      MiniTask    -> Merkle hash of the producing task spec (command,
+//                     resources, input cache names, recursively).
+//      TempFile    -> hash of the producing task (same construction).
+//
+// Names carry a short type prefix ("md5-", "url-", "task-", "rnd-") for
+// debuggability; uniqueness comes from the hash, the prefix just aids
+// operators reading cache directories (cf. the paper's Figure 4 names).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "files/file_decl.hpp"
+#include "files/url_fetcher.hpp"
+
+namespace vine {
+
+/// Random name for task/workflow-lifetime files: "rnd-<12 hex>".
+std::string random_cache_name();
+
+/// Content name of a local path (file or directory; Merkle for dirs).
+Result<std::string> local_file_cache_name(const std::string& path);
+
+/// Content name of an in-memory buffer.
+std::string buffer_cache_name(std::string_view content);
+
+/// URL naming per the three tiers. May issue head(); only downloads via
+/// fetch() in the last-resort tier (all header fields absent).
+Result<std::string> url_cache_name(const std::string& url, UrlFetcher& fetcher);
+
+/// Name for the output of a producing task, given that task's canonical
+/// hash (see task/task_hash.hpp): "task-<hash>[-<output name>]".
+/// MiniTask outputs and TempFiles both use this construction; tasks with
+/// multiple outputs disambiguate by the sandbox output name.
+std::string task_output_cache_name(const std::string& task_hash,
+                                   const std::string& output_name);
+
+}  // namespace vine

@@ -1,0 +1,94 @@
+#include "files/url_fetcher.hpp"
+
+#include <sys/stat.h>
+
+#include <filesystem>
+
+#include "common/strings.hpp"
+#include "fsutil/fsutil.hpp"
+
+namespace vine {
+
+namespace fs = std::filesystem;
+
+Result<std::string> FileUrlFetcher::path_from_url(const std::string& url) {
+  constexpr std::string_view kScheme = "file://";
+  if (!starts_with(url, kScheme)) {
+    return Error{Errc::invalid_argument, "unsupported URL scheme: " + url};
+  }
+  std::string path = url.substr(kScheme.size());
+  if (path.empty() || path.front() != '/') {
+    return Error{Errc::invalid_argument, "file URL must be absolute: " + url};
+  }
+  return path;
+}
+
+Result<UrlMetadata> FileUrlFetcher::head(const std::string& url) {
+  VINE_TRY(std::string path, path_from_url(url));
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    return Error{Errc::not_found, "no such object: " + url};
+  }
+  UrlMetadata meta;
+  // Synthesize what a web server would send: ETag from inode identity and
+  // size, Last-Modified from mtime. No Content-MD5 (rare in the wild too),
+  // which exercises the paper's tier-2 naming path.
+  meta.etag = std::to_string(st.st_dev) + "-" + std::to_string(st.st_ino) + "-" +
+              std::to_string(st.st_size);
+  meta.last_modified = std::to_string(st.st_mtime);
+  meta.size = static_cast<std::int64_t>(st.st_size);
+  return meta;
+}
+
+Result<std::string> FileUrlFetcher::fetch(const std::string& url) {
+  VINE_TRY(std::string path, path_from_url(url));
+  auto content = read_file(path);
+  if (!content.ok()) {
+    return Error{Errc::not_found, "cannot fetch " + url + ": " + content.error().message};
+  }
+  return std::move(content).value();
+}
+
+void MemoryUrlFetcher::put(const std::string& url, std::string content,
+                           std::optional<std::string> content_md5,
+                           std::optional<std::string> etag,
+                           std::optional<std::string> last_modified) {
+  std::lock_guard lock(mutex_);
+  Entry e;
+  e.meta.content_md5 = std::move(content_md5);
+  e.meta.etag = std::move(etag);
+  e.meta.last_modified = std::move(last_modified);
+  e.meta.size = static_cast<std::int64_t>(content.size());
+  e.content = std::move(content);
+  objects_[url] = std::move(e);
+}
+
+Result<UrlMetadata> MemoryUrlFetcher::head(const std::string& url) {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(url);
+  if (it == objects_.end()) return Error{Errc::not_found, "404: " + url};
+  ++it->second.heads;
+  return it->second.meta;
+}
+
+Result<std::string> MemoryUrlFetcher::fetch(const std::string& url) {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(url);
+  if (it == objects_.end()) return Error{Errc::not_found, "404: " + url};
+  ++it->second.fetches;
+  return it->second.content;
+}
+
+int MemoryUrlFetcher::head_count(const std::string& url) const {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(url);
+  return it == objects_.end() ? 0 : it->second.heads;
+}
+
+int MemoryUrlFetcher::fetch_count(const std::string& url) const {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(url);
+  return it == objects_.end() ? 0 : it->second.fetches;
+}
+
+}  // namespace vine

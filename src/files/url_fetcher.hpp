@@ -1,0 +1,82 @@
+// URL access abstraction (paper §2.3/3.2 URLFile).
+//
+// The paper's workers download from HTTP/XRootD archives; this repo runs
+// offline, so remote access goes through UrlFetcher:
+//  - FileUrlFetcher serves "file://" URLs from the local filesystem,
+//    synthesizing HTTP-like header metadata (ETag from inode identity,
+//    Last-Modified from mtime) so the three-tier naming logic is exercised
+//    exactly as with a real archive.
+//  - MemoryUrlFetcher (testing + simulation) serves configured objects with
+//    fully controllable headers and counts every head/fetch so tests can
+//    assert how often an archive was touched — the Colmena 108→3 metric.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace vine {
+
+/// Metadata from a HEAD request, the inputs to URL cache naming.
+struct UrlMetadata {
+  std::optional<std::string> content_md5;    ///< strong checksum advertised
+  std::optional<std::string> etag;           ///< opaque version tag
+  std::optional<std::string> last_modified;  ///< modification stamp
+  std::int64_t size = -1;                    ///< content length if known
+};
+
+/// Pluggable URL access. Implementations must be thread safe: workers fetch
+/// concurrently.
+class UrlFetcher {
+ public:
+  virtual ~UrlFetcher() = default;
+
+  /// Retrieve header metadata without the body.
+  virtual Result<UrlMetadata> head(const std::string& url) = 0;
+
+  /// Retrieve the full content.
+  virtual Result<std::string> fetch(const std::string& url) = 0;
+};
+
+/// Serves "file://<path>" URLs from the local filesystem.
+class FileUrlFetcher final : public UrlFetcher {
+ public:
+  Result<UrlMetadata> head(const std::string& url) override;
+  Result<std::string> fetch(const std::string& url) override;
+
+  /// "file:///tmp/x" -> "/tmp/x"; error for other schemes.
+  static Result<std::string> path_from_url(const std::string& url);
+};
+
+/// In-memory URL store for tests and simulation.
+class MemoryUrlFetcher final : public UrlFetcher {
+ public:
+  /// Register an object. Header fields are attached per the flags so tests
+  /// can exercise each naming tier.
+  void put(const std::string& url, std::string content,
+           std::optional<std::string> content_md5 = std::nullopt,
+           std::optional<std::string> etag = std::nullopt,
+           std::optional<std::string> last_modified = std::nullopt);
+
+  Result<UrlMetadata> head(const std::string& url) override;
+  Result<std::string> fetch(const std::string& url) override;
+
+  /// Diagnostics: how many head()/fetch() calls this URL has served.
+  int head_count(const std::string& url) const;
+  int fetch_count(const std::string& url) const;
+
+ private:
+  struct Entry {
+    std::string content;
+    UrlMetadata meta;
+    int heads = 0;
+    int fetches = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> objects_;
+};
+
+}  // namespace vine

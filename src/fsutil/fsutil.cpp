@@ -1,0 +1,158 @@
+#include "fsutil/fsutil.hpp"
+
+#include <fstream>
+
+#include "common/uuid.hpp"
+
+namespace vine {
+
+namespace fs = std::filesystem;
+
+Result<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{Errc::io_error, "cannot open: " + path.string()};
+  std::string out;
+  char buf[64 * 1024];
+  while (in) {
+    in.read(buf, sizeof buf);
+    out.append(buf, static_cast<std::size_t>(in.gcount()));
+  }
+  if (in.bad()) return Error{Errc::io_error, "read failed: " + path.string()};
+  return out;
+}
+
+Status write_file_atomic(const fs::path& path, std::string_view content) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+      return Error{Errc::io_error,
+                   "cannot create parent of " + path.string() + ": " + ec.message()};
+    }
+  }
+  fs::path tmp = path;
+  tmp += ".tmp-" + generate_token(8);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Error{Errc::io_error, "cannot create: " + tmp.string()};
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) {
+      remove_all_quiet(tmp);
+      return Error{Errc::io_error, "write failed: " + tmp.string()};
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    remove_all_quiet(tmp);
+    return Error{Errc::io_error, "rename failed: " + path.string() + ": " + ec.message()};
+  }
+  return Status::success();
+}
+
+Status append_file(const fs::path& path, std::string_view content) {
+  std::error_code ec;
+  if (path.has_parent_path()) fs::create_directories(path.parent_path(), ec);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Error{Errc::io_error, "cannot open for append: " + path.string()};
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Error{Errc::io_error, "append failed: " + path.string()};
+  return Status::success();
+}
+
+Status link_into_sandbox(const fs::path& cache_object, const fs::path& sandbox_name) {
+  std::error_code ec;
+  if (!fs::exists(cache_object, ec)) {
+    return Error{Errc::not_found, "cache object missing: " + cache_object.string()};
+  }
+  if (sandbox_name.has_parent_path()) {
+    fs::create_directories(sandbox_name.parent_path(), ec);
+  }
+  if (fs::is_directory(cache_object, ec)) {
+    // Directories cannot be hard linked; a symlink exposes the shared
+    // (immutable) tree without copying.
+    fs::create_directory_symlink(fs::absolute(cache_object), sandbox_name, ec);
+    if (!ec) return Status::success();
+    return copy_tree(cache_object, sandbox_name);
+  }
+  fs::create_hard_link(cache_object, sandbox_name, ec);
+  if (!ec) return Status::success();
+  fs::create_symlink(fs::absolute(cache_object), sandbox_name, ec);
+  if (!ec) return Status::success();
+  return copy_tree(cache_object, sandbox_name);
+}
+
+Result<std::int64_t> tree_size(const fs::path& path) {
+  std::error_code ec;
+  fs::file_status st = fs::symlink_status(path, ec);
+  if (ec) return Error{Errc::io_error, "cannot stat: " + path.string()};
+
+  if (fs::is_symlink(st)) {
+    fs::path target = fs::read_symlink(path, ec);
+    return static_cast<std::int64_t>(target.string().size());
+  }
+  if (fs::is_regular_file(st)) {
+    auto n = fs::file_size(path, ec);
+    if (ec) return Error{Errc::io_error, "cannot size: " + path.string()};
+    return static_cast<std::int64_t>(n);
+  }
+  if (fs::is_directory(st)) {
+    std::int64_t total = 0;
+    for (const auto& de : fs::directory_iterator(path, ec)) {
+      VINE_TRY(std::int64_t sub, tree_size(de.path()));
+      total += sub;
+    }
+    if (ec) return Error{Errc::io_error, "cannot list: " + path.string()};
+    return total;
+  }
+  return std::int64_t{0};
+}
+
+Status copy_tree(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  if (to.has_parent_path()) fs::create_directories(to.parent_path(), ec);
+  fs::copy(from, to,
+           fs::copy_options::recursive | fs::copy_options::copy_symlinks, ec);
+  if (ec) {
+    return Error{Errc::io_error,
+                 "copy " + from.string() + " -> " + to.string() + ": " + ec.message()};
+  }
+  return Status::success();
+}
+
+void remove_all_quiet(const fs::path& path) noexcept {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+}
+
+TempDir::TempDir(std::string_view prefix) : TempDir(fs::temp_directory_path(), prefix) {}
+
+TempDir::TempDir(const fs::path& parent, std::string_view prefix) {
+  fs::path p = parent / (std::string(prefix) + "-" + generate_token(10));
+  fs::create_directories(p);
+  path_ = p;
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) remove_all_quiet(path_);
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) remove_all_quiet(path_);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+fs::path TempDir::release() {
+  fs::path p = std::move(path_);
+  path_.clear();
+  return p;
+}
+
+}  // namespace vine

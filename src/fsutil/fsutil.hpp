@@ -1,0 +1,67 @@
+// Filesystem helpers used by the worker's cache and sandbox machinery:
+// atomic writes (a cache object must never be visible half-written), cheap
+// linking of immutable cache objects into task sandboxes, and disk
+// accounting for storage enforcement.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace vine {
+
+/// Read a whole file into a string.
+Result<std::string> read_file(const std::filesystem::path& path);
+
+/// Write a file atomically: write to a ".tmp" sibling then rename into
+/// place. Parent directories are created as needed.
+Status write_file_atomic(const std::filesystem::path& path, std::string_view content);
+
+/// Append to a file, creating parents as needed (not atomic; used for logs
+/// and growing outputs in examples).
+Status append_file(const std::filesystem::path& path, std::string_view content);
+
+/// Expose an immutable cache object inside a sandbox under a user-visible
+/// name. Tries a hard link first (free, shares storage, safe because cache
+/// objects are immutable), falls back to symlink for directories, then to a
+/// deep copy as a last resort.
+Status link_into_sandbox(const std::filesystem::path& cache_object,
+                         const std::filesystem::path& sandbox_name);
+
+/// Recursive byte count of a file or directory tree (follows nothing; a
+/// symlink counts as the size of its target string).
+Result<std::int64_t> tree_size(const std::filesystem::path& path);
+
+/// Recursively copy a file or directory tree.
+Status copy_tree(const std::filesystem::path& from, const std::filesystem::path& to);
+
+/// Remove a tree, ignoring errors (used during cleanup paths).
+void remove_all_quiet(const std::filesystem::path& path) noexcept;
+
+/// RAII temporary directory: created unique under the system temp dir (or a
+/// given parent), removed on destruction.
+class TempDir {
+ public:
+  /// Create under the system temp directory with the given name prefix.
+  explicit TempDir(std::string_view prefix = "vine");
+  /// Create under an explicit parent directory.
+  TempDir(const std::filesystem::path& parent, std::string_view prefix);
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+
+  const std::filesystem::path& path() const { return path_; }
+  /// Release ownership: the directory will not be deleted.
+  std::filesystem::path release();
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace vine

@@ -1,0 +1,36 @@
+#include "hash/digest.hpp"
+
+#include <fstream>
+
+#include "hash/hex.hpp"
+#include "hash/md5.hpp"
+#include "hash/sha1.hpp"
+
+namespace vine {
+
+Result<std::string> md5_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{Errc::io_error, "cannot open for hashing: " + path.string()};
+  }
+  Md5 h;
+  char buf[64 * 1024];
+  while (in) {
+    in.read(buf, sizeof buf);
+    std::streamsize got = in.gcount();
+    if (got > 0) {
+      h.update(std::string_view(buf, static_cast<std::size_t>(got)));
+    }
+  }
+  if (in.bad()) {
+    return Error{Errc::io_error, "read failed while hashing: " + path.string()};
+  }
+  auto d = h.finish();
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+std::string md5_buffer(std::string_view data) { return Md5::hex(data); }
+
+std::string sha1_buffer(std::string_view data) { return Sha1::hex(data); }
+
+}  // namespace vine

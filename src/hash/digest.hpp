@@ -1,0 +1,22 @@
+// Convenience digests over files and streams, used by cache-name generation.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace vine {
+
+/// MD5 of a whole file's contents as lowercase hex (streamed in 64 KiB
+/// chunks, so arbitrarily large files are fine).
+Result<std::string> md5_file(const std::filesystem::path& path);
+
+/// MD5 of a string buffer as lowercase hex.
+std::string md5_buffer(std::string_view data);
+
+/// SHA-1 of a string buffer as lowercase hex.
+std::string sha1_buffer(std::string_view data);
+
+}  // namespace vine

@@ -1,0 +1,91 @@
+#include "hash/dirhash.hpp"
+
+#include <algorithm>
+
+#include "hash/digest.hpp"
+#include "hash/md5.hpp"
+
+namespace vine {
+namespace {
+
+const char* kind_name(DirDocEntry::Kind k) {
+  switch (k) {
+    case DirDocEntry::Kind::file: return "file";
+    case DirDocEntry::Kind::directory: return "dir";
+    case DirDocEntry::Kind::symlink: return "link";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string render_dir_document(std::vector<DirDocEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const DirDocEntry& a, const DirDocEntry& b) { return a.name < b.name; });
+  std::string doc = "vine-dir-v1\n";
+  for (const auto& e : entries) {
+    doc += kind_name(e.kind);
+    doc += ' ';
+    doc += e.name;
+    doc += ' ';
+    doc += std::to_string(e.size);
+    doc += ' ';
+    doc += e.hash;
+    doc += '\n';
+  }
+  return doc;
+}
+
+std::string hash_dir_document(std::vector<DirDocEntry> entries) {
+  return Md5::hex(render_dir_document(std::move(entries)));
+}
+
+Result<std::string> merkle_hash_path(const std::filesystem::path& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::file_status st = fs::symlink_status(path, ec);
+  if (ec) {
+    return Error{Errc::io_error, "cannot stat " + path.string() + ": " + ec.message()};
+  }
+
+  if (fs::is_symlink(st)) {
+    fs::path target = fs::read_symlink(path, ec);
+    if (ec) {
+      return Error{Errc::io_error, "cannot read symlink " + path.string()};
+    }
+    return md5_buffer("vine-link-v1\n" + target.string());
+  }
+
+  if (fs::is_regular_file(st)) return md5_file(path);
+
+  if (fs::is_directory(st)) {
+    std::vector<DirDocEntry> entries;
+    for (const auto& de : fs::directory_iterator(path, ec)) {
+      DirDocEntry e;
+      e.name = de.path().filename().string();
+      fs::file_status est = de.symlink_status(ec);
+      if (ec) {
+        return Error{Errc::io_error, "cannot stat " + de.path().string()};
+      }
+      if (fs::is_symlink(est)) {
+        e.kind = DirDocEntry::Kind::symlink;
+      } else if (fs::is_directory(est)) {
+        e.kind = DirDocEntry::Kind::directory;
+      } else {
+        e.kind = DirDocEntry::Kind::file;
+        e.size = static_cast<std::int64_t>(fs::file_size(de.path(), ec));
+        if (ec) e.size = 0;
+      }
+      VINE_TRY(e.hash, merkle_hash_path(de.path()));
+      entries.push_back(std::move(e));
+    }
+    if (ec) {
+      return Error{Errc::io_error, "cannot list " + path.string() + ": " + ec.message()};
+    }
+    return hash_dir_document(std::move(entries));
+  }
+
+  return Error{Errc::invalid_argument, "unsupported file type: " + path.string()};
+}
+
+}  // namespace vine

@@ -1,0 +1,44 @@
+// Merkle-tree directory hashing (paper §3.2, Figure 7).
+//
+// Each plain file is hashed with MD5. Each directory is rendered as a small
+// "document" listing its entries — name, kind, size, and the entry's own
+// cache name (recursively computed) — and that document is hashed to produce
+// the directory's cache name. Two directory trees with identical contents
+// therefore get identical names regardless of where or when they were
+// created, which is what makes worker-lifetime caching safe across
+// workflows and managers.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vine {
+
+/// One entry in an abstract directory listing, decoupled from the real
+/// filesystem so the simulator and tests can hash synthetic trees.
+struct DirDocEntry {
+  enum class Kind { file, directory, symlink };
+  Kind kind = Kind::file;
+  std::string name;       ///< entry name within the directory
+  std::int64_t size = 0;  ///< byte size (0 for directories)
+  std::string hash;       ///< the entry's own cache name (hex)
+};
+
+/// Render the canonical directory document that gets hashed. Entries are
+/// sorted by name so the document is order-independent. Exposed for tests
+/// and for the simulator's synthetic trees.
+std::string render_dir_document(std::vector<DirDocEntry> entries);
+
+/// Hash of a directory document (MD5 of render_dir_document).
+std::string hash_dir_document(std::vector<DirDocEntry> entries);
+
+/// Recursively compute the Merkle cache name of a real path: MD5 of the file
+/// content for plain files, hash_dir_document over recursively-hashed
+/// children for directories. Symlinks are hashed by their target string.
+Result<std::string> merkle_hash_path(const std::filesystem::path& path);
+
+}  // namespace vine

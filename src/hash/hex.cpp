@@ -1,0 +1,38 @@
+#include "hash/hex.hpp"
+
+namespace vine {
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+  return out;
+}
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_digit(hex[i]);
+    int lo = hex_digit(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace vine

@@ -1,0 +1,19 @@
+// Hex encoding/decoding for digests and wire payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vine {
+
+/// Lowercase hex encoding of a byte span.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decode lowercase/uppercase hex; nullopt on odd length or bad digit.
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex);
+
+}  // namespace vine

@@ -1,0 +1,48 @@
+// MD5 implemented from scratch (RFC 1321). TaskVine uses MD5 to derive
+// content-addressable cache names for files (paper §3.2). MD5 is used here
+// for *naming*, matching the paper, not for security.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace vine {
+
+/// Incremental MD5 hasher.
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Md5() { reset(); }
+
+  /// Reset to the initial state so the object can be reused.
+  void reset();
+
+  /// Absorb more input bytes.
+  void update(std::span<const std::byte> data);
+  void update(std::string_view data) {
+    update(std::as_bytes(std::span(data.data(), data.size())));
+  }
+
+  /// Finish and return the 16-byte digest. The hasher must be reset()
+  /// before further use.
+  Digest finish();
+
+  /// One-shot convenience: MD5 of a buffer as lowercase hex.
+  static std::string hex(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace vine

@@ -1,0 +1,130 @@
+#include "hash/sha1.hpp"
+
+#include <cstring>
+
+#include "hash/hex.hpp"
+
+namespace vine {
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int c) { return (x << c) | (x >> (32 - c)); }
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  state_[4] = 0xc3d2e1f0;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::byte> data) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t n = data.size();
+  total_bytes_ += n;
+
+  if (buffered_ > 0) {
+    std::size_t take = std::min(n, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (n >= sizeof(buffer_)) {
+    process_block(p);
+    p += sizeof(buffer_);
+    n -= sizeof(buffer_);
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  std::uint64_t bit_len = total_bytes_ * 8;
+
+  std::uint8_t pad[72] = {0x80};
+  std::size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(std::as_bytes(std::span(pad, pad_len)));
+
+  std::memset(buffer_ + 56, 0, 8);
+  store_be32(buffer_ + 56, static_cast<std::uint32_t>(bit_len >> 32));
+  store_be32(buffer_ + 60, static_cast<std::uint32_t>(bit_len));
+  process_block(buffer_);
+  buffered_ = 0;
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) store_be32(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+std::string Sha1::hex(std::string_view data) {
+  Sha1 h;
+  h.update(data);
+  auto d = h.finish();
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+}  // namespace vine

@@ -1,0 +1,344 @@
+#include "json/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vine::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string Value::get_string(std::string_view key, std::string def) const {
+  const Value* v = find(key);
+  return (v && v->is_string()) ? v->as_string() : std::move(def);
+}
+
+std::int64_t Value::get_int(std::string_view key, std::int64_t def) const {
+  const Value* v = find(key);
+  return (v && v->is_number()) ? v->as_int() : def;
+}
+
+double Value::get_double(std::string_view key, double def) const {
+  const Value* v = find(key);
+  return (v && v->is_number()) ? v->as_double() : def;
+}
+
+bool Value::get_bool(std::string_view key, bool def) const {
+  const Value* v = find(key);
+  return (v && v->is_bool()) ? v->as_bool() : def;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&] {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * depth), ' ');
+    }
+  };
+
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(std::get<std::int64_t>(v_));
+  } else if (is_double()) {
+    double d = std::get<double>(v_);
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no inf/nan
+    }
+  } else if (is_string()) {
+    out += escape(as_string());
+  } else if (is_array()) {
+    const auto& arr = as_array();
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out += ',';
+      if (indent > 0) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+      }
+      arr[i].dump_to(out, indent, depth + 1);
+    }
+    if (!arr.empty()) newline();
+    out += ']';
+  } else {
+    const auto& obj = as_object();
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out += ',';
+      first = false;
+      if (indent > 0) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+      }
+      out += escape(k);
+      out += ':';
+      if (indent > 0) out += ' ';
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (!obj.empty()) newline();
+    out += '}';
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, 0, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  dump_to(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Result<Value> parse_document() {
+    skip_ws();
+    VINE_TRY(Value v, parse_value(0));
+    skip_ws();
+    if (pos_ != s_.size()) {
+      return err("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Error err(std::string msg) const {
+    return Error{Errc::parse_error,
+                 msg + " at offset " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value(int depth) {
+    if (depth > kMaxDepth) return err("nesting too deep");
+    if (pos_ >= s_.size()) return err("unexpected end of input");
+    char c = s_[pos_];
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        VINE_TRY(std::string str, parse_string());
+        return Value(std::move(str));
+      }
+      case 't':
+        if (s_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Value(true);
+        }
+        return err("invalid literal");
+      case 'f':
+        if (s_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Value(false);
+        }
+        return err("invalid literal");
+      case 'n':
+        if (s_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Value(nullptr);
+        }
+        return err("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Value> parse_object(int depth) {
+    consume('{');
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return err("expected object key");
+      VINE_TRY(std::string key, parse_string());
+      skip_ws();
+      if (!consume(':')) return err("expected ':' after key");
+      skip_ws();
+      VINE_TRY(Value v, parse_value(depth + 1));
+      obj.insert_or_assign(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(obj));
+      return err("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> parse_array(int depth) {
+    consume('[');
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      skip_ws();
+      VINE_TRY(Value v, parse_value(depth + 1));
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(arr));
+      return err("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    consume('"');
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return err("dangling escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return err("truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return err("bad hex digit in \\u escape");
+            }
+            // Encode the code point as UTF-8 (surrogate pairs are passed
+            // through as two 3-byte sequences; adequate for protocol use).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xc0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default:
+            return err("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return err("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<Value> parse_number() {
+    std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    bool is_double = false;
+    if (consume('.')) {
+      is_double = true;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ == start) return err("expected a value");
+    std::string tok(s_.substr(start, pos_ - start));
+    if (tok == "-") return err("lone minus sign");
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') {
+        return Value(static_cast<std::int64_t>(v));
+      }
+      // fall through to double on overflow
+    }
+    try {
+      return Value(std::stod(tok));
+    } catch (...) {
+      return err("malformed number");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace vine::json

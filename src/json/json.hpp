@@ -1,0 +1,102 @@
+// Minimal JSON implementation used for the manager-worker protocol payloads
+// and the serverless Library protocol (init + invocation messages, paper
+// §3.4). Self-contained: no external dependencies.
+//
+// Integers and doubles are kept distinct so ids and byte counts round-trip
+// exactly. Objects preserve no insertion order; keys are kept sorted, which
+// also makes serialized messages canonical (handy for hashing and tests).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vine::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value, std::less<>>;
+
+/// A JSON value: null, bool, int64, double, string, array, or object.
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}          // NOLINT
+  Value(bool b) : v_(b) {}                        // NOLINT
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(std::int64_t i) : v_(i) {}                // NOLINT
+  Value(std::uint64_t i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : v_(d) {}                      // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}      // NOLINT
+  Value(std::string_view s) : v_(std::string(s)) {}  // NOLINT
+  Value(Array a) : v_(std::move(a)) {}            // NOLINT
+  Value(Object o) : v_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; undefined behaviour when the type does not match
+  /// (use the is_* predicates or the get_* lookups below first).
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const {
+    return is_double() ? static_cast<std::int64_t>(std::get<double>(v_))
+                       : std::get<std::int64_t>(v_);
+  }
+  double as_double() const {
+    return is_int() ? static_cast<double>(std::get<std::int64_t>(v_))
+                    : std::get<double>(v_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object field access; creates the field (object must hold Object).
+  Value& operator[](const std::string& key) { return as_object()[key]; }
+
+  /// Lookup a field; nullptr when absent or when this is not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Convenience typed lookups with defaults; missing/mistyped -> default.
+  std::string get_string(std::string_view key, std::string def = "") const;
+  std::int64_t get_int(std::string_view key, std::int64_t def = 0) const;
+  double get_double(std::string_view key, double def = 0) const;
+  bool get_bool(std::string_view key, bool def = false) const;
+
+  /// Serialize compactly (no whitespace). Keys are emitted sorted.
+  std::string dump() const;
+
+  /// Serialize with 2-space indentation for human consumption.
+  std::string dump_pretty() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+/// Parse a complete JSON document. Trailing garbage is an error.
+Result<Value> parse(std::string_view text);
+
+/// Escape a string into a JSON string literal including quotes.
+std::string escape(std::string_view s);
+
+}  // namespace vine::json

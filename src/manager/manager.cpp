@@ -1,0 +1,960 @@
+#include "manager/manager.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "archive/vpak.hpp"
+#include "common/log.hpp"
+#include "common/uuid.hpp"
+#include "files/naming.hpp"
+#include "fsutil/fsutil.hpp"
+#include "net/channel.hpp"
+#include "net/tcp.hpp"
+#include "task/task_hash.hpp"
+
+namespace vine {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+Manager::Manager(ManagerConfig config)
+    : config_(std::move(config)), scheduler_(config_.sched, config_.seed) {
+  if (!config_.fetcher) config_.fetcher = std::make_shared<FileUrlFetcher>();
+}
+
+Manager::~Manager() { shutdown(); }
+
+Status Manager::start() {
+  if (config_.listen.empty()) {
+    VINE_TRY(listener_, ChannelFabric::instance().listen(
+                            "mgr-" + config_.name + "-" + generate_token(6)));
+  } else if (config_.listen == "tcp") {
+    VINE_TRY(listener_, tcp_listen(0));
+  } else if (config_.listen.rfind("chan:", 0) == 0) {
+    VINE_TRY(listener_, ChannelFabric::instance().listen(config_.listen.substr(5)));
+  } else {
+    return Error{Errc::invalid_argument, "bad listen spec: " + config_.listen};
+  }
+  address_ = listener_->address();
+  acceptor_ = std::thread([this] { accept_loop(); });
+  VINE_LOG_INFO("manager", "%s listening on %s", config_.name.c_str(),
+                address_.c_str());
+  return Status::success();
+}
+
+void Manager::accept_loop() {
+  while (!stopping_.load()) {
+    auto ep = listener_->accept(200ms);
+    if (!ep.ok()) {
+      if (ep.error().code == Errc::timeout) continue;
+      return;
+    }
+    std::lock_guard lock(conn_mutex_);
+    std::string conn_id = "c" + std::to_string(next_conn_++);
+    auto conn = std::make_unique<Connection>();
+    conn->conn_id = conn_id;
+    conn->endpoint = std::shared_ptr<Endpoint>(std::move(*ep));
+    conn->reader = std::thread(
+        [this, conn_id, ep2 = conn->endpoint] { reader_loop(conn_id, ep2); });
+    connections_.emplace(conn_id, std::move(conn));
+  }
+}
+
+void Manager::reader_loop(const std::string& conn_id, std::shared_ptr<Endpoint> ep) {
+  while (!stopping_.load()) {
+    auto frame = ep->recv(200ms);
+    if (!frame.ok()) {
+      if (frame.error().code == Errc::timeout) continue;
+      inbox_.push(Event{conn_id, {}, true});
+      return;
+    }
+    inbox_.push(Event{conn_id, std::move(*frame), false});
+  }
+}
+
+// ------------------------------------------------------------ declarations
+
+FileRef Manager::register_file(std::shared_ptr<FileDecl> decl) {
+  decl->id = next_file_id_++;
+  if (!decl->cache_name.empty()) {
+    level_of_[decl->cache_name] = decl->cache;
+  }
+  FileRef ref = decl;
+  files_.emplace(decl->id, std::move(decl));
+  return ref;
+}
+
+Result<FileRef> Manager::declare_local(const std::string& path, CacheLevel level) {
+  auto decl = std::make_shared<FileDecl>();
+  decl->kind = FileKind::local;
+  decl->cache = level;
+  decl->local_path = path;
+  VINE_TRY(decl->cache_name, local_file_cache_name(path));
+  auto size = tree_size(path);
+  decl->size_hint = size.ok() ? *size : -1;
+  return register_file(std::move(decl));
+}
+
+FileRef Manager::declare_buffer(std::string content, CacheLevel level) {
+  auto decl = std::make_shared<FileDecl>();
+  decl->kind = FileKind::buffer;
+  decl->cache = level;
+  decl->cache_name = buffer_cache_name(content);
+  decl->size_hint = static_cast<std::int64_t>(content.size());
+  decl->buffer = std::move(content);
+  return register_file(std::move(decl));
+}
+
+Result<FileRef> Manager::declare_url(const std::string& url, CacheLevel level) {
+  auto decl = std::make_shared<FileDecl>();
+  decl->kind = FileKind::url;
+  decl->cache = level;
+  decl->url = url;
+  VINE_TRY(decl->cache_name, url_cache_name(url, *config_.fetcher));
+  auto meta = config_.fetcher->head(url);
+  decl->size_hint = meta.ok() ? meta->size : -1;
+  return register_file(std::move(decl));
+}
+
+FileRef Manager::declare_temp() {
+  auto decl = std::make_shared<FileDecl>();
+  decl->kind = FileKind::temp;
+  decl->cache = CacheLevel::workflow;
+  // Named at submit() from the producing task's hash (paper §3.2).
+  return register_file(std::move(decl));
+}
+
+Result<FileRef> Manager::declare_mini_task(TaskSpec mini,
+                                           const std::string& output_name,
+                                           CacheLevel level) {
+  if (mini.kind != TaskKind::mini) mini.kind = TaskKind::mini;
+  for (const auto& in : mini.inputs) {
+    if (!in.file || in.file->cache_name.empty()) {
+      return Error{Errc::invalid_argument,
+                   "mini-task inputs must be declared files with names"};
+    }
+  }
+  std::string hash = task_spec_hash(mini);
+
+  auto decl = std::make_shared<FileDecl>();
+  decl->kind = FileKind::mini_task;
+  decl->cache = level;
+  decl->cache_name = task_output_cache_name(hash, output_name);
+
+  // The mini spec's first output names the produced sandbox path; the
+  // worker adopts it under this decl's cache name.
+  auto spec = std::make_shared<TaskSpec>(std::move(mini));
+  spec->outputs.clear();
+  spec->outputs.push_back({decl, output_name});
+  decl->mini_task = spec;
+  return register_file(std::move(decl));
+}
+
+Result<FileRef> Manager::declare_unpack(const FileRef& archive, CacheLevel level) {
+  if (!archive || archive->cache_name.empty()) {
+    return Error{Errc::invalid_argument, "declare_unpack needs a declared file"};
+  }
+  TaskSpec mini;
+  mini.kind = TaskKind::mini;
+  mini.function_name = "vine.unpack";
+  mini.function_args = R"({"archive":"input.vpak","out":"unpacked"})";
+  mini.inputs.push_back({archive, "input.vpak"});
+  return declare_mini_task(std::move(mini), "unpacked", level);
+}
+
+// ------------------------------------------------------------ tasks
+
+Result<TaskId> Manager::submit(TaskSpec spec) {
+  spec.id = next_task_id_++;
+  if (spec.max_attempts < 1) spec.max_attempts = 1;
+
+  for (const auto& in : spec.inputs) {
+    if (!in.file) {
+      return Error{Errc::invalid_argument, "task input has no declared file"};
+    }
+    if (in.file->cache_name.empty()) {
+      return Error{Errc::invalid_argument,
+                   "task input " + in.sandbox_name +
+                       " is an unnamed temp not yet produced by any task"};
+    }
+  }
+
+  // Name temp outputs from the producing task's hash (paper §3.2).
+  std::string hash;
+  for (auto& out : spec.outputs) {
+    if (!out.file) {
+      return Error{Errc::invalid_argument, "task output has no declared file"};
+    }
+    if (out.file->cache_name.empty()) {
+      if (hash.empty()) hash = task_spec_hash(spec);
+      auto it = files_.find(out.file->id);
+      if (it == files_.end()) {
+        return Error{Errc::invalid_argument, "output file not declared here"};
+      }
+      it->second->cache_name = task_output_cache_name(hash, out.sandbox_name);
+      it->second->producer_task = spec.id;
+      level_of_[it->second->cache_name] = it->second->cache;
+    }
+  }
+
+  TaskRuntime rt;
+  rt.spec = std::move(spec);
+  rt.report.id = rt.spec.id;
+  rt.report.submitted_at = clock_.now();
+  TaskId id = rt.spec.id;
+  tasks_.emplace(id, std::move(rt));
+  return id;
+}
+
+Result<TaskReport> Manager::wait(std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (!completed_.empty()) {
+      TaskReport r = std::move(completed_.front());
+      completed_.pop_front();
+      return r;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Error{Errc::timeout, "no task completed in time"};
+    }
+    pump(20ms);
+  }
+}
+
+bool Manager::idle() const { return outstanding() == 0; }
+
+std::size_t Manager::outstanding() const {
+  std::size_t n = 0;
+  for (const auto& [_, t] : tasks_) {
+    if (t.is_library) continue;
+    if (t.state != TaskState::done && t.state != TaskState::failed) ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------ serverless
+
+Status Manager::install_library(const std::string& library_name,
+                                Resources per_instance, std::vector<Mount> inputs) {
+  for (const auto& in : inputs) {
+    if (!in.file || in.file->cache_name.empty()) {
+      return Error{Errc::invalid_argument, "library inputs must be declared files"};
+    }
+  }
+  LibraryDef def{library_name, per_instance, std::move(inputs)};
+  for (const auto& [worker_id, _] : workers_) {
+    install_library_on(def, worker_id);
+  }
+  libraries_.push_back(std::move(def));
+  return Status::success();
+}
+
+void Manager::install_library_on(const LibraryDef& def, const WorkerId& worker) {
+  TaskSpec spec;
+  spec.id = next_task_id_++;
+  spec.kind = TaskKind::library;
+  spec.library_name = def.name;
+  spec.inputs = def.inputs;
+  spec.resources = def.per_instance;
+  spec.pinned_worker = worker;
+
+  TaskRuntime rt;
+  rt.spec = std::move(spec);
+  rt.is_library = true;
+  rt.report.id = rt.spec.id;
+  rt.report.submitted_at = clock_.now();
+  tasks_.emplace(rt.spec.id, std::move(rt));
+}
+
+TaskSpec Manager::function_call(const std::string& library,
+                                const std::string& function, std::string args,
+                                Resources resources) {
+  TaskSpec spec;
+  spec.kind = TaskKind::function_call;
+  spec.library_name = library;
+  spec.function_name = function;
+  spec.function_args = std::move(args);
+  spec.resources = resources;
+  return spec;
+}
+
+int Manager::library_instances(const std::string& library_name) const {
+  int n = 0;
+  for (const auto& [_, w] : workers_) n += w.snap.libraries.count(library_name);
+  return n;
+}
+
+// ------------------------------------------------------------ data access
+
+Result<std::string> Manager::fetch_file(const FileRef& file,
+                                        std::chrono::milliseconds timeout) {
+  if (!file) return Error{Errc::invalid_argument, "null file"};
+  if (file->kind == FileKind::buffer) return file->buffer;
+  if (file->kind == FileKind::local) {
+    std::error_code ec;
+    if (fs::is_directory(file->local_path, ec)) {
+      TempDir tmp("vine-mgr-pack");
+      auto ar = tmp.path() / "dir.vpak";
+      VINE_TRY_STATUS(vpak_pack_tree(file->local_path, ar));
+      return read_file(ar);
+    }
+    return read_file(file->local_path);
+  }
+
+  const std::string& name = file->cache_name;
+  if (name.empty()) {
+    return Error{Errc::invalid_argument, "file has no cache name yet"};
+  }
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+
+  // Find (or wait for) a worker holding a present replica.
+  WorkerId holder;
+  while (true) {
+    auto holders = replicas_.workers_with(name);
+    if (!holders.empty()) {
+      holder = holders.front();
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Error{Errc::timeout, "no replica of " + name + " appeared"};
+    }
+    pump(20ms);
+  }
+
+  std::string request_id = generate_uuid();
+  send_to_worker(holder, proto::SendFileMsg{request_id, name});
+
+  // Wait for the reply header, then its blob.
+  while (!file_replies_.count(request_id)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Error{Errc::timeout, "send_file reply timed out"};
+    }
+    pump(20ms);
+  }
+  proto::FileDataMsg reply = std::move(file_replies_[request_id]);
+  file_replies_.erase(request_id);
+  if (!reply.ok) {
+    return Error{Errc::not_found, "worker could not send " + name + ": " + reply.error};
+  }
+  while (!blob_stash_.count(name)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Error{Errc::timeout, "send_file blob timed out"};
+    }
+    pump(20ms);
+  }
+  std::string data = std::move(blob_stash_[name]);
+  blob_stash_.erase(name);
+  return data;
+}
+
+// ------------------------------------------------------------ cluster
+
+Status Manager::wait_for_workers(int count, std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (worker_count() < count) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Error{Errc::timeout,
+                   "only " + std::to_string(worker_count()) + " of " +
+                       std::to_string(count) + " workers joined"};
+    }
+    pump(20ms);
+  }
+  return Status::success();
+}
+
+std::vector<WorkerSnapshot> Manager::workers_snapshot() const {
+  std::vector<WorkerSnapshot> out;
+  out.reserve(workers_.size());
+  for (const auto& [_, w] : workers_) out.push_back(w.snap);
+  return out;
+}
+
+void Manager::end_workflow() {
+  for (const auto& [worker_id, _] : workers_) {
+    send_to_worker(worker_id, proto::EndWorkflowMsg{});
+  }
+  // Drop replica records for everything below worker lifetime, and forget
+  // library deployments (instances were just stopped).
+  for (const auto& [name, level] : level_of_) {
+    if (level != CacheLevel::worker) replicas_.remove_file(name);
+  }
+  for (auto& [_, w] : workers_) w.snap.libraries.clear();
+}
+
+void Manager::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+
+  for (const auto& [worker_id, w] : workers_) {
+    (void)w.endpoint->send_json(proto::encode(proto::AnyMessage(proto::ShutdownMsg{})));
+  }
+  if (listener_) listener_->close();
+  if (acceptor_.joinable()) acceptor_.join();
+  inbox_.close();
+
+  std::lock_guard lock(conn_mutex_);
+  for (auto& [_, conn] : connections_) {
+    conn->endpoint->close();
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  connections_.clear();
+}
+
+// ------------------------------------------------------------ pumping
+
+void Manager::pump(std::chrono::milliseconds timeout) {
+  auto ev = inbox_.pop(timeout);
+  while (ev) {
+    handle_event(std::move(*ev));
+    ev = inbox_.try_pop();
+  }
+  schedule_pass();
+  if (!replication_goals_.empty()) process_replication_requests();
+}
+
+void Manager::handle_event(Event ev) {
+  if (ev.closed) {
+    handle_worker_lost(ev.conn_id);
+    return;
+  }
+  if (ev.frame.kind == Frame::Kind::blob) {
+    blob_stash_[ev.frame.tag] = std::move(ev.frame.data);
+    return;
+  }
+  auto msg = proto::decode(ev.frame.msg);
+  if (!msg.ok()) {
+    VINE_LOG_WARN("manager", "bad message from %s: %s", ev.conn_id.c_str(),
+                  msg.error().message.c_str());
+    return;
+  }
+
+  // Resolve the sending worker (if identified).
+  WorkerId worker;
+  {
+    std::lock_guard lock(conn_mutex_);
+    auto it = connections_.find(ev.conn_id);
+    if (it != connections_.end()) worker = it->second->worker_id;
+  }
+
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::HelloMsg>) {
+          handle_hello(ev.conn_id, m);
+        } else if constexpr (std::is_same_v<T, proto::CacheUpdateMsg>) {
+          if (!worker.empty()) handle_cache_update(worker, m);
+        } else if constexpr (std::is_same_v<T, proto::TaskDoneMsg>) {
+          if (!worker.empty()) handle_task_done(worker, m);
+        } else if constexpr (std::is_same_v<T, proto::LibraryReadyMsg>) {
+          if (!worker.empty()) handle_library_ready(worker, m);
+        } else if constexpr (std::is_same_v<T, proto::FileDataMsg>) {
+          file_replies_[m.request_id] = m;
+        } else {
+          VINE_LOG_WARN("manager", "unexpected message type from %s",
+                        ev.conn_id.c_str());
+        }
+      },
+      *msg);
+}
+
+void Manager::handle_hello(const std::string& conn_id, const proto::HelloMsg& msg) {
+  std::shared_ptr<Endpoint> ep;
+  {
+    std::lock_guard lock(conn_mutex_);
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return;
+    it->second->worker_id = msg.worker_id;
+    ep = it->second->endpoint;
+  }
+
+  WorkerState ws;
+  ws.snap.id = msg.worker_id;
+  ws.snap.addr = conn_id;
+  ws.snap.transfer_addr = msg.transfer_addr;
+  ws.snap.total = msg.resources;
+  ws.endpoint = std::move(ep);
+  workers_[msg.worker_id] = std::move(ws);
+
+  // The worker's persistent cache becomes visible replicas immediately —
+  // this is what makes hot-cache runs skip staging (Figure 9b).
+  for (const auto& obj : msg.cached) {
+    replicas_.set_replica(obj.cache_name, msg.worker_id, ReplicaState::present,
+                          obj.size);
+  }
+
+  // Deploy any installed libraries to the newcomer.
+  for (const auto& def : libraries_) {
+    install_library_on(def, msg.worker_id);
+  }
+
+  VINE_LOG_INFO("manager", "worker %s joined (%s, %zu cached)",
+                msg.worker_id.c_str(), msg.resources.to_string().c_str(),
+                msg.cached.size());
+}
+
+void Manager::handle_cache_update(const WorkerId& worker,
+                                  const proto::CacheUpdateMsg& msg) {
+  std::optional<TransferRecord> rec;
+  if (!msg.transfer_id.empty()) rec = transfers_.finish(msg.transfer_id);
+
+  if (msg.ok) {
+    replicas_.set_replica(msg.cache_name, worker, ReplicaState::present, msg.size);
+  } else {
+    replicas_.remove_replica(msg.cache_name, worker);
+    VINE_LOG_WARN("manager", "transfer of %s to %s failed: %s",
+                  msg.cache_name.c_str(), worker.c_str(), msg.error.c_str());
+  }
+
+  if (rec && msg.ok) {
+    std::int64_t bytes = std::max<std::int64_t>(msg.size, 0);
+    switch (rec->source.kind) {
+      case TransferSource::Kind::manager:
+        ++stats_.transfers_from_manager;
+        stats_.bytes_from_manager += bytes;
+        break;
+      case TransferSource::Kind::url:
+        ++stats_.transfers_from_url;
+        stats_.bytes_from_url += bytes;
+        break;
+      case TransferSource::Kind::worker:
+        if (rec->source.key == worker) {
+          ++stats_.mini_tasks_run;  // materialized in place by a mini-task
+        } else {
+          ++stats_.transfers_from_peers;
+          stats_.bytes_from_peers += bytes;
+        }
+        break;
+    }
+  }
+}
+
+void Manager::release_task_resources(TaskRuntime& task) {
+  if (!task.resources_committed) return;
+  auto it = workers_.find(task.worker);
+  if (it != workers_.end()) {
+    it->second.snap.committed -= task.spec.resources;
+    it->second.snap.running_tasks -= 1;
+    VINE_LOG_DEBUG("manager", "release task %llu on %s -> committed %s",
+                   static_cast<unsigned long long>(task.spec.id),
+                   task.worker.c_str(),
+                   it->second.snap.committed.to_string().c_str());
+  }
+  task.resources_committed = false;
+}
+
+void Manager::finish_task(TaskRuntime& task, TaskReport report) {
+  task.state = report.state;
+  task.report = report;
+  if (report.state == TaskState::done) ++stats_.tasks_done;
+  else ++stats_.tasks_failed;
+  // Re-runs triggered by lost-temp recovery already reported once; the
+  // application must not see a second completion.
+  if (!task.is_library && !task.report_delivered) {
+    completed_.push_back(std::move(report));
+  }
+  task.report_delivered = true;
+}
+
+void Manager::handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg& msg) {
+  auto it = tasks_.find(msg.task_id);
+  if (it == tasks_.end()) return;
+  TaskRuntime& task = it->second;
+  VINE_LOG_DEBUG("manager", "task %llu done on %s ok=%d rex=%d err=%s",
+                 static_cast<unsigned long long>(msg.task_id), worker.c_str(),
+                 msg.ok, msg.resource_exceeded, msg.error.c_str());
+  release_task_resources(task);
+
+  // Outputs were announced via cache_update already; make sure the table
+  // has them even if messages raced.
+  for (const auto& out : msg.outputs) {
+    replicas_.set_replica(out.cache_name, worker, ReplicaState::present, out.size);
+  }
+
+  if (msg.ok) {
+    TaskReport report = task.report;
+    report.state = TaskState::done;
+    report.exit_code = msg.exit_code;
+    report.output = msg.output;
+    report.worker_id = worker;
+    report.attempts = task.attempts + 1;
+    report.started_at = msg.started_at;
+    report.finished_at = msg.finished_at;
+    finish_task(task, std::move(report));
+
+    // Task-lifetime inputs are dead now; reclaim worker storage.
+    if (config_.unlink_task_level_inputs) {
+      for (const auto& in : task.spec.inputs) {
+        if (in.file && in.file->cache == CacheLevel::task) {
+          send_to_worker(worker, proto::UnlinkMsg{in.file->cache_name});
+          replicas_.remove_replica(in.file->cache_name, worker);
+        }
+      }
+    }
+    task.worker.clear();
+    return;
+  }
+
+  // Failure path: maybe grow the allocation, maybe retry, maybe give up.
+  ++task.attempts;
+  if (msg.resource_exceeded) {
+    auto wit = workers_.find(worker);
+    Resources cap = wit != workers_.end() ? wit->second.snap.total
+                                          : task.spec.resources.grown(task.spec.resources);
+    task.spec.resources = task.spec.resources.grown(cap);
+  }
+  task.worker.clear();
+  if (task.attempts < task.spec.max_attempts) {
+    task.state = TaskState::ready;
+    return;
+  }
+  TaskReport report = task.report;
+  report.state = TaskState::failed;
+  report.exit_code = msg.exit_code;
+  report.error_message = msg.error;
+  report.worker_id = worker;
+  report.attempts = task.attempts;
+  finish_task(task, std::move(report));
+}
+
+void Manager::handle_library_ready(const WorkerId& worker,
+                                   const proto::LibraryReadyMsg& msg) {
+  auto wit = workers_.find(worker);
+  if (wit != workers_.end()) {
+    wit->second.snap.libraries.insert(msg.library_name);
+  }
+  auto tit = tasks_.find(msg.task_id);
+  if (tit != tasks_.end()) {
+    // The LibraryTask runs for the rest of the workflow; mark it done for
+    // bookkeeping but keep its resources committed on the worker.
+    tit->second.state = TaskState::done;
+  }
+  VINE_LOG_INFO("manager", "library %s ready on %s", msg.library_name.c_str(),
+                worker.c_str());
+}
+
+void Manager::handle_worker_lost(const std::string& conn_id) {
+  WorkerId worker;
+  {
+    std::lock_guard lock(conn_mutex_);
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return;
+    worker = it->second->worker_id;
+    it->second->endpoint->close();
+    if (it->second->reader.joinable()) it->second->reader.join();
+    connections_.erase(it);
+  }
+  if (worker.empty()) return;  // never said hello
+
+  VINE_LOG_WARN("manager", "worker %s disconnected", worker.c_str());
+  replicas_.remove_worker(worker);
+  transfers_.remove_worker(worker);
+  workers_.erase(worker);
+
+  // Requeue everything that was staged or running there.
+  for (auto& [_, task] : tasks_) {
+    if (task.worker == worker &&
+        (task.state == TaskState::ready || task.state == TaskState::dispatched ||
+         task.state == TaskState::running)) {
+      task.resources_committed = false;  // its worker is gone
+      task.worker.clear();
+      task.state = TaskState::ready;
+    }
+  }
+
+  // Temp files whose only replica died: re-run their producers so waiting
+  // consumers are not stranded.
+  for (auto& [_, task] : tasks_) {
+    if (task.state == TaskState::done || task.state == TaskState::failed ||
+        task.is_library) {
+      continue;
+    }
+    for (const auto& in : task.spec.inputs) {
+      if (in.file && in.file->kind == FileKind::temp &&
+          replicas_.present_count(in.file->cache_name) == 0) {
+        recover_lost_file(in.file);
+      }
+    }
+  }
+}
+
+void Manager::recover_lost_file(const FileRef& file) {
+  if (!file || file->kind != FileKind::temp || file->producer_task == 0) return;
+  if (replicas_.present_count(file->cache_name) > 0) return;
+  auto it = tasks_.find(file->producer_task);
+  if (it == tasks_.end()) return;
+  TaskRuntime& producer = it->second;
+  if (producer.state != TaskState::done) return;  // running or already reset
+
+  VINE_LOG_WARN("manager", "temp %s lost with its last replica; re-running task %llu",
+                file->cache_name.c_str(),
+                static_cast<unsigned long long>(producer.spec.id));
+  producer.state = TaskState::ready;
+  producer.worker.clear();
+  // The producer's own temp inputs may also have died; recurse.
+  for (const auto& in : producer.spec.inputs) {
+    if (in.file && in.file->kind == FileKind::temp &&
+        replicas_.present_count(in.file->cache_name) == 0) {
+      recover_lost_file(in.file);
+    }
+  }
+}
+
+Status Manager::replicate_file(const FileRef& file, int copies) {
+  if (!file) return Error{Errc::invalid_argument, "null file"};
+  if (file->cache_name.empty()) {
+    return Error{Errc::invalid_argument, "file has no cache name yet"};
+  }
+  if (copies < 1) return Error{Errc::invalid_argument, "copies must be >= 1"};
+  replication_goals_[file->id] = copies;
+  return Status::success();
+}
+
+void Manager::process_replication_requests() {
+  for (auto it = replication_goals_.begin(); it != replication_goals_.end();) {
+    auto fit = files_.find(it->first);
+    if (fit == files_.end()) {
+      it = replication_goals_.erase(it);
+      continue;
+    }
+    const FileRef file = fit->second;
+    int want = it->second;
+    int have = replicas_.present_count(file->cache_name);
+    // Count pending materializations toward the goal to avoid re-issuing.
+    int pending = 0;
+    for (const auto& [worker_id, _] : workers_) {
+      auto rep = replicas_.find(file->cache_name, worker_id);
+      if (rep && rep->state == ReplicaState::pending) ++pending;
+    }
+    if (have >= want) {
+      it = replication_goals_.erase(it);
+      continue;
+    }
+    int missing = want - have - pending;
+    for (const auto& [worker_id, _] : workers_) {
+      if (missing <= 0) break;
+      if (replicas_.find(file->cache_name, worker_id)) continue;
+      // ensure_file_at issues at most one instruction per call.
+      ensure_file_at(file, worker_id);
+      --missing;
+    }
+    ++it;
+  }
+}
+
+// ------------------------------------------------------------ scheduling
+
+void Manager::send_to_worker(const WorkerId& worker, const proto::AnyMessage& msg) {
+  auto it = workers_.find(worker);
+  if (it == workers_.end()) return;
+  auto st = it->second.endpoint->send_json(proto::encode(msg));
+  if (!st.ok()) {
+    VINE_LOG_WARN("manager", "send to %s failed: %s", worker.c_str(),
+                  st.error().message.c_str());
+  }
+}
+
+bool Manager::ensure_file_at(const FileRef& file, const WorkerId& worker) {
+  const std::string& name = file->cache_name;
+  if (replicas_.has_present(name, worker)) return true;
+  auto pending = replicas_.find(name, worker);
+  if (pending && pending->state == ReplicaState::pending) return false;
+
+  // Materialization must be scheduled. Mini-task files first need their own
+  // inputs at the worker.
+  if (file->kind == FileKind::mini_task) {
+    bool deps_ready = true;
+    for (const auto& in : file->mini_task->inputs) {
+      deps_ready &= ensure_file_at(in.file, worker);
+    }
+    if (!deps_ready) return false;
+    // Mini-tasks occupy the destination worker itself; account the "source"
+    // as that worker so its in-flight budget reflects the staging work.
+    auto self = TransferSource::from_worker(worker);
+    if (config_.sched.worker_source_limit > 0 &&
+        transfers_.inflight_from(self) >= config_.sched.worker_source_limit) {
+      return false;
+    }
+    std::string uuid = transfers_.begin(name, worker, self, clock_.now());
+    replicas_.set_replica(name, worker, ReplicaState::pending);
+    proto::MiniTaskMsg msg;
+    msg.transfer_id = uuid;
+    msg.cache_name = name;
+    msg.level = file->cache;
+    msg.task = proto::to_wire(*file->mini_task);
+    send_to_worker(worker, msg);
+    return false;
+  }
+
+  // Determine the fixed source for this file kind.
+  TransferSource fixed;
+  switch (file->kind) {
+    case FileKind::local:
+    case FileKind::buffer:
+      fixed = TransferSource::from_manager();
+      break;
+    case FileKind::url:
+      fixed = TransferSource::from_url(file->url);
+      break;
+    case FileKind::temp: {
+      // Temps exist only in the cluster: a peer must hold one.
+      auto plan = scheduler_.plan_source(name, TransferSource::from_manager(),
+                                         worker, replicas_, transfers_);
+      if (!plan || plan->kind != TransferSource::Kind::worker) {
+        return false;  // producer not finished or peers saturated; retry
+      }
+      fixed = *plan;
+      break;
+    }
+    default:
+      return false;
+  }
+
+  std::optional<TransferSource> source =
+      (file->kind == FileKind::temp)
+          ? std::optional<TransferSource>(fixed)
+          : scheduler_.plan_source(name, fixed, worker, replicas_, transfers_);
+  if (!source) return false;  // all sources saturated; retry next pass
+
+  std::string uuid = transfers_.begin(name, worker, *source, clock_.now());
+  replicas_.set_replica(name, worker, ReplicaState::pending);
+
+  if (source->kind == TransferSource::Kind::manager) {
+    // Push the bytes ourselves: header then blob.
+    proto::PutMsg msg;
+    msg.transfer_id = uuid;
+    msg.cache_name = name;
+    msg.level = file->cache;
+    std::string payload;
+    if (file->kind == FileKind::buffer) {
+      payload = file->buffer;
+    } else {
+      std::error_code ec;
+      if (fs::is_directory(file->local_path, ec)) {
+        msg.is_dir = true;
+        TempDir tmp("vine-mgr-pack");
+        auto ar = tmp.path() / "dir.vpak";
+        auto pack = vpak_pack_tree(file->local_path, ar);
+        auto bytes = pack.ok() ? read_file(ar) : Result<std::string>(pack.error());
+        if (!bytes.ok()) {
+          VINE_LOG_ERROR("manager", "cannot pack %s: %s",
+                         file->local_path.c_str(),
+                         bytes.error().message.c_str());
+          transfers_.finish(uuid);
+          replicas_.remove_replica(name, worker);
+          return false;
+        }
+        payload = std::move(*bytes);
+      } else {
+        auto bytes = read_file(file->local_path);
+        if (!bytes.ok()) {
+          VINE_LOG_ERROR("manager", "cannot read %s", file->local_path.c_str());
+          transfers_.finish(uuid);
+          replicas_.remove_replica(name, worker);
+          return false;
+        }
+        payload = std::move(*bytes);
+      }
+    }
+    auto it = workers_.find(worker);
+    if (it != workers_.end()) {
+      it->second.endpoint->send_json(proto::encode(proto::AnyMessage(msg)));
+      it->second.endpoint->send_blob(name, std::move(payload));
+    }
+    return false;
+  }
+
+  // URL or peer fetch instruction.
+  proto::FetchMsg msg;
+  msg.transfer_id = uuid;
+  msg.cache_name = name;
+  msg.level = file->cache;
+  msg.source = *source;
+  if (source->kind == TransferSource::Kind::worker) {
+    auto peer = workers_.find(source->key);
+    if (peer != workers_.end()) msg.source_addr = peer->second.snap.transfer_addr;
+  }
+  send_to_worker(worker, msg);
+  return false;
+}
+
+void Manager::dispatch_task(TaskRuntime& task) {
+  VINE_LOG_DEBUG("manager", "dispatch task %llu to %s (%s)",
+                 static_cast<unsigned long long>(task.spec.id),
+                 task.worker.c_str(), task.spec.resources.to_string().c_str());
+  proto::RunTaskMsg msg;
+  msg.task = proto::to_wire(task.spec);
+  send_to_worker(task.worker, msg);
+  task.state = TaskState::dispatched;
+  task.report.dispatched_at = clock_.now();
+}
+
+void Manager::schedule_pass() {
+  // Snapshot list rebuilt each pass; cheap at test scales, and the
+  // simulator (which runs at paper scale) uses its own incremental path.
+  std::vector<WorkerSnapshot> snapshots = workers_snapshot();
+
+  for (auto& [_, task] : tasks_) {
+    if (task.state != TaskState::ready) continue;
+
+    if (task.worker.empty()) {
+      // Gate on producibility: a temp input that no worker holds yet means
+      // the producing task has not finished — assigning a worker now would
+      // pin resources (and could deadlock a full cluster) for nothing.
+      bool producible = true;
+      for (const auto& in : task.spec.inputs) {
+        if (in.file && in.file->kind == FileKind::temp &&
+            replicas_.present_count(in.file->cache_name) == 0) {
+          producible = false;
+          // If the producer already ran, its output has been lost (e.g.
+          // the holding worker died before this consumer was submitted);
+          // schedule the producer to run again.
+          recover_lost_file(in.file);
+          break;
+        }
+      }
+      if (!producible) continue;
+
+      auto pick = scheduler_.pick_worker(task.spec, snapshots, replicas_);
+      if (!pick) {
+        VINE_LOG_DEBUG("manager", "no worker fits task %llu (%s); w0 avail=%s",
+                       static_cast<unsigned long long>(task.spec.id),
+                       task.spec.resources.to_string().c_str(),
+                       snapshots.empty()
+                           ? "-"
+                           : snapshots[0].available().to_string().c_str());
+        continue;
+      }
+      task.worker = *pick;
+      auto wit = workers_.find(task.worker);
+      if (wit != workers_.end()) {
+        wit->second.snap.committed += task.spec.resources;
+        wit->second.snap.running_tasks += 1;
+        task.resources_committed = true;
+        VINE_LOG_DEBUG("manager", "commit task %llu on %s (%s) -> committed %s",
+                       static_cast<unsigned long long>(task.spec.id),
+                       task.worker.c_str(), task.spec.resources.to_string().c_str(),
+                       wit->second.snap.committed.to_string().c_str());
+        // Keep this pass's snapshot list coherent with the commitment.
+        for (auto& s : snapshots) {
+          if (s.id == task.worker) {
+            s.committed = wit->second.snap.committed;
+            s.running_tasks = wit->second.snap.running_tasks;
+          }
+        }
+        for (const auto& in : task.spec.inputs) {
+          if (in.file && replicas_.has_present(in.file->cache_name, task.worker)) {
+            ++stats_.cache_hits;
+          }
+        }
+      }
+    }
+
+    bool all_present = true;
+    for (const auto& in : task.spec.inputs) {
+      all_present &= ensure_file_at(in.file, task.worker);
+    }
+    if (all_present) dispatch_task(task);
+  }
+}
+
+}  // namespace vine

@@ -1,0 +1,288 @@
+// The TaskVine manager (paper §2.2): accepts the workflow definition,
+// names every file, schedules data placement and task execution, tracks
+// replicas and transfers, collects results, and garbage-collects.
+//
+// The manager directs all policy; workers only provide mechanism. Progress
+// happens when the application thread calls wait() (or the other pumping
+// entry points) — the conventional TaskVine model where the manager runs
+// inside the application process.
+//
+// Thread contract: the Manager API must be used from one thread (the
+// application's). Internal reader threads only enqueue events.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "catalog/replica_table.hpp"
+#include "catalog/transfer_table.hpp"
+#include "common/clock.hpp"
+#include "files/file_decl.hpp"
+#include "files/url_fetcher.hpp"
+#include "net/frame.hpp"
+#include "net/msg_queue.hpp"
+#include "proto/messages.hpp"
+#include "sched/scheduler.hpp"
+
+namespace vine {
+
+struct ManagerConfig {
+  std::string name = "vine-manager";
+
+  /// Listen address: "" auto-creates an in-process channel; "tcp" listens
+  /// on a free TCP port; "chan:NAME" uses that channel name.
+  std::string listen;
+
+  SchedulerConfig sched{};
+
+  /// URL access used for cache naming (HEAD requests); workers use their
+  /// own fetcher for the actual downloads. Defaults to file:// support.
+  std::shared_ptr<UrlFetcher> fetcher;
+
+  std::uint64_t seed = 1;
+
+  /// Delete task-lifetime inputs from a worker right after the consuming
+  /// task completes (paper §2.3).
+  bool unlink_task_level_inputs = true;
+};
+
+/// Counters the benches and examples report (who moved which bytes).
+struct ManagerStats {
+  std::int64_t tasks_done = 0;
+  std::int64_t tasks_failed = 0;
+  std::int64_t transfers_from_manager = 0;
+  std::int64_t transfers_from_url = 0;
+  std::int64_t transfers_from_peers = 0;
+  std::int64_t mini_tasks_run = 0;
+  std::int64_t bytes_from_manager = 0;
+  std::int64_t bytes_from_url = 0;
+  std::int64_t bytes_from_peers = 0;
+  std::int64_t cache_hits = 0;  ///< inputs found already present at staging
+};
+
+class Manager {
+ public:
+  explicit Manager(ManagerConfig config = {});
+  ~Manager();
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  /// Open the listener and start accepting workers.
+  Status start();
+
+  /// Address workers connect to.
+  const std::string& address() const { return address_; }
+
+  // ----------------------------------------------------- declarations
+
+  /// Declare a file or directory on the manager-visible filesystem.
+  /// Content is hashed now (Merkle tree for directories) to produce the
+  /// cache name.
+  Result<FileRef> declare_local(const std::string& path,
+                                CacheLevel level = CacheLevel::workflow);
+
+  /// Declare literal bytes held by the manager.
+  FileRef declare_buffer(std::string content,
+                         CacheLevel level = CacheLevel::workflow);
+
+  /// Declare a remote object; naming uses the three-tier header scheme.
+  Result<FileRef> declare_url(const std::string& url,
+                              CacheLevel level = CacheLevel::workflow);
+
+  /// Declare an ephemeral in-cluster file (output of a task). Its cache
+  /// name is derived from the producing task at submit time.
+  FileRef declare_temp();
+
+  /// Declare a file produced on demand by running `mini` at the worker.
+  /// `output_name` is the sandbox path the mini-task leaves behind. The
+  /// cache name is the Merkle hash of the mini-task specification.
+  Result<FileRef> declare_mini_task(TaskSpec mini, const std::string& output_name,
+                                    CacheLevel level = CacheLevel::workflow);
+
+  /// Built-in mini-task: unpack a vpak archive file into a directory
+  /// object (the paper's declare_untar).
+  Result<FileRef> declare_unpack(const FileRef& archive,
+                                 CacheLevel level = CacheLevel::workflow);
+
+  // ----------------------------------------------------- tasks
+
+  /// Submit a task. Temp outputs are named here; ids are assigned here.
+  Result<TaskId> submit(TaskSpec spec);
+
+  /// Pump the manager until a task completes (or fails terminally); the
+  /// completion order is arrival order. Errc::timeout when none completed
+  /// within `timeout`.
+  Result<TaskReport> wait(std::chrono::milliseconds timeout);
+
+  /// True when no submitted task remains incomplete. Completed reports may
+  /// still be queued for wait() — check has_completed() when draining.
+  bool idle() const;
+
+  /// True when completed task reports are waiting to be collected.
+  bool has_completed() const { return !completed_.empty(); }
+
+  /// Number of incomplete tasks.
+  std::size_t outstanding() const;
+
+  // ----------------------------------------------------- serverless
+
+  /// Install a library on every current and future worker. Instances
+  /// occupy `per_instance` resources and receive `inputs` in their
+  /// sandbox. Returns after bookkeeping; deployment is asynchronous
+  /// (FunctionCalls dispatch as instances come up, Figure 12c).
+  Status install_library(const std::string& library_name, Resources per_instance,
+                         std::vector<Mount> inputs = {});
+
+  /// Convenience builder for a FunctionCall task.
+  static TaskSpec function_call(const std::string& library,
+                                const std::string& function, std::string args,
+                                Resources resources = {});
+
+  /// Workers currently advertising a live instance of `library_name`.
+  int library_instances(const std::string& library_name) const;
+
+  // ----------------------------------------------------- data access
+
+  /// Retrieve a file's bytes to the manager: buffers/local files directly,
+  /// cluster-resident objects via a send_file round trip to some worker.
+  /// Directory objects come back as vpak archive bytes.
+  Result<std::string> fetch_file(const FileRef& file,
+                                 std::chrono::milliseconds timeout);
+
+  /// Ask for `copies` replicas of an in-cluster file (reliability: a temp
+  /// surviving any single worker loss needs >= 2). Transfers are scheduled
+  /// asynchronously on subsequent pumps; returns immediately.
+  Status replicate_file(const FileRef& file, int copies);
+
+  // ----------------------------------------------------- cluster
+
+  /// Pump until at least `count` workers registered.
+  Status wait_for_workers(int count, std::chrono::milliseconds timeout);
+
+  /// Make progress without waiting for a task completion (useful while
+  /// waiting on background work such as replication).
+  void poll(std::chrono::milliseconds timeout) { pump(timeout); }
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  std::vector<WorkerSnapshot> workers_snapshot() const;
+
+  /// End-of-workflow GC: workers drop task/workflow-lifetime objects and
+  /// stop library instances; replica bookkeeping follows.
+  void end_workflow();
+
+  /// Shut down all workers and stop the manager.
+  void shutdown();
+
+  const ManagerStats& stats() const { return stats_; }
+  const FileReplicaTable& replicas() const { return replicas_; }
+  const CurrentTransferTable& transfers() const { return transfers_; }
+  double now() const { return clock_.now(); }
+
+ private:
+  struct Connection {
+    std::string conn_id;
+    std::shared_ptr<Endpoint> endpoint;
+    std::thread reader;
+    WorkerId worker_id;  ///< "" until hello
+  };
+
+  struct WorkerState {
+    WorkerSnapshot snap;
+    std::shared_ptr<Endpoint> endpoint;
+  };
+
+  struct TaskRuntime {
+    TaskSpec spec;
+    TaskState state = TaskState::ready;
+    int attempts = 0;
+    WorkerId worker;  ///< staging/executing worker; "" when unassigned
+    bool resources_committed = false;
+    bool is_library = false;
+    bool report_delivered = false;  ///< re-runs after recovery stay silent
+    TaskReport report;
+  };
+
+  struct Event {
+    std::string conn_id;
+    Frame frame;
+    bool closed = false;
+  };
+
+  struct LibraryDef {
+    std::string name;
+    Resources per_instance;
+    std::vector<Mount> inputs;
+  };
+
+  // --- event pumping (application thread) ---
+  void pump(std::chrono::milliseconds timeout);
+  void handle_event(Event ev);
+  void handle_hello(const std::string& conn_id, const proto::HelloMsg& msg);
+  void handle_cache_update(const WorkerId& worker, const proto::CacheUpdateMsg& msg);
+  void handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg& msg);
+  void handle_library_ready(const WorkerId& worker, const proto::LibraryReadyMsg& msg);
+  void handle_worker_lost(const std::string& conn_id);
+
+  // --- scheduling (application thread) ---
+  void schedule_pass();
+  /// Ensure `file` is (or is becoming) present at `worker`; true when
+  /// already present. Issues at most one new instruction per call.
+  bool ensure_file_at(const FileRef& file, const WorkerId& worker);
+  void dispatch_task(TaskRuntime& task);
+  void release_task_resources(TaskRuntime& task);
+  void finish_task(TaskRuntime& task, TaskReport report);
+  void send_to_worker(const WorkerId& worker, const proto::AnyMessage& msg);
+  void install_library_on(const LibraryDef& def, const WorkerId& worker);
+  void unlink_everywhere(const std::string& cache_name);
+
+  /// A temp file lost with its last replica: reset its producing task (and
+  /// recursively that task's own lost temp inputs) to run again.
+  void recover_lost_file(const FileRef& file);
+  void process_replication_requests();
+
+  // --- helpers ---
+  FileRef register_file(std::shared_ptr<FileDecl> decl);
+  void accept_loop();
+  void reader_loop(const std::string& conn_id, std::shared_ptr<Endpoint> ep);
+
+  ManagerConfig config_;
+  std::unique_ptr<Listener> listener_;
+  std::string address_;
+  SteadyClock clock_;
+  Scheduler scheduler_;
+
+  // Connections (shared with accept/reader threads).
+  std::mutex conn_mutex_;
+  std::map<std::string, std::unique_ptr<Connection>> connections_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  MsgQueue<Event> inbox_;
+
+  // Workflow state (application thread only).
+  std::map<WorkerId, WorkerState> workers_;
+  std::map<FileId, std::shared_ptr<FileDecl>> files_;
+  std::map<std::string, CacheLevel> level_of_;  // cache_name -> lifetime
+  std::map<TaskId, TaskRuntime> tasks_;
+  std::deque<TaskReport> completed_;
+  std::vector<LibraryDef> libraries_;
+  FileReplicaTable replicas_;
+  CurrentTransferTable transfers_;
+  ManagerStats stats_;
+
+  // Outstanding replication goals: cache_name -> desired replica count.
+  std::map<FileId, int> replication_goals_;
+
+  // Blobs that arrived for fetch_file round trips, keyed by tag.
+  std::map<std::string, std::string> blob_stash_;
+  std::map<std::string, proto::FileDataMsg> file_replies_;  // by request_id
+
+  FileId next_file_id_ = 1;
+  TaskId next_task_id_ = 1;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace vine

@@ -1,0 +1,138 @@
+#include "net/channel.hpp"
+
+namespace vine {
+
+namespace {
+
+/// One direction of an in-process connection.
+using FrameQueue = MsgQueue<Frame>;
+
+/// An endpoint holding a send queue (peer's inbox) and a recv queue (ours).
+class ChannelEndpoint final : public Endpoint {
+ public:
+  ChannelEndpoint(std::shared_ptr<FrameQueue> send_q,
+                  std::shared_ptr<FrameQueue> recv_q, std::string peer)
+      : send_q_(std::move(send_q)),
+        recv_q_(std::move(recv_q)),
+        peer_(std::move(peer)) {}
+
+  ~ChannelEndpoint() override { close(); }
+
+  Status send(Frame frame) override {
+    if (!send_q_->push(std::move(frame))) {
+      return Error{Errc::unavailable, "peer closed: " + peer_};
+    }
+    return Status::success();
+  }
+
+  Result<Frame> recv(std::chrono::milliseconds timeout) override {
+    auto f = recv_q_->pop(timeout);
+    if (!f) {
+      if (recv_q_->closed()) {
+        return Error{Errc::unavailable, "connection closed: " + peer_};
+      }
+      return Error{Errc::timeout, "recv timeout from " + peer_};
+    }
+    return std::move(*f);
+  }
+
+  void close() override {
+    // Closing our inbox unblocks our receiver; closing the peer's inbox
+    // makes their recv report unavailable once drained.
+    recv_q_->close();
+    send_q_->close();
+  }
+
+  std::string peer_name() const override { return peer_; }
+
+ private:
+  std::shared_ptr<FrameQueue> send_q_;
+  std::shared_ptr<FrameQueue> recv_q_;
+  std::string peer_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Endpoint>, std::unique_ptr<Endpoint>> make_channel_pair(
+    const std::string& a_name, const std::string& b_name) {
+  auto a_to_b = std::make_shared<FrameQueue>();
+  auto b_to_a = std::make_shared<FrameQueue>();
+  auto a = std::make_unique<ChannelEndpoint>(a_to_b, b_to_a, b_name);
+  auto b = std::make_unique<ChannelEndpoint>(b_to_a, a_to_b, a_name);
+  return {std::move(a), std::move(b)};
+}
+
+/// A queue of endpoints waiting to be accept()ed.
+struct ChannelFabric::PendingQueue {
+  MsgQueue<std::unique_ptr<Endpoint>> pending;
+  std::string address;
+};
+
+namespace {
+
+class ChannelListener final : public Listener {
+ public:
+  ChannelListener(std::shared_ptr<ChannelFabric::PendingQueue> q, std::string address)
+      : q_(std::move(q)), address_(std::move(address)) {}
+
+  ~ChannelListener() override { close(); }
+
+  Result<std::unique_ptr<Endpoint>> accept(std::chrono::milliseconds timeout) override {
+    auto ep = q_->pending.pop(timeout);
+    if (!ep) {
+      if (q_->pending.closed()) {
+        return Error{Errc::unavailable, "listener closed: " + address_};
+      }
+      return Error{Errc::timeout, "accept timeout on " + address_};
+    }
+    return std::move(*ep);
+  }
+
+  std::string address() const override { return address_; }
+
+  void close() override { q_->pending.close(); }
+
+ private:
+  std::shared_ptr<ChannelFabric::PendingQueue> q_;
+  std::string address_;
+};
+
+}  // namespace
+
+ChannelFabric& ChannelFabric::instance() {
+  static ChannelFabric fabric;
+  return fabric;
+}
+
+Result<std::unique_ptr<Listener>> ChannelFabric::listen(const std::string& name) {
+  std::string address = "chan:" + name;
+  std::lock_guard lock(mutex_);
+  auto it = listeners_.find(address);
+  if (it != listeners_.end() && !it->second->pending.closed()) {
+    return Error{Errc::already_exists, "channel name taken: " + address};
+  }
+  auto q = std::make_shared<PendingQueue>();
+  q->address = address;
+  listeners_[address] = q;
+  return std::unique_ptr<Listener>(new ChannelListener(q, address));
+}
+
+Result<std::unique_ptr<Endpoint>> ChannelFabric::connect(
+    const std::string& address, std::chrono::milliseconds /*timeout*/) {
+  std::shared_ptr<PendingQueue> q;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = listeners_.find(address);
+    if (it == listeners_.end() || it->second->pending.closed()) {
+      return Error{Errc::unavailable, "no such channel listener: " + address};
+    }
+    q = it->second;
+  }
+  auto [client, server] = make_channel_pair("client-of-" + address, address);
+  if (!q->pending.push(std::move(server))) {
+    return Error{Errc::unavailable, "listener closed: " + address};
+  }
+  return std::move(client);
+}
+
+}  // namespace vine

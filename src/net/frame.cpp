@@ -1,0 +1,71 @@
+#include "net/frame.hpp"
+
+#include "net/channel.hpp"
+#include "net/tcp.hpp"
+
+namespace vine {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v);
+  out += static_cast<char>(v >> 8);
+  out += static_cast<char>(v >> 16);
+  out += static_cast<char>(v >> 24);
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint8_t>(p[0]) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  std::string payload;
+  if (frame.kind == Frame::Kind::json) {
+    payload = frame.msg.dump();
+  } else {
+    put_u32(payload, static_cast<std::uint32_t>(frame.tag.size()));
+    payload += frame.tag;
+    payload += frame.data;
+  }
+  std::string out;
+  out.reserve(payload.size() + 5);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += static_cast<char>(frame.kind);
+  out += payload;
+  return out;
+}
+
+Result<Frame> decode_frame_payload(char kind, std::string payload) {
+  if (kind == 'J') {
+    VINE_TRY(json::Value v, json::parse(payload));
+    return Frame::make_json(std::move(v));
+  }
+  if (kind == 'B') {
+    if (payload.size() < 4) {
+      return Error{Errc::parse_error, "blob frame too short"};
+    }
+    std::uint32_t tag_len = get_u32(payload.data());
+    if (payload.size() < 4 + static_cast<std::size_t>(tag_len)) {
+      return Error{Errc::parse_error, "blob tag exceeds frame"};
+    }
+    std::string tag = payload.substr(4, tag_len);
+    payload.erase(0, 4 + tag_len);
+    return Frame::make_blob(std::move(tag), std::move(payload));
+  }
+  return Error{Errc::parse_error, std::string("unknown frame kind: ") + kind};
+}
+
+Result<std::unique_ptr<Endpoint>> connect_to(const std::string& address,
+                                             std::chrono::milliseconds timeout) {
+  if (address.rfind("chan:", 0) == 0) {
+    return ChannelFabric::instance().connect(address, timeout);
+  }
+  return tcp_connect(address, timeout);
+}
+
+}  // namespace vine

@@ -1,0 +1,99 @@
+// Wire frames and the Endpoint/Listener transport abstraction.
+//
+// A frame is either a JSON control message or a tagged binary blob (file
+// payloads). On TCP the encoding is:
+//   u32  payload length (LE)      -- excludes this 5-byte header
+//   u8   kind: 'J' json | 'B' blob
+//   for 'J': payload = UTF-8 JSON text
+//   for 'B': payload = u32 tag length, tag bytes, blob bytes
+// In-process channels pass Frame objects directly (no serialization).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "json/json.hpp"
+
+namespace vine {
+
+/// One unit of communication between manager, workers, and peers.
+struct Frame {
+  enum class Kind : char { json = 'J', blob = 'B' };
+  Kind kind = Kind::json;
+  json::Value msg;   ///< valid when kind == json
+  std::string tag;   ///< blob identity (cache name); valid when kind == blob
+  std::string data;  ///< blob bytes; valid when kind == blob
+
+  static Frame make_json(json::Value v) {
+    Frame f;
+    f.kind = Kind::json;
+    f.msg = std::move(v);
+    return f;
+  }
+  static Frame make_blob(std::string tag, std::string data) {
+    Frame f;
+    f.kind = Kind::blob;
+    f.tag = std::move(tag);
+    f.data = std::move(data);
+    return f;
+  }
+};
+
+/// Serialize a frame to the TCP wire format (header + payload).
+std::string encode_frame(const Frame& frame);
+
+/// Decode one frame from a complete payload (header already stripped).
+Result<Frame> decode_frame_payload(char kind, std::string payload);
+
+/// A bidirectional, message-oriented connection. Thread contract: send()
+/// is fully thread safe (frames from concurrent senders interleave at
+/// frame granularity, never within one); recv() must be called from one
+/// thread at a time.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Send a frame; blocks until handed to the transport.
+  virtual Status send(Frame frame) = 0;
+
+  /// Receive the next frame, waiting up to `timeout`.
+  /// Errc::timeout when nothing arrived; Errc::unavailable when the peer
+  /// closed the connection.
+  virtual Result<Frame> recv(std::chrono::milliseconds timeout) = 0;
+
+  /// Close the connection; unblocks any receiver with Errc::unavailable.
+  virtual void close() = 0;
+
+  /// Stable printable identity of the remote end (address or channel name).
+  virtual std::string peer_name() const = 0;
+
+  // Convenience wrappers.
+  Status send_json(json::Value v) { return send(Frame::make_json(std::move(v))); }
+  Status send_blob(std::string tag, std::string data) {
+    return send(Frame::make_blob(std::move(tag), std::move(data)));
+  }
+};
+
+/// Accepts incoming connections (the manager's worker port and each
+/// worker's peer-transfer port).
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Wait up to `timeout` for a connection. Errc::timeout when none.
+  virtual Result<std::unique_ptr<Endpoint>> accept(std::chrono::milliseconds timeout) = 0;
+
+  /// Address peers can connect to ("127.0.0.1:9123" or "chan:worker-3").
+  virtual std::string address() const = 0;
+
+  virtual void close() = 0;
+};
+
+/// Connects to a listener address of either transport: "chan:NAME" routes
+/// through the in-process fabric, anything else is host:port TCP.
+Result<std::unique_ptr<Endpoint>> connect_to(const std::string& address,
+                                             std::chrono::milliseconds timeout);
+
+}  // namespace vine

@@ -1,0 +1,77 @@
+// Thread-safe message queue with blocking/timeout pop. The manager and each
+// worker own one inbox; reader/executor/transfer threads push events into
+// it, and a single consumer thread drains it — the concurrency pattern used
+// throughout the real runtime (message passing, no shared mutable state).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace vine {
+
+template <typename T>
+class MsgQueue {
+ public:
+  /// Push an item and wake one waiter. Returns false if the queue is closed.
+  bool push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Pop, waiting up to `timeout`. nullopt on timeout or when the queue is
+  /// closed and drained.
+  std::optional<T> pop(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Close the queue: pushes fail, waiters wake. Items already queued can
+  /// still be popped.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace vine

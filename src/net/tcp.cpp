@@ -1,0 +1,242 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/strings.hpp"
+
+namespace vine {
+
+namespace {
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint8_t>(p[0]) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
+}
+
+/// Wait until fd is readable; Errc::timeout / unavailable on failure.
+Status wait_readable(int fd, std::chrono::milliseconds timeout) {
+  pollfd pfd{fd, POLLIN, 0};
+  int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (rc == 0) return Error{Errc::timeout, "poll timeout"};
+  if (rc < 0) return Error{Errc::io_error, errno_text("poll")};
+  if (pfd.revents & (POLLERR | POLLNVAL)) {
+    return Error{Errc::unavailable, "socket error"};
+  }
+  return Status::success();
+}
+
+/// Frame payloads above this are rejected as corrupt/hostile (512 MB covers
+/// the largest assets in the paper's workloads).
+constexpr std::uint32_t kMaxFramePayload = 512u * 1024 * 1024;
+
+class TcpEndpoint final : public Endpoint {
+ public:
+  TcpEndpoint(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+
+  ~TcpEndpoint() override { close(); }
+
+  Status send(Frame frame) override {
+    std::string wire = encode_frame(frame);
+    std::lock_guard lock(send_mutex_);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Error{Errc::unavailable, errno_text("send to " + peer_)};
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return Status::success();
+  }
+
+  Result<Frame> recv(std::chrono::milliseconds timeout) override {
+    char header[5];
+    VINE_TRY_STATUS(read_exact(header, sizeof header, timeout, /*first=*/true));
+    std::uint32_t len = get_u32(header);
+    char kind = header[4];
+    if (len > kMaxFramePayload) {
+      return Error{Errc::protocol_error, "oversized frame from " + peer_};
+    }
+    std::string payload(len, '\0');
+    if (len > 0) {
+      // Once a header arrived the rest must follow promptly; allow a
+      // generous fixed window so huge blobs on slow links still complete.
+      VINE_TRY_STATUS(read_exact(payload.data(), len,
+                                 std::chrono::milliseconds(60000), false));
+    }
+    return decode_frame_payload(kind, std::move(payload));
+  }
+
+  void close() override {
+    int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+  std::string peer_name() const override { return peer_; }
+
+ private:
+  /// Read exactly n bytes. When `first`, the timeout applies to the first
+  /// byte (idle wait); mid-message the timeout is per-chunk.
+  Status read_exact(char* buf, std::size_t n, std::chrono::milliseconds timeout,
+                    bool first) {
+    std::size_t got = 0;
+    while (got < n) {
+      int fd = fd_.load();
+      if (fd < 0) return Error{Errc::unavailable, "closed: " + peer_};
+      if (got > 0 || first) {
+        VINE_TRY_STATUS(wait_readable(fd, timeout));
+      }
+      ssize_t r = ::recv(fd, buf + got, n - got, 0);
+      if (r == 0) return Error{Errc::unavailable, "peer closed: " + peer_};
+      if (r < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return Error{Errc::unavailable, errno_text("recv from " + peer_)};
+      }
+      got += static_cast<std::size_t>(r);
+    }
+    return Status::success();
+  }
+
+  std::atomic<int> fd_;
+  std::string peer_;
+  std::mutex send_mutex_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(int fd, std::string address) : fd_(fd), address_(std::move(address)) {}
+
+  ~TcpListener() override { close(); }
+
+  Result<std::unique_ptr<Endpoint>> accept(std::chrono::milliseconds timeout) override {
+    int fd = fd_.load();
+    if (fd < 0) return Error{Errc::unavailable, "listener closed"};
+    VINE_TRY_STATUS(wait_readable(fd, timeout));
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    int cfd = ::accept(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (cfd < 0) return Error{Errc::io_error, errno_text("accept")};
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+    std::string peer = std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+    return std::unique_ptr<Endpoint>(new TcpEndpoint(cfd, peer));
+  }
+
+  std::string address() const override { return address_; }
+
+  void close() override {
+    int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+ private:
+  std::atomic<int> fd_;
+  std::string address_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> tcp_listen(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error{Errc::io_error, errno_text("socket")};
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return Error{Errc::io_error, errno_text("bind")};
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    return Error{Errc::io_error, errno_text("listen")};
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return Error{Errc::io_error, errno_text("getsockname")};
+  }
+  std::string address = "127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+  return std::unique_ptr<Listener>(new TcpListener(fd, address));
+}
+
+Result<std::unique_ptr<Endpoint>> tcp_connect(const std::string& address,
+                                              std::chrono::milliseconds timeout) {
+  auto parts = split(address, ':');
+  if (parts.size() != 2) {
+    return Error{Errc::invalid_argument, "address must be host:port, got " + address};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, parts[0].c_str(), &addr.sin_addr) != 1) {
+    return Error{Errc::invalid_argument, "bad IPv4 address: " + parts[0]};
+  }
+  int port = std::atoi(parts[1].c_str());
+  if (port <= 0 || port > 65535) {
+    return Error{Errc::invalid_argument, "bad port in " + address};
+  }
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error{Errc::io_error, errno_text("socket")};
+
+  // Connect with a timeout using a temporarily non-blocking socket.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return Error{Errc::unavailable, errno_text("connect " + address)};
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int prc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (prc <= 0) {
+      ::close(fd);
+      return Error{Errc::timeout, "connect timeout: " + address};
+    }
+    int err = 0;
+    socklen_t elen = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen);
+    if (err != 0) {
+      ::close(fd);
+      return Error{Errc::unavailable,
+                   "connect " + address + ": " + std::strerror(err)};
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return std::unique_ptr<Endpoint>(new TcpEndpoint(fd, address));
+}
+
+}  // namespace vine

@@ -1,0 +1,136 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+namespace vine {
+
+std::int64_t Scheduler::cached_bytes(const TaskSpec& task, const WorkerId& worker,
+                                     const FileReplicaTable& replicas) {
+  std::int64_t bytes = 0;
+  for (const auto& mount : task.inputs) {
+    if (!mount.file) continue;
+    auto r = replicas.find(mount.file->cache_name, worker);
+    if (r && r->state == ReplicaState::present) {
+      bytes += (r->size > 0) ? r->size : 1;
+    }
+  }
+  return bytes;
+}
+
+std::optional<WorkerId> Scheduler::pick_worker(
+    const TaskSpec& task, std::span<const WorkerSnapshot> workers,
+    const FileReplicaTable& replicas) {
+  // Collect candidates with fitting resources (and the library, for calls).
+  std::vector<const WorkerSnapshot*> fitting;
+  fitting.reserve(workers.size());
+  for (const auto& w : workers) {
+    if (!task.pinned_worker.empty() && w.id != task.pinned_worker) continue;
+    if (!w.available().can_fit(task.resources)) continue;
+    if (task.kind == TaskKind::function_call &&
+        !w.libraries.count(task.library_name)) {
+      continue;
+    }
+    fitting.push_back(&w);
+  }
+  if (fitting.empty()) return std::nullopt;
+
+  switch (config_.placement) {
+    case PlacementPolicy::first_fit: {
+      auto it = std::min_element(fitting.begin(), fitting.end(),
+                                 [](auto* a, auto* b) { return a->id < b->id; });
+      return (*it)->id;
+    }
+    case PlacementPolicy::random:
+      return fitting[rng_.below(fitting.size())]->id;
+    case PlacementPolicy::round_robin: {
+      // Rotate over the fitting set; the cursor advances monotonically so
+      // consecutive calls spread tasks even as the set changes.
+      const WorkerSnapshot* pick = fitting[round_robin_next_ % fitting.size()];
+      ++round_robin_next_;
+      return pick->id;
+    }
+    case PlacementPolicy::most_cached:
+      break;
+  }
+
+  // most_cached: maximize cached input bytes; break ties toward the least
+  // loaded worker, then lowest id for determinism.
+  const WorkerSnapshot* best = nullptr;
+  std::int64_t best_bytes = -1;
+  for (const auto* w : fitting) {
+    std::int64_t bytes = cached_bytes(task, w->id, replicas);
+    bool better = bytes > best_bytes ||
+                  (bytes == best_bytes && best &&
+                   (w->running_tasks < best->running_tasks ||
+                    (w->running_tasks == best->running_tasks && w->id < best->id)));
+    if (!best || better) {
+      best = w;
+      best_bytes = bytes;
+    }
+  }
+  return best->id;
+}
+
+std::optional<TransferSource> Scheduler::plan_source(
+    const std::string& cache_name, const TransferSource& fixed,
+    const WorkerId& dest, const FileReplicaTable& replicas,
+    const CurrentTransferTable& transfers) {
+  // Unsupervised mode: pick blindly among replica holders, ignoring
+  // in-flight counts and limits (Figure 11b's behaviour).
+  if (config_.prefer_peer_transfers && !config_.supervised) {
+    std::vector<WorkerId> holders;
+    for (const auto& peer : replicas.workers_with(cache_name)) {
+      if (peer != dest) holders.push_back(peer);
+    }
+    if (!holders.empty()) {
+      return TransferSource::from_worker(holders[rng_.below(holders.size())]);
+    }
+    // No replica yet: a few seed transfers draw on the fixed source; the
+    // rest wait and then stampede the first holders (the 11b hotspot).
+    if (config_.unsupervised_seed_limit > 0 &&
+        transfers.inflight_from(fixed) >= config_.unsupervised_seed_limit) {
+      return std::nullopt;
+    }
+    return fixed;
+  }
+
+  // Conservative strategy: always prefer an eligible peer over the original
+  // source (paper §3.3), spreading load by picking the least-busy peer.
+  // When peers exist but are all at their limit, *wait* for a peer slot
+  // rather than falling back — this is what keeps the shared filesystem
+  // queries at 3 instead of 108 in the Colmena run (§4.2).
+  if (config_.prefer_peer_transfers) {
+    std::optional<WorkerId> best_peer;
+    int best_inflight = 0;
+    bool any_peer = false;
+    for (const auto& peer : replicas.workers_with(cache_name)) {
+      if (peer == dest) continue;
+      any_peer = true;
+      int inflight = transfers.inflight_from(TransferSource::from_worker(peer));
+      if (config_.worker_source_limit > 0 &&
+          inflight >= config_.worker_source_limit) {
+        continue;
+      }
+      if (!best_peer || inflight < best_inflight) {
+        best_peer = peer;
+        best_inflight = inflight;
+      }
+    }
+    if (best_peer) return TransferSource::from_worker(*best_peer);
+    if (any_peer) return std::nullopt;  // replicas exist; wait for a slot
+  }
+
+  // Fall back to the fixed source, subject to its own limit.
+  int limit = 0;
+  switch (fixed.kind) {
+    case TransferSource::Kind::url: limit = config_.url_source_limit; break;
+    case TransferSource::Kind::manager: limit = config_.manager_source_limit; break;
+    case TransferSource::Kind::worker: limit = config_.worker_source_limit; break;
+  }
+  if (limit > 0 && transfers.inflight_from(fixed) >= limit) {
+    return std::nullopt;  // throttled; caller retries on the next pass
+  }
+  return fixed;
+}
+
+}  // namespace vine

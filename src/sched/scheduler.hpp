@@ -1,0 +1,104 @@
+// Scheduling policy (paper §3.3), shared verbatim by the real runtime and
+// the cluster simulator. Two decisions:
+//
+//  1. Task placement: pick the worker holding the most of the task's input
+//    dependencies (by cached bytes); fall back to an arbitrary fitting
+//    worker. Alternative policies (random / round-robin / first-fit) exist
+//    for the ablation benches.
+//
+//  2. Transfer planning: for each input missing at the chosen worker,
+//    prefer fetching from a peer worker that holds a present replica and is
+//    under its concurrent-transfer limit; otherwise fall back to the file's
+//    fixed source (URL or manager) subject to that source's own limit.
+//    When every source is saturated the transfer waits — this throttling
+//    is what turns Figure 11b's meltdown into Figure 11c's smooth ramp.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "catalog/replica_table.hpp"
+#include "catalog/transfer_table.hpp"
+#include "common/rng.hpp"
+#include "task/task_spec.hpp"
+
+namespace vine {
+
+/// Placement policies; most_cached is the paper's strategy.
+enum class PlacementPolicy : std::uint8_t {
+  most_cached,  ///< maximize bytes of inputs already on the worker
+  random,       ///< uniform among fitting workers (ablation baseline)
+  round_robin,  ///< rotate among fitting workers (ablation baseline)
+  first_fit,    ///< first fitting worker by id (ablation baseline)
+};
+
+struct SchedulerConfig {
+  PlacementPolicy placement = PlacementPolicy::most_cached;
+
+  /// Max concurrent transfers served *by* one worker (paper's best: 3).
+  /// 0 = unlimited (Figure 11b's unsupervised mode).
+  int worker_source_limit = 3;
+
+  /// Max concurrent downloads from one URL. 0 = unlimited.
+  int url_source_limit = 0;
+
+  /// Max concurrent pushes from the manager. 0 = unlimited.
+  int manager_source_limit = 0;
+
+  /// When true (default) peer replicas are preferred over the fixed
+  /// source; false disables worker-to-worker transfers entirely
+  /// (Figure 11a's baseline).
+  bool prefer_peer_transfers = true;
+
+  /// When true (default) the manager consults the Current Transfer Table
+  /// and balances load across sources. When false, peer sources are chosen
+  /// blindly (uniformly among replica holders, no limits) — the
+  /// unmanaged/unsupervised mode of Figure 11b that produces hotspots.
+  bool supervised = true;
+
+  /// Unsupervised mode only: how many transfers may draw on the file's
+  /// fixed source before further requests wait for a peer replica. The
+  /// conservative strategy "always prioritizes worker transfers over the
+  /// original task description" (paper §3.3); once the first replicas
+  /// appear, everything piles blindly onto them.
+  int unsupervised_seed_limit = 4;
+};
+
+/// Scheduler state that must persist across decisions (round-robin cursor,
+/// RNG) lives here; all cluster state is passed per call.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config = {}, std::uint64_t seed = 1)
+      : config_(config), rng_(seed) {}
+
+  const SchedulerConfig& config() const { return config_; }
+  void set_config(const SchedulerConfig& c) { config_ = c; }
+
+  /// Pick a worker for `task` among `workers`, or nullopt when none fits.
+  /// Honors task.pinned_worker. FunctionCall tasks additionally require a
+  /// live instance of their library on the worker.
+  std::optional<WorkerId> pick_worker(const TaskSpec& task,
+                                      std::span<const WorkerSnapshot> workers,
+                                      const FileReplicaTable& replicas);
+
+  /// Plan the source for one missing input. `fixed` is the file's declared
+  /// origin (url / manager); `dest` must be excluded as its own source.
+  /// nullopt when every eligible source is at its limit right now.
+  std::optional<TransferSource> plan_source(
+      const std::string& cache_name, const TransferSource& fixed,
+      const WorkerId& dest, const FileReplicaTable& replicas,
+      const CurrentTransferTable& transfers);
+
+  /// Scoring helper exposed for tests/benches: cached input bytes of
+  /// `task` present on `worker` (unknown sizes count 1 byte each).
+  static std::int64_t cached_bytes(const TaskSpec& task, const WorkerId& worker,
+                                   const FileReplicaTable& replicas);
+
+ private:
+  SchedulerConfig config_;
+  Rng rng_;
+  std::size_t round_robin_next_ = 0;
+};
+
+}  // namespace vine

@@ -1,0 +1,432 @@
+#include "sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace vinesim {
+
+using vine::CacheLevel;
+using vine::FileDecl;
+using vine::FileKind;
+using vine::ReplicaState;
+using vine::TaskKind;
+using vine::TaskSpec;
+using vine::TaskState;
+using vine::TransferSource;
+
+ClusterSim::ClusterSim(SimConfig config)
+    : config_(std::move(config)),
+      net_(sim_),
+      scheduler_(config_.sched, config_.seed),
+      rng_(config_.seed) {
+  net_.add_node("manager", config_.manager_nic_Bps, config_.manager_nic_Bps,
+                config_.stream_knee, config_.stream_beta);
+  net_.add_node("archive", config_.archive_Bps, config_.archive_Bps,
+                config_.stream_knee, config_.stream_beta);
+  net_.add_node("sharedfs", config_.sharedfs_Bps, config_.sharedfs_Bps,
+                config_.stream_knee, config_.stream_beta);
+  net_.set_backplane(config_.backplane_Bps);
+}
+
+SimFile* ClusterSim::declare_file(std::string name, std::int64_t size,
+                                  SimFile::Origin origin) {
+  auto f = std::make_unique<SimFile>();
+  f->name = std::move(name);
+  f->size = size;
+  f->origin = origin;
+  SimFile* ptr = f.get();
+  files_[ptr->name] = std::move(f);
+  return ptr;
+}
+
+SimFile* ClusterSim::declare_unpack(const SimFile* archive,
+                                    std::int64_t unpacked_size) {
+  auto* f = declare_file("unpack-" + std::to_string(next_unpack_id_++) + "-" +
+                             archive->name,
+                         unpacked_size, SimFile::Origin::unpack);
+  f->archive_of = archive;
+  return f;
+}
+
+SimTask* ClusterSim::add_task(std::string category, double duration, double cores,
+                              double submit_at) {
+  auto t = std::make_unique<SimTask>();
+  t->id = next_task_id_++;
+  t->category = std::move(category);
+  t->duration = duration;
+  t->cores = cores;
+  t->submit_at = submit_at;
+  SimTask* ptr = t.get();
+  tasks_.push_back(std::move(t));
+  return ptr;
+}
+
+void ClusterSim::add_worker(const std::string& id, double t_join, double cores) {
+  WorkerSim w;
+  w.snap.id = id;
+  w.snap.total = {.cores = cores, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+  w.join_at = t_join;
+  workers_[id] = std::move(w);
+  worker_order_.push_back(id);
+}
+
+void ClusterSim::install_library(const std::string& name, double init_duration,
+                                 double cores, std::vector<const SimFile*> inputs) {
+  libraries_.push_back({name, init_duration, cores, std::move(inputs)});
+}
+
+void ClusterSim::preload(const std::string& worker, const SimFile* file) {
+  replicas_.set_replica(file->name, worker, ReplicaState::present, file->size);
+}
+
+// ------------------------------------------------------------ run
+
+double ClusterSim::run() {
+  // Internal library-install tasks are synthesized per worker at join.
+  for (auto& t : tasks_) {
+    TaskRun run;
+    run.task = t.get();
+    run.ready_at = t->submit_at;
+    runs_[t->id] = run;
+    if (t->submit_at > 0) {
+      sim_.at(t->submit_at, [this] { request_schedule(); });
+    }
+  }
+  for (const auto& id : worker_order_) {
+    sim_.at(workers_[id].join_at, [this, id] { worker_join(id); });
+  }
+  request_schedule();
+  sim_.run();
+
+  for (auto& [_, run] : runs_) {
+    if (run.task->is_library) continue;
+    if (run.state != TaskState::done) ++stats_.tasks_unfinished;
+  }
+  return makespan_;
+}
+
+void ClusterSim::worker_join(const std::string& id) {
+  WorkerSim& w = workers_[id];
+  w.joined = true;
+  net_.add_node(id, config_.worker_nic_Bps, config_.worker_nic_Bps,
+                config_.stream_knee, config_.stream_beta);
+  trace_.on_worker_join(id, sim_.now());
+
+  // Deploy installed libraries to the newcomer (one instance each).
+  for (const auto& def : libraries_) {
+    auto* t = add_task("library:" + def.name, def.init_duration, def.cores,
+                       sim_.now());
+    t->is_library = true;
+    t->library = def.name;
+    t->pin_worker = id;
+    t->inputs = def.inputs;
+    TaskRun run;
+    run.task = t;
+    run.ready_at = sim_.now();
+    runs_[t->id] = run;
+  }
+  request_schedule();
+}
+
+void ClusterSim::request_schedule() {
+  if (pass_scheduled_) return;
+  pass_scheduled_ = true;
+  sim_.at(sim_.now(), [this] {
+    pass_scheduled_ = false;
+    schedule_pass();
+  });
+}
+
+// Translate a SimTask into the TaskSpec shape the shared scheduler reads.
+namespace {
+
+vine::FileRef make_decl(const SimFile* f) {
+  auto d = std::make_shared<FileDecl>();
+  d->cache_name = f->name;
+  d->size_hint = f->size;
+  d->kind = FileKind::buffer;  // kind is irrelevant to placement scoring
+  return d;
+}
+
+}  // namespace
+
+void ClusterSim::schedule_pass() {
+  double now = sim_.now();
+
+  std::vector<vine::WorkerSnapshot> snapshots;
+  snapshots.reserve(workers_.size());
+  for (const auto& [_, w] : workers_) {
+    if (w.joined) snapshots.push_back(w.snap);
+  }
+  double total_avail_cores = 0;
+  for (const auto& s : snapshots) total_avail_cores += s.available().cores;
+
+  for (auto& [_, run] : runs_) {
+    if (run.state != TaskState::ready) continue;
+    SimTask& task = *run.task;
+    if (task.submit_at > now) continue;
+
+    // Producibility gate: temp inputs must exist somewhere first.
+    bool producible = true;
+    for (const auto* in : task.inputs) {
+      if (in->origin == SimFile::Origin::temp &&
+          replicas_.present_count(in->name) == 0 && !at_manager_.count(in->name)) {
+        producible = false;
+        break;
+      }
+    }
+    if (!producible) continue;
+
+    if (run.worker.empty()) {
+      if (total_avail_cores < task.cores) continue;  // cluster saturated
+
+      TaskSpec spec;
+      spec.id = task.id;
+      spec.resources = {.cores = task.cores, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+      spec.pinned_worker = task.pin_worker;
+      if (!task.library.empty() && !task.is_library) {
+        spec.kind = TaskKind::function_call;
+        spec.library_name = task.library;
+      }
+      for (const auto* in : task.inputs) {
+        spec.inputs.push_back({make_decl(in), in->name});
+      }
+      auto pick = scheduler_.pick_worker(spec, snapshots, replicas_);
+      if (!pick) continue;
+
+      run.worker = *pick;
+      run.committed = true;
+      WorkerSim& w = workers_[*pick];
+      w.snap.committed.cores += task.cores;
+      w.snap.running_tasks += 1;
+      total_avail_cores -= task.cores;
+      for (auto& s : snapshots) {
+        if (s.id == *pick) s = w.snap;
+      }
+      for (const auto* in : task.inputs) {
+        if (replicas_.has_present(in->name, run.worker)) ++stats_.cache_hits;
+      }
+    }
+
+    bool all_present = true;
+    for (const auto* in : task.inputs) {
+      all_present &= ensure_file_at(in, run.worker);
+    }
+    if (all_present) dispatch(run);
+  }
+}
+
+NodeId ClusterSim::source_node(const TransferSource& src, const SimFile* file) const {
+  switch (src.kind) {
+    case TransferSource::Kind::manager: return "manager";
+    case TransferSource::Kind::worker: return src.key;
+    case TransferSource::Kind::url:
+      return file->origin == SimFile::Origin::sharedfs ? "sharedfs" : "archive";
+  }
+  return "manager";
+}
+
+bool ClusterSim::ensure_file_at(const SimFile* file, const std::string& worker) {
+  const std::string& name = file->name;
+  if (replicas_.has_present(name, worker)) return true;
+  auto rep = replicas_.find(name, worker);
+  if (rep && rep->state == ReplicaState::pending) return false;
+
+  if (file->origin == SimFile::Origin::unpack) {
+    // Unpack mini-task: the packed archive must land first; then the
+    // staging work runs on the destination worker itself.
+    if (!ensure_file_at(file->archive_of, worker)) return false;
+    auto self = TransferSource::from_worker(worker);
+    if (config_.sched.worker_source_limit > 0 &&
+        transfers_.inflight_from(self) >= config_.sched.worker_source_limit) {
+      return false;
+    }
+    std::string uuid = transfers_.begin(name, worker, self, sim_.now());
+    replicas_.set_replica(name, worker, ReplicaState::pending);
+    enqueue_fetch({uuid, file, worker, self, /*is_unpack=*/true});
+    return false;
+  }
+
+  TransferSource fixed;
+  switch (file->origin) {
+    case SimFile::Origin::archive:
+    case SimFile::Origin::sharedfs:
+      fixed = TransferSource::from_url(name);
+      break;
+    case SimFile::Origin::manager:
+      fixed = TransferSource::from_manager();
+      break;
+    case SimFile::Origin::temp: {
+      if (at_manager_.count(name)) {
+        fixed = TransferSource::from_manager();
+        break;
+      }
+      auto plan = scheduler_.plan_source(name, TransferSource::from_manager(),
+                                         worker, replicas_, transfers_);
+      if (!plan || plan->kind != TransferSource::Kind::worker) return false;
+      std::string uuid = transfers_.begin(name, worker, *plan, sim_.now());
+      replicas_.set_replica(name, worker, ReplicaState::pending);
+      enqueue_fetch({uuid, file, worker, *plan, false});
+      return false;
+    }
+    default:
+      return false;
+  }
+
+  auto plan = scheduler_.plan_source(name, fixed, worker, replicas_, transfers_);
+  if (!plan) return false;
+  std::string uuid = transfers_.begin(name, worker, *plan, sim_.now());
+  replicas_.set_replica(name, worker, ReplicaState::pending);
+  enqueue_fetch({uuid, file, worker, *plan, false});
+  return false;
+}
+
+void ClusterSim::enqueue_fetch(PendingFetch fetch) {
+  if (fetch.source.kind == TransferSource::Kind::worker && !fetch.is_unpack) {
+    stats_.max_worker_source_inflight =
+        std::max(stats_.max_worker_source_inflight,
+                 transfers_.inflight_from(fetch.source));
+  }
+  std::string dest = fetch.dest;
+  worker_queue_[dest].push_back(std::move(fetch));
+  start_next_fetches(dest);
+}
+
+void ClusterSim::start_next_fetches(const std::string& worker) {
+  WorkerSim& w = workers_[worker];
+  auto& queue = worker_queue_[worker];
+  while (w.active_fetches < config_.worker_parallel_transfers && !queue.empty()) {
+    PendingFetch fetch = std::move(queue.front());
+    queue.pop_front();
+    ++w.active_fetches;
+    start_fetch(fetch);
+  }
+}
+
+void ClusterSim::start_fetch(const PendingFetch& fetch) {
+  trace_.on_transfer_start(fetch.dest, sim_.now());
+  if (fetch.is_unpack) {
+    double duration = static_cast<double>(fetch.file->size) / config_.unpack_Bps;
+    sim_.at(sim_.now() + duration, [this, fetch] { fetch_complete(fetch); });
+    return;
+  }
+  NodeId src = source_node(fetch.source, fetch.file);
+  net_.start_flow(src, fetch.dest, fetch.file->size,
+                  [this, fetch] { fetch_complete(fetch); });
+}
+
+void ClusterSim::fetch_complete(const PendingFetch& fetch) {
+  trace_.on_transfer_end(fetch.dest, sim_.now());
+  transfers_.finish(fetch.uuid);
+  replicas_.set_replica(fetch.file->name, fetch.dest, ReplicaState::present,
+                        fetch.file->size);
+
+  if (fetch.is_unpack) {
+    ++stats_.unpacks;
+  } else {
+    switch (fetch.source.kind) {
+      case TransferSource::Kind::manager:
+        ++stats_.transfers_from_manager;
+        stats_.bytes_from_manager += fetch.file->size;
+        break;
+      case TransferSource::Kind::worker:
+        ++stats_.transfers_from_peers;
+        stats_.bytes_from_peers += fetch.file->size;
+        break;
+      case TransferSource::Kind::url:
+        if (fetch.file->origin == SimFile::Origin::sharedfs) {
+          ++stats_.transfers_from_sharedfs;
+          stats_.bytes_from_sharedfs += fetch.file->size;
+        } else {
+          ++stats_.transfers_from_archive;
+          stats_.bytes_from_archive += fetch.file->size;
+        }
+        break;
+    }
+  }
+
+  WorkerSim& w = workers_[fetch.dest];
+  --w.active_fetches;
+  start_next_fetches(fetch.dest);
+  request_schedule();
+}
+
+void ClusterSim::dispatch(TaskRun& run) {
+  run.state = TaskState::dispatched;
+  // The manager dispatches serially; at very large task counts this is the
+  // §6 bottleneck (1 ms/task -> 1000 s per million tasks).
+  double start = std::max(sim_.now(), next_dispatch_at_) + config_.dispatch_overhead;
+  next_dispatch_at_ = start;
+  sim_.at(start, [this, id = run.task->id] {
+    TaskRun& r = runs_[id];
+    r.state = TaskState::running;
+    r.started_at_ = sim_.now();
+    trace_.on_task_start(r.worker, sim_.now());
+    sim_.at(sim_.now() + r.task->duration, [this, id] { task_complete(runs_[id]); });
+  });
+}
+
+void ClusterSim::task_complete(TaskRun& run) {
+  SimTask& task = *run.task;
+  double now = sim_.now();
+  trace_.on_task_end(run.worker, now);
+
+  TaskRecord rec;
+  rec.task_id = task.id;
+  rec.worker = run.worker;
+  rec.category = task.category;
+  rec.ready_at = run.ready_at;
+  rec.started_at = run.started_at_;
+  rec.finished_at = now;
+  trace_.record_task(rec);
+
+  if (task.is_library) {
+    // Instance stays up, holding its cores; announce availability.
+    run.state = TaskState::done;
+    workers_[run.worker].snap.libraries.insert(task.library);
+    request_schedule();
+    return;
+  }
+
+  run.state = TaskState::done;
+  ++stats_.tasks_done;
+  makespan_ = std::max(makespan_, now);
+
+  WorkerSim& w = workers_[run.worker];
+  w.snap.committed.cores -= task.cores;
+  w.snap.running_tasks -= 1;
+  run.committed = false;
+
+  for (const auto& out : task.outputs) {
+    out.file->size = out.size;
+    if (task.retrieve_outputs || config_.retrieve_temp_outputs) {
+      // Shared-storage mode: the output *moves* to the manager rather than
+      // staying cached at the worker; consumers must pull it back
+      // (Figure 13a's back-and-forth).
+      retrieve_output(out.file, run.worker);
+    } else {
+      replicas_.set_replica(out.file->name, run.worker, ReplicaState::present,
+                            out.size);
+    }
+  }
+  request_schedule();
+}
+
+void ClusterSim::retrieve_output(const SimFile* file, const std::string& worker) {
+  // Output returns to the manager; in shared-storage mode the data then
+  // leaves the worker, so future consumers must pull it back from the
+  // manager (the Figure 13a back-and-forth).
+  trace_.on_transfer_start(worker, sim_.now());
+  net_.start_flow(worker, "manager", file->size, [this, file, worker] {
+    trace_.on_transfer_end(worker, sim_.now());
+    ++stats_.retrievals_to_manager;
+    stats_.bytes_to_manager += file->size;
+    at_manager_.insert(file->name);
+    makespan_ = std::max(makespan_, sim_.now());
+    request_schedule();
+  });
+}
+
+}  // namespace vinesim

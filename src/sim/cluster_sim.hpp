@@ -1,0 +1,243 @@
+// ClusterSim: a discrete-event TaskVine cluster at paper scale.
+//
+// The simulator reuses the *real* scheduler policies (vine::Scheduler,
+// FileReplicaTable, CurrentTransferTable) and mirrors the real manager's
+// control loop — placement by cached dependencies, transfer planning with
+// per-source limits, worker transfer queues, mini-task staging, library
+// deployment — against a fair-share flow network standing in for the
+// 10 GbE cluster fabric, a Panasas-like shared filesystem, and an external
+// archive. It exists because Figures 9-13 need 50-500 workers moving
+// hundreds of gigabytes, which a single build machine cannot host natively;
+// every mechanism measured by those figures runs the same decision code as
+// the real runtime in src/manager.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/replica_table.hpp"
+#include "catalog/transfer_table.hpp"
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace vinesim {
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+
+  // Fabric (paper §4: 10 GbE everywhere; Panasas: 5 GB/s aggregate).
+  double worker_nic_Bps = 1.25e9;
+  double manager_nic_Bps = 1.25e9;
+  double archive_Bps = 1.25e9;
+  double sharedfs_Bps = 5e9;
+
+  /// Local staging throughput for unpack mini-tasks (decompression is
+  /// disk/CPU bound, not network bound).
+  double unpack_Bps = 400e6;
+
+  /// Width of each worker's own transfer queue (fetches beyond this wait).
+  int worker_parallel_transfers = 4;
+
+  /// Serving-efficiency knee for every data source (see FlowNetwork): a
+  /// node serving more than `stream_knee` concurrent transfers gets only
+  /// `stream_beta` of a stream's worth of extra capacity per stream. This
+  /// is what makes unmanaged fan-out (Figure 11a/b) hurt.
+  int stream_knee = 4;
+  double stream_beta = 0.25;
+
+  /// Aggregate fabric backplane (oversubscribed core switch); 0 = off.
+  double backplane_Bps = 0;
+
+  /// Manager per-dispatch overhead in seconds (§6 discusses ~1 ms/task).
+  double dispatch_overhead = 0.001;
+
+  /// Scheduling policies under test.
+  vine::SchedulerConfig sched{};
+
+  /// When true, every temp output is retrieved to the manager immediately
+  /// and consumers re-fetch it from there — the "shared storage" mode of
+  /// Figure 13a. When false (default), temps stay in-cluster.
+  bool retrieve_temp_outputs = false;
+};
+
+/// A declared file in the simulated workflow.
+struct SimFile {
+  std::string name;
+  std::int64_t size = 0;
+  enum class Origin {
+    archive,   ///< external archive (URL); fetched over the archive link
+    sharedfs,  ///< cluster shared filesystem
+    manager,   ///< pushed by the manager (buffers, local files)
+    temp,      ///< produced in-cluster by a task
+    unpack,    ///< materialized at the worker by an unpack mini-task
+  } origin = Origin::manager;
+  const SimFile* archive_of = nullptr;  ///< unpack: the packed source
+};
+
+/// A task in the simulated workflow.
+struct SimTask {
+  std::uint64_t id = 0;
+  std::string category;   ///< workload phase label for the trace
+  double duration = 1;    ///< execution seconds once inputs are staged
+  double cores = 1;
+  double submit_at = 0;   ///< manager submission time
+  std::vector<const SimFile*> inputs;
+
+  struct Output {
+    SimFile* file;
+    std::int64_t size;
+  };
+  std::vector<Output> outputs;
+
+  std::string library;      ///< FunctionCall target; "" for plain tasks
+  bool is_library = false;  ///< library-install task (internal)
+  bool retrieve_outputs = false;  ///< force retrieval of outputs (Fig 13)
+  std::string pin_worker;   ///< optional placement pin
+};
+
+/// Aggregate counters for the bench summaries.
+struct SimStats {
+  std::int64_t transfers_from_archive = 0;
+  std::int64_t transfers_from_sharedfs = 0;
+  std::int64_t transfers_from_manager = 0;
+  std::int64_t transfers_from_peers = 0;
+  std::int64_t unpacks = 0;
+  std::int64_t retrievals_to_manager = 0;
+  std::int64_t bytes_from_archive = 0;
+  std::int64_t bytes_from_sharedfs = 0;
+  std::int64_t bytes_from_manager = 0;
+  std::int64_t bytes_from_peers = 0;
+  std::int64_t bytes_to_manager = 0;
+  std::int64_t cache_hits = 0;
+  int tasks_done = 0;
+  int tasks_unfinished = 0;
+
+  /// Highest concurrent transfer count observed from any worker source —
+  /// must never exceed the configured worker_source_limit in supervised
+  /// mode (invariant checked by the property tests).
+  int max_worker_source_inflight = 0;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(SimConfig config);
+
+  // ------------------------------------------------ workflow building
+
+  /// Declare a file. Names must be unique (they are cache names).
+  SimFile* declare_file(std::string name, std::int64_t size,
+                        SimFile::Origin origin);
+
+  /// Declare the unpacked form of an archive file (unpack mini-task).
+  SimFile* declare_unpack(const SimFile* archive, std::int64_t unpacked_size);
+
+  /// Declare a task; attach inputs/outputs on the returned object before
+  /// run(). Output files must have Origin::temp.
+  SimTask* add_task(std::string category, double duration, double cores = 1,
+                    double submit_at = 0);
+
+  /// Add a worker joining at `t_join` with `cores` (its NIC from config).
+  void add_worker(const std::string& id, double t_join, double cores);
+
+  /// Install a library on every worker: `init_duration` models the
+  /// expensive per-instance startup; `inputs` are staged first; instances
+  /// hold `cores` for the rest of the run.
+  void install_library(const std::string& name, double init_duration,
+                       double cores, std::vector<const SimFile*> inputs = {});
+
+  /// Mark a file as already cached on a worker before the run (hot-cache
+  /// experiments, Figure 9b).
+  void preload(const std::string& worker, const SimFile* file);
+
+  // ------------------------------------------------ running & results
+
+  /// Run to completion (all events drained). Returns the makespan.
+  double run();
+
+  const TraceRecorder& trace() const { return trace_; }
+  const SimStats& stats() const { return stats_; }
+  double makespan() const { return makespan_; }
+  Simulation& sim() { return sim_; }
+
+ private:
+  struct WorkerSim {
+    vine::WorkerSnapshot snap;
+    double join_at = 0;
+    bool joined = false;
+    int active_fetches = 0;  ///< fetches currently drawing on the NIC
+  };
+
+  struct PendingFetch {
+    std::string uuid;
+    const SimFile* file = nullptr;
+    std::string dest;
+    vine::TransferSource source;
+    bool is_unpack = false;
+  };
+
+  struct TaskRun {
+    SimTask* task = nullptr;
+    vine::TaskState state = vine::TaskState::ready;
+    std::string worker;
+    bool committed = false;
+    double ready_at = 0;
+    double started_at_ = 0;
+  };
+
+  void worker_join(const std::string& id);
+  void request_schedule();
+  void schedule_pass();
+  bool ensure_file_at(const SimFile* file, const std::string& worker);
+  void enqueue_fetch(PendingFetch fetch);
+  void start_next_fetches(const std::string& worker);
+  void start_fetch(const PendingFetch& fetch);
+  void fetch_complete(const PendingFetch& fetch);
+  void dispatch(TaskRun& run);
+  void task_complete(TaskRun& run);
+  void retrieve_output(const SimFile* file, const std::string& worker);
+
+  NodeId source_node(const vine::TransferSource& src, const SimFile* file) const;
+
+  SimConfig config_;
+  Simulation sim_;
+  FlowNetwork net_;
+  vine::Scheduler scheduler_;
+  vine::Rng rng_;
+
+  std::map<std::string, std::unique_ptr<SimFile>> files_;
+  std::vector<std::unique_ptr<SimTask>> tasks_;
+  std::map<std::uint64_t, TaskRun> runs_;
+  std::map<std::string, WorkerSim> workers_;
+  std::vector<std::string> worker_order_;
+
+  struct LibraryDef {
+    std::string name;
+    double init_duration;
+    double cores;
+    std::vector<const SimFile*> inputs;
+  };
+  std::vector<LibraryDef> libraries_;
+
+  vine::FileReplicaTable replicas_;
+  vine::CurrentTransferTable transfers_;
+  std::map<std::string, PendingFetch> inflight_;     // uuid -> fetch
+  std::map<std::string, std::deque<PendingFetch>> worker_queue_;
+  std::set<std::string> at_manager_;  ///< temp files retrieved to manager
+
+  TraceRecorder trace_;
+  SimStats stats_;
+  double makespan_ = 0;
+  double next_dispatch_at_ = 0;
+  bool pass_scheduled_ = false;
+  std::uint64_t next_task_id_ = 1;
+  std::uint64_t next_unpack_id_ = 1;
+};
+
+}  // namespace vinesim

@@ -1,0 +1,96 @@
+#include "sim/flow_network.hpp"
+
+#include <cmath>
+
+namespace vinesim {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+void FlowNetwork::add_node(const NodeId& id, double egress_Bps, double ingress_Bps,
+                           int knee, double beta) {
+  Node n;
+  n.egress_cap = egress_Bps;
+  n.ingress_cap = ingress_Bps;
+  n.knee = knee;
+  n.beta = beta;
+  nodes_[id] = n;
+}
+
+int FlowNetwork::egress_flows(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.egress_n;
+}
+
+int FlowNetwork::ingress_flows(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.ingress_n;
+}
+
+std::int64_t FlowNetwork::bytes_sent_from(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.bytes_sent;
+}
+
+FlowId FlowNetwork::start_flow(const NodeId& src, const NodeId& dst,
+                               std::int64_t bytes,
+                               std::function<void()> on_complete) {
+  auto sit = nodes_.find(src);
+  auto dit = nodes_.find(dst);
+  if (sit == nodes_.end() || dit == nodes_.end()) return 0;
+
+  FlowId id = next_flow_++;
+  Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.remaining = static_cast<double>(std::max<std::int64_t>(bytes, 1));
+  f.last_update = sim_.now();
+  f.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(f));
+  ++sit->second.egress_n;
+  ++dit->second.ingress_n;
+  sit->second.bytes_sent += bytes;
+  rebalance();
+  return id;
+}
+
+void FlowNetwork::complete_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+  --nodes_[flow.src].egress_n;
+  --nodes_[flow.dst].ingress_n;
+  rebalance();
+  if (flow.on_complete) flow.on_complete();
+}
+
+void FlowNetwork::rebalance() {
+  double now = sim_.now();
+  for (auto& [id, f] : flows_) {
+    // Advance the flow at its old rate.
+    f.remaining -= f.rate * (now - f.last_update);
+    if (f.remaining < 0) f.remaining = 0;
+    f.last_update = now;
+
+    const Node& s = nodes_[f.src];
+    const Node& d = nodes_[f.dst];
+    double egress_share =
+        s.egress_n > 0 ? s.effective_egress() / s.egress_n : s.egress_cap;
+    double ingress_share = d.ingress_n > 0 ? d.ingress_cap / d.ingress_n : d.ingress_cap;
+    double new_rate = std::min(egress_share, ingress_share);
+    if (backplane_Bps_ > 0 && !flows_.empty()) {
+      new_rate = std::min(new_rate,
+                          backplane_Bps_ / static_cast<double>(flows_.size()));
+    }
+    new_rate = std::max(new_rate, kEps);
+
+    if (f.completion) sim_.cancel(f.completion);
+    double finish_in = f.remaining / new_rate;
+    f.rate = new_rate;
+    f.completion = sim_.at(now + finish_in, [this, id = id] { complete_flow(id); });
+  }
+}
+
+}  // namespace vinesim

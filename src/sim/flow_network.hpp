@@ -1,0 +1,106 @@
+// Fair-share flow network model.
+//
+// Nodes have egress and ingress port capacities (a worker NIC is 10 GbE on
+// both sides; the shared filesystem's aggregate bandwidth is its egress
+// cap). A flow's instantaneous rate is min(egress_cap/egress_flows,
+// ingress_cap/ingress_flows) — per-port equal sharing, a standard
+// approximation of TCP max-min fairness that captures exactly the effect
+// the paper measures: a node serving N concurrent transfers delivers each
+// at ~1/N of its NIC (Figure 11b's hotspot meltdown), while capping
+// concurrent transfers per source keeps per-flow bandwidth high
+// (Figure 11c).
+//
+// Rates are recomputed lazily whenever any flow starts or ends: remaining
+// bytes of affected flows are advanced at the old rate first, then
+// completion events are rescheduled at the new rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/simulation.hpp"
+
+namespace vinesim {
+
+using NodeId = std::string;
+using FlowId = std::uint64_t;
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(Simulation& sim) : sim_(sim) {}
+
+  /// Register a node with its egress/ingress capacities in bytes/second.
+  ///
+  /// `knee`/`beta` model serving-efficiency collapse under heavy stream
+  /// fan-out (TCP contention, server overload — the effect that made
+  /// unmanaged BitTorrent perform poorly on HPC clusters, paper §2.1):
+  /// with n concurrent egress streams the node's aggregate egress drops to
+  ///   cap                          when n <= knee (or knee == 0),
+  ///   cap*(knee + (n-knee)*beta)/n otherwise,
+  /// i.e. each stream beyond the knee contributes only `beta` of a full
+  /// stream's worth of service capacity.
+  void add_node(const NodeId& id, double egress_Bps, double ingress_Bps,
+                int knee = 0, double beta = 1.0);
+
+  /// Cap the fabric's aggregate cross-node bandwidth (an oversubscribed
+  /// core switch). 0 (default) = unconstrained. Shared equally by all
+  /// active flows.
+  void set_backplane(double cap_Bps) { backplane_Bps_ = cap_Bps; }
+
+  /// Remove a node (its flows complete normally; new flows are rejected).
+  bool has_node(const NodeId& id) const { return nodes_.count(id) > 0; }
+
+  /// Start a flow of `bytes` from `src` to `dst`; `on_complete` fires at
+  /// the simulated completion time. Returns 0 if either node is unknown.
+  FlowId start_flow(const NodeId& src, const NodeId& dst, std::int64_t bytes,
+                    std::function<void()> on_complete);
+
+  /// Number of flows currently leaving / entering a node.
+  int egress_flows(const NodeId& id) const;
+  int ingress_flows(const NodeId& id) const;
+
+  /// Total flows in the air.
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Total bytes ever sent from a node (stats).
+  std::int64_t bytes_sent_from(const NodeId& id) const;
+
+ private:
+  struct Node {
+    double egress_cap = 0;
+    double ingress_cap = 0;
+    int knee = 0;
+    double beta = 1.0;
+    int egress_n = 0;
+    int ingress_n = 0;
+    std::int64_t bytes_sent = 0;
+
+    /// Aggregate egress available at the current fan-out.
+    double effective_egress() const {
+      if (knee <= 0 || egress_n <= knee) return egress_cap;
+      return egress_cap * (knee + (egress_n - knee) * beta) / egress_n;
+    }
+  };
+
+  struct Flow {
+    NodeId src, dst;
+    double remaining = 0;  ///< bytes still to move
+    double rate = 0;       ///< bytes/second as of last_update
+    double last_update = 0;
+    EventId completion = 0;
+    std::function<void()> on_complete;
+  };
+
+  void rebalance();
+  void complete_flow(FlowId id);
+
+  Simulation& sim_;
+  std::map<NodeId, Node> nodes_;
+  std::map<FlowId, Flow> flows_;
+  double backplane_Bps_ = 0;
+  FlowId next_flow_ = 1;
+};
+
+}  // namespace vinesim

@@ -1,0 +1,39 @@
+#include "sim/simulation.hpp"
+
+namespace vinesim {
+
+EventId Simulation::at(double t, std::function<void()> fn) {
+  if (t < now()) t = now();
+  EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+void Simulation::cancel(EventId id) { cancelled_.insert(id); }
+
+double Simulation::run(double t_end) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (t_end >= 0 && top.time > t_end) break;
+
+    double t = top.time;
+    EventId id = top.id;
+    auto fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    clock_.advance_to(t);
+
+    auto it = cancelled_.find(id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    ++processed_;
+    fn();
+  }
+  if (t_end >= 0 && now() < t_end) {
+    clock_.advance_to(t_end);
+  }
+  return now();
+}
+
+}  // namespace vinesim

@@ -1,0 +1,57 @@
+// Discrete-event simulation core. Deterministic: events at equal times fire
+// in scheduling order (sequence numbers break ties), and all randomness
+// comes from a seeded Rng, so a run is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace vinesim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  /// Schedule `fn` at absolute time `t` (>= now).
+  EventId at(double t, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay (>= 0).
+  EventId after(double dt, std::function<void()> fn) { return at(now() + dt, std::move(fn)); }
+
+  /// Cancel a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// Run until the queue drains or `t_end` is reached (infinity default).
+  /// Returns the final simulation time.
+  double run(double t_end = -1);
+
+  double now() const { return clock_.now(); }
+
+  /// Number of events processed so far (diagnostics).
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;  // FIFO among simultaneous events
+    }
+  };
+
+  vine::ManualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace vinesim

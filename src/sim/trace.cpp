@@ -1,0 +1,98 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace vinesim {
+
+void TraceRecorder::on_task_start(const std::string& worker, double t) {
+  changes_[worker].push_back({t, +1, 0});
+}
+void TraceRecorder::on_task_end(const std::string& worker, double t) {
+  changes_[worker].push_back({t, -1, 0});
+}
+void TraceRecorder::on_transfer_start(const std::string& worker, double t) {
+  changes_[worker].push_back({t, 0, +1});
+}
+void TraceRecorder::on_transfer_end(const std::string& worker, double t) {
+  changes_[worker].push_back({t, 0, -1});
+}
+void TraceRecorder::on_worker_join(const std::string& worker, double t) {
+  join_time_.emplace(worker, t);
+  changes_[worker];  // ensure a timeline exists even if never active
+}
+
+std::map<std::string, std::vector<ActivityInterval>> TraceRecorder::timelines(
+    double t_end) const {
+  std::map<std::string, std::vector<ActivityInterval>> out;
+  for (const auto& [worker, raw] : changes_) {
+    auto changes = raw;
+    std::stable_sort(changes.begin(), changes.end(),
+                     [](const Change& a, const Change& b) { return a.t < b.t; });
+    std::vector<ActivityInterval> intervals;
+    double t = join_time_.count(worker) ? join_time_.at(worker) : 0.0;
+    int running = 0, transferring = 0;
+    auto state_of = [&] {
+      if (running > 0) return WorkerState::busy;
+      if (transferring > 0) return WorkerState::transfer;
+      return WorkerState::idle;
+    };
+    WorkerState cur = state_of();
+    for (const auto& c : changes) {
+      if (c.t > t) {
+        WorkerState s = state_of();
+        if (!intervals.empty() && intervals.back().state == s &&
+            intervals.back().end == t) {
+          intervals.back().end = c.t;
+        } else {
+          intervals.push_back({t, c.t, s});
+        }
+        t = c.t;
+      }
+      running += c.run_delta;
+      transferring += c.xfer_delta;
+      cur = state_of();
+    }
+    (void)cur;
+    if (t_end > t) intervals.push_back({t, t_end, state_of()});
+    // Merge adjacent equal states.
+    std::vector<ActivityInterval> merged;
+    for (const auto& iv : intervals) {
+      if (!merged.empty() && merged.back().state == iv.state &&
+          merged.back().end == iv.begin) {
+        merged.back().end = iv.end;
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    out[worker] = std::move(merged);
+  }
+  return out;
+}
+
+std::vector<double> TraceRecorder::completion_times() const {
+  std::vector<double> out;
+  for (const auto& t : tasks_) {
+    if (t.ok) out.push_back(t.finished_at);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TraceRecorder::Utilization TraceRecorder::utilization(const std::string& worker,
+                                                      double t_end) const {
+  Utilization u;
+  auto tl = timelines(t_end);
+  auto it = tl.find(worker);
+  if (it == tl.end()) return u;
+  for (const auto& iv : it->second) {
+    double len = iv.end - iv.begin;
+    switch (iv.state) {
+      case WorkerState::busy: u.busy += len; break;
+      case WorkerState::transfer: u.transfer += len; break;
+      case WorkerState::idle: u.idle += len; break;
+    }
+  }
+  return u;
+}
+
+}  // namespace vinesim

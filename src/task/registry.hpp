@@ -1,0 +1,92 @@
+// Function and Library registries.
+//
+// The paper's PythonTask serializes Python code and ships it to workers. A
+// C++ runtime cannot serialize native code, so executable logic is
+// registered by name in process-global registries and referenced by name in
+// task specs; everything else the paper ships — environments, datasets,
+// argument payloads — still travels as declared files. In the TCP
+// deployment the standalone worker binary links the same registration code
+// (exactly how the paper's workers need a compatible Python available).
+//
+// A Library (paper §3.4) is a named collection of functions plus an init
+// step representing the expensive once-per-instance startup (loading a
+// dataset, starting an interpreter). The worker runs init once when the
+// LibraryTask is installed; each FunctionCall then dispatches into the
+// running instance without paying init again.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vine {
+
+/// Execution context handed to functions: where the task sandbox lives and
+/// which worker is running it.
+struct FunctionContext {
+  std::string sandbox_dir;  ///< task's private directory (inputs linked in)
+  std::string worker_id;
+};
+
+/// A plain registered function: serialized args in, serialized result out.
+using TaskFunction =
+    std::function<Result<std::string>(const std::string& args, const FunctionContext&)>;
+
+/// Registry of plain functions (FunctionTask targets).
+class FunctionRegistry {
+ public:
+  static FunctionRegistry& instance();
+
+  /// Register under a unique name; overwrites an existing entry (tests).
+  void register_function(const std::string& name, TaskFunction fn);
+
+  /// nullptr-equivalent when missing.
+  Result<TaskFunction> lookup(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TaskFunction> functions_;
+};
+
+/// Opaque state built by a library's init and shared by its functions.
+using LibraryState = std::shared_ptr<void>;
+
+/// A function hosted inside a library instance.
+using LibraryFunction = std::function<Result<std::string>(
+    const LibraryState& state, const std::string& args, const FunctionContext&)>;
+
+/// Blueprint for instantiating a Library on a worker.
+struct LibraryBlueprint {
+  std::string name;
+
+  /// Once-per-instance startup. Receives the LibraryTask's sandbox (input
+  /// files, e.g. an unpacked environment, are linked there). The returned
+  /// state is passed to every function invocation.
+  std::function<Result<LibraryState>(const FunctionContext&)> init;
+
+  /// Invocable functions by name.
+  std::map<std::string, LibraryFunction> functions;
+};
+
+/// Registry of library blueprints (LibraryTask targets).
+class LibraryRegistry {
+ public:
+  static LibraryRegistry& instance();
+
+  void register_library(LibraryBlueprint blueprint);
+  Result<LibraryBlueprint> lookup(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, LibraryBlueprint> libraries_;
+};
+
+}  // namespace vine

@@ -1,0 +1,30 @@
+#include "task/resources.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vine {
+
+Resources Resources::grown(const Resources& cap) const noexcept {
+  Resources g;
+  g.cores = std::min(cores * 2, cap.cores);
+  g.memory_mb = std::min(memory_mb * 2, cap.memory_mb);
+  g.disk_mb = std::min(disk_mb * 2, cap.disk_mb);
+  g.gpus = std::min(gpus * 2, cap.gpus);
+  // Zero-valued axes stay zero-valued (unconstrained request).
+  if (cores == 0) g.cores = 0;
+  if (memory_mb == 0) g.memory_mb = 0;
+  if (disk_mb == 0) g.disk_mb = 0;
+  if (gpus == 0) g.gpus = 0;
+  return g;
+}
+
+std::string Resources::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "cores=%g mem=%lldMB disk=%lldMB gpus=%d", cores,
+                static_cast<long long>(memory_mb), static_cast<long long>(disk_mb),
+                gpus);
+  return buf;
+}
+
+}  // namespace vine

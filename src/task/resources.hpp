@@ -1,0 +1,55 @@
+// Task and worker resource descriptions (paper §2.1/§2.2). Each task
+// declares a fixed allocation of cores/memory/disk/gpus; each worker owns a
+// total; the manager packs tasks so workers are never overcommitted, and
+// workers enforce the allocation at execution time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vine {
+
+/// A resource vector. Units: cores (fractional allowed for function calls),
+/// memory and disk in MB, whole GPUs.
+struct Resources {
+  double cores = 1;
+  std::int64_t memory_mb = 0;
+  std::int64_t disk_mb = 0;
+  int gpus = 0;
+
+  /// True when `need` fits inside the remaining capacity `this`.
+  bool can_fit(const Resources& need) const noexcept {
+    return need.cores <= cores + 1e-9 && need.memory_mb <= memory_mb &&
+           need.disk_mb <= disk_mb && need.gpus <= gpus;
+  }
+
+  Resources& operator+=(const Resources& o) noexcept {
+    cores += o.cores;
+    memory_mb += o.memory_mb;
+    disk_mb += o.disk_mb;
+    gpus += o.gpus;
+    return *this;
+  }
+
+  Resources& operator-=(const Resources& o) noexcept {
+    cores -= o.cores;
+    memory_mb -= o.memory_mb;
+    disk_mb -= o.disk_mb;
+    gpus -= o.gpus;
+    return *this;
+  }
+
+  friend Resources operator+(Resources a, const Resources& b) { return a += b; }
+  friend Resources operator-(Resources a, const Resources& b) { return a -= b; }
+
+  bool operator==(const Resources&) const = default;
+
+  /// Component-wise doubling, capped at `cap` — the allocation-growth
+  /// policy when a task exceeds its declared resources (paper §2.1).
+  Resources grown(const Resources& cap) const noexcept;
+
+  /// "cores=2 mem=1024MB disk=0MB gpus=0"
+  std::string to_string() const;
+};
+
+}  // namespace vine

@@ -1,0 +1,40 @@
+#include "task/task_hash.hpp"
+
+#include <algorithm>
+
+#include "hash/digest.hpp"
+
+namespace vine {
+
+std::string render_task_document(const TaskSpec& spec) {
+  std::string doc = "vine-task-v1\n";
+  doc += "kind ";
+  doc += task_kind_name(spec.kind);
+  doc += '\n';
+  doc += "command " + spec.command + "\n";
+  doc += "function " + spec.function_name + "\n";
+  doc += "args " + spec.function_args + "\n";
+  doc += "library " + spec.library_name + "\n";
+  doc += "resources " + spec.resources.to_string() + "\n";
+  // std::map iterates keys sorted, so env lines are canonical.
+  for (const auto& [k, v] : spec.env) {
+    doc += "env " + k + "=" + v + "\n";
+  }
+
+  std::vector<std::pair<std::string, std::string>> inputs;
+  inputs.reserve(spec.inputs.size());
+  for (const auto& m : spec.inputs) {
+    inputs.emplace_back(m.sandbox_name, m.file ? m.file->cache_name : "");
+  }
+  std::sort(inputs.begin(), inputs.end());
+  for (const auto& [name, hash] : inputs) {
+    doc += "input " + name + " " + hash + "\n";
+  }
+  return doc;
+}
+
+std::string task_spec_hash(const TaskSpec& spec) {
+  return md5_buffer(render_task_document(spec));
+}
+
+}  // namespace vine

@@ -1,0 +1,25 @@
+// Canonical task hashing (paper §3.2, MiniTask/TempFile naming).
+//
+// A task's hash covers everything that determines what it produces: the
+// command (or function+args), declared resources, environment, and the
+// cache names of all inputs — which are themselves content-derived,
+// recursively, forming a Merkle tree over the producing computation. Two
+// MiniTasks with identical specifications therefore name identical outputs
+// and the worker cache unifies them across workflows.
+#pragma once
+
+#include <string>
+
+#include "task/task_spec.hpp"
+
+namespace vine {
+
+/// Render the canonical one-line-per-field document that gets hashed.
+/// Exposed for tests; inputs are sorted by sandbox name.
+std::string render_task_document(const TaskSpec& spec);
+
+/// MD5 over render_task_document. Requires every input file to have its
+/// cache_name already assigned.
+std::string task_spec_hash(const TaskSpec& spec);
+
+}  // namespace vine

@@ -1,0 +1,27 @@
+#include "task/task_spec.hpp"
+
+namespace vine {
+
+const char* task_kind_name(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::command: return "command";
+    case TaskKind::function: return "function";
+    case TaskKind::library: return "library";
+    case TaskKind::function_call: return "function_call";
+    case TaskKind::mini: return "mini";
+  }
+  return "?";
+}
+
+const char* task_state_name(TaskState state) noexcept {
+  switch (state) {
+    case TaskState::ready: return "ready";
+    case TaskState::dispatched: return "dispatched";
+    case TaskState::running: return "running";
+    case TaskState::done: return "done";
+    case TaskState::failed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace vine

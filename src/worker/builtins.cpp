@@ -1,0 +1,56 @@
+#include "worker/builtins.hpp"
+
+#include <filesystem>
+#include <mutex>
+
+#include "archive/vpak.hpp"
+#include "json/json.hpp"
+#include "task/registry.hpp"
+
+namespace vine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Result<std::string> builtin_unpack(const std::string& args, const FunctionContext& ctx) {
+  VINE_TRY(json::Value v, json::parse(args));
+  std::string archive = v.get_string("archive");
+  std::string out = v.get_string("out");
+  if (archive.empty() || out.empty()) {
+    return Error{Errc::invalid_argument, "vine.unpack needs archive and out"};
+  }
+  fs::path sandbox(ctx.sandbox_dir);
+  VINE_TRY_STATUS(vpak_unpack(sandbox / archive, sandbox / out));
+  return std::string("ok");
+}
+
+Result<std::string> builtin_pack(const std::string& args, const FunctionContext& ctx) {
+  VINE_TRY(json::Value v, json::parse(args));
+  std::string in = v.get_string("in");
+  std::string archive = v.get_string("archive");
+  if (in.empty() || archive.empty()) {
+    return Error{Errc::invalid_argument, "vine.pack needs in and archive"};
+  }
+  fs::path sandbox(ctx.sandbox_dir);
+  VINE_TRY_STATUS(vpak_pack_tree(sandbox / in, sandbox / archive));
+  return std::string("ok");
+}
+
+Result<std::string> builtin_echo(const std::string& args, const FunctionContext&) {
+  return args;
+}
+
+}  // namespace
+
+void register_builtin_functions() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& reg = FunctionRegistry::instance();
+    reg.register_function("vine.unpack", builtin_unpack);
+    reg.register_function("vine.pack", builtin_pack);
+    reg.register_function("vine.echo", builtin_echo);
+  });
+}
+
+}  // namespace vine

@@ -1,0 +1,16 @@
+// Built-in worker functions (the wrappers the paper mentions in §2.4:
+// "TaskVine provides wrappers for built-in MiniTasks that perform common
+// operations such as packaging and compression").
+#pragma once
+
+namespace vine {
+
+/// Register the built-in functions in the process FunctionRegistry:
+///   vine.unpack  args {"archive":NAME,"out":NAME} — unpack a vpak archive
+///                from the sandbox into a sandbox directory.
+///   vine.pack    args {"in":NAME,"archive":NAME} — inverse of unpack.
+///   vine.echo    args echoed back (testing / diagnostics).
+/// Idempotent; called by every Worker on construction.
+void register_builtin_functions();
+
+}  // namespace vine

@@ -1,0 +1,213 @@
+#include "worker/cache_store.hpp"
+
+#include "archive/vpak.hpp"
+#include "common/log.hpp"
+#include "fsutil/fsutil.hpp"
+
+namespace vine {
+
+namespace fs = std::filesystem;
+
+CacheStore::CacheStore(fs::path dir, std::int64_t capacity_bytes)
+    : dir_(std::move(dir)), capacity_(capacity_bytes) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Adopt surviving objects as worker-lifetime entries.
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    CacheEntry e;
+    e.level = CacheLevel::worker;
+    e.is_dir = de.is_directory(ec);
+    auto size = tree_size(de.path());
+    e.size = size.ok() ? *size : 0;
+    e.last_access = ++access_tick_;
+    entries_[de.path().filename().string()] = e;
+  }
+}
+
+void CacheStore::touch(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) it->second.last_access = ++access_tick_;
+}
+
+Status CacheStore::make_room(std::int64_t needed) {
+  if (capacity_ <= 0) return Status::success();
+  std::int64_t used = 0;
+  for (const auto& [_, e] : entries_) used += e.size;
+  while (used + needed > capacity_) {
+    // Oldest worker-lifetime entry is the eviction victim; other levels
+    // are live workflow state and may only go via unlink/end_workflow.
+    const std::string* victim = nullptr;
+    std::uint64_t oldest = ~0ULL;
+    for (const auto& [name, e] : entries_) {
+      if (e.level == CacheLevel::worker && e.last_access < oldest) {
+        oldest = e.last_access;
+        victim = &name;
+      }
+    }
+    if (!victim) {
+      return Error{Errc::resource_exhausted,
+                   "cache full: " + std::to_string(used) + "B used, " +
+                       std::to_string(needed) + "B needed, nothing evictable"};
+    }
+    used -= entries_[*victim].size;
+    std::string name = *victim;
+    remove_all_quiet(path_of(name));
+    entries_.erase(name);
+    evicted_.push_back(name);
+    VINE_LOG_INFO("cache", "evicted %s to make room", name.c_str());
+  }
+  return Status::success();
+}
+
+std::vector<std::string> CacheStore::take_evictions() {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.swap(evicted_);
+  return out;
+}
+
+fs::path CacheStore::path_of(const std::string& name) const { return dir_ / name; }
+
+Status CacheStore::validate_name(const std::string& name) const {
+  if (name.empty() || name.find('/') != std::string::npos || name == "." ||
+      name == "..") {
+    return Error{Errc::invalid_argument, "bad cache name: " + name};
+  }
+  return Status::success();
+}
+
+Status CacheStore::put_bytes(const std::string& name, std::string_view bytes,
+                             CacheLevel level) {
+  VINE_TRY_STATUS(validate_name(name));
+  std::lock_guard lock(mutex_);
+  VINE_TRY_STATUS(make_room(static_cast<std::int64_t>(bytes.size())));
+  VINE_TRY_STATUS(write_file_atomic(path_of(name), bytes));
+  entries_[name] = {level, static_cast<std::int64_t>(bytes.size()), false,
+                    ++access_tick_};
+  return Status::success();
+}
+
+Status CacheStore::put_archive(const std::string& name,
+                               std::string_view archive_bytes, CacheLevel level) {
+  VINE_TRY_STATUS(validate_name(name));
+  // Unpack to a temp sibling then rename, so a present object is complete.
+  fs::path tmp = path_of(name + ".unpack-tmp");
+  remove_all_quiet(tmp);
+  fs::path archive_tmp = path_of(name + ".vpak-tmp");
+  VINE_TRY_STATUS(write_file_atomic(archive_tmp, archive_bytes));
+  auto unpack = vpak_unpack(archive_tmp, tmp);
+  remove_all_quiet(archive_tmp);
+  if (!unpack.ok()) {
+    remove_all_quiet(tmp);
+    return unpack.error();
+  }
+  auto size = tree_size(tmp);
+  std::lock_guard lock(mutex_);
+  if (auto room = make_room(size.ok() ? *size : 0); !room.ok()) {
+    remove_all_quiet(tmp);
+    return room.error();
+  }
+  std::error_code ec;
+  remove_all_quiet(path_of(name));
+  fs::rename(tmp, path_of(name), ec);
+  if (ec) {
+    remove_all_quiet(tmp);
+    return Error{Errc::io_error, "rename into cache failed: " + ec.message()};
+  }
+  entries_[name] = {level, size.ok() ? *size : 0, true, ++access_tick_};
+  return Status::success();
+}
+
+Status CacheStore::adopt(const std::string& name, const fs::path& src,
+                         CacheLevel level) {
+  VINE_TRY_STATUS(validate_name(name));
+  std::error_code ec;
+  if (!fs::exists(src, ec)) {
+    return Error{Errc::not_found, "adopt source missing: " + src.string()};
+  }
+  bool is_dir = fs::is_directory(src, ec);
+  auto size = tree_size(src);
+  std::lock_guard lock(mutex_);
+  VINE_TRY_STATUS(make_room(size.ok() ? *size : 0));
+  remove_all_quiet(path_of(name));
+  fs::rename(src, path_of(name), ec);
+  if (ec) {
+    // Cross-device or busy: fall back to copy.
+    VINE_TRY_STATUS(copy_tree(src, path_of(name)));
+    remove_all_quiet(src);
+  }
+  entries_[name] = {level, size.ok() ? *size : 0, is_dir, ++access_tick_};
+  return Status::success();
+}
+
+bool CacheStore::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return entries_.count(name) > 0;
+}
+
+Result<fs::path> CacheStore::object_path(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  if (!entries_.count(name)) {
+    return Error{Errc::not_found, "not cached: " + name};
+  }
+  const_cast<CacheStore*>(this)->touch(name);  // LRU bookkeeping only
+  return path_of(name);
+}
+
+Result<CacheEntry> CacheStore::entry(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return Error{Errc::not_found, "not cached: " + name};
+  return it->second;
+}
+
+Result<std::pair<std::string, bool>> CacheStore::read_for_transfer(
+    const std::string& name) const {
+  VINE_TRY(CacheEntry e, entry(name));
+  if (e.is_dir) {
+    // Serialize the tree to a vpak archive in memory via a temp file.
+    fs::path tmp = dir_ / (name + ".xfer-tmp");
+    auto pack = vpak_pack_tree(path_of(name), tmp);
+    if (!pack.ok()) return pack.error();
+    auto bytes = read_file(tmp);
+    remove_all_quiet(tmp);
+    if (!bytes.ok()) return bytes.error();
+    return std::make_pair(std::move(*bytes), true);
+  }
+  VINE_TRY(std::string bytes, read_file(path_of(name)));
+  return std::make_pair(std::move(bytes), false);
+}
+
+Status CacheStore::remove_object(const std::string& name) {
+  VINE_TRY_STATUS(validate_name(name));
+  std::lock_guard lock(mutex_);
+  entries_.erase(name);
+  remove_all_quiet(path_of(name));
+  return Status::success();
+}
+
+void CacheStore::end_workflow() {
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.level != CacheLevel::worker) {
+      remove_all_quiet(path_of(it->first));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::pair<std::string, CacheEntry>> CacheStore::list() const {
+  std::lock_guard lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+std::int64_t CacheStore::used_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& [_, e] : entries_) total += e.size;
+  return total;
+}
+
+}  // namespace vine

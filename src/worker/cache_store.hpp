@@ -1,0 +1,101 @@
+// Worker-local object cache (paper §2.2, Figure 4).
+//
+// All data on a worker lives in one flat directory of objects keyed by the
+// manager-assigned cache name. Objects are immutable once present; tasks
+// see them through links in private sandboxes. Each object carries its
+// cache lifetime: task/workflow objects are cleared by end_workflow(),
+// worker objects persist on disk and are re-announced to the next manager
+// (hot cache, Figure 9b).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "files/file_decl.hpp"
+
+namespace vine {
+
+/// Metadata for one cached object.
+struct CacheEntry {
+  CacheLevel level = CacheLevel::workflow;
+  std::int64_t size = 0;
+  bool is_dir = false;
+  std::uint64_t last_access = 0;  ///< LRU tick for eviction ordering
+};
+
+class CacheStore {
+ public:
+  /// Open (or create) a cache rooted at `dir`. Objects already on disk are
+  /// adopted as worker-lifetime entries (they could only have survived a
+  /// previous workflow if they were worker-lifetime).
+  /// `capacity_bytes` bounds total cache size; 0 = unlimited. When an
+  /// insertion would exceed it, least-recently-used *worker-lifetime*
+  /// objects are evicted first (they are pure cache; task/workflow objects
+  /// are live workflow state and are never evicted silently). If that is
+  /// not enough, the insertion fails with Errc::resource_exhausted.
+  explicit CacheStore(std::filesystem::path dir, std::int64_t capacity_bytes = 0);
+
+  /// Store literal bytes under `name`.
+  Status put_bytes(const std::string& name, std::string_view bytes, CacheLevel level);
+
+  /// Store a directory tree delivered as a vpak archive.
+  Status put_archive(const std::string& name, std::string_view archive_bytes,
+                     CacheLevel level);
+
+  /// Move an existing file/directory into the cache (task outputs).
+  Status adopt(const std::string& name, const std::filesystem::path& src,
+               CacheLevel level);
+
+  bool contains(const std::string& name) const;
+
+  /// Absolute path of a present object (for sandbox linking / serving).
+  Result<std::filesystem::path> object_path(const std::string& name) const;
+
+  /// Entry metadata of a present object.
+  Result<CacheEntry> entry(const std::string& name) const;
+
+  /// Serialize an object for a transfer: file -> raw bytes,
+  /// directory -> vpak archive (is_dir tells the receiver which).
+  Result<std::pair<std::string, bool>> read_for_transfer(const std::string& name) const;
+
+  Status remove_object(const std::string& name);
+
+  /// Delete everything below worker lifetime (end of workflow GC).
+  void end_workflow();
+
+  /// All current entries, sorted by name.
+  std::vector<std::pair<std::string, CacheEntry>> list() const;
+
+  /// Bytes used by all objects.
+  std::int64_t used_bytes() const;
+
+  std::int64_t capacity_bytes() const { return capacity_; }
+
+  /// Names evicted since the last call (the worker reports these to the
+  /// manager as cache-update removals so the replica table stays true).
+  std::vector<std::string> take_evictions();
+
+  const std::filesystem::path& root() const { return dir_; }
+
+ private:
+  std::filesystem::path path_of(const std::string& name) const;
+  Status validate_name(const std::string& name) const;
+  /// Evict LRU worker-lifetime entries until `needed` more bytes fit.
+  /// Caller holds mutex_. Fails when impossible.
+  Status make_room(std::int64_t needed);
+  void touch(const std::string& name);
+
+  std::filesystem::path dir_;
+  std::int64_t capacity_ = 0;
+  mutable std::mutex mutex_;
+  std::map<std::string, CacheEntry> entries_;
+  std::vector<std::string> evicted_;
+  std::uint64_t access_tick_ = 0;
+};
+
+}  // namespace vine

@@ -1,0 +1,269 @@
+#include "worker/executor.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/uuid.hpp"
+#include "fsutil/fsutil.hpp"
+#include "task/registry.hpp"
+
+namespace vine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Resident set size of a process in bytes via /proc (Linux); 0 if unknown.
+std::int64_t process_rss_bytes(pid_t pid) {
+  std::ifstream statm("/proc/" + std::to_string(pid) + "/statm");
+  if (!statm) return 0;
+  long long size_pages = 0, rss_pages = 0;
+  statm >> size_pages >> rss_pages;
+  return rss_pages * static_cast<std::int64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorConfig config, CacheStore& cache)
+    : config_(std::move(config)), cache_(cache) {
+  std::error_code ec;
+  fs::create_directories(config_.sandbox_root, ec);
+}
+
+Result<fs::path> Executor::make_sandbox(const proto::WireTask& task) {
+  fs::path sandbox = config_.sandbox_root /
+                     ("t" + std::to_string(task.id) + "-" + generate_token(6));
+  std::error_code ec;
+  fs::create_directories(sandbox, ec);
+  if (ec) {
+    return Error{Errc::io_error, "cannot create sandbox: " + sandbox.string()};
+  }
+  for (const auto& in : task.inputs) {
+    auto obj = cache_.object_path(in.cache_name);
+    if (!obj.ok()) {
+      remove_all_quiet(sandbox);
+      return Error{Errc::not_found, "input not cached at worker: " + in.cache_name +
+                                        " (as " + in.sandbox_name + ")"};
+    }
+    auto link = link_into_sandbox(*obj, sandbox / in.sandbox_name);
+    if (!link.ok()) {
+      remove_all_quiet(sandbox);
+      return link.error();
+    }
+  }
+  return sandbox;
+}
+
+Status Executor::harvest_outputs(const proto::WireTask& task, const fs::path& sandbox,
+                                 std::vector<proto::OutputRecord>& outputs) {
+  for (const auto& out : task.outputs) {
+    fs::path produced = sandbox / out.sandbox_name;
+    std::error_code ec;
+    if (!fs::exists(produced, ec)) {
+      return Error{Errc::task_failed,
+                   "declared output missing: " + out.sandbox_name};
+    }
+    VINE_TRY_STATUS(cache_.adopt(out.cache_name, produced, out.level));
+    auto e = cache_.entry(out.cache_name);
+    outputs.push_back({out.cache_name, e.ok() ? e->size : 0});
+  }
+  return Status::success();
+}
+
+ExecOutcome Executor::execute(const proto::WireTask& task) {
+  ExecOutcome outcome;
+  auto sandbox = make_sandbox(task);
+  if (!sandbox.ok()) {
+    outcome.error = sandbox.error().to_string();
+    return outcome;
+  }
+
+  switch (task.kind) {
+    case TaskKind::command:
+      outcome = run_command(task, *sandbox);
+      break;
+    case TaskKind::mini:
+      // Mini-tasks run a command like plain tasks, or a registered
+      // function for the built-in wrappers (vine.unpack and friends).
+      outcome = task.function_name.empty() ? run_command(task, *sandbox)
+                                           : run_function(task, *sandbox);
+      break;
+    case TaskKind::function:
+      outcome = run_function(task, *sandbox);
+      break;
+    default:
+      outcome.error = "executor cannot run task kind " +
+                      std::string(task_kind_name(task.kind));
+      break;
+  }
+
+  if (outcome.ok) {
+    auto h = harvest_outputs(task, *sandbox, outcome.outputs);
+    if (!h.ok()) {
+      outcome.ok = false;
+      outcome.error = h.error().to_string();
+    }
+  }
+  remove_all_quiet(*sandbox);
+  return outcome;
+}
+
+ExecOutcome Executor::run_command(const proto::WireTask& task, const fs::path& sandbox) {
+  ExecOutcome outcome;
+  fs::path stdout_path = sandbox / ".vine-stdout";
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    outcome.error = std::string("fork failed: ") + std::strerror(errno);
+    return outcome;
+  }
+
+  if (pid == 0) {
+    // Child: enter the sandbox, set the environment, capture stdout.
+    if (::chdir(sandbox.c_str()) != 0) _exit(126);
+    for (const auto& [k, v] : task.env) {
+      ::setenv(k.c_str(), v.c_str(), 1);
+    }
+    ::setenv("VINE_SANDBOX", sandbox.c_str(), 1);
+    int out_fd = ::open(stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (out_fd >= 0) {
+      ::dup2(out_fd, STDOUT_FILENO);
+      ::close(out_fd);
+    }
+    ::execl("/bin/sh", "sh", "-c", task.command.c_str(), nullptr);
+    _exit(127);
+  }
+
+  // Parent: poll for completion, enforcing wall-time and disk limits.
+  const auto start = std::chrono::steady_clock::now();
+  const auto poll = std::chrono::duration<double>(config_.disk_poll_seconds);
+  bool killed_for_time = false;
+  bool killed_for_disk = false;
+  bool killed_for_memory = false;
+  int status = 0;
+  while (true) {
+    pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0 && errno != EINTR) {
+      outcome.error = std::string("waitpid failed: ") + std::strerror(errno);
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      return outcome;
+    }
+
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (task.timeout_seconds > 0 && elapsed > task.timeout_seconds) {
+      killed_for_time = true;
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      break;
+    }
+    if (task.resources.disk_mb > 0) {
+      auto used = tree_size(sandbox);
+      if (used.ok() && *used > task.resources.disk_mb * 1000 * 1000) {
+        killed_for_disk = true;
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+        break;
+      }
+    }
+    // Memory enforcement samples the command shell's RSS (full-tree
+    // accounting would need cgroups; the shell holds most workflows'
+    // footprint since $(...) expansions live in it).
+    if (task.resources.memory_mb > 0 &&
+        process_rss_bytes(pid) > task.resources.memory_mb * 1000 * 1000) {
+      killed_for_memory = true;
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      break;
+    }
+    std::this_thread::sleep_for(poll);
+  }
+
+  if (killed_for_disk) {
+    outcome.resource_exceeded = true;
+    outcome.error = "task exceeded its disk allocation of " +
+                    std::to_string(task.resources.disk_mb) + "MB";
+    return outcome;
+  }
+  if (killed_for_memory) {
+    outcome.resource_exceeded = true;
+    outcome.error = "task exceeded its memory allocation of " +
+                    std::to_string(task.resources.memory_mb) + "MB";
+    return outcome;
+  }
+  if (killed_for_time) {
+    outcome.error = "task exceeded its wall-time limit of " +
+                    std::to_string(task.timeout_seconds) + "s";
+    return outcome;
+  }
+
+  // Fast tasks can finish between polls; enforce the disk allocation on
+  // the final sandbox state as well.
+  if (task.resources.disk_mb > 0) {
+    auto used = tree_size(sandbox);
+    if (used.ok() && *used > task.resources.disk_mb * 1000 * 1000) {
+      outcome.resource_exceeded = true;
+      outcome.error = "task exceeded its disk allocation of " +
+                      std::to_string(task.resources.disk_mb) + "MB";
+      return outcome;
+    }
+  }
+
+  // Capture (bounded) stdout.
+  if (auto text = read_file(stdout_path); text.ok()) {
+    outcome.output = std::move(*text);
+    if (outcome.output.size() > config_.max_captured_output) {
+      outcome.output.resize(config_.max_captured_output);
+    }
+  }
+  remove_all_quiet(stdout_path);
+
+  if (WIFEXITED(status)) {
+    outcome.exit_code = WEXITSTATUS(status);
+    outcome.ok = (outcome.exit_code == 0);
+    if (!outcome.ok) {
+      outcome.error = "command exited with status " +
+                      std::to_string(outcome.exit_code);
+    }
+  } else if (WIFSIGNALED(status)) {
+    outcome.error = "command killed by signal " + std::to_string(WTERMSIG(status));
+  } else {
+    outcome.error = "command ended abnormally";
+  }
+  return outcome;
+}
+
+ExecOutcome Executor::run_function(const proto::WireTask& task, const fs::path& sandbox) {
+  ExecOutcome outcome;
+  auto fn = FunctionRegistry::instance().lookup(task.function_name);
+  if (!fn.ok()) {
+    outcome.error = fn.error().to_string();
+    return outcome;
+  }
+  FunctionContext ctx;
+  ctx.sandbox_dir = sandbox.string();
+  ctx.worker_id = config_.worker_id;
+  auto result = (*fn)(task.function_args, ctx);
+  if (!result.ok()) {
+    outcome.error = "function failed: " + result.error().to_string();
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.exit_code = 0;
+  outcome.output = std::move(*result);
+  return outcome;
+}
+
+}  // namespace vine

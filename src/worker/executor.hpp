@@ -1,0 +1,66 @@
+// Sandbox task execution (paper §2.2, Figure 4).
+//
+// Every task runs in a private sandbox directory: inputs are linked in
+// under their user-visible names, the command (or registered function)
+// runs with the sandbox as its working directory, declared outputs are
+// harvested into the cache, and the sandbox is deleted. Command tasks run
+// as real child processes (/bin/sh -c) with wall-time and disk-allocation
+// enforcement; function tasks invoke a registered callable in-process.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "worker/cache_store.hpp"
+
+namespace vine {
+
+/// Outcome of one sandbox execution.
+struct ExecOutcome {
+  bool ok = false;
+  bool resource_exceeded = false;  ///< killed for exceeding its allocation
+  int exit_code = -1;
+  std::string output;  ///< captured stdout (truncated) or function result
+  std::string error;   ///< failure description
+  std::vector<proto::OutputRecord> outputs;  ///< harvested into the cache
+};
+
+struct ExecutorConfig {
+  std::filesystem::path sandbox_root;  ///< parent of per-task sandboxes
+  std::string worker_id;
+  std::size_t max_captured_output = 1 << 20;  ///< stdout capture cap (1 MiB)
+  double disk_poll_seconds = 0.1;  ///< disk-enforcement poll interval
+};
+
+/// Executes wire tasks against a cache store. Thread-safe: each execute()
+/// call is independent and may run on its own thread.
+class Executor {
+ public:
+  Executor(ExecutorConfig config, CacheStore& cache);
+
+  /// Run a command/function task to completion (blocking). Outputs are
+  /// placed into the cache under their cache names at the mount's level.
+  ExecOutcome execute(const proto::WireTask& task);
+
+  /// Prepare a sandbox with all inputs linked in; exposed for the library
+  /// machinery which owns its instance's sandbox for its whole life.
+  Result<std::filesystem::path> make_sandbox(const proto::WireTask& task);
+
+  /// Harvest declared outputs from a sandbox into the cache.
+  Status harvest_outputs(const proto::WireTask& task,
+                         const std::filesystem::path& sandbox,
+                         std::vector<proto::OutputRecord>& outputs);
+
+ private:
+  ExecOutcome run_command(const proto::WireTask& task,
+                          const std::filesystem::path& sandbox);
+  ExecOutcome run_function(const proto::WireTask& task,
+                           const std::filesystem::path& sandbox);
+
+  ExecutorConfig config_;
+  CacheStore& cache_;
+};
+
+}  // namespace vine

@@ -1,0 +1,543 @@
+#include "worker/worker.hpp"
+
+#include "archive/vpak.hpp"
+#include "common/log.hpp"
+#include "common/uuid.hpp"
+#include "fsutil/fsutil.hpp"
+#include "net/channel.hpp"
+#include "net/tcp.hpp"
+#include "worker/builtins.hpp"
+
+namespace vine {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+Worker::Worker(WorkerConfig config) : config_(std::move(config)) {
+  register_builtin_functions();
+  if (!config_.fetcher) config_.fetcher = std::make_shared<FileUrlFetcher>();
+  cache_ = std::make_unique<CacheStore>(config_.root_dir / "cache",
+                                        config_.cache_capacity_bytes);
+  executor_ = std::make_unique<Executor>(
+      ExecutorConfig{config_.root_dir / "sandboxes", config_.id, 1 << 20, 0.05},
+      *cache_);
+}
+
+Result<std::unique_ptr<Worker>> Worker::connect(WorkerConfig config) {
+  auto w = std::unique_ptr<Worker>(new Worker(std::move(config)));
+  VINE_TRY_STATUS(w->init_and_register());
+  return w;
+}
+
+Status Worker::init_and_register() {
+  // Peer transfer service.
+  if (config_.tcp_transfer_service) {
+    VINE_TRY(transfer_listener_, tcp_listen(0));
+  } else {
+    VINE_TRY(transfer_listener_,
+             ChannelFabric::instance().listen("xfer-" + config_.id + "-" +
+                                              generate_token(6)));
+  }
+  transfer_addr_ = transfer_listener_->address();
+  transfer_server_ = std::thread([this] { transfer_server_main(); });
+
+  // Transfer pool.
+  for (int i = 0; i < std::max(1, config_.max_concurrent_transfers); ++i) {
+    transfer_pool_.emplace_back([this] { transfer_worker_main(); });
+  }
+
+  // Control connection + registration.
+  VINE_TRY(manager_, connect_to(config_.manager_addr, 5000ms));
+  proto::HelloMsg hello;
+  hello.worker_id = config_.id;
+  hello.transfer_addr = transfer_addr_;
+  hello.resources = config_.resources;
+  for (const auto& [name, entry] : cache_->list()) {
+    hello.cached.push_back({name, entry.size});
+  }
+  send_to_manager(hello);
+  VINE_LOG_INFO("worker", "%s registered with %s (%zu cached objects)",
+                config_.id.c_str(), config_.manager_addr.c_str(),
+                hello.cached.size());
+  return Status::success();
+}
+
+Worker::~Worker() { stop(); }
+
+void Worker::start() {
+  run_thread_ = std::thread([this] { run(); });
+}
+
+void Worker::run() {
+  while (!stopping_.load()) {
+    auto frame = manager_->recv(100ms);
+    if (!frame.ok()) {
+      if (frame.error().code == Errc::timeout) continue;
+      VINE_LOG_INFO("worker", "%s: manager connection closed (%s)",
+                    config_.id.c_str(), frame.error().message.c_str());
+      break;
+    }
+    handle_frame(std::move(*frame));
+  }
+}
+
+void Worker::stop() {
+  // stopping_ may already be set by a shutdown message from the manager;
+  // the close operations are idempotent and must run regardless, or the
+  // transfer pool would spin forever and the joins below would deadlock.
+  stopping_.store(true);
+  if (manager_) manager_->close();
+  if (transfer_listener_) transfer_listener_->close();
+  transfer_jobs_.close();
+  if (run_thread_.joinable() &&
+      run_thread_.get_id() != std::this_thread::get_id()) {
+    run_thread_.join();
+  }
+  for (auto& t : transfer_pool_) {
+    if (t.joinable()) t.join();
+  }
+  transfer_pool_.clear();
+  if (transfer_server_.joinable()) transfer_server_.join();
+
+  {
+    std::lock_guard lock(libraries_mutex_);
+    for (auto& [_, host] : libraries_) {
+      host.instance->stop();
+      if (host.pump.joinable()) host.pump.join();
+      remove_all_quiet(host.sandbox);
+    }
+    libraries_.clear();
+  }
+
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(threads_mutex_);
+    to_join.swap(task_threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  std::vector<std::thread> peers;
+  {
+    std::lock_guard lock(threads_mutex_);
+    peers.swap(peer_threads_);
+  }
+  for (auto& t : peers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+// ------------------------------------------------------------ messaging
+
+void Worker::send_to_manager(const proto::AnyMessage& msg) {
+  auto st = manager_->send_json(proto::encode(msg));
+  if (!st.ok() && !stopping_.load()) {
+    VINE_LOG_WARN("worker", "%s: send to manager failed: %s", config_.id.c_str(),
+                  st.error().message.c_str());
+  }
+}
+
+void Worker::send_cache_update(const std::string& cache_name,
+                               const std::string& transfer_id, bool ok,
+                               std::int64_t size, const std::string& error) {
+  proto::CacheUpdateMsg m;
+  m.cache_name = cache_name;
+  m.transfer_id = transfer_id;
+  m.ok = ok;
+  m.size = size;
+  m.error = error;
+  send_to_manager(m);
+  // Storing one object may have evicted others; keep the manager's
+  // replica table truthful about what this worker still holds.
+  report_evictions();
+}
+
+void Worker::report_evictions() {
+  for (const auto& name : cache_->take_evictions()) {
+    proto::CacheUpdateMsg m;
+    m.cache_name = name;
+    m.ok = false;
+    m.size = -1;
+    m.error = "evicted";
+    send_to_manager(m);
+  }
+}
+
+// ------------------------------------------------------------ dispatch
+
+void Worker::handle_frame(Frame frame) {
+  if (frame.kind != Frame::Kind::json) {
+    VINE_LOG_WARN("worker", "%s: unexpected blob frame (tag %s)",
+                  config_.id.c_str(), frame.tag.c_str());
+    return;
+  }
+  auto msg = proto::decode(frame.msg);
+  if (!msg.ok()) {
+    VINE_LOG_WARN("worker", "%s: bad message: %s", config_.id.c_str(),
+                  msg.error().message.c_str());
+    return;
+  }
+  std::visit(
+      [this](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::PutMsg>) handle_put(m);
+        else if constexpr (std::is_same_v<T, proto::FetchMsg>) handle_fetch(m);
+        else if constexpr (std::is_same_v<T, proto::MiniTaskMsg>) handle_mini_task(m);
+        else if constexpr (std::is_same_v<T, proto::RunTaskMsg>) handle_run_task(m);
+        else if constexpr (std::is_same_v<T, proto::UnlinkMsg>) handle_unlink(m);
+        else if constexpr (std::is_same_v<T, proto::SendFileMsg>) handle_send_file(m);
+        else if constexpr (std::is_same_v<T, proto::EndWorkflowMsg>) handle_end_workflow();
+        else if constexpr (std::is_same_v<T, proto::ShutdownMsg>) stopping_.store(true);
+        else {
+          VINE_LOG_WARN("worker", "%s: unexpected message on control channel",
+                        config_.id.c_str());
+        }
+      },
+      *msg);
+}
+
+void Worker::handle_put(const proto::PutMsg& msg) {
+  // The object's bytes follow as a blob frame on the same connection.
+  auto blob = manager_->recv(60000ms);
+  if (!blob.ok() || blob->kind != Frame::Kind::blob) {
+    send_cache_update(msg.cache_name, msg.transfer_id, false, -1,
+                      "put not followed by blob frame");
+    return;
+  }
+  Status st = msg.is_dir ? cache_->put_archive(msg.cache_name, blob->data, msg.level)
+                         : cache_->put_bytes(msg.cache_name, blob->data, msg.level);
+  if (!st.ok()) {
+    send_cache_update(msg.cache_name, msg.transfer_id, false, -1,
+                      st.error().to_string());
+    return;
+  }
+  auto e = cache_->entry(msg.cache_name);
+  send_cache_update(msg.cache_name, msg.transfer_id, true,
+                    e.ok() ? e->size : 0, "");
+}
+
+void Worker::handle_fetch(const proto::FetchMsg& msg) {
+  transfer_jobs_.push(TransferJob{msg, {}, false});
+}
+
+void Worker::handle_mini_task(const proto::MiniTaskMsg& msg) {
+  transfer_jobs_.push(TransferJob{{}, msg, true});
+}
+
+void Worker::transfer_worker_main() {
+  while (true) {
+    auto job = transfer_jobs_.pop(200ms);
+    if (!job) {
+      if (transfer_jobs_.closed()) return;
+      continue;
+    }
+    if (job->is_mini) {
+      do_mini_task(job->mini);
+    } else {
+      do_fetch(job->fetch);
+    }
+  }
+}
+
+void Worker::do_fetch(const proto::FetchMsg& msg) {
+  if (cache_->contains(msg.cache_name)) {
+    auto e = cache_->entry(msg.cache_name);
+    send_cache_update(msg.cache_name, msg.transfer_id, true,
+                      e.ok() ? e->size : 0, "");
+    return;
+  }
+
+  Status stored = Error{Errc::internal, "unhandled source kind"};
+  if (msg.source.kind == TransferSource::Kind::url) {
+    auto body = config_.fetcher->fetch(msg.source.key);
+    stored = body.ok() ? cache_->put_bytes(msg.cache_name, *body, msg.level)
+                       : Status(body.error());
+  } else if (msg.source.kind == TransferSource::Kind::worker) {
+    // Peer transfer: connect, request, receive header + blob.
+    auto peer = connect_to(msg.source_addr, 5000ms);
+    if (!peer.ok()) {
+      stored = Status(peer.error());
+    } else {
+      (*peer)->send_json(proto::encode(proto::GetMsg{msg.cache_name}));
+      auto header = (*peer)->recv(60000ms);
+      if (!header.ok() || header->kind != Frame::Kind::json) {
+        stored = Error{Errc::protocol_error, "bad peer response header"};
+      } else {
+        auto decoded = proto::decode(header->msg);
+        if (!decoded.ok() || !std::holds_alternative<proto::ObjMsg>(*decoded)) {
+          stored = Error{Errc::protocol_error, "peer sent non-obj response"};
+        } else {
+          auto& obj = std::get<proto::ObjMsg>(*decoded);
+          if (!obj.ok) {
+            stored = Error{Errc::not_found, "peer miss: " + obj.error};
+          } else {
+            auto blob = (*peer)->recv(120000ms);
+            if (!blob.ok() || blob->kind != Frame::Kind::blob) {
+              stored = Error{Errc::protocol_error, "peer blob missing"};
+            } else if (obj.is_dir) {
+              stored = cache_->put_archive(msg.cache_name, blob->data, msg.level);
+            } else {
+              stored = cache_->put_bytes(msg.cache_name, blob->data, msg.level);
+            }
+          }
+        }
+      }
+      if (*peer) (*peer)->close();
+    }
+  }
+
+  if (!stored.ok()) {
+    send_cache_update(msg.cache_name, msg.transfer_id, false, -1,
+                      stored.error().to_string());
+    return;
+  }
+  auto e = cache_->entry(msg.cache_name);
+  send_cache_update(msg.cache_name, msg.transfer_id, true,
+                    e.ok() ? e->size : 0, "");
+}
+
+void Worker::do_mini_task(const proto::MiniTaskMsg& msg) {
+  if (cache_->contains(msg.cache_name)) {
+    auto e = cache_->entry(msg.cache_name);
+    send_cache_update(msg.cache_name, msg.transfer_id, true,
+                      e.ok() ? e->size : 0, "");
+    return;
+  }
+  // Run the producing task; its first output is adopted under the target
+  // cache name. The wire task's outputs carry the same name, so a plain
+  // execute() already lands the object where it belongs.
+  proto::WireTask task = msg.task;
+  if (task.outputs.empty()) {
+    send_cache_update(msg.cache_name, msg.transfer_id, false, -1,
+                      "mini task declares no output");
+    return;
+  }
+  task.outputs[0].cache_name = msg.cache_name;
+  task.outputs[0].level = msg.level;
+  ExecOutcome outcome = executor_->execute(task);
+  if (!outcome.ok) {
+    send_cache_update(msg.cache_name, msg.transfer_id, false, -1, outcome.error);
+    return;
+  }
+  auto e = cache_->entry(msg.cache_name);
+  send_cache_update(msg.cache_name, msg.transfer_id, true,
+                    e.ok() ? e->size : 0, "");
+}
+
+// ------------------------------------------------------------ tasks
+
+void Worker::handle_run_task(const proto::RunTaskMsg& msg) {
+  if (msg.task.kind == TaskKind::library) {
+    start_library(msg.task);
+    return;
+  }
+  if (msg.task.kind == TaskKind::function_call) {
+    invoke_function_call(msg.task);
+    return;
+  }
+  std::lock_guard lock(threads_mutex_);
+  task_threads_.emplace_back([this, task = msg.task] { task_thread_main(task); });
+}
+
+void Worker::task_thread_main(proto::WireTask task) {
+  proto::TaskDoneMsg done;
+  done.task_id = task.id;
+  done.started_at = clock_.now();
+
+  ExecOutcome outcome = executor_->execute(task);
+
+  done.finished_at = clock_.now();
+  done.ok = outcome.ok;
+  done.resource_exceeded = outcome.resource_exceeded;
+  done.exit_code = outcome.exit_code;
+  done.output = std::move(outcome.output);
+  done.error = std::move(outcome.error);
+  done.outputs = std::move(outcome.outputs);
+
+  // Outputs became cache objects; announce them before the completion so
+  // the manager's replica table is current when it processes task_done.
+  for (const auto& out : done.outputs) {
+    send_cache_update(out.cache_name, "", true, out.size, "");
+  }
+  send_to_manager(done);
+}
+
+// ------------------------------------------------------------ serverless
+
+void Worker::start_library(proto::WireTask task) {
+  std::lock_guard lock(threads_mutex_);
+  task_threads_.emplace_back([this, task = std::move(task)] {
+    auto sandbox = executor_->make_sandbox(task);
+    if (!sandbox.ok()) {
+      proto::TaskDoneMsg done;
+      done.task_id = task.id;
+      done.ok = false;
+      done.error = "library sandbox: " + sandbox.error().to_string();
+      send_to_manager(done);
+      return;
+    }
+    FunctionContext ctx;
+    ctx.sandbox_dir = sandbox->string();
+    ctx.worker_id = config_.id;
+
+    auto instance =
+        std::make_unique<LibraryInstance>(task.library_name, task.id, ctx);
+
+    // Wait for the init message.
+    auto init = instance->from_instance().pop(60000ms);
+    if (!init || !init->get_bool("ok")) {
+      proto::TaskDoneMsg done;
+      done.task_id = task.id;
+      done.ok = false;
+      done.error = init ? init->get_string("error", "library init failed")
+                        : "library init timed out";
+      send_to_manager(done);
+      instance->stop();
+      remove_all_quiet(*sandbox);
+      return;
+    }
+
+    proto::LibraryReadyMsg ready;
+    ready.task_id = task.id;
+    ready.library_name = task.library_name;
+    if (const auto* fns = init->find("functions"); fns && fns->is_array()) {
+      for (const auto& f : fns->as_array()) {
+        if (f.is_string()) ready.functions.push_back(f.as_string());
+      }
+    }
+
+    LibraryHost host;
+    host.sandbox = *sandbox;
+    auto* inst_raw = instance.get();
+    host.instance = std::move(instance);
+    // Pump results from the instance into task_done messages.
+    host.pump = std::thread([this, inst_raw] {
+      while (true) {
+        auto msg = inst_raw->from_instance().pop(200ms);
+        if (!msg) {
+          if (inst_raw->from_instance().closed()) return;
+          continue;
+        }
+        if (msg->get_string("type") != "result") continue;
+        proto::TaskDoneMsg done;
+        done.task_id = static_cast<TaskId>(msg->get_int("call_id"));
+        done.ok = msg->get_bool("ok");
+        done.exit_code = done.ok ? 0 : 1;
+        done.output = msg->get_string("output");
+        done.error = msg->get_string("error");
+        send_to_manager(done);
+      }
+    });
+
+    {
+      std::lock_guard lib_lock(libraries_mutex_);
+      auto it = libraries_.find(task.library_name);
+      if (it != libraries_.end()) {
+        // Replace an older instance of the same library.
+        it->second.instance->stop();
+        if (it->second.pump.joinable()) it->second.pump.join();
+        remove_all_quiet(it->second.sandbox);
+        libraries_.erase(it);
+      }
+      libraries_.emplace(task.library_name, std::move(host));
+    }
+    send_to_manager(ready);
+  });
+}
+
+void Worker::invoke_function_call(const proto::WireTask& task) {
+  std::lock_guard lock(libraries_mutex_);
+  auto it = libraries_.find(task.library_name);
+  if (it == libraries_.end()) {
+    proto::TaskDoneMsg done;
+    done.task_id = task.id;
+    done.ok = false;
+    done.error = "no library instance for " + task.library_name;
+    send_to_manager(done);
+    return;
+  }
+  it->second.instance->invoke(task.id, task.function_name, task.function_args);
+}
+
+// ------------------------------------------------------------ misc ops
+
+void Worker::handle_unlink(const proto::UnlinkMsg& msg) {
+  (void)cache_->remove_object(msg.cache_name);
+}
+
+void Worker::handle_send_file(const proto::SendFileMsg& msg) {
+  proto::FileDataMsg reply;
+  reply.request_id = msg.request_id;
+  reply.cache_name = msg.cache_name;
+  auto data = cache_->read_for_transfer(msg.cache_name);
+  if (!data.ok()) {
+    reply.ok = false;
+    reply.error = data.error().to_string();
+    send_to_manager(reply);
+    return;
+  }
+  reply.ok = true;
+  // Header then blob. Sends are frame-atomic but another thread could
+  // interleave a frame between these two; the manager tolerates that by
+  // matching the blob by tag.
+  send_to_manager(reply);
+  manager_->send_blob(msg.cache_name, std::move(data->first));
+}
+
+void Worker::handle_end_workflow() {
+  {
+    std::lock_guard lock(libraries_mutex_);
+    for (auto& [_, host] : libraries_) {
+      host.instance->stop();
+      if (host.pump.joinable()) host.pump.join();
+      remove_all_quiet(host.sandbox);
+    }
+    libraries_.clear();
+  }
+  cache_->end_workflow();
+}
+
+// ------------------------------------------------------------ peers
+
+void Worker::transfer_server_main() {
+  while (!stopping_.load()) {
+    auto peer = transfer_listener_->accept(200ms);
+    if (!peer.ok()) {
+      if (peer.error().code == Errc::timeout) continue;
+      return;  // listener closed
+    }
+    std::lock_guard lock(threads_mutex_);
+    peer_threads_.emplace_back(
+        [this, p = std::shared_ptr<Endpoint>(std::move(*peer))] { serve_peer(p); });
+  }
+}
+
+void Worker::serve_peer(const std::shared_ptr<Endpoint>& peer) {
+  while (!stopping_.load()) {
+    auto frame = peer->recv(200ms);
+    if (!frame.ok()) {
+      if (frame.error().code == Errc::timeout) continue;
+      return;  // peer closed
+    }
+    if (frame->kind != Frame::Kind::json) continue;
+    auto msg = proto::decode(frame->msg);
+    if (!msg.ok() || !std::holds_alternative<proto::GetMsg>(*msg)) continue;
+    const auto& get = std::get<proto::GetMsg>(*msg);
+
+    proto::ObjMsg obj;
+    obj.cache_name = get.cache_name;
+    auto data = cache_->read_for_transfer(get.cache_name);
+    if (!data.ok()) {
+      obj.ok = false;
+      obj.error = data.error().to_string();
+      peer->send_json(proto::encode(obj));
+      continue;
+    }
+    obj.ok = true;
+    obj.is_dir = data->second;
+    peer->send_json(proto::encode(obj));
+    peer->send_blob(get.cache_name, std::move(data->first));
+  }
+}
+
+}  // namespace vine

@@ -1,0 +1,152 @@
+// The TaskVine worker (paper §2.2): manages one node's storage and compute.
+// It executes tasks in sandboxes, keeps a flat cache of named objects,
+// fetches remote data asynchronously through a bounded transfer queue,
+// serves cached objects to peer workers, and hosts Library Instances for
+// serverless calls. All policy lives at the manager; the worker provides
+// mechanism and reports every state change (cache updates, completions).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+
+#include "files/url_fetcher.hpp"
+#include "net/frame.hpp"
+#include "net/msg_queue.hpp"
+#include "proto/messages.hpp"
+#include "task/resources.hpp"
+#include "worker/cache_store.hpp"
+#include "worker/executor.hpp"
+#include "worker/library_instance.hpp"
+
+namespace vine {
+
+struct WorkerConfig {
+  /// Stable identity; also used to derive the peer-transfer channel name.
+  std::string id;
+
+  /// Manager control address ("chan:NAME" or "host:port").
+  std::string manager_addr;
+
+  /// Capacity advertised to the manager.
+  Resources resources{.cores = 4, .memory_mb = 8000, .disk_mb = 50000, .gpus = 0};
+
+  /// Storage root: cache/ and sandboxes/ live below it. A persistent root
+  /// lets worker-lifetime objects survive across workflows (hot cache).
+  std::filesystem::path root_dir;
+
+  /// Bound on cache storage in bytes; 0 = unlimited. When exceeded, LRU
+  /// worker-lifetime objects are evicted (reported to the manager).
+  std::int64_t cache_capacity_bytes = 0;
+
+  /// Parallel downloads this worker performs (its own transfer queue).
+  int max_concurrent_transfers = 4;
+
+  /// URL access for fetch instructions; defaults to file:// support.
+  std::shared_ptr<UrlFetcher> fetcher;
+
+  /// Serve peer transfers over real TCP instead of an in-process channel.
+  bool tcp_transfer_service = false;
+};
+
+class Worker {
+ public:
+  /// Create a worker, start its services, and register with the manager.
+  static Result<std::unique_ptr<Worker>> connect(WorkerConfig config);
+
+  ~Worker();
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Process manager instructions until shutdown is received or stop() is
+  /// called. Blocking; typically run on a dedicated thread.
+  void run();
+
+  /// Launch run() on an internal thread (joined by the destructor).
+  void start();
+
+  /// Request shutdown and join all internal threads.
+  void stop();
+
+  const std::string& id() const { return config_.id; }
+  CacheStore& cache() { return *cache_; }
+  const std::string& transfer_addr() const { return transfer_addr_; }
+
+ private:
+  explicit Worker(WorkerConfig config);
+  Status init_and_register();
+
+  // --- manager message handling (main loop thread) ---
+  void handle_frame(Frame frame);
+  void handle_put(const proto::PutMsg& msg);
+  void handle_fetch(const proto::FetchMsg& msg);
+  void handle_mini_task(const proto::MiniTaskMsg& msg);
+  void handle_run_task(const proto::RunTaskMsg& msg);
+  void handle_unlink(const proto::UnlinkMsg& msg);
+  void handle_send_file(const proto::SendFileMsg& msg);
+  void handle_end_workflow();
+
+  // --- helpers callable from any internal thread ---
+  void send_to_manager(const proto::AnyMessage& msg);
+  void send_cache_update(const std::string& cache_name,
+                         const std::string& transfer_id, bool ok,
+                         std::int64_t size, const std::string& error);
+  /// Report cache evictions to the manager (replica-table truth).
+  void report_evictions();
+
+  // --- transfer queue ---
+  struct TransferJob {
+    proto::FetchMsg fetch;      // valid when !is_mini
+    proto::MiniTaskMsg mini;    // valid when is_mini
+    bool is_mini = false;
+  };
+  void transfer_worker_main();
+  void do_fetch(const proto::FetchMsg& msg);
+  void do_mini_task(const proto::MiniTaskMsg& msg);
+
+  // --- task execution ---
+  void task_thread_main(proto::WireTask task);
+  void start_library(proto::WireTask task);
+  void invoke_function_call(const proto::WireTask& task);
+
+  // --- peer transfer service ---
+  void transfer_server_main();
+  void serve_peer(const std::shared_ptr<Endpoint>& peer);
+
+  WorkerConfig config_;
+  std::unique_ptr<CacheStore> cache_;
+  std::unique_ptr<Executor> executor_;
+
+  std::unique_ptr<Endpoint> manager_;
+  std::unique_ptr<Listener> transfer_listener_;
+  std::string transfer_addr_;
+
+  MsgQueue<TransferJob> transfer_jobs_;
+  std::vector<std::thread> transfer_pool_;
+  std::thread transfer_server_;
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> task_threads_;   // running task executions
+  std::vector<std::thread> peer_threads_;   // per-peer-connection servers
+
+  // Library instances by name, plus their sandboxes and result pumps.
+  struct LibraryHost {
+    std::unique_ptr<LibraryInstance> instance;
+    std::filesystem::path sandbox;
+    std::thread pump;
+  };
+  std::mutex libraries_mutex_;
+  std::map<std::string, LibraryHost> libraries_;
+
+  std::thread run_thread_;
+  std::atomic<bool> stopping_{false};
+
+  /// Worker-local monotonic clock; all reported timestamps share it.
+  SteadyClock clock_;
+};
+
+}  // namespace vine

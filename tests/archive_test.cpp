@@ -1,0 +1,142 @@
+// Unit tests for src/archive: vpak serialize/parse, pack/unpack round trips,
+// integrity and path-safety checks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "archive/vpak.hpp"
+#include "fsutil/fsutil.hpp"
+#include "hash/dirhash.hpp"
+
+namespace vine {
+namespace {
+
+namespace fs = std::filesystem;
+
+class VpakTest : public ::testing::Test {
+ protected:
+  TempDir tmp_{"vine_vpak_test"};
+  const fs::path& root() { return tmp_.path(); }
+};
+
+TEST(VpakFormat, EmptyArchiveRoundTrip) {
+  auto bytes = vpak_write({});
+  auto back = vpak_read(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(VpakFormat, EntriesRoundTrip) {
+  std::vector<VpakEntry> entries{
+      {VpakEntry::Kind::directory, "d", ""},
+      {VpakEntry::Kind::file, "d/f.bin", std::string("\x00\x01\xff", 3)},
+      {VpakEntry::Kind::symlink, "d/l", "f.bin"},
+  };
+  auto bytes = vpak_write(entries);
+  auto back = vpak_read(bytes);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ((*back)[1].path, "d/f.bin");
+  EXPECT_EQ((*back)[1].data.size(), 3u);
+  EXPECT_EQ((*back)[2].kind, VpakEntry::Kind::symlink);
+  EXPECT_EQ((*back)[2].data, "f.bin");
+}
+
+TEST(VpakFormat, RejectsBadMagic) {
+  EXPECT_FALSE(vpak_read("NOPE").ok());
+  EXPECT_FALSE(vpak_read("").ok());
+}
+
+TEST(VpakFormat, RejectsTruncation) {
+  auto bytes = vpak_write({{VpakEntry::Kind::file, "a", "data"}});
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() - 17, std::size_t{7}}) {
+    EXPECT_FALSE(vpak_read(std::string_view(bytes).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(VpakFormat, RejectsCorruption) {
+  auto bytes = vpak_write({{VpakEntry::Kind::file, "a", "data"}});
+  bytes[bytes.size() - 20] ^= 0x40;  // flip a bit in the body
+  EXPECT_FALSE(vpak_read(bytes).ok());
+}
+
+TEST_F(VpakTest, PackUnpackTreeIsIdentity) {
+  ASSERT_TRUE(write_file_atomic(root() / "in/bin/tool", "#!x\nbinary").ok());
+  ASSERT_TRUE(write_file_atomic(root() / "in/db/part1", std::string(5000, 'a')).ok());
+  ASSERT_TRUE(write_file_atomic(root() / "in/README", "docs").ok());
+  fs::create_directories(root() / "in/empty");
+
+  auto ar = root() / "pkg.vpak";
+  ASSERT_TRUE(vpak_pack_tree(root() / "in", ar).ok());
+  ASSERT_TRUE(vpak_unpack(ar, root() / "out").ok());
+
+  // The Merkle names of input and output trees must match exactly.
+  auto h_in = merkle_hash_path(root() / "in");
+  auto h_out = merkle_hash_path(root() / "out");
+  ASSERT_TRUE(h_in.ok());
+  ASSERT_TRUE(h_out.ok());
+  EXPECT_EQ(*h_in, *h_out);
+}
+
+TEST_F(VpakTest, PackSingleFile) {
+  ASSERT_TRUE(write_file_atomic(root() / "solo.txt", "just me").ok());
+  auto ar = root() / "solo.vpak";
+  ASSERT_TRUE(vpak_pack_tree(root() / "solo.txt", ar).ok());
+  ASSERT_TRUE(vpak_unpack(ar, root() / "out").ok());
+  EXPECT_EQ(read_file(root() / "out/solo.txt").value(), "just me");
+}
+
+TEST_F(VpakTest, PackPreservesSymlinks) {
+  ASSERT_TRUE(write_file_atomic(root() / "in/a.txt", "A").ok());
+  fs::create_symlink("a.txt", root() / "in/link");
+  auto ar = root() / "s.vpak";
+  ASSERT_TRUE(vpak_pack_tree(root() / "in", ar).ok());
+  ASSERT_TRUE(vpak_unpack(ar, root() / "out").ok());
+  EXPECT_TRUE(fs::is_symlink(root() / "out/link"));
+  EXPECT_EQ(fs::read_symlink(root() / "out/link"), "a.txt");
+}
+
+TEST_F(VpakTest, DeterministicArchives) {
+  ASSERT_TRUE(write_file_atomic(root() / "in/z.txt", "Z").ok());
+  ASSERT_TRUE(write_file_atomic(root() / "in/a.txt", "A").ok());
+  ASSERT_TRUE(vpak_pack_tree(root() / "in", root() / "p1.vpak").ok());
+  ASSERT_TRUE(vpak_pack_tree(root() / "in", root() / "p2.vpak").ok());
+  EXPECT_EQ(read_file(root() / "p1.vpak").value(),
+            read_file(root() / "p2.vpak").value());
+}
+
+TEST_F(VpakTest, UnpackRejectsEscapingPaths) {
+  for (const char* evil : {"../evil", "/abs", "a/../../b", "a//b", "."}) {
+    auto bytes = vpak_write({{VpakEntry::Kind::file, evil, "x"}});
+    auto ar = root() / "evil.vpak";
+    ASSERT_TRUE(write_file_atomic(ar, bytes).ok());
+    auto st = vpak_unpack(ar, root() / "out");
+    EXPECT_FALSE(st.ok()) << "path accepted: " << evil;
+  }
+}
+
+TEST_F(VpakTest, ListReturnsPaths) {
+  ASSERT_TRUE(write_file_atomic(root() / "in/a.txt", "A").ok());
+  ASSERT_TRUE(write_file_atomic(root() / "in/b/c.txt", "C").ok());
+  auto ar = root() / "l.vpak";
+  ASSERT_TRUE(vpak_pack_tree(root() / "in", ar).ok());
+  auto names = vpak_list(ar);
+  ASSERT_TRUE(names.ok());
+  // a.txt, b (dir), b/c.txt
+  EXPECT_EQ(names->size(), 3u);
+  EXPECT_EQ((*names)[0], "a.txt");
+}
+
+TEST_F(VpakTest, PackMissingSourceFails) {
+  auto st = vpak_pack_tree(root() / "nope", root() / "x.vpak");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::not_found);
+}
+
+TEST_F(VpakTest, UnpackMissingArchiveFails) {
+  EXPECT_FALSE(vpak_unpack(root() / "nope.vpak", root() / "out").ok());
+}
+
+}  // namespace
+}  // namespace vine

@@ -1,0 +1,162 @@
+// Unit tests for src/catalog: File Replica Table and Current Transfer Table
+// (paper §3.3).
+#include <gtest/gtest.h>
+
+#include "catalog/replica_table.hpp"
+#include "catalog/transfer_table.hpp"
+
+namespace vine {
+namespace {
+
+// ------------------------------------------------------------ replicas
+
+TEST(ReplicaTable, SetFindRemove) {
+  FileReplicaTable t;
+  t.set_replica("f1", "w1", ReplicaState::present, 100);
+  auto r = t.find("f1", "w1");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->state, ReplicaState::present);
+  EXPECT_EQ(r->size, 100);
+  EXPECT_TRUE(t.has_present("f1", "w1"));
+
+  t.remove_replica("f1", "w1");
+  EXPECT_FALSE(t.find("f1", "w1").has_value());
+  EXPECT_EQ(t.record_count(), 0u);
+}
+
+TEST(ReplicaTable, PendingIsNotPresent) {
+  FileReplicaTable t;
+  t.set_replica("f1", "w1", ReplicaState::pending);
+  EXPECT_FALSE(t.has_present("f1", "w1"));
+  EXPECT_EQ(t.present_count("f1"), 0);
+  EXPECT_TRUE(t.workers_with("f1").empty());
+  // Promotion keeps the record and adds the size.
+  t.set_replica("f1", "w1", ReplicaState::present, 55);
+  EXPECT_TRUE(t.has_present("f1", "w1"));
+  EXPECT_EQ(t.known_size("f1"), 55);
+}
+
+TEST(ReplicaTable, WorkersWithListsOnlyPresent) {
+  FileReplicaTable t;
+  t.set_replica("f", "w1", ReplicaState::present, 10);
+  t.set_replica("f", "w2", ReplicaState::pending);
+  t.set_replica("f", "w3", ReplicaState::present, 10);
+  auto ws = t.workers_with("f");
+  EXPECT_EQ(ws, (std::vector<WorkerId>{"w1", "w3"}));
+  EXPECT_EQ(t.present_count("f"), 2);
+}
+
+TEST(ReplicaTable, RemoveWorkerDropsAllItsReplicas) {
+  FileReplicaTable t;
+  t.set_replica("f1", "w1", ReplicaState::present, 1);
+  t.set_replica("f2", "w1", ReplicaState::present, 2);
+  t.set_replica("f1", "w2", ReplicaState::present, 1);
+  t.remove_worker("w1");
+  EXPECT_FALSE(t.find("f1", "w1").has_value());
+  EXPECT_FALSE(t.find("f2", "w1").has_value());
+  EXPECT_TRUE(t.has_present("f1", "w2"));
+  EXPECT_TRUE(t.files_on("w1").empty());
+}
+
+TEST(ReplicaTable, FilesOnWorker) {
+  FileReplicaTable t;
+  t.set_replica("a", "w1", ReplicaState::present, 1);
+  t.set_replica("b", "w1", ReplicaState::pending);
+  auto files = t.files_on("w1");
+  EXPECT_EQ(files, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ReplicaTable, KnownSizeFromAnyReplica) {
+  FileReplicaTable t;
+  EXPECT_EQ(t.known_size("f"), -1);
+  t.set_replica("f", "w1", ReplicaState::pending);  // size unknown
+  EXPECT_EQ(t.known_size("f"), -1);
+  t.set_replica("f", "w2", ReplicaState::present, 77);
+  EXPECT_EQ(t.known_size("f"), 77);
+}
+
+TEST(ReplicaTable, UnknownLookupsAreSafe) {
+  FileReplicaTable t;
+  EXPECT_FALSE(t.find("x", "y").has_value());
+  EXPECT_EQ(t.present_count("x"), 0);
+  t.remove_replica("x", "y");
+  t.remove_worker("z");
+}
+
+// ------------------------------------------------------------ transfers
+
+TEST(TransferTable, BeginFinishLifecycle) {
+  CurrentTransferTable t;
+  auto src = TransferSource::from_url("http://a/f");
+  auto uuid = t.begin("f1", "w1", src, 1.5);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.inflight_from(src), 1);
+  EXPECT_EQ(t.inflight_to("w1"), 1);
+  EXPECT_TRUE(t.pending_to("f1", "w1"));
+
+  auto rec = t.finish(uuid);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->cache_name, "f1");
+  EXPECT_EQ(rec->dest, "w1");
+  EXPECT_EQ(rec->started_at, 1.5);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.inflight_from(src), 0);
+  EXPECT_EQ(t.inflight_to("w1"), 0);
+}
+
+TEST(TransferTable, DuplicateFinishIsNullopt) {
+  CurrentTransferTable t;
+  auto uuid = t.begin("f", "w", TransferSource::from_manager(), 0);
+  EXPECT_TRUE(t.finish(uuid).has_value());
+  EXPECT_FALSE(t.finish(uuid).has_value());
+  EXPECT_FALSE(t.finish("bogus-uuid").has_value());
+}
+
+TEST(TransferTable, SourceAccountingSeparatesKinds) {
+  CurrentTransferTable t;
+  t.begin("f1", "w1", TransferSource::from_worker("ws"), 0);
+  t.begin("f2", "w2", TransferSource::from_worker("ws"), 0);
+  t.begin("f3", "w3", TransferSource::from_url("u"), 0);
+  t.begin("f4", "w4", TransferSource::from_manager(), 0);
+  EXPECT_EQ(t.inflight_from(TransferSource::from_worker("ws")), 2);
+  EXPECT_EQ(t.inflight_from(TransferSource::from_url("u")), 1);
+  EXPECT_EQ(t.inflight_from(TransferSource::from_manager()), 1);
+  EXPECT_EQ(t.inflight_from(TransferSource::from_worker("other")), 0);
+}
+
+TEST(TransferTable, RemoveWorkerCancelsBothDirections) {
+  CurrentTransferTable t;
+  t.begin("f1", "victim", TransferSource::from_url("u"), 0);        // as dest
+  t.begin("f2", "w2", TransferSource::from_worker("victim"), 0);    // as source
+  t.begin("f3", "w3", TransferSource::from_worker("other"), 0);     // unrelated
+  auto removed = t.remove_worker("victim");
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.inflight_from(TransferSource::from_url("u")), 0);
+  EXPECT_EQ(t.inflight_from(TransferSource::from_worker("victim")), 0);
+  EXPECT_EQ(t.inflight_from(TransferSource::from_worker("other")), 1);
+}
+
+TEST(TransferTable, PendingToMatchesFileAndDest) {
+  CurrentTransferTable t;
+  t.begin("f1", "w1", TransferSource::from_manager(), 0);
+  EXPECT_TRUE(t.pending_to("f1", "w1"));
+  EXPECT_FALSE(t.pending_to("f1", "w2"));
+  EXPECT_FALSE(t.pending_to("f2", "w1"));
+}
+
+TEST(TransferTable, UuidsAreUnique) {
+  CurrentTransferTable t;
+  auto u1 = t.begin("f", "w", TransferSource::from_manager(), 0);
+  auto u2 = t.begin("f", "w", TransferSource::from_manager(), 0);
+  EXPECT_NE(u1, u2);
+}
+
+TEST(TransferSourceTest, AccountKeys) {
+  EXPECT_EQ(TransferSource::from_manager().account(), "manager");
+  EXPECT_EQ(TransferSource::from_url("http://x").account(), "url:http://x");
+  EXPECT_EQ(TransferSource::from_worker("w9").account(), "worker:w9");
+}
+
+}  // namespace
+}  // namespace vine

@@ -1,0 +1,171 @@
+// Unit tests for src/files: declarations, URL fetchers, and cache naming
+// (paper §3.2) including all three URL naming tiers.
+#include <gtest/gtest.h>
+
+#include "files/file_decl.hpp"
+#include "files/naming.hpp"
+#include "files/url_fetcher.hpp"
+#include "fsutil/fsutil.hpp"
+#include "hash/digest.hpp"
+
+namespace vine {
+namespace {
+
+TEST(FileDecl, Names) {
+  EXPECT_STREQ(cache_level_name(CacheLevel::task), "task");
+  EXPECT_STREQ(cache_level_name(CacheLevel::workflow), "workflow");
+  EXPECT_STREQ(cache_level_name(CacheLevel::worker), "worker");
+  EXPECT_STREQ(file_kind_name(FileKind::url), "url");
+  EXPECT_STREQ(file_kind_name(FileKind::mini_task), "mini_task");
+}
+
+// ---------------------------------------------------------------- naming
+
+TEST(Naming, RandomNamesAreUniqueAndPrefixed) {
+  auto a = random_cache_name();
+  auto b = random_cache_name();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind("rnd-", 0), 0u);
+}
+
+TEST(Naming, BufferNameIsContentDerived) {
+  EXPECT_EQ(buffer_cache_name("hello"), "md5-" + md5_buffer("hello"));
+  EXPECT_EQ(buffer_cache_name("hello"), buffer_cache_name("hello"));
+  EXPECT_NE(buffer_cache_name("hello"), buffer_cache_name("hellp"));
+}
+
+TEST(Naming, LocalFileNameMatchesContent) {
+  TempDir tmp("vine_files_test");
+  auto p = tmp.path() / "data.txt";
+  ASSERT_TRUE(write_file_atomic(p, "payload").ok());
+  auto name = local_file_cache_name(p.string());
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "md5-" + md5_buffer("payload"));
+}
+
+TEST(Naming, LocalDirectoryNameIsMerkle) {
+  TempDir tmp("vine_files_test");
+  ASSERT_TRUE(write_file_atomic(tmp.path() / "d1/a.txt", "A").ok());
+  ASSERT_TRUE(write_file_atomic(tmp.path() / "d2/a.txt", "A").ok());
+  auto n1 = local_file_cache_name((tmp.path() / "d1").string());
+  auto n2 = local_file_cache_name((tmp.path() / "d2").string());
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n1, *n2);
+}
+
+TEST(Naming, MissingLocalFileIsError) {
+  EXPECT_FALSE(local_file_cache_name("/definitely/not/here").ok());
+}
+
+TEST(Naming, TaskOutputNamesDistinguishOutputs) {
+  auto a = task_output_cache_name("abc", "out1.txt");
+  auto b = task_output_cache_name("abc", "out2.txt");
+  auto c = task_output_cache_name("abd", "out1.txt");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, task_output_cache_name("abc", "out1.txt"));
+  EXPECT_EQ(task_output_cache_name("abc", ""), "task-abc");
+}
+
+// ------------------------------------------------------------ URL naming
+
+TEST(UrlNaming, Tier1UsesAdvertisedChecksum) {
+  MemoryUrlFetcher f;
+  f.put("http://archive/x.vpak", "content-bytes", /*md5=*/"deadbeef01");
+  auto name = url_cache_name("http://archive/x.vpak", f);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "md5-deadbeef01");
+  // Naming must not download the body.
+  EXPECT_EQ(f.fetch_count("http://archive/x.vpak"), 0);
+  EXPECT_EQ(f.head_count("http://archive/x.vpak"), 1);
+}
+
+TEST(UrlNaming, Tier2HashesUrlPlusVersionHeaders) {
+  MemoryUrlFetcher f;
+  f.put("http://a/pkg", "AAA", std::nullopt, "etag-1", "2023-01-01");
+  f.put("http://b/pkg", "AAA", std::nullopt, "etag-1", "2023-01-01");
+  auto na = url_cache_name("http://a/pkg", f);
+  auto nb = url_cache_name("http://b/pkg", f);
+  ASSERT_TRUE(na.ok());
+  ASSERT_TRUE(nb.ok());
+  EXPECT_EQ(na->rfind("url-", 0), 0u);
+  // Different URLs -> different names even with identical headers (the
+  // name is not content-derived in this tier).
+  EXPECT_NE(*na, *nb);
+  EXPECT_EQ(f.fetch_count("http://a/pkg"), 0);
+}
+
+TEST(UrlNaming, Tier2ChangesWhenHeadersChange) {
+  MemoryUrlFetcher f;
+  f.put("http://a/pkg", "v1", std::nullopt, "etag-1", "t1");
+  auto n1 = url_cache_name("http://a/pkg", f);
+  f.put("http://a/pkg", "v2", std::nullopt, "etag-2", "t2");
+  auto n2 = url_cache_name("http://a/pkg", f);
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(n2.ok());
+  EXPECT_NE(*n1, *n2);
+}
+
+TEST(UrlNaming, Tier3DownloadsAndHashes) {
+  MemoryUrlFetcher f;
+  f.put("http://bare/obj", "the-body");  // no headers at all
+  auto name = url_cache_name("http://bare/obj", f);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "md5-" + md5_buffer("the-body"));
+  EXPECT_EQ(f.fetch_count("http://bare/obj"), 1);
+}
+
+TEST(UrlNaming, MissingUrlIsError) {
+  MemoryUrlFetcher f;
+  EXPECT_FALSE(url_cache_name("http://nope", f).ok());
+}
+
+// ------------------------------------------------------------- fetchers
+
+TEST(FileUrlFetcher, PathParsing) {
+  EXPECT_EQ(FileUrlFetcher::path_from_url("file:///tmp/x").value(), "/tmp/x");
+  EXPECT_FALSE(FileUrlFetcher::path_from_url("http://x").ok());
+  EXPECT_FALSE(FileUrlFetcher::path_from_url("file://relative").ok());
+}
+
+TEST(FileUrlFetcher, HeadAndFetch) {
+  TempDir tmp("vine_files_test");
+  auto p = tmp.path() / "obj.bin";
+  ASSERT_TRUE(write_file_atomic(p, "0123456789").ok());
+  FileUrlFetcher f;
+  std::string url = "file://" + p.string();
+
+  auto meta = f.head(url);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->size, 10);
+  EXPECT_TRUE(meta->etag.has_value());
+  EXPECT_TRUE(meta->last_modified.has_value());
+  EXPECT_FALSE(meta->content_md5.has_value());
+
+  auto body = f.fetch(url);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(*body, "0123456789");
+}
+
+TEST(FileUrlFetcher, MissingIsNotFound) {
+  FileUrlFetcher f;
+  auto meta = f.head("file:///no/such/object");
+  ASSERT_FALSE(meta.ok());
+  EXPECT_EQ(meta.error().code, Errc::not_found);
+  EXPECT_FALSE(f.fetch("file:///no/such/object").ok());
+}
+
+TEST(MemoryUrlFetcher, CountsRequests) {
+  MemoryUrlFetcher f;
+  f.put("u", "c");
+  (void)f.head("u");
+  (void)f.head("u");
+  (void)f.fetch("u");
+  EXPECT_EQ(f.head_count("u"), 2);
+  EXPECT_EQ(f.fetch_count("u"), 1);
+  EXPECT_EQ(f.head_count("other"), 0);
+}
+
+}  // namespace
+}  // namespace vine

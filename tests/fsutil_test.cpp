@@ -1,0 +1,132 @@
+// Unit tests for src/fsutil: atomic writes, sandbox linking, tree sizing,
+// temp dirs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fsutil/fsutil.hpp"
+
+namespace vine {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FsutilTest : public ::testing::Test {
+ protected:
+  TempDir tmp_{"vine_fsutil_test"};
+  const fs::path& root() { return tmp_.path(); }
+};
+
+TEST_F(FsutilTest, WriteAndReadRoundTrip) {
+  auto p = root() / "sub/dir/file.bin";
+  std::string content = "hello\0world\n binary \x01\x02";
+  ASSERT_TRUE(write_file_atomic(p, content).ok());
+  auto back = read_file(p);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, content);
+}
+
+TEST_F(FsutilTest, AtomicWriteLeavesNoTempFiles) {
+  auto p = root() / "x.txt";
+  ASSERT_TRUE(write_file_atomic(p, "a").ok());
+  ASSERT_TRUE(write_file_atomic(p, "b").ok());  // overwrite
+  EXPECT_EQ(read_file(p).value(), "b");
+  int count = 0;
+  for ([[maybe_unused]] const auto& de : fs::directory_iterator(root())) ++count;
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(FsutilTest, ReadMissingFileFails) {
+  auto r = read_file(root() / "missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::io_error);
+}
+
+TEST_F(FsutilTest, AppendAccumulates) {
+  auto p = root() / "log.txt";
+  ASSERT_TRUE(append_file(p, "a\n").ok());
+  ASSERT_TRUE(append_file(p, "b\n").ok());
+  EXPECT_EQ(read_file(p).value(), "a\nb\n");
+}
+
+TEST_F(FsutilTest, LinkFileIntoSandbox) {
+  auto cache = root() / "cache/obj-abc";
+  ASSERT_TRUE(write_file_atomic(cache, "payload").ok());
+  auto sandbox = root() / "sandbox/input.txt";
+  ASSERT_TRUE(link_into_sandbox(cache, sandbox).ok());
+  EXPECT_EQ(read_file(sandbox).value(), "payload");
+  // Hard link: same inode, no extra storage.
+  EXPECT_EQ(fs::hard_link_count(cache), 2u);
+}
+
+TEST_F(FsutilTest, LinkDirectoryIntoSandbox) {
+  auto cache = root() / "cache/tree-abc";
+  ASSERT_TRUE(write_file_atomic(cache / "inner/data.txt", "d").ok());
+  auto sandbox = root() / "sandbox/tree";
+  ASSERT_TRUE(link_into_sandbox(cache, sandbox).ok());
+  EXPECT_EQ(read_file(sandbox / "inner/data.txt").value(), "d");
+}
+
+TEST_F(FsutilTest, LinkMissingObjectFails) {
+  auto st = link_into_sandbox(root() / "cache/nope", root() / "s/x");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::not_found);
+}
+
+TEST_F(FsutilTest, TreeSizeCountsRecursively) {
+  ASSERT_TRUE(write_file_atomic(root() / "t/a.bin", std::string(100, 'x')).ok());
+  ASSERT_TRUE(write_file_atomic(root() / "t/sub/b.bin", std::string(50, 'y')).ok());
+  auto size = tree_size(root() / "t");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 150);
+}
+
+TEST_F(FsutilTest, TreeSizeOfSingleFile) {
+  ASSERT_TRUE(write_file_atomic(root() / "one.bin", std::string(7, 'z')).ok());
+  EXPECT_EQ(tree_size(root() / "one.bin").value(), 7);
+}
+
+TEST_F(FsutilTest, CopyTreePreservesStructure) {
+  ASSERT_TRUE(write_file_atomic(root() / "src/a/b.txt", "B").ok());
+  ASSERT_TRUE(write_file_atomic(root() / "src/c.txt", "C").ok());
+  ASSERT_TRUE(copy_tree(root() / "src", root() / "dst").ok());
+  EXPECT_EQ(read_file(root() / "dst/a/b.txt").value(), "B");
+  EXPECT_EQ(read_file(root() / "dst/c.txt").value(), "C");
+}
+
+TEST(TempDirTest, CreatesAndDestroys) {
+  fs::path p;
+  {
+    TempDir t("vine_tdt");
+    p = t.path();
+    EXPECT_TRUE(fs::exists(p));
+  }
+  EXPECT_FALSE(fs::exists(p));
+}
+
+TEST(TempDirTest, ReleasePreventsDeletion) {
+  fs::path p;
+  {
+    TempDir t("vine_tdt");
+    p = t.release();
+  }
+  EXPECT_TRUE(fs::exists(p));
+  remove_all_quiet(p);
+}
+
+TEST(TempDirTest, MoveTransfersOwnership) {
+  TempDir a("vine_tdt");
+  fs::path p = a.path();
+  TempDir b = std::move(a);
+  EXPECT_EQ(b.path(), p);
+  EXPECT_TRUE(fs::exists(p));
+}
+
+TEST(TempDirTest, UniquePerInstance) {
+  TempDir a("vine_tdt"), b("vine_tdt");
+  EXPECT_NE(a.path(), b.path());
+}
+
+}  // namespace
+}  // namespace vine

@@ -1,0 +1,153 @@
+// Unit tests for src/json: parse/serialize round trips, error handling,
+// typed lookups used by the protocol layer.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace vine::json {
+namespace {
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_EQ(parse("true")->as_bool(), true);
+  EXPECT_EQ(parse("false")->as_bool(), false);
+  EXPECT_EQ(parse("42")->as_int(), 42);
+  EXPECT_EQ(parse("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("3.5")->as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, IntegerVsDoubleDistinction) {
+  EXPECT_TRUE(parse("42")->is_int());
+  EXPECT_FALSE(parse("42")->is_double());
+  EXPECT_TRUE(parse("42.0")->is_double());
+  EXPECT_TRUE(parse("42")->is_number());
+  // Large int64 round-trips exactly.
+  auto v = parse("9007199254740993");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_int(), 9007199254740993LL);
+  EXPECT_EQ(v->dump(), "9007199254740993");
+}
+
+TEST(Json, ParseNested) {
+  auto v = parse(R"({"task":{"id":7,"inputs":["a","b"],"ok":true}})");
+  ASSERT_TRUE(v.ok());
+  const Value* task = v->find("task");
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->get_int("id"), 7);
+  EXPECT_EQ(task->find("inputs")->as_array().size(), 2u);
+  EXPECT_TRUE(task->get_bool("ok"));
+}
+
+TEST(Json, StringEscapes) {
+  auto v = parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, UnicodeEscapeToUtf8) {
+  auto v = parse(R"("é中")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(Json, DumpRoundTrip) {
+  Object obj;
+  obj["name"] = "blast";
+  obj["size"] = std::int64_t{610000000};
+  obj["ratio"] = 0.25;
+  obj["tags"] = Array{Value("x"), Value(1), Value(nullptr)};
+  obj["meta"] = Object{{"inner", Value(true)}};
+  Value v(obj);
+
+  auto text = v.dump();
+  auto back = parse(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v);
+}
+
+TEST(Json, DumpIsCanonicalSortedKeys) {
+  auto a = parse(R"({"b":1,"a":2})");
+  auto b = parse(R"({"a":2,"b":1})");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->dump(), b->dump());
+  EXPECT_EQ(a->dump(), R"({"a":2,"b":1})");
+}
+
+TEST(Json, DumpEscapesControlChars) {
+  Value v(std::string("a\x01""b\n"));
+  EXPECT_EQ(v.dump(), "\"a\\u0001b\\n\"");
+}
+
+TEST(Json, PrettyPrintParses) {
+  auto v = parse(R"({"a":[1,2,{"b":null}],"c":"x"})");
+  ASSERT_TRUE(v.ok());
+  auto pretty = v->dump_pretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto back = parse(pretty);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, *v);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("[1,").ok());
+  EXPECT_FALSE(parse("{\"a\"}").ok());
+  EXPECT_FALSE(parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("tru").ok());
+  EXPECT_FALSE(parse("1 2").ok());          // trailing garbage
+  EXPECT_FALSE(parse("\"a\\q\"").ok());     // bad escape
+  EXPECT_FALSE(parse("\"a\nb\"").ok());     // raw control char
+  EXPECT_FALSE(parse("-").ok());
+}
+
+TEST(Json, DeepNestingIsRejectedNotCrashing) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(parse(deep).ok());
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(parse("[]")->dump(), "[]");
+  EXPECT_EQ(parse("{}")->dump(), "{}");
+  EXPECT_EQ(parse(" [ ] ")->as_array().size(), 0u);
+}
+
+TEST(Json, TypedLookupDefaults) {
+  auto v = parse(R"({"s":"x","i":3,"d":2.5,"b":true})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->get_string("s"), "x");
+  EXPECT_EQ(v->get_string("missing", "def"), "def");
+  EXPECT_EQ(v->get_int("i"), 3);
+  EXPECT_EQ(v->get_int("s", -1), -1);  // type mismatch -> default
+  EXPECT_DOUBLE_EQ(v->get_double("d"), 2.5);
+  EXPECT_DOUBLE_EQ(v->get_double("i"), 3.0);  // int promotes
+  EXPECT_TRUE(v->get_bool("b"));
+  EXPECT_FALSE(v->get_bool("missing"));
+}
+
+TEST(Json, FindOnNonObjectIsNull) {
+  Value v(Array{});
+  EXPECT_EQ(v.find("x"), nullptr);
+}
+
+TEST(Json, MutationThroughIndex) {
+  Value v{Object{}};
+  v["id"] = 9;
+  v["name"] = "w1";
+  EXPECT_EQ(v.get_int("id"), 9);
+  EXPECT_EQ(v.dump(), R"({"id":9,"name":"w1"})");
+}
+
+TEST(Json, NumberOverflowFallsBackToDouble) {
+  auto v = parse("99999999999999999999999999");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_double());
+}
+
+}  // namespace
+}  // namespace vine::json

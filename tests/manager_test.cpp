@@ -1,0 +1,256 @@
+// Unit tests for the Manager's application-facing API: declarations and
+// their naming, submission validation, builder coverage, and lifecycle
+// behaviours that don't need a full cluster.
+#include <gtest/gtest.h>
+
+#include "archive/vpak.hpp"
+#include "core/taskvine.hpp"
+#include "fsutil/fsutil.hpp"
+#include "hash/digest.hpp"
+#include "task/task_hash.hpp"
+
+namespace vine {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ManagerApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fetcher_ = std::make_shared<MemoryUrlFetcher>();
+    ManagerConfig cfg;
+    cfg.fetcher = fetcher_;
+    m_ = std::make_unique<Manager>(cfg);
+    ASSERT_TRUE(m_->start().ok());
+  }
+
+  std::shared_ptr<MemoryUrlFetcher> fetcher_;
+  std::unique_ptr<Manager> m_;
+};
+
+// --------------------------------------------------------- declarations
+
+TEST_F(ManagerApiTest, BufferDeclarationNamesAndDedup) {
+  auto a = m_->declare_buffer("same-content");
+  auto b = m_->declare_buffer("same-content");
+  auto c = m_->declare_buffer("other");
+  EXPECT_EQ(a->cache_name, "md5-" + md5_buffer("same-content"));
+  EXPECT_EQ(a->cache_name, b->cache_name);  // content-addressed: unify
+  EXPECT_NE(a->cache_name, c->cache_name);
+  EXPECT_NE(a->id, b->id);  // distinct declarations, same object
+  EXPECT_EQ(a->size_hint, 12);
+}
+
+TEST_F(ManagerApiTest, LocalDeclarationHashesContent) {
+  TempDir tmp("vine_mgr_test");
+  ASSERT_TRUE(write_file_atomic(tmp.path() / "x.dat", "XYZ").ok());
+  auto f = m_->declare_local((tmp.path() / "x.dat").string());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->cache_name, "md5-" + md5_buffer("XYZ"));
+  EXPECT_EQ((*f)->size_hint, 3);
+  EXPECT_FALSE(m_->declare_local("/no/such/path").ok());
+}
+
+TEST_F(ManagerApiTest, UrlDeclarationUsesFetcherHeaders) {
+  fetcher_->put("http://a/x", "body", "feedface");
+  auto f = m_->declare_url("http://a/x", CacheLevel::worker);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->cache_name, "md5-feedface");
+  EXPECT_EQ((*f)->size_hint, 4);
+  EXPECT_EQ((*f)->cache, CacheLevel::worker);
+  EXPECT_FALSE(m_->declare_url("http://missing/x").ok());
+}
+
+TEST_F(ManagerApiTest, TempDeclarationUnnamedUntilSubmit) {
+  auto t = m_->declare_temp();
+  EXPECT_TRUE(t->cache_name.empty());
+  EXPECT_EQ(t->kind, FileKind::temp);
+
+  auto spec = TaskBuilder("printf x > out").output(t, "out").build();
+  ASSERT_TRUE(m_->submit(std::move(spec)).ok());
+  EXPECT_FALSE(t->cache_name.empty());
+  EXPECT_EQ(t->cache_name.rfind("task-", 0), 0u);
+  EXPECT_NE(t->producer_task, 0u);
+}
+
+TEST_F(ManagerApiTest, MiniTaskNamingIsStableAcrossManagers) {
+  // Two independent managers derive the same name for the same mini-task
+  // over the same content — the property that makes worker-lifetime
+  // caching safe across workflows run by distinct managers (paper §3.2).
+  auto build_name = [&](Manager& m) {
+    auto archive = m.declare_buffer("archive-bytes", CacheLevel::worker);
+    auto tree = m.declare_unpack(archive, CacheLevel::worker);
+    return (*tree)->cache_name;
+  };
+  ManagerConfig cfg2;
+  Manager m2(cfg2);
+  EXPECT_EQ(build_name(*m_), build_name(m2));
+}
+
+TEST_F(ManagerApiTest, MiniTaskRejectsUnnamedInputs) {
+  auto unnamed = m_->declare_temp();
+  TaskSpec mini;
+  mini.kind = TaskKind::mini;
+  mini.command = "whatever";
+  mini.inputs.push_back({unnamed, "in"});
+  EXPECT_FALSE(m_->declare_mini_task(std::move(mini), "out").ok());
+  EXPECT_FALSE(m_->declare_unpack(unnamed).ok());
+  EXPECT_FALSE(m_->declare_unpack(nullptr).ok());
+}
+
+// --------------------------------------------------------- submission
+
+TEST_F(ManagerApiTest, SubmitValidatesInputs) {
+  TaskSpec t;
+  t.command = "true";
+  t.inputs.push_back({nullptr, "x"});
+  EXPECT_FALSE(m_->submit(std::move(t)).ok());
+
+  // A temp that no submitted task produces cannot be consumed.
+  auto orphan = m_->declare_temp();
+  auto consumer = TaskBuilder("cat x").input(orphan, "x").build();
+  auto r = m_->submit(std::move(consumer));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::invalid_argument);
+}
+
+TEST_F(ManagerApiTest, SubmitAssignsMonotonicIds) {
+  auto a = m_->submit(TaskBuilder("true").build());
+  auto b = m_->submit(TaskBuilder("true").build());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(*a, *b);
+  EXPECT_EQ(m_->outstanding(), 2u);
+  EXPECT_FALSE(m_->idle());
+}
+
+TEST_F(ManagerApiTest, WaitTimesOutWithNoWorkers) {
+  ASSERT_TRUE(m_->submit(TaskBuilder("true").build()).ok());
+  auto r = m_->wait(50ms);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::timeout);
+}
+
+TEST_F(ManagerApiTest, FetchFileForManagerResidentKinds) {
+  auto buf = m_->declare_buffer("buffered-content");
+  auto got = m_->fetch_file(buf, 100ms);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "buffered-content");
+
+  TempDir tmp("vine_mgr_test");
+  ASSERT_TRUE(write_file_atomic(tmp.path() / "f.txt", "local-file").ok());
+  auto local = m_->declare_local((tmp.path() / "f.txt").string());
+  ASSERT_TRUE(local.ok());
+  auto content = m_->fetch_file(*local, 100ms);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "local-file");
+
+  // Directory local files come back as vpak archives.
+  ASSERT_TRUE(write_file_atomic(tmp.path() / "dir/a.txt", "A").ok());
+  auto dir = m_->declare_local((tmp.path() / "dir").string());
+  ASSERT_TRUE(dir.ok());
+  auto packed = m_->fetch_file(*dir, 100ms);
+  ASSERT_TRUE(packed.ok());
+  auto entries = vpak_read(*packed);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ((*entries)[0].path, "a.txt");
+}
+
+TEST_F(ManagerApiTest, FetchFileErrors) {
+  EXPECT_FALSE(m_->fetch_file(nullptr, 10ms).ok());
+  auto unnamed = m_->declare_temp();
+  EXPECT_FALSE(m_->fetch_file(unnamed, 10ms).ok());
+  // Named temp with no replica anywhere: times out.
+  auto t = m_->declare_temp();
+  ASSERT_TRUE(m_->submit(TaskBuilder("printf x > o").output(t, "o").build()).ok());
+  auto r = m_->fetch_file(t, 50ms);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::timeout);
+}
+
+// --------------------------------------------------------- builders
+
+TEST_F(ManagerApiTest, TaskBuilderCoversAllFields) {
+  auto spec = TaskBuilder("cmd")
+                  .env("K", "V")
+                  .cores(2.5)
+                  .memory_mb(1024)
+                  .disk_mb(77)
+                  .gpus(1)
+                  .max_attempts(4)
+                  .timeout_seconds(9.5)
+                  .pin_to_worker("w3")
+                  .build();
+  EXPECT_EQ(spec.kind, TaskKind::command);
+  EXPECT_EQ(spec.command, "cmd");
+  EXPECT_EQ(spec.env.at("K"), "V");
+  EXPECT_DOUBLE_EQ(spec.resources.cores, 2.5);
+  EXPECT_EQ(spec.resources.memory_mb, 1024);
+  EXPECT_EQ(spec.resources.disk_mb, 77);
+  EXPECT_EQ(spec.resources.gpus, 1);
+  EXPECT_EQ(spec.max_attempts, 4);
+  EXPECT_DOUBLE_EQ(spec.timeout_seconds, 9.5);
+  EXPECT_EQ(spec.pinned_worker, "w3");
+
+  auto fn = TaskBuilder::function("name", "args").build();
+  EXPECT_EQ(fn.kind, TaskKind::function);
+  EXPECT_EQ(fn.function_name, "name");
+
+  auto call = TaskBuilder::function_call("lib", "fn", "a").build();
+  EXPECT_EQ(call.kind, TaskKind::function_call);
+  EXPECT_EQ(call.library_name, "lib");
+
+  auto mgr_call = Manager::function_call("lib2", "fn2", "b");
+  EXPECT_EQ(mgr_call.kind, TaskKind::function_call);
+  EXPECT_EQ(mgr_call.library_name, "lib2");
+  EXPECT_EQ(mgr_call.function_args, "b");
+}
+
+TEST_F(ManagerApiTest, BuilderIsReusableTemplate) {
+  TaskBuilder tmpl("echo x");
+  tmpl.cores(2);
+  auto a = tmpl.build();
+  auto b = tmpl.build();
+  EXPECT_EQ(a.command, b.command);
+  EXPECT_EQ(a.resources.cores, 2);
+}
+
+// --------------------------------------------------------- lifecycle
+
+TEST_F(ManagerApiTest, InstallLibraryValidation) {
+  auto unnamed = m_->declare_temp();
+  EXPECT_FALSE(m_->install_library("lib", {}, {{unnamed, "x"}}).ok());
+  EXPECT_TRUE(m_->install_library("lib", {}).ok());
+  EXPECT_EQ(m_->library_instances("lib"), 0);  // no workers yet
+}
+
+TEST_F(ManagerApiTest, IdleWithNothingSubmitted) {
+  EXPECT_TRUE(m_->idle());
+  EXPECT_FALSE(m_->has_completed());
+  EXPECT_EQ(m_->outstanding(), 0u);
+  EXPECT_EQ(m_->worker_count(), 0);
+}
+
+TEST_F(ManagerApiTest, WaitForWorkersTimesOut) {
+  auto st = m_->wait_for_workers(1, 50ms);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::timeout);
+}
+
+TEST_F(ManagerApiTest, LevelBookkeepingSurvivesEndWorkflow) {
+  auto wk = m_->declare_buffer("keep", CacheLevel::worker);
+  auto wf = m_->declare_buffer("drop", CacheLevel::workflow);
+  // Fake replicas to observe the GC rule without workers.
+  // (end_workflow drops non-worker-lifetime records.)
+  m_->end_workflow();
+  EXPECT_EQ(m_->replicas().present_count(wk->cache_name), 0);
+  EXPECT_EQ(m_->replicas().present_count(wf->cache_name), 0);
+}
+
+TEST_F(ManagerApiTest, DoubleShutdownIsSafe) {
+  m_->shutdown();
+  m_->shutdown();
+}
+
+}  // namespace
+}  // namespace vine

@@ -1,0 +1,340 @@
+// Property-based suites (parameterized over seeds): invariants that must
+// hold for arbitrary inputs, not just the hand-picked cases of the unit
+// tests — hashing consistency, archive round trips, scheduler safety, and
+// end-to-end simulator invariants on random workloads.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "archive/vpak.hpp"
+#include "common/rng.hpp"
+#include "fsutil/fsutil.hpp"
+#include "hash/digest.hpp"
+#include "hash/dirhash.hpp"
+#include "hash/md5.hpp"
+#include "hash/hex.hpp"
+#include "json/json.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace vine {
+namespace {
+
+namespace fs = std::filesystem;
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u));
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  std::string s(rng.below(max_len + 1), '\0');
+  for (auto& c : s) c = static_cast<char>(rng.below(256));
+  return s;
+}
+
+// ---------------------------------------------------------------- hashing
+
+TEST_P(Seeded, Md5IncrementalEqualsOneShotForAnyChunking) {
+  Rng rng(GetParam());
+  std::string data = random_bytes(rng, 50000);
+  Md5 h;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t n = std::min<std::size_t>(1 + rng.below(997), data.size() - pos);
+    h.update(std::string_view(data).substr(pos, n));
+    pos += n;
+  }
+  auto digest = h.finish();
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(digest.data(), digest.size())),
+            Md5::hex(data));
+}
+
+TEST_P(Seeded, DirDocumentHashIsPermutationInvariant) {
+  Rng rng(GetParam());
+  std::vector<DirDocEntry> entries;
+  int n = 1 + static_cast<int>(rng.below(40));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({rng.chance(0.3) ? DirDocEntry::Kind::directory
+                                       : DirDocEntry::Kind::file,
+                       "entry-" + std::to_string(i),
+                       static_cast<std::int64_t>(rng.below(1 << 20)),
+                       md5_buffer(std::to_string(rng.next()))});
+  }
+  auto shuffled = entries;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+  }
+  EXPECT_EQ(hash_dir_document(entries), hash_dir_document(shuffled));
+}
+
+// ---------------------------------------------------------------- vpak
+
+TEST_P(Seeded, VpakRoundTripPreservesRandomTrees) {
+  Rng rng(GetParam());
+  TempDir tmp("vine_prop_vpak");
+  // Build a random tree: nested dirs, random binary files, symlinks.
+  std::vector<fs::path> dirs{tmp.path() / "in"};
+  fs::create_directories(dirs[0]);
+  int files = 1 + static_cast<int>(rng.below(25));
+  for (int i = 0; i < files; ++i) {
+    const fs::path& parent = dirs[rng.below(dirs.size())];
+    if (rng.chance(0.25)) {
+      fs::path d = parent / ("d" + std::to_string(i));
+      fs::create_directories(d);
+      dirs.push_back(d);
+    } else if (rng.chance(0.1)) {
+      std::error_code ec;
+      fs::create_symlink("target-" + std::to_string(i),
+                         parent / ("l" + std::to_string(i)), ec);
+    } else {
+      ASSERT_TRUE(write_file_atomic(parent / ("f" + std::to_string(i)),
+                                    random_bytes(rng, 5000))
+                      .ok());
+    }
+  }
+
+  auto ar = tmp.path() / "t.vpak";
+  ASSERT_TRUE(vpak_pack_tree(tmp.path() / "in", ar).ok());
+  ASSERT_TRUE(vpak_unpack(ar, tmp.path() / "out").ok());
+  auto h_in = merkle_hash_path(tmp.path() / "in");
+  auto h_out = merkle_hash_path(tmp.path() / "out");
+  ASSERT_TRUE(h_in.ok());
+  ASSERT_TRUE(h_out.ok());
+  EXPECT_EQ(*h_in, *h_out);
+}
+
+TEST_P(Seeded, VpakParserNeverCrashesOnMutatedArchives) {
+  Rng rng(GetParam());
+  auto bytes = vpak_write({{VpakEntry::Kind::directory, "d", ""},
+                           {VpakEntry::Kind::file, "d/f", random_bytes(rng, 300)},
+                           {VpakEntry::Kind::symlink, "d/l", "f"}});
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    int flips = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<char>(1 + rng.below(255));
+    }
+    // Either parses to something or errors cleanly; must not crash/hang.
+    auto result = vpak_read(mutated);
+    (void)result;
+  }
+}
+
+// ---------------------------------------------------------------- json
+
+json::Value random_json(Rng& rng, int depth) {
+  switch (depth <= 0 ? rng.below(5) : rng.below(7)) {
+    case 0: return json::Value(nullptr);
+    case 1: return json::Value(rng.chance(0.5));
+    case 2: return json::Value(static_cast<std::int64_t>(rng.next() >> 12));
+    case 3: return json::Value(rng.uniform(-1e6, 1e6));
+    case 4: {
+      Rng inner(rng.next());
+      std::string s;
+      for (std::size_t i = 0; i < inner.below(20); ++i) {
+        s += static_cast<char>(inner.below(256));
+      }
+      return json::Value(s);
+    }
+    case 5: {
+      json::Array arr;
+      for (std::size_t i = 0; i < rng.below(5); ++i) {
+        arr.push_back(random_json(rng, depth - 1));
+      }
+      return json::Value(std::move(arr));
+    }
+    default: {
+      json::Object obj;
+      for (std::size_t i = 0; i < rng.below(5); ++i) {
+        obj["k" + std::to_string(rng.below(100))] = random_json(rng, depth - 1);
+      }
+      return json::Value(std::move(obj));
+    }
+  }
+}
+
+TEST_P(Seeded, JsonDumpParseRoundTripsRandomValues) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    json::Value v = random_json(rng, 4);
+    auto back = json::parse(v.dump());
+    ASSERT_TRUE(back.ok()) << v.dump();
+    EXPECT_EQ(*back, v);
+    // Pretty form parses to the same value too.
+    auto pretty = json::parse(v.dump_pretty());
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(*pretty, v);
+  }
+}
+
+TEST_P(Seeded, JsonParserNeverCrashesOnMutatedDocuments) {
+  Rng rng(GetParam());
+  std::string doc = random_json(rng, 4).dump();
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = doc;
+    if (mutated.empty()) break;
+    mutated[rng.below(mutated.size())] = static_cast<char>(rng.below(256));
+    auto result = json::parse(mutated);
+    if (result.ok()) {
+      // Whatever parsed must re-serialize and re-parse consistently.
+      auto again = json::parse(result->dump());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *result);
+    }
+  }
+}
+
+// ------------------------------------------------------------- scheduler
+
+TEST_P(Seeded, PickWorkerAlwaysRespectsResourcesAndLibraries) {
+  Rng rng(GetParam());
+  FileReplicaTable replicas;
+  std::vector<WorkerSnapshot> workers;
+  for (int w = 0; w < 20; ++w) {
+    WorkerSnapshot s;
+    s.id = "w" + std::to_string(w);
+    s.total = {.cores = static_cast<double>(1 + rng.below(16)),
+               .memory_mb = static_cast<std::int64_t>(rng.below(32000)),
+               .disk_mb = static_cast<std::int64_t>(rng.below(100000)),
+               .gpus = static_cast<int>(rng.below(3))};
+    s.committed = {.cores = 0, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+    s.committed.cores = rng.below(static_cast<std::uint64_t>(s.total.cores) + 1);
+    if (rng.chance(0.3)) s.libraries.insert("lib");
+    workers.push_back(std::move(s));
+    if (rng.chance(0.5)) {
+      replicas.set_replica("f" + std::to_string(rng.below(5)),
+                           "w" + std::to_string(w), ReplicaState::present,
+                           static_cast<std::int64_t>(rng.below(1 << 20)));
+    }
+  }
+
+  for (auto policy :
+       {PlacementPolicy::most_cached, PlacementPolicy::random,
+        PlacementPolicy::round_robin, PlacementPolicy::first_fit}) {
+    Scheduler sched({.placement = policy}, GetParam());
+    for (int i = 0; i < 100; ++i) {
+      TaskSpec t;
+      t.resources = {.cores = static_cast<double>(1 + rng.below(8)),
+                     .memory_mb = static_cast<std::int64_t>(rng.below(16000)),
+                     .disk_mb = 0,
+                     .gpus = static_cast<int>(rng.below(2))};
+      if (rng.chance(0.3)) {
+        t.kind = TaskKind::function_call;
+        t.library_name = "lib";
+      }
+      auto f = std::make_shared<FileDecl>();
+      f->cache_name = "f" + std::to_string(rng.below(5));
+      t.inputs.push_back({f, "in"});
+
+      auto pick = sched.pick_worker(t, workers, replicas);
+      if (!pick) continue;
+      const auto* w = &*std::find_if(workers.begin(), workers.end(),
+                                     [&](const auto& s) { return s.id == *pick; });
+      EXPECT_TRUE(w->available().can_fit(t.resources))
+          << "policy placed a task on a worker without room";
+      if (t.kind == TaskKind::function_call) {
+        EXPECT_TRUE(w->libraries.count("lib"));
+      }
+    }
+  }
+}
+
+TEST_P(Seeded, PlanSourceNeverReturnsSaturatedSource) {
+  Rng rng(GetParam());
+  SchedulerConfig cfg;
+  cfg.worker_source_limit = 1 + static_cast<int>(rng.below(4));
+  cfg.url_source_limit = 1 + static_cast<int>(rng.below(4));
+  cfg.manager_source_limit = 1 + static_cast<int>(rng.below(4));
+  Scheduler sched(cfg, GetParam());
+
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  for (int i = 0; i < 300; ++i) {
+    std::string file = "f" + std::to_string(rng.below(10));
+    std::string dest = "w" + std::to_string(rng.below(8));
+    if (rng.chance(0.3)) {
+      replicas.set_replica(file, "w" + std::to_string(rng.below(8)),
+                           ReplicaState::present, 100);
+    }
+    TransferSource fixed = rng.chance(0.5)
+                               ? TransferSource::from_url("u" + std::to_string(rng.below(3)))
+                               : TransferSource::from_manager();
+    auto plan = sched.plan_source(file, fixed, dest, replicas, transfers);
+    if (!plan) continue;
+
+    int limit = 0;
+    switch (plan->kind) {
+      case TransferSource::Kind::worker: limit = cfg.worker_source_limit; break;
+      case TransferSource::Kind::url: limit = cfg.url_source_limit; break;
+      case TransferSource::Kind::manager: limit = cfg.manager_source_limit; break;
+    }
+    EXPECT_LT(transfers.inflight_from(*plan), limit)
+        << "planner chose a source already at its limit";
+    EXPECT_NE(plan->kind == TransferSource::Kind::worker ? plan->key : "",
+              dest)
+        << "planner chose the destination as its own source";
+
+    // Start the planned transfer; sometimes finish a random one.
+    transfers.begin(file, dest, *plan, 0);
+    if (rng.chance(0.5)) {
+      auto snapshot = transfers.snapshot();
+      if (!snapshot.empty()) {
+        transfers.finish(snapshot[rng.below(snapshot.size())].uuid);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- simulator
+
+TEST_P(Seeded, RandomWorkflowsAlwaysCompleteAndRespectLimits) {
+  Rng rng(GetParam());
+  vinesim::SimConfig cfg;
+  cfg.seed = GetParam();
+  cfg.sched.worker_source_limit = 1 + static_cast<int>(rng.below(4));
+  vinesim::ClusterSim sim(cfg);
+
+  int workers = 2 + static_cast<int>(rng.below(10));
+  for (int w = 0; w < workers; ++w) {
+    sim.add_worker("w" + std::to_string(w), rng.uniform(0, 50),
+                   static_cast<double>(1 + rng.below(8)));
+  }
+
+  // Random file pool (various origins) + random two-stage DAG.
+  std::vector<vinesim::SimFile*> inputs;
+  for (int f = 0; f < 8; ++f) {
+    auto origin = rng.chance(0.5) ? vinesim::SimFile::Origin::archive
+                                  : vinesim::SimFile::Origin::manager;
+    inputs.push_back(sim.declare_file("in" + std::to_string(f),
+                                      1 + rng.below(50 * 1000 * 1000), origin));
+  }
+  std::vector<vinesim::SimFile*> temps;
+  int producers = 5 + static_cast<int>(rng.below(30));
+  for (int i = 0; i < producers; ++i) {
+    auto* t = sim.add_task("produce", rng.uniform(1, 60),
+                           static_cast<double>(1 + rng.below(2)));
+    t->inputs.push_back(inputs[rng.below(inputs.size())]);
+    auto* out = sim.declare_file("tmp" + std::to_string(i), 0,
+                                 vinesim::SimFile::Origin::temp);
+    t->outputs.push_back({out, static_cast<std::int64_t>(1 + rng.below(10 * 1000 * 1000))});
+    temps.push_back(out);
+  }
+  int consumers = 5 + static_cast<int>(rng.below(30));
+  for (int i = 0; i < consumers; ++i) {
+    auto* t = sim.add_task("consume", rng.uniform(1, 30));
+    t->inputs.push_back(temps[rng.below(temps.size())]);
+    if (rng.chance(0.5)) t->inputs.push_back(inputs[rng.below(inputs.size())]);
+  }
+
+  double makespan = sim.run();
+  EXPECT_GT(makespan, 0);
+  EXPECT_EQ(sim.stats().tasks_unfinished, 0)
+      << "random workflow deadlocked in the simulator";
+  EXPECT_EQ(sim.stats().tasks_done, producers + consumers);
+  EXPECT_LE(sim.stats().max_worker_source_inflight, cfg.sched.worker_source_limit)
+      << "a worker served more concurrent transfers than the limit";
+}
+
+}  // namespace
+}  // namespace vine

@@ -1,0 +1,244 @@
+// Integration tests for the storage-management and resilience features:
+// cache eviction under a disk bound, lost-temp recovery by re-running
+// producers, and explicit replication.
+#include <gtest/gtest.h>
+
+#include "core/taskvine.hpp"
+#include "fsutil/fsutil.hpp"
+
+namespace vine {
+namespace {
+
+using namespace std::chrono_literals;
+constexpr auto kWait = 20000ms;
+
+// ------------------------------------------------------------ eviction
+
+TEST(CacheEviction, LruWorkerObjectsEvictedUnderPressure) {
+  TempDir tmp("vine_evict");
+  CacheStore cache(tmp.path() / "cache", /*capacity=*/1000);
+  ASSERT_TRUE(cache.put_bytes("a", std::string(400, 'a'), CacheLevel::worker).ok());
+  ASSERT_TRUE(cache.put_bytes("b", std::string(400, 'b'), CacheLevel::worker).ok());
+  // Touch "a" so "b" becomes the LRU victim.
+  (void)cache.object_path("a");
+  ASSERT_TRUE(cache.put_bytes("c", std::string(400, 'c'), CacheLevel::worker).ok());
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  auto evicted = cache.take_evictions();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "b");
+  EXPECT_TRUE(cache.take_evictions().empty());  // drained
+}
+
+TEST(CacheEviction, WorkflowObjectsAreNeverEvicted) {
+  TempDir tmp("vine_evict");
+  CacheStore cache(tmp.path() / "cache", /*capacity=*/1000);
+  ASSERT_TRUE(cache.put_bytes("wf", std::string(800, 'w'), CacheLevel::workflow).ok());
+  // No evictable (worker-level) entries: the insert must fail cleanly.
+  auto st = cache.put_bytes("x", std::string(800, 'x'), CacheLevel::worker);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::resource_exhausted);
+  EXPECT_TRUE(cache.contains("wf"));
+  EXPECT_FALSE(cache.contains("x"));
+}
+
+TEST(CacheEviction, EvictsMultipleToFitLargeObject) {
+  TempDir tmp("vine_evict");
+  CacheStore cache(tmp.path() / "cache", /*capacity=*/1000);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cache.put_bytes("o" + std::to_string(i), std::string(240, 'o'),
+                                CacheLevel::worker)
+                    .ok());
+  }
+  ASSERT_TRUE(cache.put_bytes("big", std::string(900, 'B'), CacheLevel::worker).ok());
+  EXPECT_TRUE(cache.contains("big"));
+  EXPECT_EQ(cache.take_evictions().size(), 4u);
+}
+
+TEST(CacheEviction, UnlimitedByDefault) {
+  TempDir tmp("vine_evict");
+  CacheStore cache(tmp.path() / "cache");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cache.put_bytes("o" + std::to_string(i), std::string(1000, 'o'),
+                                CacheLevel::worker)
+                    .ok());
+  }
+  EXPECT_TRUE(cache.take_evictions().empty());
+}
+
+TEST(CacheEviction, ManagerLearnsAboutEvictions) {
+  // A worker with a tiny cache: staging task B's input evicts task A's
+  // worker-lifetime input; the manager's replica table must reflect that.
+  ManagerConfig mc;
+  Manager m(mc);
+  ASSERT_TRUE(m.start().ok());
+
+  TempDir root("vine_evict_cluster");
+  WorkerConfig wc;
+  wc.id = "tiny";
+  wc.manager_addr = m.address();
+  wc.root_dir = root.path();
+  wc.cache_capacity_bytes = 150 * 1000;
+  auto worker = Worker::connect(std::move(wc));
+  ASSERT_TRUE(worker.ok());
+  (*worker)->start();
+  ASSERT_TRUE(m.wait_for_workers(1, 10000ms).ok());
+
+  auto first = m.declare_buffer(std::string(100 * 1000, 'A'), CacheLevel::worker);
+  ASSERT_TRUE(m.submit(TaskBuilder("wc -c < f").input(first, "f").build()).ok());
+  auto r1 = m.wait(kWait);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->ok());
+  EXPECT_EQ(m.replicas().present_count(first->cache_name), 1);
+
+  auto second = m.declare_buffer(std::string(100 * 1000, 'B'), CacheLevel::worker);
+  ASSERT_TRUE(m.submit(TaskBuilder("wc -c < g").input(second, "g").build()).ok());
+  auto r2 = m.wait(kWait);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->ok()) << r2->error_message;
+
+  // The eviction notice is asynchronous; poll briefly.
+  for (int i = 0; i < 100 && m.replicas().present_count(first->cache_name) > 0; ++i) {
+    m.poll(10ms);
+  }
+  EXPECT_EQ(m.replicas().present_count(first->cache_name), 0);
+  EXPECT_EQ(m.replicas().present_count(second->cache_name), 1);
+
+  m.shutdown();
+  (*worker)->stop();
+}
+
+// ------------------------------------------------------------ recovery
+
+TEST(Recovery, LostTempIsReproducedByRerunningProducer) {
+  auto cluster = LocalCluster::create({.workers = 2});
+  ASSERT_TRUE(cluster.ok());
+  Manager& m = (*cluster)->manager();
+
+  auto mid = m.declare_temp();
+  ASSERT_TRUE(m.submit(TaskBuilder("printf precious > out.bin")
+                           .output(mid, "out.bin")
+                           .build())
+                  .ok());
+  auto r1 = m.wait(kWait);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->ok());
+
+  // Kill the worker holding the only replica of `mid`.
+  auto holders = m.replicas().workers_with(mid->cache_name);
+  ASSERT_EQ(holders.size(), 1u);
+  std::size_t victim = holders[0] == "w0" ? 0 : 1;
+  (*cluster)->worker(victim).stop();
+
+  // Now submit a consumer; the manager must notice the loss and re-run the
+  // producer on the surviving worker.
+  ASSERT_TRUE(m.submit(TaskBuilder("cat in.bin").input(mid, "in.bin").build()).ok());
+  auto r2 = m.wait(kWait);
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  ASSERT_TRUE(r2->ok()) << r2->error_message;
+  EXPECT_EQ(r2->output, "precious");
+
+  // The producer's re-run must not surface a second report.
+  EXPECT_FALSE(m.has_completed());
+}
+
+TEST(Recovery, ChainedLossRecursesToUpstreamProducers) {
+  auto cluster = LocalCluster::create({.workers = 2});
+  ASSERT_TRUE(cluster.ok());
+  Manager& m = (*cluster)->manager();
+
+  // stage1 -> stage2 produced in the cluster; the worker holding both
+  // dies; a consumer of stage2 forces re-running both producers elsewhere.
+  auto s1 = m.declare_temp();
+  auto s2 = m.declare_temp();
+  ASSERT_TRUE(m.submit(TaskBuilder("printf 7 > a").output(s1, "a").build()).ok());
+  ASSERT_TRUE(m.submit(TaskBuilder("expr $(cat a) \\* 6 > b")
+                           .input(s1, "a")
+                           .output(s2, "b")
+                           .build())
+                  .ok());
+  for (int i = 0; i < 2; ++i) {
+    auto r = m.wait(kWait);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->ok()) << r->error_message;
+  }
+  // Both stages ran on the same worker (locality); kill it.
+  auto holders = m.replicas().workers_with(s2->cache_name);
+  ASSERT_EQ(holders.size(), 1u);
+  std::size_t victim = holders[0] == "w0" ? 0 : 1;
+  (*cluster)->worker(victim).stop();
+
+  ASSERT_TRUE(m.submit(TaskBuilder("cat b").input(s2, "b").build()).ok());
+  auto r = m.wait(kWait);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  ASSERT_TRUE(r->ok()) << r->error_message;
+  EXPECT_EQ(r->output, "42\n");
+}
+
+// ------------------------------------------------------------ replication
+
+TEST(Replication, TempFileCopiedToRequestedCount) {
+  auto cluster = LocalCluster::create({.workers = 3});
+  ASSERT_TRUE(cluster.ok());
+  Manager& m = (*cluster)->manager();
+
+  auto out = m.declare_temp();
+  ASSERT_TRUE(m.submit(TaskBuilder("printf data > f").output(out, "f").build()).ok());
+  auto r = m.wait(kWait);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->ok());
+  EXPECT_EQ(m.replicas().present_count(out->cache_name), 1);
+
+  ASSERT_TRUE(m.replicate_file(out, 3).ok());
+  for (int i = 0; i < 500 && m.replicas().present_count(out->cache_name) < 3; ++i) {
+    m.poll(10ms);
+  }
+  EXPECT_EQ(m.replicas().present_count(out->cache_name), 3);
+}
+
+TEST(Replication, SurvivesWorkerLossAfterReplication) {
+  auto cluster = LocalCluster::create({.workers = 2});
+  ASSERT_TRUE(cluster.ok());
+  Manager& m = (*cluster)->manager();
+
+  auto out = m.declare_temp();
+  ASSERT_TRUE(m.submit(TaskBuilder("printf tough > f")
+                           .output(out, "f")
+                           .pin_to_worker("w1")
+                           .build())
+                  .ok());
+  auto r = m.wait(kWait);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->ok());
+
+  ASSERT_TRUE(m.replicate_file(out, 2).ok());
+  for (int i = 0; i < 500 && m.replicas().present_count(out->cache_name) < 2; ++i) {
+    m.poll(10ms);
+  }
+  ASSERT_EQ(m.replicas().present_count(out->cache_name), 2);
+
+  // The original producer worker dies; the surviving replica serves the
+  // consumer without any re-execution.
+  (*cluster)->worker(1).stop();
+  ASSERT_TRUE(m.submit(TaskBuilder("cat f").input(out, "f").build()).ok());
+  auto r2 = m.wait(kWait);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->ok()) << r2->error_message;
+  EXPECT_EQ(r2->output, "tough");
+  EXPECT_EQ(r2->attempts, 1);
+}
+
+TEST(Replication, InvalidArgumentsRejected) {
+  auto cluster = LocalCluster::create({.workers = 1});
+  ASSERT_TRUE(cluster.ok());
+  Manager& m = (*cluster)->manager();
+  EXPECT_FALSE(m.replicate_file(nullptr, 2).ok());
+  auto unnamed = m.declare_temp();
+  EXPECT_FALSE(m.replicate_file(unnamed, 2).ok());  // no cache name yet
+  auto named = m.declare_buffer("x");
+  EXPECT_FALSE(m.replicate_file(named, 0).ok());
+}
+
+}  // namespace
+}  // namespace vine

@@ -1,0 +1,278 @@
+// Unit tests for src/sched: placement policies and transfer-source planning
+// with per-source limits (paper §3.3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/scheduler.hpp"
+
+namespace vine {
+namespace {
+
+FileRef make_file(std::string cache_name, std::int64_t size = -1) {
+  auto f = std::make_shared<FileDecl>();
+  f->cache_name = std::move(cache_name);
+  f->size_hint = size;
+  return f;
+}
+
+WorkerSnapshot make_worker(std::string id, double cores = 4) {
+  WorkerSnapshot w;
+  w.id = std::move(id);
+  w.total = {.cores = cores, .memory_mb = 8000, .disk_mb = 50000, .gpus = 0};
+  return w;
+}
+
+TaskSpec task_with_inputs(std::initializer_list<const char*> names) {
+  TaskSpec t;
+  t.resources = {.cores = 1, .memory_mb = 100, .disk_mb = 0, .gpus = 0};
+  for (const char* n : names) t.inputs.push_back({make_file(n), n});
+  return t;
+}
+
+// ------------------------------------------------------------- placement
+
+TEST(Placement, PrefersWorkerWithMostCachedBytes) {
+  Scheduler sched;
+  FileReplicaTable replicas;
+  replicas.set_replica("big", "w2", ReplicaState::present, 1000000);
+  replicas.set_replica("small", "w1", ReplicaState::present, 10);
+
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2"),
+                                      make_worker("w3")};
+  auto t = task_with_inputs({"big", "small"});
+  auto pick = sched.pick_worker(t, workers, replicas);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, "w2");
+}
+
+TEST(Placement, PendingReplicasDoNotCount) {
+  Scheduler sched;
+  FileReplicaTable replicas;
+  replicas.set_replica("f", "w2", ReplicaState::pending);
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2")};
+  workers[1].running_tasks = 5;  // w2 busier; with no cached bytes w1 wins ties
+  auto pick = sched.pick_worker(task_with_inputs({"f"}), workers, replicas);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, "w1");
+}
+
+TEST(Placement, SkipsWorkersWithoutResources) {
+  Scheduler sched;
+  FileReplicaTable replicas;
+  replicas.set_replica("f", "w1", ReplicaState::present, 100);
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2")};
+  workers[0].committed = workers[0].total;  // w1 full despite the cache hit
+  auto pick = sched.pick_worker(task_with_inputs({"f"}), workers, replicas);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, "w2");
+}
+
+TEST(Placement, NoneFitsReturnsNullopt) {
+  Scheduler sched;
+  FileReplicaTable replicas;
+  std::vector<WorkerSnapshot> workers{make_worker("w1", 1)};
+  TaskSpec t = task_with_inputs({});
+  t.resources.cores = 8;
+  EXPECT_FALSE(sched.pick_worker(t, workers, replicas).has_value());
+}
+
+TEST(Placement, PinnedWorkerHonored) {
+  Scheduler sched;
+  FileReplicaTable replicas;
+  replicas.set_replica("f", "w1", ReplicaState::present, 1000);
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2")};
+  TaskSpec t = task_with_inputs({"f"});
+  t.pinned_worker = "w2";
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w2");
+  t.pinned_worker = "w-unknown";
+  EXPECT_FALSE(sched.pick_worker(t, workers, replicas).has_value());
+}
+
+TEST(Placement, FunctionCallRequiresLibrary) {
+  Scheduler sched;
+  FileReplicaTable replicas;
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2")};
+  workers[1].libraries.insert("optimizer");
+  TaskSpec t;
+  t.kind = TaskKind::function_call;
+  t.library_name = "optimizer";
+  t.resources = {.cores = 1, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w2");
+  workers[1].libraries.clear();
+  EXPECT_FALSE(sched.pick_worker(t, workers, replicas).has_value());
+}
+
+TEST(Placement, RoundRobinRotates) {
+  Scheduler sched({.placement = PlacementPolicy::round_robin});
+  FileReplicaTable replicas;
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2"),
+                                      make_worker("w3")};
+  std::set<WorkerId> seen;
+  auto t = task_with_inputs({});
+  for (int i = 0; i < 3; ++i) {
+    seen.insert(sched.pick_worker(t, workers, replicas).value());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Placement, FirstFitIsDeterministic) {
+  Scheduler sched({.placement = PlacementPolicy::first_fit});
+  FileReplicaTable replicas;
+  std::vector<WorkerSnapshot> workers{make_worker("w3"), make_worker("w1"),
+                                      make_worker("w2")};
+  auto t = task_with_inputs({});
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w1");
+}
+
+TEST(Placement, RandomCoversAllWorkers) {
+  Scheduler sched({.placement = PlacementPolicy::random}, /*seed=*/7);
+  FileReplicaTable replicas;
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2"),
+                                      make_worker("w3")};
+  std::set<WorkerId> seen;
+  auto t = task_with_inputs({});
+  for (int i = 0; i < 60; ++i) {
+    seen.insert(sched.pick_worker(t, workers, replicas).value());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Placement, CachedBytesHelper) {
+  FileReplicaTable replicas;
+  replicas.set_replica("a", "w", ReplicaState::present, 100);
+  replicas.set_replica("b", "w", ReplicaState::present);  // unknown size -> 1
+  replicas.set_replica("c", "w", ReplicaState::pending);
+  auto t = task_with_inputs({"a", "b", "c", "d"});
+  EXPECT_EQ(Scheduler::cached_bytes(t, "w", replicas), 101);
+}
+
+// ---------------------------------------------------------- transfer plan
+
+TEST(TransferPlan, PrefersPeerOverFixedSource) {
+  Scheduler sched;
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  replicas.set_replica("f", "w1", ReplicaState::present, 100);
+  auto src = sched.plan_source("f", TransferSource::from_url("http://x"), "w2",
+                               replicas, transfers);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->kind, TransferSource::Kind::worker);
+  EXPECT_EQ(src->key, "w1");
+}
+
+TEST(TransferPlan, DestIsNeverItsOwnSource) {
+  Scheduler sched;
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  replicas.set_replica("f", "w2", ReplicaState::present, 100);
+  auto src = sched.plan_source("f", TransferSource::from_url("u"), "w2",
+                               replicas, transfers);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->kind, TransferSource::Kind::url);
+}
+
+TEST(TransferPlan, SaturatedPeersMeanWaitNotFallback) {
+  // Conservative strategy: when replicas exist in the cluster, a transfer
+  // waits for a peer slot instead of hitting the original source (this is
+  // what keeps Colmena's shared-FS reads at 3, §4.2).
+  Scheduler sched({.worker_source_limit = 3});
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  replicas.set_replica("f", "w1", ReplicaState::present, 100);
+  for (int i = 0; i < 3; ++i) {
+    transfers.begin("other", "wx" + std::to_string(i),
+                    TransferSource::from_worker("w1"), 0);
+  }
+  auto src = sched.plan_source("f", TransferSource::from_url("u"), "w2",
+                               replicas, transfers);
+  EXPECT_FALSE(src.has_value());  // wait for w1 to free a slot
+
+  // Once a slot frees, the peer is chosen.
+  auto recs = transfers.snapshot();
+  transfers.finish(recs.front().uuid);
+  src = sched.plan_source("f", TransferSource::from_url("u"), "w2", replicas,
+                          transfers);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->key, "w1");
+}
+
+TEST(TransferPlan, PicksLeastBusyPeer) {
+  Scheduler sched({.worker_source_limit = 3});
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  replicas.set_replica("f", "w1", ReplicaState::present, 100);
+  replicas.set_replica("f", "w2", ReplicaState::present, 100);
+  transfers.begin("x", "wa", TransferSource::from_worker("w1"), 0);
+  transfers.begin("y", "wb", TransferSource::from_worker("w1"), 0);
+  auto src = sched.plan_source("f", TransferSource::from_url("u"), "w3",
+                               replicas, transfers);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->key, "w2");
+}
+
+TEST(TransferPlan, ThrottledFixedSourceReturnsNullopt) {
+  Scheduler sched({.url_source_limit = 2});
+  FileReplicaTable replicas;  // no peers hold the file
+  CurrentTransferTable transfers;
+  auto url = TransferSource::from_url("http://x");
+  transfers.begin("a", "w1", url, 0);
+  transfers.begin("b", "w2", url, 0);
+  auto src = sched.plan_source("f", url, "w3", replicas, transfers);
+  EXPECT_FALSE(src.has_value());
+}
+
+TEST(TransferPlan, ManagerLimitEnforced) {
+  Scheduler sched({.manager_source_limit = 1});
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  auto mgr = TransferSource::from_manager();
+  EXPECT_TRUE(sched.plan_source("f", mgr, "w1", replicas, transfers).has_value());
+  transfers.begin("f", "w1", mgr, 0);
+  EXPECT_FALSE(sched.plan_source("g", mgr, "w2", replicas, transfers).has_value());
+}
+
+TEST(TransferPlan, PeerDisabledUsesFixedSource) {
+  Scheduler sched({.prefer_peer_transfers = false});
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  replicas.set_replica("f", "w1", ReplicaState::present, 100);
+  auto src = sched.plan_source("f", TransferSource::from_url("u"), "w2",
+                               replicas, transfers);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->kind, TransferSource::Kind::url);
+}
+
+TEST(TransferPlan, UnsupervisedIgnoresLimits) {
+  Scheduler sched({.worker_source_limit = 1, .supervised = false}, /*seed=*/3);
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  replicas.set_replica("f", "w1", ReplicaState::present, 100);
+  // w1 already saturated beyond any limit; unsupervised mode doesn't care.
+  for (int i = 0; i < 10; ++i) {
+    transfers.begin("x", "wz" + std::to_string(i),
+                    TransferSource::from_worker("w1"), 0);
+  }
+  auto src = sched.plan_source("f", TransferSource::from_url("u"), "w9",
+                               replicas, transfers);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->key, "w1");
+}
+
+TEST(TransferPlan, ZeroLimitMeansUnlimited) {
+  Scheduler sched({.worker_source_limit = 0});
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  replicas.set_replica("f", "w1", ReplicaState::present, 100);
+  for (int i = 0; i < 50; ++i) {
+    transfers.begin("x", "wz" + std::to_string(i),
+                    TransferSource::from_worker("w1"), 0);
+  }
+  auto src = sched.plan_source("f", TransferSource::from_url("u"), "w9",
+                               replicas, transfers);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->key, "w1");
+}
+
+}  // namespace
+}  // namespace vine

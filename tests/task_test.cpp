@@ -1,0 +1,203 @@
+// Unit tests for src/task: resources arithmetic, task hashing (MiniTask /
+// TempFile naming, paper §3.2), and the function/library registries.
+#include <gtest/gtest.h>
+
+#include "files/naming.hpp"
+#include "task/registry.hpp"
+#include "task/resources.hpp"
+#include "task/task_hash.hpp"
+#include "task/task_spec.hpp"
+
+namespace vine {
+namespace {
+
+// ---------------------------------------------------------------- resources
+
+TEST(ResourcesTest, FitAndArithmetic) {
+  Resources total{.cores = 8, .memory_mb = 16000, .disk_mb = 50000, .gpus = 1};
+  Resources small{.cores = 2, .memory_mb = 1000, .disk_mb = 100, .gpus = 0};
+  EXPECT_TRUE(total.can_fit(small));
+  Resources after = total - small;
+  EXPECT_EQ(after.cores, 6);
+  EXPECT_EQ(after.memory_mb, 15000);
+  EXPECT_TRUE((after + small) == total);
+}
+
+TEST(ResourcesTest, CannotFitAnyAxisOverage) {
+  Resources total{.cores = 4, .memory_mb = 1000, .disk_mb = 1000, .gpus = 0};
+  EXPECT_FALSE(total.can_fit({.cores = 5, .memory_mb = 0, .disk_mb = 0, .gpus = 0}));
+  EXPECT_FALSE(total.can_fit({.cores = 1, .memory_mb = 2000, .disk_mb = 0, .gpus = 0}));
+  EXPECT_FALSE(total.can_fit({.cores = 1, .memory_mb = 0, .disk_mb = 0, .gpus = 1}));
+}
+
+TEST(ResourcesTest, FractionalCoresForFunctionCalls) {
+  Resources total{.cores = 1, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+  Resources quarter{.cores = 0.25, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+  Resources left = total;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(left.can_fit(quarter)) << i;
+    left -= quarter;
+  }
+  EXPECT_FALSE(left.can_fit(quarter));
+}
+
+TEST(ResourcesTest, GrownDoublesUpToCap) {
+  Resources r{.cores = 1, .memory_mb = 1000, .disk_mb = 0, .gpus = 0};
+  Resources cap{.cores = 16, .memory_mb = 3000, .disk_mb = 100000, .gpus = 4};
+  Resources g = r.grown(cap);
+  EXPECT_EQ(g.cores, 2);
+  EXPECT_EQ(g.memory_mb, 2000);
+  EXPECT_EQ(g.disk_mb, 0);  // unconstrained stays unconstrained
+  Resources g2 = g.grown(cap);
+  EXPECT_EQ(g2.memory_mb, 3000);  // capped
+}
+
+TEST(ResourcesTest, ToStringShape) {
+  Resources r{.cores = 2, .memory_mb = 512, .disk_mb = 0, .gpus = 1};
+  EXPECT_EQ(r.to_string(), "cores=2 mem=512MB disk=0MB gpus=1");
+}
+
+// ---------------------------------------------------------------- hashing
+
+FileRef make_file(std::string cache_name) {
+  auto f = std::make_shared<FileDecl>();
+  f->cache_name = std::move(cache_name);
+  return f;
+}
+
+TaskSpec base_task() {
+  TaskSpec t;
+  t.kind = TaskKind::mini;
+  t.command = "unpack data.vpak out/";
+  t.resources = {.cores = 1, .memory_mb = 100, .disk_mb = 0, .gpus = 0};
+  t.inputs.push_back({make_file("md5-aaa"), "data.vpak"});
+  return t;
+}
+
+TEST(TaskHash, DeterministicAcrossIdAndOrder) {
+  TaskSpec a = base_task();
+  a.id = 1;
+  a.inputs.push_back({make_file("md5-bbb"), "extra"});
+
+  TaskSpec b = base_task();
+  b.id = 999;  // id must not affect the content hash
+  // inputs declared in a different order
+  b.inputs.insert(b.inputs.begin(), {make_file("md5-bbb"), "extra"});
+
+  EXPECT_EQ(task_spec_hash(a), task_spec_hash(b));
+}
+
+TEST(TaskHash, SensitiveToCommand) {
+  TaskSpec a = base_task(), b = base_task();
+  b.command = "unpack data.vpak elsewhere/";
+  EXPECT_NE(task_spec_hash(a), task_spec_hash(b));
+}
+
+TEST(TaskHash, SensitiveToInputContent) {
+  TaskSpec a = base_task(), b = base_task();
+  b.inputs[0].file = make_file("md5-DIFFERENT");
+  EXPECT_NE(task_spec_hash(a), task_spec_hash(b));
+}
+
+TEST(TaskHash, SensitiveToInputName) {
+  TaskSpec a = base_task(), b = base_task();
+  b.inputs[0].sandbox_name = "renamed.vpak";
+  EXPECT_NE(task_spec_hash(a), task_spec_hash(b));
+}
+
+TEST(TaskHash, SensitiveToResourcesAndEnv) {
+  TaskSpec a = base_task(), b = base_task(), c = base_task();
+  b.resources.cores = 4;
+  c.env["BLASTDB"] = "landmark";
+  EXPECT_NE(task_spec_hash(a), task_spec_hash(b));
+  EXPECT_NE(task_spec_hash(a), task_spec_hash(c));
+}
+
+TEST(TaskHash, MerkleRecursionThroughMiniTasks) {
+  // file1 = output of mini-task m1(url); file2 = output of m2(file1).
+  // Changing the URL's cache name must ripple through to file2's name.
+  auto build_chain = [](const std::string& url_name) {
+    TaskSpec m1;
+    m1.kind = TaskKind::mini;
+    m1.command = "unpack";
+    m1.inputs.push_back({make_file(url_name), "in.vpak"});
+    std::string f1_name = task_output_cache_name(task_spec_hash(m1), "out");
+
+    TaskSpec m2;
+    m2.kind = TaskKind::mini;
+    m2.command = "index";
+    m2.inputs.push_back({make_file(f1_name), "tree"});
+    return task_output_cache_name(task_spec_hash(m2), "db");
+  };
+  EXPECT_EQ(build_chain("md5-v1"), build_chain("md5-v1"));
+  EXPECT_NE(build_chain("md5-v1"), build_chain("md5-v2"));
+}
+
+TEST(TaskHash, DocumentContainsSortedInputs) {
+  TaskSpec t = base_task();
+  t.inputs.push_back({make_file("md5-zzz"), "aardvark"});
+  auto doc = render_task_document(t);
+  auto pos_a = doc.find("input aardvark");
+  auto pos_d = doc.find("input data.vpak");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_d, std::string::npos);
+  EXPECT_LT(pos_a, pos_d);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(FunctionRegistryTest, RegisterLookupInvoke) {
+  auto& reg = FunctionRegistry::instance();
+  reg.register_function("test.double", [](const std::string& args, const FunctionContext&) {
+    return Result<std::string>(std::to_string(2 * std::stoi(args)));
+  });
+  auto fn = reg.lookup("test.double");
+  ASSERT_TRUE(fn.ok());
+  FunctionContext ctx;
+  auto out = (*fn)("21", ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "42");
+}
+
+TEST(FunctionRegistryTest, MissingLookupFails) {
+  auto r = FunctionRegistry::instance().lookup("test.never-registered");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_found);
+}
+
+TEST(LibraryRegistryTest, BlueprintRoundTrip) {
+  LibraryBlueprint bp;
+  bp.name = "test.lib";
+  bp.init = [](const FunctionContext&) -> Result<LibraryState> {
+    return LibraryState(std::make_shared<int>(100));
+  };
+  bp.functions["add"] = [](const LibraryState& st, const std::string& args,
+                           const FunctionContext&) -> Result<std::string> {
+    int base = *std::static_pointer_cast<int>(st);
+    return std::to_string(base + std::stoi(args));
+  };
+  LibraryRegistry::instance().register_library(bp);
+
+  auto found = LibraryRegistry::instance().lookup("test.lib");
+  ASSERT_TRUE(found.ok());
+  FunctionContext ctx;
+  auto state = found->init(ctx);
+  ASSERT_TRUE(state.ok());
+  auto out = found->functions.at("add")(*state, "11", ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "111");
+}
+
+TEST(LibraryRegistryTest, MissingLibraryFails) {
+  EXPECT_FALSE(LibraryRegistry::instance().lookup("test.ghost").ok());
+}
+
+TEST(TaskSpecTest, KindAndStateNames) {
+  EXPECT_STREQ(task_kind_name(TaskKind::function_call), "function_call");
+  EXPECT_STREQ(task_kind_name(TaskKind::mini), "mini");
+  EXPECT_STREQ(task_state_name(TaskState::running), "running");
+  EXPECT_STREQ(task_state_name(TaskState::done), "done");
+}
+
+}  // namespace
+}  // namespace vine

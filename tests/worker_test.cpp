@@ -1,0 +1,375 @@
+// Unit tests for src/worker components in isolation: CacheStore, Executor,
+// LibraryInstance, built-in functions.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "archive/vpak.hpp"
+#include "fsutil/fsutil.hpp"
+#include "worker/builtins.hpp"
+#include "worker/cache_store.hpp"
+#include "worker/executor.hpp"
+#include "worker/library_instance.hpp"
+
+namespace vine {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------ CacheStore
+
+class CacheStoreTest : public ::testing::Test {
+ protected:
+  TempDir tmp_{"vine_cachestore"};
+};
+
+TEST_F(CacheStoreTest, PutBytesAndLookup) {
+  CacheStore cache(tmp_.path() / "cache");
+  ASSERT_TRUE(cache.put_bytes("md5-abc", "payload", CacheLevel::workflow).ok());
+  EXPECT_TRUE(cache.contains("md5-abc"));
+  auto p = cache.object_path("md5-abc");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(read_file(*p).value(), "payload");
+  auto e = cache.entry("md5-abc");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->size, 7);
+  EXPECT_FALSE(e->is_dir);
+  EXPECT_EQ(cache.used_bytes(), 7);
+}
+
+TEST_F(CacheStoreTest, PutArchiveBecomesDirectory) {
+  CacheStore cache(tmp_.path() / "cache");
+  auto bytes = vpak_write({{VpakEntry::Kind::directory, "sub", ""},
+                           {VpakEntry::Kind::file, "sub/x.txt", "X"}});
+  ASSERT_TRUE(cache.put_archive("tree-1", bytes, CacheLevel::worker).ok());
+  auto e = cache.entry("tree-1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->is_dir);
+  auto p = cache.object_path("tree-1");
+  EXPECT_EQ(read_file(*p / "sub/x.txt").value(), "X");
+}
+
+TEST_F(CacheStoreTest, AdoptMovesFileIn) {
+  CacheStore cache(tmp_.path() / "cache");
+  auto src = tmp_.path() / "produced.txt";
+  ASSERT_TRUE(write_file_atomic(src, "output-data").ok());
+  ASSERT_TRUE(cache.adopt("task-xyz", src, CacheLevel::workflow).ok());
+  EXPECT_FALSE(fs::exists(src));
+  EXPECT_TRUE(cache.contains("task-xyz"));
+}
+
+TEST_F(CacheStoreTest, EndWorkflowKeepsOnlyWorkerLevel) {
+  CacheStore cache(tmp_.path() / "cache");
+  ASSERT_TRUE(cache.put_bytes("t", "1", CacheLevel::task).ok());
+  ASSERT_TRUE(cache.put_bytes("wf", "22", CacheLevel::workflow).ok());
+  ASSERT_TRUE(cache.put_bytes("wk", "333", CacheLevel::worker).ok());
+  cache.end_workflow();
+  EXPECT_FALSE(cache.contains("t"));
+  EXPECT_FALSE(cache.contains("wf"));
+  EXPECT_TRUE(cache.contains("wk"));
+  EXPECT_EQ(cache.used_bytes(), 3);
+}
+
+TEST_F(CacheStoreTest, PersistenceAcrossReopen) {
+  auto dir = tmp_.path() / "cache";
+  {
+    CacheStore cache(dir);
+    ASSERT_TRUE(cache.put_bytes("wk-obj", "persist-me", CacheLevel::worker).ok());
+  }
+  CacheStore reopened(dir);
+  EXPECT_TRUE(reopened.contains("wk-obj"));
+  auto e = reopened.entry("wk-obj");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->level, CacheLevel::worker);  // survivors are worker-lifetime
+  EXPECT_EQ(e->size, 10);
+}
+
+TEST_F(CacheStoreTest, ReadForTransferFileAndDir) {
+  CacheStore cache(tmp_.path() / "cache");
+  ASSERT_TRUE(cache.put_bytes("f", "bytes", CacheLevel::workflow).ok());
+  auto ft = cache.read_for_transfer("f");
+  ASSERT_TRUE(ft.ok());
+  EXPECT_EQ(ft->first, "bytes");
+  EXPECT_FALSE(ft->second);
+
+  auto bytes = vpak_write({{VpakEntry::Kind::file, "a", "A"}});
+  ASSERT_TRUE(cache.put_archive("d", bytes, CacheLevel::workflow).ok());
+  auto dt = cache.read_for_transfer("d");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_TRUE(dt->second);
+  auto entries = vpak_read(dt->first);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ((*entries)[0].path, "a");
+}
+
+TEST_F(CacheStoreTest, RemoveObject) {
+  CacheStore cache(tmp_.path() / "cache");
+  ASSERT_TRUE(cache.put_bytes("x", "1", CacheLevel::workflow).ok());
+  ASSERT_TRUE(cache.remove_object("x").ok());
+  EXPECT_FALSE(cache.contains("x"));
+  EXPECT_FALSE(cache.object_path("x").ok());
+}
+
+TEST_F(CacheStoreTest, RejectsBadNames) {
+  CacheStore cache(tmp_.path() / "cache");
+  EXPECT_FALSE(cache.put_bytes("", "x", CacheLevel::task).ok());
+  EXPECT_FALSE(cache.put_bytes("a/b", "x", CacheLevel::task).ok());
+  EXPECT_FALSE(cache.put_bytes("..", "x", CacheLevel::task).ok());
+}
+
+// ------------------------------------------------------------ Executor
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : cache_(tmp_.path() / "cache") {
+    register_builtin_functions();
+    exec_ = std::make_unique<Executor>(
+        ExecutorConfig{tmp_.path() / "sandboxes", "w-test", 1 << 20, 0.02}, cache_);
+  }
+
+  proto::WireTask command_task(std::string cmd) {
+    proto::WireTask t;
+    t.id = 1;
+    t.kind = TaskKind::command;
+    t.command = std::move(cmd);
+    return t;
+  }
+
+  TempDir tmp_{"vine_executor"};
+  CacheStore cache_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(ExecutorTest, RunsCommandAndCapturesStdout) {
+  auto out = exec_->execute(command_task("echo hello-from-task"));
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_EQ(out.output, "hello-from-task\n");
+}
+
+TEST_F(ExecutorTest, NonzeroExitIsFailure) {
+  auto out = exec_->execute(command_task("exit 3"));
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.exit_code, 3);
+}
+
+TEST_F(ExecutorTest, InputsAppearUnderSandboxNames) {
+  ASSERT_TRUE(cache_.put_bytes("md5-in", "INPUT-DATA", CacheLevel::workflow).ok());
+  auto t = command_task("cat renamed.txt");
+  t.inputs.push_back({"md5-in", "renamed.txt", CacheLevel::workflow});
+  auto out = exec_->execute(t);
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_EQ(out.output, "INPUT-DATA");
+}
+
+TEST_F(ExecutorTest, MissingInputFailsCleanly) {
+  auto t = command_task("true");
+  t.inputs.push_back({"md5-ghost", "x", CacheLevel::workflow});
+  auto out = exec_->execute(t);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("not cached"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, OutputsHarvestedIntoCache) {
+  auto t = command_task("printf result > out.txt");
+  t.outputs.push_back({"task-out1", "out.txt", CacheLevel::workflow});
+  auto out = exec_->execute(t);
+  ASSERT_TRUE(out.ok) << out.error;
+  ASSERT_EQ(out.outputs.size(), 1u);
+  EXPECT_EQ(out.outputs[0].cache_name, "task-out1");
+  EXPECT_EQ(out.outputs[0].size, 6);
+  auto p = cache_.object_path("task-out1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(read_file(*p).value(), "result");
+}
+
+TEST_F(ExecutorTest, MissingDeclaredOutputFails) {
+  auto t = command_task("true");
+  t.outputs.push_back({"task-out2", "never-made.txt", CacheLevel::workflow});
+  auto out = exec_->execute(t);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("output missing"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, EnvVariablesVisible) {
+  auto t = command_task("printf \"$VINE_TEST_VAR\"");
+  t.env["VINE_TEST_VAR"] = "value-42";
+  auto out = exec_->execute(t);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.output, "value-42");
+}
+
+TEST_F(ExecutorTest, TimeoutKillsTask) {
+  auto t = command_task("sleep 30");
+  t.timeout_seconds = 0.2;
+  auto start = std::chrono::steady_clock::now();
+  auto out = exec_->execute(t);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(out.ok);
+  EXPECT_LT(elapsed, 5s);
+  EXPECT_NE(out.error.find("wall-time"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, DiskOverageKillsTask) {
+  // Writes ~8MB while declaring 1MB of disk.
+  auto t = command_task(
+      "dd if=/dev/zero of=big.bin bs=1M count=8 2>/dev/null; sleep 5");
+  t.resources.disk_mb = 1;
+  auto out = exec_->execute(t);
+  EXPECT_FALSE(out.ok);
+  EXPECT_TRUE(out.resource_exceeded) << out.error;
+}
+
+TEST_F(ExecutorTest, MemoryOverageKillsTask) {
+  // The shell accumulates a ~60MB variable while declaring 10MB of memory.
+  auto t = command_task(
+      "s=$(head -c 60000000 /dev/zero | tr '\\0' 'a'); sleep 5; echo ${#s}");
+  t.resources.memory_mb = 10;
+  auto out = exec_->execute(t);
+  EXPECT_FALSE(out.ok);
+  EXPECT_TRUE(out.resource_exceeded) << out.error;
+  EXPECT_NE(out.error.find("memory"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, MemoryWithinAllocationSucceeds) {
+  auto t = command_task("s=$(head -c 1000 /dev/zero | tr '\\0' 'a'); echo ${#s}");
+  t.resources.memory_mb = 100;
+  auto out = exec_->execute(t);
+  EXPECT_TRUE(out.ok) << out.error;
+  EXPECT_EQ(out.output, "1000\n");
+}
+
+TEST_F(ExecutorTest, SandboxIsDeletedAfterRun) {
+  (void)exec_->execute(command_task("true"));
+  int remaining = 0;
+  for ([[maybe_unused]] const auto& de :
+       fs::directory_iterator(tmp_.path() / "sandboxes")) {
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 0);
+}
+
+TEST_F(ExecutorTest, FunctionTaskRuns) {
+  proto::WireTask t;
+  t.id = 2;
+  t.kind = TaskKind::function;
+  t.function_name = "vine.echo";
+  t.function_args = "ping";
+  auto out = exec_->execute(t);
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_EQ(out.output, "ping");
+}
+
+TEST_F(ExecutorTest, UnknownFunctionFails) {
+  proto::WireTask t;
+  t.kind = TaskKind::function;
+  t.function_name = "no.such.fn";
+  auto out = exec_->execute(t);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST_F(ExecutorTest, UnpackMiniTaskMaterializesTree) {
+  // Stage a vpak archive in the cache, unpack it via the builtin.
+  auto bytes = vpak_write({{VpakEntry::Kind::directory, "pkg", ""},
+                           {VpakEntry::Kind::file, "pkg/bin", "BINARY"}});
+  ASSERT_TRUE(cache_.put_bytes("md5-ar", bytes, CacheLevel::workflow).ok());
+
+  proto::WireTask t;
+  t.id = 3;
+  t.kind = TaskKind::mini;
+  t.function_name = "vine.unpack";
+  t.function_args = R"({"archive":"input.vpak","out":"unpacked"})";
+  t.inputs.push_back({"md5-ar", "input.vpak", CacheLevel::workflow});
+  t.outputs.push_back({"task-tree", "unpacked", CacheLevel::worker});
+  auto out = exec_->execute(t);
+  ASSERT_TRUE(out.ok) << out.error;
+  auto p = cache_.object_path("task-tree");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(read_file(*p / "pkg/bin").value(), "BINARY");
+  auto e = cache_.entry("task-tree");
+  EXPECT_EQ(e->level, CacheLevel::worker);
+}
+
+// ------------------------------------------------------- LibraryInstance
+
+class LibraryInstanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LibraryBlueprint bp;
+    bp.name = "itest.math";
+    bp.init = [](const FunctionContext&) -> Result<LibraryState> {
+      return LibraryState(std::make_shared<int>(1000));
+    };
+    bp.functions["add"] = [](const LibraryState& st, const std::string& args,
+                             const FunctionContext&) -> Result<std::string> {
+      return std::to_string(*std::static_pointer_cast<int>(st) + std::stoi(args));
+    };
+    bp.functions["fail"] = [](const LibraryState&, const std::string&,
+                              const FunctionContext&) -> Result<std::string> {
+      return Error{Errc::task_failed, "deliberate"};
+    };
+    LibraryRegistry::instance().register_library(bp);
+  }
+};
+
+TEST_F(LibraryInstanceTest, InitAnnouncesFunctions) {
+  LibraryInstance inst("itest.math", 1, {});
+  auto init = inst.from_instance().pop(5000ms);
+  ASSERT_TRUE(init.has_value());
+  EXPECT_EQ(init->get_string("type"), "init");
+  EXPECT_TRUE(init->get_bool("ok"));
+  EXPECT_EQ(init->find("functions")->as_array().size(), 2u);
+  inst.stop();
+}
+
+TEST_F(LibraryInstanceTest, InvocationsShareInitState) {
+  LibraryInstance inst("itest.math", 1, {});
+  ASSERT_TRUE(inst.from_instance().pop(5000ms).has_value());  // init
+  inst.invoke(11, "add", "1");
+  inst.invoke(12, "add", "2");
+  std::map<std::int64_t, std::string> results;
+  for (int i = 0; i < 2; ++i) {
+    auto r = inst.from_instance().pop(5000ms);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->get_string("type"), "result");
+    EXPECT_TRUE(r->get_bool("ok"));
+    results[r->get_int("call_id")] = r->get_string("output");
+  }
+  EXPECT_EQ(results[11], "1001");
+  EXPECT_EQ(results[12], "1002");
+  inst.stop();
+}
+
+TEST_F(LibraryInstanceTest, FunctionErrorsAreReported) {
+  LibraryInstance inst("itest.math", 1, {});
+  ASSERT_TRUE(inst.from_instance().pop(5000ms).has_value());
+  inst.invoke(5, "fail", "");
+  auto r = inst.from_instance().pop(5000ms);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->get_bool("ok"));
+  EXPECT_NE(r->get_string("error").find("deliberate"), std::string::npos);
+  inst.stop();
+}
+
+TEST_F(LibraryInstanceTest, UnknownFunctionRejected) {
+  LibraryInstance inst("itest.math", 1, {});
+  ASSERT_TRUE(inst.from_instance().pop(5000ms).has_value());
+  inst.invoke(6, "multiply", "2");
+  auto r = inst.from_instance().pop(5000ms);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->get_bool("ok"));
+  inst.stop();
+}
+
+TEST_F(LibraryInstanceTest, UnknownLibraryFailsInit) {
+  LibraryInstance inst("itest.ghost", 1, {});
+  auto init = inst.from_instance().pop(5000ms);
+  ASSERT_TRUE(init.has_value());
+  EXPECT_FALSE(init->get_bool("ok"));
+  inst.stop();
+}
+
+}  // namespace
+}  // namespace vine

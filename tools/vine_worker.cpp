@@ -1,0 +1,76 @@
+// Standalone TaskVine worker binary.
+//
+// Connects to a manager over TCP and serves tasks until told to shut down:
+//
+//   vine_worker --manager 127.0.0.1:9123 --id w0 --cores 8 \
+//               --memory-mb 16000 --disk-mb 100000 --dir /scratch/vine-w0
+//
+// The storage directory persists worker-lifetime cache objects across
+// invocations, enabling hot-cache startups (paper Figure 9b).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hpp"
+#include "core/taskvine.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --manager HOST:PORT [--id NAME] [--cores N]\n"
+               "          [--memory-mb N] [--disk-mb N] [--gpus N]\n"
+               "          [--dir PATH] [--transfers N] [--verbose]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vine::WorkerConfig config;
+  config.id = "worker-" + std::to_string(::getpid());
+  config.root_dir = "/tmp/vine-worker-" + config.id;
+  config.tcp_transfer_service = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--manager") config.manager_addr = next();
+    else if (arg == "--id") config.id = next();
+    else if (arg == "--cores") config.resources.cores = std::atof(next());
+    else if (arg == "--memory-mb") config.resources.memory_mb = std::atoll(next());
+    else if (arg == "--disk-mb") config.resources.disk_mb = std::atoll(next());
+    else if (arg == "--gpus") config.resources.gpus = std::atoi(next());
+    else if (arg == "--dir") config.root_dir = next();
+    else if (arg == "--transfers") config.max_concurrent_transfers = std::atoi(next());
+    else if (arg == "--verbose") vine::set_log_level(vine::LogLevel::info);
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (config.manager_addr.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto worker = vine::Worker::connect(std::move(config));
+  if (!worker.ok()) {
+    std::fprintf(stderr, "cannot start worker: %s\n",
+                 worker.error().to_string().c_str());
+    return 1;
+  }
+  (*worker)->run();  // until shutdown message or connection loss
+  return 0;
+}
