@@ -108,4 +108,38 @@ std::size_t FileReplicaTable::record_count() const {
   return n;
 }
 
+void FileReplicaTable::audit(AuditReport& report) const {
+  static const std::string kSub = "replica_table";
+  for (const auto& [name, workers] : by_file_) {
+    report.check(!workers.empty(), kSub, "empty by-file bucket for " + name);
+    for (const auto& [worker, replica] : workers) {
+      report.check(replica.size >= -1, kSub,
+                   "replica " + name + "@" + worker + " has size " +
+                       std::to_string(replica.size));
+      auto wit = by_worker_.find(worker);
+      report.check(wit != by_worker_.end() && wit->second.count(name) > 0, kSub,
+                   "replica " + name + "@" + worker +
+                       " missing from the by-worker index");
+    }
+  }
+  for (const auto& [worker, names] : by_worker_) {
+    report.check(!names.empty(), kSub, "empty by-worker bucket for " + worker);
+    for (const auto& name : names) {
+      auto fit = by_file_.find(name);
+      report.check(fit != by_file_.end() && fit->second.count(worker) > 0, kSub,
+                   "index entry " + name + "@" + worker +
+                       " has no backing replica record");
+    }
+  }
+}
+
+void FileReplicaTable::audit(AuditReport& report,
+                             const std::set<WorkerId>& known_workers) const {
+  audit(report);
+  for (const auto& [worker, _] : by_worker_) {
+    report.check(known_workers.count(worker) > 0, "replica_table",
+                 "replicas recorded on unknown worker " + worker);
+  }
+}
+
 }  // namespace vine

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "catalog/worker_info.hpp"
+#include "common/invariant.hpp"
 
 namespace vine {
 
@@ -64,7 +65,19 @@ class FileReplicaTable {
   /// Total number of (file, worker) replica records; for stats/tests.
   std::size_t record_count() const;
 
+  /// Validate internal consistency: the by-file and by-worker indexes must
+  /// mirror each other exactly and hold no empty buckets.
+  void audit(AuditReport& report) const;
+
+  /// Internal consistency plus membership: every replica must live on a
+  /// worker in `known_workers` (the manager passes its registered set, so a
+  /// replica on a departed worker is a violation).
+  void audit(AuditReport& report, const std::set<WorkerId>& known_workers) const;
+
  private:
+  // Lets audit tests corrupt the private indexes to prove detection.
+  friend struct CatalogTestPeer;
+
   // cache_name -> worker -> replica
   std::map<std::string, std::map<WorkerId, Replica>> by_file_;
   // worker -> cache names (secondary index for files_on / remove_worker)

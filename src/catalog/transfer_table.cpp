@@ -86,6 +86,42 @@ std::vector<TransferRecord> CurrentTransferTable::remove_worker(const WorkerId& 
   return removed;
 }
 
+void CurrentTransferTable::audit(AuditReport& report) const {
+  static const std::string kSub = "transfer_table";
+  std::map<std::string, int> by_source;
+  std::map<WorkerId, int> by_dest;
+  for (const auto& [uuid, rec] : by_uuid_) {
+    report.check(uuid == rec.uuid, kSub,
+                 "record keyed " + uuid + " carries uuid " + rec.uuid);
+    report.check(!rec.cache_name.empty(), kSub,
+                 "transfer " + uuid + " has no cache name");
+    report.check(!rec.dest.empty(), kSub,
+                 "transfer " + uuid + " has no destination worker");
+    ++by_source[rec.source.account()];
+    ++by_dest[rec.dest];
+  }
+  // Report per-key diffs (not just "maps differ") so a violation names the
+  // counter that drifted.
+  auto diff = [&report](const auto& counters, const auto& recomputed,
+                        const std::string& what) {
+    for (const auto& [key, count] : counters) {
+      auto it = recomputed.find(key);
+      int actual = it == recomputed.end() ? 0 : it->second;
+      report.check(count == actual, kSub,
+                   what + " counter for " + key + " is " +
+                       std::to_string(count) + " but the records total " +
+                       std::to_string(actual));
+    }
+    for (const auto& [key, count] : recomputed) {
+      report.check(counters.count(key) != 0, kSub,
+                   std::to_string(count) + " record(s) " + what + " " + key +
+                       " have no counter entry");
+    }
+  };
+  diff(inflight_by_source_, by_source, "per-source");
+  diff(inflight_by_dest_, by_dest, "per-destination");
+}
+
 std::vector<TransferRecord> CurrentTransferTable::snapshot() const {
   std::vector<TransferRecord> out;
   out.reserve(by_uuid_.size());

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "catalog/worker_info.hpp"
+#include "common/invariant.hpp"
 
 namespace vine {
 
@@ -74,7 +75,15 @@ class CurrentTransferTable {
   /// All in-flight records (diagnostics).
   std::vector<TransferRecord> snapshot() const;
 
+  /// Validate internal consistency: the per-source and per-destination
+  /// in-flight counters must equal the counts recomputed from the records,
+  /// with no zero/negative or orphaned counter entries.
+  void audit(AuditReport& report) const;
+
  private:
+  // Lets audit tests corrupt the private counters to prove detection.
+  friend struct CatalogTestPeer;
+
   std::map<std::string, TransferRecord> by_uuid_;
   std::map<std::string, int> inflight_by_source_;  // account() -> count
   std::map<WorkerId, int> inflight_by_dest_;

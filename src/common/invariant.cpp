@@ -1,0 +1,50 @@
+#include "common/invariant.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace vine {
+
+void AuditReport::add(std::string subsystem, std::string message) {
+  violations_.push_back({std::move(subsystem), std::move(message)});
+}
+
+bool AuditReport::check(bool ok, std::string subsystem, std::string message) {
+  if (!ok) add(std::move(subsystem), std::move(message));
+  return ok;
+}
+
+std::string AuditReport::to_string() const {
+  std::string out;
+  for (const auto& v : violations_) {
+    if (!out.empty()) out += '\n';
+    out += v.subsystem + ": " + v.message;
+  }
+  return out;
+}
+
+bool audits_enabled() {
+#ifdef NDEBUG
+  bool enabled = false;
+#else
+  bool enabled = true;
+#endif
+  if (const char* env = std::getenv("VINE_AUDIT")) {
+    enabled = env[0] != '\0' && env[0] != '0';
+  }
+  return enabled;
+}
+
+void enforce_clean(const AuditReport& report, const char* where) {
+  if (report.ok()) return;
+  for (const auto& v : report.violations()) {
+    VINE_LOG_ERROR("audit", "[%s] %s: %s", where, v.subsystem.c_str(),
+                   v.message.c_str());
+  }
+  VINE_LOG_ERROR("audit", "%zu invariant violation(s) at %s; aborting",
+                 report.violations().size(), where);
+  std::abort();
+}
+
+}  // namespace vine

@@ -1,0 +1,54 @@
+// vine::check — lightweight runtime invariant auditing.
+//
+// Subsystems with nontrivial state machines (the replica table, the transfer
+// table, the worker cache) expose an audit(AuditReport&) method that checks
+// their internal consistency: index symmetry, counter/record agreement,
+// on-disk truth. Debug builds run these audits at quiescent points (manager
+// end-of-workflow / worker-loss / shutdown, worker end-of-workflow / stop)
+// and abort on any violation, so a corrupted state machine fails fast under
+// the sanitizer matrix instead of silently mis-scheduling. Release builds
+// skip the sweeps unless VINE_AUDIT=1 is set in the environment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vine {
+
+/// One detected invariant violation.
+struct AuditViolation {
+  std::string subsystem;  ///< "replica_table", "transfer_table", "cache_store", ...
+  std::string message;    ///< what was inconsistent, with the offending keys
+};
+
+/// Collects violations across one audit sweep. Auditors append; callers
+/// inspect or hand the report to enforce_clean().
+class AuditReport {
+ public:
+  /// Record a violation unconditionally.
+  void add(std::string subsystem, std::string message);
+
+  /// Record `message` when `ok` is false. Returns `ok` so call sites can
+  /// chain dependent checks.
+  bool check(bool ok, std::string subsystem, std::string message);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+
+  /// "replica_table: ...\ntransfer_table: ..." — one line per violation.
+  std::string to_string() const;
+
+ private:
+  std::vector<AuditViolation> violations_;
+};
+
+/// True when quiescent-point audits should run: on in debug builds, off in
+/// NDEBUG builds, overridable either way with VINE_AUDIT=0 / VINE_AUDIT=1.
+bool audits_enabled();
+
+/// Log every violation at error level and abort when the report is
+/// non-empty; no-op on a clean report. `where` names the quiescent point
+/// ("manager.end_workflow", ...) for the log.
+void enforce_clean(const AuditReport& report, const char* where);
+
+}  // namespace vine

@@ -10,6 +10,7 @@ namespace vine {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::warn)};
+// Serializes stderr writes so interleaved threads emit whole lines.
 std::mutex g_mutex;
 
 char level_char(LogLevel l) {

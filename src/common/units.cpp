@@ -1,7 +1,9 @@
 #include "common/units.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/strings.hpp"
 
@@ -18,10 +20,11 @@ Result<std::int64_t> parse_bytes(std::string_view text) {
   }
   if (i == 0) return Error{Errc::invalid_argument, "byte size must start with a number"};
 
-  double value = 0;
-  try {
-    value = std::stod(std::string(s.substr(0, i)));
-  } catch (...) {
+  std::string num(s.substr(0, i));
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(num.c_str(), &end);
+  if (end != num.c_str() + num.size() || (errno == ERANGE && value == HUGE_VAL)) {
     return Error{Errc::invalid_argument, "malformed number in byte size"};
   }
 

@@ -8,6 +8,7 @@
 namespace vine {
 namespace {
 
+// Guards the shared Rng (any thread may mint UUIDs/tokens).
 std::mutex g_mutex;
 
 Rng& generator() {

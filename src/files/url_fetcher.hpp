@@ -75,6 +75,7 @@ class MemoryUrlFetcher final : public UrlFetcher {
     int heads = 0;
     int fetches = 0;
   };
+  // Guards objects_ (worker transfer threads fetch concurrently).
   mutable std::mutex mutex_;
   std::map<std::string, Entry> objects_;
 };

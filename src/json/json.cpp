@@ -1,5 +1,6 @@
 #include "json/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -316,19 +317,25 @@ class Parser {
     std::string tok(s_.substr(start, pos_ - start));
     if (tok == "-") return err("lone minus sign");
     if (!is_double) {
+      // Integer literal: errno/end must both be checked — ERANGE means the
+      // token overflowed int64 and strtoll silently clamped it, and a
+      // non-consumed tail means the token was not a number at all. Either
+      // way this is a parse error, never a quietly wrong value.
       errno = 0;
       char* end = nullptr;
       long long v = std::strtoll(tok.c_str(), &end, 10);
-      if (errno == 0 && end && *end == '\0') {
-        return Value(static_cast<std::int64_t>(v));
-      }
-      // fall through to double on overflow
+      if (errno == ERANGE) return err("integer out of range");
+      if (end != tok.c_str() + tok.size()) return err("malformed integer");
+      return Value(static_cast<std::int64_t>(v));
     }
-    try {
-      return Value(std::stod(tok));
-    } catch (...) {
-      return err("malformed number");
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return err("malformed number");
+    if (errno == ERANGE && (d == HUGE_VAL || d == -HUGE_VAL)) {
+      return err("number out of range");
     }
+    return Value(d);
   }
 
   std::string_view s_;

@@ -142,10 +142,13 @@ Result<FileRef> Manager::declare_mini_task(TaskSpec mini,
   decl->cache_name = task_output_cache_name(hash, output_name);
 
   // The mini spec's first output names the produced sandbox path; the
-  // worker adopts it under this decl's cache name.
+  // worker adopts it under this decl's cache name (carried in MiniTaskMsg,
+  // not in the mount). The mount must NOT hold a FileRef back to `decl`:
+  // decl -> mini_task -> outputs[0].file -> decl is a shared_ptr cycle that
+  // leaks every mini-task declaration.
   auto spec = std::make_shared<TaskSpec>(std::move(mini));
   spec->outputs.clear();
-  spec->outputs.push_back({decl, output_name});
+  spec->outputs.push_back({nullptr, output_name});
   decl->mini_task = spec;
   return register_file(std::move(decl));
 }
@@ -379,11 +382,13 @@ void Manager::end_workflow() {
     if (level != CacheLevel::worker) replicas_.remove_file(name);
   }
   for (auto& [_, w] : workers_) w.snap.libraries.clear();
+  maybe_audit("manager.end_workflow");
 }
 
 void Manager::shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
+  maybe_audit("manager.shutdown");
 
   for (const auto& [worker_id, w] : workers_) {
     (void)w.endpoint->send_json(proto::encode(proto::AnyMessage(proto::ShutdownMsg{})));
@@ -652,9 +657,16 @@ void Manager::handle_worker_lost(const std::string& conn_id) {
 
   // Requeue everything that was staged or running there.
   for (auto& [_, task] : tasks_) {
-    if (task.worker == worker &&
-        (task.state == TaskState::ready || task.state == TaskState::dispatched ||
-         task.state == TaskState::running)) {
+    if (task.worker != worker) continue;
+    if (task.is_library) {
+      // The instance died with its worker; drop the stale commitment. A
+      // replacement is installed when the next worker says hello.
+      task.resources_committed = false;
+      task.worker.clear();
+      continue;
+    }
+    if (task.state == TaskState::ready || task.state == TaskState::dispatched ||
+        task.state == TaskState::running) {
       task.resources_committed = false;  // its worker is gone
       task.worker.clear();
       task.state = TaskState::ready;
@@ -675,6 +687,44 @@ void Manager::handle_worker_lost(const std::string& conn_id) {
       }
     }
   }
+  maybe_audit("manager.worker_lost");
+}
+
+void Manager::audit(AuditReport& report) const {
+  std::set<WorkerId> known;
+  for (const auto& [id, _] : workers_) known.insert(id);
+  replicas_.audit(report, known);
+  transfers_.audit(report);
+
+  static const std::string kSub = "manager";
+  for (const auto& rec : transfers_.snapshot()) {
+    report.check(known.count(rec.dest) > 0, kSub,
+                 "transfer " + rec.uuid + " of " + rec.cache_name +
+                     " targets unknown worker " + rec.dest);
+    if (rec.source.kind == TransferSource::Kind::worker) {
+      report.check(known.count(rec.source.key) > 0, kSub,
+                   "transfer " + rec.uuid + " of " + rec.cache_name +
+                       " draws from unknown worker " + rec.source.key);
+    }
+    report.check(replicas_.find(rec.cache_name, rec.dest).has_value(), kSub,
+                 "transfer " + rec.uuid + " of " + rec.cache_name +
+                     " has no replica record at destination " + rec.dest);
+  }
+  for (const auto& [id, task] : tasks_) {
+    if (task.resources_committed) {
+      report.check(known.count(task.worker) > 0, kSub,
+                   "task " + std::to_string(id) +
+                       " holds committed resources on unknown worker '" +
+                       task.worker + "'");
+    }
+  }
+}
+
+void Manager::maybe_audit(const char* where) const {
+  if (!audits_enabled()) return;
+  AuditReport report;
+  audit(report);
+  enforce_clean(report, where);
 }
 
 void Manager::recover_lost_file(const FileRef& file) {

@@ -20,6 +20,7 @@
 #include "catalog/replica_table.hpp"
 #include "catalog/transfer_table.hpp"
 #include "common/clock.hpp"
+#include "common/invariant.hpp"
 #include "files/file_decl.hpp"
 #include "files/url_fetcher.hpp"
 #include "net/frame.hpp"
@@ -181,6 +182,13 @@ class Manager {
   const CurrentTransferTable& transfers() const { return transfers_; }
   double now() const { return clock_.now(); }
 
+  /// Validate the catalog state machines plus their cross-invariants:
+  /// replicas only on registered workers, every in-flight transfer backed
+  /// by a replica record at its destination, committed task resources only
+  /// on registered workers. Debug builds run this at quiescent points
+  /// (worker loss, end_workflow, shutdown) and abort on violation.
+  void audit(AuditReport& report) const;
+
  private:
   struct Connection {
     std::string conn_id;
@@ -247,6 +255,8 @@ class Manager {
   FileRef register_file(std::shared_ptr<FileDecl> decl);
   void accept_loop();
   void reader_loop(const std::string& conn_id, std::shared_ptr<Endpoint> ep);
+  /// Run audit() and abort on violation when audits_enabled() (debug builds).
+  void maybe_audit(const char* where) const;
 
   ManagerConfig config_;
   std::unique_ptr<Listener> listener_;
@@ -254,7 +264,8 @@ class Manager {
   SteadyClock clock_;
   Scheduler scheduler_;
 
-  // Connections (shared with accept/reader threads).
+  // Guards connections_ and next_conn_ (shared with accept/reader threads);
+  // all other workflow state below is application-thread-only.
   std::mutex conn_mutex_;
   std::map<std::string, std::unique_ptr<Connection>> connections_;
   std::thread acceptor_;

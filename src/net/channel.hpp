@@ -37,6 +37,7 @@ class ChannelFabric {
   struct PendingQueue;
 
  private:
+  // Guards listeners_ (listen/connect/close arrive from arbitrary threads).
   std::mutex mutex_;
   std::map<std::string, std::shared_ptr<PendingQueue>> listeners_;
 };

@@ -30,8 +30,14 @@ class MsgQueue {
   /// Pop, waiting up to `timeout`. nullopt on timeout or when the queue is
   /// closed and drained.
   std::optional<T> pop(std::chrono::milliseconds timeout) {
+    // Wait against an absolute deadline so spurious wakeups (and notify
+    // storms from concurrent pushes) re-arm with the remaining time instead
+    // of restarting the full timeout.
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::unique_lock lock(mutex_);
-    cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
+    while (items_.empty() && !closed_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
@@ -68,6 +74,7 @@ class MsgQueue {
   }
 
  private:
+  // Guards items_ and closed_; cv_ is signalled under it on push/close.
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> items_;

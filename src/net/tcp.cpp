@@ -54,7 +54,12 @@ class TcpEndpoint final : public Endpoint {
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   }
 
-  ~TcpEndpoint() override { close(); }
+  ~TcpEndpoint() override {
+    close();
+    // The descriptor is released only here: by destruction time no other
+    // thread holds a reference, so nobody can be mid-recv()/send() on it.
+    ::close(fd_);
+  }
 
   Status send(Frame frame) override {
     std::string wire = encode_frame(frame);
@@ -90,11 +95,12 @@ class TcpEndpoint final : public Endpoint {
   }
 
   void close() override {
-    int fd = fd_.exchange(-1);
-    if (fd >= 0) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
-    }
+    // Poison the connection but keep the descriptor open: another thread
+    // blocked in recv()/send() on this fd would race ::close() and could
+    // end up operating on a recycled descriptor number. shutdown()
+    // unblocks those calls (recv returns 0, send fails with EPIPE); the
+    // fd itself is released in the destructor, after all users are gone.
+    if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
   }
 
   std::string peer_name() const override { return peer_; }
@@ -106,12 +112,11 @@ class TcpEndpoint final : public Endpoint {
                     bool first) {
     std::size_t got = 0;
     while (got < n) {
-      int fd = fd_.load();
-      if (fd < 0) return Error{Errc::unavailable, "closed: " + peer_};
+      if (closed_.load()) return Error{Errc::unavailable, "closed: " + peer_};
       if (got > 0 || first) {
-        VINE_TRY_STATUS(wait_readable(fd, timeout));
+        VINE_TRY_STATUS(wait_readable(fd_, timeout));
       }
-      ssize_t r = ::recv(fd, buf + got, n - got, 0);
+      ssize_t r = ::recv(fd_, buf + got, n - got, 0);
       if (r == 0) return Error{Errc::unavailable, "peer closed: " + peer_};
       if (r < 0) {
         if (errno == EINTR || errno == EAGAIN) continue;
@@ -122,8 +127,14 @@ class TcpEndpoint final : public Endpoint {
     return Status::success();
   }
 
-  std::atomic<int> fd_;
+  const int fd_;
+  // Set by close(); the fd stays open (see close()) so in-flight reads and
+  // writes never touch a recycled descriptor.
+  std::atomic<bool> closed_{false};
   std::string peer_;
+  // Serializes send() so a length-prefixed frame is written atomically even
+  // when multiple threads share the endpoint; recv stays lock-free (single
+  // consumer).
   std::mutex send_mutex_;
 };
 
@@ -131,15 +142,20 @@ class TcpListener final : public Listener {
  public:
   TcpListener(int fd, std::string address) : fd_(fd), address_(std::move(address)) {}
 
-  ~TcpListener() override { close(); }
+  ~TcpListener() override {
+    close();
+    // Released here for the same reason as TcpEndpoint: no thread can be
+    // blocked in accept() once the owner destroys the listener.
+    ::close(fd_);
+  }
 
   Result<std::unique_ptr<Endpoint>> accept(std::chrono::milliseconds timeout) override {
-    int fd = fd_.load();
-    if (fd < 0) return Error{Errc::unavailable, "listener closed"};
-    VINE_TRY_STATUS(wait_readable(fd, timeout));
+    if (closed_.load()) return Error{Errc::unavailable, "listener closed"};
+    VINE_TRY_STATUS(wait_readable(fd_, timeout));
+    if (closed_.load()) return Error{Errc::unavailable, "listener closed"};
     sockaddr_in addr{};
     socklen_t len = sizeof addr;
-    int cfd = ::accept(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    int cfd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
     if (cfd < 0) return Error{Errc::io_error, errno_text("accept")};
     char ip[INET_ADDRSTRLEN] = "?";
     ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
@@ -150,15 +166,16 @@ class TcpListener final : public Listener {
   std::string address() const override { return address_; }
 
   void close() override {
-    int fd = fd_.exchange(-1);
-    if (fd >= 0) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
-    }
+    // shutdown() wakes any thread blocked in poll()/accept() on the
+    // listening socket; the fd is kept open until the destructor so a
+    // concurrent accept() never races a recycled descriptor.
+    if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
   }
 
  private:
-  std::atomic<int> fd_;
+  const int fd_;
+  // Set by close(); the fd stays open until the destructor (see close()).
+  std::atomic<bool> closed_{false};
   std::string address_;
 };
 

@@ -51,6 +51,7 @@ class FunctionRegistry {
   std::vector<std::string> names() const;
 
  private:
+  // Guards functions_ (registration from test setup races executor lookups).
   mutable std::mutex mutex_;
   std::map<std::string, TaskFunction> functions_;
 };
@@ -85,6 +86,7 @@ class LibraryRegistry {
   std::vector<std::string> names() const;
 
  private:
+  // Guards libraries_ (registration races library instantiation on workers).
   mutable std::mutex mutex_;
   std::map<std::string, LibraryBlueprint> libraries_;
 };

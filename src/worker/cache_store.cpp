@@ -3,6 +3,7 @@
 #include "archive/vpak.hpp"
 #include "common/log.hpp"
 #include "fsutil/fsutil.hpp"
+#include "hash/digest.hpp"
 
 namespace vine {
 
@@ -161,9 +162,23 @@ Result<CacheEntry> CacheStore::entry(const std::string& name) const {
   return it->second;
 }
 
+Status CacheStore::verify_object(const std::string& name) const {
+  VINE_TRY(CacheEntry e, entry(name));
+  if (e.is_dir || name.rfind("md5-", 0) != 0) return Status::success();
+  VINE_TRY(std::string digest, md5_file(path_of(name)));
+  if ("md5-" + digest != name) {
+    return Error{Errc::io_error, "cached object " + name +
+                                     " is corrupt: content digest is " + digest};
+  }
+  return Status::success();
+}
+
 Result<std::pair<std::string, bool>> CacheStore::read_for_transfer(
     const std::string& name) const {
   VINE_TRY(CacheEntry e, entry(name));
+  // Never propagate a corrupted object into the cluster: content-named
+  // files are re-hashed before they are served to a peer or the manager.
+  VINE_TRY_STATUS(verify_object(name));
   if (e.is_dir) {
     // Serialize the tree to a vpak archive in memory via a temp file.
     fs::path tmp = dir_ / (name + ".xfer-tmp");
@@ -201,6 +216,45 @@ void CacheStore::end_workflow() {
 std::vector<std::pair<std::string, CacheEntry>> CacheStore::list() const {
   std::lock_guard lock(mutex_);
   return {entries_.begin(), entries_.end()};
+}
+
+void CacheStore::audit(AuditReport& report, bool verify_digests) const {
+  static const std::string kSub = "cache_store";
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, e] : entries_) {
+    fs::path path = dir_ / name;
+    std::error_code ec;
+    if (!report.check(fs::exists(path, ec), kSub,
+                      "entry " + name + " has no object on disk")) {
+      continue;
+    }
+    bool is_dir = fs::is_directory(path, ec);
+    if (!report.check(is_dir == e.is_dir, kSub,
+                      "entry " + name + " recorded as " +
+                          (e.is_dir ? "directory" : "file") +
+                          " but on disk it is the opposite")) {
+      continue;
+    }
+    auto size = tree_size(path);
+    report.check(size.ok() && *size == e.size, kSub,
+                 "entry " + name + " records " + std::to_string(e.size) +
+                     "B but on disk holds " +
+                     std::to_string(size.ok() ? *size : -1) + "B");
+    if (verify_digests && !e.is_dir && name.rfind("md5-", 0) == 0) {
+      auto digest = md5_file(path);
+      report.check(digest.ok() && "md5-" + *digest == name, kSub,
+                   "entry " + name + " fails content-digest verification");
+    }
+  }
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    std::string name = de.path().filename().string();
+    // In-progress staging files (*.vpak-tmp, *.unpack-tmp, *.xfer-tmp) are
+    // legitimately untracked while a transfer is being assembled.
+    if (name.size() > 4 && name.rfind("-tmp") == name.size() - 4) continue;
+    report.check(entries_.count(name) > 0, kSub,
+                 "object " + name + " on disk but not tracked by any entry");
+  }
 }
 
 std::int64_t CacheStore::used_bytes() const {

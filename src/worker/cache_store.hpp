@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/invariant.hpp"
 #include "files/file_decl.hpp"
 
 namespace vine {
@@ -80,6 +81,20 @@ class CacheStore {
   /// manager as cache-update removals so the replica table stays true).
   std::vector<std::string> take_evictions();
 
+  /// Verify a present object against the content digest embedded in its
+  /// cache name: "md5-<hex>" file objects are re-hashed and compared.
+  /// Objects without a content-derived name (rnd-/task-/url-/directories)
+  /// pass trivially. Errc::io_error on a digest mismatch — the object was
+  /// corrupted on disk and must not be served.
+  Status verify_object(const std::string& name) const;
+
+  /// Validate bookkeeping against on-disk truth: every entry's object must
+  /// exist with the recorded kind (file/dir) and byte size, and everything
+  /// under the cache root must be tracked by an entry. With
+  /// `verify_digests`, additionally re-hash "md5-" file objects against
+  /// their names (reads every cached byte; meant for tests and deep sweeps).
+  void audit(AuditReport& report, bool verify_digests = false) const;
+
   const std::filesystem::path& root() const { return dir_; }
 
  private:
@@ -92,6 +107,8 @@ class CacheStore {
 
   std::filesystem::path dir_;
   std::int64_t capacity_ = 0;
+  // Guards entries_, evicted_, access_tick_, and all object mutation under
+  // dir_; held across evict+insert so capacity checks are atomic.
   mutable std::mutex mutex_;
   std::map<std::string, CacheEntry> entries_;
   std::vector<std::string> evicted_;

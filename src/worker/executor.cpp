@@ -9,7 +9,11 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <thread>
+#include <vector>
+
+extern char** environ;  // POSIX guarantees it; no header is required to declare it
 
 #include "common/log.hpp"
 #include "common/uuid.hpp"
@@ -121,6 +125,26 @@ ExecOutcome Executor::run_command(const proto::WireTask& task, const fs::path& s
   ExecOutcome outcome;
   fs::path stdout_path = sandbox / ".vine-stdout";
 
+  // Build the child's environment and argv BEFORE forking. The worker is
+  // multithreaded, so between fork() and exec() only async-signal-safe
+  // calls are allowed — setenv() allocates and can deadlock/spin forever
+  // on allocator locks a sibling thread held at fork time.
+  std::map<std::string, std::string> env;
+  for (char** e = environ; e && *e; ++e) {
+    const char* eq = std::strchr(*e, '=');
+    if (eq) env[std::string(*e, static_cast<std::size_t>(eq - *e))] = eq + 1;
+  }
+  for (const auto& [k, v] : task.env) env[k] = v;
+  env["VINE_SANDBOX"] = sandbox.string();
+  std::vector<std::string> env_strings;
+  env_strings.reserve(env.size());
+  for (const auto& [k, v] : env) env_strings.push_back(k + "=" + v);
+  std::vector<char*> envp;
+  envp.reserve(env_strings.size() + 1);
+  for (auto& s : env_strings) envp.push_back(s.data());
+  envp.push_back(nullptr);
+  const char* argv[] = {"sh", "-c", task.command.c_str(), nullptr};
+
   pid_t pid = ::fork();
   if (pid < 0) {
     outcome.error = std::string("fork failed: ") + std::strerror(errno);
@@ -128,18 +152,15 @@ ExecOutcome Executor::run_command(const proto::WireTask& task, const fs::path& s
   }
 
   if (pid == 0) {
-    // Child: enter the sandbox, set the environment, capture stdout.
+    // Child: enter the sandbox and capture stdout; async-signal-safe
+    // calls only from here to execve/_exit.
     if (::chdir(sandbox.c_str()) != 0) _exit(126);
-    for (const auto& [k, v] : task.env) {
-      ::setenv(k.c_str(), v.c_str(), 1);
-    }
-    ::setenv("VINE_SANDBOX", sandbox.c_str(), 1);
     int out_fd = ::open(stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (out_fd >= 0) {
       ::dup2(out_fd, STDOUT_FILENO);
       ::close(out_fd);
     }
-    ::execl("/bin/sh", "sh", "-c", task.command.c_str(), nullptr);
+    ::execve("/bin/sh", const_cast<char* const*>(argv), envp.data());
     _exit(127);
   }
 

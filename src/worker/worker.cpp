@@ -125,6 +125,15 @@ void Worker::stop() {
   for (auto& t : peers) {
     if (t.joinable()) t.join();
   }
+  // All internal threads are quiescent; the cache must match the disk.
+  maybe_audit("worker.stop");
+}
+
+void Worker::maybe_audit(const char* where) const {
+  if (!audits_enabled()) return;
+  AuditReport report;
+  cache_->audit(report);
+  enforce_clean(report, where);
 }
 
 // ------------------------------------------------------------ messaging
@@ -495,6 +504,7 @@ void Worker::handle_end_workflow() {
     libraries_.clear();
   }
   cache_->end_workflow();
+  maybe_audit("worker.end_workflow");
 }
 
 // ------------------------------------------------------------ peers

@@ -98,6 +98,11 @@ class Worker {
   /// Report cache evictions to the manager (replica-table truth).
   void report_evictions();
 
+  /// Audit the cache store against on-disk truth and abort on violation
+  /// when audits_enabled() (debug builds). Called at quiescent points:
+  /// end-of-workflow and stop().
+  void maybe_audit(const char* where) const;
+
   // --- transfer queue ---
   struct TransferJob {
     proto::FetchMsg fetch;      // valid when !is_mini
@@ -129,6 +134,8 @@ class Worker {
   std::vector<std::thread> transfer_pool_;
   std::thread transfer_server_;
 
+  // Guards task_threads_ and peer_threads_ (appended by the main loop and
+  // the transfer server, drained by stop()).
   std::mutex threads_mutex_;
   std::vector<std::thread> task_threads_;   // running task executions
   std::vector<std::thread> peer_threads_;   // per-peer-connection servers
@@ -139,6 +146,7 @@ class Worker {
     std::filesystem::path sandbox;
     std::thread pump;
   };
+  // Guards libraries_ (library starts race function-call dispatch).
   std::mutex libraries_mutex_;
   std::map<std::string, LibraryHost> libraries_;
 

@@ -2,6 +2,8 @@
 // typed lookups used by the protocol layer.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "json/json.hpp"
 
 namespace vine::json {
@@ -143,10 +145,50 @@ TEST(Json, MutationThroughIndex) {
   EXPECT_EQ(v.dump(), R"({"id":9,"name":"w1"})");
 }
 
-TEST(Json, NumberOverflowFallsBackToDouble) {
-  auto v = parse("99999999999999999999999999");
-  ASSERT_TRUE(v.ok());
-  EXPECT_TRUE(v->is_double());
+// Strict number parsing: int64 bounds are exact, overflow is a parse error
+// (never a silently imprecise double), and out-of-range doubles fail too.
+TEST(Json, Int64BoundsParseExactly) {
+  auto hi = parse("9223372036854775807");
+  ASSERT_TRUE(hi.ok());
+  ASSERT_TRUE(hi->is_int());
+  EXPECT_EQ(hi->as_int(), std::numeric_limits<std::int64_t>::max());
+
+  auto lo = parse("-9223372036854775808");
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(lo->is_int());
+  EXPECT_EQ(lo->as_int(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Json, IntegerOverflowIsParseError) {
+  auto over = parse("9223372036854775808");  // INT64_MAX + 1
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.error().message.find("out of range"), std::string::npos);
+
+  auto under = parse("-9223372036854775809");  // INT64_MIN - 1
+  EXPECT_FALSE(under.ok());
+
+  EXPECT_FALSE(parse("99999999999999999999999999").ok());
+}
+
+TEST(Json, DoubleOverflowIsParseError) {
+  EXPECT_FALSE(parse("1e999").ok());
+  EXPECT_FALSE(parse("-1e999").ok());
+  // Near-max doubles still parse.
+  auto big = parse("1e308");
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(big->is_double());
+  // Underflow to subnormal/zero is not an error (strtod returns ~0).
+  auto tiny = parse("1e-999");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_TRUE(tiny->is_double());
+}
+
+TEST(Json, MalformedNumbersRejected) {
+  EXPECT_FALSE(parse("1e").ok());     // dangling exponent
+  EXPECT_FALSE(parse("1e+").ok());    // dangling exponent sign
+  EXPECT_FALSE(parse("01x").ok());    // trailing garbage
+  EXPECT_FALSE(parse("1.2.3").ok());  // double dot
+  EXPECT_FALSE(parse("-").ok());      // lone minus
 }
 
 }  // namespace

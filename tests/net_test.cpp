@@ -73,6 +73,47 @@ TEST(MsgQueueTest, ConcurrentProducersAllDelivered) {
   for (bool s : seen) EXPECT_TRUE(s);
 }
 
+TEST(MsgQueueTest, CloseWhilePoppingReturnsPromptly) {
+  // A consumer already blocked in pop() with a long timeout must wake as
+  // soon as close() lands, not ride out the timeout.
+  MsgQueue<int> q;
+  std::optional<int> got = 0;
+  std::chrono::steady_clock::duration waited{};
+  std::thread popper([&] {
+    auto start = std::chrono::steady_clock::now();
+    got = q.pop(30000ms);
+    waited = std::chrono::steady_clock::now() - start;
+  });
+  std::this_thread::sleep_for(50ms);  // let the popper block
+  q.close();
+  popper.join();
+  EXPECT_EQ(got, std::nullopt);
+  EXPECT_LT(waited, 5000ms);
+}
+
+TEST(MsgQueueTest, TimeoutIsAbsoluteAcrossWakeups) {
+  // Wakeups that find the queue empty again (another consumer stole the
+  // item) must re-arm against the original deadline, not restart the full
+  // timeout — otherwise a push/steal storm could block pop() indefinitely.
+  MsgQueue<int> q;
+  std::thread stealer([&] {
+    for (int i = 0; i < 20; ++i) {
+      std::this_thread::sleep_for(10ms);
+      q.push(i);
+      // Steal it back before the victim can grab it (races are fine either
+      // way: the victim either gets a value or times out on schedule).
+      (void)q.try_pop();
+    }
+  });
+  auto start = std::chrono::steady_clock::now();
+  (void)q.pop(100ms);
+  auto waited = std::chrono::steady_clock::now() - start;
+  stealer.join();
+  // 20 spurious-looking wakeups at 10ms apiece would stretch a
+  // restart-the-timeout implementation well past 300ms.
+  EXPECT_LT(waited, 1000ms);
+}
+
 // ---------------------------------------------------------------- frames
 
 TEST(FrameTest, JsonFrameRoundTrip) {

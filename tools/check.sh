@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full correctness gate: build and run the test suite under every preset in
+# the sanitizer matrix (plain RelWithDebInfo, ASan+UBSan, TSan), then run
+# vine_lint over src/. Any failure fails the script.
+#
+# Usage: tools/check.sh [preset ...]   (default: all three presets)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(relwithdebinfo asan tsan)
+fi
+
+JOBS="${JOBS:-$(nproc)}"
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset"
+done
+
+echo "=== vine_lint ==="
+# Any configured build dir has the lint binary; prefer the plain one.
+for dir in build build-asan build-tsan; do
+  if [ -x "$dir/tools/vine_lint" ]; then
+    "$dir/tools/vine_lint" src --allowlist tools/vine_lint_allowlist.txt
+    echo "=== all checks passed ==="
+    exit 0
+  fi
+done
+echo "vine_lint binary not found in any build dir" >&2
+exit 1
