@@ -1,133 +1,197 @@
 #include "catalog/replica_table.hpp"
 
+#include <algorithm>
+
 namespace vine {
+
+std::vector<FileReplicaTable::Holder>::iterator FileReplicaTable::holder_slot(
+    FileEntry& entry, std::uint32_t worker_token) {
+  const std::string& name = worker_names_.name(worker_token);
+  return std::lower_bound(entry.holders.begin(), entry.holders.end(), name,
+                          [this](const Holder& h, const std::string& target) {
+                            return worker_names_.name(h.worker) < target;
+                          });
+}
+
+std::vector<FileReplicaTable::Holder>::const_iterator
+FileReplicaTable::holder_slot(const FileEntry& entry,
+                              std::uint32_t worker_token) const {
+  const std::string& name = worker_names_.name(worker_token);
+  return std::lower_bound(entry.holders.begin(), entry.holders.end(), name,
+                          [this](const Holder& h, const std::string& target) {
+                            return worker_names_.name(h.worker) < target;
+                          });
+}
 
 void FileReplicaTable::set_replica(const std::string& cache_name,
                                    const WorkerId& worker, ReplicaState state,
                                    std::int64_t size) {
-  Replica& r = by_file_[cache_name][worker];
-  r.state = state;
-  if (size >= 0) r.size = size;
-  by_worker_[worker].insert(cache_name);
+  std::uint32_t ft = file_names_.intern(cache_name);
+  std::uint32_t wt = worker_names_.intern(worker);
+  if (ft >= files_.size()) files_.resize(ft + 1);
+  if (wt >= workers_.size()) workers_.resize(wt + 1);
+
+  FileEntry& entry = files_[ft];
+  auto it = holder_slot(entry, wt);
+  if (it == entry.holders.end() || it->worker != wt) {
+    Replica r;
+    r.state = state;
+    if (size >= 0) r.size = size;
+    entry.holders.insert(it, Holder{wt, r});
+    entry.present += (state == ReplicaState::present);
+    workers_[wt].files.insert(ft);
+    ++records_;
+    return;
+  }
+  entry.present += (state == ReplicaState::present) -
+                   (it->replica.state == ReplicaState::present);
+  it->replica.state = state;
+  if (size >= 0) it->replica.size = size;
 }
 
 void FileReplicaTable::remove_replica(const std::string& cache_name,
                                       const WorkerId& worker) {
-  auto fit = by_file_.find(cache_name);
-  if (fit != by_file_.end()) {
-    fit->second.erase(worker);
-    if (fit->second.empty()) by_file_.erase(fit);
-  }
-  auto wit = by_worker_.find(worker);
-  if (wit != by_worker_.end()) {
-    wit->second.erase(cache_name);
-    if (wit->second.empty()) by_worker_.erase(wit);
-  }
+  std::uint32_t ft = file_token(cache_name);
+  std::uint32_t wt = worker_names_.lookup(worker);
+  if (ft == no_token || wt == no_token || wt >= workers_.size()) return;
+  FileEntry& entry = files_[ft];
+  auto it = holder_slot(entry, wt);
+  if (it == entry.holders.end() || it->worker != wt) return;
+  entry.present -= (it->replica.state == ReplicaState::present);
+  entry.holders.erase(it);
+  workers_[wt].files.erase(ft);
+  --records_;
 }
 
 void FileReplicaTable::remove_worker(const WorkerId& worker) {
-  auto wit = by_worker_.find(worker);
-  if (wit == by_worker_.end()) return;
-  for (const auto& name : wit->second) {
-    auto fit = by_file_.find(name);
-    if (fit != by_file_.end()) {
-      fit->second.erase(worker);
-      if (fit->second.empty()) by_file_.erase(fit);
-    }
+  std::uint32_t wt = worker_names_.lookup(worker);
+  if (wt == no_token || wt >= workers_.size()) return;
+  for (std::uint32_t ft : workers_[wt].files) {
+    FileEntry& entry = files_[ft];
+    auto it = holder_slot(entry, wt);
+    if (it == entry.holders.end() || it->worker != wt) continue;
+    entry.present -= (it->replica.state == ReplicaState::present);
+    entry.holders.erase(it);
+    --records_;
   }
-  by_worker_.erase(wit);
+  workers_[wt].files.clear();
 }
 
 void FileReplicaTable::remove_file(const std::string& cache_name) {
-  auto fit = by_file_.find(cache_name);
-  if (fit == by_file_.end()) return;
-  for (const auto& [worker, _] : fit->second) {
-    auto wit = by_worker_.find(worker);
-    if (wit != by_worker_.end()) {
-      wit->second.erase(cache_name);
-      if (wit->second.empty()) by_worker_.erase(wit);
-    }
+  std::uint32_t ft = file_token(cache_name);
+  if (ft == no_token) return;
+  FileEntry& entry = files_[ft];
+  for (const Holder& h : entry.holders) {
+    workers_[h.worker].files.erase(ft);
   }
-  by_file_.erase(fit);
+  records_ -= entry.holders.size();
+  entry.holders.clear();
+  entry.present = 0;
 }
 
 std::optional<Replica> FileReplicaTable::find(const std::string& cache_name,
                                               const WorkerId& worker) const {
-  auto fit = by_file_.find(cache_name);
-  if (fit == by_file_.end()) return std::nullopt;
-  auto rit = fit->second.find(worker);
-  if (rit == fit->second.end()) return std::nullopt;
-  return rit->second;
+  std::uint32_t ft = file_token(cache_name);
+  std::uint32_t wt = worker_names_.lookup(worker);
+  if (ft == no_token || wt == no_token) return std::nullopt;
+  const FileEntry& entry = files_[ft];
+  auto it = holder_slot(entry, wt);
+  if (it == entry.holders.end() || it->worker != wt) return std::nullopt;
+  return it->replica;
 }
 
 bool FileReplicaTable::has_present(const std::string& cache_name,
                                    const WorkerId& worker) const {
-  auto r = find(cache_name, worker);
-  return r && r->state == ReplicaState::present;
+  std::uint32_t ft = file_token(cache_name);
+  std::uint32_t wt = worker_names_.lookup(worker);
+  if (ft == no_token || wt == no_token) return false;
+  const FileEntry& entry = files_[ft];
+  auto it = holder_slot(entry, wt);
+  return it != entry.holders.end() && it->worker == wt &&
+         it->replica.state == ReplicaState::present;
 }
 
 std::vector<WorkerId> FileReplicaTable::workers_with(
     const std::string& cache_name) const {
   std::vector<WorkerId> out;
-  auto fit = by_file_.find(cache_name);
-  if (fit == by_file_.end()) return out;
-  for (const auto& [worker, replica] : fit->second) {
-    if (replica.state == ReplicaState::present) out.push_back(worker);
+  std::uint32_t ft = file_token(cache_name);
+  if (ft == no_token) return out;
+  for (const Holder& h : files_[ft].holders) {
+    if (h.replica.state == ReplicaState::present) {
+      out.push_back(worker_names_.name(h.worker));
+    }
   }
   return out;
 }
 
 int FileReplicaTable::present_count(const std::string& cache_name) const {
-  int n = 0;
-  auto fit = by_file_.find(cache_name);
-  if (fit == by_file_.end()) return 0;
-  for (const auto& [_, replica] : fit->second) {
-    n += (replica.state == ReplicaState::present);
-  }
-  return n;
+  std::uint32_t ft = file_token(cache_name);
+  return ft == no_token ? 0 : files_[ft].present;
 }
 
 std::vector<std::string> FileReplicaTable::files_on(const WorkerId& worker) const {
-  auto wit = by_worker_.find(worker);
-  if (wit == by_worker_.end()) return {};
-  return {wit->second.begin(), wit->second.end()};
+  std::uint32_t wt = worker_names_.lookup(worker);
+  if (wt == no_token || wt >= workers_.size()) return {};
+  std::vector<std::string> out;
+  out.reserve(workers_[wt].files.size());
+  for (std::uint32_t ft : workers_[wt].files) out.push_back(file_names_.name(ft));
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::int64_t FileReplicaTable::known_size(const std::string& cache_name) const {
-  auto fit = by_file_.find(cache_name);
-  if (fit == by_file_.end()) return -1;
-  for (const auto& [_, replica] : fit->second) {
-    if (replica.size >= 0) return replica.size;
+  std::uint32_t ft = file_token(cache_name);
+  if (ft == no_token) return -1;
+  for (const Holder& h : files_[ft].holders) {
+    if (h.replica.size >= 0) return h.replica.size;
   }
   return -1;
 }
 
-std::size_t FileReplicaTable::record_count() const {
-  std::size_t n = 0;
-  for (const auto& [_, workers] : by_file_) n += workers.size();
-  return n;
-}
-
 void FileReplicaTable::audit(AuditReport& report) const {
   static const std::string kSub = "replica_table";
-  for (const auto& [name, workers] : by_file_) {
-    report.check(!workers.empty(), kSub, "empty by-file bucket for " + name);
-    for (const auto& [worker, replica] : workers) {
-      report.check(replica.size >= -1, kSub,
+  std::size_t recounted = 0;
+  for (std::uint32_t ft = 0; ft < files_.size(); ++ft) {
+    const FileEntry& entry = files_[ft];
+    const std::string& name = file_names_.name(ft);
+    int present = 0;
+    recounted += entry.holders.size();
+    for (std::size_t i = 0; i < entry.holders.size(); ++i) {
+      const Holder& h = entry.holders[i];
+      const std::string& worker = worker_names_.name(h.worker);
+      present += (h.replica.state == ReplicaState::present);
+      report.check(h.replica.size >= -1, kSub,
                    "replica " + name + "@" + worker + " has size " +
-                       std::to_string(replica.size));
-      auto wit = by_worker_.find(worker);
-      report.check(wit != by_worker_.end() && wit->second.count(name) > 0, kSub,
+                       std::to_string(h.replica.size));
+      if (i > 0) {
+        report.check(worker_names_.name(entry.holders[i - 1].worker) < worker,
+                     kSub, "holders of " + name +
+                               " are not strictly sorted at " + worker);
+      }
+      bool mirrored = h.worker < workers_.size() &&
+                      workers_[h.worker].files.count(ft) > 0;
+      report.check(mirrored, kSub,
                    "replica " + name + "@" + worker +
                        " missing from the by-worker index");
     }
+    report.check(present == entry.present, kSub,
+                 "present count for " + name + " is " +
+                     std::to_string(entry.present) + " but the holders total " +
+                     std::to_string(present));
   }
-  for (const auto& [worker, names] : by_worker_) {
-    report.check(!names.empty(), kSub, "empty by-worker bucket for " + worker);
-    for (const auto& name : names) {
-      auto fit = by_file_.find(name);
-      report.check(fit != by_file_.end() && fit->second.count(worker) > 0, kSub,
-                   "index entry " + name + "@" + worker +
+  report.check(recounted == records_, kSub,
+               "record count is " + std::to_string(records_) +
+                   " but the holders total " + std::to_string(recounted));
+  for (std::uint32_t wt = 0; wt < workers_.size(); ++wt) {
+    const std::string& worker = worker_names_.name(wt);
+    for (std::uint32_t ft : workers_[wt].files) {
+      bool backed = false;
+      if (ft < files_.size()) {
+        auto it = holder_slot(files_[ft], wt);
+        backed = it != files_[ft].holders.end() && it->worker == wt;
+      }
+      report.check(backed, kSub,
+                   "index entry " + file_names_.name(ft) + "@" + worker +
                        " has no backing replica record");
     }
   }
@@ -136,9 +200,11 @@ void FileReplicaTable::audit(AuditReport& report) const {
 void FileReplicaTable::audit(AuditReport& report,
                              const std::set<WorkerId>& known_workers) const {
   audit(report);
-  for (const auto& [worker, _] : by_worker_) {
-    report.check(known_workers.count(worker) > 0, "replica_table",
-                 "replicas recorded on unknown worker " + worker);
+  for (std::uint32_t wt = 0; wt < workers_.size(); ++wt) {
+    if (workers_[wt].files.empty()) continue;
+    report.check(known_workers.count(worker_names_.name(wt)) > 0,
+                 "replica_table",
+                 "replicas recorded on unknown worker " + worker_names_.name(wt));
   }
 }
 

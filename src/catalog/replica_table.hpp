@@ -2,16 +2,28 @@
 // storage — which cache objects exist (or are materializing) on which
 // workers. Placement ranks workers by cached input bytes; transfer planning
 // finds peer sources here.
+//
+// Storage is hash-indexed over interned names (common/intern.hpp): cache
+// names and worker ids map to dense uint32_t tokens, and each file keeps an
+// inverted holders index — the workers carrying a replica, sorted by worker
+// id so iteration order matches the old string-keyed std::map exactly.
+// That index is what lets the scheduler score only the workers that hold at
+// least one input (O(Σ holders)) instead of every fitting worker (O(W×I)),
+// and lets plan_source walk peer candidates without allocating a
+// std::vector<WorkerId> per call.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "catalog/worker_info.hpp"
+#include "common/intern.hpp"
 #include "common/invariant.hpp"
 
 namespace vine {
@@ -30,6 +42,15 @@ struct Replica {
 
 class FileReplicaTable {
  public:
+  /// Sentinel for "name never seen" from file_token().
+  static constexpr std::uint32_t no_token = Interner::npos;
+
+  /// One entry of a file's inverted holders index.
+  struct Holder {
+    std::uint32_t worker = 0;  ///< worker token; resolve via worker_name()
+    Replica replica;
+  };
+
   /// Record or update a replica of `cache_name` on `worker`.
   void set_replica(const std::string& cache_name, const WorkerId& worker,
                    ReplicaState state, std::int64_t size = -1);
@@ -51,9 +72,10 @@ class FileReplicaTable {
   bool has_present(const std::string& cache_name, const WorkerId& worker) const;
 
   /// Workers holding a present copy, sorted by id (deterministic).
+  /// Diagnostics/tests; hot paths iterate holders() instead.
   std::vector<WorkerId> workers_with(const std::string& cache_name) const;
 
-  /// Count of present replicas.
+  /// Count of present replicas. O(1): maintained per file.
   int present_count(const std::string& cache_name) const;
 
   /// Cache names with any record on this worker (present or pending).
@@ -63,10 +85,44 @@ class FileReplicaTable {
   std::int64_t known_size(const std::string& cache_name) const;
 
   /// Total number of (file, worker) replica records; for stats/tests.
-  std::size_t record_count() const;
+  std::size_t record_count() const { return records_; }
 
-  /// Validate internal consistency: the by-file and by-worker indexes must
-  /// mirror each other exactly and hold no empty buckets.
+  // ------------------------------------------------- indexed fast path
+
+  /// Dense token for a cache name, or no_token when it has no record.
+  /// Allocation-free; the token stays valid for the table's lifetime.
+  std::uint32_t file_token(std::string_view cache_name) const {
+    std::uint32_t t = file_names_.lookup(cache_name);
+    return (t != no_token && t < files_.size()) ? t : no_token;
+  }
+
+  /// The file's holders (present and pending), sorted by worker id.
+  /// Allocation-free view; invalidated by the next mutation.
+  std::span<const Holder> holders(std::uint32_t file_token) const {
+    return files_[file_token].holders;
+  }
+
+  /// Present-replica count for a token (same value as present_count()).
+  int present_count_of(std::uint32_t file_token) const {
+    return files_[file_token].present;
+  }
+
+  /// Worker id behind a holder token.
+  const WorkerId& worker_name(std::uint32_t worker_token) const {
+    return worker_names_.name(worker_token);
+  }
+
+  /// Dense token for a worker id, or no_token when it has no record.
+  std::uint32_t worker_token(std::string_view worker) const {
+    return worker_names_.lookup(worker);
+  }
+
+  /// Number of worker tokens handed out so far; tokens are [0, count).
+  std::size_t worker_token_count() const { return worker_names_.size(); }
+
+  /// Validate internal consistency: the holders index and the per-worker
+  /// mirror must match exactly, present counters must equal a recount, and
+  /// holders must stay sorted by worker id.
   void audit(AuditReport& report) const;
 
   /// Internal consistency plus membership: every replica must live on a
@@ -78,10 +134,26 @@ class FileReplicaTable {
   // Lets audit tests corrupt the private indexes to prove detection.
   friend struct CatalogTestPeer;
 
-  // cache_name -> worker -> replica
-  std::map<std::string, std::map<WorkerId, Replica>> by_file_;
-  // worker -> cache names (secondary index for files_on / remove_worker)
-  std::map<WorkerId, std::set<std::string>> by_worker_;
+  struct FileEntry {
+    std::vector<Holder> holders;  // sorted by worker id (string order)
+    int present = 0;              // holders with state == present
+  };
+  struct WorkerEntry {
+    std::unordered_set<std::uint32_t> files;  // file tokens with a record here
+  };
+
+  // Position of `worker_token` in the file's holders (sorted by worker id),
+  // or the insertion point when absent.
+  std::vector<Holder>::iterator holder_slot(FileEntry& entry,
+                                            std::uint32_t worker_token);
+  std::vector<Holder>::const_iterator holder_slot(const FileEntry& entry,
+                                                  std::uint32_t worker_token) const;
+
+  Interner file_names_;            // cache_name <-> file token
+  Interner worker_names_;          // worker id <-> worker token
+  std::vector<FileEntry> files_;   // by file token
+  std::vector<WorkerEntry> workers_;  // by worker token
+  std::size_t records_ = 0;
 };
 
 }  // namespace vine

@@ -25,6 +25,9 @@ std::string CurrentTransferTable::begin(const std::string& cache_name,
   rec.started_at = now;
   ++inflight_by_source_[source.account()];
   ++inflight_by_dest_[dest];
+  if (source.kind == TransferSource::Kind::worker) {
+    ++inflight_by_worker_src_[source.key];
+  }
   std::string uuid = rec.uuid;
   by_uuid_.emplace(uuid, std::move(rec));
   return uuid;
@@ -38,6 +41,12 @@ void CurrentTransferTable::decrement(const TransferRecord& rec) {
   auto dit = inflight_by_dest_.find(rec.dest);
   if (dit != inflight_by_dest_.end() && --dit->second <= 0) {
     inflight_by_dest_.erase(dit);
+  }
+  if (rec.source.kind == TransferSource::Kind::worker) {
+    auto wit = inflight_by_worker_src_.find(rec.source.key);
+    if (wit != inflight_by_worker_src_.end() && --wit->second <= 0) {
+      inflight_by_worker_src_.erase(wit);
+    }
   }
 }
 
@@ -53,6 +62,11 @@ std::optional<TransferRecord> CurrentTransferTable::finish(const std::string& uu
 int CurrentTransferTable::inflight_from(const TransferSource& source) const {
   auto it = inflight_by_source_.find(source.account());
   return it == inflight_by_source_.end() ? 0 : it->second;
+}
+
+int CurrentTransferTable::inflight_from_worker(const WorkerId& id) const {
+  auto it = inflight_by_worker_src_.find(id);
+  return it == inflight_by_worker_src_.end() ? 0 : it->second;
 }
 
 int CurrentTransferTable::inflight_to(const WorkerId& dest) const {
@@ -90,6 +104,7 @@ void CurrentTransferTable::audit(AuditReport& report) const {
   static const std::string kSub = "transfer_table";
   std::map<std::string, int> by_source;
   std::map<WorkerId, int> by_dest;
+  std::map<WorkerId, int> by_worker_src;
   for (const auto& [uuid, rec] : by_uuid_) {
     report.check(uuid == rec.uuid, kSub,
                  "record keyed " + uuid + " carries uuid " + rec.uuid);
@@ -99,6 +114,9 @@ void CurrentTransferTable::audit(AuditReport& report) const {
                  "transfer " + uuid + " has no destination worker");
     ++by_source[rec.source.account()];
     ++by_dest[rec.dest];
+    if (rec.source.kind == TransferSource::Kind::worker) {
+      ++by_worker_src[rec.source.key];
+    }
   }
   // Report per-key diffs (not just "maps differ") so a violation names the
   // counter that drifted.
@@ -120,6 +138,7 @@ void CurrentTransferTable::audit(AuditReport& report) const {
   };
   diff(inflight_by_source_, by_source, "per-source");
   diff(inflight_by_dest_, by_dest, "per-destination");
+  diff(inflight_by_worker_src_, by_worker_src, "per-worker-source");
 }
 
 std::vector<TransferRecord> CurrentTransferTable::snapshot() const {

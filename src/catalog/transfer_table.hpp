@@ -59,6 +59,12 @@ class CurrentTransferTable {
   /// In-flight count drawing from this source.
   int inflight_from(const TransferSource& source) const;
 
+  /// In-flight count drawing from a worker source. Equivalent to
+  /// inflight_from(TransferSource::from_worker(id)) but allocation-free:
+  /// no TransferSource copy and no "worker:" account string per call. The
+  /// scheduler calls this once per peer candidate per transfer plan.
+  int inflight_from_worker(const WorkerId& id) const;
+
   /// In-flight count arriving at this worker.
   int inflight_to(const WorkerId& dest) const;
 
@@ -87,6 +93,9 @@ class CurrentTransferTable {
   std::map<std::string, TransferRecord> by_uuid_;
   std::map<std::string, int> inflight_by_source_;  // account() -> count
   std::map<WorkerId, int> inflight_by_dest_;
+  // Worker-keyed view of the worker-source slice of inflight_by_source_,
+  // kept in lockstep so inflight_from_worker never builds an account string.
+  std::map<WorkerId, int> inflight_by_worker_src_;
 
   void decrement(const TransferRecord& rec);
 };

@@ -1,0 +1,65 @@
+// String interning for the scheduling/catalog hot path (paper §6: at one
+// millisecond per placement decision, a million tasks cost a thousand
+// seconds). Cache names and worker ids recur millions of times per run;
+// interning maps each to a dense uint32_t token once, so the catalogs key
+// their indexes on integers instead of heap strings.
+//
+// Tokens are assigned in first-seen order and are stable for the lifetime
+// of the Interner: names are never forgotten (a workflow's name universe is
+// bounded, and stable tokens are what let the tables keep dense vectors
+// indexed by token). Header-only for inlining.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace vine {
+
+class Interner {
+ public:
+  /// Sentinel returned by lookup() for a never-interned name.
+  static constexpr std::uint32_t npos = 0xffffffffu;
+
+  /// Token for `s`, interning it on first sight.
+  std::uint32_t intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const auto token = static_cast<std::uint32_t>(names_.size());
+    // deque never relocates elements, so views into stored strings stay
+    // valid as the table grows.
+    names_.emplace_back(s);
+    index_.emplace(std::string_view(names_.back()), token);
+    return token;
+  }
+
+  /// Token for `s`, or npos when it was never interned. Read-only: safe on
+  /// const tables and allocation-free.
+  std::uint32_t lookup(std::string_view s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? npos : it->second;
+  }
+
+  /// The name behind a token (token must come from this interner).
+  const std::string& name(std::uint32_t token) const { return names_[token]; }
+
+  /// Number of distinct names interned so far; tokens are [0, size()).
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  // Heterogeneous string_view hashing so lookup() never builds a key string.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::deque<std::string> names_;  // token -> name; stable addresses
+  std::unordered_map<std::string_view, std::uint32_t, Hash, std::equal_to<>>
+      index_;  // name -> token; views point into names_
+};
+
+}  // namespace vine

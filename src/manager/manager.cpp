@@ -206,6 +206,7 @@ Result<TaskId> Manager::submit(TaskSpec spec) {
   rt.report.submitted_at = clock_.now();
   TaskId id = rt.spec.id;
   tasks_.emplace(id, std::move(rt));
+  ready_tasks_.insert(id);
   return id;
 }
 
@@ -266,7 +267,9 @@ void Manager::install_library_on(const LibraryDef& def, const WorkerId& worker) 
   rt.is_library = true;
   rt.report.id = rt.spec.id;
   rt.report.submitted_at = clock_.now();
-  tasks_.emplace(rt.spec.id, std::move(rt));
+  TaskId id = rt.spec.id;
+  tasks_.emplace(id, std::move(rt));
+  ready_tasks_.insert(id);
 }
 
 TaskSpec Manager::function_call(const std::string& library,
@@ -283,7 +286,9 @@ TaskSpec Manager::function_call(const std::string& library,
 
 int Manager::library_instances(const std::string& library_name) const {
   int n = 0;
-  for (const auto& [_, w] : workers_) n += w.snap.libraries.count(library_name);
+  for (const auto& [_, w] : workers_) {
+    n += snapshots_[w.slot].libraries.count(library_name);
+  }
   return n;
 }
 
@@ -368,7 +373,7 @@ Status Manager::wait_for_workers(int count, std::chrono::milliseconds timeout) {
 std::vector<WorkerSnapshot> Manager::workers_snapshot() const {
   std::vector<WorkerSnapshot> out;
   out.reserve(workers_.size());
-  for (const auto& [_, w] : workers_) out.push_back(w.snap);
+  for (const auto& [_, w] : workers_) out.push_back(snapshots_[w.slot]);
   return out;
 }
 
@@ -381,7 +386,7 @@ void Manager::end_workflow() {
   for (const auto& [name, level] : level_of_) {
     if (level != CacheLevel::worker) replicas_.remove_file(name);
   }
-  for (auto& [_, w] : workers_) w.snap.libraries.clear();
+  for (auto& snap : snapshots_) snap.libraries.clear();
   maybe_audit("manager.end_workflow");
 }
 
@@ -473,11 +478,20 @@ void Manager::handle_hello(const std::string& conn_id, const proto::HelloMsg& ms
   }
 
   WorkerState ws;
-  ws.snap.id = msg.worker_id;
-  ws.snap.addr = conn_id;
-  ws.snap.transfer_addr = msg.transfer_addr;
-  ws.snap.total = msg.resources;
   ws.endpoint = std::move(ep);
+  auto existing = workers_.find(msg.worker_id);
+  if (existing != workers_.end()) {
+    ws.slot = existing->second.slot;  // re-hello: reuse the slot
+  } else {
+    ws.slot = snapshots_.size();
+    snapshots_.emplace_back();
+  }
+  WorkerSnapshot& snap = snapshots_[ws.slot];
+  snap = WorkerSnapshot{};
+  snap.id = msg.worker_id;
+  snap.addr = conn_id;
+  snap.transfer_addr = msg.transfer_addr;
+  snap.total = msg.resources;
   workers_[msg.worker_id] = std::move(ws);
 
   // The worker's persistent cache becomes visible replicas immediately —
@@ -537,18 +551,27 @@ void Manager::release_task_resources(TaskRuntime& task) {
   if (!task.resources_committed) return;
   auto it = workers_.find(task.worker);
   if (it != workers_.end()) {
-    it->second.snap.committed -= task.spec.resources;
-    it->second.snap.running_tasks -= 1;
+    WorkerSnapshot& snap = snapshots_[it->second.slot];
+    snap.committed -= task.spec.resources;
+    snap.running_tasks -= 1;
     VINE_LOG_DEBUG("manager", "release task %llu on %s -> committed %s",
                    static_cast<unsigned long long>(task.spec.id),
-                   task.worker.c_str(),
-                   it->second.snap.committed.to_string().c_str());
+                   task.worker.c_str(), snap.committed.to_string().c_str());
   }
   task.resources_committed = false;
 }
 
+void Manager::set_task_state(TaskRuntime& task, TaskState state) {
+  task.state = state;
+  if (state == TaskState::ready) {
+    ready_tasks_.insert(task.spec.id);
+  } else {
+    ready_tasks_.erase(task.spec.id);
+  }
+}
+
 void Manager::finish_task(TaskRuntime& task, TaskReport report) {
-  task.state = report.state;
+  set_task_state(task, report.state);
   task.report = report;
   if (report.state == TaskState::done) ++stats_.tasks_done;
   else ++stats_.tasks_failed;
@@ -603,13 +626,14 @@ void Manager::handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg&
   ++task.attempts;
   if (msg.resource_exceeded) {
     auto wit = workers_.find(worker);
-    Resources cap = wit != workers_.end() ? wit->second.snap.total
-                                          : task.spec.resources.grown(task.spec.resources);
+    Resources cap = wit != workers_.end()
+                        ? snapshots_[wit->second.slot].total
+                        : task.spec.resources.grown(task.spec.resources);
     task.spec.resources = task.spec.resources.grown(cap);
   }
   task.worker.clear();
   if (task.attempts < task.spec.max_attempts) {
-    task.state = TaskState::ready;
+    set_task_state(task, TaskState::ready);
     return;
   }
   TaskReport report = task.report;
@@ -625,13 +649,13 @@ void Manager::handle_library_ready(const WorkerId& worker,
                                    const proto::LibraryReadyMsg& msg) {
   auto wit = workers_.find(worker);
   if (wit != workers_.end()) {
-    wit->second.snap.libraries.insert(msg.library_name);
+    snapshots_[wit->second.slot].libraries.insert(msg.library_name);
   }
   auto tit = tasks_.find(msg.task_id);
   if (tit != tasks_.end()) {
     // The LibraryTask runs for the rest of the workflow; mark it done for
     // bookkeeping but keep its resources committed on the worker.
-    tit->second.state = TaskState::done;
+    set_task_state(tit->second, TaskState::done);
   }
   VINE_LOG_INFO("manager", "library %s ready on %s", msg.library_name.c_str(),
                 worker.c_str());
@@ -653,7 +677,18 @@ void Manager::handle_worker_lost(const std::string& conn_id) {
   VINE_LOG_WARN("manager", "worker %s disconnected", worker.c_str());
   replicas_.remove_worker(worker);
   transfers_.remove_worker(worker);
-  workers_.erase(worker);
+  auto wit = workers_.find(worker);
+  if (wit != workers_.end()) {
+    // Swap-pop the dense snapshot and retarget the displaced worker's slot.
+    const std::size_t slot = wit->second.slot;
+    const std::size_t last = snapshots_.size() - 1;
+    if (slot != last) {
+      snapshots_[slot] = std::move(snapshots_[last]);
+      workers_[snapshots_[slot].id].slot = slot;
+    }
+    snapshots_.pop_back();
+    workers_.erase(wit);
+  }
 
   // Requeue everything that was staged or running there.
   for (auto& [_, task] : tasks_) {
@@ -669,7 +704,7 @@ void Manager::handle_worker_lost(const std::string& conn_id) {
         task.state == TaskState::running) {
       task.resources_committed = false;  // its worker is gone
       task.worker.clear();
-      task.state = TaskState::ready;
+      set_task_state(task, TaskState::ready);
     }
   }
 
@@ -718,6 +753,32 @@ void Manager::audit(AuditReport& report) const {
                        task.worker + "'");
     }
   }
+
+  // The dense snapshot vector and the worker map must be a bijection.
+  report.check(snapshots_.size() == workers_.size(), kSub,
+               std::to_string(snapshots_.size()) + " snapshots for " +
+                   std::to_string(workers_.size()) + " workers");
+  for (const auto& [id, w] : workers_) {
+    bool mapped = w.slot < snapshots_.size() && snapshots_[w.slot].id == id;
+    report.check(mapped, kSub,
+                 "worker " + id + " slot " + std::to_string(w.slot) +
+                     " does not map back to its snapshot");
+  }
+
+  // The ready set must mirror exactly the tasks in TaskState::ready.
+  for (TaskId id : ready_tasks_) {
+    auto it = tasks_.find(id);
+    report.check(it != tasks_.end() && it->second.state == TaskState::ready,
+                 kSub, "ready-set entry " + std::to_string(id) +
+                           " is not a ready task");
+  }
+  for (const auto& [id, task] : tasks_) {
+    if (task.state == TaskState::ready) {
+      report.check(ready_tasks_.count(id) > 0, kSub,
+                   "ready task " + std::to_string(id) +
+                       " missing from the ready set");
+    }
+  }
 }
 
 void Manager::maybe_audit(const char* where) const {
@@ -738,7 +799,7 @@ void Manager::recover_lost_file(const FileRef& file) {
   VINE_LOG_WARN("manager", "temp %s lost with its last replica; re-running task %llu",
                 file->cache_name.c_str(),
                 static_cast<unsigned long long>(producer.spec.id));
-  producer.state = TaskState::ready;
+  set_task_state(producer, TaskState::ready);
   producer.worker.clear();
   // The producer's own temp inputs may also have died; recurse.
   for (const auto& in : producer.spec.inputs) {
@@ -921,7 +982,9 @@ bool Manager::ensure_file_at(const FileRef& file, const WorkerId& worker) {
   msg.source = *source;
   if (source->kind == TransferSource::Kind::worker) {
     auto peer = workers_.find(source->key);
-    if (peer != workers_.end()) msg.source_addr = peer->second.snap.transfer_addr;
+    if (peer != workers_.end()) {
+      msg.source_addr = snapshots_[peer->second.slot].transfer_addr;
+    }
   }
   send_to_worker(worker, msg);
   return false;
@@ -934,17 +997,22 @@ void Manager::dispatch_task(TaskRuntime& task) {
   proto::RunTaskMsg msg;
   msg.task = proto::to_wire(task.spec);
   send_to_worker(task.worker, msg);
-  task.state = TaskState::dispatched;
+  set_task_state(task, TaskState::dispatched);
   task.report.dispatched_at = clock_.now();
 }
 
 void Manager::schedule_pass() {
-  // Snapshot list rebuilt each pass; cheap at test scales, and the
-  // simulator (which runs at paper scale) uses its own incremental path.
-  std::vector<WorkerSnapshot> snapshots = workers_snapshot();
-
-  for (auto& [_, task] : tasks_) {
-    if (task.state != TaskState::ready) continue;
+  ++stats_.sched_passes;
+  // Ready-queue dispatch: the pass walks only ready tasks (ascending id,
+  // like the old full-table scan) against snapshots_, which is maintained
+  // incrementally at every commit/release — no per-pass rebuild or
+  // patch-up. The iterator is advanced before processing because a
+  // dispatched task leaves the set mid-walk; recover_lost_file may insert
+  // ids, which std::set iteration tolerates.
+  for (auto it = ready_tasks_.begin(); it != ready_tasks_.end();) {
+    TaskRuntime& task = tasks_.at(*it);
+    ++it;
+    ++stats_.tasks_scanned;
 
     if (task.worker.empty()) {
       // Gate on producibility: a temp input that no worker holds yet means
@@ -964,33 +1032,29 @@ void Manager::schedule_pass() {
       }
       if (!producible) continue;
 
-      auto pick = scheduler_.pick_worker(task.spec, snapshots, replicas_);
+      auto pick = scheduler_.pick_worker(task.spec, snapshots_, replicas_);
       if (!pick) {
         VINE_LOG_DEBUG("manager", "no worker fits task %llu (%s); w0 avail=%s",
                        static_cast<unsigned long long>(task.spec.id),
                        task.spec.resources.to_string().c_str(),
-                       snapshots.empty()
+                       snapshots_.empty()
                            ? "-"
-                           : snapshots[0].available().to_string().c_str());
+                           : snapshots_[0].available().to_string().c_str());
         continue;
       }
       task.worker = *pick;
       auto wit = workers_.find(task.worker);
       if (wit != workers_.end()) {
-        wit->second.snap.committed += task.spec.resources;
-        wit->second.snap.running_tasks += 1;
+        // Committing directly into snapshots_ is what keeps this pass (and
+        // the next) scheduling against up-to-date availability.
+        WorkerSnapshot& snap = snapshots_[wit->second.slot];
+        snap.committed += task.spec.resources;
+        snap.running_tasks += 1;
         task.resources_committed = true;
         VINE_LOG_DEBUG("manager", "commit task %llu on %s (%s) -> committed %s",
                        static_cast<unsigned long long>(task.spec.id),
                        task.worker.c_str(), task.spec.resources.to_string().c_str(),
-                       wit->second.snap.committed.to_string().c_str());
-        // Keep this pass's snapshot list coherent with the commitment.
-        for (auto& s : snapshots) {
-          if (s.id == task.worker) {
-            s.committed = wit->second.snap.committed;
-            s.running_tasks = wit->second.snap.running_tasks;
-          }
-        }
+                       snap.committed.to_string().c_str());
         for (const auto& in : task.spec.inputs) {
           if (in.file && replicas_.has_present(in.file->cache_name, task.worker)) {
             ++stats_.cache_hits;

@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -62,6 +63,8 @@ struct ManagerStats {
   std::int64_t bytes_from_url = 0;
   std::int64_t bytes_from_peers = 0;
   std::int64_t cache_hits = 0;  ///< inputs found already present at staging
+  std::int64_t sched_passes = 0;   ///< schedule_pass invocations
+  std::int64_t tasks_scanned = 0;  ///< ready tasks examined across all passes
 };
 
 class Manager {
@@ -198,7 +201,7 @@ class Manager {
   };
 
   struct WorkerState {
-    WorkerSnapshot snap;
+    std::size_t slot = 0;  ///< index into snapshots_ (swap-pop maintained)
     std::shared_ptr<Endpoint> endpoint;
   };
 
@@ -240,6 +243,9 @@ class Manager {
   /// already present. Issues at most one new instruction per call.
   bool ensure_file_at(const FileRef& file, const WorkerId& worker);
   void dispatch_task(TaskRuntime& task);
+  /// Every task-state transition goes through here so ready_tasks_ (the
+  /// dispatch queue schedule_pass walks) stays in lockstep with the states.
+  void set_task_state(TaskRuntime& task, TaskState state);
   void release_task_resources(TaskRuntime& task);
   void finish_task(TaskRuntime& task, TaskReport report);
   void send_to_worker(const WorkerId& worker, const proto::AnyMessage& msg);
@@ -275,9 +281,17 @@ class Manager {
 
   // Workflow state (application thread only).
   std::map<WorkerId, WorkerState> workers_;
+  // Dense scheduler view, one snapshot per registered worker, maintained
+  // incrementally at every commit/release/join/loss so schedule_pass never
+  // rebuilds it. workers_ maps each id to its slot here; worker loss
+  // swap-pops and fixes the displaced worker's slot.
+  std::vector<WorkerSnapshot> snapshots_;
   std::map<FileId, std::shared_ptr<FileDecl>> files_;
   std::map<std::string, CacheLevel> level_of_;  // cache_name -> lifetime
   std::map<TaskId, TaskRuntime> tasks_;
+  // Ids of tasks in TaskState::ready — the only tasks a schedule pass must
+  // visit. Ordered so the pass walks ascending ids like the old full scan.
+  std::set<TaskId> ready_tasks_;
   std::deque<TaskReport> completed_;
   std::vector<LibraryDef> libraries_;
   FileReplicaTable replicas_;

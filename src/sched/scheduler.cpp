@@ -4,6 +4,20 @@
 
 namespace vine {
 
+namespace {
+
+constexpr std::uint32_t kNoSlot = Interner::npos;
+
+// The fit filter shared by every policy: resources, plus a live library
+// instance for function calls. Pinning is handled by the callers.
+bool fits(const TaskSpec& task, const WorkerSnapshot& w) {
+  if (!w.available().can_fit(task.resources)) return false;
+  return task.kind != TaskKind::function_call ||
+         w.libraries.count(task.library_name) > 0;
+}
+
+}  // namespace
+
 std::int64_t Scheduler::cached_bytes(const TaskSpec& task, const WorkerId& worker,
                                      const FileReplicaTable& replicas) {
   std::int64_t bytes = 0;
@@ -11,63 +25,192 @@ std::int64_t Scheduler::cached_bytes(const TaskSpec& task, const WorkerId& worke
     if (!mount.file) continue;
     auto r = replicas.find(mount.file->cache_name, worker);
     if (r && r->state == ReplicaState::present) {
-      bytes += (r->size > 0) ? r->size : 1;
+      if (r->size > 0) {
+        bytes += r->size;
+      } else if (mount.file->size_hint > 0) {
+        // Replica size unconfirmed: trust the declaration so a worker
+        // holding a large declared input outranks one caching small files.
+        bytes += mount.file->size_hint;
+      } else {
+        bytes += 1;
+      }
     }
   }
   return bytes;
 }
 
+std::uint32_t Scheduler::slot_of(std::uint32_t worker_token,
+                                 std::span<const WorkerSnapshot> workers,
+                                 const FileReplicaTable& replicas) {
+  if (worker_token < token_slot_.size()) {
+    const std::uint32_t slot = token_slot_[worker_token];
+    if (slot != kNoSlot && slot < workers.size() &&
+        workers[slot].id == replicas.worker_name(worker_token)) {
+      return slot;
+    }
+  }
+  if (rebuilt_) return kNoSlot;  // map is fresh: the worker left the span
+  rebuilt_ = true;
+  token_slot_.assign(replicas.worker_token_count(), kNoSlot);
+  for (std::uint32_t slot = 0; slot < workers.size(); ++slot) {
+    const std::uint32_t t = replicas.worker_token(workers[slot].id);
+    if (t != Interner::npos) token_slot_[t] = slot;
+  }
+  return worker_token < token_slot_.size() ? token_slot_[worker_token] : kNoSlot;
+}
+
+std::optional<WorkerId> Scheduler::pick_most_cached(
+    const TaskSpec& task, std::span<const WorkerSnapshot> workers,
+    const FileReplicaTable& replicas) {
+  const std::size_t n = workers.size();
+  ++epoch_;
+  rebuilt_ = false;
+  if (checked_stamp_.size() < n) {
+    checked_stamp_.resize(n, 0);
+    fit_stamp_.resize(n, 0);
+    byte_stamp_.resize(n, 0);
+    bytes_.resize(n, 0);
+  }
+  scored_.clear();
+
+  // Walk each input's holder span and accumulate bytes per span slot,
+  // visiting only workers that hold something (O(Σ holders)) instead of
+  // scoring all W workers against all I inputs. The fit filter runs
+  // lazily, once per distinct holder slot.
+  for (const auto& mount : task.inputs) {
+    if (!mount.file) continue;
+    const std::uint32_t ft = replicas.file_token(mount.file->cache_name);
+    if (ft == FileReplicaTable::no_token) continue;
+    const std::int64_t hint = mount.file->size_hint;
+    for (const auto& h : replicas.holders(ft)) {
+      if (h.replica.state != ReplicaState::present) continue;
+      const std::uint32_t slot = slot_of(h.worker, workers, replicas);
+      if (slot == kNoSlot) continue;
+      if (checked_stamp_[slot] != epoch_) {
+        checked_stamp_[slot] = epoch_;
+        if (fits(task, workers[slot])) fit_stamp_[slot] = epoch_;
+      }
+      if (fit_stamp_[slot] != epoch_) continue;
+      const std::int64_t add =
+          h.replica.size > 0 ? h.replica.size : (hint > 0 ? hint : 1);
+      if (byte_stamp_[slot] != epoch_) {
+        byte_stamp_[slot] = epoch_;
+        bytes_[slot] = add;
+        scored_.push_back(slot);
+      } else {
+        bytes_[slot] += add;
+      }
+    }
+  }
+
+  // Every scored worker carries >= 1 cached byte and so outranks every
+  // zero-byte worker under the key (bytes desc, running asc, id asc); the
+  // key is unique per worker, so visiting scored slots in holder order
+  // lands on the same winner as an exhaustive scan of the fitting set.
+  if (!scored_.empty()) {
+    const WorkerSnapshot* best = nullptr;
+    std::int64_t best_bytes = 0;
+    for (const std::uint32_t slot : scored_) {
+      const WorkerSnapshot& w = workers[slot];
+      const std::int64_t b = bytes_[slot];
+      if (!best || b > best_bytes ||
+          (b == best_bytes &&
+           (w.running_tasks < best->running_tasks ||
+            (w.running_tasks == best->running_tasks && w.id < best->id)))) {
+        best = &w;
+        best_bytes = b;
+      }
+    }
+    return best->id;
+  }
+
+  // No fitting worker holds any input: fall back to the least-loaded
+  // fitting worker (what zero bytes across the board reduces to). Only
+  // this cold branch pays an O(W) scan.
+  const WorkerSnapshot* best = nullptr;
+  for (const WorkerSnapshot& w : workers) {
+    if (!fits(task, w)) continue;
+    if (!best || w.running_tasks < best->running_tasks ||
+        (w.running_tasks == best->running_tasks && w.id < best->id)) {
+      best = &w;
+    }
+  }
+  if (!best) return std::nullopt;
+  return best->id;
+}
+
 std::optional<WorkerId> Scheduler::pick_worker(
     const TaskSpec& task, std::span<const WorkerSnapshot> workers,
     const FileReplicaTable& replicas) {
-  // Collect candidates with fitting resources (and the library, for calls).
-  std::vector<const WorkerSnapshot*> fitting;
-  fitting.reserve(workers.size());
-  for (const auto& w : workers) {
-    if (!task.pinned_worker.empty() && w.id != task.pinned_worker) continue;
-    if (!w.available().can_fit(task.resources)) continue;
-    if (task.kind == TaskKind::function_call &&
-        !w.libraries.count(task.library_name)) {
-      continue;
-    }
-    fitting.push_back(&w);
+  if (config_.placement == PlacementPolicy::most_cached &&
+      task.pinned_worker.empty()) {
+    return pick_most_cached(task, workers, replicas);
   }
-  if (fitting.empty()) return std::nullopt;
+
+  // Generic path (ablation policies and pinned tasks): one fit pass over
+  // the span, tracking what each policy needs — the candidate list for
+  // random, the minimum fitting id (first_fit; round_robin's wrap) and the
+  // smallest fitting id after the round-robin cursor.
+  fitting_slots_.clear();
+  const WorkerSnapshot* min_id = nullptr;
+  const WorkerSnapshot* after_cursor = nullptr;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerSnapshot& w = workers[i];
+    if (!task.pinned_worker.empty() && w.id != task.pinned_worker) continue;
+    if (!fits(task, w)) continue;
+    switch (config_.placement) {
+      case PlacementPolicy::round_robin:
+        if (w.id > round_robin_last_ &&
+            (!after_cursor || w.id < after_cursor->id)) {
+          after_cursor = &w;
+        }
+        [[fallthrough]];
+      case PlacementPolicy::first_fit:
+        if (!min_id || w.id < min_id->id) min_id = &w;
+        break;
+      case PlacementPolicy::random:
+      case PlacementPolicy::most_cached:
+        fitting_slots_.push_back(static_cast<std::uint32_t>(i));
+        break;
+    }
+  }
 
   switch (config_.placement) {
-    case PlacementPolicy::first_fit: {
-      auto it = std::min_element(fitting.begin(), fitting.end(),
-                                 [](auto* a, auto* b) { return a->id < b->id; });
-      return (*it)->id;
-    }
+    case PlacementPolicy::first_fit:
+      if (!min_id) return std::nullopt;
+      return min_id->id;
     case PlacementPolicy::random:
-      return fitting[rng_.below(fitting.size())]->id;
+      if (fitting_slots_.empty()) return std::nullopt;
+      return workers[fitting_slots_[rng_.below(fitting_slots_.size())]].id;
     case PlacementPolicy::round_robin: {
-      // Rotate over the fitting set; the cursor advances monotonically so
-      // consecutive calls spread tasks even as the set changes.
-      const WorkerSnapshot* pick = fitting[round_robin_next_ % fitting.size()];
-      ++round_robin_next_;
+      // Resume after the last assigned id (wrapping to the smallest), so a
+      // worker joining or leaving cannot make the rotation skip or
+      // double-serve anyone — a raw counter mod a changing set size does.
+      if (!min_id) return std::nullopt;
+      const WorkerSnapshot* pick = after_cursor ? after_cursor : min_id;
+      round_robin_last_ = pick->id;
       return pick->id;
     }
     case PlacementPolicy::most_cached:
       break;
   }
 
-  // most_cached: maximize cached input bytes; break ties toward the least
-  // loaded worker, then lowest id for determinism.
+  // most_cached with a pinned worker: at most one candidate survived the
+  // filter; score it anyway for uniformity with the unpinned path.
   const WorkerSnapshot* best = nullptr;
   std::int64_t best_bytes = -1;
-  for (const auto* w : fitting) {
-    std::int64_t bytes = cached_bytes(task, w->id, replicas);
-    bool better = bytes > best_bytes ||
-                  (bytes == best_bytes && best &&
-                   (w->running_tasks < best->running_tasks ||
-                    (w->running_tasks == best->running_tasks && w->id < best->id)));
-    if (!best || better) {
-      best = w;
-      best_bytes = bytes;
+  for (const std::uint32_t slot : fitting_slots_) {
+    const WorkerSnapshot& w = workers[slot];
+    const std::int64_t b = cached_bytes(task, w.id, replicas);
+    if (!best || b > best_bytes ||
+        (b == best_bytes &&
+         (w.running_tasks < best->running_tasks ||
+          (w.running_tasks == best->running_tasks && w.id < best->id)))) {
+      best = &w;
+      best_bytes = b;
     }
   }
+  if (!best) return std::nullopt;
   return best->id;
 }
 
@@ -75,15 +218,29 @@ std::optional<TransferSource> Scheduler::plan_source(
     const std::string& cache_name, const TransferSource& fixed,
     const WorkerId& dest, const FileReplicaTable& replicas,
     const CurrentTransferTable& transfers) {
+  const std::uint32_t ft = replicas.file_token(cache_name);
+
   // Unsupervised mode: pick blindly among replica holders, ignoring
   // in-flight counts and limits (Figure 11b's behaviour).
   if (config_.prefer_peer_transfers && !config_.supervised) {
-    std::vector<WorkerId> holders;
-    for (const auto& peer : replicas.workers_with(cache_name)) {
-      if (peer != dest) holders.push_back(peer);
+    std::size_t candidates = 0;
+    if (ft != FileReplicaTable::no_token) {
+      for (const auto& h : replicas.holders(ft)) {
+        candidates += h.replica.state == ReplicaState::present &&
+                      replicas.worker_name(h.worker) != dest;
+      }
     }
-    if (!holders.empty()) {
-      return TransferSource::from_worker(holders[rng_.below(holders.size())]);
+    if (candidates > 0) {
+      // One draw over the candidate count, then walk to the k-th present
+      // holder != dest. Holders are sorted by worker id, the same order a
+      // materialized candidate vector would have.
+      std::size_t k = rng_.below(candidates);
+      for (const auto& h : replicas.holders(ft)) {
+        if (h.replica.state != ReplicaState::present) continue;
+        const WorkerId& peer = replicas.worker_name(h.worker);
+        if (peer == dest) continue;
+        if (k-- == 0) return TransferSource::from_worker(peer);
+      }
     }
     // No replica yet: a few seed transfers draw on the fixed source; the
     // rest wait and then stampede the first holders (the 11b hotspot).
@@ -99,20 +256,22 @@ std::optional<TransferSource> Scheduler::plan_source(
   // When peers exist but are all at their limit, *wait* for a peer slot
   // rather than falling back — this is what keeps the shared filesystem
   // queries at 3 instead of 108 in the Colmena run (§4.2).
-  if (config_.prefer_peer_transfers) {
-    std::optional<WorkerId> best_peer;
+  if (config_.prefer_peer_transfers && ft != FileReplicaTable::no_token) {
+    const WorkerId* best_peer = nullptr;
     int best_inflight = 0;
     bool any_peer = false;
-    for (const auto& peer : replicas.workers_with(cache_name)) {
+    for (const auto& h : replicas.holders(ft)) {
+      if (h.replica.state != ReplicaState::present) continue;
+      const WorkerId& peer = replicas.worker_name(h.worker);
       if (peer == dest) continue;
       any_peer = true;
-      int inflight = transfers.inflight_from(TransferSource::from_worker(peer));
+      int inflight = transfers.inflight_from_worker(peer);
       if (config_.worker_source_limit > 0 &&
           inflight >= config_.worker_source_limit) {
         continue;
       }
       if (!best_peer || inflight < best_inflight) {
-        best_peer = peer;
+        best_peer = &peer;
         best_inflight = inflight;
       }
     }

@@ -12,8 +12,18 @@
 //    fixed source (URL or manager) subject to that source's own limit.
 //    When every source is saturated the transfer waits — this throttling
 //    is what turns Figure 11b's meltdown into Figure 11c's smooth ramp.
+//
+// Hot-path shape (paper §6: placement latency bounds throughput): both
+// decisions run on the replica table's interned-token indexes. most_cached
+// scores only the workers holding at least one of the task's inputs
+// (O(W + Σ holders) per pick, with the O(W) part a cheap arithmetic fit
+// filter) instead of probing the catalog once per (worker, input) pair;
+// plan_source walks the file's holder span without building a WorkerId
+// vector per call. Scratch buffers are epoch-stamped members so a warm
+// scheduler allocates nothing per decision.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -91,14 +101,48 @@ class Scheduler {
       const CurrentTransferTable& transfers);
 
   /// Scoring helper exposed for tests/benches: cached input bytes of
-  /// `task` present on `worker` (unknown sizes count 1 byte each).
+  /// `task` present on `worker`. An unknown replica size falls back to the
+  /// file's declared size_hint, then to 1 byte (so presence still counts).
   static std::int64_t cached_bytes(const TaskSpec& task, const WorkerId& worker,
                                    const FileReplicaTable& replicas);
 
  private:
+  /// The indexed fast path behind pick_worker for unpinned most_cached
+  /// placement: O(Σ holders) scoring with a lazy per-holder fit check; an
+  /// O(W) least-loaded scan runs only when no fitting worker holds any
+  /// input.
+  std::optional<WorkerId> pick_most_cached(
+      const TaskSpec& task, std::span<const WorkerSnapshot> workers,
+      const FileReplicaTable& replicas);
+
+  /// Span slot of the worker behind `worker_token`, or Interner::npos when
+  /// that worker is not in `workers`. Served from token_slot_ with a
+  /// verify-on-hit name check; rebuilds the map at most once per
+  /// pick_worker call (rebuilt_ guard).
+  std::uint32_t slot_of(std::uint32_t worker_token,
+                        std::span<const WorkerSnapshot> workers,
+                        const FileReplicaTable& replicas);
+
   SchedulerConfig config_;
   Rng rng_;
-  std::size_t round_robin_next_ = 0;
+
+  /// Worker id last assigned by round_robin; the next pick resumes with
+  /// the smallest fitting id after it (wrapping), so churn in the fitting
+  /// set cannot skip or double-serve workers. Empty until the first pick.
+  WorkerId round_robin_last_;
+
+  // ---- pick_worker scratch, reused across calls (allocation-free once
+  // warm). Dense arrays are indexed by span slot and validated by an epoch
+  // stamp instead of being cleared.
+  std::uint64_t epoch_ = 0;
+  bool rebuilt_ = false;                      // token_slot_ refreshed this call
+  std::vector<std::uint64_t> checked_stamp_;  // stamp == epoch_: fit evaluated
+  std::vector<std::uint64_t> fit_stamp_;      // stamp == epoch_: slot fits task
+  std::vector<std::uint64_t> byte_stamp_;     // stamp == epoch_: bytes_ valid
+  std::vector<std::int64_t> bytes_;        // cached input bytes per slot
+  std::vector<std::uint32_t> scored_;      // slots touched by holder scoring
+  std::vector<std::uint32_t> token_slot_;  // worker token -> span slot
+  std::vector<std::uint32_t> fitting_slots_;  // random-policy candidate list
 };
 
 }  // namespace vine

@@ -65,8 +65,7 @@ SimTask* ClusterSim::add_task(std::string category, double duration, double core
 
 void ClusterSim::add_worker(const std::string& id, double t_join, double cores) {
   WorkerSim w;
-  w.snap.id = id;
-  w.snap.total = {.cores = cores, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+  w.total = {.cores = cores, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
   w.join_at = t_join;
   workers_[id] = std::move(w);
   worker_order_.push_back(id);
@@ -90,6 +89,7 @@ double ClusterSim::run() {
     run.task = t.get();
     run.ready_at = t->submit_at;
     runs_[t->id] = run;
+    ready_runs_.insert(t->id);
     if (t->submit_at > 0) {
       sim_.at(t->submit_at, [this] { request_schedule(); });
     }
@@ -110,6 +110,12 @@ double ClusterSim::run() {
 void ClusterSim::worker_join(const std::string& id) {
   WorkerSim& w = workers_[id];
   w.joined = true;
+  w.slot = snapshots_.size();
+  vine::WorkerSnapshot snap;
+  snap.id = id;
+  snap.total = w.total;
+  snapshots_.push_back(std::move(snap));
+  total_avail_cores_ += w.total.cores;
   net_.add_node(id, config_.worker_nic_Bps, config_.worker_nic_Bps,
                 config_.stream_knee, config_.stream_beta);
   trace_.on_worker_join(id, sim_.now());
@@ -126,6 +132,7 @@ void ClusterSim::worker_join(const std::string& id) {
     run.task = t;
     run.ready_at = sim_.now();
     runs_[t->id] = run;
+    ready_runs_.insert(t->id);
   }
   request_schedule();
 }
@@ -154,17 +161,18 @@ vine::FileRef make_decl(const SimFile* f) {
 
 void ClusterSim::schedule_pass() {
   double now = sim_.now();
+  ++stats_.sched_passes;
 
-  std::vector<vine::WorkerSnapshot> snapshots;
-  snapshots.reserve(workers_.size());
-  for (const auto& [_, w] : workers_) {
-    if (w.joined) snapshots.push_back(w.snap);
-  }
-  double total_avail_cores = 0;
-  for (const auto& s : snapshots) total_avail_cores += s.available().cores;
-
-  for (auto& [_, run] : runs_) {
-    if (run.state != TaskState::ready) continue;
+  // Ready-queue dispatch: the pass walks only ready runs (ascending id,
+  // matching the old full-table scan order) against snapshots_ and
+  // total_avail_cores_, both maintained incrementally at every
+  // join/commit/release — no per-pass rebuild or patch-up loop. The
+  // iterator advances before processing because dispatch() erases the
+  // current id from the set.
+  for (auto it = ready_runs_.begin(); it != ready_runs_.end();) {
+    TaskRun& run = runs_.at(*it);
+    ++it;
+    ++stats_.tasks_scanned;
     SimTask& task = *run.task;
     if (task.submit_at > now) continue;
 
@@ -180,7 +188,7 @@ void ClusterSim::schedule_pass() {
     if (!producible) continue;
 
     if (run.worker.empty()) {
-      if (total_avail_cores < task.cores) continue;  // cluster saturated
+      if (total_avail_cores_ < task.cores) continue;  // cluster saturated
 
       TaskSpec spec;
       spec.id = task.id;
@@ -193,18 +201,17 @@ void ClusterSim::schedule_pass() {
       for (const auto* in : task.inputs) {
         spec.inputs.push_back({make_decl(in), in->name});
       }
-      auto pick = scheduler_.pick_worker(spec, snapshots, replicas_);
+      auto pick = scheduler_.pick_worker(spec, snapshots_, replicas_);
       if (!pick) continue;
 
       run.worker = *pick;
       run.committed = true;
-      WorkerSim& w = workers_[*pick];
-      w.snap.committed.cores += task.cores;
-      w.snap.running_tasks += 1;
-      total_avail_cores -= task.cores;
-      for (auto& s : snapshots) {
-        if (s.id == *pick) s = w.snap;
-      }
+      // Commit straight into the live snapshot so the rest of this pass
+      // (and the next) schedules against up-to-date availability.
+      vine::WorkerSnapshot& snap = snapshots_[workers_[*pick].slot];
+      snap.committed.cores += task.cores;
+      snap.running_tasks += 1;
+      total_avail_cores_ -= task.cores;
       for (const auto* in : task.inputs) {
         if (replicas_.has_present(in->name, run.worker)) ++stats_.cache_hits;
       }
@@ -353,15 +360,25 @@ void ClusterSim::fetch_complete(const PendingFetch& fetch) {
   request_schedule();
 }
 
+void ClusterSim::set_run_state(std::uint64_t id, TaskRun& run,
+                               TaskState state) {
+  run.state = state;
+  if (state == TaskState::ready) {
+    ready_runs_.insert(id);
+  } else {
+    ready_runs_.erase(id);
+  }
+}
+
 void ClusterSim::dispatch(TaskRun& run) {
-  run.state = TaskState::dispatched;
+  set_run_state(run.task->id, run, TaskState::dispatched);
   // The manager dispatches serially; at very large task counts this is the
   // §6 bottleneck (1 ms/task -> 1000 s per million tasks).
   double start = std::max(sim_.now(), next_dispatch_at_) + config_.dispatch_overhead;
   next_dispatch_at_ = start;
   sim_.at(start, [this, id = run.task->id] {
     TaskRun& r = runs_[id];
-    r.state = TaskState::running;
+    set_run_state(id, r, TaskState::running);
     r.started_at_ = sim_.now();
     trace_.on_task_start(r.worker, sim_.now());
     sim_.at(sim_.now() + r.task->duration, [this, id] { task_complete(runs_[id]); });
@@ -384,19 +401,20 @@ void ClusterSim::task_complete(TaskRun& run) {
 
   if (task.is_library) {
     // Instance stays up, holding its cores; announce availability.
-    run.state = TaskState::done;
-    workers_[run.worker].snap.libraries.insert(task.library);
+    set_run_state(task.id, run, TaskState::done);
+    snapshots_[workers_[run.worker].slot].libraries.insert(task.library);
     request_schedule();
     return;
   }
 
-  run.state = TaskState::done;
+  set_run_state(task.id, run, TaskState::done);
   ++stats_.tasks_done;
   makespan_ = std::max(makespan_, now);
 
-  WorkerSim& w = workers_[run.worker];
-  w.snap.committed.cores -= task.cores;
-  w.snap.running_tasks -= 1;
+  vine::WorkerSnapshot& snap = snapshots_[workers_[run.worker].slot];
+  snap.committed.cores -= task.cores;
+  snap.running_tasks -= 1;
+  total_avail_cores_ += task.cores;
   run.committed = false;
 
   for (const auto& out : task.outputs) {

@@ -118,6 +118,8 @@ struct SimStats {
   std::int64_t cache_hits = 0;
   int tasks_done = 0;
   int tasks_unfinished = 0;
+  std::int64_t sched_passes = 0;   ///< schedule_pass invocations
+  std::int64_t tasks_scanned = 0;  ///< ready tasks examined across all passes
 
   /// Highest concurrent transfer count observed from any worker source —
   /// must never exceed the configured worker_source_limit in supervised
@@ -168,7 +170,9 @@ class ClusterSim {
 
  private:
   struct WorkerSim {
-    vine::WorkerSnapshot snap;
+    vine::Resources total{
+        .cores = 0, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+    std::size_t slot = 0;    ///< index into snapshots_; valid once joined
     double join_at = 0;
     bool joined = false;
     int active_fetches = 0;  ///< fetches currently drawing on the NIC
@@ -200,6 +204,9 @@ class ClusterSim {
   void start_fetch(const PendingFetch& fetch);
   void fetch_complete(const PendingFetch& fetch);
   void dispatch(TaskRun& run);
+  /// Every run-state transition goes through here so ready_runs_ (the
+  /// queue schedule_pass walks) stays in lockstep with the states.
+  void set_run_state(std::uint64_t id, TaskRun& run, vine::TaskState state);
   void task_complete(TaskRun& run);
   void retrieve_output(const SimFile* file, const std::string& worker);
 
@@ -214,8 +221,17 @@ class ClusterSim {
   std::map<std::string, std::unique_ptr<SimFile>> files_;
   std::vector<std::unique_ptr<SimTask>> tasks_;
   std::map<std::uint64_t, TaskRun> runs_;
+  // Ids of runs in TaskState::ready — the only runs a schedule pass must
+  // visit. Ordered so the pass walks ascending ids like the old full scan.
+  std::set<std::uint64_t> ready_runs_;
   std::map<std::string, WorkerSim> workers_;
   std::vector<std::string> worker_order_;
+  // Dense scheduler view, one snapshot per *joined* worker (join order),
+  // maintained incrementally at every commit/release so a schedule pass
+  // never rebuilds it. Workers never leave the simulation, so slots are
+  // append-only.
+  std::vector<vine::WorkerSnapshot> snapshots_;
+  double total_avail_cores_ = 0;  ///< Σ available().cores over snapshots_
 
   struct LibraryDef {
     std::string name;

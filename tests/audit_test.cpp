@@ -5,6 +5,7 @@
 // the cache — and asserts the audits detect them.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -25,20 +26,34 @@ struct CatalogTestPeer {
   static void drop_from_worker_index(FileReplicaTable& t,
                                      const std::string& cache_name,
                                      const WorkerId& worker) {
-    t.by_worker_[worker].erase(cache_name);
+    const std::uint32_t ft = t.file_names_.lookup(cache_name);
+    const std::uint32_t wt = t.worker_names_.lookup(worker);
+    t.workers_[wt].files.erase(ft);
   }
   static void add_ghost_to_worker_index(FileReplicaTable& t,
                                         const std::string& cache_name,
                                         const WorkerId& worker) {
-    t.by_worker_[worker].insert(cache_name);
+    const std::uint32_t ft = t.file_names_.intern(cache_name);
+    const std::uint32_t wt = t.worker_names_.intern(worker);
+    if (ft >= t.files_.size()) t.files_.resize(ft + 1);
+    if (wt >= t.workers_.size()) t.workers_.resize(wt + 1);
+    t.workers_[wt].files.insert(ft);
   }
-  static void leave_empty_bucket(FileReplicaTable& t,
-                                 const std::string& cache_name) {
-    t.by_file_[cache_name];  // creates an empty worker map
+  static void corrupt_present_count(FileReplicaTable& t,
+                                    const std::string& cache_name, int delta) {
+    t.files_[t.file_names_.lookup(cache_name)].present += delta;
+  }
+  static void unsort_holders(FileReplicaTable& t,
+                             const std::string& cache_name) {
+    auto& holders = t.files_[t.file_names_.lookup(cache_name)].holders;
+    std::reverse(holders.begin(), holders.end());
   }
   static void corrupt_size(FileReplicaTable& t, const std::string& cache_name,
                            const WorkerId& worker, std::int64_t size) {
-    t.by_file_[cache_name][worker].size = size;
+    FileReplicaTable::FileEntry& e =
+        t.files_[t.file_names_.lookup(cache_name)];
+    auto it = t.holder_slot(e, t.worker_names_.lookup(worker));
+    it->replica.size = size;
   }
 
   static void bump_source_counter(CurrentTransferTable& t,
@@ -142,13 +157,25 @@ TEST(ReplicaTableAudit, DetectsGhostWorkerIndexEntry) {
   EXPECT_NE(r.to_string().find("md5-zzzz"), std::string::npos);
 }
 
-TEST(ReplicaTableAudit, DetectsEmptyFileBucket) {
+TEST(ReplicaTableAudit, DetectsDriftedPresentCounter) {
   FileReplicaTable t;
-  CatalogTestPeer::leave_empty_bucket(t, "md5-hollow");
+  t.set_replica("md5-hollow", "w1", ReplicaState::present, 10);
+  CatalogTestPeer::corrupt_present_count(t, "md5-hollow", +1);
   AuditReport r;
   t.audit(r);
   EXPECT_FALSE(r.ok());
   EXPECT_NE(r.to_string().find("md5-hollow"), std::string::npos);
+}
+
+TEST(ReplicaTableAudit, DetectsUnsortedHolders) {
+  FileReplicaTable t;
+  t.set_replica("md5-aaaa", "w1", ReplicaState::present, 10);
+  t.set_replica("md5-aaaa", "w2", ReplicaState::present, 10);
+  CatalogTestPeer::unsort_holders(t, "md5-aaaa");
+  AuditReport r;
+  t.audit(r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.to_string().find("sorted"), std::string::npos);
 }
 
 TEST(ReplicaTableAudit, DetectsNonsenseSize) {

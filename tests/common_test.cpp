@@ -7,6 +7,7 @@
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/intern.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
@@ -251,6 +252,37 @@ TEST(Clock, ManualClockAdvances) {
   EXPECT_EQ(c.now(), 2.0);
   c.advance_to(2.0);  // no-op, not backwards
   EXPECT_EQ(c.now(), 2.0);
+}
+
+// ---------------------------------------------------------------- intern
+
+TEST(Intern, TokensAreDenseAndStable) {
+  Interner in;
+  EXPECT_EQ(in.intern("alpha"), 0u);
+  EXPECT_EQ(in.intern("beta"), 1u);
+  EXPECT_EQ(in.intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.name(0), "alpha");
+  EXPECT_EQ(in.name(1), "beta");
+}
+
+TEST(Intern, LookupDoesNotIntern) {
+  Interner in;
+  EXPECT_EQ(in.lookup("ghost"), Interner::npos);
+  EXPECT_EQ(in.size(), 0u);
+  in.intern("real");
+  EXPECT_EQ(in.lookup("real"), 0u);
+  EXPECT_EQ(in.lookup("ghost"), Interner::npos);
+}
+
+TEST(Intern, NamesStayValidAcrossGrowth) {
+  // The deque-backed storage must never invalidate previously returned
+  // references as the table grows.
+  Interner in;
+  const std::string& first = in.name(in.intern("first"));
+  for (int i = 0; i < 10000; ++i) in.intern("k" + std::to_string(i));
+  EXPECT_EQ(first, "first");
+  EXPECT_EQ(in.size(), 10001u);
 }
 
 TEST(Clock, SteadyClockMonotonic) {

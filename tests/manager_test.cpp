@@ -247,6 +247,20 @@ TEST_F(ManagerApiTest, LevelBookkeepingSurvivesEndWorkflow) {
   EXPECT_EQ(m_->replicas().present_count(wf->cache_name), 0);
 }
 
+TEST_F(ManagerApiTest, SchedCountersCountOnlyReadyTasks) {
+  // Before anything is submitted, passes run but scan nothing: the pass
+  // walks the ready queue, not the whole task table.
+  m_->poll(1ms);
+  EXPECT_GE(m_->stats().sched_passes, 1);
+  EXPECT_EQ(m_->stats().tasks_scanned, 0);
+
+  ASSERT_TRUE(m_->submit(TaskBuilder("true").build()).ok());
+  const auto passes_before = m_->stats().sched_passes;
+  m_->poll(1ms);
+  EXPECT_GT(m_->stats().sched_passes, passes_before);
+  EXPECT_GE(m_->stats().tasks_scanned, 1);  // the ready task was visited
+}
+
 TEST_F(ManagerApiTest, DoubleShutdownIsSafe) {
   m_->shutdown();
   m_->shutdown();

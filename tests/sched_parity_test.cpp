@@ -1,0 +1,342 @@
+// Property test: the scheduler's indexed fast path (interned tokens,
+// inverted holders index, epoch-stamped scratch) must be *decision-identical*
+// to a straightforward reference implementation built only on the slow
+// string-keyed catalog APIs. Both sides run the same policy over the same
+// randomized cluster while replicas, transfers, loads, and the worker set
+// itself churn; any divergence in a pick or a transfer plan fails.
+//
+// The reference mirrors the scheduler's RNG discipline (one draw per random
+// pick over the fitting list in span order; one draw per unsupervised plan
+// over the sorted candidate list), so both sides consume identical random
+// sequences and stay in lockstep across hundreds of decisions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+
+namespace vine {
+namespace {
+
+std::string wname(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "w%04d", i);
+  return buf;
+}
+
+// Slow-path twin of Scheduler: same config semantics, same RNG draw
+// pattern, but every catalog question goes through the string-keyed API
+// (find / workers_with / inflight_from) and every pick scans all workers.
+class RefScheduler {
+ public:
+  RefScheduler(SchedulerConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  static bool fits(const TaskSpec& task, const WorkerSnapshot& w) {
+    if (!w.available().can_fit(task.resources)) return false;
+    return task.kind != TaskKind::function_call ||
+           w.libraries.count(task.library_name) > 0;
+  }
+
+  std::optional<WorkerId> pick_worker(const TaskSpec& task,
+                                      std::span<const WorkerSnapshot> workers,
+                                      const FileReplicaTable& replicas) {
+    std::vector<const WorkerSnapshot*> fitting;
+    for (const auto& w : workers) {
+      if (!task.pinned_worker.empty() && w.id != task.pinned_worker) continue;
+      if (!fits(task, w)) continue;
+      fitting.push_back(&w);
+    }
+    if (fitting.empty()) return std::nullopt;
+    switch (config_.placement) {
+      case PlacementPolicy::first_fit: {
+        const WorkerSnapshot* min_id = fitting[0];
+        for (const auto* w : fitting) {
+          if (w->id < min_id->id) min_id = w;
+        }
+        return min_id->id;
+      }
+      case PlacementPolicy::random:
+        return fitting[rng_.below(fitting.size())]->id;
+      case PlacementPolicy::round_robin: {
+        const WorkerSnapshot* min_id = nullptr;
+        const WorkerSnapshot* after = nullptr;
+        for (const auto* w : fitting) {
+          if (!min_id || w->id < min_id->id) min_id = w;
+          if (w->id > rr_last_ && (!after || w->id < after->id)) after = w;
+        }
+        const WorkerSnapshot* pick = after ? after : min_id;
+        rr_last_ = pick->id;
+        return pick->id;
+      }
+      case PlacementPolicy::most_cached: {
+        const WorkerSnapshot* best = nullptr;
+        std::int64_t best_bytes = -1;
+        for (const auto* w : fitting) {
+          const std::int64_t b = Scheduler::cached_bytes(task, w->id, replicas);
+          if (!best || b > best_bytes ||
+              (b == best_bytes &&
+               (w->running_tasks < best->running_tasks ||
+                (w->running_tasks == best->running_tasks && w->id < best->id)))) {
+            best = w;
+            best_bytes = b;
+          }
+        }
+        return best->id;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<TransferSource> plan_source(const std::string& cache_name,
+                                            const TransferSource& fixed,
+                                            const WorkerId& dest,
+                                            const FileReplicaTable& replicas,
+                                            const CurrentTransferTable& transfers) {
+    if (config_.prefer_peer_transfers && !config_.supervised) {
+      std::vector<WorkerId> candidates;
+      for (const WorkerId& w : replicas.workers_with(cache_name)) {
+        if (w != dest) candidates.push_back(w);
+      }
+      if (!candidates.empty()) {
+        return TransferSource::from_worker(candidates[rng_.below(candidates.size())]);
+      }
+      if (config_.unsupervised_seed_limit > 0 &&
+          transfers.inflight_from(fixed) >= config_.unsupervised_seed_limit) {
+        return std::nullopt;
+      }
+      return fixed;
+    }
+
+    if (config_.prefer_peer_transfers) {
+      std::optional<WorkerId> best;
+      int best_inflight = 0;
+      bool any_peer = false;
+      for (const WorkerId& peer : replicas.workers_with(cache_name)) {
+        if (peer == dest) continue;
+        any_peer = true;
+        const int inflight =
+            transfers.inflight_from(TransferSource::from_worker(peer));
+        if (config_.worker_source_limit > 0 &&
+            inflight >= config_.worker_source_limit) {
+          continue;
+        }
+        if (!best || inflight < best_inflight) {
+          best = peer;
+          best_inflight = inflight;
+        }
+      }
+      if (best) return TransferSource::from_worker(*best);
+      if (any_peer) return std::nullopt;
+    }
+
+    int limit = 0;
+    switch (fixed.kind) {
+      case TransferSource::Kind::url: limit = config_.url_source_limit; break;
+      case TransferSource::Kind::manager:
+        limit = config_.manager_source_limit;
+        break;
+      case TransferSource::Kind::worker:
+        limit = config_.worker_source_limit;
+        break;
+    }
+    if (limit > 0 && transfers.inflight_from(fixed) >= limit) {
+      return std::nullopt;
+    }
+    return fixed;
+  }
+
+ private:
+  SchedulerConfig config_;
+  Rng rng_;
+  WorkerId rr_last_;
+};
+
+// Drive fast and reference schedulers through `steps` decisions over a
+// churning cluster, asserting identical outcomes throughout.
+void run_parity(PlacementPolicy policy, bool supervised, std::uint64_t seed,
+                int steps = 300) {
+  Rng driver(seed);
+
+  SchedulerConfig cfg;
+  cfg.placement = policy;
+  cfg.supervised = supervised;
+  cfg.worker_source_limit = 1 + static_cast<int>(driver.below(4));
+  cfg.url_source_limit = static_cast<int>(driver.below(3));
+  cfg.manager_source_limit = static_cast<int>(driver.below(3));
+
+  const std::uint64_t sched_seed = seed ^ 0x9e3779b97f4a7c15ull;
+  Scheduler fast(cfg, sched_seed);
+  RefScheduler ref(cfg, sched_seed);
+
+  // 10..500 workers, mixed shapes; some carry the library.
+  int next_worker = 0;
+  const int initial = 10 + static_cast<int>(driver.below(491));
+  std::vector<WorkerSnapshot> workers;
+  auto fresh_worker = [&] {
+    WorkerSnapshot w;
+    w.id = wname(next_worker++);
+    w.total = {.cores = 1.0 + static_cast<double>(driver.below(8)),
+               .memory_mb = 8000,
+               .disk_mb = 50000,
+               .gpus = 0};
+    if (driver.below(4) == 0) w.libraries.insert("lib");
+    return w;
+  };
+  for (int i = 0; i < initial; ++i) workers.push_back(fresh_worker());
+
+  const int kFiles = 30;
+  std::vector<FileRef> files;
+  for (int i = 0; i < kFiles; ++i) {
+    auto f = std::make_shared<FileDecl>();
+    f->cache_name = "f" + std::to_string(i);
+    // Mix of declared sizes, unknown (-1), and zero to exercise the
+    // size_hint fallback chain.
+    const auto roll = driver.below(4);
+    f->size_hint = roll == 0 ? -1 : static_cast<std::int64_t>(driver.below(1 << 20));
+    files.push_back(std::move(f));
+  }
+
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+  std::vector<std::string> inflight_uuids;
+
+  for (int step = 0; step < steps; ++step) {
+    // --- replica churn (including whole-worker removal) ---
+    for (int c = 0; c < 3; ++c) {
+      const auto& file = files[driver.below(kFiles)];
+      const WorkerId& w = workers[driver.below(workers.size())].id;
+      switch (driver.below(5)) {
+        case 0:
+        case 1:
+          replicas.set_replica(file->cache_name, w, ReplicaState::present,
+                               driver.below(2) ? -1
+                                               : static_cast<std::int64_t>(
+                                                     driver.below(1 << 20)));
+          break;
+        case 2:
+          replicas.set_replica(file->cache_name, w, ReplicaState::pending);
+          break;
+        case 3: replicas.remove_replica(file->cache_name, w); break;
+        case 4:
+          if (driver.below(8) == 0) replicas.remove_worker(w);
+          break;
+      }
+    }
+
+    // --- worker-set churn: leaves keep their replica records behind, so
+    // the fast path's token->slot cache must notice the stale mapping ---
+    if (workers.size() > 10 && driver.below(8) == 0) {
+      workers.erase(workers.begin() +
+                    static_cast<std::ptrdiff_t>(driver.below(workers.size())));
+    }
+    if (driver.below(8) == 0) workers.push_back(fresh_worker());
+
+    // --- load churn ---
+    {
+      WorkerSnapshot& w = workers[driver.below(workers.size())];
+      w.running_tasks = static_cast<int>(driver.below(5));
+      w.committed.cores = static_cast<double>(
+          driver.below(static_cast<std::uint64_t>(w.total.cores) + 1));
+    }
+
+    // --- transfer churn ---
+    if (driver.below(2) == 0) {
+      const auto& file = files[driver.below(kFiles)];
+      const WorkerId& dest = workers[driver.below(workers.size())].id;
+      TransferSource src =
+          driver.below(2) == 0
+              ? TransferSource::from_manager()
+              : TransferSource::from_worker(
+                    workers[driver.below(workers.size())].id);
+      inflight_uuids.push_back(transfers.begin(file->cache_name, dest, src, 0.0));
+    } else if (!inflight_uuids.empty()) {
+      const auto at = driver.below(inflight_uuids.size());
+      transfers.finish(inflight_uuids[at]);
+      inflight_uuids.erase(inflight_uuids.begin() +
+                           static_cast<std::ptrdiff_t>(at));
+    }
+
+    // --- a placement decision ---
+    TaskSpec task;
+    task.resources = {.cores = 1.0 + static_cast<double>(driver.below(4)),
+                      .memory_mb = 100,
+                      .disk_mb = 0,
+                      .gpus = 0};
+    const auto n_inputs = driver.below(6);
+    for (std::uint64_t i = 0; i < n_inputs; ++i) {
+      const auto& f = files[driver.below(kFiles)];
+      task.inputs.push_back({f, f->cache_name});
+    }
+    if (driver.below(8) == 0) {
+      task.pinned_worker = workers[driver.below(workers.size())].id;
+    }
+    if (driver.below(8) == 0) {
+      task.kind = TaskKind::function_call;
+      task.library_name = "lib";
+    }
+
+    const auto got = fast.pick_worker(task, workers, replicas);
+    const auto want = ref.pick_worker(task, workers, replicas);
+    ASSERT_EQ(got.has_value(), want.has_value()) << "pick at step " << step;
+    if (got) {
+      ASSERT_EQ(*got, *want) << "pick at step " << step;
+    }
+
+    // --- a transfer plan ---
+    const auto& file = files[driver.below(kFiles)];
+    const WorkerId& dest = workers[driver.below(workers.size())].id;
+    const TransferSource fixed =
+        driver.below(2) == 0
+            ? TransferSource::from_manager()
+            : TransferSource::from_url("http://src/" + file->cache_name);
+    const auto plan_got =
+        fast.plan_source(file->cache_name, fixed, dest, replicas, transfers);
+    const auto plan_want =
+        ref.plan_source(file->cache_name, fixed, dest, replicas, transfers);
+    ASSERT_EQ(plan_got.has_value(), plan_want.has_value())
+        << "plan at step " << step;
+    if (plan_got) {
+      ASSERT_EQ(plan_got->kind, plan_want->kind) << "plan at step " << step;
+      ASSERT_EQ(plan_got->key, plan_want->key) << "plan at step " << step;
+    }
+  }
+}
+
+TEST(SchedParity, MostCachedSupervised) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    run_parity(PlacementPolicy::most_cached, true, seed);
+  }
+}
+
+TEST(SchedParity, MostCachedUnsupervised) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    run_parity(PlacementPolicy::most_cached, false, seed);
+  }
+}
+
+TEST(SchedParity, RandomPolicy) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    run_parity(PlacementPolicy::random, true, seed);
+  }
+}
+
+TEST(SchedParity, RoundRobinPolicy) {
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    run_parity(PlacementPolicy::round_robin, true, seed);
+  }
+}
+
+TEST(SchedParity, FirstFitPolicy) {
+  for (std::uint64_t seed : {41u, 42u}) {
+    run_parity(PlacementPolicy::first_fit, true, seed);
+  }
+}
+
+}  // namespace
+}  // namespace vine

@@ -147,6 +147,54 @@ TEST(Placement, CachedBytesHelper) {
   EXPECT_EQ(Scheduler::cached_bytes(t, "w", replicas), 101);
 }
 
+TEST(Placement, UnknownReplicaSizeFallsBackToSizeHint) {
+  FileReplicaTable replicas;
+  replicas.set_replica("declared", "w", ReplicaState::present);  // size unknown
+  TaskSpec t;
+  t.resources = {.cores = 1, .memory_mb = 100, .disk_mb = 0, .gpus = 0};
+  t.inputs.push_back({make_file("declared", /*size=*/5000), "declared"});
+  EXPECT_EQ(Scheduler::cached_bytes(t, "w", replicas), 5000);
+}
+
+TEST(Placement, SizeHintOutranksSmallKnownReplica) {
+  // w1 holds a 10-byte confirmed file; w2 holds an unconfirmed replica of a
+  // file declared at 1 MB. The declaration must win placement — the old
+  // 1-byte floor would have sent the task to w1.
+  Scheduler sched;
+  FileReplicaTable replicas;
+  replicas.set_replica("small", "w1", ReplicaState::present, 10);
+  replicas.set_replica("big-declared", "w2", ReplicaState::present);
+
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2")};
+  TaskSpec t;
+  t.resources = {.cores = 1, .memory_mb = 100, .disk_mb = 0, .gpus = 0};
+  t.inputs.push_back({make_file("small", 10), "small"});
+  t.inputs.push_back({make_file("big-declared", 1 << 20), "big-declared"});
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w2");
+}
+
+TEST(Placement, RoundRobinStableAcrossWorkerChurn) {
+  // The cursor tracks the last *assigned id*, not an index, so joining and
+  // leaving workers can neither skip nor double-serve anyone.
+  Scheduler sched({.placement = PlacementPolicy::round_robin});
+  FileReplicaTable replicas;
+  auto t = task_with_inputs({});
+
+  std::vector<WorkerSnapshot> workers{make_worker("w1"), make_worker("w2"),
+                                      make_worker("w3")};
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w1");
+
+  // w0 joins; rotation continues after w1 rather than restarting.
+  workers.push_back(make_worker("w0"));
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w2");
+
+  // w3 (the next-in-line after w2) leaves; the rotation skips to the wrap.
+  workers.erase(workers.begin() + 2);  // remove w3
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w0");
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w1");
+  EXPECT_EQ(sched.pick_worker(t, workers, replicas).value(), "w2");
+}
+
 // ---------------------------------------------------------- transfer plan
 
 TEST(TransferPlan, PrefersPeerOverFixedSource) {

@@ -231,6 +231,17 @@ TEST(ClusterSim, SingleTaskRuns) {
   EXPECT_EQ(cs.stats().tasks_unfinished, 0);
 }
 
+TEST(ClusterSim, SchedCountersAdvance) {
+  ClusterSim cs(fast_config());
+  cs.add_worker("w0", 0, 4);
+  for (int i = 0; i < 3; ++i) cs.add_task("t", 1.0);
+  cs.run();
+  EXPECT_GE(cs.stats().sched_passes, 1);
+  // Every task is scanned at least once before it dispatches; once
+  // dispatched it leaves the ready queue and costs no further scans.
+  EXPECT_GE(cs.stats().tasks_scanned, 3);
+}
+
 TEST(ClusterSim, TasksPackByCores) {
   ClusterSim cs(fast_config());
   cs.add_worker("w0", 0, 2);  // two cores

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Scheduling/catalog hot-path benchmark harness.
+#
+# Builds the relwithdebinfo preset, runs the micro_sched google-benchmark
+# suite at paper scale (up to 2000 workers), and writes BENCH_sched.json at
+# the repo root: items/sec per benchmark, next to the frozen pre-indexing
+# baseline, with the speedup factor per row.
+#
+# Usage:
+#   tools/bench.sh           # full run (benchmark_min_time=0.2 per case)
+#   tools/bench.sh --smoke   # CI smoke: one iteration per case, still
+#                            # exercising every benchmark end to end
+#
+# The baseline constants were measured on the pre-indexing scheduler (the
+# commit before the interned-token catalog landed) on the same machine
+# class the full run targets; regenerate them only when intentionally
+# re-baselining: git checkout <pre-indexing-sha> && run this script and
+# transplant the "current" numbers into BASELINE below.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+[[ "${1:-}" == "--smoke" ]] && SMOKE=1
+
+cmake --preset relwithdebinfo >/dev/null
+cmake --build --preset relwithdebinfo -j "$(nproc)" --target micro_sched >/dev/null
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+if [[ "$SMOKE" == 1 ]]; then
+  # One pass per case: validates the harness and the JSON plumbing without
+  # holding a CI runner for stable numbers.
+  ./build/bench/micro_sched --benchmark_format=json \
+    --benchmark_min_time=0.01 > "$RAW"
+else
+  ./build/bench/micro_sched --benchmark_format=json \
+    --benchmark_min_time=0.2 > "$RAW"
+fi
+
+SMOKE="$SMOKE" python3 - "$RAW" <<'PYEOF'
+import json, os, sys
+
+# items/sec on the pre-indexing scheduler (O(W x I) catalog probing,
+# per-call allocation in plan_source / workers_with).
+BASELINE = {
+    "BM_ReplicaTableUpdate": 1989739.78,
+    "BM_ReplicaTableLookup": 4680151.67,
+    "BM_TransferTableCycle": 2065400.42,
+    "BM_PickWorker/10": 2341917.55,
+    "BM_PickWorker/100": 263594.68,
+    "BM_PickWorker/500": 50657.04,
+    "BM_PickWorker/2000": 9263.81,
+    "BM_PlanSource": 769180.41,
+    "BM_TaskWireRoundTrip": 66035.76,
+}
+
+raw = json.load(open(sys.argv[1]))
+rows = {}
+for b in raw["benchmarks"]:
+    name = b["name"]
+    ips = b.get("items_per_second")
+    if ips is None:
+        continue
+    base = BASELINE.get(name)
+    rows[name] = {
+        "baseline_items_per_second": base,
+        "items_per_second": round(ips, 2),
+        "speedup": round(ips / base, 2) if base else None,
+    }
+
+out = {
+    "suite": "micro_sched",
+    "smoke": os.environ.get("SMOKE") == "1",
+    "context": raw.get("context", {}),
+    "benchmarks": rows,
+}
+with open("BENCH_sched.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+for name, r in rows.items():
+    s = f' ({r["speedup"]}x)' if r["speedup"] else ""
+    print(f'{name}: {r["items_per_second"]:.0f} items/s{s}')
+
+key = rows.get("BM_PickWorker/2000")
+if key and not out["smoke"] and key["speedup"] is not None and key["speedup"] < 5.0:
+    sys.exit(f'FAIL: BM_PickWorker/2000 speedup {key["speedup"]}x < 5x target')
+print("wrote BENCH_sched.json")
+PYEOF
