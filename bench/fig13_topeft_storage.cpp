@@ -11,6 +11,7 @@
 // task finishing and the workflow completing.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "apps/report.hpp"
@@ -38,6 +39,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--full")) params.scale = 1.0;  // ~27K tasks
     if (!std::strcmp(argv[i], "--quick")) params.scale = 0.02;
+    if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      params.workers = std::atoi(argv[++i]);  // bench.sh times 500 workers
+    }
   }
 
   auto shared = run_topeft(params, /*shared_storage=*/true);

@@ -21,12 +21,15 @@ ClusterSim::ClusterSim(SimConfig config)
       net_(sim_),
       scheduler_(config_.sched, config_.seed),
       rng_(config_.seed) {
-  net_.add_node("manager", config_.manager_nic_Bps, config_.manager_nic_Bps,
-                config_.stream_knee, config_.stream_beta);
-  net_.add_node("archive", config_.archive_Bps, config_.archive_Bps,
-                config_.stream_knee, config_.stream_beta);
-  net_.add_node("sharedfs", config_.sharedfs_Bps, config_.sharedfs_Bps,
-                config_.stream_knee, config_.stream_beta);
+  manager_node_ = net_.add_node("manager", config_.manager_nic_Bps,
+                                config_.manager_nic_Bps, config_.stream_knee,
+                                config_.stream_beta);
+  archive_node_ = net_.add_node("archive", config_.archive_Bps,
+                                config_.archive_Bps, config_.stream_knee,
+                                config_.stream_beta);
+  sharedfs_node_ = net_.add_node("sharedfs", config_.sharedfs_Bps,
+                                 config_.sharedfs_Bps, config_.stream_knee,
+                                 config_.stream_beta);
   net_.set_backplane(config_.backplane_Bps);
 }
 
@@ -116,8 +119,8 @@ void ClusterSim::worker_join(const std::string& id) {
   snap.total = w.total;
   snapshots_.push_back(std::move(snap));
   total_avail_cores_ += w.total.cores;
-  net_.add_node(id, config_.worker_nic_Bps, config_.worker_nic_Bps,
-                config_.stream_knee, config_.stream_beta);
+  w.node = net_.add_node(id, config_.worker_nic_Bps, config_.worker_nic_Bps,
+                         config_.stream_knee, config_.stream_beta);
   trace_.on_worker_join(id, sim_.now());
 
   // Deploy installed libraries to the newcomer (one instance each).
@@ -225,14 +228,19 @@ void ClusterSim::schedule_pass() {
   }
 }
 
-NodeId ClusterSim::source_node(const TransferSource& src, const SimFile* file) const {
+NodeToken ClusterSim::source_node(const TransferSource& src,
+                                  const SimFile* file) const {
   switch (src.kind) {
-    case TransferSource::Kind::manager: return "manager";
-    case TransferSource::Kind::worker: return src.key;
+    case TransferSource::Kind::manager: return manager_node_;
+    case TransferSource::Kind::worker: {
+      auto it = workers_.find(src.key);
+      return it != workers_.end() ? it->second.node : kInvalidNode;
+    }
     case TransferSource::Kind::url:
-      return file->origin == SimFile::Origin::sharedfs ? "sharedfs" : "archive";
+      return file->origin == SimFile::Origin::sharedfs ? sharedfs_node_
+                                                       : archive_node_;
   }
-  return "manager";
+  return manager_node_;
 }
 
 bool ClusterSim::ensure_file_at(const SimFile* file, const std::string& worker) {
@@ -319,8 +327,8 @@ void ClusterSim::start_fetch(const PendingFetch& fetch) {
     sim_.at(sim_.now() + duration, [this, fetch] { fetch_complete(fetch); });
     return;
   }
-  NodeId src = source_node(fetch.source, fetch.file);
-  net_.start_flow(src, fetch.dest, fetch.file->size,
+  const NodeToken src = source_node(fetch.source, fetch.file);
+  net_.start_flow(src, workers_.at(fetch.dest).node, fetch.file->size,
                   [this, fetch] { fetch_complete(fetch); });
 }
 
@@ -437,7 +445,8 @@ void ClusterSim::retrieve_output(const SimFile* file, const std::string& worker)
   // leaves the worker, so future consumers must pull it back from the
   // manager (the Figure 13a back-and-forth).
   trace_.on_transfer_start(worker, sim_.now());
-  net_.start_flow(worker, "manager", file->size, [this, file, worker] {
+  net_.start_flow(workers_.at(worker).node, manager_node_, file->size,
+                  [this, file, worker] {
     trace_.on_transfer_end(worker, sim_.now());
     ++stats_.retrievals_to_manager;
     stats_.bytes_to_manager += file->size;

@@ -173,6 +173,7 @@ class ClusterSim {
     vine::Resources total{
         .cores = 0, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
     std::size_t slot = 0;    ///< index into snapshots_; valid once joined
+    NodeToken node = kInvalidNode;  ///< flow-network port; valid once joined
     double join_at = 0;
     bool joined = false;
     int active_fetches = 0;  ///< fetches currently drawing on the NIC
@@ -210,11 +211,16 @@ class ClusterSim {
   void task_complete(TaskRun& run);
   void retrieve_output(const SimFile* file, const std::string& worker);
 
-  NodeId source_node(const vine::TransferSource& src, const SimFile* file) const;
+  NodeToken source_node(const vine::TransferSource& src, const SimFile* file) const;
 
   SimConfig config_;
   Simulation sim_;
   FlowNetwork net_;
+  // Fixed infrastructure ports, interned once at construction so the
+  // fetch/retrieval hot path never does a name lookup.
+  NodeToken manager_node_ = kInvalidNode;
+  NodeToken archive_node_ = kInvalidNode;
+  NodeToken sharedfs_node_ = kInvalidNode;
   vine::Scheduler scheduler_;
   vine::Rng rng_;
 

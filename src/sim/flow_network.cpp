@@ -1,95 +1,201 @@
 #include "sim/flow_network.hpp"
 
-#include <cmath>
+#include <algorithm>
+
+#include "common/log.hpp"
 
 namespace vinesim {
 
 namespace {
-constexpr double kEps = 1e-9;
+
+constexpr FlowId pack_flow(std::uint32_t gen, std::uint32_t slot) {
+  return (static_cast<FlowId>(gen) << 32) | slot;
 }
 
-void FlowNetwork::add_node(const NodeId& id, double egress_Bps, double ingress_Bps,
-                           int knee, double beta) {
-  Node n;
+}  // namespace
+
+NodeToken FlowNetwork::add_node(const NodeId& id, double egress_Bps,
+                                double ingress_Bps, int knee, double beta) {
+  const NodeToken token = names_.intern(id);
+  if (token >= nodes_.size()) nodes_.emplace_back();
+  Node& n = nodes_[token];
   n.egress_cap = egress_Bps;
   n.ingress_cap = ingress_Bps;
-  n.knee = knee;
-  n.beta = beta;
-  nodes_[id] = n;
+  n.knee = std::max(knee, 0);
+  n.beta = std::max(beta, 0.0);
+  n.alive = true;
+  return token;
 }
 
-int FlowNetwork::egress_flows(const NodeId& id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.egress_n;
+void FlowNetwork::remove_node(std::string_view id) {
+  remove_node(names_.lookup(id));
 }
 
-int FlowNetwork::ingress_flows(const NodeId& id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.ingress_n;
+void FlowNetwork::remove_node(NodeToken token) {
+  if (token < nodes_.size()) nodes_[token].alive = false;
 }
 
-std::int64_t FlowNetwork::bytes_sent_from(const NodeId& id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.bytes_sent;
+int FlowNetwork::egress_flows(NodeToken token) const {
+  return token < nodes_.size() ? nodes_[token].egress_n : 0;
+}
+
+int FlowNetwork::ingress_flows(NodeToken token) const {
+  return token < nodes_.size() ? nodes_[token].ingress_n : 0;
+}
+
+std::int64_t FlowNetwork::bytes_sent_from(NodeToken token) const {
+  return token < nodes_.size() ? nodes_[token].bytes_sent : 0;
 }
 
 FlowId FlowNetwork::start_flow(const NodeId& src, const NodeId& dst,
                                std::int64_t bytes,
                                std::function<void()> on_complete) {
-  auto sit = nodes_.find(src);
-  auto dit = nodes_.find(dst);
-  if (sit == nodes_.end() || dit == nodes_.end()) return 0;
+  return start_flow(names_.lookup(src), names_.lookup(dst), bytes,
+                    std::move(on_complete));
+}
 
-  FlowId id = next_flow_++;
-  Flow f;
+FlowId FlowNetwork::start_flow(NodeToken src, NodeToken dst, std::int64_t bytes,
+                               std::function<void()> on_complete) {
+  // kInvalidNode is 0xffffffff and the pool never reaches 4B nodes, so the
+  // range check covers unknown tokens too.
+  if (src >= nodes_.size() || dst >= nodes_.size()) return 0;
+  if (!nodes_[src].alive || !nodes_[dst].alive) return 0;
+  if (nodes_[src].egress_cap <= 0 || nodes_[dst].ingress_cap <= 0) {
+    // A zero-capacity port can never move a byte; scheduling the flow
+    // anyway would park its completion ~forever out and silently stall
+    // Simulation::run to its t_end. Reject loudly instead.
+    VINE_LOG_ERROR("flownet", "rejecting flow %s -> %s: zero-capacity port",
+                   names_.name(src).c_str(), names_.name(dst).c_str());
+    return 0;
+  }
+
+  // One-byte floor, applied to the transfer *and* the stats so the two
+  // never disagree about how much the port served.
+  const std::int64_t clamped = std::max<std::int64_t>(bytes, 1);
+
+  std::uint32_t slot;
+  if (!free_flows_.empty()) {
+    slot = free_flows_.back();
+    free_flows_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+  }
+  Flow& f = flows_[slot];
   f.src = src;
   f.dst = dst;
-  f.remaining = static_cast<double>(std::max<std::int64_t>(bytes, 1));
+  f.remaining = static_cast<double>(clamped);
+  f.rate = 0;
   f.last_update = sim_.now();
+  f.seq = next_seq_++;
+  f.completion = 0;
   f.on_complete = std::move(on_complete);
-  flows_.emplace(id, std::move(f));
-  ++sit->second.egress_n;
-  ++dit->second.ingress_n;
-  sit->second.bytes_sent += bytes;
-  rebalance();
-  return id;
+
+  Node& s = nodes_[src];
+  Node& d = nodes_[dst];
+  f.egress_pos = static_cast<std::uint32_t>(s.egress_list.size());
+  s.egress_list.push_back(slot);
+  f.ingress_pos = static_cast<std::uint32_t>(d.ingress_list.size());
+  d.ingress_list.push_back(slot);
+  ++s.egress_n;
+  ++d.ingress_n;
+  s.bytes_sent += clamped;
+  ++active_;
+
+  rebalance_ports(src, dst);
+  return pack_flow(flows_[slot].gen, slot);
 }
 
-void FlowNetwork::complete_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow flow = std::move(it->second);
-  flows_.erase(it);
-  --nodes_[flow.src].egress_n;
-  --nodes_[flow.dst].ingress_n;
-  rebalance();
-  if (flow.on_complete) flow.on_complete();
+void FlowNetwork::complete_flow(std::uint32_t slot, std::uint32_t gen) {
+  Flow& f = flows_[slot];
+  if (f.gen != gen || f.src == kInvalidNode) return;  // stale event (defensive)
+  const NodeToken src = f.src;
+  const NodeToken dst = f.dst;
+  auto on_complete = std::move(f.on_complete);
+
+  // Detach from both port lists by swap-removal, fixing the moved flow's
+  // recorded position (a no-op when the flow is the last element).
+  Node& s = nodes_[src];
+  Node& d = nodes_[dst];
+  const std::uint32_t moved_e = s.egress_list.back();
+  s.egress_list[f.egress_pos] = moved_e;
+  flows_[moved_e].egress_pos = f.egress_pos;
+  s.egress_list.pop_back();
+  const std::uint32_t moved_i = d.ingress_list.back();
+  d.ingress_list[f.ingress_pos] = moved_i;
+  flows_[moved_i].ingress_pos = f.ingress_pos;
+  d.ingress_list.pop_back();
+  --s.egress_n;
+  --d.ingress_n;
+  --active_;
+  ++f.gen;
+  f.src = kInvalidNode;
+  f.completion = 0;
+  f.on_complete = nullptr;
+  free_flows_.push_back(slot);
+
+  rebalance_ports(src, dst);
+  if (on_complete) on_complete();
 }
 
-void FlowNetwork::rebalance() {
-  double now = sim_.now();
-  for (auto& [id, f] : flows_) {
-    // Advance the flow at its old rate.
-    f.remaining -= f.rate * (now - f.last_update);
-    if (f.remaining < 0) f.remaining = 0;
-    f.last_update = now;
+void FlowNetwork::reschedule(std::uint32_t slot, Flow& f, double now,
+                             double new_rate) {
+  // Advance the flow at its old rate, then re-rate and move its completion.
+  f.remaining -= f.rate * (now - f.last_update);
+  if (f.remaining < 0) f.remaining = 0;
+  f.last_update = now;
+  if (f.completion) sim_.cancel(f.completion);
+  f.rate = new_rate;
+  const double finish_in = f.remaining / new_rate;
+  f.completion = sim_.at(
+      now + finish_in, [this, slot, gen = f.gen] { complete_flow(slot, gen); });
+}
 
+void FlowNetwork::rebalance_ports(NodeToken src, NodeToken dst) {
+  const double now = sim_.now();
+
+  // Gather the flows whose rate can have changed: the ones sharing the
+  // source's egress port or the destination's ingress port. A backplane
+  // cap couples every flow through the global count, so that case falls
+  // back to the full active set.
+  touched_.clear();
+  if (backplane_Bps_ > 0) {
+    for (std::uint32_t slot = 0; slot < flows_.size(); ++slot) {
+      if (flows_[slot].src != kInvalidNode) touched_.push_back(slot);
+    }
+  } else {
+    const Node& s = nodes_[src];
+    const Node& d = nodes_[dst];
+    touched_.insert(touched_.end(), s.egress_list.begin(), s.egress_list.end());
+    touched_.insert(touched_.end(), d.ingress_list.begin(), d.ingress_list.end());
+  }
+  // Process in start order — the iteration order of the pre-indexing
+  // global rebalance — so simultaneous completions keep the same FIFO
+  // ranks; a src->dst flow sits in both port lists, hence the dedup.
+  std::sort(touched_.begin(), touched_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return flows_[a].seq < flows_[b].seq;
+            });
+  touched_.erase(std::unique(touched_.begin(), touched_.end()), touched_.end());
+
+  for (const std::uint32_t slot : touched_) {
+    Flow& f = flows_[slot];
     const Node& s = nodes_[f.src];
     const Node& d = nodes_[f.dst];
-    double egress_share =
+    const double egress_share =
         s.egress_n > 0 ? s.effective_egress() / s.egress_n : s.egress_cap;
-    double ingress_share = d.ingress_n > 0 ? d.ingress_cap / d.ingress_n : d.ingress_cap;
+    const double ingress_share =
+        d.ingress_n > 0 ? d.ingress_cap / d.ingress_n : d.ingress_cap;
     double new_rate = std::min(egress_share, ingress_share);
-    if (backplane_Bps_ > 0 && !flows_.empty()) {
-      new_rate = std::min(new_rate,
-                          backplane_Bps_ / static_cast<double>(flows_.size()));
+    if (backplane_Bps_ > 0 && active_ > 0) {
+      new_rate =
+          std::min(new_rate, backplane_Bps_ / static_cast<double>(active_));
     }
-    new_rate = std::max(new_rate, kEps);
-
-    if (f.completion) sim_.cancel(f.completion);
-    double finish_in = f.remaining / new_rate;
-    f.rate = new_rate;
-    f.completion = sim_.at(now + finish_in, [this, id = id] { complete_flow(id); });
+    // Unchanged rate: the standing completion event is still exact; not
+    // touching the flow is what keeps the incremental engine bit-identical
+    // to a global recompute (no re-rounding of remaining bytes).
+    if (f.completion != 0 && new_rate == f.rate) continue;
+    reschedule(slot, f, now, new_rate);
   }
 }
 

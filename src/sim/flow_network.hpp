@@ -10,28 +10,50 @@
 // concurrent transfers per source keeps per-flow bandwidth high
 // (Figure 11c).
 //
-// Rates are recomputed lazily whenever any flow starts or ends: remaining
-// bytes of affected flows are advanced at the old rate first, then
-// completion events are rescheduled at the new rate.
+// Rebalancing is incremental: a flow's rate depends only on its source's
+// egress fan-out, its destination's ingress fan-out, and (when a backplane
+// cap is configured) the global flow count — so a flow start or end
+// re-rates only the flows on the two touched ports, found through dense
+// per-node flow lists, instead of every flow in the air. A re-rated flow
+// first advances its remaining bytes at the old rate, then its completion
+// event is rescheduled at the new rate; flows whose rate is unchanged are
+// untouched, which leaves their remaining-bytes arithmetic and completion
+// schedule bit-identical to a global recompute (the flow parity test pins
+// this against a whole-network reference rebalancer).
+//
+// Node names are interned to dense uint32 tokens (common/intern.hpp);
+// nodes and flows live in vector-indexed pools. Hot callers (ClusterSim)
+// resolve tokens once and use the token overloads; the string overloads
+// remain for convenience and tests.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/intern.hpp"
 #include "sim/simulation.hpp"
 
 namespace vinesim {
 
 using NodeId = std::string;
+/// Dense node handle from add_node()/node(); kInvalidNode when unknown.
+using NodeToken = std::uint32_t;
+inline constexpr NodeToken kInvalidNode = vine::Interner::npos;
+
 using FlowId = std::uint64_t;
 
 class FlowNetwork {
  public:
   explicit FlowNetwork(Simulation& sim) : sim_(sim) {}
 
-  /// Register a node with its egress/ingress capacities in bytes/second.
+  /// Register a node with its egress/ingress capacities in bytes/second
+  /// and get its dense token. Capacities must be positive: a zero-capacity
+  /// port can never complete a flow, so flows through it are rejected at
+  /// start_flow (see below). Re-adding an existing name updates the
+  /// capacities (and revives a removed node) without disturbing flows.
   ///
   /// `knee`/`beta` model serving-efficiency collapse under heavy stream
   /// fan-out (TCP contention, server overload — the effect that made
@@ -40,32 +62,58 @@ class FlowNetwork {
   ///   cap                          when n <= knee (or knee == 0),
   ///   cap*(knee + (n-knee)*beta)/n otherwise,
   /// i.e. each stream beyond the knee contributes only `beta` of a full
-  /// stream's worth of service capacity.
-  void add_node(const NodeId& id, double egress_Bps, double ingress_Bps,
-                int knee = 0, double beta = 1.0);
+  /// stream's worth of service capacity. Negative knee/beta are clamped
+  /// to 0 so an effective egress can never go negative.
+  NodeToken add_node(const NodeId& id, double egress_Bps, double ingress_Bps,
+                     int knee = 0, double beta = 1.0);
+
+  /// Token for a registered node name, or kInvalidNode.
+  NodeToken node(std::string_view id) const { return names_.lookup(id); }
 
   /// Cap the fabric's aggregate cross-node bandwidth (an oversubscribed
   /// core switch). 0 (default) = unconstrained. Shared equally by all
   /// active flows.
   void set_backplane(double cap_Bps) { backplane_Bps_ = cap_Bps; }
 
-  /// Remove a node (its flows complete normally; new flows are rejected).
-  bool has_node(const NodeId& id) const { return nodes_.count(id) > 0; }
+  /// Remove a node: its in-flight flows complete normally (the port keeps
+  /// serving them), but new flows to or from it are rejected and
+  /// has_node() reports false. Unknown names are a no-op.
+  void remove_node(std::string_view id);
+  void remove_node(NodeToken token);
+
+  bool has_node(std::string_view id) const {
+    const NodeToken t = names_.lookup(id);
+    return t != kInvalidNode && nodes_[t].alive;
+  }
 
   /// Start a flow of `bytes` from `src` to `dst`; `on_complete` fires at
-  /// the simulated completion time. Returns 0 if either node is unknown.
+  /// the simulated completion time. `bytes` is clamped to a 1-byte minimum
+  /// (both for the transfer and the bytes_sent stats). Returns 0 without
+  /// starting anything when either node is unknown or removed, or when a
+  /// port has zero capacity (which could never complete — rejected loudly
+  /// rather than stalling the simulation; see add_node).
+  FlowId start_flow(NodeToken src, NodeToken dst, std::int64_t bytes,
+                    std::function<void()> on_complete);
   FlowId start_flow(const NodeId& src, const NodeId& dst, std::int64_t bytes,
                     std::function<void()> on_complete);
 
   /// Number of flows currently leaving / entering a node.
-  int egress_flows(const NodeId& id) const;
-  int ingress_flows(const NodeId& id) const;
+  int egress_flows(NodeToken token) const;
+  int ingress_flows(NodeToken token) const;
+  int egress_flows(std::string_view id) const { return egress_flows(names_.lookup(id)); }
+  int ingress_flows(std::string_view id) const { return ingress_flows(names_.lookup(id)); }
 
   /// Total flows in the air.
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return active_; }
 
-  /// Total bytes ever sent from a node (stats).
-  std::int64_t bytes_sent_from(const NodeId& id) const;
+  /// Total bytes ever sent from a node (stats; clamped like the flows).
+  std::int64_t bytes_sent_from(NodeToken token) const;
+  std::int64_t bytes_sent_from(std::string_view id) const {
+    return bytes_sent_from(names_.lookup(id));
+  }
+
+  /// Flow-slot pool size (diagnostics) — bounded by peak concurrency.
+  std::size_t flow_pool_size() const { return flows_.size(); }
 
  private:
   struct Node {
@@ -76,6 +124,12 @@ class FlowNetwork {
     int egress_n = 0;
     int ingress_n = 0;
     std::int64_t bytes_sent = 0;
+    bool alive = true;
+    // Dense lists of flow slots using this node as src / dst; a flow
+    // records its position in each for O(1) swap-removal. These are what
+    // a rebalance walks instead of every flow in the network.
+    std::vector<std::uint32_t> egress_list;
+    std::vector<std::uint32_t> ingress_list;
 
     /// Aggregate egress available at the current fan-out.
     double effective_egress() const {
@@ -85,22 +139,34 @@ class FlowNetwork {
   };
 
   struct Flow {
-    NodeId src, dst;
-    double remaining = 0;  ///< bytes still to move
+    NodeToken src = kInvalidNode;
+    NodeToken dst = kInvalidNode;
+    double remaining = 0;  ///< bytes still to move as of last_update
     double rate = 0;       ///< bytes/second as of last_update
     double last_update = 0;
+    std::uint64_t seq = 0;       ///< start order; rebalance iterates by it
+    std::uint32_t gen = 1;       ///< validates FlowIds across slot reuse
+    std::uint32_t egress_pos = 0;   ///< index in nodes_[src].egress_list
+    std::uint32_t ingress_pos = 0;  ///< index in nodes_[dst].ingress_list
     EventId completion = 0;
     std::function<void()> on_complete;
   };
 
-  void rebalance();
-  void complete_flow(FlowId id);
+  /// Re-rate the flows affected by a fan-out change on `src`/`dst` (all
+  /// active flows when a backplane cap makes rates globally coupled).
+  void rebalance_ports(NodeToken src, NodeToken dst);
+  void reschedule(std::uint32_t slot, Flow& f, double now, double new_rate);
+  void complete_flow(std::uint32_t slot, std::uint32_t gen);
 
   Simulation& sim_;
-  std::map<NodeId, Node> nodes_;
-  std::map<FlowId, Flow> flows_;
+  vine::Interner names_;        // node name <-> token
+  std::vector<Node> nodes_;     // indexed by token
+  std::vector<Flow> flows_;     // slot pool, recycled through free_flows_
+  std::vector<std::uint32_t> free_flows_;
+  std::vector<std::uint32_t> touched_;  // rebalance scratch (no per-call alloc)
+  std::size_t active_ = 0;
+  std::uint64_t next_seq_ = 1;
   double backplane_Bps_ = 0;
-  FlowId next_flow_ = 1;
 };
 
 }  // namespace vinesim

@@ -2,31 +2,62 @@
 
 namespace vinesim {
 
-EventId Simulation::at(double t, std::function<void()> fn) {
-  if (t < now()) t = now();
-  EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  return id;
+namespace {
+
+constexpr EventId pack_id(std::uint32_t gen, std::uint32_t slot) {
+  return (static_cast<EventId>(gen) << 32) | slot;
 }
 
-void Simulation::cancel(EventId id) { cancelled_.insert(id); }
+}  // namespace
+
+EventId Simulation::at(double t, std::function<void()> fn) {
+  if (t < now()) t = now();
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  queue_.push(Entry{t, next_seq_++, slot, s.gen});
+  ++live_;
+  return pack_id(s.gen, slot);
+}
+
+void Simulation::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;  // never issued
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.fn) return;  // already fired or cancelled
+  ++s.gen;  // the heap entry is now stale; dropped when it surfaces
+  s.fn = nullptr;
+  free_slots_.push_back(slot);
+  --live_;
+}
 
 double Simulation::run(double t_end) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (t_end >= 0 && top.time > t_end) break;
-
-    double t = top.time;
-    EventId id = top.id;
-    auto fn = std::move(const_cast<Event&>(top).fn);
-    queue_.pop();
-    clock_.advance_to(t);
-
-    auto it = cancelled_.find(id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
+    const Entry top = queue_.top();
+    Slot& s = slots_[top.slot];
+    if (s.gen != top.gen) {  // cancelled: discard without advancing time
+      queue_.pop();
       continue;
     }
+    if (t_end >= 0 && top.time > t_end) break;
+
+    queue_.pop();
+    clock_.advance_to(top.time);
+    // Retire the slot before invoking: the callback may cancel its own id
+    // (harmless no-op) or schedule new events that reuse the slot.
+    auto fn = std::move(s.fn);
+    s.fn = nullptr;
+    ++s.gen;
+    free_slots_.push_back(top.slot);
+    --live_;
     ++processed_;
     fn();
   }

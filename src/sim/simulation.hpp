@@ -1,19 +1,29 @@
 // Discrete-event simulation core. Deterministic: events at equal times fire
-// in scheduling order (sequence numbers break ties), and all randomness
-// comes from a seeded Rng, so a run is reproducible bit-for-bit.
+// in scheduling order (a monotonic sequence number breaks ties), and all
+// randomness comes from a seeded Rng, so a run is reproducible bit-for-bit.
+//
+// Cancellation is generation-stamped and lazy: cancel() invalidates the
+// event's slot in O(1) and the stale heap entry is discarded when it
+// reaches the top — no tombstone set that grows with cancel history, and
+// cancelling an already-fired or never-issued id is a free no-op. Heap
+// entries are 24-byte PODs (time, sequence, slot, generation); callbacks
+// live in a recycled slot pool and never move during heap sifts, so the
+// pool's size is bounded by peak concurrency, not by run length.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/clock.hpp"
 
 namespace vinesim {
 
-/// Identifies a scheduled event so it can be cancelled.
+/// Identifies a scheduled event so it can be cancelled. Packs the slot
+/// index in the low 32 bits and the slot's generation at scheduling time
+/// in the high 32. Generations start at 1, so a valid EventId is never 0
+/// and 0 works as a "no event" sentinel.
 using EventId = std::uint64_t;
 
 class Simulation {
@@ -24,34 +34,55 @@ class Simulation {
   /// Schedule `fn` after a delay (>= 0).
   EventId after(double dt, std::function<void()> fn) { return at(now() + dt, std::move(fn)); }
 
-  /// Cancel a pending event; no-op if it already fired or was cancelled.
+  /// Cancel a pending event. O(1); a no-op (with no memory footprint) if
+  /// the event already fired, was already cancelled, or never existed.
   void cancel(EventId id);
 
   /// Run until the queue drains or `t_end` is reached (infinity default).
-  /// Returns the final simulation time.
+  /// Returns the final simulation time. Cancelled events are skipped
+  /// without advancing the clock.
   double run(double t_end = -1);
 
   double now() const { return clock_.now(); }
 
-  /// Number of events processed so far (diagnostics).
+  /// Number of events executed so far (diagnostics).
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Events scheduled and not yet fired or cancelled.
+  std::size_t pending() const { return live_; }
+
+  /// Callback slots allocated (diagnostics). Bounded by the peak number of
+  /// simultaneously pending events — the tombstone-regression tests pin
+  /// that cancel churn does not grow this.
+  std::size_t slot_pool_size() const { return slots_.size(); }
+
  private:
-  struct Event {
+  /// POD heap entry; the callback stays in slots_ and never moves during
+  /// heap sifts. An entry is stale (cancelled or superseded) when its
+  /// generation no longer matches its slot's.
+  struct Entry {
     double time;
-    EventId id;
-    std::function<void()> fn;
-    bool operator>(const Event& other) const {
+    std::uint64_t seq;  ///< FIFO among simultaneous events
+    std::uint32_t slot;
+    std::uint32_t gen;
+    bool operator>(const Entry& other) const {
       if (time != other.time) return time > other.time;
-      return id > other.id;  // FIFO among simultaneous events
+      return seq > other.seq;
     }
   };
 
+  struct Slot {
+    std::uint32_t gen = 1;      ///< bumped on fire/cancel to invalidate
+    std::function<void()> fn;   ///< empty while the slot is free
+  };
+
   vine::ManualClock clock_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
 };
 
 }  // namespace vinesim

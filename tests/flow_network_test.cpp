@@ -1,0 +1,279 @@
+// Dedicated FlowNetwork coverage: per-port fair sharing, knee/beta egress
+// collapse, backplane sharing, node removal semantics, the dense token
+// API, and the byte-clamp / zero-capacity regressions — previously only
+// exercised indirectly through sim_test.cpp's ClusterSim runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/flow_network.hpp"
+#include "sim/simulation.hpp"
+
+namespace vinesim {
+namespace {
+
+// ------------------------------------------------------- fair sharing
+
+TEST(FlowNetworkShare, PerPortSharingIsIndependent) {
+  // Two flows share src-a's egress; a third on disjoint ports keeps its
+  // full bandwidth — per-port sharing, not global sharing.
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("a", 100.0, 100.0);
+  net.add_node("c", 1000.0, 1000.0);
+  net.add_node("d", 1000.0, 1000.0);
+  net.add_node("e", 1000.0, 1000.0);
+  net.add_node("f", 1000.0, 1000.0);
+  double t1 = -1, t2 = -1, t3 = -1;
+  net.start_flow("a", "c", 500, [&] { t1 = sim.now(); });
+  net.start_flow("a", "d", 500, [&] { t2 = sim.now(); });
+  net.start_flow("e", "f", 5000, [&] { t3 = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(t1, 10.0, 1e-9);  // 500 B at 50 B/s (egress split 2 ways)
+  EXPECT_NEAR(t2, 10.0, 1e-9);
+  EXPECT_NEAR(t3, 5.0, 1e-9);  // untouched by a's congestion: 5000 at 1000
+}
+
+TEST(FlowNetworkShare, IngressSideGoverns) {
+  // Many sources into one sink: the sink's ingress cap splits.
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("sink", 1000.0, 100.0);
+  for (int i = 0; i < 4; ++i) {
+    net.add_node("s" + std::to_string(i), 1000.0, 1000.0);
+  }
+  std::vector<double> done(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    net.start_flow("s" + std::to_string(i), "sink", 250,
+                   [&done, i, &sim] { done[i] = sim.now(); });
+  }
+  sim.run();
+  for (double t : done) EXPECT_NEAR(t, 10.0, 1e-9);  // 250 B at 100/4 B/s
+}
+
+TEST(FlowNetworkShare, StaggeredStartAdvancesAtOldRate) {
+  // A flow re-rated mid-life must advance its remaining bytes at the old
+  // rate up to the re-rate instant. 1000 B at 100 B/s alone for 2 s
+  // (200 B moved), then sharing (50 B/s) for the remaining 800 B.
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("src", 100.0, 100.0);
+  net.add_node("d1", 1000.0, 1000.0);
+  net.add_node("d2", 1000.0, 1000.0);
+  double t1 = -1, t2 = -1;
+  net.start_flow("src", "d1", 1000, [&] { t1 = sim.now(); });
+  sim.at(2.0, [&] { net.start_flow("src", "d2", 400, [&] { t2 = sim.now(); }); });
+  sim.run();
+  // Flow 2: 400 B at 50 B/s -> done at 2+8=10. Flow 1: 800 B left at t=2,
+  // 50 B/s until t=10 (400 B), then 100 B/s for the last 400 B -> t=14.
+  EXPECT_NEAR(t2, 10.0, 1e-9);
+  EXPECT_NEAR(t1, 14.0, 1e-9);
+}
+
+// ------------------------------------------------------- knee / beta
+
+TEST(FlowNetworkKnee, EgressCollapsesBeyondKnee) {
+  // cap 100, knee 2, beta 0.5, 4 streams: effective egress =
+  // 100*(2 + 2*0.5)/4 = 75 -> 18.75 B/s per stream.
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("srv", 100.0, 100.0, /*knee=*/2, /*beta=*/0.5);
+  std::vector<double> done(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    net.add_node("w" + std::to_string(i), 1000.0, 1000.0);
+    net.start_flow("srv", "w" + std::to_string(i), 75,
+                   [&done, i, &sim] { done[i] = sim.now(); });
+  }
+  sim.run();
+  for (double t : done) EXPECT_NEAR(t, 4.0, 1e-9);  // 75 B at 18.75 B/s
+}
+
+TEST(FlowNetworkKnee, AtOrBelowKneeFullCapacity) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("srv", 100.0, 100.0, /*knee=*/2, /*beta=*/0.25);
+  net.add_node("w0", 1000.0, 1000.0);
+  net.add_node("w1", 1000.0, 1000.0);
+  double t0 = -1, t1 = -1;
+  net.start_flow("srv", "w0", 100, [&] { t0 = sim.now(); });
+  net.start_flow("srv", "w1", 100, [&] { t1 = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(t0, 2.0, 1e-9);  // two streams == knee: full 50 B/s each
+  EXPECT_NEAR(t1, 2.0, 1e-9);
+}
+
+// ------------------------------------------------------- backplane
+
+TEST(FlowNetworkBackplane, SharedEquallyAcrossDisjointPorts) {
+  // Two flows on disjoint port pairs, each port good for 100 B/s, but a
+  // 100 B/s fabric backplane splits between them.
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("a", 100.0, 100.0);
+  net.add_node("b", 100.0, 100.0);
+  net.add_node("c", 100.0, 100.0);
+  net.add_node("d", 100.0, 100.0);
+  net.set_backplane(100.0);
+  double t1 = -1, t2 = -1;
+  net.start_flow("a", "b", 100, [&] { t1 = sim.now(); });
+  net.start_flow("c", "d", 500, [&] { t2 = sim.now(); });
+  sim.run();
+  // Phase 1: 50 B/s each; flow 1 done at t=2. Flow 2 then owns the full
+  // backplane: 400 B left at 100 B/s -> t=6.
+  EXPECT_NEAR(t1, 2.0, 1e-9);
+  EXPECT_NEAR(t2, 6.0, 1e-9);
+}
+
+TEST(FlowNetworkBackplane, UnconstrainedWhenZero) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("a", 100.0, 100.0);
+  net.add_node("b", 100.0, 100.0);
+  net.set_backplane(0);
+  double t = -1;
+  net.start_flow("a", "b", 1000, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(t, 10.0, 1e-9);
+}
+
+// ------------------------------------------------------- node removal
+
+TEST(FlowNetworkRemoval, InFlightFlowsCompleteNewFlowsRejected) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("a", 100.0, 100.0);
+  net.add_node("b", 100.0, 100.0);
+  double t = -1;
+  ASSERT_NE(net.start_flow("a", "b", 1000, [&] { t = sim.now(); }), 0u);
+  net.remove_node("a");
+  EXPECT_FALSE(net.has_node("a"));
+  EXPECT_TRUE(net.has_node("b"));
+  // New flows touching the removed node are rejected in both directions.
+  EXPECT_EQ(net.start_flow("a", "b", 10, [] {}), 0u);
+  EXPECT_EQ(net.start_flow("b", "a", 10, [] {}), 0u);
+  sim.run();
+  EXPECT_NEAR(t, 10.0, 1e-9);  // the in-flight flow still served at full rate
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(FlowNetworkRemoval, ReAddRevivesNode) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  const NodeToken a = net.add_node("a", 100.0, 100.0);
+  net.add_node("b", 100.0, 100.0);
+  net.remove_node("a");
+  EXPECT_FALSE(net.has_node("a"));
+  EXPECT_EQ(net.add_node("a", 200.0, 200.0), a);  // same token, new caps
+  EXPECT_TRUE(net.has_node("a"));
+  double t = -1;
+  net.start_flow("a", "b", 1000, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(t, 10.0, 1e-9);  // ingress of b (100 B/s) governs
+}
+
+TEST(FlowNetworkRemoval, UnknownNameNoOp) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("a", 1, 1);
+  net.remove_node("ghost");  // must not crash or disturb anything
+  EXPECT_TRUE(net.has_node("a"));
+}
+
+// ------------------------------------------------------- token API
+
+TEST(FlowNetworkTokens, DenseTokensRoundTrip) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  const NodeToken a = net.add_node("a", 100.0, 100.0);
+  const NodeToken b = net.add_node("b", 100.0, 100.0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(net.node("a"), a);
+  EXPECT_EQ(net.node("b"), b);
+  EXPECT_EQ(net.node("ghost"), kInvalidNode);
+
+  double t = -1;
+  ASSERT_NE(net.start_flow(a, b, 1000, [&] { t = sim.now(); }), 0u);
+  EXPECT_EQ(net.egress_flows(a), 1);
+  EXPECT_EQ(net.ingress_flows(b), 1);
+  sim.run();
+  EXPECT_NEAR(t, 10.0, 1e-9);
+  EXPECT_EQ(net.bytes_sent_from(a), 1000);
+  // Unknown tokens are rejected exactly like unknown names.
+  EXPECT_EQ(net.start_flow(kInvalidNode, b, 10, [] {}), 0u);
+  EXPECT_EQ(net.start_flow(a, static_cast<NodeToken>(999), 10, [] {}), 0u);
+}
+
+TEST(FlowNetworkTokens, FlowPoolRecyclesSlots) {
+  // Sequential flow churn must reuse flow slots, not grow the pool.
+  Simulation sim;
+  FlowNetwork net(sim);
+  const NodeToken a = net.add_node("a", 1e6, 1e6);
+  const NodeToken b = net.add_node("b", 1e6, 1e6);
+  int completed = 0;
+  std::function<void()> next = [&] {
+    ++completed;
+    if (completed < 1000) net.start_flow(a, b, 100, next);
+  };
+  net.start_flow(a, b, 100, next);
+  sim.run();
+  EXPECT_EQ(completed, 1000);
+  EXPECT_LE(net.flow_pool_size(), 2u);
+  EXPECT_LE(sim.slot_pool_size(), 4u);
+}
+
+// ----------------------------------------- regressions (satellite fixes)
+
+TEST(FlowNetworkBytes, ZeroAndNegativeBytesClampConsistently) {
+  // `remaining` was always clamped to >= 1 byte but bytes_sent once added
+  // the raw value; both must see the same clamped amount.
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("a", 100.0, 100.0);
+  net.add_node("b", 100.0, 100.0);
+  int done = 0;
+  net.start_flow("a", "b", 0, [&] { ++done; });
+  net.start_flow("a", "b", -42, [&] { ++done; });
+  net.start_flow("a", "b", 100, [&] { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(net.bytes_sent_from("a"), 1 + 1 + 100);
+}
+
+TEST(FlowNetworkZeroCap, ZeroCapacityPortRejectedNotStalled) {
+  // A zero-capacity port used to fall into the epsilon-rate fallback and
+  // schedule completion ~1e9 x remaining seconds out, silently stalling
+  // Simulation::run. It must be rejected up front with nothing scheduled.
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("dead_egress", 0.0, 100.0);
+  net.add_node("dead_ingress", 100.0, 0.0);
+  net.add_node("ok", 100.0, 100.0);
+  bool fired = false;
+  EXPECT_EQ(net.start_flow("dead_egress", "ok", 100, [&] { fired = true; }), 0u);
+  EXPECT_EQ(net.start_flow("ok", "dead_ingress", 100, [&] { fired = true; }), 0u);
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_EQ(net.egress_flows("ok"), 0);
+  EXPECT_EQ(net.ingress_flows("ok"), 0);
+  EXPECT_EQ(net.bytes_sent_from("dead_egress"), 0);
+  EXPECT_EQ(sim.pending(), 0u);  // no ghost completion parked in the queue
+  const double end = sim.run(1e6);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(end, 1e6);  // run reaches its bound; nothing ever scheduled
+}
+
+TEST(FlowNetworkZeroCap, HealthyFlowsUnaffectedByRejectedOnes) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  net.add_node("dead", 0.0, 0.0);
+  net.add_node("a", 100.0, 100.0);
+  net.add_node("b", 100.0, 100.0);
+  double t = -1;
+  EXPECT_EQ(net.start_flow("dead", "b", 100, [] {}), 0u);
+  net.start_flow("a", "b", 1000, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(t, 10.0, 1e-9);  // rejected flow left no fan-out residue
+}
+
+}  // namespace
+}  // namespace vinesim

@@ -3,6 +3,8 @@
 // caching, transfer limits, libraries, retrieval modes).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "sim/cluster_sim.hpp"
 #include "sim/flow_network.hpp"
 #include "sim/simulation.hpp"
@@ -54,6 +56,59 @@ TEST(Simulation, CancelPreventsFiring) {
   sim.cancel(id);
   sim.run();
   EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelledEventDoesNotAdvanceClock) {
+  // A cancelled event's stale heap entry is discarded without the clock
+  // ever visiting its timestamp.
+  Simulation sim;
+  auto id = sim.at(5.0, [] {});
+  double seen = -1;
+  sim.at(2.0, [&] { seen = sim.now(); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(seen, 2.0);
+  EXPECT_EQ(sim.now(), 2.0);  // never advanced to the cancelled t=5
+}
+
+TEST(Simulation, CancelOfFiredOrBogusIdsLeavesNoResidue) {
+  // Cancelling an already-fired event or a garbage id must be a no-op:
+  // no permanent tombstone, no pending-count drift, no pool growth.
+  Simulation sim;
+  int fired = 0;
+  auto id = sim.at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+
+  sim.cancel(id);                // already fired
+  sim.cancel(id);                // twice
+  sim.cancel(0);                 // never a valid id
+  sim.cancel(~std::uint64_t{0});  // out-of-range slot
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // The slot is genuinely free again: new events reuse it and fire.
+  auto id2 = sim.at(2.0, [&] { ++fired; });
+  EXPECT_NE(id2, id);  // generation stamp distinguishes reincarnations
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, ScheduleCancelChurnKeepsPoolBounded) {
+  // The old core kept every cancelled id in a tombstone set forever; the
+  // slot pool must instead stay bounded by peak concurrency under churn.
+  Simulation sim;
+  for (int round = 0; round < 10000; ++round) {
+    auto a = sim.at(1.0, [] {});
+    auto b = sim.at(1.0, [] {});
+    sim.cancel(a);
+    sim.cancel(b);
+    sim.cancel(a);  // double-cancel mixed in
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_LE(sim.slot_pool_size(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.now(), 0.0);  // nothing live, nothing fired, no clock motion
 }
 
 TEST(Simulation, RunUntilBound) {
