@@ -1,0 +1,103 @@
+#include "common/faults.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vine::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::worker_crash: return "worker_crash";
+    case FaultKind::worker_hang: return "worker_hang";
+    case FaultKind::worker_rejoin: return "worker_rejoin";
+    case FaultKind::peer_fail: return "peer_fail";
+    case FaultKind::peer_stall: return "peer_stall";
+    case FaultKind::frame_corrupt: return "frame_corrupt";
+    case FaultKind::msg_delay: return "msg_delay";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s@%.6f w%d after=%d dur=%.6f",
+                faults::to_string(kind), at, worker, after_tasks, duration);
+  return buf;
+}
+
+FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
+  FaultPlan plan;
+  Rng rng(config.seed);
+  const int workers = std::max(1, config.workers);
+  const double horizon = config.horizon > 0 ? config.horizon : 1.0;
+
+  for (int i = 0; i < config.crashes; ++i) {
+    FaultEvent ev;
+    ev.kind = rng.chance(config.hang_chance) ? FaultKind::worker_hang
+                                             : FaultKind::worker_crash;
+    ev.at = rng.uniform(0.05, 0.9) * horizon;
+    ev.worker = static_cast<int>(rng.below(static_cast<std::uint64_t>(workers)));
+    // Occasionally trigger on a task-completion count instead of the clock.
+    if (rng.chance(0.25)) ev.after_tasks = 1 + static_cast<int>(rng.below(3));
+    plan.events_.push_back(ev);
+    if (config.rejoin_mean > 0 && ev.kind == FaultKind::worker_crash) {
+      FaultEvent back;
+      back.kind = FaultKind::worker_rejoin;
+      back.worker = ev.worker;
+      back.duration = 0.1 + rng.exponential(config.rejoin_mean);
+      back.at = ev.at + back.duration;
+      plan.events_.push_back(back);
+    }
+  }
+
+  for (int i = 0; i < config.peer_faults; ++i) {
+    FaultEvent ev;
+    const std::uint64_t pick = rng.below(3);
+    ev.kind = pick == 0   ? FaultKind::peer_fail
+              : pick == 1 ? FaultKind::peer_stall
+                          : FaultKind::frame_corrupt;
+    ev.at = rng.uniform(0.05, 0.95) * horizon;
+    ev.worker = static_cast<int>(rng.below(static_cast<std::uint64_t>(workers)));
+    ev.duration = config.stall_timeout;
+    plan.events_.push_back(ev);
+  }
+
+  for (int i = 0; i < config.delays; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::msg_delay;
+    ev.at = rng.uniform(0.05, 0.95) * horizon;
+    ev.worker = static_cast<int>(rng.below(static_cast<std::uint64_t>(workers)));
+    ev.duration = rng.uniform(0.01, 0.2) * horizon;
+    plan.events_.push_back(ev);
+  }
+
+  // stable_sort so same-time events keep generation order — part of the
+  // determinism contract.
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultEvent& ev : events_) {
+    out += ev.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+bool WorkerFaults::take(std::atomic<int>& budget) {
+  int cur = budget.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (budget.compare_exchange_weak(cur, cur - 1,
+                                     std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vine::faults

@@ -1,0 +1,107 @@
+// Deterministic fault injection (vine::faults), shared by the runtime and
+// the cluster simulator. A FaultPlan is a seeded, pre-generated schedule of
+// fault events — worker crashes/hangs/rejoins, peer-transfer failures and
+// mid-stream stalls, frame corruption, message delays — that the runtime
+// chaos harness replays against a LocalCluster in wall-clock time and
+// ClusterSim replays as discrete events in virtual time. The plan is a pure
+// function of its config (vine::Rng only, no wall clock), so the same seed
+// produces byte-identical schedules everywhere; vinesim replays are asserted
+// bit-deterministic on top of it.
+//
+// WorkerFaults is the runtime-side injection surface: a worker holding a
+// handle consults the counters at its peer-serving and fetch hooks and
+// misbehaves accordingly (drop the connection, corrupt the blob, stall
+// mid-stream). Counters are one-shot budgets consumed with a CAS, so a storm
+// arms exactly the number of faults the plan scheduled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vine::faults {
+
+enum class FaultKind : std::uint8_t {
+  worker_crash,   ///< worker process dies; connection drops
+  worker_hang,    ///< worker stays connected but goes silent (no heartbeat)
+  worker_rejoin,  ///< a previously crashed/hung worker reconnects, cache empty
+  peer_fail,      ///< a peer transfer aborts before any payload arrives
+  peer_stall,     ///< a peer transfer stops mid-stream; receiver must time out
+  frame_corrupt,  ///< a transferred blob arrives with flipped bytes
+  msg_delay,      ///< a control message is delivered late
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault. `at` is seconds from workflow start (virtual time in
+/// the simulator, scaled wall-clock time in the runtime harness). A crash
+/// with `after_tasks >= 0` instead triggers once the target worker has
+/// completed that many tasks. `worker` indexes the cluster's worker list
+/// modulo its size, so one plan applies to any cluster shape.
+struct FaultEvent {
+  FaultKind kind = FaultKind::worker_crash;
+  double at = 0;
+  int after_tasks = -1;  ///< >= 0: trigger on the Nth completion instead of `at`
+  int worker = 0;        ///< target worker index (mod cluster size)
+  double duration = 0;   ///< rejoin delay / stall or message-delay length
+
+  std::string to_string() const;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  int workers = 4;        ///< worker indices are drawn in [0, workers)
+  double horizon = 10.0;  ///< events are spread over (0, horizon] seconds
+
+  int crashes = 2;         ///< worker_crash / worker_hang events
+  int peer_faults = 2;     ///< peer_fail / peer_stall / frame_corrupt events
+  int delays = 1;          ///< msg_delay events
+  double hang_chance = 0.3;    ///< fraction of "crashes" that hang instead
+  double rejoin_mean = 0.0;    ///< > 0: crashed workers rejoin after ~Exp(mean)
+  double stall_timeout = 1.0;  ///< how long a stalled transfer stays wedged
+};
+
+/// A deterministic, time-sorted schedule of fault events.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Generate the plan for `config`. Same config (seed included) -> same
+  /// event sequence, on every platform.
+  static FaultPlan generate(const FaultPlanConfig& config);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Canonical text form, used to assert replay determinism.
+  std::string to_string() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Runtime injection knobs consulted by Worker at its transfer hooks. Each
+/// counter is a budget of faults left to inject; take() consumes one. The
+/// struct is shared (manager-side chaos harness arms it, worker threads
+/// consume it), hence the atomics.
+struct WorkerFaults {
+  std::atomic<int> fail_peer_serves{0};    ///< close on GET without replying
+  std::atomic<int> corrupt_peer_blobs{0};  ///< serve a blob with a flipped byte
+  std::atomic<int> stall_peer_serves{0};   ///< send header, then go silent
+  std::atomic<int> stall_ms{500};          ///< how long a stall stays silent
+
+  /// Observability for tests: how many faults actually fired.
+  std::atomic<int> injected{0};
+
+  /// Consume one unit from `budget` if any remain.
+  static bool take(std::atomic<int>& budget);
+};
+
+using WorkerFaultsHandle = std::shared_ptr<WorkerFaults>;
+
+}  // namespace vine::faults

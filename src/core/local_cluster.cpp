@@ -29,6 +29,8 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::create(LocalClusterConfig co
     wc.root_dir = root / wc.id;
     wc.max_concurrent_transfers = config.max_concurrent_transfers_per_worker;
     wc.fetcher = config.fetcher;
+    if (config.tweak_worker) config.tweak_worker(wc);
+    cluster->worker_configs_.push_back(wc);
     VINE_TRY(auto worker, Worker::connect(std::move(wc)));
     worker->start();
     cluster->workers_.push_back(std::move(worker));
@@ -36,6 +38,29 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::create(LocalClusterConfig co
 
   VINE_TRY_STATUS(cluster->manager_->wait_for_workers(config.workers, 10000ms));
   return cluster;
+}
+
+std::size_t LocalCluster::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& w : workers_) n += (w != nullptr);
+  return n;
+}
+
+void LocalCluster::crash_worker(std::size_t i) {
+  auto& w = workers_.at(i);
+  if (!w) return;
+  w->stop();
+  w.reset();
+  // A crash takes the node's storage with it; a later restart joins cold.
+  remove_all_quiet(worker_configs_.at(i).root_dir);
+}
+
+Status LocalCluster::restart_worker(std::size_t i) {
+  if (workers_.at(i)) return Status::success();
+  VINE_TRY(auto worker, Worker::connect(worker_configs_.at(i)));
+  worker->start();
+  workers_.at(i) = std::move(worker);
+  return Status::success();
 }
 
 void LocalCluster::shutdown() {

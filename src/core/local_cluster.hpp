@@ -5,6 +5,7 @@
 // worker-lifetime caching.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,11 @@ struct LocalClusterConfig {
   std::shared_ptr<UrlFetcher> fetcher;
 
   int max_concurrent_transfers_per_worker = 4;
+
+  /// Called on each worker's config before it connects — chaos tests use
+  /// this to install fault hooks, shrink transfer timeouts, and speed up
+  /// heartbeats without LocalCluster growing a knob per field.
+  std::function<void(WorkerConfig&)> tweak_worker;
 };
 
 class LocalCluster {
@@ -43,6 +49,19 @@ class LocalCluster {
   Worker& worker(std::size_t i) { return *workers_.at(i); }
   std::size_t worker_count() const { return workers_.size(); }
 
+  /// True while worker i has not been crashed (stop()ed) by the chaos
+  /// harness. restart_worker flips it back.
+  bool worker_alive(std::size_t i) const { return workers_.at(i) != nullptr; }
+  std::size_t alive_count() const;
+
+  /// Chaos harness: kill worker i (its threads stop, its connection drops,
+  /// its cache directory is wiped — a genuine crash, not a graceful exit).
+  void crash_worker(std::size_t i);
+
+  /// Rejoin worker i with the same id and an empty cache. No-op when still
+  /// alive. Returns the connect error if the manager is unreachable.
+  Status restart_worker(std::size_t i);
+
   /// Graceful shutdown (also done by the destructor).
   void shutdown();
 
@@ -52,6 +71,7 @@ class LocalCluster {
   std::optional<TempDir> owned_root_;
   std::unique_ptr<Manager> manager_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<WorkerConfig> worker_configs_;  ///< for restart_worker
 };
 
 }  // namespace vine

@@ -418,8 +418,27 @@ void Manager::pump(std::chrono::milliseconds timeout) {
     handle_event(std::move(*ev));
     ev = inbox_.try_pop();
   }
+  if (config_.heartbeat_deadline_ms > 0) evict_silent_workers();
   schedule_pass();
   if (!replication_goals_.empty()) process_replication_requests();
+}
+
+void Manager::evict_silent_workers() {
+  const double deadline_s = config_.heartbeat_deadline_ms / 1000.0;
+  const double now = clock_.now();
+  // handle_worker_lost mutates workers_; collect the overdue set first.
+  std::vector<std::string> overdue;
+  for (const auto& [id, w] : workers_) {
+    if (now - w.last_heard > deadline_s) {
+      VINE_LOG_WARN("manager", "worker %s silent for %.1fs; evicting",
+                    id.c_str(), now - w.last_heard);
+      overdue.push_back(w.conn_id);
+    }
+  }
+  for (const std::string& conn_id : overdue) {
+    ++stats_.workers_evicted;
+    handle_worker_lost(conn_id);
+  }
 }
 
 void Manager::handle_event(Event ev) {
@@ -446,6 +465,15 @@ void Manager::handle_event(Event ev) {
     if (it != connections_.end()) worker = it->second->worker_id;
   }
 
+  // Any frame is proof of life; the heartbeat exists so idle workers still
+  // produce one within every deadline window.
+  if (!worker.empty()) {
+    auto wit = workers_.find(worker);
+    if (wit != workers_.end() && wit->second.conn_id == ev.conn_id) {
+      wit->second.last_heard = clock_.now();
+    }
+  }
+
   std::visit(
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -459,6 +487,8 @@ void Manager::handle_event(Event ev) {
           if (!worker.empty()) handle_library_ready(worker, m);
         } else if constexpr (std::is_same_v<T, proto::FileDataMsg>) {
           file_replies_[m.request_id] = m;
+        } else if constexpr (std::is_same_v<T, proto::HeartbeatMsg>) {
+          // Liveness was refreshed above; nothing else to do.
         } else {
           VINE_LOG_WARN("manager", "unexpected message type from %s",
                         ev.conn_id.c_str());
@@ -479,6 +509,8 @@ void Manager::handle_hello(const std::string& conn_id, const proto::HelloMsg& ms
 
   WorkerState ws;
   ws.endpoint = std::move(ep);
+  ws.conn_id = conn_id;
+  ws.last_heard = clock_.now();
   auto existing = workers_.find(msg.worker_id);
   if (existing != workers_.end()) {
     ws.slot = existing->second.slot;  // re-hello: reuse the slot
@@ -518,8 +550,21 @@ void Manager::handle_cache_update(const WorkerId& worker,
 
   if (msg.ok) {
     replicas_.set_replica(msg.cache_name, worker, ReplicaState::present, msg.size);
+    if (rec && !(rec->source.kind == TransferSource::Kind::worker &&
+                 rec->source.key == worker)) {
+      scheduler_.note_transfer_success(rec->source);
+    }
   } else {
     replicas_.remove_replica(msg.cache_name, worker);
+    ++stats_.transfer_failures;
+    // Score the failure against the source (unless the "source" was the
+    // destination itself, i.e. a mini-task materialization): plan_source
+    // demotes and temporarily blacklists flaky sources, and falls back to
+    // the fixed source when every peer is unhealthy.
+    if (rec && !(rec->source.kind == TransferSource::Kind::worker &&
+                 rec->source.key == worker)) {
+      scheduler_.note_transfer_failure(rec->source, clock_.now());
+    }
     VINE_LOG_WARN("manager", "transfer of %s to %s failed: %s",
                   msg.cache_name.c_str(), worker.c_str(), msg.error.c_str());
   }
@@ -662,18 +707,29 @@ void Manager::handle_library_ready(const WorkerId& worker,
 }
 
 void Manager::handle_worker_lost(const std::string& conn_id) {
-  WorkerId worker;
+  // Extract the connection under the lock, but join the reader thread
+  // outside it: the reader may take up to a recv timeout to notice the
+  // close, and holding conn_mutex_ across that would stall the acceptor
+  // and every event being resolved in the meantime.
+  std::unique_ptr<Connection> conn;
   {
     std::lock_guard lock(conn_mutex_);
     auto it = connections_.find(conn_id);
     if (it == connections_.end()) return;
-    worker = it->second->worker_id;
-    it->second->endpoint->close();
-    if (it->second->reader.joinable()) it->second->reader.join();
+    conn = std::move(it->second);
     connections_.erase(it);
   }
+  conn->endpoint->close();
+  if (conn->reader.joinable()) conn->reader.join();
+  const WorkerId worker = conn->worker_id;
   if (worker.empty()) return;  // never said hello
 
+  // A re-hello may have moved the worker id to a newer connection; only the
+  // connection the worker registry points at may tear the worker down.
+  auto reg = workers_.find(worker);
+  if (reg == workers_.end() || reg->second.conn_id != conn_id) return;
+
+  ++stats_.workers_lost;
   VINE_LOG_WARN("manager", "worker %s disconnected", worker.c_str());
   replicas_.remove_worker(worker);
   transfers_.remove_worker(worker);
@@ -789,23 +845,46 @@ void Manager::maybe_audit(const char* where) const {
 }
 
 void Manager::recover_lost_file(const FileRef& file) {
-  if (!file || file->kind != FileKind::temp || file->producer_task == 0) return;
-  if (replicas_.present_count(file->cache_name) > 0) return;
-  auto it = tasks_.find(file->producer_task);
-  if (it == tasks_.end()) return;
-  TaskRuntime& producer = it->second;
-  if (producer.state != TaskState::done) return;  // running or already reset
+  // Iterative walk up the producer ancestry: re-running a producer whose
+  // own temp inputs are also gone must reset that whole chain. An explicit
+  // stack keeps deep chains off the call stack, the visited set makes
+  // (malformed) cyclic producer graphs terminate, and the step bound caps
+  // the work a single loss event can trigger.
+  constexpr std::size_t kMaxRecoveryChain = 100000;
+  std::vector<FileRef> pending{file};
+  std::set<TaskId> visited;
+  std::size_t steps = 0;
+  while (!pending.empty()) {
+    FileRef f = std::move(pending.back());
+    pending.pop_back();
+    if (!f || f->kind != FileKind::temp || f->producer_task == 0) continue;
+    if (replicas_.present_count(f->cache_name) > 0) continue;
+    if (!visited.insert(f->producer_task).second) continue;
+    if (++steps > kMaxRecoveryChain) {
+      VINE_LOG_ERROR("manager",
+                     "lost-temp recovery chain exceeded %zu producers; "
+                     "abandoning the rest (workflow may stall)",
+                     kMaxRecoveryChain);
+      return;
+    }
+    auto it = tasks_.find(f->producer_task);
+    if (it == tasks_.end()) continue;
+    TaskRuntime& producer = it->second;
+    if (producer.state != TaskState::done) continue;  // running or reset already
 
-  VINE_LOG_WARN("manager", "temp %s lost with its last replica; re-running task %llu",
-                file->cache_name.c_str(),
-                static_cast<unsigned long long>(producer.spec.id));
-  set_task_state(producer, TaskState::ready);
-  producer.worker.clear();
-  // The producer's own temp inputs may also have died; recurse.
-  for (const auto& in : producer.spec.inputs) {
-    if (in.file && in.file->kind == FileKind::temp &&
-        replicas_.present_count(in.file->cache_name) == 0) {
-      recover_lost_file(in.file);
+    VINE_LOG_WARN("manager",
+                  "temp %s lost with its last replica; re-running task %llu",
+                  f->cache_name.c_str(),
+                  static_cast<unsigned long long>(producer.spec.id));
+    ++stats_.recoveries;
+    set_task_state(producer, TaskState::ready);
+    producer.worker.clear();
+    // The producer's own temp inputs may also have died; walk upward.
+    for (const auto& in : producer.spec.inputs) {
+      if (in.file && in.file->kind == FileKind::temp &&
+          replicas_.present_count(in.file->cache_name) == 0) {
+        pending.push_back(in.file);
+      }
     }
   }
 }
@@ -909,7 +988,8 @@ bool Manager::ensure_file_at(const FileRef& file, const WorkerId& worker) {
     case FileKind::temp: {
       // Temps exist only in the cluster: a peer must hold one.
       auto plan = scheduler_.plan_source(name, TransferSource::from_manager(),
-                                         worker, replicas_, transfers_);
+                                         worker, replicas_, transfers_,
+                                         clock_.now());
       if (!plan || plan->kind != TransferSource::Kind::worker) {
         return false;  // producer not finished or peers saturated; retry
       }
@@ -923,7 +1003,8 @@ bool Manager::ensure_file_at(const FileRef& file, const WorkerId& worker) {
   std::optional<TransferSource> source =
       (file->kind == FileKind::temp)
           ? std::optional<TransferSource>(fixed)
-          : scheduler_.plan_source(name, fixed, worker, replicas_, transfers_);
+          : scheduler_.plan_source(name, fixed, worker, replicas_, transfers_,
+                                   clock_.now());
   if (!source) return false;  // all sources saturated; retry next pass
 
   std::string uuid = transfers_.begin(name, worker, *source, clock_.now());

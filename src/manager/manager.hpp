@@ -49,6 +49,13 @@ struct ManagerConfig {
   /// Delete task-lifetime inputs from a worker right after the consuming
   /// task completes (paper §2.3).
   bool unlink_task_level_inputs = true;
+
+  /// Evict a worker that has sent nothing (not even a heartbeat) for this
+  /// long: its connection is torn down and the usual worker-lost recovery
+  /// (requeue, replica purge, lost-temp re-runs) kicks in. This is what
+  /// turns a hung-but-connected worker from a forever-wedge into a
+  /// recoverable loss. 0 disables eviction.
+  int heartbeat_deadline_ms = 30000;
 };
 
 /// Counters the benches and examples report (who moved which bytes).
@@ -65,6 +72,10 @@ struct ManagerStats {
   std::int64_t cache_hits = 0;  ///< inputs found already present at staging
   std::int64_t sched_passes = 0;   ///< schedule_pass invocations
   std::int64_t tasks_scanned = 0;  ///< ready tasks examined across all passes
+  std::int64_t transfer_failures = 0;  ///< failed transfers reported by workers
+  std::int64_t recoveries = 0;         ///< producer re-runs for lost temps
+  std::int64_t workers_lost = 0;       ///< disconnects + evictions
+  std::int64_t workers_evicted = 0;    ///< of which: heartbeat-deadline evictions
 };
 
 class Manager {
@@ -203,6 +214,8 @@ class Manager {
   struct WorkerState {
     std::size_t slot = 0;  ///< index into snapshots_ (swap-pop maintained)
     std::shared_ptr<Endpoint> endpoint;
+    std::string conn_id;
+    double last_heard = 0;  ///< clock_ time of the last frame (heartbeats too)
   };
 
   struct TaskRuntime {
@@ -236,6 +249,9 @@ class Manager {
   void handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg& msg);
   void handle_library_ready(const WorkerId& worker, const proto::LibraryReadyMsg& msg);
   void handle_worker_lost(const std::string& conn_id);
+  /// Tear down workers whose last frame is older than the heartbeat
+  /// deadline; each goes through the full handle_worker_lost path.
+  void evict_silent_workers();
 
   // --- scheduling (application thread) ---
   void schedule_pass();
@@ -253,7 +269,8 @@ class Manager {
   void unlink_everywhere(const std::string& cache_name);
 
   /// A temp file lost with its last replica: reset its producing task (and
-  /// recursively that task's own lost temp inputs) to run again.
+  /// transitively that task's own lost temp inputs) to run again. The walk
+  /// is iterative, cycle-safe, and bounded by kMaxRecoveryChain ancestors.
   void recover_lost_file(const FileRef& file);
   void process_replication_requests();
 

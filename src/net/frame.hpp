@@ -69,6 +69,13 @@ class Endpoint {
   /// Stable printable identity of the remote end (address or channel name).
   virtual std::string peer_name() const = 0;
 
+  /// Bound on how long a transport may wait for the *remainder* of a frame
+  /// once its first bytes arrived. A peer that goes dead-silent mid-frame
+  /// then surfaces Errc::timeout within this window instead of wedging the
+  /// receiving thread. Transports without a mid-frame window (in-process
+  /// channels deliver whole frames) ignore it.
+  virtual void set_io_timeout(std::chrono::milliseconds) {}
+
   // Convenience wrappers.
   Status send_json(json::Value v) { return send(Frame::make_json(std::move(v))); }
   Status send_blob(std::string tag, std::string data) {

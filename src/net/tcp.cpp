@@ -78,7 +78,7 @@ class TcpEndpoint final : public Endpoint {
 
   Result<Frame> recv(std::chrono::milliseconds timeout) override {
     char header[5];
-    VINE_TRY_STATUS(read_exact(header, sizeof header, timeout, /*first=*/true));
+    VINE_TRY_STATUS(read_exact(header, sizeof header, timeout));
     std::uint32_t len = get_u32(header);
     char kind = header[4];
     if (len > kMaxFramePayload) {
@@ -86,12 +86,20 @@ class TcpEndpoint final : public Endpoint {
     }
     std::string payload(len, '\0');
     if (len > 0) {
-      // Once a header arrived the rest must follow promptly; allow a
-      // generous fixed window so huge blobs on slow links still complete.
-      VINE_TRY_STATUS(read_exact(payload.data(), len,
-                                 std::chrono::milliseconds(60000), false));
+      // Once a header arrived the rest must follow promptly; the idle
+      // window is generous by default so huge blobs on slow links still
+      // complete, and configurable so fetch threads facing a stalled peer
+      // time out fast instead of wedging.
+      VINE_TRY_STATUS(read_exact(
+          payload.data(), len,
+          std::chrono::milliseconds(io_timeout_ms_.load(std::memory_order_relaxed))));
     }
     return decode_frame_payload(kind, std::move(payload));
+  }
+
+  void set_io_timeout(std::chrono::milliseconds t) override {
+    io_timeout_ms_.store(t.count() > 0 ? t.count() : 60000,
+                         std::memory_order_relaxed);
   }
 
   void close() override {
@@ -106,16 +114,16 @@ class TcpEndpoint final : public Endpoint {
   std::string peer_name() const override { return peer_; }
 
  private:
-  /// Read exactly n bytes. When `first`, the timeout applies to the first
-  /// byte (idle wait); mid-message the timeout is per-chunk.
-  Status read_exact(char* buf, std::size_t n, std::chrono::milliseconds timeout,
-                    bool first) {
+  /// Read exactly n bytes, with `timeout` applied per chunk. Every chunk —
+  /// including the very first payload byte after a header — waits via
+  /// poll() first: a peer that stalls at any frame offset surfaces
+  /// Errc::timeout instead of wedging the reader in a blocking recv.
+  Status read_exact(char* buf, std::size_t n,
+                    std::chrono::milliseconds timeout) {
     std::size_t got = 0;
     while (got < n) {
       if (closed_.load()) return Error{Errc::unavailable, "closed: " + peer_};
-      if (got > 0 || first) {
-        VINE_TRY_STATUS(wait_readable(fd_, timeout));
-      }
+      VINE_TRY_STATUS(wait_readable(fd_, timeout));
       ssize_t r = ::recv(fd_, buf + got, n - got, 0);
       if (r == 0) return Error{Errc::unavailable, "peer closed: " + peer_};
       if (r < 0) {
@@ -128,6 +136,9 @@ class TcpEndpoint final : public Endpoint {
   }
 
   const int fd_;
+  // Mid-frame idle window (see set_io_timeout); atomic because the owner
+  // may adjust it while a reader thread is blocked in recv().
+  std::atomic<long long> io_timeout_ms_{60000};
   // Set by close(); the fd stays open (see close()) so in-flight reads and
   // writes never touch a recycled descriptor.
   std::atomic<bool> closed_{false};

@@ -294,7 +294,11 @@ struct Encoder {
     o["ok"] = m.ok;
     o["is_dir"] = m.is_dir;
     o["error"] = m.error;
+    o["digest"] = m.digest;
     return Value(std::move(o));
+  }
+  Value operator()(const HeartbeatMsg&) const {
+    return Value(Object{{"type", Value("heartbeat")}});
   }
 };
 
@@ -357,6 +361,7 @@ Result<AnyMessage> decode(const json::Value& v) {
   }
   if (type == "end_workflow") return AnyMessage(EndWorkflowMsg{});
   if (type == "shutdown") return AnyMessage(ShutdownMsg{});
+  if (type == "heartbeat") return AnyMessage(HeartbeatMsg{});
   if (type == "hello") {
     HelloMsg m;
     m.worker_id = v.get_string("worker_id");
@@ -425,6 +430,7 @@ Result<AnyMessage> decode(const json::Value& v) {
     m.ok = v.get_bool("ok");
     m.is_dir = v.get_bool("is_dir");
     m.error = v.get_string("error");
+    m.digest = v.get_string("digest");
     return AnyMessage(std::move(m));
   }
   return Error{Errc::protocol_error, "unknown message type: " + type};

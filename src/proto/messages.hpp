@@ -138,6 +138,12 @@ struct HelloMsg {
   std::vector<OutputRecord> cached;
 };
 
+/// Keepalive beacon. Any frame refreshes the manager's liveness deadline for
+/// the sending worker; the heartbeat exists so an *idle* worker still
+/// refreshes it. A connected worker that stops heartbeating past the
+/// manager's deadline is evicted exactly like a dropped connection.
+struct HeartbeatMsg {};
+
 struct CacheUpdateMsg {
   std::string cache_name;
   std::string transfer_id;  ///< empty for task outputs / spontaneous updates
@@ -182,6 +188,12 @@ struct ObjMsg {  // followed by a blob frame when ok
   bool ok = false;
   bool is_dir = false;  ///< blob is a vpak archive of the directory
   std::string error;
+
+  /// Content digest (hex md5) of the blob that follows, computed by the
+  /// serving worker. Receivers verify the payload against it before caching,
+  /// turning in-flight corruption into a retryable transfer failure instead
+  /// of a silently poisoned cache. Empty = sender did not attest.
+  std::string digest;
 };
 
 // ----------------------------------------------------------- envelope
@@ -190,8 +202,8 @@ struct ObjMsg {  // followed by a blob frame when ok
 using AnyMessage =
     std::variant<PutMsg, FetchMsg, MiniTaskMsg, RunTaskMsg, UnlinkMsg,
                  SendFileMsg, EndWorkflowMsg, ShutdownMsg, HelloMsg,
-                 CacheUpdateMsg, TaskDoneMsg, LibraryReadyMsg, FileDataMsg,
-                 GetMsg, ObjMsg>;
+                 HeartbeatMsg, CacheUpdateMsg, TaskDoneMsg, LibraryReadyMsg,
+                 FileDataMsg, GetMsg, ObjMsg>;
 
 /// Encode any message to its JSON frame body.
 json::Value encode(const AnyMessage& msg);

@@ -217,8 +217,11 @@ std::optional<WorkerId> Scheduler::pick_worker(
 std::optional<TransferSource> Scheduler::plan_source(
     const std::string& cache_name, const TransferSource& fixed,
     const WorkerId& dest, const FileReplicaTable& replicas,
-    const CurrentTransferTable& transfers) {
+    const CurrentTransferTable& transfers, double now) {
   const std::uint32_t ft = replicas.file_token(cache_name);
+  // Failure scoring only engages once a failure exists; the healthy path
+  // stays byte-identical to the score-free policy (and allocation-free).
+  const bool consult_health = !health_.empty();
 
   // Unsupervised mode: pick blindly among replica holders, ignoring
   // in-flight counts and limits (Figure 11b's behaviour).
@@ -252,34 +255,51 @@ std::optional<TransferSource> Scheduler::plan_source(
   }
 
   // Conservative strategy: always prefer an eligible peer over the original
-  // source (paper §3.3), spreading load by picking the least-busy peer.
-  // When peers exist but are all at their limit, *wait* for a peer slot
-  // rather than falling back — this is what keeps the shared filesystem
-  // queries at 3 instead of 108 in the Colmena run (§4.2).
+  // source (paper §3.3), spreading load by picking the least-busy peer
+  // (demoted by recent failures first). When peers exist but are all at
+  // their limit, *wait* for a peer slot rather than falling back — this is
+  // what keeps the shared filesystem queries at 3 instead of 108 in the
+  // Colmena run (§4.2). When every holder is inside its failure-backoff
+  // window, though, waiting could wedge forever, so the plan falls back to
+  // the fixed source instead.
   if (config_.prefer_peer_transfers && ft != FileReplicaTable::no_token) {
     const WorkerId* best_peer = nullptr;
     int best_inflight = 0;
+    int best_score = 0;
     bool any_peer = false;
+    bool any_healthy_peer = false;
     for (const auto& h : replicas.holders(ft)) {
       if (h.replica.state != ReplicaState::present) continue;
       const WorkerId& peer = replicas.worker_name(h.worker);
       if (peer == dest) continue;
       any_peer = true;
+      if (consult_health && health_.blacklisted_worker(peer, now)) continue;
+      any_healthy_peer = true;
       int inflight = transfers.inflight_from_worker(peer);
       if (config_.worker_source_limit > 0 &&
           inflight >= config_.worker_source_limit) {
         continue;
       }
-      if (!best_peer || inflight < best_inflight) {
+      const int score = consult_health ? health_.worker_failures(peer) : 0;
+      if (!best_peer || score < best_score ||
+          (score == best_score && inflight < best_inflight)) {
         best_peer = &peer;
         best_inflight = inflight;
+        best_score = score;
       }
     }
     if (best_peer) return TransferSource::from_worker(*best_peer);
-    if (any_peer) return std::nullopt;  // replicas exist; wait for a slot
+    if (any_healthy_peer) return std::nullopt;  // healthy peers; wait for a slot
+    // any_peer && !any_healthy_peer: every holder is backing off — fall
+    // through to the fixed source. (For temps the fixed source is the
+    // manager placeholder the caller rejects, which amounts to waiting out
+    // the backoff.)
   }
 
-  // Fall back to the fixed source, subject to its own limit.
+  // Fall back to the fixed source, subject to its own health and limit.
+  if (consult_health && health_.blacklisted(fixed, now)) {
+    return std::nullopt;  // fixed source is backing off too; retry later
+  }
   int limit = 0;
   switch (fixed.kind) {
     case TransferSource::Kind::url: limit = config_.url_source_limit; break;

@@ -31,6 +31,7 @@
 #include "catalog/replica_table.hpp"
 #include "catalog/transfer_table.hpp"
 #include "common/rng.hpp"
+#include "sched/source_health.hpp"
 #include "task/task_spec.hpp"
 
 namespace vine {
@@ -73,6 +74,11 @@ struct SchedulerConfig {
   /// original task description" (paper §3.3); once the first replicas
   /// appear, everything piles blindly onto them.
   int unsupervised_seed_limit = 4;
+
+  /// Exponential-backoff policy for sources with recent transfer failures
+  /// (see sched/source_health.hpp). Only consulted once a failure has been
+  /// recorded, so a healthy cluster pays nothing.
+  SourceHealthConfig health;
 };
 
 /// Scheduler state that must persist across decisions (round-robin cursor,
@@ -94,11 +100,25 @@ class Scheduler {
 
   /// Plan the source for one missing input. `fixed` is the file's declared
   /// origin (url / manager); `dest` must be excluded as its own source.
-  /// nullopt when every eligible source is at its limit right now.
+  /// nullopt when every eligible source is at its limit right now, or every
+  /// source is inside its failure-backoff window. `now` (seconds, the
+  /// caller's clock) is only read when failures are on record — pass 0 when
+  /// no failures can have been reported.
   std::optional<TransferSource> plan_source(
       const std::string& cache_name, const TransferSource& fixed,
       const WorkerId& dest, const FileReplicaTable& replicas,
-      const CurrentTransferTable& transfers);
+      const CurrentTransferTable& transfers, double now = 0.0);
+
+  /// Failure feedback from the transfer layer: a failed transfer demotes
+  /// and temporarily blacklists its source; a completed one rehabilitates
+  /// it. plan_source folds this into peer choice and fallback.
+  void note_transfer_failure(const TransferSource& source, double now) {
+    health_.record_failure(source, now, config_.health);
+  }
+  void note_transfer_success(const TransferSource& source) {
+    health_.record_success(source);
+  }
+  const SourceHealth& source_health() const { return health_; }
 
   /// Scoring helper exposed for tests/benches: cached input bytes of
   /// `task` present on `worker`. An unknown replica size falls back to the
@@ -125,6 +145,7 @@ class Scheduler {
 
   SchedulerConfig config_;
   Rng rng_;
+  SourceHealth health_;
 
   /// Worker id last assigned by round_robin; the next pick resumes with
   /// the smallest fitting id after it (wrapping), so churn in the fitting

@@ -1,0 +1,69 @@
+#include "sched/source_health.hpp"
+
+#include <algorithm>
+
+namespace vine {
+
+SourceHealth::Entry& SourceHealth::entry_for(const TransferSource& source) {
+  if (source.kind == TransferSource::Kind::worker) {
+    return workers_[source.key];
+  }
+  return others_[source.account()];
+}
+
+const SourceHealth::Entry* SourceHealth::find(
+    const TransferSource& source) const {
+  if (source.kind == TransferSource::Kind::worker) {
+    auto it = workers_.find(source.key);
+    return it == workers_.end() ? nullptr : &it->second;
+  }
+  auto it = others_.find(source.account());
+  return it == others_.end() ? nullptr : &it->second;
+}
+
+void SourceHealth::record_failure(const TransferSource& source, double now,
+                                  const SourceHealthConfig& config) {
+  Entry& e = entry_for(source);
+  e.consecutive = std::min(e.consecutive + 1, 62);
+  const double backoff =
+      std::min(config.backoff_cap_s,
+               config.backoff_base_s * static_cast<double>(1ULL << (e.consecutive - 1)));
+  e.until = std::max(e.until, now + backoff);
+}
+
+void SourceHealth::record_success(const TransferSource& source) {
+  if (source.kind == TransferSource::Kind::worker) {
+    workers_.erase(source.key);
+  } else {
+    others_.erase(source.account());
+  }
+}
+
+bool SourceHealth::blacklisted(const TransferSource& source,
+                               double now) const {
+  const Entry* e = find(source);
+  return e != nullptr && now < e->until;
+}
+
+bool SourceHealth::blacklisted_worker(const WorkerId& worker,
+                                      double now) const {
+  auto it = workers_.find(worker);
+  return it != workers_.end() && now < it->second.until;
+}
+
+double SourceHealth::blacklist_until(const TransferSource& source) const {
+  const Entry* e = find(source);
+  return e ? e->until : 0;
+}
+
+int SourceHealth::failures(const TransferSource& source) const {
+  const Entry* e = find(source);
+  return e ? e->consecutive : 0;
+}
+
+int SourceHealth::worker_failures(const WorkerId& worker) const {
+  auto it = workers_.find(worker);
+  return it == workers_.end() ? 0 : it->second.consecutive;
+}
+
+}  // namespace vine

@@ -1,0 +1,73 @@
+// Per-source failure scoring with exponential backoff, feeding plan_source.
+// Every failed transfer against a source (a peer worker, a URL, the manager)
+// bumps its consecutive-failure count and blacklists it until
+// now + base * 2^(failures-1), capped; one success fully rehabilitates it.
+// plan_source skips blacklisted peers, prefers lower-scored peers among the
+// eligible, and — when *every* holder of a file is blacklisted rather than
+// merely saturated — falls back to the file's fixed source instead of
+// waiting for a peer that may never recover.
+//
+// The tracker is empty until the first failure, and plan_source consults it
+// only when non-empty, so the healthy-cluster hot path stays allocation-free
+// and byte-identical to the pre-fault-tolerance policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "catalog/transfer_table.hpp"
+
+namespace vine {
+
+struct SourceHealthConfig {
+  double backoff_base_s = 0.5;  ///< first failure blacklists for this long
+  double backoff_cap_s = 30.0;  ///< ceiling on the exponential backoff
+};
+
+class SourceHealth {
+ public:
+  /// Record a failed transfer from `source` observed at `now` (seconds on
+  /// the caller's clock — steady time in the runtime, virtual time in sim).
+  void record_failure(const TransferSource& source, double now,
+                      const SourceHealthConfig& config);
+
+  /// Record a completed transfer; the source is fully rehabilitated.
+  void record_success(const TransferSource& source);
+
+  /// True while the source's backoff window is open at `now`.
+  bool blacklisted(const TransferSource& source, double now) const;
+  bool blacklisted_worker(const WorkerId& worker, double now) const;
+
+  /// When the source's current backoff window closes; 0 for sources with no
+  /// failures on record. A virtual-time caller (the simulator) schedules
+  /// its retry pass exactly at this instant instead of polling.
+  double blacklist_until(const TransferSource& source) const;
+
+  /// Consecutive failures (the demotion score); 0 for unknown sources.
+  int failures(const TransferSource& source) const;
+  int worker_failures(const WorkerId& worker) const;
+
+  /// No failures on record anywhere — the hot-path fast-out.
+  bool empty() const { return workers_.empty() && others_.empty(); }
+
+  void clear() {
+    workers_.clear();
+    others_.clear();
+  }
+
+ private:
+  struct Entry {
+    int consecutive = 0;
+    double until = 0;  ///< blacklisted while now < until
+  };
+
+  Entry& entry_for(const TransferSource& source);
+  const Entry* find(const TransferSource& source) const;
+
+  /// Peer workers keyed by id (the hot case), everything else by account.
+  std::map<WorkerId, Entry> workers_;
+  std::map<std::string, Entry> others_;
+};
+
+}  // namespace vine

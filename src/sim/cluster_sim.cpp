@@ -86,6 +86,11 @@ void ClusterSim::preload(const std::string& worker, const SimFile* file) {
 // ------------------------------------------------------------ run
 
 double ClusterSim::run() {
+  // Link each temp output back to its producer so crash recovery can walk
+  // the ancestor chain of a lost replica.
+  for (auto& t : tasks_) {
+    for (auto& out : t->outputs) out.file->producer = t.get();
+  }
   // Internal library-install tasks are synthesized per worker at join.
   for (auto& t : tasks_) {
     TaskRun run;
@@ -113,6 +118,7 @@ double ClusterSim::run() {
 void ClusterSim::worker_join(const std::string& id) {
   WorkerSim& w = workers_[id];
   w.joined = true;
+  w.active_fetches = 0;
   w.slot = snapshots_.size();
   vine::WorkerSnapshot snap;
   snap.id = id;
@@ -279,7 +285,8 @@ bool ClusterSim::ensure_file_at(const SimFile* file, const std::string& worker) 
         break;
       }
       auto plan = scheduler_.plan_source(name, TransferSource::from_manager(),
-                                         worker, replicas_, transfers_);
+                                         worker, replicas_, transfers_,
+                                         sim_.now());
       if (!plan || plan->kind != TransferSource::Kind::worker) return false;
       std::string uuid = transfers_.begin(name, worker, *plan, sim_.now());
       replicas_.set_replica(name, worker, ReplicaState::pending);
@@ -290,7 +297,8 @@ bool ClusterSim::ensure_file_at(const SimFile* file, const std::string& worker) 
       return false;
   }
 
-  auto plan = scheduler_.plan_source(name, fixed, worker, replicas_, transfers_);
+  auto plan = scheduler_.plan_source(name, fixed, worker, replicas_, transfers_,
+                                     sim_.now());
   if (!plan) return false;
   std::string uuid = transfers_.begin(name, worker, *plan, sim_.now());
   replicas_.set_replica(name, worker, ReplicaState::pending);
@@ -320,21 +328,87 @@ void ClusterSim::start_next_fetches(const std::string& worker) {
   }
 }
 
-void ClusterSim::start_fetch(const PendingFetch& fetch) {
+void ClusterSim::start_fetch(PendingFetch fetch) {
   trace_.on_transfer_start(fetch.dest, sim_.now());
-  if (fetch.is_unpack) {
-    double duration = static_cast<double>(fetch.file->size) / config_.unpack_Bps;
-    sim_.at(sim_.now() + duration, [this, fetch] { fetch_complete(fetch); });
+  fetch.seq = next_fetch_seq_++;
+  const std::string uuid = fetch.uuid;
+  PendingFetch& pf = inflight_[uuid];
+  pf = std::move(fetch);
+  if (pf.is_unpack) {
+    double duration = static_cast<double>(pf.file->size) / config_.unpack_Bps;
+    pf.event = sim_.at(sim_.now() + duration,
+                       [this, uuid] { finish_inflight(uuid); });
     return;
   }
-  const NodeToken src = source_node(fetch.source, fetch.file);
-  net_.start_flow(src, workers_.at(fetch.dest).node, fetch.file->size,
-                  [this, fetch] { fetch_complete(fetch); });
+  // A queued fetch can outlive its source: the peer may have crashed (and
+  // even rejoined, cache cold) since planning. Refuse to simulate bytes
+  // the source no longer holds — the peer answers not-found.
+  if (pf.source.kind == TransferSource::Kind::worker &&
+      !replicas_.has_present(pf.file->name, pf.source.key)) {
+    fail_inflight(uuid);
+    return;
+  }
+  const NodeToken src = source_node(pf.source, pf.file);
+  pf.flow = net_.start_flow(src, workers_.at(pf.dest).node, pf.file->size,
+                            [this, uuid] { finish_inflight(uuid); });
+  if (pf.flow == 0) fail_inflight(uuid);  // source node removed (crash)
+}
+
+void ClusterSim::finish_inflight(const std::string& uuid) {
+  auto it = inflight_.find(uuid);
+  if (it == inflight_.end()) return;  // torn down by a crash
+  PendingFetch fetch = std::move(it->second);
+  inflight_.erase(it);
+  if (fetch.corrupted) {
+    // The receiver's digest check rejects the blob: bandwidth was burned
+    // but no replica materializes, and the source gets a failure score.
+    fetch_failed(fetch);
+    return;
+  }
+  fetch_complete(fetch);
+}
+
+void ClusterSim::fail_inflight(const std::string& uuid) {
+  auto it = inflight_.find(uuid);
+  if (it == inflight_.end()) return;
+  PendingFetch fetch = std::move(it->second);
+  inflight_.erase(it);
+  if (fetch.flow) net_.cancel_flow(fetch.flow);
+  if (fetch.event) sim_.cancel(fetch.event);
+  fetch_failed(fetch);
+}
+
+void ClusterSim::fetch_failed(const PendingFetch& fetch) {
+  trace_.on_transfer_end(fetch.dest, sim_.now());
+  transfers_.finish(fetch.uuid);  // nullopt when a crash already dropped it
+  replicas_.remove_replica(fetch.file->name, fetch.dest);
+  ++stats_.transfer_failures;
+  scheduler_.note_transfer_failure(fetch.source, sim_.now());
+  // Nothing may happen between now and the source's backoff expiry, and an
+  // idle event queue ends the run — so book the retry pass explicitly.
+  const double until =
+      scheduler_.source_health().blacklist_until(fetch.source);
+  if (until > sim_.now()) {
+    sim_.at(until, [this] { request_schedule(); });
+  }
+  auto wit = workers_.find(fetch.dest);
+  if (wit != workers_.end() && wit->second.joined) {
+    if (wit->second.active_fetches > 0) --wit->second.active_fetches;
+    start_next_fetches(fetch.dest);
+  }
+  request_schedule();
 }
 
 void ClusterSim::fetch_complete(const PendingFetch& fetch) {
   trace_.on_transfer_end(fetch.dest, sim_.now());
   transfers_.finish(fetch.uuid);
+  // Self-sourced mini-tasks (unpack) say nothing about the worker's health
+  // as a *peer* source, so they don't rehabilitate it (mirrors the
+  // manager's cache-update handling).
+  if (!(fetch.source.kind == TransferSource::Kind::worker &&
+        fetch.source.key == fetch.dest)) {
+    scheduler_.note_transfer_success(fetch.source);
+  }
   replicas_.set_replica(fetch.file->name, fetch.dest, ReplicaState::present,
                         fetch.file->size);
 
@@ -384,12 +458,17 @@ void ClusterSim::dispatch(TaskRun& run) {
   // §6 bottleneck (1 ms/task -> 1000 s per million tasks).
   double start = std::max(sim_.now(), next_dispatch_at_) + config_.dispatch_overhead;
   next_dispatch_at_ = start;
-  sim_.at(start, [this, id = run.task->id] {
+  run.dispatch_event = sim_.at(start, [this, id = run.task->id] {
     TaskRun& r = runs_[id];
+    r.dispatch_event = 0;
     set_run_state(id, r, TaskState::running);
     r.started_at_ = sim_.now();
     trace_.on_task_start(r.worker, sim_.now());
-    sim_.at(sim_.now() + r.task->duration, [this, id] { task_complete(runs_[id]); });
+    r.completion_event = sim_.at(sim_.now() + r.task->duration, [this, id] {
+      TaskRun& rr = runs_[id];
+      rr.completion_event = 0;
+      task_complete(rr);
+    });
   });
 }
 
@@ -438,6 +517,12 @@ void ClusterSim::task_complete(TaskRun& run) {
     }
   }
   request_schedule();
+
+  // Fault plans can arm "crash after N completed tasks"; check last so the
+  // Nth task's outputs exist briefly — and are then lost with the worker.
+  WorkerSim& w = workers_[run.worker];
+  ++w.tasks_completed;
+  maybe_fire_task_triggers(run.worker);
 }
 
 void ClusterSim::retrieve_output(const SimFile* file, const std::string& worker) {
@@ -454,6 +539,277 @@ void ClusterSim::retrieve_output(const SimFile* file, const std::string& worker)
     makespan_ = std::max(makespan_, sim_.now());
     request_schedule();
   });
+}
+
+// ------------------------------------------------------------ faults
+
+namespace faults = vine::faults;
+
+std::size_t ClusterSim::joined_workers() const {
+  std::size_t n = 0;
+  for (const auto& [_, w] : workers_) n += w.joined;
+  return n;
+}
+
+void ClusterSim::apply_fault_plan(const faults::FaultPlan& plan) {
+  if (worker_order_.empty()) return;
+  for (const auto& ev : plan.events()) {
+    const std::string id =
+        worker_order_[static_cast<std::size_t>(ev.worker) % worker_order_.size()];
+    switch (ev.kind) {
+      case faults::FaultKind::worker_crash:
+      case faults::FaultKind::worker_hang:
+        // The simulator has no heartbeat machinery to model separately: a
+        // hung worker is a crashed worker by the time eviction fires, so
+        // both kinds tear the worker down. Crashing the last survivor
+        // would strand the workflow forever; such events are skipped.
+        if (ev.after_tasks >= 0) {
+          task_triggers_[id].push_back(ev);
+          break;
+        }
+        sim_.at(ev.at, [this, id] {
+          if (joined_workers() <= 1) return;
+          ++stats_.faults_injected;
+          fail_worker(id);
+        });
+        break;
+      case faults::FaultKind::worker_rejoin:
+        sim_.at(ev.at, [this, id] { rejoin_worker(id); });
+        break;
+      case faults::FaultKind::peer_fail:
+        sim_.at(ev.at, [this] { inject_peer_fail(); });
+        break;
+      case faults::FaultKind::peer_stall:
+        sim_.at(ev.at, [this, t = ev.duration] { inject_peer_stall(t); });
+        break;
+      case faults::FaultKind::frame_corrupt:
+        sim_.at(ev.at, [this] { inject_frame_corrupt(); });
+        break;
+      case faults::FaultKind::msg_delay:
+        sim_.at(ev.at, [this, d = ev.duration] { delay_running_task(d); });
+        break;
+    }
+  }
+}
+
+void ClusterSim::maybe_fire_task_triggers(const std::string& worker) {
+  auto it = task_triggers_.find(worker);
+  if (it == task_triggers_.end()) return;
+  const int done = workers_[worker].tasks_completed;
+  bool fire = false;
+  auto& pending = it->second;
+  for (auto ev = pending.begin(); ev != pending.end();) {
+    if (ev->after_tasks >= 0 && done >= ev->after_tasks) {
+      fire = true;
+      ev = pending.erase(ev);
+    } else {
+      ++ev;
+    }
+  }
+  if (fire && joined_workers() > 1) {
+    ++stats_.faults_injected;
+    fail_worker(worker);
+  }
+}
+
+void ClusterSim::fail_worker(const std::string& id) {
+  auto wit = workers_.find(id);
+  if (wit == workers_.end() || !wit->second.joined) return;
+  WorkerSim& w = wit->second;
+  const double now = sim_.now();
+  ++stats_.worker_crashes;
+
+  // 1. Leave the scheduler's view: the worker stops offering capacity.
+  //    total_avail_cores_ tracks Σ(total - committed) over joined workers,
+  //    so subtract exactly this worker's available share.
+  {
+    vine::WorkerSnapshot& snap = snapshots_[w.slot];
+    total_avail_cores_ -= (w.total.cores - snap.committed.cores);
+    const std::size_t last = snapshots_.size() - 1;
+    if (w.slot != last) {
+      snapshots_[w.slot] = std::move(snapshots_[last]);
+      workers_[snapshots_[w.slot].id].slot = w.slot;
+    }
+    snapshots_.pop_back();
+  }
+  w.joined = false;
+
+  // 2. Tasks assigned here: dispatched/running real tasks return to ready
+  //    (their committed cores went down with the snapshot); the worker's
+  //    synthesized library installs are erased outright — a rejoin makes
+  //    fresh ones.
+  std::vector<std::uint64_t> dead_libraries;
+  for (auto& [tid, run] : runs_) {
+    if (run.worker != id) continue;
+    if (run.dispatch_event) {
+      sim_.cancel(run.dispatch_event);
+      run.dispatch_event = 0;
+    }
+    if (run.completion_event) {
+      sim_.cancel(run.completion_event);
+      run.completion_event = 0;
+    }
+    if (run.task->is_library) {
+      dead_libraries.push_back(tid);
+      continue;
+    }
+    if (run.state == TaskState::done) continue;  // lost outputs handled below
+    run.worker.clear();
+    run.committed = false;
+    run.ready_at = now;
+    set_run_state(tid, run, TaskState::ready);
+  }
+  for (std::uint64_t tid : dead_libraries) {
+    ready_runs_.erase(tid);
+    runs_.erase(tid);
+  }
+
+  // 3. Storage and fabric: every replica here is gone (cache dies with the
+  //    worker) and the NIC goes dark. Record what was lost first — the
+  //    recovery sweep below needs the list.
+  const std::vector<std::string> lost = replicas_.files_on(id);
+  replicas_.remove_worker(id);
+  net_.remove_node(w.node);
+  transfers_.remove_worker(id);
+
+  // 4. Fetches: the worker's own queue and transfer slots evaporate;
+  //    started fetches toward it are silently aborted; started fetches
+  //    *from* it fail at their destinations, which score the source and
+  //    re-plan. Victims are processed in start order for determinism.
+  worker_queue_[id].clear();
+  w.active_fetches = 0;
+  std::vector<std::pair<std::uint64_t, std::string>> to_abort, to_fail;
+  for (const auto& [uuid, pf] : inflight_) {
+    if (pf.dest == id) {
+      to_abort.emplace_back(pf.seq, uuid);
+    } else if (pf.source.kind == TransferSource::Kind::worker &&
+               pf.source.key == id) {
+      to_fail.emplace_back(pf.seq, uuid);
+    }
+  }
+  std::sort(to_abort.begin(), to_abort.end());
+  std::sort(to_fail.begin(), to_fail.end());
+  for (const auto& [_, uuid] : to_abort) {
+    auto it = inflight_.find(uuid);
+    if (it == inflight_.end()) continue;
+    PendingFetch pf = std::move(it->second);
+    inflight_.erase(it);
+    if (pf.flow) net_.cancel_flow(pf.flow);
+    if (pf.event) sim_.cancel(pf.event);
+    trace_.on_transfer_end(pf.dest, now);
+  }
+  for (const auto& [_, uuid] : to_fail) fail_inflight(uuid);
+
+  // 5. Transitive recovery: temps whose last replica died get their done
+  //    producers re-queued, up the ancestor chain.
+  recover_lost_temps(lost, now);
+  request_schedule();
+}
+
+void ClusterSim::rejoin_worker(const std::string& id) {
+  auto wit = workers_.find(id);
+  if (wit == workers_.end() || wit->second.joined) return;
+  ++stats_.worker_rejoins;
+  worker_queue_[id].clear();
+  worker_join(id);  // revives the flow-network node; cache starts cold
+}
+
+void ClusterSim::recover_lost_temps(const std::vector<std::string>& lost,
+                                    double now) {
+  std::vector<const SimFile*> stack;
+  std::set<std::uint64_t> visited;  // producer ids already handled
+  for (const auto& name : lost) {
+    auto it = files_.find(name);
+    if (it != files_.end()) stack.push_back(it->second.get());
+  }
+  while (!stack.empty()) {
+    const SimFile* f = stack.back();
+    stack.pop_back();
+    // Only temps need producer re-runs: archive/sharedfs/manager files
+    // refetch from their fixed source, unpacks re-run as mini-tasks.
+    if (f->origin != SimFile::Origin::temp) continue;
+    if (at_manager_.count(f->name)) continue;
+    if (replicas_.present_count(f->name) > 0) continue;  // a copy survived
+    SimTask* producer = f->producer;
+    if (producer == nullptr || visited.count(producer->id)) continue;
+    visited.insert(producer->id);
+    auto rit = runs_.find(producer->id);
+    if (rit == runs_.end()) continue;
+    TaskRun& run = rit->second;
+    if (run.state != TaskState::done) continue;  // already queued or running
+    ++stats_.recoveries;
+    run.worker.clear();
+    run.committed = false;
+    run.ready_at = now;
+    set_run_state(producer->id, run, TaskState::ready);
+    // The producer's own temp inputs may be gone too — recurse upward.
+    for (const auto* in : producer->inputs) stack.push_back(in);
+  }
+}
+
+ClusterSim::PendingFetch* ClusterSim::pick_peer_victim() {
+  // Deterministic choice: the oldest (min seq) live peer-sourced network
+  // fetch that is not already under a fault.
+  PendingFetch* best = nullptr;
+  for (auto& [_, pf] : inflight_) {
+    if (pf.is_unpack || pf.corrupted) continue;
+    if (pf.source.kind != TransferSource::Kind::worker) continue;
+    if (pf.flow == 0) continue;  // already stalled (flow cancelled)
+    if (best == nullptr || pf.seq < best->seq) best = &pf;
+  }
+  return best;
+}
+
+void ClusterSim::inject_peer_fail() {
+  PendingFetch* victim = pick_peer_victim();
+  if (victim == nullptr) return;  // nothing peer-to-peer in the air
+  ++stats_.faults_injected;
+  fail_inflight(victim->uuid);
+}
+
+void ClusterSim::inject_peer_stall(double timeout) {
+  PendingFetch* victim = pick_peer_victim();
+  if (victim == nullptr) return;
+  ++stats_.faults_injected;
+  // Bytes stop moving now; the receiver notices only when its idle timeout
+  // expires, then treats the fetch as failed and re-plans.
+  net_.cancel_flow(victim->flow);
+  victim->flow = 0;
+  victim->event = sim_.at(sim_.now() + timeout,
+                          [this, uuid = victim->uuid] { fail_inflight(uuid); });
+}
+
+void ClusterSim::inject_frame_corrupt() {
+  PendingFetch* victim = pick_peer_victim();
+  if (victim == nullptr) return;
+  ++stats_.faults_injected;
+  victim->corrupted = true;  // digest check rejects it on arrival
+}
+
+void ClusterSim::delay_running_task(double duration) {
+  // Deterministic choice: the running task with the lowest id.
+  for (auto& [tid, run] : runs_) {
+    if (run.state != TaskState::running || run.completion_event == 0) continue;
+    ++stats_.faults_injected;
+    sim_.cancel(run.completion_event);
+    const double done_at =
+        std::max(run.started_at_ + run.task->duration, sim_.now()) + duration;
+    run.completion_event = sim_.at(done_at, [this, id = tid] {
+      TaskRun& r = runs_[id];
+      r.completion_event = 0;
+      task_complete(r);
+    });
+    return;
+  }
+}
+
+void ClusterSim::audit(vine::AuditReport& report) const {
+  std::set<vine::WorkerId> joined;
+  for (const auto& [id, w] : workers_) {
+    if (w.joined) joined.insert(id);
+  }
+  replicas_.audit(report, joined);
+  transfers_.audit(report);
 }
 
 }  // namespace vinesim

@@ -21,6 +21,8 @@
 
 #include "catalog/replica_table.hpp"
 #include "catalog/transfer_table.hpp"
+#include "common/faults.hpp"
+#include "common/invariant.hpp"
 #include "common/rng.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/flow_network.hpp"
@@ -67,6 +69,8 @@ struct SimConfig {
   bool retrieve_temp_outputs = false;
 };
 
+struct SimTask;
+
 /// A declared file in the simulated workflow.
 struct SimFile {
   std::string name;
@@ -79,6 +83,10 @@ struct SimFile {
     unpack,    ///< materialized at the worker by an unpack mini-task
   } origin = Origin::manager;
   const SimFile* archive_of = nullptr;  ///< unpack: the packed source
+  /// For temps: the task whose outputs include this file, linked at run()
+  /// start. Crash recovery walks these backlinks to re-run the ancestor
+  /// chain of a lost replica.
+  SimTask* producer = nullptr;
 };
 
 /// A task in the simulated workflow.
@@ -125,6 +133,13 @@ struct SimStats {
   /// must never exceed the configured worker_source_limit in supervised
   /// mode (invariant checked by the property tests).
   int max_worker_source_inflight = 0;
+
+  // ---- fault injection & recovery (apply_fault_plan / fail_worker) ----
+  int worker_crashes = 0;     ///< fail_worker teardowns executed
+  int worker_rejoins = 0;     ///< crashed workers that came back
+  int faults_injected = 0;    ///< fault-plan events that found a target
+  int transfer_failures = 0;  ///< fetches that failed (injected or crash)
+  int recoveries = 0;         ///< done producers re-queued for lost temps
 };
 
 class ClusterSim {
@@ -163,6 +178,31 @@ class ClusterSim {
   /// Run to completion (all events drained). Returns the makespan.
   double run();
 
+  // ------------------------------------------------ fault injection
+
+  /// Schedule a deterministic fault plan against this cluster. Worker
+  /// indices are applied modulo the worker list (add workers first). Timed
+  /// crashes that would take down the last joined worker are skipped, so a
+  /// plan can always converge. Call before run().
+  void apply_fault_plan(const vine::faults::FaultPlan& plan);
+
+  /// Crash a worker now: its snapshot leaves the scheduler view, running
+  /// and dispatched tasks are re-queued, fetches to it are aborted and
+  /// fetches *from* it fail at their destinations, its replicas vanish,
+  /// and lost temps have their producer chain transitively re-queued.
+  void fail_worker(const std::string& id);
+
+  /// Bring a crashed worker back with an empty cache (libraries redeploy).
+  void rejoin_worker(const std::string& id);
+
+  /// Workers currently joined (survives crashes/rejoins).
+  std::size_t joined_workers() const;
+
+  /// Catalog consistency sweep: replica table (with membership against the
+  /// joined worker set) and transfer table. Chaos tests run this at
+  /// quiescent points and after every crash.
+  void audit(vine::AuditReport& report) const;
+
   const TraceRecorder& trace() const { return trace_; }
   const SimStats& stats() const { return stats_; }
   double makespan() const { return makespan_; }
@@ -177,6 +217,7 @@ class ClusterSim {
     double join_at = 0;
     bool joined = false;
     int active_fetches = 0;  ///< fetches currently drawing on the NIC
+    int tasks_completed = 0;  ///< real-task completions (after_tasks triggers)
   };
 
   struct PendingFetch {
@@ -185,6 +226,10 @@ class ClusterSim {
     std::string dest;
     vine::TransferSource source;
     bool is_unpack = false;
+    FlowId flow = 0;        ///< network fetch: the flow moving the bytes
+    EventId event = 0;      ///< unpack completion / stall-timeout event
+    std::uint64_t seq = 0;  ///< start order; fault victims picked by min seq
+    bool corrupted = false; ///< frame_corrupt: digest check fails on arrival
   };
 
   struct TaskRun {
@@ -194,6 +239,8 @@ class ClusterSim {
     bool committed = false;
     double ready_at = 0;
     double started_at_ = 0;
+    EventId dispatch_event = 0;    ///< pending dispatch; cancelled on crash
+    EventId completion_event = 0;  ///< pending completion; cancelled on crash
   };
 
   void worker_join(const std::string& id);
@@ -202,8 +249,29 @@ class ClusterSim {
   bool ensure_file_at(const SimFile* file, const std::string& worker);
   void enqueue_fetch(PendingFetch fetch);
   void start_next_fetches(const std::string& worker);
-  void start_fetch(const PendingFetch& fetch);
+  void start_fetch(PendingFetch fetch);
+  /// Completion path for a started fetch: looks it up by uuid (no-op when
+  /// a crash already tore it down) and finishes or — when the blob arrived
+  /// corrupted — fails it.
+  void finish_inflight(const std::string& uuid);
+  /// Failure path by uuid (stall timeout); cancels whatever is still
+  /// scheduled and runs fetch_failed.
+  void fail_inflight(const std::string& uuid);
   void fetch_complete(const PendingFetch& fetch);
+  /// A fetch died: release the transfer record and the pending replica,
+  /// score the source, free the destination's transfer slot, and schedule
+  /// a retry pass when the source's backoff window closes.
+  void fetch_failed(const PendingFetch& fetch);
+  // ---- fault-plan handlers ----
+  PendingFetch* pick_peer_victim();
+  void inject_peer_fail();
+  void inject_peer_stall(double timeout);
+  void inject_frame_corrupt();
+  void delay_running_task(double duration);
+  void maybe_fire_task_triggers(const std::string& worker);
+  /// Re-queue the done producers of temps that lost their last replica,
+  /// transitively up the ancestor chain (cycle-safe via a visited set).
+  void recover_lost_temps(const std::vector<std::string>& lost, double now);
   void dispatch(TaskRun& run);
   /// Every run-state transition goes through here so ready_runs_ (the
   /// queue schedule_pass walks) stays in lockstep with the states.
@@ -234,8 +302,8 @@ class ClusterSim {
   std::vector<std::string> worker_order_;
   // Dense scheduler view, one snapshot per *joined* worker (join order),
   // maintained incrementally at every commit/release so a schedule pass
-  // never rebuilds it. Workers never leave the simulation, so slots are
-  // append-only.
+  // never rebuilds it. A crash swap-pops the worker's slot (the displaced
+  // worker's slot index is patched); a rejoin appends a fresh one.
   std::vector<vine::WorkerSnapshot> snapshots_;
   double total_avail_cores_ = 0;  ///< Σ available().cores over snapshots_
 
@@ -253,6 +321,10 @@ class ClusterSim {
   std::map<std::string, std::deque<PendingFetch>> worker_queue_;
   std::set<std::string> at_manager_;  ///< temp files retrieved to manager
 
+  // Fault-plan events with after_tasks triggers, waiting on the target
+  // worker's Nth real-task completion.
+  std::map<std::string, std::vector<vine::faults::FaultEvent>> task_triggers_;
+
   TraceRecorder trace_;
   SimStats stats_;
   double makespan_ = 0;
@@ -260,6 +332,7 @@ class ClusterSim {
   bool pass_scheduled_ = false;
   std::uint64_t next_task_id_ = 1;
   std::uint64_t next_unpack_id_ = 1;
+  std::uint64_t next_fetch_seq_ = 1;
 };
 
 }  // namespace vinesim

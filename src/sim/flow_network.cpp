@@ -106,17 +106,12 @@ FlowId FlowNetwork::start_flow(NodeToken src, NodeToken dst, std::int64_t bytes,
   return pack_flow(flows_[slot].gen, slot);
 }
 
-void FlowNetwork::complete_flow(std::uint32_t slot, std::uint32_t gen) {
-  Flow& f = flows_[slot];
-  if (f.gen != gen || f.src == kInvalidNode) return;  // stale event (defensive)
-  const NodeToken src = f.src;
-  const NodeToken dst = f.dst;
-  auto on_complete = std::move(f.on_complete);
-
+void FlowNetwork::detach_flow(std::uint32_t slot) {
   // Detach from both port lists by swap-removal, fixing the moved flow's
   // recorded position (a no-op when the flow is the last element).
-  Node& s = nodes_[src];
-  Node& d = nodes_[dst];
+  Flow& f = flows_[slot];
+  Node& s = nodes_[f.src];
+  Node& d = nodes_[f.dst];
   const std::uint32_t moved_e = s.egress_list.back();
   s.egress_list[f.egress_pos] = moved_e;
   flows_[moved_e].egress_pos = f.egress_pos;
@@ -133,9 +128,39 @@ void FlowNetwork::complete_flow(std::uint32_t slot, std::uint32_t gen) {
   f.completion = 0;
   f.on_complete = nullptr;
   free_flows_.push_back(slot);
+}
 
+void FlowNetwork::complete_flow(std::uint32_t slot, std::uint32_t gen) {
+  Flow& f = flows_[slot];
+  if (f.gen != gen || f.src == kInvalidNode) return;  // stale event (defensive)
+  const NodeToken src = f.src;
+  const NodeToken dst = f.dst;
+  auto on_complete = std::move(f.on_complete);
+  detach_flow(slot);
   rebalance_ports(src, dst);
   if (on_complete) on_complete();
+}
+
+void FlowNetwork::cancel_flow(FlowId id) {
+  if (id == 0) return;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= flows_.size()) return;
+  Flow& f = flows_[slot];
+  if (f.gen != gen || f.src == kInvalidNode) return;  // already done/cancelled
+  if (f.completion) sim_.cancel(f.completion);
+
+  // Roll back the bytes that never moved so bytes_sent stays "bytes the
+  // port actually served" (the stats the bench summaries report).
+  const double now = sim_.now();
+  double undelivered = f.remaining - f.rate * (now - f.last_update);
+  if (undelivered < 0) undelivered = 0;
+  nodes_[f.src].bytes_sent -= static_cast<std::int64_t>(undelivered);
+
+  const NodeToken src = f.src;
+  const NodeToken dst = f.dst;
+  detach_flow(slot);
+  rebalance_ports(src, dst);
 }
 
 void FlowNetwork::reschedule(std::uint32_t slot, Flow& f, double now,

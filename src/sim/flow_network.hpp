@@ -97,6 +97,13 @@ class FlowNetwork {
   FlowId start_flow(const NodeId& src, const NodeId& dst, std::int64_t bytes,
                     std::function<void()> on_complete);
 
+  /// Abort an in-flight flow: its completion callback never fires, both
+  /// ports get their share back (survivors re-rate immediately), and the
+  /// source's bytes_sent is rolled back by the bytes that never moved.
+  /// Zero, stale, and already-completed ids are a free no-op, so callers
+  /// can cancel unconditionally (crash teardown).
+  void cancel_flow(FlowId id);
+
   /// Number of flows currently leaving / entering a node.
   int egress_flows(NodeToken token) const;
   int ingress_flows(NodeToken token) const;
@@ -157,6 +164,10 @@ class FlowNetwork {
   void rebalance_ports(NodeToken src, NodeToken dst);
   void reschedule(std::uint32_t slot, Flow& f, double now, double new_rate);
   void complete_flow(std::uint32_t slot, std::uint32_t gen);
+  /// Unlink a live flow from both port lists, bump its generation, and
+  /// recycle the slot. Shared by completion and cancellation; the caller
+  /// rebalances the two ports afterwards.
+  void detach_flow(std::uint32_t slot);
 
   Simulation& sim_;
   vine::Interner names_;        // node name <-> token

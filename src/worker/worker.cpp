@@ -1,9 +1,12 @@
 #include "worker/worker.hpp"
 
+#include <algorithm>
+
 #include "archive/vpak.hpp"
 #include "common/log.hpp"
 #include "common/uuid.hpp"
 #include "fsutil/fsutil.hpp"
+#include "hash/digest.hpp"
 #include "net/channel.hpp"
 #include "net/tcp.hpp"
 #include "worker/builtins.hpp"
@@ -69,7 +72,19 @@ void Worker::start() {
 }
 
 void Worker::run() {
+  double last_beat = clock_.now();
   while (!stopping_.load()) {
+    if (hung_.load()) {
+      // Injected hang: the connection stays open but nothing is processed
+      // and no heartbeat goes out — indistinguishable from a wedged worker.
+      std::this_thread::sleep_for(20ms);
+      continue;
+    }
+    if (config_.heartbeat_interval_ms > 0 &&
+        (clock_.now() - last_beat) * 1000.0 >= config_.heartbeat_interval_ms) {
+      last_beat = clock_.now();
+      send_to_manager(proto::HeartbeatMsg{});
+    }
     auto frame = manager_->recv(100ms);
     if (!frame.ok()) {
       if (frame.error().code == Errc::timeout) continue;
@@ -207,7 +222,8 @@ void Worker::handle_frame(Frame frame) {
 
 void Worker::handle_put(const proto::PutMsg& msg) {
   // The object's bytes follow as a blob frame on the same connection.
-  auto blob = manager_->recv(60000ms);
+  auto blob = manager_->recv(
+      std::chrono::milliseconds(std::max(1, config_.transfer_io_timeout_ms)));
   if (!blob.ok() || blob->kind != Frame::Kind::blob) {
     send_cache_update(msg.cache_name, msg.transfer_id, false, -1,
                       "put not followed by blob frame");
@@ -262,36 +278,24 @@ void Worker::do_fetch(const proto::FetchMsg& msg) {
     stored = body.ok() ? cache_->put_bytes(msg.cache_name, *body, msg.level)
                        : Status(body.error());
   } else if (msg.source.kind == TransferSource::Kind::worker) {
-    // Peer transfer: connect, request, receive header + blob.
-    auto peer = connect_to(msg.source_addr, 5000ms);
-    if (!peer.ok()) {
-      stored = Status(peer.error());
-    } else {
-      (*peer)->send_json(proto::encode(proto::GetMsg{msg.cache_name}));
-      auto header = (*peer)->recv(60000ms);
-      if (!header.ok() || header->kind != Frame::Kind::json) {
-        stored = Error{Errc::protocol_error, "bad peer response header"};
-      } else {
-        auto decoded = proto::decode(header->msg);
-        if (!decoded.ok() || !std::holds_alternative<proto::ObjMsg>(*decoded)) {
-          stored = Error{Errc::protocol_error, "peer sent non-obj response"};
-        } else {
-          auto& obj = std::get<proto::ObjMsg>(*decoded);
-          if (!obj.ok) {
-            stored = Error{Errc::not_found, "peer miss: " + obj.error};
-          } else {
-            auto blob = (*peer)->recv(120000ms);
-            if (!blob.ok() || blob->kind != Frame::Kind::blob) {
-              stored = Error{Errc::protocol_error, "peer blob missing"};
-            } else if (obj.is_dir) {
-              stored = cache_->put_archive(msg.cache_name, blob->data, msg.level);
-            } else {
-              stored = cache_->put_bytes(msg.cache_name, blob->data, msg.level);
-            }
-          }
-        }
-      }
-      if (*peer) (*peer)->close();
+    // Peer transfer, with bounded retries: a transient peer failure (drop,
+    // stall, corrupt frame) backs off and tries again before bothering the
+    // manager; persistent failures surface as a failed cache update so the
+    // manager can re-plan around the source.
+    int attempt = 0;
+    for (;;) {
+      stored = fetch_from_peer(msg);
+      if (stored.ok() || stopping_.load()) break;
+      if (stored.error().code == Errc::not_found) break;  // peer lost it; re-plan
+      if (attempt >= config_.fetch_retries) break;
+      const auto backoff =
+          std::chrono::milliseconds(std::max(1, config_.fetch_backoff_ms) << attempt);
+      VINE_LOG_WARN("worker", "%s: peer fetch of %s failed (%s); retry in %lldms",
+                    config_.id.c_str(), msg.cache_name.c_str(),
+                    stored.error().message.c_str(),
+                    static_cast<long long>(backoff.count()));
+      std::this_thread::sleep_for(backoff);
+      ++attempt;
     }
   }
 
@@ -303,6 +307,50 @@ void Worker::do_fetch(const proto::FetchMsg& msg) {
   auto e = cache_->entry(msg.cache_name);
   send_cache_update(msg.cache_name, msg.transfer_id, true,
                     e.ok() ? e->size : 0, "");
+}
+
+Status Worker::fetch_from_peer(const proto::FetchMsg& msg) {
+  auto peer = connect_to(msg.source_addr, 5000ms);
+  if (!peer.ok()) return Status(peer.error());
+  const auto io =
+      std::chrono::milliseconds(std::max(1, config_.transfer_io_timeout_ms));
+  (*peer)->set_io_timeout(io);
+  Status stored = Status::success();
+  (*peer)->send_json(proto::encode(proto::GetMsg{msg.cache_name}));
+  auto header = (*peer)->recv(io);
+  if (!header.ok() || header->kind != Frame::Kind::json) {
+    stored = header.ok() || header.error().code != Errc::timeout
+                 ? Status(Error{Errc::protocol_error, "bad peer response header"})
+                 : Status(header.error());
+  } else {
+    auto decoded = proto::decode(header->msg);
+    if (!decoded.ok() || !std::holds_alternative<proto::ObjMsg>(*decoded)) {
+      stored = Error{Errc::protocol_error, "peer sent non-obj response"};
+    } else {
+      auto& obj = std::get<proto::ObjMsg>(*decoded);
+      if (!obj.ok) {
+        stored = Error{Errc::not_found, "peer miss: " + obj.error};
+      } else {
+        auto blob = (*peer)->recv(io);
+        if (!blob.ok() || blob->kind != Frame::Kind::blob) {
+          stored = !blob.ok() && blob.error().code == Errc::timeout
+                       ? Status(blob.error())
+                       : Status(Error{Errc::protocol_error, "peer blob missing"});
+        } else if (!obj.digest.empty() && md5_buffer(blob->data) != obj.digest) {
+          // The sender attested the content; a mismatch means the bytes
+          // were damaged in flight. Fail the transfer instead of caching
+          // poisoned data.
+          stored = Error{Errc::io_error, "peer blob digest mismatch"};
+        } else if (obj.is_dir) {
+          stored = cache_->put_archive(msg.cache_name, blob->data, msg.level);
+        } else {
+          stored = cache_->put_bytes(msg.cache_name, blob->data, msg.level);
+        }
+      }
+    }
+  }
+  (*peer)->close();
+  return stored;
 }
 
 void Worker::do_mini_task(const proto::MiniTaskMsg& msg) {
@@ -534,6 +582,15 @@ void Worker::serve_peer(const std::shared_ptr<Endpoint>& peer) {
     if (!msg.ok() || !std::holds_alternative<proto::GetMsg>(*msg)) continue;
     const auto& get = std::get<proto::GetMsg>(*msg);
 
+    faults::WorkerFaults* flt = config_.faults.get();
+    if (flt && faults::WorkerFaults::take(flt->fail_peer_serves)) {
+      // Injected peer failure: drop the connection without answering, as a
+      // crashing server would. The requester sees a closed/timeout error.
+      flt->injected.fetch_add(1);
+      peer->close();
+      return;
+    }
+
     proto::ObjMsg obj;
     obj.cache_name = get.cache_name;
     auto data = cache_->read_for_transfer(get.cache_name);
@@ -545,6 +602,27 @@ void Worker::serve_peer(const std::shared_ptr<Endpoint>& peer) {
     }
     obj.ok = true;
     obj.is_dir = data->second;
+    // Attest the content so the receiver can reject in-flight corruption.
+    obj.digest = md5_buffer(data->first);
+
+    if (flt && faults::WorkerFaults::take(flt->stall_peer_serves)) {
+      // Injected mid-stream stall: the header goes out, the blob never
+      // does. The requester's transfer_io_timeout must unwedge it.
+      flt->injected.fetch_add(1);
+      peer->send_json(proto::encode(obj));
+      const double until = clock_.now() + flt->stall_ms.load() / 1000.0;
+      while (!stopping_.load() && clock_.now() < until) {
+        std::this_thread::sleep_for(10ms);
+      }
+      peer->close();
+      return;
+    }
+    if (flt && faults::WorkerFaults::take(flt->corrupt_peer_blobs)) {
+      // Injected frame corruption: flip a byte after attesting the honest
+      // digest, so the receiver's verification catches it.
+      flt->injected.fetch_add(1);
+      if (!data->first.empty()) data->first[data->first.size() / 2] ^= 0x40;
+    }
     peer->send_json(proto::encode(obj));
     peer->send_blob(get.cache_name, std::move(data->first));
   }

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
-
+#include "common/faults.hpp"
 #include "files/url_fetcher.hpp"
 #include "net/frame.hpp"
 #include "net/msg_queue.hpp"
@@ -51,6 +51,26 @@ struct WorkerConfig {
 
   /// Serve peer transfers over real TCP instead of an in-process channel.
   bool tcp_transfer_service = false;
+
+  /// Keepalive cadence on the control connection; an idle worker still
+  /// sends proof of life this often so the manager's heartbeat deadline
+  /// only fires on genuinely hung workers. 0 disables heartbeats.
+  int heartbeat_interval_ms = 1000;
+
+  /// Idle window for transfer-side reads (peer header/blob, manager put
+  /// blob): a peer that goes silent mid-transfer surfaces Errc::timeout
+  /// after this long instead of wedging a fetch thread.
+  int transfer_io_timeout_ms = 60000;
+
+  /// Peer/url fetch retries before reporting failure to the manager, with
+  /// exponential backoff between attempts (manager-side re-planning around
+  /// the failed source is the next line of defense).
+  int fetch_retries = 1;
+  int fetch_backoff_ms = 50;
+
+  /// Fault-injection hooks for chaos tests (see common/faults.hpp).
+  /// Null = no injection, zero cost.
+  faults::WorkerFaultsHandle faults;
 };
 
 class Worker {
@@ -75,6 +95,13 @@ class Worker {
   const std::string& id() const { return config_.id; }
   CacheStore& cache() { return *cache_; }
   const std::string& transfer_addr() const { return transfer_addr_; }
+
+  /// Fault injection: freeze the control loop while keeping the connection
+  /// open — the worker stops processing instructions and heartbeating, as a
+  /// deadlocked or GC-wedged worker would. Only the manager's heartbeat
+  /// deadline can get rid of it.
+  void inject_hang() { hung_.store(true); }
+  void clear_hang() { hung_.store(false); }
 
  private:
   explicit Worker(WorkerConfig config);
@@ -111,6 +138,9 @@ class Worker {
   };
   void transfer_worker_main();
   void do_fetch(const proto::FetchMsg& msg);
+  /// One peer-fetch attempt: connect, GET, verify the attested digest,
+  /// store. do_fetch wraps this in the retry/backoff loop.
+  Status fetch_from_peer(const proto::FetchMsg& msg);
   void do_mini_task(const proto::MiniTaskMsg& msg);
 
   // --- task execution ---
@@ -152,6 +182,7 @@ class Worker {
 
   std::thread run_thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> hung_{false};  ///< inject_hang(): frozen control loop
 
   /// Worker-local monotonic clock; all reported timestamps share it.
   SteadyClock clock_;

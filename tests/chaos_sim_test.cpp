@@ -1,0 +1,224 @@
+// Chaos soak for the cluster simulator: seeded FaultPlans replayed as
+// discrete events against a multi-stage temp workflow. Every seed must
+// converge (no unfinished tasks), leave the catalog tables consistent
+// (vine::check auditors), and replay bit-identically.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/faults.hpp"
+#include "common/invariant.hpp"
+#include "common/uuid.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace vinesim {
+namespace {
+
+namespace faults = vine::faults;
+
+SimConfig chaos_config(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  // Slow the fabric so transfers overlap task execution and fault windows:
+  // a 200 MB temp takes ~0.16 s of virtual time on a 1.25 GB/s NIC.
+  cfg.worker_nic_Bps = 1.25e9;
+  cfg.archive_Bps = 1.25e9;
+  cfg.sched.health = {.backoff_base_s = 0.2, .backoff_cap_s = 2.0};
+  return cfg;
+}
+
+// A diamond-ish workflow with enough cross-worker temps that crashes lose
+// intermediate data: 6 producers -> 6 transforms -> 1 join.
+void build_workflow(ClusterSim& cs) {
+  SimTask* join = cs.add_task("join", 0.4, 1.0);
+  for (int i = 0; i < 6; ++i) {
+    auto* raw = cs.declare_file("raw" + std::to_string(i), 0,
+                                SimFile::Origin::temp);
+    auto* mid = cs.declare_file("mid" + std::to_string(i), 0,
+                                SimFile::Origin::temp);
+    auto* produce = cs.add_task("produce", 0.5, 1.0);
+    produce->outputs.push_back({raw, 200000000});
+    auto* transform = cs.add_task("transform", 0.5, 1.0);
+    transform->inputs.push_back(raw);
+    transform->outputs.push_back({mid, 200000000});
+    join->inputs.push_back(mid);
+  }
+}
+
+struct ChaosResult {
+  double makespan = 0;
+  SimStats stats;
+};
+
+ChaosResult run_chaos(std::uint64_t seed) {
+  // Transfer uuids come from the process-global generator; reseeding keeps
+  // the whole run (ids included) a pure function of the seed.
+  vine::reseed_uuid_generator(seed);
+
+  ClusterSim cs(chaos_config(seed));
+  for (int i = 0; i < 4; ++i) cs.add_worker("w" + std::to_string(i), 0, 4);
+  build_workflow(cs);
+
+  faults::FaultPlanConfig fp;
+  fp.seed = seed;
+  fp.workers = 4;
+  fp.horizon = 8.0;
+  fp.crashes = 2;
+  fp.peer_faults = 3;
+  fp.delays = 1;
+  fp.rejoin_mean = 2.0;
+  fp.stall_timeout = 0.5;
+  cs.apply_fault_plan(faults::FaultPlan::generate(fp));
+
+  ChaosResult r;
+  r.makespan = cs.run();
+
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0) << "seed " << seed;
+  // tasks_done counts completions, so recovery re-runs push it above the
+  // 13 distinct tasks; it must never come in below them.
+  EXPECT_GE(cs.stats().tasks_done, 13) << "seed " << seed;
+
+  // S4: the catalog must be consistent at quiescence — no replicas or
+  // transfers attributed to crashed workers, no dangling transfer entries.
+  vine::AuditReport report;
+  cs.audit(report);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << "\n" << report.to_string();
+
+  r.stats = cs.stats();
+  return r;
+}
+
+TEST(ChaosSim, SoakSeeds1Through10) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) run_chaos(seed);
+}
+
+TEST(ChaosSim, SoakSeeds11Through20) {
+  for (std::uint64_t seed = 11; seed <= 20; ++seed) run_chaos(seed);
+}
+
+TEST(ChaosSim, ReplayIsBitDeterministic) {
+  // Same seed -> same fault schedule -> same recovery decisions -> exactly
+  // equal makespan and counters, twice in the same process.
+  for (std::uint64_t seed : {3ull, 7ull, 13ull}) {
+    ChaosResult a = run_chaos(seed);
+    ChaosResult b = run_chaos(seed);
+    EXPECT_EQ(a.makespan, b.makespan) << "seed " << seed;
+    EXPECT_EQ(a.stats.tasks_done, b.stats.tasks_done);
+    EXPECT_EQ(a.stats.worker_crashes, b.stats.worker_crashes);
+    EXPECT_EQ(a.stats.worker_rejoins, b.stats.worker_rejoins);
+    EXPECT_EQ(a.stats.transfer_failures, b.stats.transfer_failures);
+    EXPECT_EQ(a.stats.recoveries, b.stats.recoveries);
+    EXPECT_EQ(a.stats.transfers_from_peers, b.stats.transfers_from_peers);
+    EXPECT_EQ(a.stats.bytes_from_peers, b.stats.bytes_from_peers);
+    EXPECT_EQ(a.stats.sched_passes, b.stats.sched_passes);
+  }
+}
+
+TEST(ChaosSim, CrashRerunsLostWork) {
+  // Deterministic single crash: the worker holding a finished temp dies
+  // before the consumer runs elsewhere; the producer must rerun.
+  ClusterSim cs(chaos_config(1));
+  cs.add_worker("w0", 0, 1);
+  cs.add_worker("w1", 0, 1);
+  auto* mid = cs.declare_file("mid", 0, SimFile::Origin::temp);
+  auto* produce = cs.add_task("produce", 1.0, 1.0);
+  produce->outputs.push_back({mid, 2000000000});  // ~1.6 s on the wire
+  auto* consume = cs.add_task("consume", 1.0, 1.0);
+  consume->inputs.push_back(mid);
+  consume->pin_worker = "w1";
+  produce->pin_worker = "w0";
+
+  // Crash w0 mid-transfer: the consumer's fetch aborts and the only copy
+  // of `mid` dies with the worker. The producer keeps its pin, so w0 must
+  // rejoin for the rerun.
+  cs.sim().at(1.5, [&] {
+    if (cs.joined_workers() > 1) cs.fail_worker("w0");
+  });
+  cs.sim().at(2.0, [&] { cs.rejoin_worker("w0"); });
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  EXPECT_EQ(cs.stats().worker_crashes, 1);
+  EXPECT_EQ(cs.stats().worker_rejoins, 1);
+  EXPECT_GE(cs.stats().recoveries, 1);
+  EXPECT_GE(cs.stats().transfer_failures, 1);
+  vine::AuditReport report;
+  cs.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ChaosSim, TransitiveRecoveryRerunsAncestors) {
+  // a -> b chain on one worker; crash it after both finish while a second
+  // worker still needs b. Both producers must rerun (transitively) because
+  // b's rerun needs a, which died with the same worker.
+  ClusterSim cs(chaos_config(1));
+  cs.add_worker("w0", 0, 2);
+  cs.add_worker("w1", 0, 2);
+  auto* fa = cs.declare_file("a", 0, SimFile::Origin::temp);
+  auto* fb = cs.declare_file("b", 0, SimFile::Origin::temp);
+  auto* ta = cs.add_task("ta", 0.5, 1.0);
+  ta->outputs.push_back({fa, 1000});
+  ta->pin_worker = "w0";
+  auto* tb = cs.add_task("tb", 0.5, 1.0);
+  tb->inputs.push_back(fa);
+  tb->outputs.push_back({fb, 2000000000});  // in flight to w1 when w0 dies
+  tb->pin_worker = "w0";
+  auto* tc = cs.add_task("tc", 10.0, 1.0);
+  tc->inputs.push_back(fb);
+  tc->pin_worker = "w1";
+
+  cs.sim().at(1.2, [&] {
+    if (cs.joined_workers() > 1) cs.fail_worker("w0");
+  });
+  cs.sim().at(1.4, [&] { cs.rejoin_worker("w0"); });
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  // At least a and b reran (>= 2 recovery requeues). tc may also restart
+  // if it was already running against the lost input.
+  EXPECT_GE(cs.stats().recoveries, 2);
+}
+
+TEST(ChaosSim, LastWorkerCrashIsSkipped) {
+  // A plan that would kill the only worker must be ignored, not wedge.
+  vine::reseed_uuid_generator(1);
+  ClusterSim cs(chaos_config(1));
+  cs.add_worker("w0", 0, 4);
+  for (int i = 0; i < 3; ++i) cs.add_task("t", 1.0, 1.0);
+
+  faults::FaultPlanConfig fp;
+  fp.seed = 5;
+  fp.workers = 1;
+  fp.horizon = 3.0;
+  fp.crashes = 3;
+  fp.peer_faults = 0;
+  fp.delays = 0;
+  fp.hang_chance = 0;
+  cs.apply_fault_plan(faults::FaultPlan::generate(fp));
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  EXPECT_EQ(cs.stats().worker_crashes, 0);
+}
+
+TEST(ChaosSim, RejoinedWorkerTakesNewWork) {
+  ClusterSim cs(chaos_config(1));
+  cs.add_worker("w0", 0, 1);
+  cs.add_worker("w1", 0, 1);
+  for (int i = 0; i < 6; ++i) cs.add_task("t", 1.0, 1.0);
+
+  cs.sim().at(0.5, [&] {
+    if (cs.joined_workers() > 1) cs.fail_worker("w1");
+  });
+  cs.sim().at(1.0, [&] { cs.rejoin_worker("w1"); });
+
+  double makespan = cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  EXPECT_EQ(cs.stats().tasks_done, 6);
+  // With w1 back by t=1.0 the 6 tasks split across two cores again; a
+  // wedged rejoin would serialize all remaining work on w0.
+  EXPECT_LT(makespan, 6.0);
+}
+
+}  // namespace
+}  // namespace vinesim

@@ -1,0 +1,374 @@
+// Runtime chaos soak: seeded FaultPlans replayed in scaled wall-clock time
+// against a LocalCluster — worker crashes, hangs (heartbeat eviction),
+// rejoins, and injected peer-transfer faults — plus targeted regression
+// tests for each recovery mechanism. Every run must end byte-correct with
+// the manager's catalog passing the vine::check auditors.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/faults.hpp"
+#include "common/invariant.hpp"
+#include "core/taskvine.hpp"
+#include "net/frame.hpp"
+#include "proto/messages.hpp"
+
+namespace vine {
+namespace {
+
+using namespace std::chrono_literals;
+namespace faults = vine::faults;
+
+constexpr auto kWait = 30000ms;
+
+// Shrink every liveness window so a chaos run fits in seconds: heartbeats
+// every 100 ms, eviction after 800 ms of silence, transfer reads time out
+// in 400 ms, and failed sources rehabilitate within half a second.
+LocalClusterConfig chaos_cluster_config(const faults::WorkerFaultsHandle& wf) {
+  LocalClusterConfig cfg;
+  cfg.workers = 4;
+  cfg.manager.heartbeat_deadline_ms = 800;
+  cfg.manager.sched.health = {.backoff_base_s = 0.05, .backoff_cap_s = 0.5};
+  cfg.tweak_worker = [wf](WorkerConfig& wc) {
+    wc.heartbeat_interval_ms = 100;
+    wc.transfer_io_timeout_ms = 400;
+    wc.fetch_retries = 2;
+    wc.fetch_backoff_ms = 20;
+    wc.faults = wf;
+  };
+  return cfg;
+}
+
+// Replay `plan` against the cluster in wall-clock time (plan seconds are
+// scaled down). Keeps at least one functioning (alive and not hung) worker
+// so the workflow can always converge. Runs until all events fired.
+void replay_plan(LocalCluster& cluster, const faults::FaultPlan& plan,
+                 const faults::WorkerFaultsHandle& wf, double scale) {
+  const std::size_t n = cluster.worker_count();
+  std::vector<bool> hung(n, false);
+  auto functioning = [&] {
+    int count = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      count += cluster.worker_alive(k) && !hung[k];
+    }
+    return count;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& ev : plan.events()) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::milliseconds(
+                 static_cast<int>(ev.at * scale * 1000)));
+    const std::size_t i = static_cast<std::size_t>(ev.worker) % n;
+    switch (ev.kind) {
+      case faults::FaultKind::worker_crash:
+        if (cluster.worker_alive(i) && !hung[i] && functioning() > 1) {
+          cluster.crash_worker(i);
+        }
+        break;
+      case faults::FaultKind::worker_hang:
+        if (cluster.worker_alive(i) && !hung[i] && functioning() > 1) {
+          cluster.worker(i).inject_hang();
+          hung[i] = true;
+        }
+        break;
+      case faults::FaultKind::worker_rejoin:
+        if (!cluster.worker_alive(i)) {
+          if (cluster.restart_worker(i).ok()) hung[i] = false;
+        }
+        break;
+      case faults::FaultKind::peer_fail:
+        wf->fail_peer_serves.fetch_add(1);
+        break;
+      case faults::FaultKind::peer_stall:
+        wf->stall_ms.store(800);
+        wf->stall_peer_serves.fetch_add(1);
+        break;
+      case faults::FaultKind::frame_corrupt:
+        wf->corrupt_peer_blobs.fetch_add(1);
+        break;
+      case faults::FaultKind::msg_delay:
+        break;  // no runtime hook; exercised in the simulator
+    }
+  }
+}
+
+// One chaos soak iteration: a three-chain temp workflow with a known join
+// output, a FaultPlan replayed against it, byte-correct results demanded.
+void run_chaos(std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  auto wf = std::make_shared<faults::WorkerFaults>();
+  auto cluster = LocalCluster::create(chaos_cluster_config(wf));
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+  Manager& m = (*cluster)->manager();
+
+  // Three produce->transform chains feeding one join; `sleep` keeps workers
+  // busy through the fault window so crashes actually interrupt work.
+  std::vector<FileRef> mids;
+  for (int i = 1; i <= 3; ++i) {
+    auto raw = m.declare_temp();
+    auto mid = m.declare_temp();
+    ASSERT_TRUE(m.submit(TaskBuilder("sleep 0.15; printf " +
+                                     std::to_string(i) + " > r")
+                             .output(raw, "r")
+                             .build())
+                    .ok());
+    ASSERT_TRUE(m.submit(TaskBuilder("sleep 0.15; expr $(cat r) \\* 2 > m")
+                             .input(raw, "r")
+                             .output(mid, "m")
+                             .build())
+                    .ok());
+    mids.push_back(mid);
+  }
+  auto join_id = m.submit(TaskBuilder("cat m1 m2 m3")
+                              .input(mids[0], "m1")
+                              .input(mids[1], "m2")
+                              .input(mids[2], "m3")
+                              .build());
+  ASSERT_TRUE(join_id.ok());
+
+  faults::FaultPlanConfig fp;
+  fp.seed = seed;
+  fp.workers = 4;
+  fp.horizon = 8.0;
+  fp.crashes = 2;
+  fp.peer_faults = 3;
+  fp.delays = 1;
+  fp.rejoin_mean = 2.0;
+  fp.stall_timeout = 0.4;
+  auto plan = faults::FaultPlan::generate(fp);
+  std::thread chaos(
+      [&] { replay_plan(**cluster, plan, wf, /*scale=*/0.12); });
+
+  std::string join_output;
+  for (int i = 0; i < 7; ++i) {
+    auto r = m.wait(kWait);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_TRUE(r->ok()) << "task " << r->id << ": " << r->error_message;
+    if (r->id == *join_id) join_output = r->output;
+  }
+  chaos.join();
+  EXPECT_EQ(join_output, "2\n4\n6\n");
+
+  // S4: quiescent-point invariant audit — no replicas or transfer records
+  // attributed to crashed/evicted workers, tables internally consistent.
+  for (int i = 0; i < 5; ++i) m.poll(10ms);
+  AuditReport report;
+  m.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Chaos, SoakSeeds1Through10) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) run_chaos(seed);
+}
+
+TEST(Chaos, SoakSeeds11Through20) {
+  for (std::uint64_t seed = 11; seed <= 20; ++seed) run_chaos(seed);
+}
+
+// ------------------------------------------------------- heartbeat eviction
+
+TEST(Heartbeat, HungWorkerEvictedAndTasksRequeued) {
+  auto wf = std::make_shared<faults::WorkerFaults>();
+  auto cfg = chaos_cluster_config(wf);
+  cfg.workers = 2;
+  auto cluster = LocalCluster::create(std::move(cfg));
+  ASSERT_TRUE(cluster.ok());
+  Manager& m = (*cluster)->manager();
+
+  // w0 stays connected but goes dead silent: no heartbeats, no task
+  // results. Only the deadline-based eviction can reclaim its tasks.
+  (*cluster)->worker(0).inject_hang();
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(m.submit(TaskBuilder("printf ok").build()).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto r = m.wait(kWait);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_TRUE(r->ok()) << r->error_message;
+    EXPECT_EQ(r->output, "ok");
+  }
+  EXPECT_GE(m.stats().workers_evicted, 1);
+  EXPECT_GE(m.stats().workers_lost, 1);
+}
+
+// ------------------------------------------------------- peer-fault injection
+
+struct PeerFixture {
+  faults::WorkerFaultsHandle wf = std::make_shared<faults::WorkerFaults>();
+  std::unique_ptr<LocalCluster> cluster;
+  FileRef file;
+
+  // Two workers; a temp produced (pinned) on w0 so the consumer on w1 must
+  // peer-fetch it across the injection hooks.
+  void start() {
+    auto cfg = chaos_cluster_config(wf);
+    cfg.workers = 2;
+    auto c = LocalCluster::create(std::move(cfg));
+    ASSERT_TRUE(c.ok()) << c.error().to_string();
+    cluster = std::move(*c);
+    Manager& m = cluster->manager();
+    file = m.declare_temp();
+    ASSERT_TRUE(m.submit(TaskBuilder("printf payload > f")
+                             .output(file, "f")
+                             .pin_to_worker("w0")
+                             .build())
+                    .ok());
+    auto r = m.wait(kWait);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->ok()) << r->error_message;
+  }
+
+  void consume_and_check() {
+    Manager& m = cluster->manager();
+    ASSERT_TRUE(m.submit(TaskBuilder("cat f")
+                             .input(file, "f")
+                             .pin_to_worker("w1")
+                             .build())
+                    .ok());
+    auto r = m.wait(kWait);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    ASSERT_TRUE(r->ok()) << r->error_message;
+    EXPECT_EQ(r->output, "payload");
+    EXPECT_GE(wf->injected.load(), 1);
+  }
+};
+
+TEST(PeerFaults, DroppedServeIsRetried) {
+  PeerFixture f;
+  f.start();
+  if (::testing::Test::HasFatalFailure()) return;
+  f.wf->fail_peer_serves.store(1);
+  f.consume_and_check();
+}
+
+TEST(PeerFaults, CorruptBlobRejectedByDigestAndRetried) {
+  PeerFixture f;
+  f.start();
+  if (::testing::Test::HasFatalFailure()) return;
+  f.wf->corrupt_peer_blobs.store(1);
+  f.consume_and_check();
+}
+
+TEST(PeerFaults, MidStreamStallTimesOutAndRetries) {
+  PeerFixture f;
+  f.start();
+  if (::testing::Test::HasFatalFailure()) return;
+  // Stall longer than the receiver's 400 ms io timeout: the fetch must
+  // surface Errc::timeout and retry instead of wedging for 60 s.
+  f.wf->stall_ms.store(900);
+  f.wf->stall_peer_serves.store(1);
+  f.consume_and_check();
+}
+
+// --------------------------------------------- reader-join deadlock (S1)
+
+TEST(WorkerLost, AbruptDisconnectStormDoesNotDeadlockManager) {
+  // Regression: handle_worker_lost used to join the connection's reader
+  // thread while holding conn_mutex_; a disconnect storm concurrent with
+  // normal traffic could deadlock the pump. Hammer the manager with
+  // hello-then-vanish connections while a real workflow runs.
+  auto cluster = LocalCluster::create({.workers = 2});
+  ASSERT_TRUE(cluster.ok());
+  Manager& m = (*cluster)->manager();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ghosts;
+  for (int t = 0; t < 3; ++t) {
+    ghosts.emplace_back([&, t] {
+      for (int i = 0; i < 15 && !stop.load(); ++i) {
+        auto ep = connect_to(m.address(), 2000ms);
+        if (!ep.ok()) continue;
+        if (i % 2 == 0) {
+          proto::HelloMsg hello;
+          hello.worker_id = "ghost" + std::to_string(t) + "_" + std::to_string(i);
+          (void)(*ep)->send_json(proto::encode(hello));
+        }
+        // Abrupt close, mid-registration: the manager must tear the
+        // connection down without wedging.
+        (*ep)->close();
+      }
+    });
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(m.submit(TaskBuilder("printf x").build()).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto r = m.wait(kWait);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_TRUE(r->ok());
+  }
+  stop.store(true);
+  for (auto& g : ghosts) g.join();
+
+  // The manager must still be fully responsive.
+  ASSERT_TRUE(m.submit(TaskBuilder("printf done").build()).ok());
+  auto r = m.wait(kWait);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output, "done");
+}
+
+// ------------------------------------------- cascading worker loss (S3)
+
+TEST(Recovery, TwoQuickDeathsStillConverge) {
+  // stage1 -> stage2 temps; replicate stage1; then kill the stage2 holder
+  // and every stage1 holder in quick succession. The consumer forces a
+  // transitive re-run of both producers on the survivors.
+  auto cluster = LocalCluster::create({.workers = 4});
+  ASSERT_TRUE(cluster.ok());
+  Manager& m = (*cluster)->manager();
+
+  auto s1 = m.declare_temp();
+  auto s2 = m.declare_temp();
+  ASSERT_TRUE(m.submit(TaskBuilder("printf 7 > a").output(s1, "a").build()).ok());
+  ASSERT_TRUE(m.submit(TaskBuilder("expr $(cat a) \\* 6 > b")
+                           .input(s1, "a")
+                           .output(s2, "b")
+                           .build())
+                  .ok());
+  for (int i = 0; i < 2; ++i) {
+    auto r = m.wait(kWait);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->ok()) << r->error_message;
+  }
+  ASSERT_TRUE(m.replicate_file(s1, 2).ok());
+  for (int i = 0; i < 500 && m.replicas().present_count(s1->cache_name) < 2; ++i) {
+    m.poll(10ms);
+  }
+  ASSERT_EQ(m.replicas().present_count(s1->cache_name), 2);
+
+  // Kill the worker holding stage2, then — before recovery can re-fetch —
+  // every worker still holding stage1 (one of them may be the same box).
+  auto index_of = [](const WorkerId& id) {
+    return static_cast<std::size_t>(id[1] - '0');
+  };
+  auto s2_holders = m.replicas().workers_with(s2->cache_name);
+  ASSERT_EQ(s2_holders.size(), 1u);
+  (*cluster)->crash_worker(index_of(s2_holders[0]));
+  for (const auto& holder : m.replicas().workers_with(s1->cache_name)) {
+    std::size_t i = index_of(holder);
+    if ((*cluster)->worker_alive(i)) (*cluster)->crash_worker(i);
+  }
+  ASSERT_GE((*cluster)->alive_count(), 1u);
+
+  ASSERT_TRUE(m.submit(TaskBuilder("cat b").input(s2, "b").build()).ok());
+  auto r = m.wait(kWait);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  ASSERT_TRUE(r->ok()) << r->error_message;
+  EXPECT_EQ(r->output, "42\n");
+  EXPECT_GE(m.stats().recoveries, 2);
+  EXPECT_GE(m.stats().workers_lost, 2);
+
+  AuditReport report;
+  m.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace vine

@@ -1,0 +1,260 @@
+// Unit tests for the fault-injection layer: FaultPlan determinism and
+// bounds, WorkerFaults budget semantics, SourceHealth backoff scoring, and
+// plan_source's health-aware peer demotion / fallback behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/replica_table.hpp"
+#include "catalog/transfer_table.hpp"
+#include "common/faults.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/source_health.hpp"
+
+namespace vine {
+namespace {
+
+namespace faults = vine::faults;
+
+// ------------------------------------------------------------ FaultPlan
+
+TEST(FaultPlan, SameSeedSamePlan) {
+  faults::FaultPlanConfig cfg;
+  cfg.seed = 42;
+  cfg.crashes = 3;
+  cfg.peer_faults = 4;
+  cfg.delays = 2;
+  cfg.rejoin_mean = 1.0;
+  auto a = faults::FaultPlan::generate(cfg);
+  auto b = faults::FaultPlan::generate(cfg);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer) {
+  faults::FaultPlanConfig cfg;
+  cfg.crashes = 3;
+  cfg.peer_faults = 4;
+  cfg.seed = 1;
+  auto a = faults::FaultPlan::generate(cfg);
+  cfg.seed = 2;
+  auto b = faults::FaultPlan::generate(cfg);
+  EXPECT_NE(a.to_string(), b.to_string());
+}
+
+TEST(FaultPlan, EventsSortedAndInBounds) {
+  faults::FaultPlanConfig cfg;
+  cfg.seed = 7;
+  cfg.workers = 5;
+  cfg.horizon = 12.0;
+  cfg.crashes = 4;
+  cfg.peer_faults = 5;
+  cfg.delays = 3;
+  cfg.rejoin_mean = 2.0;
+  auto plan = faults::FaultPlan::generate(cfg);
+  ASSERT_GE(plan.size(), static_cast<std::size_t>(cfg.crashes + cfg.peer_faults + cfg.delays));
+  double prev = 0;
+  for (const auto& ev : plan.events()) {
+    EXPECT_GE(ev.at, prev) << ev.to_string();
+    prev = ev.at;
+    EXPECT_GE(ev.worker, 0);
+    EXPECT_LT(ev.worker, cfg.workers);
+    // Rejoins may land past the horizon (crash time + exp delay); every
+    // other event stays inside it.
+    if (ev.kind != faults::FaultKind::worker_rejoin) {
+      EXPECT_GT(ev.at, 0.0);
+      EXPECT_LE(ev.at, cfg.horizon);
+    }
+  }
+}
+
+TEST(FaultPlan, RejoinFollowsEveryCrashWhenEnabled) {
+  faults::FaultPlanConfig cfg;
+  cfg.seed = 11;
+  cfg.crashes = 5;
+  cfg.peer_faults = 0;
+  cfg.delays = 0;
+  cfg.hang_chance = 0;  // all plain crashes
+  cfg.rejoin_mean = 1.5;
+  auto plan = faults::FaultPlan::generate(cfg);
+  int crashes = 0, rejoins = 0;
+  for (const auto& ev : plan.events()) {
+    if (ev.kind == faults::FaultKind::worker_crash) ++crashes;
+    if (ev.kind == faults::FaultKind::worker_rejoin) ++rejoins;
+  }
+  EXPECT_EQ(crashes, 5);
+  EXPECT_EQ(rejoins, 5);
+}
+
+// ------------------------------------------------------------ WorkerFaults
+
+TEST(WorkerFaults, TakeConsumesBudgetExactly) {
+  faults::WorkerFaults wf;
+  wf.fail_peer_serves.store(2);
+  EXPECT_TRUE(faults::WorkerFaults::take(wf.fail_peer_serves));
+  EXPECT_TRUE(faults::WorkerFaults::take(wf.fail_peer_serves));
+  EXPECT_FALSE(faults::WorkerFaults::take(wf.fail_peer_serves));
+  EXPECT_FALSE(faults::WorkerFaults::take(wf.fail_peer_serves));
+  EXPECT_EQ(wf.fail_peer_serves.load(), 0);
+}
+
+TEST(WorkerFaults, ZeroBudgetNeverFires) {
+  faults::WorkerFaults wf;
+  EXPECT_FALSE(faults::WorkerFaults::take(wf.corrupt_peer_blobs));
+}
+
+// ------------------------------------------------------------ SourceHealth
+
+TEST(SourceHealth, BackoffGrowsExponentiallyAndCaps) {
+  SourceHealth h;
+  SourceHealthConfig cfg{.backoff_base_s = 1.0, .backoff_cap_s = 8.0};
+  auto w = TransferSource::from_worker("w1");
+  h.record_failure(w, 0.0, cfg);
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 1.0);  // base * 2^0
+  h.record_failure(w, 0.0, cfg);
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 2.0);  // base * 2^1
+  h.record_failure(w, 0.0, cfg);
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 4.0);
+  h.record_failure(w, 0.0, cfg);
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 8.0);
+  h.record_failure(w, 0.0, cfg);
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 8.0);  // capped
+  EXPECT_EQ(h.failures(w), 5);
+  EXPECT_TRUE(h.blacklisted(w, 7.9));
+  EXPECT_FALSE(h.blacklisted(w, 8.0));
+}
+
+TEST(SourceHealth, UntilNeverMovesBackward) {
+  SourceHealth h;
+  SourceHealthConfig cfg{.backoff_base_s = 1.0, .backoff_cap_s = 30.0};
+  auto w = TransferSource::from_worker("w1");
+  h.record_failure(w, 10.0, cfg);  // until = 11
+  h.record_failure(w, 5.0, cfg);   // 5 + 2 = 7 < 11: keeps 11
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 11.0);
+}
+
+TEST(SourceHealth, SuccessFullyRehabilitates) {
+  SourceHealth h;
+  SourceHealthConfig cfg;
+  auto w = TransferSource::from_worker("w1");
+  h.record_failure(w, 0.0, cfg);
+  h.record_failure(w, 0.0, cfg);
+  EXPECT_FALSE(h.empty());
+  h.record_success(w);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.failures(w), 0);
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 0.0);
+}
+
+TEST(SourceHealth, UrlsTrackedSeparatelyFromWorkers) {
+  SourceHealth h;
+  SourceHealthConfig cfg{.backoff_base_s = 2.0, .backoff_cap_s = 30.0};
+  auto url = TransferSource::from_url("http://a/x");
+  h.record_failure(url, 1.0, cfg);
+  EXPECT_TRUE(h.blacklisted(url, 2.0));
+  EXPECT_FALSE(h.blacklisted_worker("http://a/x", 2.0));
+  EXPECT_EQ(h.worker_failures("w1"), 0);
+}
+
+// ---------------------------------------------- plan_source with health
+
+struct PlanFixture {
+  Scheduler sched{SchedulerConfig{.worker_source_limit = 3}};
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+};
+
+TEST(PlanSourceHealth, BlacklistedPeerSkipped) {
+  PlanFixture f;
+  f.replicas.set_replica("data", "w1", ReplicaState::present, 100);
+  f.replicas.set_replica("data", "w2", ReplicaState::present, 100);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 10.0);
+
+  auto src = f.sched.plan_source("data", TransferSource::from_url("u"), "w3",
+                                 f.replicas, f.transfers, 10.0);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->kind, TransferSource::Kind::worker);
+  EXPECT_EQ(src->key, "w2");
+}
+
+TEST(PlanSourceHealth, AllPeersBlacklistedFallsBackToFixed) {
+  PlanFixture f;
+  f.replicas.set_replica("data", "w1", ReplicaState::present, 100);
+  f.replicas.set_replica("data", "w2", ReplicaState::present, 100);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 10.0);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w2"), 10.0);
+
+  auto fixed = TransferSource::from_url("http://archive/data");
+  auto src = f.sched.plan_source("data", fixed, "w3", f.replicas, f.transfers,
+                                 10.0);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->kind, TransferSource::Kind::url);
+}
+
+TEST(PlanSourceHealth, TempWithAllPeersBlacklistedReturnsManager) {
+  // For a temp the fixed source is the manager placeholder; the caller
+  // rejecting it amounts to waiting out the backoff window.
+  PlanFixture f;
+  f.replicas.set_replica("tmp", "w1", ReplicaState::present, 100);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 10.0);
+
+  auto src = f.sched.plan_source("tmp", TransferSource::from_manager(), "w3",
+                                 f.replicas, f.transfers, 10.0);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->kind, TransferSource::Kind::manager);
+}
+
+TEST(PlanSourceHealth, ExpiredBlacklistRestoresPeer) {
+  PlanFixture f;
+  f.replicas.set_replica("data", "w1", ReplicaState::present, 100);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 0.0);
+  const double until =
+      f.sched.source_health().blacklist_until(TransferSource::from_worker("w1"));
+  ASSERT_GT(until, 0.0);
+
+  auto src = f.sched.plan_source("data", TransferSource::from_url("u"), "w3",
+                                 f.replicas, f.transfers, until + 0.001);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->key, "w1");  // window closed: peer eligible again
+}
+
+TEST(PlanSourceHealth, FailureScoreDemotesFlakyPeer) {
+  PlanFixture f;
+  f.replicas.set_replica("data", "w1", ReplicaState::present, 100);
+  f.replicas.set_replica("data", "w2", ReplicaState::present, 100);
+  // w1 failed twice in the past; its backoff window has long expired, but
+  // the score still demotes it below the clean peer.
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 0.0);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 0.0);
+
+  auto src = f.sched.plan_source("data", TransferSource::from_url("u"), "w3",
+                                 f.replicas, f.transfers, 1000.0);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->key, "w2");
+}
+
+TEST(PlanSourceHealth, BlacklistedFixedSourceReturnsNullopt) {
+  PlanFixture f;
+  auto fixed = TransferSource::from_url("http://archive/data");
+  f.sched.note_transfer_failure(fixed, 10.0);
+  auto src = f.sched.plan_source("data", fixed, "w3", f.replicas, f.transfers,
+                                 10.0);
+  EXPECT_FALSE(src.has_value());
+}
+
+TEST(PlanSourceHealth, HealthyClusterIgnoresNow) {
+  // With no failures on record the `now` argument must not change the
+  // decision (the hot path never consults the tracker).
+  PlanFixture f;
+  f.replicas.set_replica("data", "w1", ReplicaState::present, 100);
+  auto a = f.sched.plan_source("data", TransferSource::from_url("u"), "w3",
+                               f.replicas, f.transfers);
+  auto b = f.sched.plan_source("data", TransferSource::from_url("u"), "w3",
+                               f.replicas, f.transfers, 1e9);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->key, b->key);
+}
+
+}  // namespace
+}  // namespace vine

@@ -2,6 +2,13 @@
 // transport, and cross-transport behaviour parity.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
 #include <thread>
 
 #include "common/uuid.hpp"
@@ -331,6 +338,66 @@ TEST(ConnectTo, BadTcpAddressFails) {
   EXPECT_FALSE(connect_to("not-an-address", 50ms).ok());
   EXPECT_FALSE(connect_to("1.2.3.4.5:99", 50ms).ok());
   EXPECT_FALSE(connect_to("127.0.0.1:notaport", 50ms).ok());
+}
+
+// -------------------------------------------------- idle/stall timeouts (S2)
+
+TEST(TcpTimeout, DeadSilentPeerSurfacesTimeout) {
+  // A peer that connects and never writes anything must surface
+  // Errc::timeout from recv() promptly, not block forever.
+  auto listener = tcp_listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = tcp_connect((*listener)->address(), 1000ms);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->accept(1000ms);
+  ASSERT_TRUE(server.ok());
+
+  auto start = std::chrono::steady_clock::now();
+  auto r = (*server)->recv(200ms);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::timeout);
+  EXPECT_GE(elapsed, 150ms);
+  EXPECT_LT(elapsed, 2000ms);
+}
+
+TEST(TcpTimeout, MidFrameStallSurfacesTimeoutNotWedge) {
+  // The nastier case: the peer sends a frame *header* promising 100 bytes,
+  // then goes dead silent. Without the io timeout the receiver would sit
+  // in the mid-frame continuation loop for the default 60 s. Endpoint
+  // sends are frame-atomic, so the torn frame is written through a raw
+  // socket (fine in tests; vine_lint bans raw IO in src/ only).
+  auto listener = tcp_listen(0);
+  ASSERT_TRUE(listener.ok());
+  const std::string addr = (*listener)->address();
+  const auto colon = addr.rfind(':');
+  ASSERT_NE(colon, std::string::npos);
+  const int port = std::stoi(addr.substr(colon + 1));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+
+  auto server = (*listener)->accept(1000ms);
+  ASSERT_TRUE(server.ok());
+  (*server)->set_io_timeout(150ms);
+
+  // u32 LE payload length (100) + kind 'J' — then silence.
+  const char header[5] = {'\x64', '\x00', '\x00', '\x00', 'J'};
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+
+  auto start = std::chrono::steady_clock::now();
+  auto r = (*server)->recv(5000ms);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::timeout);
+  EXPECT_LT(elapsed, 3000ms);  // far below the 60 s default window
+  ::close(fd);
 }
 
 TEST(ChannelFabricTest, DuplicateNameRejected) {

@@ -170,6 +170,25 @@ TEST(Proto, FileDataAndGetAndObj) {
   EXPECT_TRUE(obj.is_dir);
 }
 
+TEST(Proto, HeartbeatRoundTrip) {
+  EXPECT_TRUE(std::holds_alternative<HeartbeatMsg>(
+      *decode(encode(AnyMessage(HeartbeatMsg{})))));
+}
+
+TEST(Proto, ObjDigestRoundTrip) {
+  ObjMsg msg;
+  msg.cache_name = "md5-q";
+  msg.ok = true;
+  msg.digest = "9e107d9d372bb6826bd81d3542a419d6";
+  auto obj = round_trip(msg);
+  EXPECT_EQ(obj.digest, "9e107d9d372bb6826bd81d3542a419d6");
+
+  // Digest is optional: an empty one must survive the trip as empty
+  // (old senders that don't attest stay compatible).
+  auto bare = round_trip(ObjMsg{"md5-q", true, false, ""});
+  EXPECT_TRUE(bare.digest.empty());
+}
+
 TEST(Proto, ControlMessages) {
   EXPECT_TRUE(std::holds_alternative<EndWorkflowMsg>(
       *decode(encode(AnyMessage(EndWorkflowMsg{})))));

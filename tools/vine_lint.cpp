@@ -10,6 +10,8 @@
 //   new-delete       raw new/delete instead of RAII ownership
 //   catch-all        catch (...) that swallows instead of rethrowing
 //   errno-unchecked  strto* conversion with no errno check nearby
+//   raw-io           naked ::recv/::read outside the net layer, bypassing
+//                    the Endpoint timeout/shutdown discipline
 //
 // Findings can be vetted via an allowlist file where every entry carries a
 // justification (see tools/vine_lint_allowlist.txt). Exit status is nonzero
@@ -161,6 +163,7 @@ void scan_file(const fs::path& file, const std::string& rel,
 
   const bool is_clock_impl =
       rel == "common/clock.hpp" || rel == "common/clock.cpp";
+  const bool is_net_layer = rel.rfind("net/", 0) == 0;
 
   for (std::size_t i = 0; i < code.size(); ++i) {
     const std::string& c = code[i];
@@ -258,6 +261,26 @@ void scan_file(const fs::path& file, const std::string& rel,
         }
         if (!rethrows) {
           add(i, "catch-all", "catch (...) without rethrow swallows errors");
+        }
+      }
+    }
+
+    // raw-io: wire reads must flow through the net layer's Endpoint, whose
+    // recv() carries the idle/mid-frame timeout and shutdown discipline a
+    // naked syscall bypasses (a silent peer would wedge the calling thread
+    // forever, invisible to the heartbeat/eviction machinery).
+    if (!is_net_layer) {
+      for (const char* fn : {"::recv", "::read"}) {
+        std::size_t pos = c.find(fn);
+        if (pos != std::string::npos &&
+            (pos == 0 || !is_ident_char(c[pos - 1]))) {
+          std::size_t after = pos + std::string(fn).size();
+          if (after < c.size() && c[after] == '(') {
+            add(i, "raw-io",
+                std::string(fn) +
+                    "() outside net/; use Endpoint::recv with its timeout "
+                    "discipline");
+          }
         }
       }
     }
