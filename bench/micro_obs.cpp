@@ -1,0 +1,89 @@
+// Micro-benchmarks — the vine::obs tracing hot path. Every manager
+// scheduling pass, worker cache mutation, and sim fetch completion runs
+// through the same two-step pattern: a null-check on the configured sink
+// (tracing off) or TraceSink::emit (tracing on). The CI gate keeps those
+// honest: the disabled path must stay a branch on a pointer (effectively
+// free), and an enabled emit must stay under 150 ns/event so tracing can
+// be left on for full paper-scale simulations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "obs/trace_sink.hpp"
+
+namespace {
+
+using vine::obs::Event;
+using vine::obs::TraceSink;
+using vine::obs::TraceSinkOptions;
+
+/// Tracing disabled: exactly what an emitter call site does when no sink
+/// is configured — test a null pointer and skip the event construction
+/// entirely. This must not measurably differ from an empty loop.
+void BM_EmitDisabled(benchmark::State& state) {
+  std::shared_ptr<TraceSink> sink;  // tracing off
+  double t = 0;
+  for (auto _ : state) {
+    t += 1e-6;
+    if (sink) {
+      sink->emit("manager", Event::make_cache_insert(t, "w0", "f", 64, "store"));
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmitDisabled);
+
+/// Tracing enabled, views only (no retention, no file): the sink append
+/// path with a pre-built event — one Event copy, the sink's critical
+/// section, seq/clock stamping, and the ViewBuilder fold. cache_insert is
+/// tally-only in the views, so the measurement isolates the per-emit cost
+/// without accumulating unbounded view state across iterations.
+void BM_EmitEnabled(benchmark::State& state) {
+  TraceSink sink(TraceSinkOptions{.retain_events = false, .jsonl_path = ""});
+  const Event proto = Event::make_cache_insert(0, "w0", "file-0", 64, "store");
+  double t = 0;
+  for (auto _ : state) {
+    Event ev = proto;
+    ev.t = (t += 1e-6);
+    sink.emit("worker:w0", std::move(ev));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmitEnabled);
+
+/// Enabled emit plus JSONL streaming: adds canonical serialization and the
+/// buffered ofstream write. Not gated (throughput is dominated by the
+/// filesystem), reported for sizing trace-on simulation runs.
+void BM_EmitStreamed(benchmark::State& state) {
+  TraceSink sink(
+      TraceSinkOptions{.retain_events = false, .jsonl_path = "/dev/null"});
+  const Event proto = Event::make_cache_insert(0, "w0", "file-0", 64, "store");
+  double t = 0;
+  for (auto _ : state) {
+    Event ev = proto;
+    ev.t = (t += 1e-6);
+    sink.emit("worker:w0", std::move(ev));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmitStreamed);
+
+/// Canonical JSONL serialization alone (what flush-time writing and the
+/// golden tests pay per event).
+void BM_EventToJsonl(benchmark::State& state) {
+  const Event ev = Event::make_transfer_end(1.25, "dataset-000.vpak", "worker",
+                                            "w17", "w3", "w3", 200000000,
+                                            "uuid-0123456789abcdef", true);
+  for (auto _ : state) {
+    std::string line = vine::obs::event_to_jsonl(ev);
+    benchmark::DoNotOptimize(line);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventToJsonl);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,6 +18,9 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::create(LocalClusterConfig co
   if (config.fetcher && !config.manager.fetcher) {
     config.manager.fetcher = config.fetcher;
   }
+  if (config.trace && !config.manager.trace) {
+    config.manager.trace = config.trace;
+  }
   cluster->manager_ = std::make_unique<Manager>(config.manager);
   VINE_TRY_STATUS(cluster->manager_->start());
 
@@ -29,6 +32,7 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::create(LocalClusterConfig co
     wc.root_dir = root / wc.id;
     wc.max_concurrent_transfers = config.max_concurrent_transfers_per_worker;
     wc.fetcher = config.fetcher;
+    wc.trace = config.trace;
     if (config.tweak_worker) config.tweak_worker(wc);
     cluster->worker_configs_.push_back(wc);
     VINE_TRY(auto worker, Worker::connect(std::move(wc)));

@@ -34,6 +34,12 @@ struct LocalClusterConfig {
   /// this to install fault hooks, shrink transfer timeouts, and speed up
   /// heartbeats without LocalCluster growing a knob per field.
   std::function<void(WorkerConfig&)> tweak_worker;
+
+  /// Shared vine::obs trace sink for the whole deployment: wired into the
+  /// manager config and every worker config (restarts included), so the
+  /// manager's control-plane events and each worker's cache churn land in
+  /// one stream. Null disables tracing.
+  std::shared_ptr<obs::TraceSink> trace;
 };
 
 class LocalCluster {

@@ -17,9 +17,62 @@ namespace vine {
 namespace fs = std::filesystem;
 using namespace std::chrono_literals;
 
+namespace {
+
+const char* source_kind_name(TransferSource::Kind kind) {
+  switch (kind) {
+    case TransferSource::Kind::manager: return "manager";
+    case TransferSource::Kind::url: return "url";
+    case TransferSource::Kind::worker: return "worker";
+  }
+  return "manager";
+}
+
+std::string source_key_of(const TransferSource& source) {
+  return source.kind == TransferSource::Kind::manager ? std::string() : source.key;
+}
+
+}  // namespace
+
 Manager::Manager(ManagerConfig config)
     : config_(std::move(config)), scheduler_(config_.sched, config_.seed) {
   if (!config_.fetcher) config_.fetcher = std::make_shared<FileUrlFetcher>();
+  metrics_.expose("manager.tasks_done", &stats_.tasks_done);
+  metrics_.expose("manager.tasks_failed", &stats_.tasks_failed);
+  metrics_.expose("manager.transfers_from_manager", &stats_.transfers_from_manager);
+  metrics_.expose("manager.transfers_from_url", &stats_.transfers_from_url);
+  metrics_.expose("manager.transfers_from_peers", &stats_.transfers_from_peers);
+  metrics_.expose("manager.mini_tasks_run", &stats_.mini_tasks_run);
+  metrics_.expose("manager.bytes_from_manager", &stats_.bytes_from_manager);
+  metrics_.expose("manager.bytes_from_url", &stats_.bytes_from_url);
+  metrics_.expose("manager.bytes_from_peers", &stats_.bytes_from_peers);
+  metrics_.expose("manager.cache_hits", &stats_.cache_hits);
+  metrics_.expose("manager.sched_passes", &stats_.sched_passes);
+  metrics_.expose("manager.tasks_scanned", &stats_.tasks_scanned);
+  metrics_.expose("manager.transfer_failures", &stats_.transfer_failures);
+  metrics_.expose("manager.recoveries", &stats_.recoveries);
+  metrics_.expose("manager.workers_lost", &stats_.workers_lost);
+  metrics_.expose("manager.workers_evicted", &stats_.workers_evicted);
+}
+
+void Manager::emit(obs::Event ev) {
+  if (config_.trace) config_.trace->emit("manager", std::move(ev));
+}
+
+void Manager::emit_task_state(const TaskRuntime& task, const char* state) {
+  if (!config_.trace) return;
+  config_.trace->emit(
+      "manager",
+      obs::Event::make_task_state(clock_.now(), task.spec.id, state, task.worker,
+                                  task_kind_name(task.spec.kind),
+                                  task.state != TaskState::failed));
+}
+
+void Manager::emit_counters() {
+  if (!config_.trace) return;
+  config_.trace->emit("manager",
+                      obs::Event::make_counters(clock_.now(), metrics_.snapshot()));
+  config_.trace->flush();
 }
 
 Manager::~Manager() { shutdown(); }
@@ -207,6 +260,7 @@ Result<TaskId> Manager::submit(TaskSpec spec) {
   TaskId id = rt.spec.id;
   tasks_.emplace(id, std::move(rt));
   ready_tasks_.insert(id);
+  emit_task_state(tasks_.at(id), "ready");
   return id;
 }
 
@@ -270,6 +324,7 @@ void Manager::install_library_on(const LibraryDef& def, const WorkerId& worker) 
   TaskId id = rt.spec.id;
   tasks_.emplace(id, std::move(rt));
   ready_tasks_.insert(id);
+  emit_task_state(tasks_.at(id), "ready");
 }
 
 TaskSpec Manager::function_call(const std::string& library,
@@ -387,12 +442,14 @@ void Manager::end_workflow() {
     if (level != CacheLevel::worker) replicas_.remove_file(name);
   }
   for (auto& snap : snapshots_) snap.libraries.clear();
+  emit_counters();
   maybe_audit("manager.end_workflow");
 }
 
 void Manager::shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
+  emit_counters();
   maybe_audit("manager.shutdown");
 
   for (const auto& [worker_id, w] : workers_) {
@@ -437,7 +494,7 @@ void Manager::evict_silent_workers() {
   }
   for (const std::string& conn_id : overdue) {
     ++stats_.workers_evicted;
-    handle_worker_lost(conn_id);
+    handle_worker_lost(conn_id, /*evicted=*/true);
   }
 }
 
@@ -525,12 +582,15 @@ void Manager::handle_hello(const std::string& conn_id, const proto::HelloMsg& ms
   snap.transfer_addr = msg.transfer_addr;
   snap.total = msg.resources;
   workers_[msg.worker_id] = std::move(ws);
+  emit(obs::Event::make_worker_join(clock_.now(), msg.worker_id));
 
   // The worker's persistent cache becomes visible replicas immediately —
   // this is what makes hot-cache runs skip staging (Figure 9b).
   for (const auto& obj : msg.cached) {
     replicas_.set_replica(obj.cache_name, msg.worker_id, ReplicaState::present,
                           obj.size);
+    emit(obs::Event::make_cache_insert(clock_.now(), msg.worker_id,
+                                       obj.cache_name, obj.size, "preload"));
   }
 
   // Deploy any installed libraries to the newcomer.
@@ -547,6 +607,17 @@ void Manager::handle_cache_update(const WorkerId& worker,
                                   const proto::CacheUpdateMsg& msg) {
   std::optional<TransferRecord> rec;
   if (!msg.transfer_id.empty()) rec = transfers_.finish(msg.transfer_id);
+
+  // Trace note: the worker's CacheStore emits the cache_insert/cache_evict
+  // for this update from its own vantage point (shared sink in a
+  // LocalCluster); the manager records only the transfer completion.
+  if (rec) {
+    emit(obs::Event::make_transfer_end(
+        clock_.now(), msg.cache_name, source_kind_name(rec->source.kind),
+        source_key_of(rec->source), worker, worker,
+        msg.ok ? std::max<std::int64_t>(msg.size, 0) : -1, msg.transfer_id,
+        msg.ok, msg.ok ? std::string() : msg.error));
+  }
 
   if (msg.ok) {
     replicas_.set_replica(msg.cache_name, worker, ReplicaState::present, msg.size);
@@ -613,6 +684,7 @@ void Manager::set_task_state(TaskRuntime& task, TaskState state) {
   } else {
     ready_tasks_.erase(task.spec.id);
   }
+  emit_task_state(task, task_state_name(state));
 }
 
 void Manager::finish_task(TaskRuntime& task, TaskReport report) {
@@ -676,8 +748,8 @@ void Manager::handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg&
                         : task.spec.resources.grown(task.spec.resources);
     task.spec.resources = task.spec.resources.grown(cap);
   }
-  task.worker.clear();
   if (task.attempts < task.spec.max_attempts) {
+    task.worker.clear();
     set_task_state(task, TaskState::ready);
     return;
   }
@@ -687,7 +759,10 @@ void Manager::handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg&
   report.error_message = msg.error;
   report.worker_id = worker;
   report.attempts = task.attempts;
+  // finish_task before clearing task.worker so the failed event still names
+  // the worker the final attempt ran on.
   finish_task(task, std::move(report));
+  task.worker.clear();
 }
 
 void Manager::handle_library_ready(const WorkerId& worker,
@@ -706,7 +781,7 @@ void Manager::handle_library_ready(const WorkerId& worker,
                 worker.c_str());
 }
 
-void Manager::handle_worker_lost(const std::string& conn_id) {
+void Manager::handle_worker_lost(const std::string& conn_id, bool evicted) {
   // Extract the connection under the lock, but join the reader thread
   // outside it: the reader may take up to a recv timeout to notice the
   // close, and holding conn_mutex_ across that would stall the acceptor
@@ -731,8 +806,21 @@ void Manager::handle_worker_lost(const std::string& conn_id) {
 
   ++stats_.workers_lost;
   VINE_LOG_WARN("manager", "worker %s disconnected", worker.c_str());
+  if (config_.trace) {
+    // Replicas that die with the worker, then the transfers they abort —
+    // the closing membership event goes last so begin/end pairing in the
+    // trace stays exact.
+    for (const std::string& name : replicas_.files_on(worker)) {
+      emit(obs::Event::make_cache_evict(clock_.now(), worker, name, "worker_lost"));
+    }
+  }
   replicas_.remove_worker(worker);
-  transfers_.remove_worker(worker);
+  for (const TransferRecord& rec : transfers_.remove_worker(worker)) {
+    emit(obs::Event::make_transfer_end(
+        clock_.now(), rec.cache_name, source_kind_name(rec.source.kind),
+        source_key_of(rec.source), rec.dest, rec.dest, -1, rec.uuid,
+        /*ok=*/false, "worker_lost"));
+  }
   auto wit = workers_.find(worker);
   if (wit != workers_.end()) {
     // Swap-pop the dense snapshot and retarget the displaced worker's slot.
@@ -777,6 +865,11 @@ void Manager::handle_worker_lost(const std::string& conn_id) {
         recover_lost_file(in.file);
       }
     }
+  }
+  if (evicted) {
+    emit(obs::Event::make_worker_evicted(clock_.now(), worker, "heartbeat"));
+  } else {
+    emit(obs::Event::make_worker_lost(clock_.now(), worker, "disconnect"));
   }
   maybe_audit("manager.worker_lost");
 }
@@ -966,6 +1059,13 @@ bool Manager::ensure_file_at(const FileRef& file, const WorkerId& worker) {
     }
     std::string uuid = transfers_.begin(name, worker, self, clock_.now());
     replicas_.set_replica(name, worker, ReplicaState::pending);
+    if (config_.trace) {
+      obs::Event ev = obs::Event::make_transfer_begin(
+          clock_.now(), name, "worker", worker, worker, worker,
+          file->size_hint, uuid);
+      ev.detail = "mini_task";
+      emit(std::move(ev));
+    }
     proto::MiniTaskMsg msg;
     msg.transfer_id = uuid;
     msg.cache_name = name;
@@ -1009,6 +1109,9 @@ bool Manager::ensure_file_at(const FileRef& file, const WorkerId& worker) {
 
   std::string uuid = transfers_.begin(name, worker, *source, clock_.now());
   replicas_.set_replica(name, worker, ReplicaState::pending);
+  emit(obs::Event::make_transfer_begin(
+      clock_.now(), name, source_kind_name(source->kind), source_key_of(*source),
+      worker, worker, file->size_hint, uuid));
 
   if (source->kind == TransferSource::Kind::manager) {
     // Push the bytes ourselves: header then blob.
@@ -1033,6 +1136,9 @@ bool Manager::ensure_file_at(const FileRef& file, const WorkerId& worker) {
                          bytes.error().message.c_str());
           transfers_.finish(uuid);
           replicas_.remove_replica(name, worker);
+          emit(obs::Event::make_transfer_end(clock_.now(), name, "manager", "",
+                                             worker, worker, -1, uuid,
+                                             /*ok=*/false, "read_failed"));
           return false;
         }
         payload = std::move(*bytes);
@@ -1042,6 +1148,9 @@ bool Manager::ensure_file_at(const FileRef& file, const WorkerId& worker) {
           VINE_LOG_ERROR("manager", "cannot read %s", file->local_path.c_str());
           transfers_.finish(uuid);
           replicas_.remove_replica(name, worker);
+          emit(obs::Event::make_transfer_end(clock_.now(), name, "manager", "",
+                                             worker, worker, -1, uuid,
+                                             /*ok=*/false, "read_failed"));
           return false;
         }
         payload = std::move(*bytes);
@@ -1084,6 +1193,8 @@ void Manager::dispatch_task(TaskRuntime& task) {
 
 void Manager::schedule_pass() {
   ++stats_.sched_passes;
+  const std::int64_t scanned_before = stats_.tasks_scanned;
+  std::int64_t dispatched_this_pass = 0;
   // Ready-queue dispatch: the pass walks only ready tasks (ascending id,
   // like the old full-table scan) against snapshots_, which is maintained
   // incrementally at every commit/release — no per-pass rebuild or
@@ -1148,7 +1259,17 @@ void Manager::schedule_pass() {
     for (const auto& in : task.spec.inputs) {
       all_present &= ensure_file_at(in.file, task.worker);
     }
-    if (all_present) dispatch_task(task);
+    if (all_present) {
+      dispatch_task(task);
+      ++dispatched_this_pass;
+    }
+  }
+
+  // Idle pumps would flood the trace with empty passes; record only the
+  // passes that examined work.
+  const std::int64_t scanned = stats_.tasks_scanned - scanned_before;
+  if (config_.trace && scanned > 0) {
+    emit(obs::Event::make_sched_pass(clock_.now(), scanned, dispatched_this_pass));
   }
 }
 

@@ -26,6 +26,8 @@
 #include "files/url_fetcher.hpp"
 #include "net/frame.hpp"
 #include "net/msg_queue.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "proto/messages.hpp"
 #include "sched/scheduler.hpp"
 
@@ -56,6 +58,12 @@ struct ManagerConfig {
   /// turns a hung-but-connected worker from a forever-wedge into a
   /// recoverable loss. 0 disables eviction.
   int heartbeat_deadline_ms = 30000;
+
+  /// Shared structured-trace sink (vine::obs). Null disables tracing —
+  /// every emission site guards on the pointer, so the disabled path is a
+  /// branch. A LocalCluster passes the same sink to the manager and all
+  /// its workers so the whole deployment shares one event stream.
+  std::shared_ptr<obs::TraceSink> trace;
 };
 
 /// Counters the benches and examples report (who moved which bytes).
@@ -248,7 +256,9 @@ class Manager {
   void handle_cache_update(const WorkerId& worker, const proto::CacheUpdateMsg& msg);
   void handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg& msg);
   void handle_library_ready(const WorkerId& worker, const proto::LibraryReadyMsg& msg);
-  void handle_worker_lost(const std::string& conn_id);
+  /// `evicted` marks heartbeat-deadline expulsions so the trace records
+  /// worker_evicted rather than worker_lost for them.
+  void handle_worker_lost(const std::string& conn_id, bool evicted = false);
   /// Tear down workers whose last frame is older than the heartbeat
   /// deadline; each goes through the full handle_worker_lost path.
   void evict_silent_workers();
@@ -280,6 +290,13 @@ class Manager {
   void reader_loop(const std::string& conn_id, std::shared_ptr<Endpoint> ep);
   /// Run audit() and abort on violation when audits_enabled() (debug builds).
   void maybe_audit(const char* where) const;
+
+  // --- structured tracing (vine::obs); all no-ops when config_.trace is null ---
+  void emit(obs::Event ev);
+  void emit_task_state(const TaskRuntime& task, const char* state);
+  /// Snapshot metrics_ (ManagerStats gauges) into a `counters` event and
+  /// flush the sink. Called at quiescent points (end_workflow, shutdown).
+  void emit_counters();
 
   ManagerConfig config_;
   std::unique_ptr<Listener> listener_;
@@ -314,6 +331,9 @@ class Manager {
   FileReplicaTable replicas_;
   CurrentTransferTable transfers_;
   ManagerStats stats_;
+  // Exposes every ManagerStats field as a gauge (registered in the
+  // constructor); snapshotted into the trace by emit_counters().
+  obs::MetricsRegistry metrics_;
 
   // Outstanding replication goals: cache_name -> desired replica count.
   std::map<FileId, int> replication_goals_;

@@ -1,0 +1,220 @@
+#include "obs/event.hpp"
+
+#include <utility>
+
+namespace vine::obs {
+
+namespace {
+
+// Order must match EventKind.
+constexpr const char* kKindNames[] = {
+    "task_state",    "transfer_begin", "transfer_end",   "cache_insert",
+    "cache_evict",   "worker_join",    "worker_lost",    "worker_evicted",
+    "sched_pass",    "fault_injected", "counters",
+};
+constexpr std::size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+}  // namespace
+
+const char* kind_name(EventKind k) noexcept {
+  auto i = static_cast<std::size_t>(k);
+  return i < kKindCount ? kKindNames[i] : "unknown";
+}
+
+bool kind_from_name(const std::string& name, EventKind* out) noexcept {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (name == kKindNames[i]) {
+      *out = static_cast<EventKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Event Event::make_task_state(double t, std::uint64_t task, std::string state,
+                             std::string worker, std::string category, bool ok) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::task_state;
+  ev.task = task;
+  ev.state = std::move(state);
+  ev.worker = std::move(worker);
+  ev.category = std::move(category);
+  ev.ok = ok;
+  return ev;
+}
+
+Event Event::make_transfer_begin(double t, std::string file, std::string source,
+                                 std::string source_key, std::string dest,
+                                 std::string worker, std::int64_t bytes,
+                                 std::string xfer) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::transfer_begin;
+  ev.file = std::move(file);
+  ev.source = std::move(source);
+  ev.source_key = std::move(source_key);
+  ev.dest = std::move(dest);
+  ev.worker = std::move(worker);
+  ev.bytes = bytes;
+  ev.xfer = std::move(xfer);
+  return ev;
+}
+
+Event Event::make_transfer_end(double t, std::string file, std::string source,
+                               std::string source_key, std::string dest,
+                               std::string worker, std::int64_t bytes,
+                               std::string xfer, bool ok, std::string detail) {
+  Event ev = make_transfer_begin(t, std::move(file), std::move(source),
+                                 std::move(source_key), std::move(dest),
+                                 std::move(worker), bytes, std::move(xfer));
+  ev.kind = EventKind::transfer_end;
+  ev.ok = ok;
+  ev.detail = std::move(detail);
+  return ev;
+}
+
+Event Event::make_cache_insert(double t, std::string worker, std::string file,
+                               std::int64_t bytes, std::string detail) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::cache_insert;
+  ev.worker = std::move(worker);
+  ev.file = std::move(file);
+  ev.bytes = bytes;
+  ev.detail = std::move(detail);
+  return ev;
+}
+
+Event Event::make_cache_evict(double t, std::string worker, std::string file,
+                              std::string detail) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::cache_evict;
+  ev.worker = std::move(worker);
+  ev.file = std::move(file);
+  ev.detail = std::move(detail);
+  return ev;
+}
+
+Event Event::make_worker_join(double t, std::string worker, std::string detail) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::worker_join;
+  ev.worker = std::move(worker);
+  ev.detail = std::move(detail);
+  return ev;
+}
+
+Event Event::make_worker_lost(double t, std::string worker, std::string detail) {
+  Event ev = make_worker_join(t, std::move(worker), std::move(detail));
+  ev.kind = EventKind::worker_lost;
+  return ev;
+}
+
+Event Event::make_worker_evicted(double t, std::string worker,
+                                 std::string detail) {
+  Event ev = make_worker_join(t, std::move(worker), std::move(detail));
+  ev.kind = EventKind::worker_evicted;
+  return ev;
+}
+
+Event Event::make_sched_pass(double t, std::int64_t scanned,
+                             std::int64_t dispatched) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::sched_pass;
+  ev.scanned = scanned;
+  ev.dispatched = dispatched;
+  return ev;
+}
+
+Event Event::make_fault_injected(double t, std::string detail,
+                                 std::string worker) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::fault_injected;
+  ev.detail = std::move(detail);
+  ev.worker = std::move(worker);
+  return ev;
+}
+
+Event Event::make_counters(double t,
+                           std::map<std::string, std::int64_t> counters) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::counters;
+  ev.counters = std::move(counters);
+  return ev;
+}
+
+json::Value event_to_json(const Event& ev) {
+  json::Object o;
+  o["v"] = 1;  // kSchemaVersion; duplicated literal avoids an include cycle
+  o["seq"] = ev.seq;
+  o["t"] = ev.t;
+  o["kind"] = kind_name(ev.kind);
+  o["emitter"] = ev.emitter;
+  if (!ev.worker.empty()) o["worker"] = ev.worker;
+  if (ev.task != 0) o["task"] = ev.task;
+  if (!ev.state.empty()) o["state"] = ev.state;
+  if (!ev.category.empty()) o["category"] = ev.category;
+  if (!ev.file.empty()) o["file"] = ev.file;
+  if (!ev.source.empty()) o["source"] = ev.source;
+  if (!ev.source_key.empty()) o["source_key"] = ev.source_key;
+  if (!ev.dest.empty()) o["dest"] = ev.dest;
+  if (!ev.xfer.empty()) o["xfer"] = ev.xfer;
+  if (ev.bytes >= 0) o["bytes"] = ev.bytes;
+  // ok defaults to true; only failures and explicit end/done events carry it.
+  if (!ev.ok || ev.kind == EventKind::transfer_end ||
+      ev.kind == EventKind::task_state) {
+    o["ok"] = ev.ok;
+  }
+  if (!ev.detail.empty()) o["detail"] = ev.detail;
+  if (ev.scanned >= 0) o["scanned"] = ev.scanned;
+  if (ev.dispatched >= 0) o["dispatched"] = ev.dispatched;
+  if (!ev.counters.empty()) {
+    json::Object c;
+    for (const auto& [k, v] : ev.counters) c[k] = v;
+    o["counters"] = std::move(c);
+  }
+  return json::Value(std::move(o));
+}
+
+std::string event_to_jsonl(const Event& ev) { return event_to_json(ev).dump(); }
+
+Result<Event> event_from_json(const json::Value& obj) {
+  if (!obj.is_object()) {
+    return Error{Errc::parse_error, "trace event is not a JSON object"};
+  }
+  Event ev;
+  std::string kind = obj.get_string("kind");
+  if (!kind_from_name(kind, &ev.kind)) {
+    return Error{Errc::parse_error, "unknown trace event kind: " + kind};
+  }
+  ev.seq = static_cast<std::uint64_t>(obj.get_int("seq"));
+  ev.t = obj.get_double("t");
+  ev.emitter = obj.get_string("emitter");
+  ev.worker = obj.get_string("worker");
+  ev.task = static_cast<std::uint64_t>(obj.get_int("task"));
+  ev.state = obj.get_string("state");
+  ev.category = obj.get_string("category");
+  ev.file = obj.get_string("file");
+  ev.source = obj.get_string("source");
+  ev.source_key = obj.get_string("source_key");
+  ev.dest = obj.get_string("dest");
+  ev.xfer = obj.get_string("xfer");
+  ev.bytes = obj.get_int("bytes", -1);
+  ev.ok = obj.get_bool("ok", true);
+  ev.detail = obj.get_string("detail");
+  ev.scanned = obj.get_int("scanned", -1);
+  ev.dispatched = obj.get_int("dispatched", -1);
+  if (const json::Value* c = obj.find("counters"); c && c->is_object()) {
+    for (const auto& [k, v] : c->as_object()) {
+      if (v.is_int()) ev.counters[k] = v.as_int();
+    }
+  }
+  return ev;
+}
+
+}  // namespace vine::obs

@@ -1,0 +1,119 @@
+// vine::obs — structured event vocabulary shared by the runtime and the
+// simulator.
+//
+// Every observable action in the system (task state transitions, transfers,
+// cache churn, worker membership, scheduler passes, fault injections) is
+// recorded as one flat Event. Both halves of the repo — the real
+// Manager/Worker runtime and vinesim::ClusterSim — emit the *same* kinds
+// with the same field semantics, so traces from either half can be rendered,
+// validated, and diffed by the same tooling (tools/vine_report, the golden
+// and differential tests).
+//
+// Events serialize to JSONL: one canonical-JSON object per line, schema
+// versioned via the "v" field (see obs/schema.hpp). Only fields that are
+// meaningful for the event's kind are emitted, so lines stay short.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "json/json.hpp"
+
+namespace vine::obs {
+
+/// Event vocabulary. Keep in sync with kind_name()/kind_from_name() and the
+/// per-kind required-field table in obs/schema.cpp. Adding a kind is a
+/// schema revision (bump kSchemaVersion when semantics change).
+enum class EventKind : std::uint8_t {
+  task_state = 0,   ///< a task entered `state` (ready/dispatched/running/done/failed)
+  transfer_begin,   ///< a file transfer started (source kind + dest)
+  transfer_end,     ///< a transfer finished (ok) or was aborted (!ok)
+  cache_insert,     ///< an object became available in a node's cache
+  cache_evict,      ///< an object left a node's cache (capacity, loss, removal)
+  worker_join,      ///< a worker connected and was admitted
+  worker_lost,      ///< a worker disconnected or crashed
+  worker_evicted,   ///< the manager expelled a silent/hung worker
+  sched_pass,       ///< one scheduler pass: tasks scanned / dispatched
+  fault_injected,   ///< a deterministic fault fired (chaos plans)
+  counters,         ///< a MetricsRegistry snapshot (typically end of run)
+};
+
+/// "task_state", "transfer_begin", ... — stable wire names.
+const char* kind_name(EventKind k) noexcept;
+
+/// Reverse lookup; false when `name` is not part of the vocabulary.
+bool kind_from_name(const std::string& name, EventKind* out) noexcept;
+
+/// One trace event. Flat by design: a single struct covers every kind, and
+/// per-kind factory helpers below populate exactly the meaningful fields.
+/// Sentinel conventions: empty string = unset, bytes/scanned/dispatched
+/// -1 = unknown, task 0 = no task. `seq` is assigned by the TraceSink.
+struct Event {
+  std::uint64_t seq = 0;  ///< sink-assigned, strictly increasing per trace
+  double t = 0;           ///< emitter-local clock, seconds; monotonic per emitter
+  EventKind kind = EventKind::task_state;
+  std::string emitter;    ///< "manager", "sim", "worker:<id>"
+
+  std::string worker;     ///< subject worker id (membership, cache, task host)
+  std::uint64_t task = 0; ///< task id for task_state events
+  std::string state;      ///< task state name ("ready", "running", ...)
+  std::string category;   ///< task workload label ("process", "library:x", ...)
+
+  std::string file;       ///< cache object name (transfers, cache churn)
+  std::string source;     ///< transfer source kind: "manager" | "url" | "worker"
+  std::string source_key; ///< url text or peer worker id when source != manager
+  std::string dest;       ///< transfer destination node ("manager" or worker id)
+  std::string xfer;       ///< transfer uuid pairing begin/end events
+  std::int64_t bytes = -1;///< payload size when known
+
+  bool ok = true;         ///< success flag (transfer_end, task done/failed)
+  std::string detail;     ///< fault kind, evict reason, free-form annotation
+
+  std::int64_t scanned = -1;    ///< sched_pass: ready tasks examined
+  std::int64_t dispatched = -1; ///< sched_pass: tasks placed this pass
+
+  std::map<std::string, std::int64_t> counters;  ///< counters snapshot payload
+
+  // ---- factories: one per kind, populating only the meaningful fields ----
+  static Event make_task_state(double t, std::uint64_t task, std::string state,
+                               std::string worker, std::string category,
+                               bool ok = true);
+  static Event make_transfer_begin(double t, std::string file, std::string source,
+                                   std::string source_key, std::string dest,
+                                   std::string worker, std::int64_t bytes,
+                                   std::string xfer);
+  static Event make_transfer_end(double t, std::string file, std::string source,
+                                 std::string source_key, std::string dest,
+                                 std::string worker, std::int64_t bytes,
+                                 std::string xfer, bool ok,
+                                 std::string detail = "");
+  static Event make_cache_insert(double t, std::string worker, std::string file,
+                                 std::int64_t bytes, std::string detail = "");
+  static Event make_cache_evict(double t, std::string worker, std::string file,
+                                std::string detail);
+  static Event make_worker_join(double t, std::string worker,
+                                std::string detail = "");
+  static Event make_worker_lost(double t, std::string worker,
+                                std::string detail = "");
+  static Event make_worker_evicted(double t, std::string worker,
+                                   std::string detail);
+  static Event make_sched_pass(double t, std::int64_t scanned,
+                               std::int64_t dispatched);
+  static Event make_fault_injected(double t, std::string detail,
+                                   std::string worker = "");
+  static Event make_counters(double t,
+                             std::map<std::string, std::int64_t> counters);
+};
+
+/// Canonical JSON object for one event (sorted keys, unset fields omitted).
+json::Value event_to_json(const Event& ev);
+
+/// One JSONL line: event_to_json(ev).dump() + '\n'-free string.
+std::string event_to_jsonl(const Event& ev);
+
+/// Parse one JSON object back into an Event. Unknown keys are ignored so
+/// newer traces degrade gracefully; schema validation is separate (schema.hpp).
+Result<Event> event_from_json(const json::Value& obj);
+
+}  // namespace vine::obs

@@ -1,0 +1,201 @@
+#include "obs/schema.hpp"
+
+#include <fstream>
+
+namespace vine::obs {
+
+namespace {
+
+Error bad(const std::string& msg) { return Error{Errc::parse_error, msg}; }
+
+bool has_string(const json::Value& o, const char* key, bool non_empty = true) {
+  const json::Value* v = o.find(key);
+  return v && v->is_string() && (!non_empty || !v->as_string().empty());
+}
+
+bool has_int(const json::Value& o, const char* key) {
+  const json::Value* v = o.find(key);
+  return v && v->is_int();
+}
+
+bool has_bool(const json::Value& o, const char* key) {
+  const json::Value* v = o.find(key);
+  return v && v->is_bool();
+}
+
+bool in_vocab(const std::string& s, std::initializer_list<const char*> vocab) {
+  for (const char* v : vocab) {
+    if (s == v) return true;
+  }
+  return false;
+}
+
+Result<void> validate_transfer(const json::Value& o, bool is_end) {
+  if (!has_string(o, "file")) return bad("transfer event missing file");
+  if (!has_string(o, "source")) return bad("transfer event missing source");
+  const std::string& src = o.find("source")->as_string();
+  if (!in_vocab(src, {"manager", "url", "worker"})) {
+    return bad("transfer source not in vocabulary: " + src);
+  }
+  if (src != "manager" && !has_string(o, "source_key")) {
+    return bad("transfer with source=" + src + " missing source_key");
+  }
+  if (!has_string(o, "dest")) return bad("transfer event missing dest");
+  if (!has_string(o, "xfer")) return bad("transfer event missing xfer uuid");
+  if (is_end && !has_bool(o, "ok")) return bad("transfer_end missing ok");
+  return Result<void>{};
+}
+
+}  // namespace
+
+Result<void> validate_event_json(const json::Value& obj) {
+  if (!obj.is_object()) return bad("trace line is not a JSON object");
+  const json::Value* v = obj.find("v");
+  if (!v || !v->is_int()) return bad("missing schema version field v");
+  if (v->as_int() != kSchemaVersion) {
+    return bad("unsupported schema version " + std::to_string(v->as_int()));
+  }
+  const json::Value* seq = obj.find("seq");
+  if (!seq || !seq->is_int() || seq->as_int() <= 0) {
+    return bad("missing or non-positive seq");
+  }
+  const json::Value* t = obj.find("t");
+  if (!t || !t->is_number() || t->as_double() < 0) {
+    return bad("missing or negative t");
+  }
+  if (!has_string(obj, "emitter")) return bad("missing emitter");
+  if (!has_string(obj, "kind")) return bad("missing kind");
+  EventKind kind;
+  if (!kind_from_name(obj.find("kind")->as_string(), &kind)) {
+    return bad("unknown kind: " + obj.find("kind")->as_string());
+  }
+
+  switch (kind) {
+    case EventKind::task_state: {
+      if (!has_int(obj, "task") || obj.find("task")->as_int() <= 0) {
+        return bad("task_state missing positive task id");
+      }
+      if (!has_string(obj, "state")) return bad("task_state missing state");
+      const std::string& st = obj.find("state")->as_string();
+      if (!in_vocab(st, {"ready", "dispatched", "running", "done", "failed"})) {
+        return bad("task state not in vocabulary: " + st);
+      }
+      if (!has_bool(obj, "ok")) return bad("task_state missing ok");
+      break;
+    }
+    case EventKind::transfer_begin:
+      return validate_transfer(obj, /*is_end=*/false);
+    case EventKind::transfer_end:
+      return validate_transfer(obj, /*is_end=*/true);
+    case EventKind::cache_insert:
+    case EventKind::cache_evict: {
+      if (!has_string(obj, "worker")) return bad("cache event missing worker");
+      if (!has_string(obj, "file")) return bad("cache event missing file");
+      if (kind == EventKind::cache_evict && !has_string(obj, "detail")) {
+        return bad("cache_evict missing detail (reason)");
+      }
+      break;
+    }
+    case EventKind::worker_join:
+    case EventKind::worker_lost:
+    case EventKind::worker_evicted: {
+      if (!has_string(obj, "worker")) {
+        return bad("worker membership event missing worker");
+      }
+      break;
+    }
+    case EventKind::sched_pass: {
+      if (!has_int(obj, "scanned") || obj.find("scanned")->as_int() < 0) {
+        return bad("sched_pass missing scanned");
+      }
+      if (!has_int(obj, "dispatched") || obj.find("dispatched")->as_int() < 0) {
+        return bad("sched_pass missing dispatched");
+      }
+      if (obj.find("dispatched")->as_int() > obj.find("scanned")->as_int()) {
+        return bad("sched_pass dispatched exceeds scanned");
+      }
+      break;
+    }
+    case EventKind::fault_injected: {
+      if (!has_string(obj, "detail")) {
+        return bad("fault_injected missing detail (fault kind)");
+      }
+      break;
+    }
+    case EventKind::counters: {
+      const json::Value* c = obj.find("counters");
+      if (!c || !c->is_object()) return bad("counters event missing counters");
+      for (const auto& [k, val] : c->as_object()) {
+        if (!val.is_int()) return bad("counter " + k + " is not an integer");
+      }
+      break;
+    }
+  }
+  return Result<void>{};
+}
+
+Result<void> TraceValidator::feed_line(std::string_view line) {
+  auto parsed = json::parse(line);
+  if (!parsed) {
+    return Error{Errc::parse_error,
+                 "trace line is not valid JSON: " + parsed.error().message};
+  }
+  return feed(*parsed);
+}
+
+Result<void> TraceValidator::feed(const json::Value& obj) {
+  if (auto ok = validate_event_json(obj); !ok) return ok;
+  auto seq = static_cast<std::uint64_t>(obj.find("seq")->as_int());
+  if (seq <= last_seq_) {
+    return Error{Errc::parse_error,
+                 "seq not strictly increasing: " + std::to_string(seq) +
+                     " after " + std::to_string(last_seq_)};
+  }
+  last_seq_ = seq;
+  const std::string& emitter = obj.find("emitter")->as_string();
+  double t = obj.find("t")->as_double();
+  auto it = last_t_.find(emitter);
+  if (it == last_t_.end()) {
+    last_t_.emplace(emitter, t);
+  } else {
+    if (t < it->second) {
+      return Error{Errc::parse_error,
+                   "t went backwards for emitter " + emitter};
+    }
+    it->second = t;
+  }
+  ++events_;
+  return Result<void>{};
+}
+
+Result<std::vector<Event>> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{Errc::io_error, "cannot open trace file: " + path};
+  std::vector<Event> out;
+  TraceValidator validator;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto parsed = json::parse(line);
+    if (!parsed) {
+      return Error{Errc::parse_error,
+                   path + ":" + std::to_string(lineno) + ": " +
+                       parsed.error().message};
+    }
+    if (auto ok = validator.feed(*parsed); !ok) {
+      return Error{Errc::parse_error, path + ":" + std::to_string(lineno) +
+                                          ": " + ok.error().message};
+    }
+    auto ev = event_from_json(*parsed);
+    if (!ev) {
+      return Error{Errc::parse_error, path + ":" + std::to_string(lineno) +
+                                          ": " + ev.error().message};
+    }
+    out.push_back(std::move(*ev));
+  }
+  return out;
+}
+
+}  // namespace vine::obs

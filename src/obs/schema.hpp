@@ -1,0 +1,58 @@
+// Versioned JSONL trace schema for vine::obs events.
+//
+// Schema v1, one canonical JSON object per line. Common required fields:
+//   v        int     == kSchemaVersion
+//   seq      int     > 0, strictly increasing across the trace
+//   t        number  >= 0, non-decreasing per emitter
+//   kind     string  member of the EventKind vocabulary
+//   emitter  string  non-empty ("manager", "sim", "worker:<id>")
+// Per-kind required fields and enum vocabularies are enforced by
+// validate_event_json(); TraceValidator adds the cross-event ordering
+// checks (seq monotonicity, per-emitter timestamp monotonicity).
+//
+// Compatibility policy: adding an optional field is backward compatible and
+// does NOT bump the version; renaming/removing a field, changing a field's
+// meaning, or growing an enum vocabulary bumps kSchemaVersion, and readers
+// reject versions they do not know.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/event.hpp"
+
+namespace vine::obs {
+
+inline constexpr std::int64_t kSchemaVersion = 1;
+
+/// Validate one parsed JSONL line against the per-event schema (required
+/// fields, types, enum vocabulary). Cross-event checks live in
+/// TraceValidator.
+Result<void> validate_event_json(const json::Value& obj);
+
+/// Streaming validator for a whole trace: per-event schema plus strictly
+/// increasing seq and per-emitter non-decreasing timestamps.
+class TraceValidator {
+ public:
+  /// Validate the next line (raw JSONL text). Blank lines are rejected.
+  Result<void> feed_line(std::string_view line);
+
+  /// Validate the next already-parsed object.
+  Result<void> feed(const json::Value& obj);
+
+  /// Number of events accepted so far.
+  std::size_t events() const { return events_; }
+
+ private:
+  std::size_t events_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::map<std::string, double, std::less<>> last_t_;
+};
+
+/// Load a JSONL trace file, validating every line (schema + ordering).
+/// The error message carries the 1-based line number of the first violation.
+Result<std::vector<Event>> load_trace_file(const std::string& path);
+
+}  // namespace vine::obs

@@ -1,0 +1,52 @@
+#include "obs/trace_sink.hpp"
+
+#include <utility>
+
+namespace vine::obs {
+
+TraceSink::TraceSink(TraceSinkOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.jsonl_path.empty()) {
+    out_.open(opts_.jsonl_path, std::ios::out | std::ios::trunc);
+  }
+}
+
+TraceSink::~TraceSink() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (out_.is_open()) out_.flush();
+}
+
+void TraceSink::emit(std::string_view emitter, Event ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ev.seq = ++seq_;
+  ev.emitter.assign(emitter);
+  // Per-emitter monotonic clamp: two worker threads can read the clock and
+  // reach emit() out of order; the schema promises non-decreasing t per
+  // emitter, so enforce it structurally at the collection point.
+  auto it = last_t_.find(ev.emitter);
+  if (it == last_t_.end()) {
+    last_t_.emplace(ev.emitter, ev.t);
+  } else {
+    if (ev.t < it->second) ev.t = it->second;
+    it->second = ev.t;
+  }
+  views_.apply(ev);
+  if (out_.is_open()) out_ << event_to_jsonl(ev) << '\n';
+  if (opts_.retain_events) retained_.push_back(std::move(ev));
+}
+
+void TraceSink::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (out_.is_open()) out_.flush();
+}
+
+std::uint64_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_;
+}
+
+std::vector<Event> TraceSink::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retained_;
+}
+
+}  // namespace vine::obs

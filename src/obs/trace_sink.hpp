@@ -1,0 +1,73 @@
+// TraceSink — the single collection point for vine::obs events.
+//
+// One sink is shared by every emitter of a deployment (manager + workers of
+// a LocalCluster, or a ClusterSim): emit() assigns the trace-wide sequence
+// number, clamps the emitter's timestamp monotonic (worker transfer threads
+// can race the clock read by a few microseconds), feeds the always-on
+// ViewBuilder, and — optionally — retains the full event in memory and/or
+// streams it to a JSONL file.
+//
+// Cost model: a null sink pointer is the disabled path (call sites guard
+// with `if (trace_)`, so disabled tracing is a branch on a pointer).
+// An enabled emit is one short critical section appending ~16 bytes of view
+// state; full-event retention and file streaming are opt-in so large
+// simulations can keep views without holding a multi-hundred-MB stream.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/views.hpp"
+
+namespace vine::obs {
+
+struct TraceSinkOptions {
+  bool retain_events = false;  ///< keep every Event in memory (tests, tools)
+  std::string jsonl_path;      ///< stream JSONL here when non-empty
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkOptions opts = {});
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Record one event on behalf of `emitter`. Thread-safe. The sink owns
+  /// seq assignment and per-emitter monotonic timestamp clamping; the
+  /// caller fills every other field (typically via an Event::make_* factory).
+  void emit(std::string_view emitter, Event ev);
+
+  /// Flush the JSONL stream (no-op without a file). Call at quiescent
+  /// points before handing the path to a reader.
+  void flush();
+
+  std::uint64_t event_count() const;
+
+  /// Copy of the retained stream; empty unless retain_events was set.
+  std::vector<Event> events() const;
+
+  /// The incrementally built evaluation views. Not synchronized: read only
+  /// after the traced run has quiesced (sim returned, cluster stopped).
+  const ViewBuilder& views() const { return views_; }
+
+  const TraceSinkOptions& options() const { return opts_; }
+
+ private:
+  TraceSinkOptions opts_;
+  mutable std::mutex mu_;  // guards seq_, last_t_, views_, retained_, out_
+  std::uint64_t seq_ = 0;
+  std::map<std::string, double, std::less<>> last_t_;
+  ViewBuilder views_;
+  std::vector<Event> retained_;
+  std::ofstream out_;
+};
+
+}  // namespace vine::obs

@@ -1,0 +1,254 @@
+#include "obs/views.hpp"
+
+#include <algorithm>
+
+namespace vine::obs {
+
+const char* worker_state_name(WorkerState s) noexcept {
+  switch (s) {
+    case WorkerState::idle: return "idle";
+    case WorkerState::transfer: return "transfer";
+    case WorkerState::busy: return "busy";
+  }
+  return "idle";
+}
+
+void ViewBuilder::close_worker(const std::string& worker, double t) {
+  auto it = live_.find(worker);
+  if (it == live_.end()) return;
+  auto& [running, transferring] = it->second;
+  if (running != 0 || transferring != 0) {
+    changes_[worker].push_back({t, -running, -transferring});
+    running = 0;
+    transferring = 0;
+  }
+  // Tasks whose open +1 lived on this worker were cancelled by the zeroing
+  // delta above; their eventual re-run opens a fresh +1 elsewhere.
+  for (auto& [id, p] : pending_) {
+    if (p.running_counted && p.worker == worker) p.running_counted = false;
+  }
+  // Aborted transfers on this worker may never see a transfer_end; forget
+  // them so a stray late end cannot double-decrement.
+  for (auto it2 = inflight_.begin(); it2 != inflight_.end();) {
+    if (it2->second.worker == worker) {
+      it2 = inflight_.erase(it2);
+    } else {
+      ++it2;
+    }
+  }
+}
+
+void ViewBuilder::apply(const Event& ev) {
+  ++events_applied_;
+  ++kind_counts_[static_cast<std::size_t>(ev.kind)];
+  switch (ev.kind) {
+    case EventKind::worker_join: {
+      join_time_.emplace(ev.worker, ev.t);
+      changes_[ev.worker];  // timeline exists even if never active
+      live_.emplace(ev.worker, std::pair<int, int>{0, 0});
+      break;
+    }
+    case EventKind::worker_lost:
+    case EventKind::worker_evicted: {
+      close_worker(ev.worker, ev.t);
+      break;
+    }
+    case EventKind::task_state: {
+      PendingTask& p = pending_[ev.task];
+      if (!ev.category.empty()) p.category = ev.category;
+      if (ev.state == "ready") {
+        if (!p.ready_seen) {
+          p.ready_at = ev.t;
+          p.ready_seen = true;
+        }
+      } else if (ev.state == "dispatched") {
+        p.dispatched_at = ev.t;
+        if (!ev.worker.empty()) p.worker = ev.worker;
+      } else if (ev.state == "running") {
+        p.running_at = ev.t;
+        if (!ev.worker.empty()) p.worker = ev.worker;
+        if (!p.worker.empty()) {
+          changes_[p.worker].push_back({ev.t, +1, 0});
+          live_[p.worker].first += 1;
+          p.running_counted = true;
+        }
+      } else if (ev.state == "done" || ev.state == "failed") {
+        if (!ev.worker.empty()) p.worker = ev.worker;
+        if (p.running_counted && !p.worker.empty()) {
+          changes_[p.worker].push_back({ev.t, -1, 0});
+          live_[p.worker].first -= 1;
+        } else if (p.dispatched_at >= 0 && !p.worker.empty()) {
+          // Runtime traces have no worker-clock `running` events; show the
+          // dispatch..completion span as busy. Timelines sort by t, so the
+          // retroactive +1 lands correctly.
+          changes_[p.worker].push_back({p.dispatched_at, +1, 0});
+          changes_[p.worker].push_back({ev.t, -1, 0});
+        }
+        TaskRow row;
+        row.task_id = ev.task;
+        row.worker = p.worker;
+        row.category = p.category;
+        row.ready_at = p.ready_seen ? p.ready_at : 0;
+        row.started_at = p.running_at >= 0    ? p.running_at
+                         : p.dispatched_at >= 0 ? p.dispatched_at
+                                                : ev.t;
+        row.finished_at = ev.t;
+        row.ok = (ev.state == "done") && ev.ok;
+        tasks_.push_back(std::move(row));
+        pending_.erase(ev.task);
+      }
+      break;
+    }
+    case EventKind::transfer_begin: {
+      if (!ev.xfer.empty()) inflight_[ev.xfer] = {ev.worker, ev.bytes};
+      if (!ev.worker.empty()) {
+        changes_[ev.worker].push_back({ev.t, 0, +1});
+        live_[ev.worker].second += 1;
+      }
+      break;
+    }
+    case EventKind::transfer_end: {
+      auto it = inflight_.find(ev.xfer);
+      if (it == inflight_.end()) break;  // aborted at worker loss, or unpaired
+      const std::string& worker = it->second.worker;
+      if (!worker.empty()) {
+        changes_[worker].push_back({ev.t, 0, -1});
+        live_[worker].second -= 1;
+      }
+      if (ev.ok) {
+        std::int64_t bytes = ev.bytes >= 0 ? ev.bytes : it->second.bytes;
+        if (bytes < 0) bytes = 0;
+        TransferCell& cell = matrix_[ev.source][ev.dest];
+        cell.count += 1;
+        cell.bytes += bytes;
+        xfer_done_.push_back({ev.t, bytes});
+      }
+      inflight_.erase(it);
+      break;
+    }
+    case EventKind::sched_pass: {
+      tallies_["sched.passes"] += 1;
+      if (ev.scanned >= 0) tallies_["sched.tasks_scanned"] += ev.scanned;
+      if (ev.dispatched >= 0) tallies_["sched.tasks_dispatched"] += ev.dispatched;
+      break;
+    }
+    case EventKind::cache_insert:
+    case EventKind::cache_evict:
+    case EventKind::fault_injected:
+      break;  // tallied above; no interval/row state
+    case EventKind::counters: {
+      last_snapshot_ = ev.counters;
+      break;
+    }
+  }
+}
+
+std::map<std::string, std::vector<ActivityInterval>> ViewBuilder::timelines(
+    double t_end) const {
+  std::map<std::string, std::vector<ActivityInterval>> out;
+  for (const auto& [worker, raw] : changes_) {
+    auto changes = raw;
+    std::stable_sort(changes.begin(), changes.end(),
+                     [](const Change& a, const Change& b) { return a.t < b.t; });
+    std::vector<ActivityInterval> intervals;
+    double t = join_time_.count(worker) ? join_time_.at(worker) : 0.0;
+    int running = 0, transferring = 0;
+    auto state_of = [&] {
+      if (running > 0) return WorkerState::busy;
+      if (transferring > 0) return WorkerState::transfer;
+      return WorkerState::idle;
+    };
+    for (const auto& c : changes) {
+      // Clamp at the horizon: changes recorded past t_end (retrievals
+      // draining after makespan, a fetch that outlives the last task) must
+      // not grow intervals beyond it.
+      if (c.t >= t_end) break;
+      if (c.t > t) {
+        WorkerState s = state_of();
+        if (!intervals.empty() && intervals.back().state == s &&
+            intervals.back().end == t) {
+          intervals.back().end = c.t;
+        } else {
+          intervals.push_back({t, c.t, s});
+        }
+        t = c.t;
+      }
+      running += c.run_delta;
+      transferring += c.xfer_delta;
+    }
+    // Flush the open state out to the horizon, so a worker still
+    // transferring (or running) at t_end keeps its final interval.
+    if (t_end > t) intervals.push_back({t, t_end, state_of()});
+    // Merge adjacent equal states.
+    std::vector<ActivityInterval> merged;
+    for (const auto& iv : intervals) {
+      if (!merged.empty() && merged.back().state == iv.state &&
+          merged.back().end == iv.begin) {
+        merged.back().end = iv.end;
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    out[worker] = std::move(merged);
+  }
+  return out;
+}
+
+std::vector<double> ViewBuilder::completion_times() const {
+  std::vector<double> out;
+  for (const auto& t : tasks_) {
+    if (t.ok) out.push_back(t.finished_at);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Utilization ViewBuilder::utilization(const std::string& worker,
+                                     double t_end) const {
+  Utilization u;
+  auto tl = timelines(t_end);
+  auto it = tl.find(worker);
+  if (it == tl.end()) return u;
+  for (const auto& iv : it->second) {
+    double len = iv.end - iv.begin;
+    switch (iv.state) {
+      case WorkerState::busy: u.busy += len; break;
+      case WorkerState::transfer: u.transfer += len; break;
+      case WorkerState::idle: u.idle += len; break;
+    }
+  }
+  return u;
+}
+
+std::vector<BandwidthPoint> ViewBuilder::bandwidth_series(
+    double bin_seconds) const {
+  std::vector<BandwidthPoint> out;
+  if (bin_seconds <= 0 || xfer_done_.empty()) return out;
+  double t_max = 0;
+  for (const auto& [t, bytes] : xfer_done_) t_max = std::max(t_max, t);
+  auto bins = static_cast<std::size_t>(t_max / bin_seconds) + 1;
+  out.resize(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    out[i].t = static_cast<double>(i) * bin_seconds;
+  }
+  for (const auto& [t, bytes] : xfer_done_) {
+    auto i = static_cast<std::size_t>(t / bin_seconds);
+    if (i >= bins) i = bins - 1;
+    out[i].bytes += bytes;
+  }
+  return out;
+}
+
+std::map<std::string, std::int64_t> ViewBuilder::counters_view() const {
+  std::map<std::string, std::int64_t> out = tallies_;
+  for (std::size_t k = 0; k < kind_counts_.size(); ++k) {
+    if (kind_counts_[k] > 0) {
+      out[std::string("events.") + kind_name(static_cast<EventKind>(k))] =
+          kind_counts_[k];
+    }
+  }
+  for (const auto& [k, v] : last_snapshot_) out[k] = v;
+  return out;
+}
+
+}  // namespace vine::obs

@@ -16,11 +16,47 @@ using vine::TaskSpec;
 using vine::TaskState;
 using vine::TransferSource;
 
+namespace {
+
+const char* source_kind_name(TransferSource::Kind k) {
+  switch (k) {
+    case TransferSource::Kind::manager: return "manager";
+    case TransferSource::Kind::worker: return "worker";
+    case TransferSource::Kind::url: return "url";
+  }
+  return "manager";
+}
+
+std::string source_key_of(const TransferSource& src) {
+  return src.kind == TransferSource::Kind::manager ? std::string() : src.key;
+}
+
+}  // namespace
+
 ClusterSim::ClusterSim(SimConfig config)
     : config_(std::move(config)),
       net_(sim_),
       scheduler_(config_.sched, config_.seed),
       rng_(config_.seed) {
+  // A private sink keeps the Figure-12 views available even when the caller
+  // did not ask for a full trace; retention stays off so paper-scale runs
+  // do not hold millions of events in memory.
+  sink_ = config_.trace ? config_.trace
+                        : std::make_shared<vine::obs::TraceSink>();
+  metrics_.expose("sim.transfers_from_archive", &stats_.transfers_from_archive);
+  metrics_.expose("sim.transfers_from_sharedfs", &stats_.transfers_from_sharedfs);
+  metrics_.expose("sim.transfers_from_manager", &stats_.transfers_from_manager);
+  metrics_.expose("sim.transfers_from_peers", &stats_.transfers_from_peers);
+  metrics_.expose("sim.unpacks", &stats_.unpacks);
+  metrics_.expose("sim.retrievals_to_manager", &stats_.retrievals_to_manager);
+  metrics_.expose("sim.bytes_from_archive", &stats_.bytes_from_archive);
+  metrics_.expose("sim.bytes_from_sharedfs", &stats_.bytes_from_sharedfs);
+  metrics_.expose("sim.bytes_from_manager", &stats_.bytes_from_manager);
+  metrics_.expose("sim.bytes_from_peers", &stats_.bytes_from_peers);
+  metrics_.expose("sim.bytes_to_manager", &stats_.bytes_to_manager);
+  metrics_.expose("sim.cache_hits", &stats_.cache_hits);
+  metrics_.expose("sim.sched_passes", &stats_.sched_passes);
+  metrics_.expose("sim.tasks_scanned", &stats_.tasks_scanned);
   manager_node_ = net_.add_node("manager", config_.manager_nic_Bps,
                                 config_.manager_nic_Bps, config_.stream_knee,
                                 config_.stream_beta);
@@ -81,6 +117,8 @@ void ClusterSim::install_library(const std::string& name, double init_duration,
 
 void ClusterSim::preload(const std::string& worker, const SimFile* file) {
   replicas_.set_replica(file->name, worker, ReplicaState::present, file->size);
+  emit(vine::obs::Event::make_cache_insert(sim_.now(), worker, file->name,
+                                           file->size, "preload"));
 }
 
 // ------------------------------------------------------------ run
@@ -99,7 +137,12 @@ double ClusterSim::run() {
     runs_[t->id] = run;
     ready_runs_.insert(t->id);
     if (t->submit_at > 0) {
-      sim_.at(t->submit_at, [this] { request_schedule(); });
+      sim_.at(t->submit_at, [this, id = t->id] {
+        emit_task_state(runs_.at(id), "ready");
+        request_schedule();
+      });
+    } else {
+      emit_task_state(runs_.at(t->id), "ready");
     }
   }
   for (const auto& id : worker_order_) {
@@ -112,6 +155,8 @@ double ClusterSim::run() {
     if (run.task->is_library) continue;
     if (run.state != TaskState::done) ++stats_.tasks_unfinished;
   }
+  emit_counters();
+  sink_->flush();
   return makespan_;
 }
 
@@ -127,7 +172,7 @@ void ClusterSim::worker_join(const std::string& id) {
   total_avail_cores_ += w.total.cores;
   w.node = net_.add_node(id, config_.worker_nic_Bps, config_.worker_nic_Bps,
                          config_.stream_knee, config_.stream_beta);
-  trace_.on_worker_join(id, sim_.now());
+  emit(vine::obs::Event::make_worker_join(sim_.now(), id));
 
   // Deploy installed libraries to the newcomer (one instance each).
   for (const auto& def : libraries_) {
@@ -142,6 +187,7 @@ void ClusterSim::worker_join(const std::string& id) {
     run.ready_at = sim_.now();
     runs_[t->id] = run;
     ready_runs_.insert(t->id);
+    emit_task_state(runs_.at(t->id), "ready");
   }
   request_schedule();
 }
@@ -171,6 +217,8 @@ vine::FileRef make_decl(const SimFile* f) {
 void ClusterSim::schedule_pass() {
   double now = sim_.now();
   ++stats_.sched_passes;
+  const std::int64_t scanned_before = stats_.tasks_scanned;
+  std::int64_t dispatched_this_pass = 0;
 
   // Ready-queue dispatch: the pass walks only ready runs (ascending id,
   // matching the old full-table scan order) against snapshots_ and
@@ -230,8 +278,13 @@ void ClusterSim::schedule_pass() {
     for (const auto* in : task.inputs) {
       all_present &= ensure_file_at(in, run.worker);
     }
-    if (all_present) dispatch(run);
+    if (all_present) {
+      dispatch(run);
+      ++dispatched_this_pass;
+    }
   }
+  emit(vine::obs::Event::make_sched_pass(
+      now, stats_.tasks_scanned - scanned_before, dispatched_this_pass));
 }
 
 NodeToken ClusterSim::source_node(const TransferSource& src,
@@ -329,7 +382,14 @@ void ClusterSim::start_next_fetches(const std::string& worker) {
 }
 
 void ClusterSim::start_fetch(PendingFetch fetch) {
-  trace_.on_transfer_start(fetch.dest, sim_.now());
+  {
+    auto ev = vine::obs::Event::make_transfer_begin(
+        sim_.now(), fetch.file->name, source_kind_name(fetch.source.kind),
+        source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
+        fetch.uuid);
+    if (fetch.is_unpack) ev.detail = "unpack";
+    emit(std::move(ev));
+  }
   fetch.seq = next_fetch_seq_++;
   const std::string uuid = fetch.uuid;
   PendingFetch& pf = inflight_[uuid];
@@ -379,7 +439,11 @@ void ClusterSim::fail_inflight(const std::string& uuid) {
 }
 
 void ClusterSim::fetch_failed(const PendingFetch& fetch) {
-  trace_.on_transfer_end(fetch.dest, sim_.now());
+  emit(vine::obs::Event::make_transfer_end(
+      sim_.now(), fetch.file->name, source_kind_name(fetch.source.kind),
+      source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
+      fetch.uuid, /*ok=*/false,
+      fetch.corrupted ? "digest_reject" : "failed"));
   transfers_.finish(fetch.uuid);  // nullopt when a crash already dropped it
   replicas_.remove_replica(fetch.file->name, fetch.dest);
   ++stats_.transfer_failures;
@@ -400,7 +464,13 @@ void ClusterSim::fetch_failed(const PendingFetch& fetch) {
 }
 
 void ClusterSim::fetch_complete(const PendingFetch& fetch) {
-  trace_.on_transfer_end(fetch.dest, sim_.now());
+  emit(vine::obs::Event::make_transfer_end(
+      sim_.now(), fetch.file->name, source_kind_name(fetch.source.kind),
+      source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
+      fetch.uuid, /*ok=*/true, fetch.is_unpack ? "unpack" : ""));
+  emit(vine::obs::Event::make_cache_insert(sim_.now(), fetch.dest,
+                                           fetch.file->name, fetch.file->size,
+                                           fetch.is_unpack ? "unpack" : "fetch"));
   transfers_.finish(fetch.uuid);
   // Self-sourced mini-tasks (unpack) say nothing about the worker's health
   // as a *peer* source, so they don't rehabilitate it (mirrors the
@@ -454,6 +524,7 @@ void ClusterSim::set_run_state(std::uint64_t id, TaskRun& run,
 
 void ClusterSim::dispatch(TaskRun& run) {
   set_run_state(run.task->id, run, TaskState::dispatched);
+  emit_task_state(run, "dispatched");
   // The manager dispatches serially; at very large task counts this is the
   // §6 bottleneck (1 ms/task -> 1000 s per million tasks).
   double start = std::max(sim_.now(), next_dispatch_at_) + config_.dispatch_overhead;
@@ -463,7 +534,7 @@ void ClusterSim::dispatch(TaskRun& run) {
     r.dispatch_event = 0;
     set_run_state(id, r, TaskState::running);
     r.started_at_ = sim_.now();
-    trace_.on_task_start(r.worker, sim_.now());
+    emit_task_state(r, "running");
     r.completion_event = sim_.at(sim_.now() + r.task->duration, [this, id] {
       TaskRun& rr = runs_[id];
       rr.completion_event = 0;
@@ -475,16 +546,7 @@ void ClusterSim::dispatch(TaskRun& run) {
 void ClusterSim::task_complete(TaskRun& run) {
   SimTask& task = *run.task;
   double now = sim_.now();
-  trace_.on_task_end(run.worker, now);
-
-  TaskRecord rec;
-  rec.task_id = task.id;
-  rec.worker = run.worker;
-  rec.category = task.category;
-  rec.ready_at = run.ready_at;
-  rec.started_at = run.started_at_;
-  rec.finished_at = now;
-  trace_.record_task(rec);
+  emit_task_state(run, "done");
 
   if (task.is_library) {
     // Instance stays up, holding its cores; announce availability.
@@ -514,6 +576,8 @@ void ClusterSim::task_complete(TaskRun& run) {
     } else {
       replicas_.set_replica(out.file->name, run.worker, ReplicaState::present,
                             out.size);
+      emit(vine::obs::Event::make_cache_insert(now, run.worker, out.file->name,
+                                               out.size, "task_output"));
     }
   }
   request_schedule();
@@ -528,11 +592,21 @@ void ClusterSim::task_complete(TaskRun& run) {
 void ClusterSim::retrieve_output(const SimFile* file, const std::string& worker) {
   // Output returns to the manager; in shared-storage mode the data then
   // leaves the worker, so future consumers must pull it back from the
-  // manager (the Figure 13a back-and-forth).
-  trace_.on_transfer_start(worker, sim_.now());
+  // manager (the Figure 13a back-and-forth). The `worker` field of the
+  // transfer events names the worker whose NIC carries the bytes — the
+  // *source* here, with dest "manager".
+  std::string uuid = "ret-" + std::to_string(next_retrieval_id_++);
+  emit(vine::obs::Event::make_transfer_begin(sim_.now(), file->name, "worker",
+                                             worker, "manager", worker,
+                                             file->size, uuid));
   net_.start_flow(workers_.at(worker).node, manager_node_, file->size,
-                  [this, file, worker] {
-    trace_.on_transfer_end(worker, sim_.now());
+                  [this, file, worker, uuid] {
+    emit(vine::obs::Event::make_transfer_end(sim_.now(), file->name, "worker",
+                                             worker, "manager", worker,
+                                             file->size, uuid, /*ok=*/true,
+                                             "retrieval"));
+    emit(vine::obs::Event::make_cache_insert(sim_.now(), "manager", file->name,
+                                             file->size, "retrieval"));
     ++stats_.retrievals_to_manager;
     stats_.bytes_to_manager += file->size;
     at_manager_.insert(file->name);
@@ -570,6 +644,8 @@ void ClusterSim::apply_fault_plan(const faults::FaultPlan& plan) {
         sim_.at(ev.at, [this, id] {
           if (joined_workers() <= 1) return;
           ++stats_.faults_injected;
+          emit(vine::obs::Event::make_fault_injected(sim_.now(), "worker_crash",
+                                                     id));
           fail_worker(id);
         });
         break;
@@ -608,11 +684,19 @@ void ClusterSim::maybe_fire_task_triggers(const std::string& worker) {
   }
   if (fire && joined_workers() > 1) {
     ++stats_.faults_injected;
+    emit(vine::obs::Event::make_fault_injected(sim_.now(), "worker_crash",
+                                               worker));
     fail_worker(worker);
   }
 }
 
-void ClusterSim::fail_worker(const std::string& id) {
+void ClusterSim::fail_worker(const std::string& id_ref) {
+  // Copy first: callers may pass a string this teardown itself mutates.
+  // The task-triggered crash path hands in run.worker of the task whose
+  // completion fired the trigger, and the recovery sweep below clears that
+  // field when it re-queues the producer — leaving a dangling-empty id for
+  // the final worker_lost event.
+  const std::string id = id_ref;
   auto wit = workers_.find(id);
   if (wit == workers_.end() || !wit->second.joined) return;
   WorkerSim& w = wit->second;
@@ -658,6 +742,7 @@ void ClusterSim::fail_worker(const std::string& id) {
     run.committed = false;
     run.ready_at = now;
     set_run_state(tid, run, TaskState::ready);
+    emit_task_state(run, "ready");
   }
   for (std::uint64_t tid : dead_libraries) {
     ready_runs_.erase(tid);
@@ -668,6 +753,9 @@ void ClusterSim::fail_worker(const std::string& id) {
   //    worker) and the NIC goes dark. Record what was lost first — the
   //    recovery sweep below needs the list.
   const std::vector<std::string> lost = replicas_.files_on(id);
+  for (const auto& name : lost) {
+    emit(vine::obs::Event::make_cache_evict(now, id, name, "worker_lost"));
+  }
   replicas_.remove_worker(id);
   net_.remove_node(w.node);
   transfers_.remove_worker(id);
@@ -696,13 +784,17 @@ void ClusterSim::fail_worker(const std::string& id) {
     inflight_.erase(it);
     if (pf.flow) net_.cancel_flow(pf.flow);
     if (pf.event) sim_.cancel(pf.event);
-    trace_.on_transfer_end(pf.dest, now);
+    emit(vine::obs::Event::make_transfer_end(
+        now, pf.file->name, source_kind_name(pf.source.kind),
+        source_key_of(pf.source), pf.dest, pf.dest, pf.file->size, pf.uuid,
+        /*ok=*/false, "worker_lost"));
   }
   for (const auto& [_, uuid] : to_fail) fail_inflight(uuid);
 
   // 5. Transitive recovery: temps whose last replica died get their done
   //    producers re-queued, up the ancestor chain.
   recover_lost_temps(lost, now);
+  emit(vine::obs::Event::make_worker_lost(now, id, "crash"));
   request_schedule();
 }
 
@@ -742,6 +834,7 @@ void ClusterSim::recover_lost_temps(const std::vector<std::string>& lost,
     run.committed = false;
     run.ready_at = now;
     set_run_state(producer->id, run, TaskState::ready);
+    emit_task_state(run, "ready");
     // The producer's own temp inputs may be gone too — recurse upward.
     for (const auto* in : producer->inputs) stack.push_back(in);
   }
@@ -764,6 +857,8 @@ void ClusterSim::inject_peer_fail() {
   PendingFetch* victim = pick_peer_victim();
   if (victim == nullptr) return;  // nothing peer-to-peer in the air
   ++stats_.faults_injected;
+  emit(vine::obs::Event::make_fault_injected(sim_.now(), "peer_fail",
+                                             victim->dest));
   fail_inflight(victim->uuid);
 }
 
@@ -771,6 +866,8 @@ void ClusterSim::inject_peer_stall(double timeout) {
   PendingFetch* victim = pick_peer_victim();
   if (victim == nullptr) return;
   ++stats_.faults_injected;
+  emit(vine::obs::Event::make_fault_injected(sim_.now(), "peer_stall",
+                                             victim->dest));
   // Bytes stop moving now; the receiver notices only when its idle timeout
   // expires, then treats the fetch as failed and re-plans.
   net_.cancel_flow(victim->flow);
@@ -783,6 +880,8 @@ void ClusterSim::inject_frame_corrupt() {
   PendingFetch* victim = pick_peer_victim();
   if (victim == nullptr) return;
   ++stats_.faults_injected;
+  emit(vine::obs::Event::make_fault_injected(sim_.now(), "frame_corrupt",
+                                             victim->dest));
   victim->corrupted = true;  // digest check rejects it on arrival
 }
 
@@ -791,6 +890,8 @@ void ClusterSim::delay_running_task(double duration) {
   for (auto& [tid, run] : runs_) {
     if (run.state != TaskState::running || run.completion_event == 0) continue;
     ++stats_.faults_injected;
+    emit(vine::obs::Event::make_fault_injected(sim_.now(), "msg_delay",
+                                               run.worker));
     sim_.cancel(run.completion_event);
     const double done_at =
         std::max(run.started_at_ + run.task->duration, sim_.now()) + duration;
@@ -801,6 +902,27 @@ void ClusterSim::delay_running_task(double duration) {
     });
     return;
   }
+}
+
+void ClusterSim::emit_task_state(const TaskRun& run, const char* state) {
+  emit(vine::obs::Event::make_task_state(sim_.now(), run.task->id, state,
+                                         run.worker, run.task->category));
+}
+
+void ClusterSim::emit_counters() {
+  // The int64 SimStats fields are exposed through the registry (see the
+  // constructor); the plain-int fields are folded in here so the snapshot
+  // event carries the complete counter set.
+  auto snap = metrics_.snapshot();
+  snap["sim.tasks_done"] = stats_.tasks_done;
+  snap["sim.tasks_unfinished"] = stats_.tasks_unfinished;
+  snap["sim.max_worker_source_inflight"] = stats_.max_worker_source_inflight;
+  snap["sim.worker_crashes"] = stats_.worker_crashes;
+  snap["sim.worker_rejoins"] = stats_.worker_rejoins;
+  snap["sim.faults_injected"] = stats_.faults_injected;
+  snap["sim.transfer_failures"] = stats_.transfer_failures;
+  snap["sim.recoveries"] = stats_.recoveries;
+  emit(vine::obs::Event::make_counters(sim_.now(), std::move(snap)));
 }
 
 void ClusterSim::audit(vine::AuditReport& report) const {

@@ -24,6 +24,8 @@
 #include "common/faults.hpp"
 #include "common/invariant.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/flow_network.hpp"
 #include "sim/simulation.hpp"
@@ -67,6 +69,12 @@ struct SimConfig {
   /// and consumers re-fetch it from there — the "shared storage" mode of
   /// Figure 13a. When false (default), temps stay in-cluster.
   bool retrieve_temp_outputs = false;
+
+  /// Shared event sink (emitter "sim"). When null the sim creates a private
+  /// sink with full-event retention off, so the evaluation views stay
+  /// available without holding a paper-scale event stream in memory; pass
+  /// a sink with retention or a jsonl_path to capture the whole trace.
+  std::shared_ptr<vine::obs::TraceSink> trace;
 };
 
 struct SimTask;
@@ -203,7 +211,10 @@ class ClusterSim {
   /// quiescent points and after every crash.
   void audit(vine::AuditReport& report) const;
 
-  const TraceRecorder& trace() const { return trace_; }
+  /// The Figure-12 views derived from the event stream.
+  const vine::obs::ViewBuilder& trace() const { return sink_->views(); }
+  /// The event sink every "sim" event flows through.
+  vine::obs::TraceSink& trace_sink() { return *sink_; }
   const SimStats& stats() const { return stats_; }
   double makespan() const { return makespan_; }
   Simulation& sim() { return sim_; }
@@ -279,6 +290,13 @@ class ClusterSim {
   void task_complete(TaskRun& run);
   void retrieve_output(const SimFile* file, const std::string& worker);
 
+  // ---- obs emission (emitter "sim") ----
+  void emit(vine::obs::Event ev) { sink_->emit("sim", std::move(ev)); }
+  void emit_task_state(const TaskRun& run, const char* state);
+  /// Expose SimStats through the MetricsRegistry and emit the final
+  /// `counters` snapshot event (end of run()).
+  void emit_counters();
+
   NodeToken source_node(const vine::TransferSource& src, const SimFile* file) const;
 
   SimConfig config_;
@@ -325,7 +343,8 @@ class ClusterSim {
   // worker's Nth real-task completion.
   std::map<std::string, std::vector<vine::faults::FaultEvent>> task_triggers_;
 
-  TraceRecorder trace_;
+  std::shared_ptr<vine::obs::TraceSink> sink_;
+  vine::obs::MetricsRegistry metrics_;
   SimStats stats_;
   double makespan_ = 0;
   double next_dispatch_at_ = 0;
@@ -333,6 +352,7 @@ class ClusterSim {
   std::uint64_t next_task_id_ = 1;
   std::uint64_t next_unpack_id_ = 1;
   std::uint64_t next_fetch_seq_ = 1;
+  std::uint64_t next_retrieval_id_ = 1;
 };
 
 }  // namespace vinesim

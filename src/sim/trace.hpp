@@ -1,73 +1,20 @@
-// Activity traces matching the paper's two evaluation views (Figure 12):
-// the task view (one row per task: execution interval, sorted by start
-// time) and the worker view (per worker over time: running / transferring /
-// idle). Benches print these as CSV series for re-plotting.
+// The sim's Figure-12 evaluation views (task view, worker view) are now
+// derivations over the unified vine::obs event stream: ClusterSim emits
+// typed events into an obs::TraceSink, whose ViewBuilder folds them into
+// the same task rows / activity intervals the old sim-only TraceRecorder
+// produced — with one fix: open intervals are flushed (and changes clamped)
+// at the t_end horizon, so a worker still mid-transfer at sim end keeps its
+// final interval. This header keeps the historical vinesim type names alive
+// for the report/bench code.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
+#include "obs/views.hpp"
 
 namespace vinesim {
 
-/// One executed task in the task view.
-struct TaskRecord {
-  std::uint64_t task_id = 0;
-  std::string worker;
-  std::string category;      ///< workload phase label ("process", "sim", ...)
-  double ready_at = 0;       ///< submission / dependency-ready time
-  double started_at = 0;     ///< execution start on the worker
-  double finished_at = 0;    ///< execution end
-  bool ok = true;
-};
-
-/// Worker activity states in the worker view (Figure 12 bottom row).
-enum class WorkerState : std::uint8_t { idle = 0, transfer = 1, busy = 2 };
-
-/// One homogeneous interval of a worker's activity.
-struct ActivityInterval {
-  double begin = 0;
-  double end = 0;
-  WorkerState state = WorkerState::idle;
-};
-
-/// Records raw counters per worker and renders interval timelines.
-class TraceRecorder {
- public:
-  /// Counter deltas at time t (running tasks / active transfers).
-  void on_task_start(const std::string& worker, double t);
-  void on_task_end(const std::string& worker, double t);
-  void on_transfer_start(const std::string& worker, double t);
-  void on_transfer_end(const std::string& worker, double t);
-  /// Worker joined the cluster at time t (timeline starts here).
-  void on_worker_join(const std::string& worker, double t);
-
-  void record_task(TaskRecord rec) { tasks_.push_back(std::move(rec)); }
-  const std::vector<TaskRecord>& tasks() const { return tasks_; }
-
-  /// Timeline per worker up to `t_end`, merged into maximal intervals.
-  /// busy dominates transfer dominates idle when overlapping.
-  std::map<std::string, std::vector<ActivityInterval>> timelines(double t_end) const;
-
-  /// Completion curve: sorted finish times of ok tasks.
-  std::vector<double> completion_times() const;
-
-  /// Sum of (end-begin) per state for one worker (utilization stats).
-  struct Utilization {
-    double busy = 0, transfer = 0, idle = 0;
-  };
-  Utilization utilization(const std::string& worker, double t_end) const;
-
- private:
-  struct Change {
-    double t;
-    int run_delta;
-    int xfer_delta;
-  };
-  std::map<std::string, std::vector<Change>> changes_;
-  std::map<std::string, double> join_time_;
-  std::vector<TaskRecord> tasks_;
-};
+using TaskRecord = vine::obs::TaskRow;
+using WorkerState = vine::obs::WorkerState;
+using ActivityInterval = vine::obs::ActivityInterval;
+using Utilization = vine::obs::Utilization;
 
 }  // namespace vinesim

@@ -25,6 +25,31 @@ CacheStore::CacheStore(fs::path dir, std::int64_t capacity_bytes)
   }
 }
 
+void CacheStore::set_trace(std::shared_ptr<obs::TraceSink> sink,
+                           const Clock* clock, std::string emitter,
+                           std::string worker) {
+  std::lock_guard lock(mutex_);
+  trace_ = std::move(sink);
+  trace_clock_ = clock;
+  trace_emitter_ = std::move(emitter);
+  trace_worker_ = std::move(worker);
+}
+
+void CacheStore::trace_insert(const std::string& name, std::int64_t size,
+                              const char* detail) {
+  if (!trace_) return;
+  trace_->emit(trace_emitter_,
+               obs::Event::make_cache_insert(trace_clock_->now(), trace_worker_,
+                                             name, size, detail));
+}
+
+void CacheStore::trace_evict(const std::string& name, const char* detail) {
+  if (!trace_) return;
+  trace_->emit(trace_emitter_,
+               obs::Event::make_cache_evict(trace_clock_->now(), trace_worker_,
+                                            name, detail));
+}
+
 void CacheStore::touch(const std::string& name) {
   auto it = entries_.find(name);
   if (it != entries_.end()) it->second.last_access = ++access_tick_;
@@ -55,6 +80,7 @@ Status CacheStore::make_room(std::int64_t needed) {
     remove_all_quiet(path_of(name));
     entries_.erase(name);
     evicted_.push_back(name);
+    trace_evict(name, "capacity");
     VINE_LOG_INFO("cache", "evicted %s to make room", name.c_str());
   }
   return Status::success();
@@ -85,6 +111,7 @@ Status CacheStore::put_bytes(const std::string& name, std::string_view bytes,
   VINE_TRY_STATUS(write_file_atomic(path_of(name), bytes));
   entries_[name] = {level, static_cast<std::int64_t>(bytes.size()), false,
                     ++access_tick_};
+  trace_insert(name, static_cast<std::int64_t>(bytes.size()), "store");
   return Status::success();
 }
 
@@ -116,6 +143,7 @@ Status CacheStore::put_archive(const std::string& name,
     return Error{Errc::io_error, "rename into cache failed: " + ec.message()};
   }
   entries_[name] = {level, size.ok() ? *size : 0, true, ++access_tick_};
+  trace_insert(name, size.ok() ? *size : 0, "store");
   return Status::success();
 }
 
@@ -138,6 +166,7 @@ Status CacheStore::adopt(const std::string& name, const fs::path& src,
     remove_all_quiet(src);
   }
   entries_[name] = {level, size.ok() ? *size : 0, is_dir, ++access_tick_};
+  trace_insert(name, size.ok() ? *size : 0, "adopt");
   return Status::success();
 }
 
@@ -196,7 +225,7 @@ Result<std::pair<std::string, bool>> CacheStore::read_for_transfer(
 Status CacheStore::remove_object(const std::string& name) {
   VINE_TRY_STATUS(validate_name(name));
   std::lock_guard lock(mutex_);
-  entries_.erase(name);
+  if (entries_.erase(name) > 0) trace_evict(name, "unlink");
   remove_all_quiet(path_of(name));
   return Status::success();
 }
@@ -206,6 +235,7 @@ void CacheStore::end_workflow() {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.level != CacheLevel::worker) {
       remove_all_quiet(path_of(it->first));
+      trace_evict(it->first, "workflow_end");
       it = entries_.erase(it);
     } else {
       ++it;

@@ -11,13 +11,16 @@
 #include <cstdint>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/invariant.hpp"
 #include "files/file_decl.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace vine {
 
@@ -40,6 +43,13 @@ class CacheStore {
   /// are live workflow state and are never evicted silently). If that is
   /// not enough, the insertion fails with Errc::resource_exhausted.
   explicit CacheStore(std::filesystem::path dir, std::int64_t capacity_bytes = 0);
+
+  /// Attach a structured-trace sink: the store then emits cache_insert /
+  /// cache_evict events (vine::obs vocabulary) for local cache churn under
+  /// `emitter` ("worker:<id>"), stamping `worker` as the subject node and
+  /// timestamps from `clock` (the worker's clock; must outlive the store).
+  void set_trace(std::shared_ptr<obs::TraceSink> sink, const Clock* clock,
+                 std::string emitter, std::string worker);
 
   /// Store literal bytes under `name`.
   Status put_bytes(const std::string& name, std::string_view bytes, CacheLevel level);
@@ -104,9 +114,18 @@ class CacheStore {
   /// Caller holds mutex_. Fails when impossible.
   Status make_room(std::int64_t needed);
   void touch(const std::string& name);
+  // Trace emission helpers; no-ops until set_trace. Safe to call with
+  // mutex_ held (the sink has its own lock and never calls back).
+  void trace_insert(const std::string& name, std::int64_t size,
+                    const char* detail);
+  void trace_evict(const std::string& name, const char* detail);
 
   std::filesystem::path dir_;
   std::int64_t capacity_ = 0;
+  std::shared_ptr<obs::TraceSink> trace_;
+  const Clock* trace_clock_ = nullptr;  ///< borrowed from the owning worker
+  std::string trace_emitter_;
+  std::string trace_worker_;
   // Guards entries_, evicted_, access_tick_, and all object mutation under
   // dir_; held across evict+insert so capacity checks are atomic.
   mutable std::mutex mutex_;

@@ -21,6 +21,9 @@ Worker::Worker(WorkerConfig config) : config_(std::move(config)) {
   if (!config_.fetcher) config_.fetcher = std::make_shared<FileUrlFetcher>();
   cache_ = std::make_unique<CacheStore>(config_.root_dir / "cache",
                                         config_.cache_capacity_bytes);
+  if (config_.trace) {
+    cache_->set_trace(config_.trace, &clock_, "worker:" + config_.id, config_.id);
+  }
   executor_ = std::make_unique<Executor>(
       ExecutorConfig{config_.root_dir / "sandboxes", config_.id, 1 << 20, 0.05},
       *cache_);

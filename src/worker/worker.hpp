@@ -71,6 +71,11 @@ struct WorkerConfig {
   /// Fault-injection hooks for chaos tests (see common/faults.hpp).
   /// Null = no injection, zero cost.
   faults::WorkerFaultsHandle faults;
+
+  /// Shared structured-trace sink (vine::obs); null disables tracing. The
+  /// worker hands it to its CacheStore, which emits the node's cache churn
+  /// as "worker:<id>" alongside the manager's control-plane events.
+  std::shared_ptr<obs::TraceSink> trace;
 };
 
 class Worker {

@@ -1,0 +1,166 @@
+// Runtime <-> simulator differential test: the same two-task DAG runs on a
+// real LocalCluster and on vinesim::ClusterSim, both with tracing on, and
+// the two event streams must agree on the structural facts the paper's
+// model cares about — the set of completed tasks, a dependency-respecting
+// completion order, the worker each pinned task ran on, and the transfer
+// source kind that materialized each logical file.
+//
+// The DAG pins tasks to exercise all three source kinds at once:
+//   task 1 @ w0:  url input U (worker downloads it)      -> source "url"
+//                 buffer input B (manager pushes it)     -> source "manager"
+//                 temp output T1
+//   task 2 @ w1:  temp input T1 (peer transfer w0 -> w1) -> source "worker"
+//                 temp output T2
+// Timestamps, uuids, cache-object naming, and event interleavings are free
+// to differ between the halves; everything asserted here must not.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/taskvine.hpp"
+#include "files/url_fetcher.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace vine {
+namespace {
+
+using namespace std::chrono_literals;
+using obs::Event;
+using obs::EventKind;
+
+/// The structural digest both halves must agree on. `file` keys are the
+/// *logical* names (U, B, T1) — callers translate their half's cache names.
+struct TraceDigest {
+  std::set<std::uint64_t> tasks_done;
+  std::map<std::uint64_t, std::uint64_t> done_seq;    ///< task -> seq of done
+  std::map<std::uint64_t, std::string> ran_on;        ///< task -> worker
+  std::map<std::string, std::set<std::string>> file_sources;  ///< file -> kinds
+};
+
+TraceDigest digest(const std::vector<Event>& events,
+                   const std::map<std::string, std::string>& cache_to_logical) {
+  TraceDigest d;
+  for (const Event& ev : events) {
+    if (ev.kind == EventKind::task_state && ev.state == "done") {
+      d.tasks_done.insert(ev.task);
+      d.done_seq[ev.task] = ev.seq;
+      d.ran_on[ev.task] = ev.worker;
+    }
+    if (ev.kind == EventKind::transfer_end && ev.ok) {
+      auto it = cache_to_logical.find(ev.file);
+      if (it != cache_to_logical.end()) {
+        d.file_sources[it->second].insert(ev.source);
+      }
+    }
+  }
+  return d;
+}
+
+TEST(Differential, SameDagAgreesAcrossRuntimeAndSim) {
+  constexpr std::int64_t kUrlBytes = 64;
+  constexpr std::int64_t kBufBytes = 32;
+
+  // ---- runtime half -------------------------------------------------------
+  auto fetcher = std::make_shared<MemoryUrlFetcher>();
+  fetcher->put("http://archive/u.dat", std::string(kUrlBytes, 'u'),
+               /*content_md5=*/"im9vLXU=");
+  auto sink = std::make_shared<obs::TraceSink>(
+      obs::TraceSinkOptions{.retain_events = true, .jsonl_path = ""});
+
+  std::map<std::string, std::string> runtime_names;
+  {
+    LocalClusterConfig cc;
+    cc.workers = 2;
+    cc.fetcher = fetcher;
+    cc.trace = sink;
+    auto cluster = LocalCluster::create(std::move(cc));
+    ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+    Manager& m = (*cluster)->manager();
+
+    auto u = m.declare_url("http://archive/u.dat");
+    ASSERT_TRUE(u.ok()) << u.error().to_string();
+    auto b = m.declare_buffer(std::string(kBufBytes, 'b'));
+    auto t1 = m.declare_temp();
+    auto t2 = m.declare_temp();
+
+    ASSERT_TRUE(m.submit(TaskBuilder("cat u.dat b.dat > t1.dat")
+                             .input(*u, "u.dat")
+                             .input(b, "b.dat")
+                             .output(t1, "t1.dat")
+                             .pin_to_worker("w0")
+                             .build())
+                    .ok());
+    ASSERT_TRUE(m.submit(TaskBuilder("wc -c < t1.dat > t2.dat")
+                             .input(t1, "t1.dat")
+                             .output(t2, "t2.dat")
+                             .pin_to_worker("w1")
+                             .build())
+                    .ok());
+    for (int i = 0; i < 2; ++i) {
+      auto r = m.wait(20000ms);
+      ASSERT_TRUE(r.ok()) << r.error().to_string();
+      ASSERT_TRUE(r->ok()) << r->error_message;
+    }
+    // Temp cache names are assigned at submit; read them before teardown.
+    runtime_names[(*u)->cache_name] = "U";
+    runtime_names[b->cache_name] = "B";
+    runtime_names[t1->cache_name] = "T1";
+    (*cluster)->shutdown();
+  }
+  TraceDigest rt = digest(sink->events(), runtime_names);
+
+  // ---- sim half -----------------------------------------------------------
+  vinesim::SimConfig cfg;
+  cfg.seed = 11;
+  cfg.trace = std::make_shared<obs::TraceSink>(
+      obs::TraceSinkOptions{.retain_events = true, .jsonl_path = ""});
+  vinesim::ClusterSim cs(cfg);
+  cs.add_worker("w0", 0, 4);
+  cs.add_worker("w1", 0, 4);
+
+  auto* su = cs.declare_file("U", kUrlBytes, vinesim::SimFile::Origin::archive);
+  auto* sb = cs.declare_file("B", kBufBytes, vinesim::SimFile::Origin::manager);
+  auto* st1 = cs.declare_file("T1", 0, vinesim::SimFile::Origin::temp);
+  auto* st2 = cs.declare_file("T2", 0, vinesim::SimFile::Origin::temp);
+
+  auto* task1 = cs.add_task("command", 0.5, 1.0);
+  task1->inputs = {su, sb};
+  task1->outputs.push_back({st1, kUrlBytes + kBufBytes});
+  task1->pin_worker = "w0";
+  auto* task2 = cs.add_task("command", 0.5, 1.0);
+  task2->inputs = {st1};
+  task2->outputs.push_back({st2, 8});
+  task2->pin_worker = "w1";
+
+  cs.run();
+  ASSERT_EQ(cs.stats().tasks_unfinished, 0);
+  TraceDigest sim = digest(cfg.trace->events(),
+                           {{"U", "U"}, {"B", "B"}, {"T1", "T1"}});
+
+  // ---- the halves must agree ----------------------------------------------
+  EXPECT_EQ(rt.tasks_done, sim.tasks_done);
+  EXPECT_EQ(rt.tasks_done, (std::set<std::uint64_t>{1, 2}));
+
+  // Dependency order: task 2 consumes task 1's output in both streams.
+  ASSERT_TRUE(rt.done_seq.count(1) && rt.done_seq.count(2));
+  EXPECT_LT(rt.done_seq.at(1), rt.done_seq.at(2));
+  ASSERT_TRUE(sim.done_seq.count(1) && sim.done_seq.count(2));
+  EXPECT_LT(sim.done_seq.at(1), sim.done_seq.at(2));
+
+  // Pins were honored identically.
+  EXPECT_EQ(rt.ran_on, sim.ran_on);
+  EXPECT_EQ(rt.ran_on.at(1), "w0");
+  EXPECT_EQ(rt.ran_on.at(2), "w1");
+
+  // Every logical file materialized from the same source kind on both
+  // halves: U from the url, B from the manager, T1 from a peer worker.
+  const std::map<std::string, std::set<std::string>> want = {
+      {"U", {"url"}}, {"B", {"manager"}}, {"T1", {"worker"}}};
+  EXPECT_EQ(rt.file_sources, want);
+  EXPECT_EQ(sim.file_sources, want);
+}
+
+}  // namespace
+}  // namespace vine

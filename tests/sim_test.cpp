@@ -227,15 +227,22 @@ TEST(FlowNetwork, BytesAccounting) {
 }
 
 // ------------------------------------------------------------ Trace
+//
+// The old sim-only TraceRecorder became a derivation over vine::obs events
+// (ViewBuilder). These tests keep the historical behavior pinned through
+// the event-driven path.
+
+using vine::obs::Event;
+using vine::obs::ViewBuilder;
 
 TEST(Trace, TimelineStates) {
-  TraceRecorder tr;
-  tr.on_worker_join("w", 0);
-  tr.on_transfer_start("w", 1);
-  tr.on_transfer_end("w", 3);
-  tr.on_task_start("w", 3);
-  tr.on_task_end("w", 7);
-  auto tl = tr.timelines(10.0);
+  ViewBuilder vb;
+  vb.apply(Event::make_worker_join(0, "w"));
+  vb.apply(Event::make_transfer_begin(1, "f", "manager", "", "w", "w", 10, "x1"));
+  vb.apply(Event::make_transfer_end(3, "f", "manager", "", "w", "w", 10, "x1", true));
+  vb.apply(Event::make_task_state(3, 1, "running", "w", "x"));
+  vb.apply(Event::make_task_state(7, 1, "done", "w", "x"));
+  auto tl = vb.timelines(10.0);
   ASSERT_TRUE(tl.count("w"));
   const auto& ivs = tl["w"];
   ASSERT_EQ(ivs.size(), 4u);
@@ -247,25 +254,46 @@ TEST(Trace, TimelineStates) {
 }
 
 TEST(Trace, BusyDominatesTransfer) {
-  TraceRecorder tr;
-  tr.on_worker_join("w", 0);
-  tr.on_transfer_start("w", 0);
-  tr.on_task_start("w", 1);
-  tr.on_task_end("w", 2);
-  tr.on_transfer_end("w", 3);
-  auto u = tr.utilization("w", 3.0);
+  ViewBuilder vb;
+  vb.apply(Event::make_worker_join(0, "w"));
+  vb.apply(Event::make_transfer_begin(0, "f", "manager", "", "w", "w", 10, "x1"));
+  vb.apply(Event::make_task_state(1, 1, "running", "w", "x"));
+  vb.apply(Event::make_task_state(2, 1, "done", "w", "x"));
+  vb.apply(Event::make_transfer_end(3, "f", "manager", "", "w", "w", 10, "x1", true));
+  auto u = vb.utilization("w", 3.0);
   EXPECT_NEAR(u.transfer, 2.0, 1e-9);  // 0-1 and 2-3
   EXPECT_NEAR(u.busy, 1.0, 1e-9);
   EXPECT_NEAR(u.idle, 0.0, 1e-9);
 }
 
 TEST(Trace, CompletionCurveSorted) {
-  TraceRecorder tr;
-  tr.record_task({1, "w", "x", 0, 0, 5.0, true});
-  tr.record_task({2, "w", "x", 0, 0, 2.0, true});
-  tr.record_task({3, "w", "x", 0, 0, 9.0, false});  // failed: excluded
-  auto c = tr.completion_times();
+  ViewBuilder vb;
+  vb.apply(Event::make_task_state(5.0, 1, "done", "w", "x"));
+  vb.apply(Event::make_task_state(2.0, 2, "done", "w", "x"));
+  vb.apply(Event::make_task_state(9.0, 3, "failed", "w", "x", false));  // excluded
+  auto c = vb.completion_times();
   EXPECT_EQ(c, (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(Trace, OpenTransferFlushedAtHorizon) {
+  // Regression for the old trace.cpp defect: a worker still mid-transfer at
+  // sim end lost its final interval (and changes past t_end overshot it).
+  ViewBuilder vb;
+  vb.apply(Event::make_worker_join(0, "w"));
+  vb.apply(Event::make_transfer_begin(4, "f", "worker", "p", "w", "w", 10, "x1"));
+  // The end lands after the horizon we render at.
+  vb.apply(Event::make_transfer_end(12, "f", "worker", "p", "w", "w", 10, "x1", true));
+  auto tl = vb.timelines(8.0);
+  ASSERT_TRUE(tl.count("w"));
+  const auto& ivs = tl["w"];
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0].state, WorkerState::idle);
+  EXPECT_EQ(ivs[1].state, WorkerState::transfer);  // flushed 4-8, not dropped
+  EXPECT_EQ(ivs[1].begin, 4.0);
+  EXPECT_EQ(ivs[1].end, 8.0);  // clamped at the horizon, no overshoot
+  auto u = vb.utilization("w", 8.0);
+  EXPECT_NEAR(u.transfer, 4.0, 1e-9);
+  EXPECT_NEAR(u.idle, 4.0, 1e-9);
 }
 
 // ------------------------------------------------------------ ClusterSim

@@ -1,0 +1,230 @@
+// Trace-schema property test: every event the system emits — including
+// under injected chaos — must stream to JSONL that validates against the
+// versioned schema (per-event fields, enum vocabularies, seq monotonicity,
+// per-emitter clock monotonicity). Fuzzes with the same seeded FaultPlans
+// the chaos soaks use, on both halves:
+//   * simulator: many seeds, full crash/rejoin/delay plans;
+//   * runtime: real LocalCluster with worker crashes, hangs, rejoins, and
+//     peer-transfer fault injection replayed in scaled wall-clock time.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/faults.hpp"
+#include "common/uuid.hpp"
+#include "core/taskvine.hpp"
+#include "fsutil/fsutil.hpp"
+#include "obs/schema.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace vine {
+namespace {
+
+using namespace std::chrono_literals;
+namespace faults = vine::faults;
+
+/// Validate the streamed file and sanity-check the surviving stream.
+void expect_schema_valid(const std::string& path, std::uint64_t expected) {
+  auto events = obs::load_trace_file(path);
+  ASSERT_TRUE(events.ok()) << events.error().message;
+  EXPECT_EQ(events->size(), expected);
+  EXPECT_GT(events->size(), 0u);
+}
+
+// ------------------------------------------------------------- sim half ----
+
+// The chaos sim workload (tests/chaos_sim_test.cpp shape): produce ->
+// transform chains into a join, 200 MB temps, with a seeded fault plan.
+void run_sim_chaos(std::uint64_t seed, const std::string& trace_path) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  reseed_uuid_generator(seed);
+
+  vinesim::SimConfig cfg;
+  cfg.seed = seed;
+  cfg.worker_nic_Bps = 1.25e9;
+  cfg.archive_Bps = 1.25e9;
+  cfg.sched.health = {.backoff_base_s = 0.2, .backoff_cap_s = 2.0};
+  cfg.trace = std::make_shared<obs::TraceSink>(
+      obs::TraceSinkOptions{.retain_events = false, .jsonl_path = trace_path});
+
+  vinesim::ClusterSim cs(cfg);
+  for (int i = 0; i < 4; ++i) cs.add_worker("w" + std::to_string(i), 0, 4);
+  auto* join = cs.add_task("join", 0.4, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    auto* raw = cs.declare_file("raw" + std::to_string(i), 0,
+                                vinesim::SimFile::Origin::temp);
+    auto* mid = cs.declare_file("mid" + std::to_string(i), 0,
+                                vinesim::SimFile::Origin::temp);
+    auto* produce = cs.add_task("produce", 0.5, 1.0);
+    produce->outputs.push_back({raw, 200000000});
+    auto* transform = cs.add_task("transform", 0.5, 1.0);
+    transform->inputs.push_back(raw);
+    transform->outputs.push_back({mid, 200000000});
+    join->inputs.push_back(mid);
+  }
+
+  faults::FaultPlanConfig fp;
+  fp.seed = seed;
+  fp.workers = 4;
+  fp.horizon = 8.0;
+  fp.crashes = 2;
+  fp.peer_faults = 3;
+  fp.delays = 1;
+  fp.rejoin_mean = 2.0;
+  fp.stall_timeout = 0.5;
+  cs.apply_fault_plan(faults::FaultPlan::generate(fp));
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  cfg.trace->flush();
+  expect_schema_valid(trace_path, cfg.trace->event_count());
+}
+
+TEST(TraceFuzz, SimChaosSeedsProduceSchemaValidTraces) {
+  TempDir dir("trace-fuzz");
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    run_sim_chaos(seed, (dir.path() / ("sim" + std::to_string(seed) + ".jsonl"))
+                            .string());
+  }
+}
+
+// --------------------------------------------------------- runtime half ----
+
+// Replay a FaultPlan against a real cluster (scaled wall clock), keeping at
+// least one functioning worker so the workflow converges. Trimmed from the
+// chaos soak in tests/chaos_test.cpp.
+void replay_plan(LocalCluster& cluster, const faults::FaultPlan& plan,
+                 const faults::WorkerFaultsHandle& wf, double scale) {
+  const std::size_t n = cluster.worker_count();
+  std::vector<bool> hung(n, false);
+  auto functioning = [&] {
+    int count = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      count += cluster.worker_alive(k) && !hung[k];
+    }
+    return count;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& ev : plan.events()) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::milliseconds(static_cast<int>(ev.at * scale * 1000)));
+    const std::size_t i = static_cast<std::size_t>(ev.worker) % n;
+    switch (ev.kind) {
+      case faults::FaultKind::worker_crash:
+        if (cluster.worker_alive(i) && !hung[i] && functioning() > 1) {
+          cluster.crash_worker(i);
+        }
+        break;
+      case faults::FaultKind::worker_hang:
+        if (cluster.worker_alive(i) && !hung[i] && functioning() > 1) {
+          cluster.worker(i).inject_hang();
+          hung[i] = true;
+        }
+        break;
+      case faults::FaultKind::worker_rejoin:
+        if (!cluster.worker_alive(i)) {
+          if (cluster.restart_worker(i).ok()) hung[i] = false;
+        }
+        break;
+      case faults::FaultKind::peer_fail:
+        wf->fail_peer_serves.fetch_add(1);
+        break;
+      case faults::FaultKind::peer_stall:
+        wf->stall_ms.store(800);
+        wf->stall_peer_serves.fetch_add(1);
+        break;
+      case faults::FaultKind::frame_corrupt:
+        wf->corrupt_peer_blobs.fetch_add(1);
+        break;
+      case faults::FaultKind::msg_delay:
+        break;  // no runtime hook
+    }
+  }
+}
+
+void run_runtime_chaos(std::uint64_t seed, const std::string& trace_path) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  auto wf = std::make_shared<faults::WorkerFaults>();
+  auto sink = std::make_shared<obs::TraceSink>(
+      obs::TraceSinkOptions{.retain_events = false, .jsonl_path = trace_path});
+
+  {
+    LocalClusterConfig cfg;
+    cfg.workers = 4;
+    cfg.trace = sink;
+    cfg.manager.heartbeat_deadline_ms = 800;
+    cfg.manager.sched.health = {.backoff_base_s = 0.05, .backoff_cap_s = 0.5};
+    cfg.tweak_worker = [wf](WorkerConfig& wc) {
+      wc.heartbeat_interval_ms = 100;
+      wc.transfer_io_timeout_ms = 400;
+      wc.fetch_retries = 2;
+      wc.fetch_backoff_ms = 20;
+      wc.faults = wf;
+    };
+    auto cluster = LocalCluster::create(std::move(cfg));
+    ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+    Manager& m = (*cluster)->manager();
+
+    std::vector<FileRef> mids;
+    for (int i = 1; i <= 3; ++i) {
+      auto raw = m.declare_temp();
+      auto mid = m.declare_temp();
+      ASSERT_TRUE(m.submit(TaskBuilder("sleep 0.15; printf " +
+                                       std::to_string(i) + " > r")
+                               .output(raw, "r")
+                               .build())
+                      .ok());
+      ASSERT_TRUE(m.submit(TaskBuilder("sleep 0.15; expr $(cat r) \\* 2 > m")
+                               .input(raw, "r")
+                               .output(mid, "m")
+                               .build())
+                      .ok());
+      mids.push_back(mid);
+    }
+    ASSERT_TRUE(m.submit(TaskBuilder("cat m1 m2 m3")
+                             .input(mids[0], "m1")
+                             .input(mids[1], "m2")
+                             .input(mids[2], "m3")
+                             .build())
+                    .ok());
+
+    faults::FaultPlanConfig fp;
+    fp.seed = seed;
+    fp.workers = 4;
+    fp.horizon = 8.0;
+    fp.crashes = 2;
+    fp.peer_faults = 3;
+    fp.delays = 1;
+    fp.rejoin_mean = 2.0;
+    fp.stall_timeout = 0.4;
+    auto plan = faults::FaultPlan::generate(fp);
+    std::thread chaos([&] { replay_plan(**cluster, plan, wf, /*scale=*/0.12); });
+
+    for (int i = 0; i < 7; ++i) {
+      auto r = m.wait(30000ms);
+      ASSERT_TRUE(r.ok()) << r.error().to_string();
+      EXPECT_TRUE(r->ok()) << "task " << r->id << ": " << r->error_message;
+    }
+    chaos.join();
+    m.end_workflow();
+    (*cluster)->shutdown();
+  }
+
+  sink->flush();
+  expect_schema_valid(trace_path, sink->event_count());
+}
+
+TEST(TraceFuzz, RuntimeChaosProducesSchemaValidTraces) {
+  TempDir dir("trace-fuzz");
+  for (std::uint64_t seed : {3u, 9u}) {
+    run_runtime_chaos(seed,
+                      (dir.path() / ("rt" + std::to_string(seed) + ".jsonl"))
+                          .string());
+  }
+}
+
+}  // namespace
+}  // namespace vine

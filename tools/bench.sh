@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Scheduling/catalog and simulator hot-path benchmark harness.
 #
-# Builds the relwithdebinfo preset and runs two google-benchmark suites:
+# Builds the relwithdebinfo preset and runs three google-benchmark suites:
 #   micro_sched — scheduling/catalog micros (up to 2000 workers)
 #   micro_flow  — event-core + flow-network micros (up to 2000 flows)
+#   micro_obs   — vine::obs tracing emit path (absolute ns/event budgets)
 # plus, on full runs, wall-clock timings of the two transfer-heavy figure
 # replications at paper scale (fig11_transfer_methods, fig13_topeft_storage
-# --workers 500). Writes BENCH_sched.json and BENCH_sim.json at the repo
-# root: items/sec (or seconds) per row next to the frozen pre-refactor
-# baseline, with the speedup factor.
+# --workers 500). Writes BENCH_sched.json, BENCH_sim.json, and
+# BENCH_obs.json at the repo root: items/sec (or seconds) per row next to
+# the frozen pre-refactor baseline, with the speedup factor (the obs suite
+# gates on absolute cost budgets instead — it is a new subsystem).
 #
 # Usage:
 #   tools/bench.sh           # full run (benchmark_min_time=0.2 per case)
@@ -31,7 +33,8 @@ SMOKE=0
 
 cmake --preset relwithdebinfo >/dev/null
 cmake --build --preset relwithdebinfo -j "$(nproc)" \
-  --target micro_sched micro_flow fig11_transfer_methods fig13_topeft_storage \
+  --target micro_sched micro_flow micro_obs \
+          fig11_transfer_methods fig13_topeft_storage \
   >/dev/null
 
 RAW=$(mktemp)
@@ -202,4 +205,66 @@ if not out["smoke"]:
             sys.exit(f'FAIL: {name} wall {r["seconds"]}s >= baseline '
                      f'{r["baseline_seconds"]}s')
 print("wrote BENCH_sim.json")
+PYEOF
+
+# ----------------------------------------------------------------- micro_obs
+
+RAW_OBS=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_SIM" "$RAW_OBS"' EXIT
+
+if [[ "$SMOKE" == 1 ]]; then
+  ./build/bench/micro_obs --benchmark_format=json \
+    --benchmark_min_time=0.01 > "$RAW_OBS"
+else
+  ./build/bench/micro_obs --benchmark_format=json \
+    --benchmark_min_time=0.2 > "$RAW_OBS"
+fi
+
+SMOKE="$SMOKE" python3 - "$RAW_OBS" <<'PYEOF'
+import json, os, sys
+
+# The obs layer is new (no pre-refactor baseline); the gates are absolute
+# cost budgets from DESIGN.md: tracing disabled must stay a branch on a
+# pointer (<= 10 ns even with loop overhead), and an enabled emit must stay
+# under 150 ns/event so full paper-scale simulations can run traced.
+GATE_NS = {
+    "BM_EmitDisabled": 10.0,
+    "BM_EmitEnabled": 150.0,
+}
+
+raw = json.load(open(sys.argv[1]))
+rows = {}
+for b in raw["benchmarks"]:
+    name = b["name"]
+    ips = b.get("items_per_second")
+    if ips is None:
+        continue
+    ns = 1e9 / ips
+    rows[name] = {
+        "items_per_second": round(ips, 2),
+        "ns_per_event": round(ns, 2),
+        "gate_ns": GATE_NS.get(name),
+    }
+
+out = {
+    "suite": "micro_obs",
+    "smoke": os.environ.get("SMOKE") == "1",
+    "context": raw.get("context", {}),
+    "benchmarks": rows,
+}
+with open("BENCH_obs.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+for name, r in rows.items():
+    gate = f' (gate {r["gate_ns"]:.0f} ns)' if r["gate_ns"] else ""
+    print(f'{name}: {r["ns_per_event"]} ns/event{gate}')
+
+# The budgets hold by a wide margin even at smoke iteration counts, so CI
+# enforces them on every run.
+for name, gate in GATE_NS.items():
+    r = rows.get(name)
+    if r and r["ns_per_event"] > gate:
+        sys.exit(f'FAIL: {name} {r["ns_per_event"]} ns/event > {gate} ns budget')
+print("wrote BENCH_obs.json")
 PYEOF

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Regenerate the checked-in golden traces under tests/goldens/ after an
+# intentional change to the vine::obs event vocabulary or emission points.
+#
+# Usage: tools/update_goldens.sh [BUILD_DIR]
+#
+# Builds the golden test binary, reruns it with VINE_UPDATE_GOLDENS=1 (which
+# rewrites the goldens in the source tree), then runs it once more normally
+# to prove the fresh goldens reproduce. Review the resulting diff before
+# committing — a golden change is a schema/vocabulary change.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target test_golden_trace
+
+VINE_UPDATE_GOLDENS=1 "$BUILD_DIR/tests/test_golden_trace"
+"$BUILD_DIR/tests/test_golden_trace"
+
+echo "goldens updated:"
+git -C . diff --stat -- tests/goldens || true

@@ -1,0 +1,233 @@
+// vine_report — render the paper's evaluation views from a vine::obs JSONL
+// trace (task table, worker activity intervals, per-source transfer matrix,
+// bandwidth time series, counters), validating every line against the
+// versioned schema on the way in.
+//
+// The trace may come from either half of the repo — a runtime LocalCluster
+// or a vinesim::ClusterSim — because both emit the same event vocabulary.
+// `--chaos SEED --out PATH` additionally runs the simulator's chaos soak
+// workload (seeded FaultPlan over a diamond workflow) and writes its trace,
+// which is what CI feeds back through the validator.
+//
+// Usage:
+//   vine_report TRACE.jsonl [--tasks] [--workers] [--matrix]
+//               [--bandwidth SECONDS] [--counters] [--validate-only]
+//   vine_report --chaos SEED --out TRACE.jsonl
+//
+// With no view flag, every view is printed. Exit codes: 0 success,
+// 1 usage error, 2 schema/validation failure.
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/faults.hpp"
+#include "common/uuid.hpp"
+#include "obs/schema.hpp"
+#include "obs/trace_sink.hpp"
+#include "obs/views.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vine_report TRACE.jsonl [--tasks] [--workers] [--matrix]\n"
+               "                   [--bandwidth SECONDS] [--counters] [--validate-only]\n"
+               "       vine_report --chaos SEED --out TRACE.jsonl\n");
+  return 1;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_double(const std::string& s, double* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+// The chaos workload mirrors tests/chaos_sim_test.cpp: 6 producers -> 6
+// transforms -> 1 join over 200 MB temps on 4 workers, with a seeded
+// FaultPlan (crashes, peer faults, delays) replayed as discrete events.
+int run_chaos(std::uint64_t seed, const std::string& out_path) {
+  vine::reseed_uuid_generator(seed);
+
+  vinesim::SimConfig cfg;
+  cfg.seed = seed;
+  cfg.worker_nic_Bps = 1.25e9;
+  cfg.archive_Bps = 1.25e9;
+  cfg.sched.health = {.backoff_base_s = 0.2, .backoff_cap_s = 2.0};
+  cfg.trace = std::make_shared<vine::obs::TraceSink>(
+      vine::obs::TraceSinkOptions{.retain_events = false, .jsonl_path = out_path});
+
+  vinesim::ClusterSim cs(cfg);
+  for (int i = 0; i < 4; ++i) cs.add_worker("w" + std::to_string(i), 0, 4);
+  vinesim::SimTask* join = cs.add_task("join", 0.4, 1.0);
+  for (int i = 0; i < 6; ++i) {
+    auto* raw = cs.declare_file("raw" + std::to_string(i), 0,
+                                vinesim::SimFile::Origin::temp);
+    auto* mid = cs.declare_file("mid" + std::to_string(i), 0,
+                                vinesim::SimFile::Origin::temp);
+    auto* produce = cs.add_task("produce", 0.5, 1.0);
+    produce->outputs.push_back({raw, 200000000});
+    auto* transform = cs.add_task("transform", 0.5, 1.0);
+    transform->inputs.push_back(raw);
+    transform->outputs.push_back({mid, 200000000});
+    join->inputs.push_back(mid);
+  }
+
+  vine::faults::FaultPlanConfig fp;
+  fp.seed = seed;
+  fp.workers = 4;
+  fp.horizon = 8.0;
+  fp.crashes = 2;
+  fp.peer_faults = 3;
+  fp.delays = 1;
+  fp.rejoin_mean = 2.0;
+  fp.stall_timeout = 0.5;
+  cs.apply_fault_plan(vine::faults::FaultPlan::generate(fp));
+
+  double makespan = cs.run();
+  std::printf("chaos seed %llu: makespan %.3f s, %llu events -> %s\n",
+              static_cast<unsigned long long>(seed), makespan,
+              static_cast<unsigned long long>(cfg.trace->event_count()),
+              out_path.c_str());
+  if (cs.stats().tasks_unfinished != 0) {
+    std::fprintf(stderr, "chaos run did not converge: %lld unfinished\n",
+                 static_cast<long long>(cs.stats().tasks_unfinished));
+    return 2;
+  }
+  return 0;
+}
+
+void print_tasks(const vine::obs::ViewBuilder& views) {
+  std::printf("== task view ==\n");
+  std::printf("%8s  %-10s %-14s %10s %10s %10s  %s\n", "task", "worker",
+              "category", "ready", "start", "finish", "ok");
+  for (const auto& row : views.tasks()) {
+    std::printf("%8llu  %-10s %-14s %10.3f %10.3f %10.3f  %s\n",
+                static_cast<unsigned long long>(row.task_id), row.worker.c_str(),
+                row.category.c_str(), row.ready_at, row.started_at,
+                row.finished_at, row.ok ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void print_workers(const vine::obs::ViewBuilder& views, double t_end) {
+  std::printf("== worker view (t_end %.3f) ==\n", t_end);
+  for (const auto& [worker, intervals] : views.timelines(t_end)) {
+    auto u = views.utilization(worker, t_end);
+    std::printf("%-12s busy %8.3f  transfer %8.3f  idle %8.3f\n", worker.c_str(),
+                u.busy, u.transfer, u.idle);
+    for (const auto& iv : intervals) {
+      std::printf("    %10.3f .. %-10.3f %s\n", iv.begin, iv.end,
+                  vine::obs::worker_state_name(iv.state));
+    }
+  }
+  std::printf("\n");
+}
+
+void print_matrix(const vine::obs::ViewBuilder& views) {
+  std::printf("== transfer matrix (source kind -> destination) ==\n");
+  for (const auto& [source, dests] : views.transfer_matrix()) {
+    for (const auto& [dest, cell] : dests) {
+      std::printf("%-8s -> %-12s %6lld transfers %14lld bytes\n", source.c_str(),
+                  dest.c_str(), static_cast<long long>(cell.count),
+                  static_cast<long long>(cell.bytes));
+    }
+  }
+  std::printf("\n");
+}
+
+void print_bandwidth(const vine::obs::ViewBuilder& views, double bin_seconds) {
+  std::printf("== bandwidth series (bin %.3f s) ==\n", bin_seconds);
+  for (const auto& point : views.bandwidth_series(bin_seconds)) {
+    std::printf("%10.3f  %14lld bytes\n", point.t,
+                static_cast<long long>(point.bytes));
+  }
+  std::printf("\n");
+}
+
+void print_counters(const vine::obs::ViewBuilder& views) {
+  std::printf("== counters ==\n");
+  for (const auto& [name, value] : views.counters_view()) {
+    std::printf("%-36s %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string out_path;
+  bool want_tasks = false, want_workers = false, want_matrix = false;
+  bool want_bandwidth = false, want_counters = false, validate_only = false;
+  double bin_seconds = 1.0;
+  std::uint64_t chaos_seed = 0;
+  bool chaos = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--tasks") {
+      want_tasks = true;
+    } else if (arg == "--workers") {
+      want_workers = true;
+    } else if (arg == "--matrix") {
+      want_matrix = true;
+    } else if (arg == "--counters") {
+      want_counters = true;
+    } else if (arg == "--validate-only") {
+      validate_only = true;
+    } else if (arg == "--bandwidth") {
+      if (++i >= argc || !parse_double(argv[i], &bin_seconds)) return usage();
+      want_bandwidth = true;
+    } else if (arg == "--chaos") {
+      if (++i >= argc || !parse_u64(argv[i], &chaos_seed)) return usage();
+      chaos = true;
+    } else if (arg == "--out") {
+      if (++i >= argc) return usage();
+      out_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage();
+    }
+  }
+
+  if (chaos) {
+    if (out_path.empty() || !trace_path.empty()) return usage();
+    return run_chaos(chaos_seed, out_path);
+  }
+  if (trace_path.empty()) return usage();
+
+  auto events = vine::obs::load_trace_file(trace_path);
+  if (!events.ok()) {
+    std::fprintf(stderr, "invalid trace: %s\n", events.error().message.c_str());
+    return 2;
+  }
+  std::printf("%s: %zu schema-valid events\n\n", trace_path.c_str(),
+              events->size());
+  if (validate_only) return 0;
+
+  vine::obs::ViewBuilder views;
+  double t_end = 0;
+  for (const auto& ev : *events) {
+    views.apply(ev);
+    t_end = std::max(t_end, ev.t);
+  }
+
+  const bool all = !want_tasks && !want_workers && !want_matrix &&
+                   !want_bandwidth && !want_counters;
+  if (all || want_tasks) print_tasks(views);
+  if (all || want_workers) print_workers(views, t_end);
+  if (all || want_matrix) print_matrix(views);
+  if (all || want_bandwidth) print_bandwidth(views, bin_seconds);
+  if (all || want_counters) print_counters(views);
+  return 0;
+}
