@@ -1,0 +1,81 @@
+#include "common/lock_rank.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vine::lock_rank {
+
+namespace {
+
+// Per-thread stack of held ranks. A plain vector: depth is tiny (2-3) and
+// only the owning thread touches it.
+thread_local std::vector<Rank> t_held;
+
+void default_handler(Rank acquiring, Rank held, const char* message) {
+  std::fprintf(stderr, "lock_rank: %s (acquiring %s while holding %s; held:",
+               message, rank_name(acquiring), rank_name(held));
+  for (Rank r : t_held) std::fprintf(stderr, " %s", rank_name(r));
+  std::fprintf(stderr, ")\n");
+  std::abort();
+}
+
+ViolationHandler g_handler = default_handler;
+
+}  // namespace
+
+const char* rank_name(Rank r) {
+  switch (r) {
+    case Rank::manager_connections: return "manager_connections";
+    case Rank::worker_threads: return "worker_threads";
+    case Rank::worker_libraries: return "worker_libraries";
+    case Rank::cache_store: return "cache_store";
+    case Rank::channel_fabric: return "channel_fabric";
+    case Rank::url_fetcher: return "url_fetcher";
+    case Rank::task_registry: return "task_registry";
+    case Rank::trace_sink: return "trace_sink";
+    case Rank::metrics: return "metrics";
+    case Rank::endpoint_send: return "endpoint_send";
+    case Rank::msg_queue: return "msg_queue";
+    case Rank::uuid: return "uuid";
+    case Rank::logging: return "logging";
+  }
+  return "unknown";
+}
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  ViolationHandler prev = g_handler;
+  g_handler = handler ? handler : default_handler;
+  return prev;
+}
+
+bool note_acquire(Rank r) {
+  bool ok = true;
+  if (!t_held.empty()) {
+    Rank max_held = t_held.front();
+    for (Rank h : t_held) {
+      if (h > max_held) max_held = h;
+    }
+    if (r <= max_held) {
+      ok = false;
+      g_handler(r, max_held,
+                r == max_held ? "same-rank nested acquisition"
+                              : "rank-order inversion");
+    }
+  }
+  t_held.push_back(r);
+  return ok;
+}
+
+void note_release(Rank r) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == r) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  g_handler(r, r, "release of a rank not held");
+}
+
+std::vector<Rank> held_ranks() { return t_held; }
+
+}  // namespace vine::lock_rank

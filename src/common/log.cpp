@@ -4,14 +4,16 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace vine {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::warn)};
 // Serializes stderr writes so interleaved threads emit whole lines.
-std::mutex g_mutex;
+// Innermost rank: logging must be callable while holding any other lock.
+Mutex g_mutex{lock_rank::Rank::logging};
 
 char level_char(LogLevel l) {
   switch (l) {
@@ -41,7 +43,7 @@ LogLevel log_level() noexcept {
 
 void log_line(LogLevel level, std::string_view component, std::string_view text) {
   if (level < log_level()) return;
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%10.3f] %c %.*s: %.*s\n", elapsed_seconds(),
                level_char(level), static_cast<int>(component.size()),
                component.data(), static_cast<int>(text.size()), text.data());

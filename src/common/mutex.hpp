@@ -1,0 +1,110 @@
+// vine::Mutex / MutexLock / UniqueLock — the project's annotated lock types.
+//
+// Every mutex in the concurrent core is a vine::Mutex: a std::mutex that
+// (1) is a Clang thread-safety *capability*, so VINE_GUARDED_BY members and
+//     VINE_REQUIRES functions are machine-checked under the clang-tsafety
+//     preset, and
+// (2) carries a lock_rank::Rank, so debug builds assert every acquisition
+//     is monotone in the committed global lock order (tools/lock_ranks.txt)
+//     and tools/vine_analyze can rebuild the whole-program lock graph.
+//
+// MutexLock is the lock_guard analog; UniqueLock the unique_lock analog for
+// condition-variable waits (use vine::CondVar = condition_variable_any,
+// which accepts any BasicLockable). Raw .lock()/.unlock() outside these
+// RAII types is banned by the vine_lint manual-lock rule.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_rank.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace vine {
+
+class VINE_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(lock_rank::Rank rank) : rank_(rank) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VINE_ACQUIRE() {
+#if VINE_LOCK_RANK_CHECKS
+    // Check before blocking: a rank inversion is exactly the case where
+    // impl_.lock() may never return, so report while we still can.
+    lock_rank::note_acquire(rank_);
+#endif
+    impl_.lock();
+  }
+
+  void unlock() VINE_RELEASE() {
+    impl_.unlock();
+#if VINE_LOCK_RANK_CHECKS
+    lock_rank::note_release(rank_);
+#endif
+  }
+
+  bool try_lock() VINE_TRY_ACQUIRE(true) {
+    if (!impl_.try_lock()) return false;
+#if VINE_LOCK_RANK_CHECKS
+    lock_rank::note_acquire(rank_);
+#endif
+    return true;
+  }
+
+  lock_rank::Rank rank() const { return rank_; }
+
+ private:
+  // Guards whatever the *owner* of this vine::Mutex says it guards; the
+  // wrapper itself only adds the rank bookkeeping around acquire/release.
+  std::mutex impl_;
+  const lock_rank::Rank rank_;
+};
+
+/// RAII guard, lock_guard-shaped: acquires in the constructor, releases in
+/// the destructor, no unlock before then.
+class VINE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VINE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VINE_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII guard, unique_lock-shaped: BasicLockable, so vine::CondVar can
+/// drop/retake it inside wait. Starts locked.
+class VINE_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) VINE_ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() VINE_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() VINE_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() VINE_RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+/// Condition variable usable with vine::Mutex via UniqueLock. The _any
+/// variant works with any BasicLockable; the few waits in this codebase
+/// (MsgQueue) are not hot enough for the std::condition_variable fast path
+/// to matter.
+using CondVar = std::condition_variable_any;
+
+}  // namespace vine

@@ -1,0 +1,66 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These map to Clang's capability analysis attributes so the clang-tsafety
+// preset (-Wthread-safety -Werror) can prove guard discipline at compile
+// time: every VINE_GUARDED_BY member access must happen with its mutex held,
+// every VINE_REQUIRES function must be called with the lock already taken.
+// GCC builds compile them away; the dynamic side of the same contract is
+// common/lock_rank.hpp, and the whole-tree lock graph is checked by
+// tools/vine_analyze (which parses these annotations textually).
+//
+// Conventions:
+//  * every mutex-protected member:        T field_ VINE_GUARDED_BY(mutex_);
+//  * private must-hold-lock helpers:      void f() VINE_REQUIRES(mutex_);
+//  * functions that take/drop the lock:   VINE_ACQUIRE(m) / VINE_RELEASE(m)
+//  * API that must NOT be called locked:  VINE_EXCLUDES(m)
+//  * documented quiescent-read escapes:   VINE_NO_THREAD_SAFETY_ANALYSIS
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VINE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VINE_THREAD_ANNOTATION
+#define VINE_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define VINE_CAPABILITY(x) VINE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII guard type whose constructor acquires and destructor
+/// releases a capability.
+#define VINE_SCOPED_CAPABILITY VINE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given mutex held.
+#define VINE_GUARDED_BY(x) VINE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define VINE_PT_GUARDED_BY(x) VINE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the given capabilities held on entry (and exit).
+#define VINE_REQUIRES(...) \
+  VINE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry).
+#define VINE_ACQUIRE(...) \
+  VINE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define VINE_RELEASE(...) \
+  VINE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define VINE_TRY_ACQUIRE(result, ...) \
+  VINE_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function must be called with the capability NOT held (deadlock guard).
+#define VINE_EXCLUDES(...) VINE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define VINE_RETURN_CAPABILITY(x) VINE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for documented exceptions (quiescent-point reads). Every
+/// use must carry a comment saying why the unlocked access is sound.
+#define VINE_NO_THREAD_SAFETY_ANALYSIS \
+  VINE_THREAD_ANNOTATION(no_thread_safety_analysis)

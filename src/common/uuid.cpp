@@ -1,15 +1,16 @@
 #include "common/uuid.hpp"
 
 #include <chrono>
-#include <mutex>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 
 namespace vine {
 namespace {
 
-// Guards the shared Rng (any thread may mint UUIDs/tokens).
-std::mutex g_mutex;
+// Guards the shared Rng (any thread may mint UUIDs/tokens). Near-innermost
+// rank: id minting happens under connection/registry locks.
+Mutex g_mutex{lock_rank::Rank::uuid};
 
 Rng& generator() {
   static Rng rng(static_cast<std::uint64_t>(
@@ -22,7 +23,7 @@ constexpr char kHex[] = "0123456789abcdef";
 }  // namespace
 
 std::string generate_uuid() {
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::uint64_t hi = generator().next();
   std::uint64_t lo = generator().next();
   // Set version (4) and variant (10xx) bits per RFC 4122.
@@ -47,7 +48,7 @@ std::string generate_uuid() {
 }
 
 std::string generate_token(std::size_t hex_chars) {
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::string out;
   out.reserve(hex_chars);
   std::uint64_t word = 0;
@@ -65,7 +66,7 @@ std::string generate_token(std::size_t hex_chars) {
 }
 
 void reseed_uuid_generator(std::uint64_t seed) {
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   generator().reseed(seed);
 }
 

@@ -53,7 +53,7 @@ void MemoryUrlFetcher::put(const std::string& url, std::string content,
                            std::optional<std::string> content_md5,
                            std::optional<std::string> etag,
                            std::optional<std::string> last_modified) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Entry e;
   e.meta.content_md5 = std::move(content_md5);
   e.meta.etag = std::move(etag);
@@ -64,7 +64,7 @@ void MemoryUrlFetcher::put(const std::string& url, std::string content,
 }
 
 Result<UrlMetadata> MemoryUrlFetcher::head(const std::string& url) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = objects_.find(url);
   if (it == objects_.end()) return Error{Errc::not_found, "404: " + url};
   ++it->second.heads;
@@ -72,7 +72,7 @@ Result<UrlMetadata> MemoryUrlFetcher::head(const std::string& url) {
 }
 
 Result<std::string> MemoryUrlFetcher::fetch(const std::string& url) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = objects_.find(url);
   if (it == objects_.end()) return Error{Errc::not_found, "404: " + url};
   ++it->second.fetches;
@@ -80,13 +80,13 @@ Result<std::string> MemoryUrlFetcher::fetch(const std::string& url) {
 }
 
 int MemoryUrlFetcher::head_count(const std::string& url) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = objects_.find(url);
   return it == objects_.end() ? 0 : it->second.heads;
 }
 
 int MemoryUrlFetcher::fetch_count(const std::string& url) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = objects_.find(url);
   return it == objects_.end() ? 0 : it->second.fetches;
 }

@@ -12,11 +12,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 
 namespace vine {
 
@@ -76,8 +76,8 @@ class MemoryUrlFetcher final : public UrlFetcher {
     int fetches = 0;
   };
   // Guards objects_ (worker transfer threads fetch concurrently).
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> objects_;
+  mutable Mutex mutex_{lock_rank::Rank::url_fetcher};
+  std::map<std::string, Entry> objects_ VINE_GUARDED_BY(mutex_);
 };
 
 }  // namespace vine

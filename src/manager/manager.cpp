@@ -102,7 +102,7 @@ void Manager::accept_loop() {
       if (ep.error().code == Errc::timeout) continue;
       return;
     }
-    std::lock_guard lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     std::string conn_id = "c" + std::to_string(next_conn_++);
     auto conn = std::make_unique<Connection>();
     conn->conn_id = conn_id;
@@ -459,12 +459,19 @@ void Manager::shutdown() {
   if (acceptor_.joinable()) acceptor_.join();
   inbox_.close();
 
-  std::lock_guard lock(conn_mutex_);
-  for (auto& [_, conn] : connections_) {
+  // Extract the connections under the lock, then close and join outside
+  // it: a reader can take up to a recv timeout to notice the close, and
+  // join under conn_mutex_ is a blocking call under a lock (the same rule
+  // handle_worker_lost already follows).
+  std::map<std::string, std::unique_ptr<Connection>> conns;
+  {
+    MutexLock lock(conn_mutex_);
+    conns.swap(connections_);
+  }
+  for (auto& [_, conn] : conns) {
     conn->endpoint->close();
     if (conn->reader.joinable()) conn->reader.join();
   }
-  connections_.clear();
 }
 
 // ------------------------------------------------------------ pumping
@@ -517,7 +524,7 @@ void Manager::handle_event(Event ev) {
   // Resolve the sending worker (if identified).
   WorkerId worker;
   {
-    std::lock_guard lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     auto it = connections_.find(ev.conn_id);
     if (it != connections_.end()) worker = it->second->worker_id;
   }
@@ -557,7 +564,7 @@ void Manager::handle_event(Event ev) {
 void Manager::handle_hello(const std::string& conn_id, const proto::HelloMsg& msg) {
   std::shared_ptr<Endpoint> ep;
   {
-    std::lock_guard lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     auto it = connections_.find(conn_id);
     if (it == connections_.end()) return;
     it->second->worker_id = msg.worker_id;
@@ -788,7 +795,7 @@ void Manager::handle_worker_lost(const std::string& conn_id, bool evicted) {
   // and every event being resolved in the meantime.
   std::unique_ptr<Connection> conn;
   {
-    std::lock_guard lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     auto it = connections_.find(conn_id);
     if (it == connections_.end()) return;
     conn = std::move(it->second);

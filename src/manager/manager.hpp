@@ -22,6 +22,7 @@
 #include "catalog/transfer_table.hpp"
 #include "common/clock.hpp"
 #include "common/invariant.hpp"
+#include "common/mutex.hpp"
 #include "files/file_decl.hpp"
 #include "files/url_fetcher.hpp"
 #include "net/frame.hpp"
@@ -305,9 +306,12 @@ class Manager {
   Scheduler scheduler_;
 
   // Guards connections_ and next_conn_ (shared with accept/reader threads);
-  // all other workflow state below is application-thread-only.
-  std::mutex conn_mutex_;
-  std::map<std::string, std::unique_ptr<Connection>> connections_;
+  // all other workflow state below is application-thread-only. Reader
+  // joins always run on Connections extracted from the map first — a join
+  // under this lock would stall the acceptor and every event in flight.
+  Mutex conn_mutex_{lock_rank::Rank::manager_connections};
+  std::map<std::string, std::unique_ptr<Connection>> connections_
+      VINE_GUARDED_BY(conn_mutex_);
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
 
@@ -344,7 +348,7 @@ class Manager {
 
   FileId next_file_id_ = 1;
   TaskId next_task_id_ = 1;
-  std::uint64_t next_conn_ = 1;
+  std::uint64_t next_conn_ VINE_GUARDED_BY(conn_mutex_) = 1;
 };
 
 }  // namespace vine

@@ -106,7 +106,7 @@ ChannelFabric& ChannelFabric::instance() {
 
 Result<std::unique_ptr<Listener>> ChannelFabric::listen(const std::string& name) {
   std::string address = "chan:" + name;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = listeners_.find(address);
   if (it != listeners_.end() && !it->second->pending.closed()) {
     return Error{Errc::already_exists, "channel name taken: " + address};
@@ -121,7 +121,7 @@ Result<std::unique_ptr<Endpoint>> ChannelFabric::connect(
     const std::string& address, std::chrono::milliseconds /*timeout*/) {
   std::shared_ptr<PendingQueue> q;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = listeners_.find(address);
     if (it == listeners_.end() || it->second->pending.closed()) {
       return Error{Errc::unavailable, "no such channel listener: " + address};

@@ -7,9 +7,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.hpp"
 #include "net/frame.hpp"
 #include "net/msg_queue.hpp"
 
@@ -38,8 +38,9 @@ class ChannelFabric {
 
  private:
   // Guards listeners_ (listen/connect/close arrive from arbitrary threads).
-  std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<PendingQueue>> listeners_;
+  Mutex mutex_{lock_rank::Rank::channel_fabric};
+  std::map<std::string, std::shared_ptr<PendingQueue>> listeners_
+      VINE_GUARDED_BY(mutex_);
 };
 
 }  // namespace vine

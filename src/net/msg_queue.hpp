@@ -2,14 +2,19 @@
 // worker own one inbox; reader/executor/transfer threads push events into
 // it, and a single consumer thread drains it — the concurrency pattern used
 // throughout the real runtime (message passing, no shared mutable state).
+//
+// Concurrency: mutex_ ranks msg_queue — the innermost data lock — so no
+// other vine lock may be acquired while holding it, and pop() (which blocks
+// in a condvar wait) must never be called with any vine lock held
+// (vine_analyze reports that as lock-held-across-blocking-call).
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.hpp"
 
 namespace vine {
 
@@ -19,7 +24,7 @@ class MsgQueue {
   /// Push an item and wake one waiter. Returns false if the queue is closed.
   bool push(T item) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -34,7 +39,7 @@ class MsgQueue {
     // storms from concurrent pushes) re-arm with the remaining time instead
     // of restarting the full timeout.
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     while (items_.empty() && !closed_) {
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
     }
@@ -46,7 +51,7 @@ class MsgQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
@@ -57,28 +62,28 @@ class MsgQueue {
   /// still be popped.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
   // Guards items_ and closed_; cv_ is signalled under it on push/close.
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_{lock_rank::Rank::msg_queue};
+  CondVar cv_;
+  std::deque<T> items_ VINE_GUARDED_BY(mutex_);
+  bool closed_ VINE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vine

@@ -12,8 +12,8 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
+#include "common/mutex.hpp"
 #include "common/strings.hpp"
 
 namespace vine {
@@ -63,7 +63,7 @@ class TcpEndpoint final : public Endpoint {
 
   Status send(Frame frame) override {
     std::string wire = encode_frame(frame);
-    std::lock_guard lock(send_mutex_);
+    MutexLock lock(send_mutex_);
     std::size_t sent = 0;
     while (sent < wire.size()) {
       ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
@@ -145,8 +145,9 @@ class TcpEndpoint final : public Endpoint {
   std::string peer_;
   // Serializes send() so a length-prefixed frame is written atomically even
   // when multiple threads share the endpoint; recv stays lock-free (single
-  // consumer).
-  std::mutex send_mutex_;
+  // consumer). Held across the blocking ::send by design — that is the
+  // frame-atomicity contract (vine_analyze allowlists it).
+  Mutex send_mutex_{lock_rank::Rank::endpoint_send};
 };
 
 class TcpListener final : public Listener {

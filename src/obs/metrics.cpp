@@ -3,7 +3,7 @@
 namespace vine::obs {
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
@@ -11,17 +11,17 @@ Counter* MetricsRegistry::counter(const std::string& name) {
 
 void MetricsRegistry::expose(const std::string& name,
                              const std::int64_t* source) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   exposed_[name] = source;
 }
 
 void MetricsRegistry::unexpose(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   exposed_.erase(name);
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   for (const auto& [name, src] : exposed_) {

@@ -19,8 +19,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.hpp"
 
 namespace vine::obs {
 
@@ -53,9 +54,9 @@ class MetricsRegistry {
   std::map<std::string, std::int64_t> snapshot() const;
 
  private:
-  mutable std::mutex mu_;  // guards counters_ and exposed_ (the maps, not the values)
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, const std::int64_t*> exposed_;
+  mutable Mutex mu_{lock_rank::Rank::metrics};  // guards counters_ and exposed_ (the maps, not the values)
+  std::map<std::string, std::unique_ptr<Counter>> counters_ VINE_GUARDED_BY(mu_);
+  std::map<std::string, const std::int64_t*> exposed_ VINE_GUARDED_BY(mu_);
 };
 
 }  // namespace vine::obs

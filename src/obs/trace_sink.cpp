@@ -5,18 +5,21 @@
 namespace vine::obs {
 
 TraceSink::TraceSink(TraceSinkOptions opts) : opts_(std::move(opts)) {
+  // Locked although no concurrent access is possible yet: keeps the clang
+  // thread-safety analysis unconditional on every out_ touch.
+  MutexLock lk(mu_);
   if (!opts_.jsonl_path.empty()) {
     out_.open(opts_.jsonl_path, std::ios::out | std::ios::trunc);
   }
 }
 
 TraceSink::~TraceSink() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (out_.is_open()) out_.flush();
 }
 
 void TraceSink::emit(std::string_view emitter, Event ev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ev.seq = ++seq_;
   ev.emitter.assign(emitter);
   // Per-emitter monotonic clamp: two worker threads can read the clock and
@@ -35,17 +38,17 @@ void TraceSink::emit(std::string_view emitter, Event ev) {
 }
 
 void TraceSink::flush() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (out_.is_open()) out_.flush();
 }
 
 std::uint64_t TraceSink::event_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return seq_;
 }
 
 std::vector<Event> TraceSink::events() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return retained_;
 }
 

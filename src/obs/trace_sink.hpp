@@ -17,11 +17,11 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/event.hpp"
 #include "obs/views.hpp"
 
@@ -55,19 +55,24 @@ class TraceSink {
   std::vector<Event> events() const;
 
   /// The incrementally built evaluation views. Not synchronized: read only
-  /// after the traced run has quiesced (sim returned, cluster stopped).
-  const ViewBuilder& views() const { return views_; }
+  /// after the traced run has quiesced (sim returned, cluster stopped) —
+  /// hence the analysis escape hatch on a guarded member.
+  const ViewBuilder& views() const VINE_NO_THREAD_SAFETY_ANALYSIS {
+    return views_;
+  }
 
   const TraceSinkOptions& options() const { return opts_; }
 
  private:
   TraceSinkOptions opts_;
-  mutable std::mutex mu_;  // guards seq_, last_t_, views_, retained_, out_
-  std::uint64_t seq_ = 0;
-  std::map<std::string, double, std::less<>> last_t_;
-  ViewBuilder views_;
-  std::vector<Event> retained_;
-  std::ofstream out_;
+  // Guards seq_, last_t_, views_, retained_, out_. Ranked inside
+  // cache_store: CacheStore emits cache events while holding its own lock.
+  mutable Mutex mu_{lock_rank::Rank::trace_sink};
+  std::uint64_t seq_ VINE_GUARDED_BY(mu_) = 0;
+  std::map<std::string, double, std::less<>> last_t_ VINE_GUARDED_BY(mu_);
+  ViewBuilder views_ VINE_GUARDED_BY(mu_);
+  std::vector<Event> retained_ VINE_GUARDED_BY(mu_);
+  std::ofstream out_ VINE_GUARDED_BY(mu_);
 };
 
 }  // namespace vine::obs

@@ -8,12 +8,12 @@ FunctionRegistry& FunctionRegistry::instance() {
 }
 
 void FunctionRegistry::register_function(const std::string& name, TaskFunction fn) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   functions_[name] = std::move(fn);
 }
 
 Result<TaskFunction> FunctionRegistry::lookup(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = functions_.find(name);
   if (it == functions_.end()) {
     return Error{Errc::not_found, "no registered function: " + name};
@@ -22,7 +22,7 @@ Result<TaskFunction> FunctionRegistry::lookup(const std::string& name) const {
 }
 
 std::vector<std::string> FunctionRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(functions_.size());
   for (const auto& [k, _] : functions_) out.push_back(k);
@@ -35,12 +35,12 @@ LibraryRegistry& LibraryRegistry::instance() {
 }
 
 void LibraryRegistry::register_library(LibraryBlueprint blueprint) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   libraries_[blueprint.name] = std::move(blueprint);
 }
 
 Result<LibraryBlueprint> LibraryRegistry::lookup(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = libraries_.find(name);
   if (it == libraries_.end()) {
     return Error{Errc::not_found, "no registered library: " + name};
@@ -49,7 +49,7 @@ Result<LibraryBlueprint> LibraryRegistry::lookup(const std::string& name) const 
 }
 
 std::vector<std::string> LibraryRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(libraries_.size());
   for (const auto& [k, _] : libraries_) out.push_back(k);

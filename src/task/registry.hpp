@@ -18,11 +18,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 
 namespace vine {
 
@@ -52,8 +52,8 @@ class FunctionRegistry {
 
  private:
   // Guards functions_ (registration from test setup races executor lookups).
-  mutable std::mutex mutex_;
-  std::map<std::string, TaskFunction> functions_;
+  mutable Mutex mutex_{lock_rank::Rank::task_registry};
+  std::map<std::string, TaskFunction> functions_ VINE_GUARDED_BY(mutex_);
 };
 
 /// Opaque state built by a library's init and shared by its functions.
@@ -87,8 +87,8 @@ class LibraryRegistry {
 
  private:
   // Guards libraries_ (registration races library instantiation on workers).
-  mutable std::mutex mutex_;
-  std::map<std::string, LibraryBlueprint> libraries_;
+  mutable Mutex mutex_{lock_rank::Rank::task_registry};
+  std::map<std::string, LibraryBlueprint> libraries_ VINE_GUARDED_BY(mutex_);
 };
 
 }  // namespace vine

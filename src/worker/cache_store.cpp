@@ -11,6 +11,9 @@ namespace fs = std::filesystem;
 
 CacheStore::CacheStore(fs::path dir, std::int64_t capacity_bytes)
     : dir_(std::move(dir)), capacity_(capacity_bytes) {
+  // Locked although nothing is concurrent yet: keeps the clang analysis
+  // unconditional on the guarded members the adoption scan touches.
+  MutexLock lock(mutex_);
   std::error_code ec;
   fs::create_directories(dir_, ec);
   // Adopt surviving objects as worker-lifetime entries.
@@ -28,7 +31,7 @@ CacheStore::CacheStore(fs::path dir, std::int64_t capacity_bytes)
 void CacheStore::set_trace(std::shared_ptr<obs::TraceSink> sink,
                            const Clock* clock, std::string emitter,
                            std::string worker) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   trace_ = std::move(sink);
   trace_clock_ = clock;
   trace_emitter_ = std::move(emitter);
@@ -87,7 +90,7 @@ Status CacheStore::make_room(std::int64_t needed) {
 }
 
 std::vector<std::string> CacheStore::take_evictions() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.swap(evicted_);
   return out;
@@ -106,7 +109,7 @@ Status CacheStore::validate_name(const std::string& name) const {
 Status CacheStore::put_bytes(const std::string& name, std::string_view bytes,
                              CacheLevel level) {
   VINE_TRY_STATUS(validate_name(name));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   VINE_TRY_STATUS(make_room(static_cast<std::int64_t>(bytes.size())));
   VINE_TRY_STATUS(write_file_atomic(path_of(name), bytes));
   entries_[name] = {level, static_cast<std::int64_t>(bytes.size()), false,
@@ -130,7 +133,7 @@ Status CacheStore::put_archive(const std::string& name,
     return unpack.error();
   }
   auto size = tree_size(tmp);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (auto room = make_room(size.ok() ? *size : 0); !room.ok()) {
     remove_all_quiet(tmp);
     return room.error();
@@ -156,7 +159,7 @@ Status CacheStore::adopt(const std::string& name, const fs::path& src,
   }
   bool is_dir = fs::is_directory(src, ec);
   auto size = tree_size(src);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   VINE_TRY_STATUS(make_room(size.ok() ? *size : 0));
   remove_all_quiet(path_of(name));
   fs::rename(src, path_of(name), ec);
@@ -171,12 +174,12 @@ Status CacheStore::adopt(const std::string& name, const fs::path& src,
 }
 
 bool CacheStore::contains(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.count(name) > 0;
 }
 
 Result<fs::path> CacheStore::object_path(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!entries_.count(name)) {
     return Error{Errc::not_found, "not cached: " + name};
   }
@@ -185,7 +188,7 @@ Result<fs::path> CacheStore::object_path(const std::string& name) const {
 }
 
 Result<CacheEntry> CacheStore::entry(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return Error{Errc::not_found, "not cached: " + name};
   return it->second;
@@ -224,14 +227,14 @@ Result<std::pair<std::string, bool>> CacheStore::read_for_transfer(
 
 Status CacheStore::remove_object(const std::string& name) {
   VINE_TRY_STATUS(validate_name(name));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (entries_.erase(name) > 0) trace_evict(name, "unlink");
   remove_all_quiet(path_of(name));
   return Status::success();
 }
 
 void CacheStore::end_workflow() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.level != CacheLevel::worker) {
       remove_all_quiet(path_of(it->first));
@@ -244,13 +247,13 @@ void CacheStore::end_workflow() {
 }
 
 std::vector<std::pair<std::string, CacheEntry>> CacheStore::list() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return {entries_.begin(), entries_.end()};
 }
 
 void CacheStore::audit(AuditReport& report, bool verify_digests) const {
   static const std::string kSub = "cache_store";
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, e] : entries_) {
     fs::path path = dir_ / name;
     std::error_code ec;
@@ -288,7 +291,7 @@ void CacheStore::audit(AuditReport& report, bool verify_digests) const {
 }
 
 std::int64_t CacheStore::used_bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::int64_t total = 0;
   for (const auto& [_, e] : entries_) total += e.size;
   return total;

@@ -12,13 +12,13 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/invariant.hpp"
+#include "common/mutex.hpp"
 #include "files/file_decl.hpp"
 #include "obs/trace_sink.hpp"
 
@@ -112,26 +112,30 @@ class CacheStore {
   Status validate_name(const std::string& name) const;
   /// Evict LRU worker-lifetime entries until `needed` more bytes fit.
   /// Caller holds mutex_. Fails when impossible.
-  Status make_room(std::int64_t needed);
-  void touch(const std::string& name);
-  // Trace emission helpers; no-ops until set_trace. Safe to call with
-  // mutex_ held (the sink has its own lock and never calls back).
+  Status make_room(std::int64_t needed) VINE_REQUIRES(mutex_);
+  void touch(const std::string& name) VINE_REQUIRES(mutex_);
+  // Trace emission helpers; no-ops until set_trace. Called with mutex_
+  // held (the sink has its own, higher-ranked lock and never calls back).
   void trace_insert(const std::string& name, std::int64_t size,
-                    const char* detail);
-  void trace_evict(const std::string& name, const char* detail);
+                    const char* detail) VINE_REQUIRES(mutex_);
+  void trace_evict(const std::string& name, const char* detail)
+      VINE_REQUIRES(mutex_);
 
   std::filesystem::path dir_;
   std::int64_t capacity_ = 0;
-  std::shared_ptr<obs::TraceSink> trace_;
-  const Clock* trace_clock_ = nullptr;  ///< borrowed from the owning worker
-  std::string trace_emitter_;
-  std::string trace_worker_;
-  // Guards entries_, evicted_, access_tick_, and all object mutation under
-  // dir_; held across evict+insert so capacity checks are atomic.
-  mutable std::mutex mutex_;
-  std::map<std::string, CacheEntry> entries_;
-  std::vector<std::string> evicted_;
-  std::uint64_t access_tick_ = 0;
+  // Guards entries_, evicted_, access_tick_, the trace_* wiring, and all
+  // object mutation under dir_; held across evict+insert so capacity
+  // checks are atomic (the file I/O under it is a documented contract —
+  // see the vine_analyze allowlist).
+  mutable Mutex mutex_{lock_rank::Rank::cache_store};
+  std::shared_ptr<obs::TraceSink> trace_ VINE_GUARDED_BY(mutex_);
+  const Clock* trace_clock_ VINE_GUARDED_BY(mutex_) =
+      nullptr;  ///< borrowed from the owning worker
+  std::string trace_emitter_ VINE_GUARDED_BY(mutex_);
+  std::string trace_worker_ VINE_GUARDED_BY(mutex_);
+  std::map<std::string, CacheEntry> entries_ VINE_GUARDED_BY(mutex_);
+  std::vector<std::string> evicted_ VINE_GUARDED_BY(mutex_);
+  std::uint64_t access_tick_ VINE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace vine

@@ -1,6 +1,7 @@
 #include "worker/worker.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "archive/vpak.hpp"
 #include "common/log.hpp"
@@ -117,19 +118,25 @@ void Worker::stop() {
   transfer_pool_.clear();
   if (transfer_server_.joinable()) transfer_server_.join();
 
+  // Extract the hosts under the lock; stop and join the instances outside
+  // it. instance->stop() and pump.join() block for up to a pop timeout, and
+  // a blocking call under libraries_mutex_ would stall function-call
+  // dispatch (and is banned by the vine_analyze lock/blocking pass).
+  std::map<std::string, LibraryHost> hosts;
   {
-    std::lock_guard lock(libraries_mutex_);
-    for (auto& [_, host] : libraries_) {
-      host.instance->stop();
-      if (host.pump.joinable()) host.pump.join();
-      remove_all_quiet(host.sandbox);
-    }
-    libraries_.clear();
+    MutexLock lock(libraries_mutex_);
+    hosts.swap(libraries_);
   }
+  for (auto& [_, host] : hosts) {
+    host.instance->stop();
+    if (host.pump.joinable()) host.pump.join();
+    remove_all_quiet(host.sandbox);
+  }
+  hosts.clear();
 
   std::vector<std::thread> to_join;
   {
-    std::lock_guard lock(threads_mutex_);
+    MutexLock lock(threads_mutex_);
     to_join.swap(task_threads_);
   }
   for (auto& t : to_join) {
@@ -137,7 +144,7 @@ void Worker::stop() {
   }
   std::vector<std::thread> peers;
   {
-    std::lock_guard lock(threads_mutex_);
+    MutexLock lock(threads_mutex_);
     peers.swap(peer_threads_);
   }
   for (auto& t : peers) {
@@ -395,7 +402,7 @@ void Worker::handle_run_task(const proto::RunTaskMsg& msg) {
     invoke_function_call(msg.task);
     return;
   }
-  std::lock_guard lock(threads_mutex_);
+  MutexLock lock(threads_mutex_);
   task_threads_.emplace_back([this, task = msg.task] { task_thread_main(task); });
 }
 
@@ -425,7 +432,7 @@ void Worker::task_thread_main(proto::WireTask task) {
 // ------------------------------------------------------------ serverless
 
 void Worker::start_library(proto::WireTask task) {
-  std::lock_guard lock(threads_mutex_);
+  MutexLock lock(threads_mutex_);
   task_threads_.emplace_back([this, task = std::move(task)] {
     auto sandbox = executor_->make_sandbox(task);
     if (!sandbox.ok()) {
@@ -489,34 +496,44 @@ void Worker::start_library(proto::WireTask task) {
       }
     });
 
+    // Swap in the new instance under the lock; retire a replaced older
+    // instance outside it (stop/join are blocking calls).
+    std::optional<LibraryHost> old_host;
     {
-      std::lock_guard lib_lock(libraries_mutex_);
+      MutexLock lib_lock(libraries_mutex_);
       auto it = libraries_.find(task.library_name);
       if (it != libraries_.end()) {
-        // Replace an older instance of the same library.
-        it->second.instance->stop();
-        if (it->second.pump.joinable()) it->second.pump.join();
-        remove_all_quiet(it->second.sandbox);
+        old_host.emplace(std::move(it->second));
         libraries_.erase(it);
       }
       libraries_.emplace(task.library_name, std::move(host));
+    }
+    if (old_host) {
+      old_host->instance->stop();
+      if (old_host->pump.joinable()) old_host->pump.join();
+      remove_all_quiet(old_host->sandbox);
     }
     send_to_manager(ready);
   });
 }
 
 void Worker::invoke_function_call(const proto::WireTask& task) {
-  std::lock_guard lock(libraries_mutex_);
-  auto it = libraries_.find(task.library_name);
-  if (it == libraries_.end()) {
-    proto::TaskDoneMsg done;
-    done.task_id = task.id;
-    done.ok = false;
-    done.error = "no library instance for " + task.library_name;
-    send_to_manager(done);
-    return;
+  {
+    MutexLock lock(libraries_mutex_);
+    auto it = libraries_.find(task.library_name);
+    if (it != libraries_.end()) {
+      it->second.instance->invoke(task.id, task.function_name,
+                                  task.function_args);
+      return;
+    }
   }
-  it->second.instance->invoke(task.id, task.function_name, task.function_args);
+  // Error reply outside the lock: send_to_manager can block on the wire,
+  // and nothing below touches library state.
+  proto::TaskDoneMsg done;
+  done.task_id = task.id;
+  done.ok = false;
+  done.error = "no library instance for " + task.library_name;
+  send_to_manager(done);
 }
 
 // ------------------------------------------------------------ misc ops
@@ -545,15 +562,19 @@ void Worker::handle_send_file(const proto::SendFileMsg& msg) {
 }
 
 void Worker::handle_end_workflow() {
+  // Same extract-then-join discipline as stop(): never block under
+  // libraries_mutex_.
+  std::map<std::string, LibraryHost> hosts;
   {
-    std::lock_guard lock(libraries_mutex_);
-    for (auto& [_, host] : libraries_) {
-      host.instance->stop();
-      if (host.pump.joinable()) host.pump.join();
-      remove_all_quiet(host.sandbox);
-    }
-    libraries_.clear();
+    MutexLock lock(libraries_mutex_);
+    hosts.swap(libraries_);
   }
+  for (auto& [_, host] : hosts) {
+    host.instance->stop();
+    if (host.pump.joinable()) host.pump.join();
+    remove_all_quiet(host.sandbox);
+  }
+  hosts.clear();
   cache_->end_workflow();
   maybe_audit("worker.end_workflow");
 }
@@ -567,7 +588,7 @@ void Worker::transfer_server_main() {
       if (peer.error().code == Errc::timeout) continue;
       return;  // listener closed
     }
-    std::lock_guard lock(threads_mutex_);
+    MutexLock lock(threads_mutex_);
     peer_threads_.emplace_back(
         [this, p = std::shared_ptr<Endpoint>(std::move(*peer))] { serve_peer(p); });
   }

@@ -14,6 +14,7 @@
 
 #include "common/clock.hpp"
 #include "common/faults.hpp"
+#include "common/mutex.hpp"
 #include "files/url_fetcher.hpp"
 #include "net/frame.hpp"
 #include "net/msg_queue.hpp"
@@ -170,10 +171,13 @@ class Worker {
   std::thread transfer_server_;
 
   // Guards task_threads_ and peer_threads_ (appended by the main loop and
-  // the transfer server, drained by stop()).
-  std::mutex threads_mutex_;
-  std::vector<std::thread> task_threads_;   // running task executions
-  std::vector<std::thread> peer_threads_;   // per-peer-connection servers
+  // the transfer server, drained by stop()). Joins happen with the vectors
+  // swapped out, never under the lock.
+  Mutex threads_mutex_{lock_rank::Rank::worker_threads};
+  // running task executions
+  std::vector<std::thread> task_threads_ VINE_GUARDED_BY(threads_mutex_);
+  // per-peer-connection servers
+  std::vector<std::thread> peer_threads_ VINE_GUARDED_BY(threads_mutex_);
 
   // Library instances by name, plus their sandboxes and result pumps.
   struct LibraryHost {
@@ -182,8 +186,12 @@ class Worker {
     std::thread pump;
   };
   // Guards libraries_ (library starts race function-call dispatch).
-  std::mutex libraries_mutex_;
-  std::map<std::string, LibraryHost> libraries_;
+  // Instance stop/join runs on hosts extracted from the map first: joining
+  // a pump thread under the lock would be a blocking call under a lock
+  // (vine_analyze rule) and would wedge dispatch for its duration.
+  Mutex libraries_mutex_{lock_rank::Rank::worker_libraries};
+  std::map<std::string, LibraryHost> libraries_
+      VINE_GUARDED_BY(libraries_mutex_);
 
   std::thread run_thread_;
   std::atomic<bool> stopping_{false};

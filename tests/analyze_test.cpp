@@ -1,0 +1,376 @@
+// Fixture tests for vine_analyze (tools/analyze): known-bad snippets must
+// be detected, known-good snippets must stay clean, and the canonical
+// rank table emitted for the real tree must match the committed
+// tools/lock_ranks.txt (the golden copy reviewed with the code).
+//
+// Fixtures are written to a temp dir as tiny source trees and fed through
+// analyze_tree() directly, so the tests exercise the same IR passes the
+// vine_analyze ctest runs over src/.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analyze/analyzer.hpp"
+
+namespace fs = std::filesystem;
+using vine::analyze::Analysis;
+using vine::analyze::analyze_tree;
+using vine::analyze::Options;
+
+namespace {
+
+class AnalyzeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vine_analyze_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    fs::path p = dir_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+  }
+
+  Analysis run() { return analyze_tree(dir_, Options{}); }
+
+  static int count_rule(const Analysis& a, const std::string& rule) {
+    int n = 0;
+    for (const auto& f : a.findings) {
+      if (f.rule == rule) ++n;
+    }
+    return n;
+  }
+
+  static bool has_finding(const Analysis& a, const std::string& rule,
+                          const std::string& msg_substr) {
+    for (const auto& f : a.findings) {
+      if (f.rule == rule && f.message.find(msg_substr) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  fs::path dir_;
+};
+
+// Common fixture prelude: a minimal Mutex/MutexLock/annotation surface so
+// fixtures look like real vine code without including the real headers.
+constexpr const char* kPrelude = R"(#pragma once
+#define VINE_GUARDED_BY(x)
+#define VINE_REQUIRES(...)
+#define VINE_ACQUIRE(...)
+#define VINE_RELEASE(...)
+#define VINE_NO_THREAD_SAFETY_ANALYSIS
+namespace lock_rank { enum class Rank : int { alpha = 10, beta = 20, gamma = 30 }; }
+class Mutex {
+ public:
+  explicit Mutex(lock_rank::Rank r);
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+)";
+
+// ---------------------------------------------------------------------------
+// Known-bad: three mutexes acquired in a cycle across three methods.
+// ---------------------------------------------------------------------------
+TEST_F(AnalyzeFixture, DetectsThreeMutexCycle) {
+  write("prelude.hpp", kPrelude);
+  write("bad_cycle.cpp", R"(#include "prelude.hpp"
+class Tangle {
+ public:
+  void f() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+  }
+  void g() {
+    MutexLock lb(b_);
+    MutexLock lc(c_);
+  }
+  void h() {
+    MutexLock lc(c_);
+    MutexLock la(a_);
+  }
+ private:
+  Mutex a_{lock_rank::Rank::alpha};
+  Mutex b_{lock_rank::Rank::beta};
+  Mutex c_{lock_rank::Rank::gamma};
+};
+)");
+  Analysis a = run();
+  EXPECT_GE(count_rule(a, "lock-cycle"), 1)
+      << "three-mutex ordering cycle must be reported";
+  EXPECT_TRUE(has_finding(a, "lock-cycle", "Tangle::a_"));
+  EXPECT_TRUE(has_finding(a, "lock-cycle", "Tangle::b_"));
+  EXPECT_TRUE(has_finding(a, "lock-cycle", "Tangle::c_"));
+  // h() acquires alpha (10) while gamma (30) is held: also a rank inversion.
+  EXPECT_GE(count_rule(a, "rank-inversion"), 1);
+}
+
+// The cycle must be found even when the acquisitions hide behind calls.
+TEST_F(AnalyzeFixture, DetectsCycleThroughCallGraph) {
+  write("prelude.hpp", kPrelude);
+  write("bad_indirect.cpp", R"(#include "prelude.hpp"
+class Inner {
+ public:
+  void poke() { MutexLock l(m_); }
+  Mutex m_{lock_rank::Rank::alpha};
+};
+class Outer {
+ public:
+  void run() {
+    MutexLock l(n_);
+    inner_.poke();
+  }
+  Mutex n_{lock_rank::Rank::beta};
+  Inner inner_;
+};
+class Closer {
+ public:
+  void close_all() {
+    MutexLock l(inner2_.m_);
+    helper();
+  }
+  void helper() { MutexLock l(own_); }
+  Mutex own_{lock_rank::Rank::beta};
+  Inner inner2_;
+};
+)");
+  Analysis a = run();
+  // Outer::run holds beta-ranked n_ while the callee acquires alpha-ranked
+  // Inner::m_ — a rank inversion through one call hop.
+  EXPECT_TRUE(has_finding(a, "rank-inversion", "Inner::m_"))
+      << "acquisition through a callee must create a lock edge";
+}
+
+// ---------------------------------------------------------------------------
+// Known-bad: blocking call (::recv) while a lock is held.
+// ---------------------------------------------------------------------------
+TEST_F(AnalyzeFixture, DetectsRecvUnderLock) {
+  write("prelude.hpp", kPrelude);
+  write("bad_recv.cpp", R"(#include "prelude.hpp"
+class Socketish {
+ public:
+  int read_locked(int fd, char* buf, int n) {
+    MutexLock l(m_);
+    return ::recv(fd, buf, n, 0);
+  }
+ private:
+  Mutex m_{lock_rank::Rank::alpha};
+};
+)");
+  Analysis a = run();
+  EXPECT_TRUE(has_finding(a, "blocking-under-lock", "::recv"))
+      << "::recv under a held lock must be reported";
+}
+
+// Blocking propagates through the call graph: holding a lock across a call
+// whose callee blocks is the same bug one hop removed.
+TEST_F(AnalyzeFixture, DetectsBlockingThroughCallee) {
+  write("prelude.hpp", kPrelude);
+  write("bad_transitive.cpp", R"(#include "prelude.hpp"
+class Deep {
+ public:
+  void wait_io(int fd) {
+    char b[8];
+    ::recv(fd, b, 8, 0);
+  }
+};
+class Holder {
+ public:
+  void drain(int fd) {
+    MutexLock l(m_);
+    deep_.wait_io(fd);
+  }
+ private:
+  Mutex m_{lock_rank::Rank::alpha};
+  Deep deep_;
+};
+)");
+  Analysis a = run();
+  EXPECT_TRUE(has_finding(a, "blocking-under-lock", "Deep::wait_io"))
+      << "transitively-blocking callee under a lock must be reported";
+}
+
+// ---------------------------------------------------------------------------
+// Known-bad: VINE_GUARDED_BY field written with no guard in scope.
+// ---------------------------------------------------------------------------
+TEST_F(AnalyzeFixture, DetectsUnguardedFieldWrite) {
+  write("prelude.hpp", kPrelude);
+  write("bad_unguarded.cpp", R"(#include "prelude.hpp"
+class Counter {
+ public:
+  void bump() { total_ = total_ + 1; }
+  int peek() {
+    MutexLock l(m_);
+    return total_;
+  }
+ private:
+  Mutex m_{lock_rank::Rank::alpha};
+  int total_ VINE_GUARDED_BY(m_) = 0;
+};
+)");
+  Analysis a = run();
+  EXPECT_TRUE(has_finding(a, "unguarded-access", "Counter::total_"))
+      << "guarded field written without the guard must be reported";
+  // peek() takes the lock: exactly the bump() accesses fire, nothing else.
+  for (const auto& f : a.findings) {
+    if (f.rule == "unguarded-access") {
+      EXPECT_TRUE(f.message.find("bump") != std::string::npos) << f.message;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Known-bad: raw std::mutex member.
+// ---------------------------------------------------------------------------
+TEST_F(AnalyzeFixture, FlagsRawStdMutexMember) {
+  write("prelude.hpp", kPrelude);
+  write("bad_raw.cpp", R"(#include "prelude.hpp"
+#include <mutex>
+class Legacy {
+  std::mutex m_;
+};
+)");
+  Analysis a = run();
+  EXPECT_TRUE(has_finding(a, "unranked-mutex", "Legacy::m_"));
+}
+
+// ---------------------------------------------------------------------------
+// Known-good: disciplined code produces no findings.
+// ---------------------------------------------------------------------------
+TEST_F(AnalyzeFixture, CleanTreeHasNoFindings) {
+  write("prelude.hpp", kPrelude);
+  write("good.cpp", R"(#include "prelude.hpp"
+class Store {
+ public:
+  void put(int v) {
+    MutexLock l(m_);
+    held_ = v;
+    log_value(v);
+  }
+  int get() {
+    MutexLock l(m_);
+    return held_;
+  }
+  void audited() VINE_REQUIRES(m_);
+ private:
+  void log_value(int v) {}
+  Mutex m_{lock_rank::Rank::alpha};
+  int held_ VINE_GUARDED_BY(m_) = 0;
+};
+void Store::audited() { held_ = 0; }
+class Nested {
+ public:
+  void ordered() {
+    MutexLock la(a_);
+    {
+      MutexLock lb(b_);
+    }
+  }
+ private:
+  Mutex a_{lock_rank::Rank::alpha};
+  Mutex b_{lock_rank::Rank::beta};
+};
+)");
+  Analysis a = run();
+  std::ostringstream all;
+  for (const auto& f : a.findings) {
+    all << f.path << ":" << f.line << " [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  EXPECT_TRUE(a.findings.empty())
+      << "clean fixture must produce no findings, got:\n"
+      << all.str();
+}
+
+// A VINE_REQUIRES function is analyzed with its lock held: calls from a
+// properly locked caller create no blocking or unguarded findings, and the
+// requires-edge still contributes to the lock graph.
+TEST_F(AnalyzeFixture, RequiresAnnotationCoversCalleeAccesses) {
+  write("prelude.hpp", kPrelude);
+  write("good_requires.cpp", R"(#include "prelude.hpp"
+class Cachey {
+ public:
+  void insert(int v) {
+    MutexLock l(m_);
+    evict_locked(v);
+  }
+  void evict_locked(int v) VINE_REQUIRES(m_);
+ private:
+  Mutex m_{lock_rank::Rank::alpha};
+  int bytes_ VINE_GUARDED_BY(m_) = 0;
+};
+void Cachey::evict_locked(int v) { bytes_ = bytes_ - v; }
+)");
+  Analysis a = run();
+  EXPECT_EQ(count_rule(a, "unguarded-access"), 0);
+}
+
+// Lambdas do not inherit the enclosing function's held locks: code that
+// captures `this` and locks inside the lambda body is clean, and guarded
+// accesses inside an unlocked lambda are findings attributed to the lambda.
+TEST_F(AnalyzeFixture, LambdaBodiesAreIndependentFunctions) {
+  write("prelude.hpp", kPrelude);
+  write("lambdas.cpp", R"(#include "prelude.hpp"
+class Spawner {
+ public:
+  auto make_good() {
+    return [this] {
+      MutexLock l(m_);
+      count_ = count_ + 1;
+    };
+  }
+  auto make_bad() {
+    return [this] { count_ = 0; };
+  }
+ private:
+  Mutex m_{lock_rank::Rank::alpha};
+  int count_ VINE_GUARDED_BY(m_) = 0;
+};
+)");
+  Analysis a = run();
+  EXPECT_EQ(count_rule(a, "unguarded-access"), 1);
+  EXPECT_TRUE(has_finding(a, "unguarded-access", "make_bad"));
+}
+
+// ---------------------------------------------------------------------------
+// Golden: the canonical rank table for the real tree matches the committed
+// tools/lock_ranks.txt. VINE_SRC_DIR/VINE_RANKS_FILE come from CMake.
+// ---------------------------------------------------------------------------
+#if defined(VINE_SRC_DIR) && defined(VINE_RANKS_FILE)
+TEST(AnalyzeGolden, RankTableMatchesCommittedFile) {
+  Options opts;
+  opts.ranks_path = VINE_RANKS_FILE;
+  Analysis a = analyze_tree(VINE_SRC_DIR, opts);
+  for (const auto& f : a.findings) {
+    if (f.rule == "rank-table-drift") {
+      FAIL() << f.message
+             << "\nRegenerate with: vine_analyze src --emit-ranks and review "
+                "the diff into tools/lock_ranks.txt";
+    }
+  }
+  // The emitted table must carry every declared rank.
+  EXPECT_NE(a.rank_table.find("manager_connections"), std::string::npos);
+  EXPECT_NE(a.rank_table.find("msg_queue"), std::string::npos);
+  EXPECT_NE(a.rank_table.find("logging"), std::string::npos);
+  EXPECT_GT(a.mutexes_indexed, 10u);
+}
+#endif
+
+}  // namespace

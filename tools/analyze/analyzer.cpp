@@ -1,0 +1,1720 @@
+#include "analyze/analyzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vine::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Pass 1: lexing. Comments and string/char literals are blanked (structure
+// preserved, same trick as vine_lint) and the residue is tokenized into
+// identifiers and punctuation with line numbers. Multi-char operators the
+// later passes care about ("::", "->", "<<") stay fused; everything else is
+// single-char punctuation.
+// ---------------------------------------------------------------------------
+
+std::string code_view(const std::string& src) {
+  std::string out = src;
+  enum class St { code, line_comment, block_comment, str, chr };
+  St st = St::code;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    char c = out[i];
+    char n = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case St::code:
+        if (c == '/' && n == '/') {
+          st = St::line_comment;
+          out[i] = ' ';
+        } else if (c == '/' && n == '*') {
+          st = St::block_comment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::str;
+        } else if (c == '\'') {
+          st = St::chr;
+        }
+        break;
+      case St::line_comment:
+        if (c == '\n') {
+          st = St::code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::block_comment:
+        if (c == '*' && n == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::str:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::chr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          st = St::code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+struct Tok {
+  std::string text;
+  std::size_t line = 0;
+  bool is_ident = false;
+};
+
+std::vector<Tok> tokenize(const std::string& code) {
+  std::vector<Tok> toks;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // preprocessor: skip to end of (continued) line
+      while (i < code.size()) {
+        if (code[i] == '\\' && i + 1 < code.size() && code[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (code[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[j])) || code[j] == '_')) {
+        ++j;
+      }
+      toks.push_back({code.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[j])) || code[j] == '.' ||
+              code[j] == '\'')) {
+        ++j;
+      }
+      toks.push_back({code.substr(i, j - i), line, false});
+      i = j;
+      continue;
+    }
+    char n = i + 1 < code.size() ? code[i + 1] : '\0';
+    if (c == ':' && n == ':') {
+      toks.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && n == '>') {
+      toks.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '<' && n == '<') {
+      toks.push_back({"<<", line, false});
+      i += 2;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// IR structures
+// ---------------------------------------------------------------------------
+
+struct MutexDecl {
+  std::string id;         // "Class::member" or "file.cpp::g_name"
+  std::string rank;       // rank enum name, "" if untagged
+  std::string file;       // relative path
+  std::size_t line = 0;
+  bool is_raw_std = false;  // std::mutex instead of vine::Mutex
+};
+
+struct ClassInfo {
+  std::string name;
+  // member name -> type spelling (flattened token text)
+  std::unordered_map<std::string, std::string> member_types;
+  // guarded member name -> mutex id ("Class::mutex_")
+  std::unordered_map<std::string, std::string> guarded;
+  // mutex member names declared in this class
+  std::vector<std::string> mutexes;
+  std::unordered_set<std::string> method_names;
+};
+
+struct FuncInfo {
+  std::string qual;       // "Class::name", "name", or "Class::name::<lambda@N>"
+  std::string cls;        // enclosing class ("" for free functions)
+  std::string name;
+  std::string file;
+  std::size_t line = 0;
+  std::size_t file_idx = 0;
+  std::size_t body_begin = 0;  // token range of body (inside braces)
+  std::size_t body_end = 0;
+  bool is_ctor_dtor = false;
+  bool no_analysis = false;          // VINE_NO_THREAD_SAFETY_ANALYSIS
+  std::vector<std::string> requires_;  // mutex ids from VINE_REQUIRES
+
+  // filled by the body pass
+  std::vector<std::size_t> calls;      // indices into g.call_sites
+  bool blocks_directly = false;
+  std::string block_reason;
+  std::size_t block_line = 0;
+  // mutexes acquired anywhere in the body (direct, not transitive)
+  std::set<std::string> direct_acquires;
+  // derived
+  bool may_block = false;
+  std::set<std::string> trans_acquires;
+};
+
+struct CallSite {
+  std::size_t caller = 0;  // index into funcs
+  std::string callee_name;
+  std::vector<std::string> receiver;  // chain before the name (a->b.name)
+  bool scoped_qualified = false;       // Class::name( form; receiver = qualifiers
+  std::size_t line = 0;
+  std::vector<std::string> held;       // mutex ids held at the call site
+  // condvar-wait exemption: mutex released by the wait itself
+  std::string exempt;
+};
+
+struct LockEdge {
+  std::string from;  // held mutex id
+  std::string to;    // acquired mutex id
+  std::string file;
+  std::size_t line = 0;
+  std::string via;  // description of the path (for messages)
+};
+
+struct FileUnit {
+  std::string rel;
+  std::vector<Tok> toks;
+};
+
+struct Graph {
+  std::vector<FileUnit> files;
+  std::unordered_map<std::string, ClassInfo> classes;
+  std::unordered_map<std::string, MutexDecl> mutexes;  // by id
+  // per-file globals: file rel -> (name -> mutex id)
+  std::unordered_map<std::string, std::unordered_map<std::string, std::string>> file_globals;
+  std::vector<FuncInfo> funcs;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_name;  // bare name -> funcs
+  std::unordered_map<std::string, std::size_t> by_qual;
+  std::vector<CallSite> call_sites;
+  std::vector<LockEdge> lock_edges;
+  // rank name -> value, parsed from lock_rank.hpp's enum
+  std::map<std::string, int> rank_values;
+  // annotations recorded on in-class declarations, keyed by "Class::name"
+  std::unordered_map<std::string, std::vector<std::string>> decl_requires;
+  std::unordered_set<std::string> decl_no_analysis;
+};
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if", "else", "for", "while", "do", "switch", "case", "default", "break",
+      "continue", "return", "goto", "try", "catch", "throw", "new", "delete",
+      "sizeof", "alignof", "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast", "const", "constexpr", "static", "inline", "virtual",
+      "override", "final", "noexcept", "mutable", "explicit", "friend", "using",
+      "typedef", "typename", "template", "class", "struct", "union", "enum",
+      "namespace", "public", "private", "protected", "operator", "this",
+      "nullptr", "true", "false", "auto", "void", "bool", "char", "int", "long",
+      "short", "float", "double", "unsigned", "signed", "co_await", "co_return",
+  };
+  return kw;
+}
+
+// Method names too generic to resolve by "which class defines this" alone.
+const std::unordered_set<std::string>& generic_methods() {
+  static const std::unordered_set<std::string> g = {
+      "size", "empty", "clear", "begin", "end", "find", "count", "push_back",
+      "pop_back", "emplace", "emplace_back", "erase", "insert", "at", "front",
+      "back", "data", "c_str", "reserve", "swap", "get", "reset", "release",
+      "str", "string", "value", "load", "store", "exchange", "compare",
+      "substr", "append", "assign", "open", "is_open", "good", "fail",
+      "lock", "unlock", "try_lock", "notify_one", "notify_all", "now",
+      "name", "id", "what", "first", "second", "ok", "error", "message",
+      "contains", "merge", "apply", "emit", "run", "start", "stop", "close",
+  };
+  return g;
+}
+
+// Operations that block the calling thread. ::name forms and bare calls.
+const std::unordered_set<std::string>& blocking_roots() {
+  static const std::unordered_set<std::string> b = {
+      "recv", "send", "accept", "poll", "select", "connect", "recvfrom",
+      "sendto", "read", "write", "fsync", "join", "sleep_for", "sleep_until",
+      "system", "popen", "getaddrinfo",
+  };
+  return b;
+}
+
+// Condition-variable wait family: blocking, but exempt w.r.t. the lock
+// passed as the first argument (released for the duration of the wait).
+bool is_cv_wait(const std::string& n) {
+  return n == "wait" || n == "wait_for" || n == "wait_until";
+}
+
+bool ends_with_path(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool type_is_stream(const std::string& type) {
+  return type.find("ofstream") != std::string::npos ||
+         type.find("fstream") != std::string::npos ||
+         type.find("ostream") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: structure. One linear walk per file with a scope stack classifies
+// every '{' (namespace / class / enum / function / lambda / plain block),
+// fills the class tables (members, guarded-by, mutex decls, method decls
+// with annotations) and records function definitions with body ranges.
+// ---------------------------------------------------------------------------
+
+enum class ScopeKind { file, ns, cls, en, func, lambda, block };
+
+struct Scope {
+  ScopeKind kind;
+  std::string name;       // class/namespace name
+  std::string access;     // class scope: current access specifier
+  std::size_t func_idx = 0;  // func/lambda scope: index into g.funcs
+};
+
+bool tok_is(const std::vector<Tok>& t, std::size_t i, const char* s) {
+  return i < t.size() && t[i].text == s;
+}
+
+// Walk back from a '(' over annotation macros / cv-qualifiers between a
+// parameter list and the body brace. `i` points at '{'. Returns the index
+// of the ')' closing the parameter list, or npos.
+std::size_t skip_back_to_paramlist_close(const std::vector<Tok>& t, std::size_t i) {
+  static const std::unordered_set<std::string> skippable = {
+      "const", "noexcept", "override", "final", "mutable", "&", "&&",
+  };
+  std::size_t j = i;  // t[i] == '{'
+  while (j > 0) {
+    --j;
+    const std::string& s = t[j].text;
+    if (s == ")") {
+      // Either the param list or an annotation macro's arg list: if the
+      // token before the matching '(' is an all-caps VINE_* macro name (or
+      // `noexcept`), skip the group and continue walking.
+      int depth = 1;
+      std::size_t k = j;
+      while (k > 0 && depth > 0) {
+        --k;
+        if (t[k].text == ")") ++depth;
+        if (t[k].text == "(") --depth;
+      }
+      if (k > 0) {
+        const std::string& before = t[k - 1].text;
+        if (before.rfind("VINE_", 0) == 0 || before == "noexcept") {
+          j = k;  // continue scanning left of the macro name
+          continue;
+        }
+      }
+      return j;
+    }
+    if (skippable.count(s)) continue;
+    if (s.rfind("VINE_", 0) == 0) continue;  // parenless macro
+    if (s == "->") {  // trailing return type: keep walking
+      continue;
+    }
+    if (t[j].is_ident) continue;  // trailing-return-type tokens
+    if (s == "::" || s == "<" || s == ">" || s == ",") continue;
+    return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+std::size_t match_open_paren(const std::vector<Tok>& t, std::size_t close) {
+  int depth = 1;
+  std::size_t k = close;
+  while (k > 0 && depth > 0) {
+    --k;
+    if (t[k].text == ")") ++depth;
+    if (t[k].text == "(") --depth;
+  }
+  return depth == 0 ? k : std::string::npos;
+}
+
+// Given the index of a candidate function-name ident, walk back over a ctor
+// init list (": a_(x), b_(y)") if present. Returns the index of the real
+// function-name ident.
+std::size_t resolve_ctor_init_list(const std::vector<Tok>& t, std::size_t name_idx) {
+  std::size_t idx = name_idx;
+  for (int guard = 0; guard < 64; ++guard) {
+    if (idx == 0) return idx;
+    const std::string& prev = t[idx - 1].text;
+    if (prev != ":" && prev != ",") return idx;
+    if (prev == ":" && idx >= 2 && t[idx - 2].text == ")") {
+      // ") :" — end of the param list, the init list starts here.
+      std::size_t open = match_open_paren(t, idx - 2);
+      if (open == std::string::npos || open == 0) return idx;
+      return t[open - 1].is_ident ? open - 1 : idx;
+    }
+    if (prev == ",") {
+      // Previous init-list element: "ident ( ... ) ," or "ident { ... } ,"
+      if (idx < 3) return idx;
+      std::size_t close = idx - 2;
+      if (t[close].text != ")" && t[close].text != "}") return idx;
+      const char* open_c = t[close].text == ")" ? "(" : "{";
+      const char* close_c = t[close].text == ")" ? ")" : "}";
+      int depth = 1;
+      std::size_t k = close;
+      while (k > 0 && depth > 0) {
+        --k;
+        if (t[k].text == close_c) ++depth;
+        if (t[k].text == open_c) --depth;
+      }
+      if (depth != 0 || k == 0) return idx;
+      idx = k - 1;  // the element's ident
+      if (!t[idx].is_ident) return name_idx;
+      continue;
+    }
+    return idx;
+  }
+  return idx;
+}
+
+struct StructureParser {
+  Graph& g;
+  std::size_t file_idx;
+  const std::vector<Tok>& t;
+  std::vector<Scope> scopes;
+  std::size_t stmt_start = 0;  // token index of current statement head
+
+  StructureParser(Graph& graph, std::size_t fi)
+      : g(graph), file_idx(fi), t(graph.files[fi].toks) {
+    scopes.push_back({ScopeKind::file, "", "", 0});
+  }
+
+  const std::string& rel() const { return g.files[file_idx].rel; }
+
+  std::string enclosing_class() const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == ScopeKind::cls) return it->name;
+      if (it->kind == ScopeKind::func || it->kind == ScopeKind::lambda) {
+        const FuncInfo& f = g.funcs[it->func_idx];
+        if (!f.cls.empty()) return f.cls;
+      }
+    }
+    static const std::string empty;
+    return empty;
+  }
+
+  // Parse "VINE_REQUIRES ( expr )" / "VINE_NO_THREAD_SAFETY_ANALYSIS"
+  // between `from` and `to` (e.g. between param-list ')' and body '{').
+  void collect_annotations(std::size_t from, std::size_t to, const std::string& cls,
+                           std::vector<std::string>* reqs, bool* no_analysis) {
+    for (std::size_t i = from; i < to && i < t.size(); ++i) {
+      if (t[i].text == "VINE_NO_THREAD_SAFETY_ANALYSIS") *no_analysis = true;
+      if (t[i].text == "VINE_REQUIRES" && tok_is(t, i + 1, "(")) {
+        std::size_t j = i + 2;
+        std::string cur;
+        int depth = 1;
+        while (j < t.size() && depth > 0) {
+          if (t[j].text == "(") ++depth;
+          if (t[j].text == ")") --depth;
+          if (depth == 0) break;
+          if (t[j].text == ",") {
+            if (!cur.empty()) reqs->push_back(cls.empty() ? cur : cls + "::" + cur);
+            cur.clear();
+          } else if (t[j].is_ident) {
+            cur = t[j].text;  // last ident wins (handles this->m_)
+          }
+          ++j;
+        }
+        if (!cur.empty()) reqs->push_back(cls.empty() ? cur : cls + "::" + cur);
+      }
+    }
+  }
+
+  // Called at each ';' or '{' or '}' in class scope to digest the statement
+  // in [stmt_start, end) as a member/method declaration.
+  void digest_class_member(std::size_t end, bool is_body_brace) {
+    Scope& cs = scopes.back();
+    ClassInfo& ci = g.classes[cs.name];
+    std::size_t b = stmt_start;
+    if (b >= end) return;
+    // Access specifiers handled by caller; skip labels here.
+    static const std::unordered_set<std::string> skip_heads = {
+        "using", "typedef", "friend", "static_assert", "public", "private",
+        "protected", "template", "enum",
+    };
+    if (skip_heads.count(t[b].text)) return;
+    if (t[b].text == "operator") return;
+
+    // Find the method-name '(' at angle-depth 0.
+    int angle = 0;
+    std::size_t paren = std::string::npos;
+    for (std::size_t i = b; i < end; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "<") {
+        if (i > b && t[i - 1].is_ident) ++angle;
+      } else if (s == ">") {
+        if (angle > 0) --angle;
+      } else if (s == "(" && angle == 0) {
+        paren = i;
+        break;
+      } else if (s == "=" && angle == 0) {
+        break;  // default member initializer: data member
+      } else if (s == "VINE_GUARDED_BY" && angle == 0) {
+        break;  // data member
+      }
+    }
+
+    if (paren != std::string::npos && paren > b && t[paren - 1].is_ident &&
+        t[paren - 1].text != "VINE_GUARDED_BY") {
+      const std::string& mname = t[paren - 1].text;
+      if (mname == cs.name || (paren >= 2 && t[paren - 2].text == "~")) {
+        ci.method_names.insert(mname);
+        return;  // ctor/dtor decl
+      }
+      if (keywords().count(mname)) return;
+      ci.method_names.insert(mname);
+      // Annotations between the ')' of the params and the end of the stmt.
+      int depth = 1;
+      std::size_t j = paren + 1;
+      while (j < end && depth > 0) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")") --depth;
+        ++j;
+      }
+      std::vector<std::string> reqs;
+      bool noan = false;
+      collect_annotations(j, end, cs.name, &reqs, &noan);
+      const std::string key = cs.name + "::" + mname;
+      if (!reqs.empty()) g.decl_requires[key] = reqs;
+      if (noan) g.decl_no_analysis.insert(key);
+      (void)is_body_brace;
+      return;
+    }
+
+    // Data member. Mutex declarations first.
+    //   [mutable] Mutex name { [lock_rank::] Rank :: rankname } ;
+    //   [mutable] std::mutex name ;
+    for (std::size_t i = b; i < end; ++i) {
+      bool vine_mutex = t[i].text == "Mutex" &&
+                        (i == b || t[i - 1].text != "::" || tok_is(t, i - 2, "vine"));
+      bool std_mutex = t[i].text == "mutex" && i >= 2 && t[i - 1].text == "::" &&
+                       t[i - 2].text == "std";
+      if ((vine_mutex || std_mutex) && i + 1 < end && t[i + 1].is_ident) {
+        const std::string& mname = t[i + 1].text;
+        std::string rank;
+        for (std::size_t j = i + 2; j < end; ++j) {
+          if (t[j].text == "Rank" && tok_is(t, j + 1, "::") && j + 2 < end &&
+              t[j + 2].is_ident) {
+            rank = t[j + 2].text;
+            break;
+          }
+        }
+        MutexDecl d;
+        d.id = cs.name + "::" + mname;
+        d.rank = rank;
+        d.file = rel();
+        d.line = t[i].line;
+        d.is_raw_std = std_mutex;
+        g.mutexes[d.id] = d;
+        ci.mutexes.push_back(mname);
+        ci.member_types[mname] = std_mutex ? "std::mutex" : "vine::Mutex";
+        return;
+      }
+    }
+
+    // VINE_GUARDED_BY member:  type name VINE_GUARDED_BY(mutex_);
+    for (std::size_t i = b; i < end; ++i) {
+      if (t[i].text == "VINE_GUARDED_BY" && i > b && t[i - 1].is_ident) {
+        const std::string& mname = t[i - 1].text;
+        std::string guard;
+        for (std::size_t j = i + 1; j < end && t[j].text != ")"; ++j) {
+          if (t[j].is_ident) guard = t[j].text;
+        }
+        if (!guard.empty()) ci.guarded[mname] = cs.name + "::" + guard;
+        std::string type;
+        for (std::size_t j = b; j + 1 < i; ++j) {
+          type += t[j].text;
+          type += ' ';
+        }
+        ci.member_types[mname] = type;
+        return;
+      }
+    }
+
+    // Plain data member: the name is the last ident before the ';' once any
+    // brace-initializer group ({...}) is skipped; the rest is the type.
+    std::size_t name_i = std::string::npos;
+    for (std::size_t i = end; i > b;) {
+      --i;
+      if (t[i].text == "}") {  // skip a balanced {...} initializer
+        int d2 = 1;
+        while (i > b && d2 > 0) {
+          --i;
+          if (t[i].text == "}") ++d2;
+          if (t[i].text == "{") --d2;
+        }
+        continue;
+      }
+      if (t[i].is_ident && !keywords().count(t[i].text)) {
+        name_i = i;
+        break;
+      }
+      if (t[i].text == ")") break;  // function-ish: not a data member
+    }
+    if (name_i != std::string::npos && name_i > b) {
+      std::string type;
+      for (std::size_t j = b; j < name_i; ++j) {
+        type += t[j].text;
+        type += ' ';
+      }
+      ci.member_types[t[name_i].text] = type;
+    }
+  }
+
+  // Namespace-scope mutex in a .cpp: Mutex g_mutex{Rank::logging};
+  void digest_global(std::size_t end) {
+    std::size_t b = stmt_start;
+    for (std::size_t i = b; i < end; ++i) {
+      bool vine_mutex = t[i].text == "Mutex" &&
+                        (i == b || t[i - 1].text != "::" || tok_is(t, i - 2, "vine"));
+      if (vine_mutex && i + 1 < end && t[i + 1].is_ident) {
+        const std::string& mname = t[i + 1].text;
+        std::string rank;
+        for (std::size_t j = i + 2; j < end; ++j) {
+          if (t[j].text == "Rank" && tok_is(t, j + 1, "::") && j + 2 < end &&
+              t[j + 2].is_ident) {
+            rank = t[j + 2].text;
+            break;
+          }
+        }
+        MutexDecl d;
+        d.id = rel() + "::" + mname;
+        d.rank = rank;
+        d.file = rel();
+        d.line = t[i].line;
+        g.mutexes[d.id] = d;
+        g.file_globals[rel()][mname] = d.id;
+        return;
+      }
+    }
+  }
+
+  // Classify the '{' at index i and push the right scope. Returns true when
+  // a scope was pushed; false when the brace is a member/global initializer
+  // (Mutex m_{Rank::x}) — the caller then skips to the matching '}' without
+  // resetting the statement head, so the declaration parses as one unit.
+  bool on_open_brace(std::size_t i) {
+    // Statement head since last ';'/'{'/'}'.
+    std::size_t b = stmt_start;
+    ScopeKind parent = scopes.back().kind;
+
+    // enum?
+    for (std::size_t j = b; j < i; ++j) {
+      if (t[j].text == "enum") {
+        scopes.push_back({ScopeKind::en, "", "", 0});
+        return true;
+      }
+    }
+    // namespace?
+    if (b < i && t[b].text == "namespace") {
+      std::string nsname = (b + 1 < i && t[b + 1].is_ident) ? t[b + 1].text : "";
+      scopes.push_back({ScopeKind::ns, nsname, "", 0});
+      return true;
+    }
+    // class/struct? Last class|struct keyword followed by an ident.
+    if (parent != ScopeKind::func && parent != ScopeKind::lambda &&
+        parent != ScopeKind::block) {
+      std::size_t cls_kw = std::string::npos;
+      for (std::size_t j = b; j < i; ++j) {
+        if ((t[j].text == "class" || t[j].text == "struct") && j + 1 < i &&
+            t[j + 1].is_ident) {
+          cls_kw = j;
+        }
+      }
+      if (cls_kw != std::string::npos) {
+        // name = last ident of the A::B::Name chain after the keyword,
+        // skipping attribute macros (class VINE_CAPABILITY("x") Mutex).
+        std::size_t j = cls_kw + 1;
+        while (j < i && t[j].is_ident && t[j].text.rfind("VINE_", 0) == 0) {
+          ++j;
+          if (j < i && t[j].text == "(") {
+            int d2 = 1;
+            ++j;
+            while (j < i && d2 > 0) {
+              if (t[j].text == "(") ++d2;
+              if (t[j].text == ")") --d2;
+              ++j;
+            }
+          }
+        }
+        if (j >= i || !t[j].is_ident) {
+          scopes.push_back({ScopeKind::block, "", "", 0});
+          return true;
+        }
+        std::string cname = t[j].text;
+        ++j;
+        while (j + 1 < i && t[j].text == "::" && t[j + 1].is_ident) {
+          cname = t[j + 1].text;
+          j += 2;
+        }
+        Scope s{ScopeKind::cls, cname, "", 0};
+        // struct default public, class default private
+        s.access = t[cls_kw].text == "struct" ? "public" : "private";
+        g.classes.emplace(cname, ClassInfo{}).first->second.name = cname;
+        scopes.push_back(s);
+        return true;
+      }
+    }
+
+    // lambda?  "] {"  or  "] ( ... ) {"  (optionally with specifiers between)
+    {
+      std::size_t j = i;
+      bool lambda = false;
+      if (j > 0 && t[j - 1].text == "]") lambda = true;
+      if (!lambda && j > 0) {
+        std::size_t k = j - 1;
+        // skip mutable/noexcept/-> type between ')' and '{'
+        while (k > 0 && (t[k].text == "mutable" || t[k].text == "noexcept" ||
+                         t[k].is_ident || t[k].text == "::" || t[k].text == "->" ||
+                         t[k].text == "<" || t[k].text == ">")) {
+          --k;
+        }
+        if (t[k].text == ")") {
+          std::size_t open = match_open_paren(t, k);
+          if (open != std::string::npos && open > 0 && t[open - 1].text == "]") {
+            lambda = true;
+          }
+        }
+      }
+      if (lambda) {
+        FuncInfo f;
+        const std::string cls = enclosing_class();
+        std::string host = "<file>";
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+          if (it->kind == ScopeKind::func || it->kind == ScopeKind::lambda) {
+            host = g.funcs[it->func_idx].qual;
+            break;
+          }
+        }
+        f.cls = cls;
+        f.name = "<lambda>";
+        f.qual = host + "::<lambda@" + std::to_string(t[i].line) + ">";
+        f.file = rel();
+        f.file_idx = file_idx;
+        f.line = t[i].line;
+        f.body_begin = i + 1;
+        g.funcs.push_back(f);
+        scopes.push_back({ScopeKind::lambda, "", "", g.funcs.size() - 1});
+        return true;
+      }
+    }
+
+    // Function definition? Only at file/ns/class scope; inside a function,
+    // a ')' '{' pair is control flow.
+    if (parent == ScopeKind::file || parent == ScopeKind::ns ||
+        parent == ScopeKind::cls) {
+      std::size_t close = skip_back_to_paramlist_close(t, i);
+      if (close != std::string::npos && close >= b) {
+        std::size_t open = match_open_paren(t, close);
+        if (open != std::string::npos && open > 0 && t[open - 1].is_ident) {
+          std::size_t name_i = open - 1;
+          if (t[name_i].text == "VINE_REQUIRES") {
+            // shouldn't happen (handled by skip), but be safe
+          }
+          name_i = resolve_ctor_init_list(t, name_i);
+          if (t[name_i].is_ident && !keywords().count(t[name_i].text)) {
+            FuncInfo f;
+            f.name = t[name_i].text;
+            // Qualifier chain: A :: B :: name
+            std::string cls;
+            std::size_t q = name_i;
+            bool dtor = q > 0 && t[q - 1].text == "~";
+            if (dtor) --q;
+            while (q >= 2 && t[q - 1].text == "::" && t[q - 2].is_ident) {
+              cls = t[q - 2].text;
+              q -= 2;
+              break;  // nearest qualifier is the class
+            }
+            if (cls.empty() && parent == ScopeKind::cls) cls = scopes.back().name;
+            f.cls = cls;
+            f.qual = cls.empty() ? f.name : cls + "::" + f.name;
+            f.file = rel();
+            f.file_idx = file_idx;
+            f.line = t[name_i].line;
+            f.body_begin = i + 1;
+            f.is_ctor_dtor = dtor || (!cls.empty() && f.name == cls);
+            // Annotations: between the params ')' and the '{' (definitions),
+            // plus any recorded on the in-class declaration.
+            collect_annotations(close + 1, i, cls, &f.requires_, &f.no_analysis);
+            auto rit = g.decl_requires.find(f.qual);
+            if (rit != g.decl_requires.end()) {
+              for (const auto& r : rit->second) {
+                if (std::find(f.requires_.begin(), f.requires_.end(), r) ==
+                    f.requires_.end()) {
+                  f.requires_.push_back(r);
+                }
+              }
+            }
+            if (g.decl_no_analysis.count(f.qual)) f.no_analysis = true;
+            if (parent == ScopeKind::cls && !scopes.back().name.empty()) {
+              g.classes[scopes.back().name].method_names.insert(f.name);
+            }
+            g.funcs.push_back(f);
+            scopes.push_back({ScopeKind::func, "", "", g.funcs.size() - 1});
+            return true;
+          }
+        }
+      }
+    }
+
+    if (parent == ScopeKind::func || parent == ScopeKind::lambda ||
+        parent == ScopeKind::block) {
+      scopes.push_back({ScopeKind::block, "", "", 0});
+      return true;
+    }
+    return false;  // initializer brace at class/namespace/file scope
+  }
+
+  void run() {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const std::string& s = t[i].text;
+      if (s == "{") {
+        if (on_open_brace(i)) {
+          stmt_start = i + 1;
+          continue;
+        }
+        // Initializer brace: skip to the matching '}' so the enclosing
+        // declaration reaches its ';' digest intact.
+        int depth = 1;
+        while (i + 1 < t.size() && depth > 0) {
+          ++i;
+          if (t[i].text == "{") ++depth;
+          if (t[i].text == "}") --depth;
+        }
+        continue;
+      }
+      if (s == "}") {
+        if (scopes.size() > 1) {
+          Scope done = scopes.back();
+          scopes.pop_back();
+          if (done.kind == ScopeKind::func || done.kind == ScopeKind::lambda) {
+            g.funcs[done.func_idx].body_end = i;
+          }
+        }
+        stmt_start = i + 1;
+        continue;
+      }
+      if (s == ";") {
+        if (scopes.back().kind == ScopeKind::cls) {
+          digest_class_member(i, false);
+        } else if (scopes.back().kind == ScopeKind::file ||
+                   scopes.back().kind == ScopeKind::ns) {
+          digest_global(i);
+        }
+        stmt_start = i + 1;
+        continue;
+      }
+      if (scopes.back().kind == ScopeKind::cls && s == ":" && i > stmt_start &&
+          (t[i - 1].text == "public" || t[i - 1].text == "private" ||
+           t[i - 1].text == "protected")) {
+        scopes.back().access = t[i - 1].text;
+        stmt_start = i + 1;
+        continue;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pass 3: function bodies. Lock scopes, call sites (with held-lock sets),
+// direct blocking ops, guarded-member accesses.
+// ---------------------------------------------------------------------------
+
+struct HeldLock {
+  std::string mutex_id;
+  std::string guard_var;  // for UniqueLock vars passed to cv waits
+  int depth = 0;          // brace depth at acquisition
+};
+
+struct BodyAnalyzer {
+  Graph& g;
+  std::size_t fidx;
+  Analysis& out;
+  // nested lambdas' ranges to skip while walking this function
+  std::vector<std::pair<std::size_t, std::size_t>> skip_ranges;
+
+  const FuncInfo& f() const { return g.funcs[fidx]; }
+  const std::vector<Tok>& toks() const { return g.files[f().file_idx].toks; }
+
+  // Resolve a mutex expression (tokens of the guard's ctor argument) to a
+  // mutex id: member of the enclosing class, file-global, or raw text.
+  std::string resolve_mutex_expr(const std::vector<std::string>& idents) {
+    if (idents.empty()) return "";
+    const std::string& name = idents.back();
+    if (!f().cls.empty()) {
+      auto cit = g.classes.find(f().cls);
+      if (cit != g.classes.end()) {
+        for (const auto& m : cit->second.mutexes) {
+          if (m == name) return f().cls + "::" + name;
+        }
+      }
+    }
+    auto fg = g.file_globals.find(f().file);
+    if (fg != g.file_globals.end()) {
+      auto git = fg->second.find(name);
+      if (git != fg->second.end()) return git->second;
+    }
+    // Receiver-qualified: other.mutex_ — resolve via the receiver's class.
+    if (idents.size() >= 2) {
+      const std::string owner_cls = class_of_member(idents[idents.size() - 2]);
+      if (!owner_cls.empty()) return owner_cls + "::" + name;
+    }
+    // Unique across all classes?
+    std::string found;
+    for (const auto& [cname, ci] : g.classes) {
+      for (const auto& m : ci.mutexes) {
+        if (m == name) {
+          if (!found.empty()) return name;  // ambiguous: raw
+          found = cname + "::" + name;
+        }
+      }
+    }
+    return found.empty() ? name : found;
+  }
+
+  // Which class does a member name (uniquely) belong to?
+  std::string class_of_member(const std::string& member) {
+    // enclosing class first
+    if (!f().cls.empty()) {
+      auto cit = g.classes.find(f().cls);
+      if (cit != g.classes.end() && cit->second.member_types.count(member)) {
+        return type_to_class(cit->second.member_types.at(member));
+      }
+    }
+    std::string found;
+    for (const auto& [cname, ci] : g.classes) {
+      if (ci.member_types.count(member)) {
+        if (!found.empty()) return "";  // ambiguous
+        found = type_to_class(ci.member_types.at(member));
+      }
+    }
+    return found;
+  }
+
+  // Find a known class name inside a type spelling (handles unique_ptr<X>,
+  // shared_ptr<obs::TraceSink>, MsgQueue<...>).
+  std::string type_to_class(const std::string& type) {
+    std::string best;
+    std::size_t i = 0;
+    while (i < type.size()) {
+      if (std::isalpha(static_cast<unsigned char>(type[i])) || type[i] == '_') {
+        std::size_t j = i;
+        while (j < type.size() && (std::isalnum(static_cast<unsigned char>(type[j])) ||
+                                   type[j] == '_')) {
+          ++j;
+        }
+        std::string word = type.substr(i, j - i);
+        if (g.classes.count(word)) best = word;  // last match wins (innermost)
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+    return best;
+  }
+
+  bool in_skip(std::size_t i) const {
+    for (const auto& [b, e] : skip_ranges) {
+      if (i >= b && i < e) return true;
+    }
+    return false;
+  }
+
+  void run() {
+    FuncInfo& fn = g.funcs[fidx];
+    const std::vector<Tok>& t = toks();
+    // Collect nested lambda bodies (they were registered as separate funcs).
+    for (const auto& other : g.funcs) {
+      if (&other == &fn) continue;
+      if (other.file_idx == fn.file_idx && other.body_begin > fn.body_begin &&
+          other.body_end <= fn.body_end && other.body_end != 0) {
+        // direct or transitive nesting: skip either way
+        skip_ranges.push_back({other.body_begin - 1, other.body_end + 1});
+      }
+    }
+
+    std::vector<HeldLock> held;
+    for (const auto& req : fn.requires_) {
+      held.push_back({req, "", -1});
+    }
+    int depth = 0;
+
+    auto held_ids = [&]() {
+      std::vector<std::string> ids;
+      for (const auto& h : held) ids.push_back(h.mutex_id);
+      return ids;
+    };
+
+    const std::unordered_set<std::string> guard_classes = {
+        "MutexLock", "UniqueLock", "lock_guard", "unique_lock", "scoped_lock",
+    };
+
+    for (std::size_t i = fn.body_begin; i < fn.body_end && i < t.size(); ++i) {
+      if (in_skip(i)) continue;
+      const std::string& s = t[i].text;
+      if (s == "{") {
+        ++depth;
+        continue;
+      }
+      if (s == "}") {
+        --depth;
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [&](const HeldLock& h) { return h.depth > depth; }),
+                   held.end());
+        continue;
+      }
+
+      // Guard declaration: GuardClass var ( expr )  /  GuardClass var { expr }
+      if (t[i].is_ident && guard_classes.count(s) && i + 1 < fn.body_end &&
+          t[i + 1].is_ident &&
+          (tok_is(t, i + 2, "(") || tok_is(t, i + 2, "{"))) {
+        const bool paren = t[i + 2].text == "(";
+        const char* open_c = paren ? "(" : "{";
+        const char* close_c = paren ? ")" : "}";
+        std::vector<std::string> idents;
+        std::size_t j = i + 3;
+        int d2 = 1;
+        while (j < fn.body_end && d2 > 0) {
+          if (t[j].text == open_c) ++d2;
+          if (t[j].text == close_c) --d2;
+          if (d2 == 0) break;
+          if (t[j].is_ident && t[j].text != "this") idents.push_back(t[j].text);
+          if (t[j].text == ",") break;  // adopt/defer tags: first arg only
+          ++j;
+        }
+        std::string mid = resolve_mutex_expr(idents);
+        if (!mid.empty()) {
+          // Record edges: every already-held lock precedes this acquisition.
+          for (const auto& h : held_ids()) {
+            if (h == mid) continue;
+            g.lock_edges.push_back(
+                {h, mid, fn.file, t[i].line, fn.qual + " acquires directly"});
+          }
+          fn.direct_acquires.insert(mid);
+          held.push_back({mid, t[i + 1].text, depth});
+        }
+        i = j;
+        continue;
+      }
+
+      // Direct ::syscall form  ("::" recv "(")
+      if (s == "::" &&
+          (i == fn.body_begin ||
+           (!t[i - 1].is_ident && t[i - 1].text != ">" && t[i - 1].text != ")") ||
+           keywords().count(t[i - 1].text)) &&
+          i + 1 < fn.body_end && t[i + 1].is_ident &&
+          blocking_roots().count(t[i + 1].text) && tok_is(t, i + 2, "(")) {
+        if (!fn.blocks_directly) {
+          fn.blocks_directly = true;
+          fn.block_reason = "::" + t[i + 1].text;
+          fn.block_line = t[i + 1].line;
+        }
+        if (!held.empty() && !fn.no_analysis) {
+          for (const auto& h : held_ids()) {
+            out.findings.push_back(
+                {fn.file, t[i + 1].line, "blocking-under-lock",
+                 fn.qual + " calls ::" + t[i + 1].text + " while holding " + h});
+          }
+        }
+        i += 2;
+        continue;
+      }
+
+      if (!t[i].is_ident || keywords().count(s)) continue;
+
+      // Call?  name (   — gather receiver chain before it.
+      if (tok_is(t, i + 1, "(")) {
+        std::vector<std::string> recv;
+        bool scoped = false;
+        std::size_t j = i;
+        while (j >= 2 && (t[j - 1].text == "." || t[j - 1].text == "->" ||
+                          t[j - 1].text == "::")) {
+          if (t[j - 1].text == "::") scoped = true;
+          if (!t[j - 2].is_ident) break;
+          recv.insert(recv.begin(), t[j - 2].text);
+          j -= 2;
+        }
+        // cv wait: blocking, but exempt its own lock.
+        std::string exempt;
+        if (is_cv_wait(s)) {
+          // first argument ident
+          if (i + 2 < fn.body_end && t[i + 2].is_ident) {
+            for (const auto& h : held) {
+              if (h.guard_var == t[i + 2].text) exempt = h.mutex_id;
+            }
+          }
+          if (!fn.blocks_directly) {
+            fn.blocks_directly = true;
+            fn.block_reason = "condition-variable " + s;
+            fn.block_line = t[i].line;
+          }
+          if (!fn.no_analysis) {
+            for (const auto& h : held_ids()) {
+              if (h == exempt) continue;
+              out.findings.push_back(
+                  {fn.file, t[i].line, "blocking-under-lock",
+                   fn.qual + " waits on a condition variable while holding " + h});
+            }
+          }
+          continue;
+        }
+        CallSite cs;
+        cs.caller = fidx;
+        cs.callee_name = s;
+        cs.receiver = recv;
+        cs.scoped_qualified = scoped;
+        cs.line = t[i].line;
+        cs.held = held_ids();
+        g.call_sites.push_back(cs);
+        fn.calls.push_back(g.call_sites.size() - 1);
+        continue;
+      }
+
+      // Stream write under lock: member of stream type followed by '<<' or
+      // '.flush(' / '.open(' etc. (the call form is caught above via type
+      // resolution; '<<' has no call syntax so handle it here).
+      if (tok_is(t, i + 1, "<<")) {
+        std::string owner_cls = f().cls;
+        if (!owner_cls.empty()) {
+          auto cit = g.classes.find(owner_cls);
+          if (cit != g.classes.end()) {
+            auto mt = cit->second.member_types.find(s);
+            if (mt != cit->second.member_types.end() && type_is_stream(mt->second)) {
+              if (!fn.blocks_directly) {
+                fn.blocks_directly = true;
+                fn.block_reason = "stream write to " + s;
+                fn.block_line = t[i].line;
+              }
+              if (!held.empty() && !fn.no_analysis) {
+                for (const auto& h : held_ids()) {
+                  out.findings.push_back(
+                      {fn.file, t[i].line, "blocking-under-lock",
+                       fn.qual + " writes to stream " + s + " while holding " + h});
+                }
+              }
+            }
+          }
+        }
+      }
+
+      // Guarded member access (unqualified or this->).
+      if (!fn.cls.empty() && !fn.is_ctor_dtor && !fn.no_analysis) {
+        bool qualified_other =
+            i > fn.body_begin &&
+            (t[i - 1].text == "." || t[i - 1].text == "->" || t[i - 1].text == "::") &&
+            !(i >= 2 && t[i - 2].text == "this");
+        if (!qualified_other) {
+          auto cit = g.classes.find(fn.cls);
+          if (cit != g.classes.end()) {
+            auto git = cit->second.guarded.find(s);
+            if (git != cit->second.guarded.end()) {
+              bool covered = false;
+              for (const auto& h : held) {
+                if (h.mutex_id == git->second) covered = true;
+              }
+              if (!covered) {
+                out.findings.push_back(
+                    {fn.file, t[i].line, "unguarded-access",
+                     fn.qual + " touches " + fn.cls + "::" + s + " (guarded by " +
+                         git->second + ") without holding the guard; add a " +
+                         "MutexLock or annotate with VINE_REQUIRES"});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pass 4: call resolution + transitive propagation + whole-program reports.
+// ---------------------------------------------------------------------------
+
+struct Resolver {
+  Graph& g;
+
+  // Resolve a call site to candidate callee indices (union semantics: when
+  // only the bare name is known and several classes define it, all of them
+  // are candidates — conservative for blocking/acquisition propagation).
+  std::vector<std::size_t> resolve(const CallSite& cs) {
+    const FuncInfo& caller = g.funcs[cs.caller];
+    // VINE_LOG_* macros expand to vine::logf.
+    if (cs.callee_name.rfind("VINE_LOG", 0) == 0) {
+      auto it = g.by_name.find("logf");
+      if (it != g.by_name.end()) return it->second;
+      return {};
+    }
+    // Explicit Class::name
+    if (cs.scoped_qualified && !cs.receiver.empty()) {
+      const std::string& qcls = cs.receiver.back();
+      auto it = g.by_qual.find(qcls + "::" + cs.callee_name);
+      if (it != g.by_qual.end()) return {it->second};
+      return {};
+    }
+    // Receiver chain: resolve the receiver's class, then name in it.
+    if (!cs.receiver.empty()) {
+      std::string recv_cls = resolve_receiver_class(caller, cs.receiver);
+      if (!recv_cls.empty()) {
+        auto it = g.by_qual.find(recv_cls + "::" + cs.callee_name);
+        if (it != g.by_qual.end()) return {it->second};
+        // Known receiver class but unknown method (std type etc.): if the
+        // class is one of ours and lacks the method, fall through to the
+        // unique-name route; otherwise stop.
+        if (!g.classes.count(recv_cls)) return {};
+        if (!g.classes.at(recv_cls).method_names.count(cs.callee_name)) {
+          return fallback_by_name(cs, /*allow_generic=*/false);
+        }
+        return {};
+      }
+      return fallback_by_name(cs, /*allow_generic=*/false);
+    }
+    // Unqualified: enclosing class method, then free function, then unique.
+    if (!caller.cls.empty()) {
+      auto it = g.by_qual.find(caller.cls + "::" + cs.callee_name);
+      if (it != g.by_qual.end()) return {it->second};
+    }
+    {
+      auto it = g.by_qual.find(cs.callee_name);
+      if (it != g.by_qual.end()) return {it->second};
+    }
+    return fallback_by_name(cs, /*allow_generic=*/false);
+  }
+
+  std::vector<std::size_t> fallback_by_name(const CallSite& cs, bool allow_generic) {
+    if (!allow_generic && generic_methods().count(cs.callee_name)) return {};
+    auto it = g.by_name.find(cs.callee_name);
+    if (it == g.by_name.end()) return {};
+    return it->second;  // union over all definitions
+  }
+
+  std::string resolve_receiver_class(const FuncInfo& caller,
+                                     const std::vector<std::string>& chain) {
+    std::string cur_cls = caller.cls;
+    std::string resolved;
+    for (std::size_t step = 0; step < chain.size(); ++step) {
+      const std::string& name = chain[step];
+      std::string next;
+      if (!cur_cls.empty() && g.classes.count(cur_cls) &&
+          g.classes.at(cur_cls).member_types.count(name)) {
+        next = find_class_in_type(g.classes.at(cur_cls).member_types.at(name));
+      } else {
+        // unique member name across all classes
+        std::string found_type;
+        int hits = 0;
+        for (const auto& [cname, ci] : g.classes) {
+          auto mt = ci.member_types.find(name);
+          if (mt != ci.member_types.end()) {
+            ++hits;
+            found_type = mt->second;
+          }
+        }
+        if (hits == 1) next = find_class_in_type(found_type);
+      }
+      if (next.empty()) return step + 1 == chain.size() ? resolved : "";
+      resolved = next;
+      cur_cls = next;
+    }
+    return resolved;
+  }
+
+  std::string find_class_in_type(const std::string& type) {
+    std::string best;
+    std::size_t i = 0;
+    while (i < type.size()) {
+      if (std::isalpha(static_cast<unsigned char>(type[i])) || type[i] == '_') {
+        std::size_t j = i;
+        while (j < type.size() && (std::isalnum(static_cast<unsigned char>(type[j])) ||
+                                   type[j] == '_')) {
+          ++j;
+        }
+        std::string word = type.substr(i, j - i);
+        if (g.classes.count(word)) best = word;
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+    return best;
+  }
+};
+
+int rank_of(const Graph& g, const std::string& mutex_id) {
+  auto it = g.mutexes.find(mutex_id);
+  if (it == g.mutexes.end() || it->second.rank.empty()) return -1;
+  auto rv = g.rank_values.find(it->second.rank);
+  return rv == g.rank_values.end() ? -1 : rv->second;
+}
+
+std::string rank_name_of(const Graph& g, const std::string& mutex_id) {
+  auto it = g.mutexes.find(mutex_id);
+  return it == g.mutexes.end() ? "" : it->second.rank;
+}
+
+// Parse `enum class Rank ... { name = value, ... }` from lock_rank.hpp.
+void parse_rank_enum(Graph& g) {
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    const auto& t = g.files[fi].toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].text == "enum" && i + 2 < t.size() && t[i + 1].text == "class" &&
+          t[i + 2].text == "Rank") {
+        // find '{'
+        std::size_t j = i + 3;
+        while (j < t.size() && t[j].text != "{") ++j;
+        ++j;
+        while (j < t.size() && t[j].text != "}") {
+          if (t[j].is_ident && tok_is(t, j + 1, "=") && j + 2 < t.size()) {
+            g.rank_values[t[j].text] = std::atoi(t[j + 2].text.c_str());
+            j += 3;
+          } else {
+            ++j;
+          }
+        }
+        return;
+      }
+    }
+  }
+}
+
+// Tarjan SCC over the instance-level lock graph.
+void report_cycles(const Graph& g, Analysis& out) {
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::pair<std::string, std::string>, const LockEdge*> sample;
+  for (const auto& e : g.lock_edges) {
+    if (e.from == e.to) continue;
+    adj[e.from].insert(e.to);
+    adj[e.to];  // ensure node
+    auto key = std::make_pair(e.from, e.to);
+    if (!sample.count(key)) sample[key] = &e;
+  }
+  std::map<std::string, int> index, low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int counter = 0;
+  std::vector<std::vector<std::string>> sccs;
+
+  // iterative Tarjan
+  struct Frame {
+    std::string v;
+    std::set<std::string>::const_iterator it, end;
+  };
+  for (const auto& [start, _] : adj) {
+    if (index.count(start)) continue;
+    std::vector<Frame> st;
+    index[start] = low[start] = counter++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    st.push_back({start, adj[start].begin(), adj[start].end()});
+    while (!st.empty()) {
+      Frame& fr = st.back();
+      if (fr.it != fr.end) {
+        std::string w = *fr.it;
+        ++fr.it;
+        if (!index.count(w)) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          st.push_back({w, adj[w].begin(), adj[w].end()});
+        } else if (on_stack[w]) {
+          low[fr.v] = std::min(low[fr.v], index[w]);
+        }
+      } else {
+        if (low[fr.v] == index[fr.v]) {
+          std::vector<std::string> scc;
+          while (true) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == fr.v) break;
+          }
+          if (scc.size() > 1) sccs.push_back(scc);
+        }
+        std::string v = fr.v;
+        st.pop_back();
+        if (!st.empty()) low[st.back().v] = std::min(low[st.back().v], low[v]);
+      }
+    }
+  }
+  for (auto& scc : sccs) {
+    std::sort(scc.begin(), scc.end());
+    std::string cyc;
+    for (const auto& m : scc) {
+      if (!cyc.empty()) cyc += " <-> ";
+      cyc += m;
+    }
+    // anchor the finding at one sample edge inside the SCC
+    const LockEdge* where = nullptr;
+    for (const auto& a : scc) {
+      for (const auto& b : scc) {
+        auto it = sample.find({a, b});
+        if (it != sample.end()) {
+          where = it->second;
+          break;
+        }
+      }
+      if (where) break;
+    }
+    out.findings.push_back({where ? where->file : "<graph>",
+                            where ? where->line : 0, "lock-cycle",
+                            "lock-order cycle: " + cyc +
+                                " — a deadlock is reachable; break the cycle or "
+                                "re-rank the mutexes"});
+  }
+}
+
+std::string emit_rank_table(const Graph& g) {
+  std::ostringstream os;
+  // declared ranks sorted by value
+  std::vector<std::pair<int, std::string>> ranks;
+  for (const auto& [name, value] : g.rank_values) ranks.push_back({value, name});
+  std::sort(ranks.begin(), ranks.end());
+  for (const auto& [value, name] : ranks) {
+    os << "rank " << value << ' ' << name << '\n';
+  }
+  // observed rank-level constraints, deduped, sorted
+  std::set<std::pair<std::string, std::string>> constraints;
+  for (const auto& e : g.lock_edges) {
+    std::string rf = rank_name_of(g, e.from);
+    std::string rt = rank_name_of(g, e.to);
+    if (rf.empty() || rt.empty() || rf == rt) continue;
+    constraints.insert({rf, rt});
+  }
+  std::vector<std::pair<std::string, std::string>> sorted(constraints.begin(),
+                                                          constraints.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const auto& a, const auto& b) {
+              int av = g.rank_values.count(a.first) ? g.rank_values.at(a.first) : 0;
+              int bv = g.rank_values.count(b.first) ? g.rank_values.at(b.first) : 0;
+              if (av != bv) return av < bv;
+              int aw = g.rank_values.count(a.second) ? g.rank_values.at(a.second) : 0;
+              int bw = g.rank_values.count(b.second) ? g.rank_values.at(b.second) : 0;
+              return aw < bw;
+            });
+  for (const auto& [a, b] : sorted) {
+    os << "order " << a << " < " << b << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Analysis analyze_tree(const fs::path& root, const Options& opts) {
+  Analysis out;
+  Graph g;
+
+  // ---- load + lex ----
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    auto ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    std::ifstream in(p);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    FileUnit fu;
+    fu.rel = fs::relative(p, root).generic_string();
+    fu.toks = tokenize(code_view(ss.str()));
+    g.files.push_back(std::move(fu));
+  }
+  out.files_scanned = g.files.size();
+
+  parse_rank_enum(g);
+
+  // ---- structure ----
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    StructureParser sp(g, fi);
+    sp.run();
+  }
+  out.functions_indexed = g.funcs.size();
+  out.mutexes_indexed = g.mutexes.size();
+
+  // Re-attach declaration annotations parsed after a definition was seen
+  // (hpp processed after cpp, or in-class decl after out-of-class def).
+  for (auto& fn : g.funcs) {
+    auto rit = g.decl_requires.find(fn.qual);
+    if (rit != g.decl_requires.end()) {
+      for (const auto& r : rit->second) {
+        if (std::find(fn.requires_.begin(), fn.requires_.end(), r) ==
+            fn.requires_.end()) {
+          fn.requires_.push_back(r);
+        }
+      }
+    }
+    if (g.decl_no_analysis.count(fn.qual)) fn.no_analysis = true;
+  }
+
+  // indices
+  for (std::size_t i = 0; i < g.funcs.size(); ++i) {
+    g.by_name[g.funcs[i].name].push_back(i);
+    g.by_qual.emplace(g.funcs[i].qual, i);  // first definition wins
+  }
+
+  // unranked / raw std::mutex members. The vine::Mutex wrapper itself owns
+  // the one legitimate raw std::mutex (its impl_).
+  for (const auto& [id, d] : g.mutexes) {
+    if (ends_with_path(d.file, "common/mutex.hpp")) continue;
+    if (d.is_raw_std) {
+      out.findings.push_back(
+          {d.file, d.line, "unranked-mutex",
+           id + " is a raw std::mutex; use vine::Mutex with a lock_rank::Rank "
+                "so the analyzer and the runtime checker can order it"});
+    } else if (d.rank.empty()) {
+      out.findings.push_back(
+          {d.file, d.line, "unranked-mutex",
+           id + " has no lock_rank::Rank tag; every vine::Mutex must declare "
+                "its place in the global order"});
+    } else if (!g.rank_values.empty() && !g.rank_values.count(d.rank)) {
+      out.findings.push_back(
+          {d.file, d.line, "unknown-rank",
+           id + " uses rank '" + d.rank + "' which is not declared in "
+                "lock_rank::Rank"});
+    }
+  }
+
+  // ---- bodies ----
+  for (std::size_t i = 0; i < g.funcs.size(); ++i) {
+    if (g.funcs[i].body_end == 0) continue;
+    BodyAnalyzer ba{g, i, out, {}};
+    ba.run();
+  }
+
+  // ---- call resolution ----
+  Resolver r{g};
+  std::vector<std::vector<std::size_t>> resolved(g.call_sites.size());
+  for (std::size_t i = 0; i < g.call_sites.size(); ++i) {
+    resolved[i] = r.resolve(g.call_sites[i]);
+    out.call_edges += resolved[i].size();
+  }
+
+  // blocking roots by bare callee name (thread.join(), sleep_for(), fsutil)
+  for (std::size_t i = 0; i < g.call_sites.size(); ++i) {
+    const CallSite& cs = g.call_sites[i];
+    FuncInfo& caller = g.funcs[cs.caller];
+    bool root = false;
+    std::string why;
+    if (blocking_roots().count(cs.callee_name) && resolved[i].empty()) {
+      // Unresolved send/recv/read/write etc. are almost always the socket
+      // or stream form; resolved ones propagate through the callee instead.
+      root = true;
+      why = cs.callee_name + "()";
+    }
+    for (std::size_t callee : resolved[i]) {
+      if (g.funcs[callee].file.find("fsutil") != std::string::npos) {
+        root = true;  // file I/O helpers
+        why = "file I/O via " + g.funcs[callee].qual;
+      }
+    }
+    if (root) {
+      if (!caller.blocks_directly) {
+        caller.blocks_directly = true;
+        caller.block_reason = why;
+        caller.block_line = cs.line;
+      }
+      if (!cs.held.empty() && !caller.no_analysis) {
+        for (const auto& h : cs.held) {
+          out.findings.push_back(
+              {caller.file, cs.line, "blocking-under-lock",
+               caller.qual + " reaches blocking " + why + " while holding " + h});
+        }
+      }
+    }
+  }
+
+  // ---- transitive propagation (fixpoint over the call graph) ----
+  for (auto& fn : g.funcs) {
+    fn.may_block = fn.blocks_directly;
+    fn.trans_acquires = fn.direct_acquires;
+  }
+  bool changed = true;
+  int iterations = 0;
+  while (changed && iterations++ < 64) {
+    changed = false;
+    for (std::size_t ci = 0; ci < g.call_sites.size(); ++ci) {
+      const CallSite& cs = g.call_sites[ci];
+      FuncInfo& caller = g.funcs[cs.caller];
+      for (std::size_t callee_i : resolved[ci]) {
+        const FuncInfo& callee = g.funcs[callee_i];
+        if (callee.may_block && !caller.may_block) {
+          caller.may_block = true;
+          caller.block_reason = "call to " + callee.qual + " (" +
+                                callee.block_reason + ")";
+          caller.block_line = cs.line;
+          changed = true;
+        }
+        for (const auto& m : callee.trans_acquires) {
+          if (caller.trans_acquires.insert(m).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // ---- held-across-call reports: lock edges + blocking-under-lock ----
+  for (std::size_t ci = 0; ci < g.call_sites.size(); ++ci) {
+    const CallSite& cs = g.call_sites[ci];
+    if (cs.held.empty()) continue;
+    const FuncInfo& caller = g.funcs[cs.caller];
+    for (std::size_t callee_i : resolved[ci]) {
+      const FuncInfo& callee = g.funcs[callee_i];
+      // Lock edges: held -> everything the callee may acquire.
+      for (const auto& m : callee.trans_acquires) {
+        for (const auto& h : cs.held) {
+          if (h == m) continue;
+          g.lock_edges.push_back({h, m, caller.file, cs.line,
+                                  caller.qual + " -> " + callee.qual});
+        }
+      }
+      // Blocking: callee may block (its own cv waits already exempted
+      // inside the callee; for the caller every held lock stays held).
+      if (callee.may_block && !caller.no_analysis) {
+        for (const auto& h : cs.held) {
+          out.findings.push_back(
+              {caller.file, cs.line, "blocking-under-lock",
+               caller.qual + " calls " + callee.qual + " while holding " + h +
+                   "; the callee may block (" + callee.block_reason + ")"});
+        }
+      }
+    }
+  }
+  out.lock_edges = g.lock_edges.size();
+
+  // ---- rank monotonicity over every edge ----
+  {
+    std::set<std::tuple<std::string, std::string, std::string, std::size_t>> seen;
+    for (const auto& e : g.lock_edges) {
+      int rf = rank_of(g, e.from);
+      int rt = rank_of(g, e.to);
+      if (rf < 0 || rt < 0) continue;
+      if (rf < rt) continue;
+      if (!seen.insert({e.from, e.to, e.file, e.line}).second) continue;
+      std::string msg =
+          e.to + " (rank " + std::to_string(rt) + ") acquired while " + e.from +
+          " (rank " + std::to_string(rf) + ") is held via " + e.via +
+          "; ranks must be strictly increasing";
+      out.findings.push_back({e.file, e.line, "rank-inversion", msg});
+    }
+  }
+
+  // ---- cycles ----
+  report_cycles(g, out);
+
+  // ---- canonical rank table + drift check ----
+  out.rank_table = emit_rank_table(g);
+  if (!opts.ranks_path.empty()) {
+    std::ifstream rf(opts.ranks_path);
+    if (!rf) {
+      out.findings.push_back({opts.ranks_path, 0, "rank-table-drift",
+                              "committed rank table is missing or unreadable"});
+    } else {
+      std::vector<std::string> committed;
+      std::string line;
+      while (std::getline(rf, line)) {
+        // strip comments/blank
+        auto h = line.find('#');
+        if (h != std::string::npos) line = line.substr(0, h);
+        while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
+          line.pop_back();
+        }
+        if (!line.empty()) committed.push_back(line);
+      }
+      std::vector<std::string> emitted;
+      std::istringstream es(out.rank_table);
+      while (std::getline(es, line)) {
+        if (!line.empty()) emitted.push_back(line);
+      }
+      if (committed != emitted) {
+        std::string msg = "emitted rank table differs from " + opts.ranks_path + ":";
+        std::size_t n = std::max(committed.size(), emitted.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          std::string c = i < committed.size() ? committed[i] : "<missing>";
+          std::string e = i < emitted.size() ? emitted[i] : "<missing>";
+          if (c != e) msg += " [committed '" + c + "' vs emitted '" + e + "']";
+        }
+        out.findings.push_back({opts.ranks_path, 0, "rank-table-drift", msg});
+      }
+    }
+  }
+
+  std::sort(out.findings.begin(), out.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  out.findings.erase(
+      std::unique(out.findings.begin(), out.findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.path == b.path && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      out.findings.end());
+  return out;
+}
+
+}  // namespace vine::analyze

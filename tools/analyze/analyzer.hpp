@@ -1,0 +1,60 @@
+// vine_analyze — whole-tree lock-graph static analysis.
+//
+// A multi-pass analyzer over the vine source tree, one step up from
+// vine_lint: instead of line-local pattern rules it builds a real IR —
+// lexed files, class/member tables, function records with body token
+// ranges, per-function acquired-lock scopes, and a name-resolved call
+// graph — and then runs whole-program passes:
+//
+//   lock-cycle           cycle in the mutex acquisition graph (A held while
+//                        B acquired, ..., Z held while A acquired)
+//   rank-inversion       an acquired-while-held edge that is not strictly
+//                        monotone in the declared lock_rank::Rank order
+//   blocking-under-lock  a blocking operation (::recv/::poll/::accept,
+//                        condvar wait, MsgQueue::pop, thread join, file
+//                        I/O) reachable while a vine lock is held
+//   unguarded-access     a VINE_GUARDED_BY member touched in a method with
+//                        no guard acquisition in scope and no VINE_REQUIRES
+//   unranked-mutex       a raw std::mutex member (must be vine::Mutex)
+//   rank-table-drift     emitted canonical rank table differs from the
+//                        committed tools/lock_ranks.txt
+//
+// Findings are vetted through a justified allowlist (vine_lint format) and
+// the CLI exits nonzero on any unallowlisted finding, so the analyzer runs
+// as a ctest. See DESIGN.md "Concurrency discipline" for triage guidance.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace vine::analyze {
+
+struct Finding {
+  std::string path;  ///< relative to the scanned root
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Committed rank table (tools/lock_ranks.txt). Empty: skip the
+  /// rank-table-drift check (fixture trees).
+  std::string ranks_path;
+};
+
+struct Analysis {
+  std::vector<Finding> findings;
+  /// Canonical rank table: declared ranks + observed nesting constraints.
+  std::string rank_table;
+  std::size_t files_scanned = 0;
+  std::size_t functions_indexed = 0;
+  std::size_t mutexes_indexed = 0;
+  std::size_t call_edges = 0;
+  std::size_t lock_edges = 0;
+};
+
+/// Analyze every *.hpp/*.cpp under `root`.
+Analysis analyze_tree(const std::filesystem::path& root, const Options& opts);
+
+}  // namespace vine::analyze

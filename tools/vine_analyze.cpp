@@ -1,0 +1,194 @@
+// vine_analyze — CLI driver for the whole-tree lock-graph analyzer.
+//
+// Usage:
+//   vine_analyze <src-root> [--ranks FILE] [--allowlist FILE]
+//                [--emit-ranks] [--report FILE]
+//
+// Runs as a ctest over src/: exits nonzero when any finding is not covered
+// by a justified allowlist entry, when an allowlist entry goes unused, or
+// when the emitted canonical rank table drifts from the committed one.
+//
+// --emit-ranks prints the canonical rank table (declared ranks + observed
+// nesting constraints) to stdout and exits 0; pipe it into
+// tools/lock_ranks.txt when the global order legitimately changes.
+//
+// Allowlist format (shared with vine_lint):
+//   rule|path_suffix|line_substring|justification
+// Every entry must carry a justification and must match at least one
+// finding — stale entries fail the run so the allowlist cannot rot.
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+
+namespace {
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+  std::string line_substr;
+  std::string justification;
+  bool used = false;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<AllowEntry> load_allowlist(const std::string& path, bool* ok) {
+  std::vector<AllowEntry> entries;
+  *ok = true;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "vine_analyze: cannot open allowlist: " << path << "\n";
+    *ok = false;
+    return entries;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    AllowEntry e;
+    std::istringstream ss(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, '|')) fields.push_back(field);
+    if (fields.size() < 4 || fields[3].empty()) {
+      std::cerr << "vine_analyze: allowlist line " << lineno
+                << " lacks a justification (rule|path|substr|why): " << line
+                << "\n";
+      *ok = false;
+      continue;
+    }
+    e.rule = fields[0];
+    e.path_suffix = fields[1];
+    e.line_substr = fields[2];
+    e.justification = fields[3];
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string ranks_path;
+  std::string allowlist_path;
+  std::string report_path;
+  bool emit_ranks = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--ranks" && i + 1 < argc) {
+      ranks_path = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--emit-ranks") {
+      emit_ranks = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: vine_analyze <src-root> [--ranks FILE] "
+                   "[--allowlist FILE] [--emit-ranks] [--report FILE]\n";
+      return 0;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "vine_analyze: unexpected argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "vine_analyze: missing <src-root>\n";
+    return 2;
+  }
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root, ec)) {
+    std::cerr << "vine_analyze: not a directory: " << root << "\n";
+    return 2;
+  }
+
+  vine::analyze::Options opts;
+  // --emit-ranks regenerates the table, so drift against the committed copy
+  // is not checked in that mode.
+  if (!emit_ranks) opts.ranks_path = ranks_path;
+
+  vine::analyze::Analysis res = vine::analyze::analyze_tree(root, opts);
+
+  if (emit_ranks) {
+    std::cout << res.rank_table;
+    return 0;
+  }
+
+  bool allow_ok = true;
+  std::vector<AllowEntry> allow;
+  if (!allowlist_path.empty()) {
+    allow = load_allowlist(allowlist_path, &allow_ok);
+  }
+
+  std::vector<const vine::analyze::Finding*> reported;
+  for (const auto& f : res.findings) {
+    bool allowed = false;
+    for (auto& e : allow) {
+      if (e.rule != f.rule) continue;
+      if (!e.path_suffix.empty() && !ends_with(f.path, e.path_suffix)) continue;
+      if (!e.line_substr.empty() &&
+          f.message.find(e.line_substr) == std::string::npos) {
+        continue;
+      }
+      e.used = true;
+      allowed = true;
+      break;
+    }
+    if (!allowed) reported.push_back(&f);
+  }
+
+  std::ostringstream report;
+  report << "vine_analyze: scanned " << res.files_scanned << " files, "
+         << res.functions_indexed << " functions, " << res.mutexes_indexed
+         << " mutexes, " << res.call_edges << " call edges, " << res.lock_edges
+         << " lock edges\n";
+  for (const auto* f : reported) {
+    report << f->path << ":" << f->line << ": [" << f->rule << "] "
+           << f->message << "\n";
+  }
+  std::size_t suppressed = res.findings.size() - reported.size();
+  if (suppressed > 0) {
+    report << "(" << suppressed << " finding" << (suppressed == 1 ? "" : "s")
+           << " suppressed by the allowlist)\n";
+  }
+
+  int rc = 0;
+  for (const auto& e : allow) {
+    if (!e.used) {
+      report << "stale allowlist entry (matched nothing): " << e.rule << "|"
+             << e.path_suffix << "|" << e.line_substr << "\n";
+      rc = 1;
+    }
+  }
+  if (!reported.empty()) {
+    report << reported.size() << " finding" << (reported.size() == 1 ? "" : "s")
+           << " not covered by the allowlist\n";
+    rc = 1;
+  }
+  if (!allow_ok) rc = 1;
+  if (rc == 0) report << "vine_analyze: clean\n";
+
+  std::cout << report.str();
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << report.str() << "\n--- canonical rank table ---\n" << res.rank_table;
+  }
+  return rc;
+}

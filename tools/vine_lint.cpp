@@ -12,6 +12,10 @@
 //   errno-unchecked  strto* conversion with no errno check nearby
 //   raw-io           naked ::recv/::read outside the net layer, bypassing
 //                    the Endpoint timeout/shutdown discipline
+//   manual-lock      raw .lock()/.unlock() calls outside RAII guards; an
+//                    early return or exception between them leaks the lock
+//   detached-thread  std::thread::detach(); detached threads outlive their
+//                    owner and race teardown — every thread must be joined
 //
 // Findings can be vetted via an allowlist file where every entry carries a
 // justification (see tools/vine_lint_allowlist.txt). Exit status is nonzero
@@ -133,8 +137,8 @@ bool has_lock_comment(const std::vector<std::string>& raw, std::size_t idx) {
            s.find("serializes") != std::string::npos;
   };
   if (mentions_discipline(raw[idx])) return true;
-  // Look back up to 3 lines of comment immediately above the declaration.
-  for (std::size_t back = 1; back <= 3 && back <= idx; ++back) {
+  // Look back through the contiguous comment block above the declaration.
+  for (std::size_t back = 1; back <= 12 && back <= idx; ++back) {
     std::string t = trim(raw[idx - back]);
     if (t.rfind("//", 0) != 0 && t.rfind("*", 0) != 0 &&
         t.rfind("/*", 0) != 0) {
@@ -168,16 +172,25 @@ void scan_file(const fs::path& file, const std::string& rel,
   for (std::size_t i = 0; i < code.size(); ++i) {
     const std::string& c = code[i];
 
-    // mutex-comment: a std::mutex *member/global declaration* must say what
-    // it guards. Declarations end with ';' and contain no '(' (which would
-    // indicate a lock_guard/unique_lock expression or parameter).
-    if (c.find("std::mutex") != std::string::npos) {
+    // mutex-comment: a mutex *member/global declaration* must say what it
+    // guards. Covers both raw std::mutex (no '(' in a declaration) and
+    // vine::Mutex, whose declarations carry a {Rank::...} initializer.
+    {
+      bool std_decl = false, vine_decl = false;
       std::string t = trim(c);
-      bool is_decl = !t.empty() && t.back() == ';' &&
-                     t.find('(') == std::string::npos;
-      if (is_decl && !has_lock_comment(raw, i)) {
+      if (c.find("std::mutex") != std::string::npos) {
+        std_decl = !t.empty() && t.back() == ';' &&
+                   t.find('(') == std::string::npos;
+      }
+      std::size_t mpos = 0;
+      if (find_token(c, "Mutex", &mpos)) {
+        vine_decl = !t.empty() && t.back() == ';' &&
+                    c.find('{', mpos) != std::string::npos &&
+                    c.find("Rank") != std::string::npos;
+      }
+      if ((std_decl || vine_decl) && !has_lock_comment(raw, i)) {
         add(i, "mutex-comment",
-            "std::mutex member without a lock-discipline comment "
+            "mutex member without a lock-discipline comment "
             "(say what it guards)");
       }
     }
@@ -281,6 +294,52 @@ void scan_file(const fs::path& file, const std::string& rel,
                     "() outside net/; use Endpoint::recv with its timeout "
                     "discipline");
           }
+        }
+      }
+    }
+
+    // manual-lock: bare .lock()/.unlock() on a mutex-ish receiver. Any
+    // early return or exception between the pair leaks the lock; use
+    // MutexLock/UniqueLock (or std::lock_guard on foreign mutexes). The
+    // guard types themselves call through to the raw pair and are
+    // allowlisted where they live.
+    for (const char* fn : {"lock", "unlock"}) {
+      std::size_t pos = 0;
+      std::size_t search = 0;
+      while ((pos = c.find(fn, search)) != std::string::npos) {
+        search = pos + 1;
+        std::size_t after = pos + std::string(fn).size();
+        if (after >= c.size() || c[after] != '(') continue;
+        if (pos >= 1 && is_ident_char(c[pos - 1])) continue;  // try_lock etc.
+        bool member_call =
+            (pos >= 1 && c[pos - 1] == '.') ||
+            (pos >= 2 && c[pos - 2] == '-' && c[pos - 1] == '>');
+        if (!member_call) continue;
+        // Guard-object re-lock (UniqueLock lk; ... lk.lock()) is still a
+        // manual protocol: flag it too and let the allowlist justify real
+        // uses. But skip declarations like `void lock()` (preceded by a
+        // type) — those appear only in the wrapper and are allowlisted.
+        add(i, "manual-lock",
+            std::string(".") + fn +
+                "() outside an RAII guard; use MutexLock/UniqueLock");
+        break;
+      }
+    }
+
+    // detached-thread: a detached thread cannot be joined at shutdown, so
+    // it races destruction of everything it touches. All vine threads are
+    // tracked and joined (see Worker::threads_mutex_ discipline).
+    {
+      std::size_t pos = 0;
+      if (find_token(c, "detach", &pos)) {
+        std::size_t after = pos + 6;
+        bool member_call =
+            (pos >= 1 && c[pos - 1] == '.') ||
+            (pos >= 2 && c[pos - 2] == '-' && c[pos - 1] == '>');
+        if (member_call && after < c.size() && c[after] == '(') {
+          add(i, "detached-thread",
+              "std::thread::detach() is banned; track the thread and join it "
+              "at shutdown");
         }
       }
     }
