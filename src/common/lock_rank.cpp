@@ -7,14 +7,25 @@ namespace vine::lock_rank {
 
 namespace {
 
-// Per-thread stack of held ranks. A plain vector: depth is tiny (2-3) and
-// only the owning thread touches it.
-thread_local std::vector<Rank> t_held;
+// Per-thread stack of held ranks. Deliberately trivially destructible (a
+// fixed array, not a vector): ranked mutexes are locked from static
+// destructors at process exit (the ReactorPool singleton stopping its
+// shards), which on the main thread runs *after* thread_local destructors
+// — a vector here would already be destroyed. Depth is bounded by the
+// number of distinct ranks (same-rank nesting is itself a violation).
+constexpr int kMaxHeld = 32;
+struct HeldStack {
+  Rank ranks[kMaxHeld];
+  int count = 0;
+};
+thread_local HeldStack t_held;
 
 void default_handler(Rank acquiring, Rank held, const char* message) {
   std::fprintf(stderr, "lock_rank: %s (acquiring %s while holding %s; held:",
                message, rank_name(acquiring), rank_name(held));
-  for (Rank r : t_held) std::fprintf(stderr, " %s", rank_name(r));
+  for (int i = 0; i < t_held.count; ++i) {
+    std::fprintf(stderr, " %s", rank_name(t_held.ranks[i]));
+  }
   std::fprintf(stderr, ")\n");
   std::abort();
 }
@@ -34,6 +45,7 @@ const char* rank_name(Rank r) {
     case Rank::task_registry: return "task_registry";
     case Rank::trace_sink: return "trace_sink";
     case Rank::metrics: return "metrics";
+    case Rank::net_reactor: return "net_reactor";
     case Rank::endpoint_send: return "endpoint_send";
     case Rank::msg_queue: return "msg_queue";
     case Rank::uuid: return "uuid";
@@ -50,10 +62,10 @@ ViolationHandler set_violation_handler(ViolationHandler handler) {
 
 bool note_acquire(Rank r) {
   bool ok = true;
-  if (!t_held.empty()) {
-    Rank max_held = t_held.front();
-    for (Rank h : t_held) {
-      if (h > max_held) max_held = h;
+  if (t_held.count > 0) {
+    Rank max_held = t_held.ranks[0];
+    for (int i = 1; i < t_held.count; ++i) {
+      if (t_held.ranks[i] > max_held) max_held = t_held.ranks[i];
     }
     if (r <= max_held) {
       ok = false;
@@ -62,20 +74,27 @@ bool note_acquire(Rank r) {
                               : "rank-order inversion");
     }
   }
-  t_held.push_back(r);
+  // Unreachable without a non-aborting violation handler stacking dozens
+  // of same-rank acquisitions; saturate rather than scribble past the end.
+  if (t_held.count < kMaxHeld) t_held.ranks[t_held.count++] = r;
   return ok;
 }
 
 void note_release(Rank r) {
-  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
-    if (*it == r) {
-      t_held.erase(std::next(it).base());
+  for (int i = t_held.count - 1; i >= 0; --i) {
+    if (t_held.ranks[i] == r) {
+      for (int j = i; j + 1 < t_held.count; ++j) {
+        t_held.ranks[j] = t_held.ranks[j + 1];
+      }
+      --t_held.count;
       return;
     }
   }
   g_handler(r, r, "release of a rank not held");
 }
 
-std::vector<Rank> held_ranks() { return t_held; }
+std::vector<Rank> held_ranks() {
+  return std::vector<Rank>(t_held.ranks, t_held.ranks + t_held.count);
+}
 
 }  // namespace vine::lock_rank

@@ -36,7 +36,8 @@ enum class Rank : std::int32_t {
   task_registry = 70,        ///< Function/LibraryRegistry::mutex_
   trace_sink = 80,           ///< obs::TraceSink::mu_ (inner of cache_store)
   metrics = 90,              ///< obs::MetricsRegistry::mu_
-  endpoint_send = 100,       ///< TcpEndpoint::send_mutex_
+  net_reactor = 95,          ///< Reactor::ops_mu_ (pending-op/flush list)
+  endpoint_send = 100,       ///< ReactorConn::mu_ (frame delivery + write queue)
   msg_queue = 110,           ///< MsgQueue<T>::mutex_ (innermost data lock)
   uuid = 120,                ///< common/uuid RNG lock
   logging = 130,             ///< common/log stderr lock (callable anywhere)

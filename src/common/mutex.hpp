@@ -38,10 +38,14 @@ class VINE_CAPABILITY("mutex") Mutex {
   }
 
   void unlock() VINE_RELEASE() {
-    impl_.unlock();
+    // Bookkeeping strictly before the release: the moment impl_.unlock()
+    // returns, a thread waiting in a destruction handshake (reactor
+    // release(): set flag under lock, notify, unlock) may free this
+    // object, so no member may be touched afterwards.
 #if VINE_LOCK_RANK_CHECKS
     lock_rank::note_release(rank_);
 #endif
+    impl_.unlock();
   }
 
   bool try_lock() VINE_TRY_ACQUIRE(true) {

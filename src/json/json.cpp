@@ -247,6 +247,20 @@ class Parser {
     consume('"');
     std::string out;
     while (pos_ < s_.size()) {
+      // Bulk-copy the run of plain characters up to the next quote,
+      // escape, or control byte — the overwhelmingly common case — and
+      // only then fall into per-character handling.
+      std::size_t run = pos_;
+      while (run < s_.size()) {
+        unsigned char rc = static_cast<unsigned char>(s_[run]);
+        if (rc == '"' || rc == '\\' || rc < 0x20) break;
+        ++run;
+      }
+      if (run > pos_) {
+        out.append(s_.data() + pos_, run - pos_);
+        pos_ = run;
+        if (pos_ >= s_.size()) break;
+      }
       char c = s_[pos_++];
       if (c == '"') return out;
       if (c == '\\') {

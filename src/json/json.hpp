@@ -81,6 +81,11 @@ class Value {
   /// Serialize compactly (no whitespace). Keys are emitted sorted.
   std::string dump() const;
 
+  /// Append the compact serialization to `out` — no intermediate string,
+  /// so callers with a reused buffer (the net reactor's per-connection
+  /// scratch) serialize allocation-free.
+  void dump_append(std::string& out) const { dump_to(out, 0, 0); }
+
   /// Serialize with 2-space indentation for human consumption.
   std::string dump_pretty() const;
 

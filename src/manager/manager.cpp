@@ -9,6 +9,7 @@
 #include "files/naming.hpp"
 #include "fsutil/fsutil.hpp"
 #include "net/channel.hpp"
+#include "net/reactor.hpp"
 #include "net/tcp.hpp"
 #include "task/task_hash.hpp"
 
@@ -83,6 +84,28 @@ Status Manager::start() {
                             "mgr-" + config_.name + "-" + generate_token(6)));
   } else if (config_.listen == "tcp") {
     VINE_TRY(listener_, tcp_listen(0));
+    // Data-plane gauges, summed over the reactor shards at snapshot time.
+    // Only wired up when this manager actually runs the TCP transport —
+    // touching the pool would otherwise spin up reactor threads for
+    // nothing. Runtime golden traces strip `counters` events, so the
+    // extra names never perturb trace comparisons.
+    metrics_.expose_fn("net.reactor_wakeups",
+                       [] { return ReactorPool::instance().stats().wakeups; });
+    metrics_.expose_fn("net.frames_in",
+                       [] { return ReactorPool::instance().stats().frames_in; });
+    metrics_.expose_fn("net.frames_out",
+                       [] { return ReactorPool::instance().stats().frames_out; });
+    metrics_.expose_fn("net.bytes_in",
+                       [] { return ReactorPool::instance().stats().bytes_in; });
+    metrics_.expose_fn("net.bytes_out",
+                       [] { return ReactorPool::instance().stats().bytes_out; });
+    metrics_.expose_fn("net.sendfile_bytes", [] {
+      return ReactorPool::instance().stats().sendfile_bytes;
+    });
+    metrics_.expose_fn("net.writev_calls",
+                       [] { return ReactorPool::instance().stats().writev_calls; });
+    metrics_.expose_fn("net.conns_open",
+                       [] { return ReactorPool::instance().stats().conns_open; });
   } else if (config_.listen.rfind("chan:", 0) == 0) {
     VINE_TRY(listener_, ChannelFabric::instance().listen(config_.listen.substr(5)));
   } else {
@@ -107,8 +130,21 @@ void Manager::accept_loop() {
     auto conn = std::make_unique<Connection>();
     conn->conn_id = conn_id;
     conn->endpoint = std::shared_ptr<Endpoint>(std::move(*ep));
-    conn->reader = std::thread(
-        [this, conn_id, ep2 = conn->endpoint] { reader_loop(conn_id, ep2); });
+    // Receiver-capable transports (TCP reactor) push frames into the inbox
+    // straight from the event loop: no reader thread per worker. The
+    // error delivery is the connection's death notice — same event the
+    // legacy reader loop emits when recv fails. Transports without
+    // receiver support keep the thread.
+    if (!conn->endpoint->set_receiver([this, conn_id](Result<Frame> frame) {
+          if (frame.ok()) {
+            inbox_.push(Event{conn_id, std::move(*frame), false});
+          } else {
+            inbox_.push(Event{conn_id, {}, true});
+          }
+        })) {
+      conn->reader = std::thread(
+          [this, conn_id, ep2 = conn->endpoint] { reader_loop(conn_id, ep2); });
+    }
     connections_.emplace(conn_id, std::move(conn));
   }
 }

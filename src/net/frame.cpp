@@ -1,46 +1,62 @@
 #include "net/frame.hpp"
 
+#include <fstream>
+
 #include "net/channel.hpp"
 #include "net/tcp.hpp"
 
 namespace vine {
 
-namespace {
-
-void put_u32(std::string& out, std::uint32_t v) {
+void append_u32(std::string& out, std::uint32_t v) {
   out += static_cast<char>(v);
   out += static_cast<char>(v >> 8);
   out += static_cast<char>(v >> 16);
   out += static_cast<char>(v >> 24);
 }
 
-std::uint32_t get_u32(const char* p) {
+std::uint32_t read_u32(const char* p) {
   return static_cast<std::uint8_t>(p[0]) |
          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8) |
          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16) |
          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
 }
 
-}  // namespace
+void append_frame_header(std::string& out, std::uint32_t payload_len,
+                         Frame::Kind kind) {
+  append_u32(out, payload_len);
+  out += static_cast<char>(kind);
+}
 
 std::string encode_frame(const Frame& frame) {
   std::string payload;
   if (frame.kind == Frame::Kind::json) {
     payload = frame.msg.dump();
   } else {
-    put_u32(payload, static_cast<std::uint32_t>(frame.tag.size()));
+    append_u32(payload, static_cast<std::uint32_t>(frame.tag.size()));
     payload += frame.tag;
     payload += frame.data;
   }
   std::string out;
   out.reserve(payload.size() + 5);
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  out += static_cast<char>(frame.kind);
+  append_frame_header(out, static_cast<std::uint32_t>(payload.size()),
+                      frame.kind);
   out += payload;
   return out;
 }
 
-Result<Frame> decode_frame_payload(char kind, std::string payload) {
+Status Endpoint::send_blob_file(const std::string& tag, const std::string& path,
+                                std::uint64_t size) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{Errc::io_error, "cannot open blob file " + path};
+  std::string data(size, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(in.gcount()) != size) {
+    return Error{Errc::io_error, "short read serving " + path};
+  }
+  return send_blob(tag, std::move(data));
+}
+
+Result<Frame> decode_frame_view(char kind, std::string_view payload) {
   if (kind == 'J') {
     VINE_TRY(json::Value v, json::parse(payload));
     return Frame::make_json(std::move(v));
@@ -49,15 +65,22 @@ Result<Frame> decode_frame_payload(char kind, std::string payload) {
     if (payload.size() < 4) {
       return Error{Errc::parse_error, "blob frame too short"};
     }
-    std::uint32_t tag_len = get_u32(payload.data());
+    std::uint32_t tag_len = read_u32(payload.data());
     if (payload.size() < 4 + static_cast<std::size_t>(tag_len)) {
       return Error{Errc::parse_error, "blob tag exceeds frame"};
     }
-    std::string tag = payload.substr(4, tag_len);
-    payload.erase(0, 4 + tag_len);
-    return Frame::make_blob(std::move(tag), std::move(payload));
+    // Exactly one copy of the blob bytes, straight out of the caller's
+    // receive buffer (the string overload used to copy the payload and
+    // then memmove the blob over the erased tag prefix — twice the
+    // traffic on a 64 MB transfer).
+    return Frame::make_blob(std::string(payload.substr(4, tag_len)),
+                            std::string(payload.substr(4 + tag_len)));
   }
   return Error{Errc::parse_error, std::string("unknown frame kind: ") + kind};
+}
+
+Result<Frame> decode_frame_payload(char kind, std::string payload) {
+  return decode_frame_view(kind, payload);
 }
 
 Result<std::unique_ptr<Endpoint>> connect_to(const std::string& address,

@@ -10,8 +10,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "json/json.hpp"
@@ -47,6 +50,28 @@ std::string encode_frame(const Frame& frame);
 /// Decode one frame from a complete payload (header already stripped).
 Result<Frame> decode_frame_payload(char kind, std::string payload);
 
+/// Zero-intermediate-copy variant: decodes directly out of the caller's
+/// buffer (the reactor's batched inbound buffer). Blob bytes are copied
+/// exactly once, into the returned Frame.
+Result<Frame> decode_frame_view(char kind, std::string_view payload);
+
+/// Append a little-endian u32 to `out` (the wire integer encoding).
+void append_u32(std::string& out, std::uint32_t v);
+
+/// Read a little-endian u32 from `p` (must have 4 readable bytes).
+std::uint32_t read_u32(const char* p);
+
+/// Append the 5-byte frame header (payload length + kind) to `out`. The
+/// reactor builds header+tag into one reused scratch buffer and hands the
+/// payload to writev/sendfile separately, so no contiguous wire copy of the
+/// whole frame is ever made.
+void append_frame_header(std::string& out, std::uint32_t payload_len,
+                         Frame::Kind kind);
+
+/// Frame payloads above this are rejected as corrupt/hostile (512 MB covers
+/// the largest assets in the paper's workloads).
+inline constexpr std::uint32_t kMaxFramePayload = 512u * 1024 * 1024;
+
 /// A bidirectional, message-oriented connection. Thread contract: send()
 /// is fully thread safe (frames from concurrent senders interleave at
 /// frame granularity, never within one); recv() must be called from one
@@ -75,6 +100,24 @@ class Endpoint {
   /// receiving thread. Transports without a mid-frame window (in-process
   /// channels deliver whole frames) ignore it.
   virtual void set_io_timeout(std::chrono::milliseconds) {}
+
+  /// Push-mode delivery: install `fn` to be invoked for every inbound frame
+  /// (and once, finally, with the terminal error) instead of pulling frames
+  /// via recv(). Frames already buffered are drained to `fn` in order before
+  /// it returns. Returns false on transports without push delivery (the
+  /// in-process channel); callers must then fall back to a recv() thread.
+  /// `fn` runs on the transport's event thread and must not block.
+  virtual bool set_receiver(std::function<void(Result<Frame>)> fn) {
+    (void)fn;
+    return false;
+  }
+
+  /// Send a blob frame whose payload is the contents of `path` (`size`
+  /// bytes). The TCP transport streams the file zero-copy via sendfile;
+  /// the base implementation reads the file and falls back to send_blob.
+  /// The on-wire bytes are identical either way.
+  virtual Status send_blob_file(const std::string& tag, const std::string& path,
+                                std::uint64_t size);
 
   // Convenience wrappers.
   Status send_json(json::Value v) { return send(Frame::make_json(std::move(v))); }

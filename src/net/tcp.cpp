@@ -1,20 +1,23 @@
+// Real TCP transport, implemented as thin adapters over the epoll reactor
+// (net/reactor.*): this file only creates/binds/connects sockets and maps
+// the Endpoint/Listener interface onto ReactorConn/ReactorListener. All
+// socket I/O — reads, vectored writes, sendfile, accepts, timeouts — runs
+// on the reactor threads; nothing here ever blocks in a socket syscall.
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
-#include "common/mutex.hpp"
 #include "common/strings.hpp"
+#include "net/reactor.hpp"
 
 namespace vine {
 
@@ -24,177 +27,69 @@ std::string errno_text(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
-std::uint32_t get_u32(const char* p) {
-  return static_cast<std::uint8_t>(p[0]) |
-         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8) |
-         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16) |
-         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
-}
-
-/// Wait until fd is readable; Errc::timeout / unavailable on failure.
-Status wait_readable(int fd, std::chrono::milliseconds timeout) {
-  pollfd pfd{fd, POLLIN, 0};
-  int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
-  if (rc == 0) return Error{Errc::timeout, "poll timeout"};
-  if (rc < 0) return Error{Errc::io_error, errno_text("poll")};
-  if (pfd.revents & (POLLERR | POLLNVAL)) {
-    return Error{Errc::unavailable, "socket error"};
-  }
-  return Status::success();
-}
-
-/// Frame payloads above this are rejected as corrupt/hostile (512 MB covers
-/// the largest assets in the paper's workloads).
-constexpr std::uint32_t kMaxFramePayload = 512u * 1024 * 1024;
-
 class TcpEndpoint final : public Endpoint {
  public:
-  TcpEndpoint(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
-    int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  }
+  explicit TcpEndpoint(ConnPtr conn) : conn_(std::move(conn)) {}
 
   ~TcpEndpoint() override {
-    close();
-    // The descriptor is released only here: by destruction time no other
-    // thread holds a reference, so nobody can be mid-recv()/send() on it.
-    ::close(fd_);
+    // Poison, then synchronously deregister: after release() the reactor
+    // holds no reference, and dropping conn_ closes the descriptor.
+    conn_->close();
+    conn_->release();
   }
 
-  Status send(Frame frame) override {
-    std::string wire = encode_frame(frame);
-    MutexLock lock(send_mutex_);
-    std::size_t sent = 0;
-    while (sent < wire.size()) {
-      ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Error{Errc::unavailable, errno_text("send to " + peer_)};
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-    return Status::success();
-  }
+  Status send(Frame frame) override { return conn_->send_frame(std::move(frame)); }
 
   Result<Frame> recv(std::chrono::milliseconds timeout) override {
-    char header[5];
-    VINE_TRY_STATUS(read_exact(header, sizeof header, timeout));
-    std::uint32_t len = get_u32(header);
-    char kind = header[4];
-    if (len > kMaxFramePayload) {
-      return Error{Errc::protocol_error, "oversized frame from " + peer_};
-    }
-    std::string payload(len, '\0');
-    if (len > 0) {
-      // Once a header arrived the rest must follow promptly; the idle
-      // window is generous by default so huge blobs on slow links still
-      // complete, and configurable so fetch threads facing a stalled peer
-      // time out fast instead of wedging.
-      VINE_TRY_STATUS(read_exact(
-          payload.data(), len,
-          std::chrono::milliseconds(io_timeout_ms_.load(std::memory_order_relaxed))));
-    }
-    return decode_frame_payload(kind, std::move(payload));
+    return conn_->recv_frame(timeout);
+  }
+
+  bool set_receiver(std::function<void(Result<Frame>)> fn) override {
+    conn_->set_receiver(std::move(fn));
+    return true;
+  }
+
+  Status send_blob_file(const std::string& tag, const std::string& path,
+                        std::uint64_t size) override {
+    return conn_->send_file(tag, path, size);
   }
 
   void set_io_timeout(std::chrono::milliseconds t) override {
-    io_timeout_ms_.store(t.count() > 0 ? t.count() : 60000,
-                         std::memory_order_relaxed);
+    conn_->set_io_timeout(t);
   }
 
-  void close() override {
-    // Poison the connection but keep the descriptor open: another thread
-    // blocked in recv()/send() on this fd would race ::close() and could
-    // end up operating on a recycled descriptor number. shutdown()
-    // unblocks those calls (recv returns 0, send fails with EPIPE); the
-    // fd itself is released in the destructor, after all users are gone.
-    if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
-  }
+  void close() override { conn_->close(); }
 
-  std::string peer_name() const override { return peer_; }
+  std::string peer_name() const override { return conn_->peer_name(); }
 
  private:
-  /// Read exactly n bytes, with `timeout` applied per chunk. Every chunk —
-  /// including the very first payload byte after a header — waits via
-  /// poll() first: a peer that stalls at any frame offset surfaces
-  /// Errc::timeout instead of wedging the reader in a blocking recv.
-  Status read_exact(char* buf, std::size_t n,
-                    std::chrono::milliseconds timeout) {
-    std::size_t got = 0;
-    while (got < n) {
-      if (closed_.load()) return Error{Errc::unavailable, "closed: " + peer_};
-      VINE_TRY_STATUS(wait_readable(fd_, timeout));
-      ssize_t r = ::recv(fd_, buf + got, n - got, 0);
-      if (r == 0) return Error{Errc::unavailable, "peer closed: " + peer_};
-      if (r < 0) {
-        if (errno == EINTR || errno == EAGAIN) continue;
-        return Error{Errc::unavailable, errno_text("recv from " + peer_)};
-      }
-      got += static_cast<std::size_t>(r);
-    }
-    return Status::success();
-  }
-
-  const int fd_;
-  // Mid-frame idle window (see set_io_timeout); atomic because the owner
-  // may adjust it while a reader thread is blocked in recv().
-  std::atomic<long long> io_timeout_ms_{60000};
-  // Set by close(); the fd stays open (see close()) so in-flight reads and
-  // writes never touch a recycled descriptor.
-  std::atomic<bool> closed_{false};
-  std::string peer_;
-  // Serializes send() so a length-prefixed frame is written atomically even
-  // when multiple threads share the endpoint; recv stays lock-free (single
-  // consumer). Held across the blocking ::send by design — that is the
-  // frame-atomicity contract (vine_analyze allowlists it).
-  Mutex send_mutex_{lock_rank::Rank::endpoint_send};
+  const ConnPtr conn_;
 };
 
 class TcpListener final : public Listener {
  public:
-  TcpListener(int fd, std::string address) : fd_(fd), address_(std::move(address)) {}
+  explicit TcpListener(std::shared_ptr<ReactorListener> lst)
+      : lst_(std::move(lst)) {}
 
-  ~TcpListener() override {
-    close();
-    // Released here for the same reason as TcpEndpoint: no thread can be
-    // blocked in accept() once the owner destroys the listener.
-    ::close(fd_);
-  }
+  ~TcpListener() override { lst_->close(); }
 
   Result<std::unique_ptr<Endpoint>> accept(std::chrono::milliseconds timeout) override {
-    if (closed_.load()) return Error{Errc::unavailable, "listener closed"};
-    VINE_TRY_STATUS(wait_readable(fd_, timeout));
-    if (closed_.load()) return Error{Errc::unavailable, "listener closed"};
-    sockaddr_in addr{};
-    socklen_t len = sizeof addr;
-    int cfd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-    if (cfd < 0) return Error{Errc::io_error, errno_text("accept")};
-    char ip[INET_ADDRSTRLEN] = "?";
-    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
-    std::string peer = std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
-    return std::unique_ptr<Endpoint>(new TcpEndpoint(cfd, peer));
+    VINE_TRY(ConnPtr c, lst_->accept(timeout));
+    return std::unique_ptr<Endpoint>(new TcpEndpoint(std::move(c)));
   }
 
-  std::string address() const override { return address_; }
+  std::string address() const override { return lst_->address(); }
 
-  void close() override {
-    // shutdown() wakes any thread blocked in poll()/accept() on the
-    // listening socket; the fd is kept open until the destructor so a
-    // concurrent accept() never races a recycled descriptor.
-    if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
-  }
+  void close() override { lst_->close(); }
 
  private:
-  const int fd_;
-  // Set by close(); the fd stays open until the destructor (see close()).
-  std::atomic<bool> closed_{false};
-  std::string address_;
+  const std::shared_ptr<ReactorListener> lst_;
 };
 
 }  // namespace
 
 Result<std::unique_ptr<Listener>> tcp_listen(std::uint16_t port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return Error{Errc::io_error, errno_text("socket")};
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -217,7 +112,8 @@ Result<std::unique_ptr<Listener>> tcp_listen(std::uint16_t port) {
     return Error{Errc::io_error, errno_text("getsockname")};
   }
   std::string address = "127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
-  return std::unique_ptr<Listener>(new TcpListener(fd, address));
+  auto lst = ReactorPool::instance().listen(fd, address);
+  return std::unique_ptr<Listener>(new TcpListener(std::move(lst)));
 }
 
 Result<std::unique_ptr<Endpoint>> tcp_connect(const std::string& address,
@@ -237,35 +133,26 @@ Result<std::unique_ptr<Endpoint>> tcp_connect(const std::string& address,
   }
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
 
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return Error{Errc::io_error, errno_text("socket")};
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
-  // Connect with a timeout using a temporarily non-blocking socket.
-  int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
   if (rc < 0 && errno != EINPROGRESS) {
     ::close(fd);
     return Error{Errc::unavailable, errno_text("connect " + address)};
   }
-  if (rc < 0) {
-    pollfd pfd{fd, POLLOUT, 0};
-    int prc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
-    if (prc <= 0) {
-      ::close(fd);
-      return Error{Errc::timeout, "connect timeout: " + address};
-    }
-    int err = 0;
-    socklen_t elen = sizeof err;
-    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen);
-    if (err != 0) {
-      ::close(fd);
-      return Error{Errc::unavailable,
-                   "connect " + address + ": " + std::strerror(err)};
-    }
+  ConnPtr conn =
+      rc == 0 ? ReactorPool::instance().adopt(fd, address)
+              : ReactorPool::instance().adopt_connecting(fd, address, timeout);
+  Status st = conn->await_connected(timeout);
+  if (!st.ok()) {
+    conn->close();
+    conn->release();
+    return st.error();
   }
-  ::fcntl(fd, F_SETFL, flags);
-  return std::unique_ptr<Endpoint>(new TcpEndpoint(fd, address));
+  return std::unique_ptr<Endpoint>(new TcpEndpoint(std::move(conn)));
 }
 
 }  // namespace vine

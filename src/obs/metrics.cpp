@@ -18,6 +18,13 @@ void MetricsRegistry::expose(const std::string& name,
 void MetricsRegistry::unexpose(const std::string& name) {
   MutexLock lk(mu_);
   exposed_.erase(name);
+  exposed_fns_.erase(name);
+}
+
+void MetricsRegistry::expose_fn(const std::string& name,
+                                std::function<std::int64_t()> fn) {
+  MutexLock lk(mu_);
+  exposed_fns_[name] = std::move(fn);
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
@@ -26,6 +33,9 @@ std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
   for (const auto& [name, c] : counters_) out[name] = c->value();
   for (const auto& [name, src] : exposed_) {
     if (src) out[name] = *src;
+  }
+  for (const auto& [name, fn] : exposed_fns_) {
+    if (fn) out[name] = fn();
   }
   return out;
 }

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,6 +49,12 @@ class MetricsRegistry {
   void expose(const std::string& name, const std::int64_t* source);
   void unexpose(const std::string& name);
 
+  /// Register a computed gauge: `fn` is invoked at snapshot time. For
+  /// sources without a stable int64 address (reactor stats summed across
+  /// shards). Must be callable until unexposed and must not acquire locks
+  /// ranked at or below `metrics`.
+  void expose_fn(const std::string& name, std::function<std::int64_t()> fn);
+
   /// Merged view: owned counters plus every exposed gauge's current value.
   /// Exposed sources are read unsynchronized — call at quiescent points
   /// from the thread owning them.
@@ -57,6 +64,8 @@ class MetricsRegistry {
   mutable Mutex mu_{lock_rank::Rank::metrics};  // guards counters_ and exposed_ (the maps, not the values)
   std::map<std::string, std::unique_ptr<Counter>> counters_ VINE_GUARDED_BY(mu_);
   std::map<std::string, const std::int64_t*> exposed_ VINE_GUARDED_BY(mu_);
+  std::map<std::string, std::function<std::int64_t()>> exposed_fns_
+      VINE_GUARDED_BY(mu_);
 };
 
 }  // namespace vine::obs

@@ -112,8 +112,10 @@ Status CacheStore::put_bytes(const std::string& name, std::string_view bytes,
   MutexLock lock(mutex_);
   VINE_TRY_STATUS(make_room(static_cast<std::int64_t>(bytes.size())));
   VINE_TRY_STATUS(write_file_atomic(path_of(name), bytes));
+  // The bytes are already in memory: hashing now is one extra pass and
+  // spares the first zero-copy serve a full re-read of the object.
   entries_[name] = {level, static_cast<std::int64_t>(bytes.size()), false,
-                    ++access_tick_};
+                    ++access_tick_, md5_buffer(bytes)};
   trace_insert(name, static_cast<std::int64_t>(bytes.size()), "store");
   return Status::success();
 }
@@ -145,7 +147,7 @@ Status CacheStore::put_archive(const std::string& name,
     remove_all_quiet(tmp);
     return Error{Errc::io_error, "rename into cache failed: " + ec.message()};
   }
-  entries_[name] = {level, size.ok() ? *size : 0, true, ++access_tick_};
+  entries_[name] = {level, size.ok() ? *size : 0, true, ++access_tick_, {}};
   trace_insert(name, size.ok() ? *size : 0, "store");
   return Status::success();
 }
@@ -168,7 +170,7 @@ Status CacheStore::adopt(const std::string& name, const fs::path& src,
     VINE_TRY_STATUS(copy_tree(src, path_of(name)));
     remove_all_quiet(src);
   }
-  entries_[name] = {level, size.ok() ? *size : 0, is_dir, ++access_tick_};
+  entries_[name] = {level, size.ok() ? *size : 0, is_dir, ++access_tick_, {}};
   trace_insert(name, size.ok() ? *size : 0, "adopt");
   return Status::success();
 }
@@ -223,6 +225,40 @@ Result<std::pair<std::string, bool>> CacheStore::read_for_transfer(
   }
   VINE_TRY(std::string bytes, read_file(path_of(name)));
   return std::make_pair(std::move(bytes), false);
+}
+
+Result<ServeInfo> CacheStore::serve_info(const std::string& name) {
+  fs::path path;
+  {
+    MutexLock lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Error{Errc::not_found, "not cached: " + name};
+    }
+    touch(name);
+    if (it->second.is_dir) {
+      return ServeInfo{path_of(name), it->second.size, true, {}};
+    }
+    if (!it->second.digest.empty()) {
+      return ServeInfo{path_of(name), it->second.size, false,
+                       it->second.digest};
+    }
+    path = path_of(name);
+  }
+  // First serve of this object: hash outside the lock (reads every byte).
+  VINE_TRY(std::string digest, md5_file(path));
+  if (name.rfind("md5-", 0) == 0 && "md5-" + digest != name) {
+    return Error{Errc::io_error, "cached object " + name +
+                                     " is corrupt: content digest is " + digest};
+  }
+  MutexLock lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    // Evicted while we were hashing; the serve loses the race.
+    return Error{Errc::not_found, "not cached: " + name};
+  }
+  if (it->second.digest.empty()) it->second.digest = digest;
+  return ServeInfo{path, it->second.size, false, it->second.digest};
 }
 
 Status CacheStore::remove_object(const std::string& name) {

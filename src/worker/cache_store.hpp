@@ -30,6 +30,20 @@ struct CacheEntry {
   std::int64_t size = 0;
   bool is_dir = false;
   std::uint64_t last_access = 0;  ///< LRU tick for eviction ordering
+  /// Memoized md5 hex of the file content; empty until first computed
+  /// (put_bytes hashes inline while the data is in memory, everything else
+  /// lazily on first serve). Directories never carry one — their transfer
+  /// digest covers the packed archive, not the tree.
+  std::string digest;
+};
+
+/// Everything a peer serve needs to stream a file object straight off
+/// disk without staging it in memory (zero-copy path).
+struct ServeInfo {
+  std::filesystem::path path;
+  std::int64_t size = 0;
+  bool is_dir = false;
+  std::string digest;  ///< md5 hex of file content; empty for directories
 };
 
 class CacheStore {
@@ -73,6 +87,15 @@ class CacheStore {
   /// Serialize an object for a transfer: file -> raw bytes,
   /// directory -> vpak archive (is_dir tells the receiver which).
   Result<std::pair<std::string, bool>> read_for_transfer(const std::string& name) const;
+
+  /// Path + size + attestation digest for serving a file object straight
+  /// off disk (sendfile zero-copy). The digest is computed on the first
+  /// serve (outside the lock — it reads every byte) and memoized in the
+  /// entry; content-named ("md5-") objects are verified against their name
+  /// while hashing, preserving read_for_transfer's never-serve-corrupt
+  /// guarantee. Directories return is_dir=true with no digest: the caller
+  /// must fall back to read_for_transfer's archive path.
+  Result<ServeInfo> serve_info(const std::string& name);
 
   Status remove_object(const std::string& name);
 

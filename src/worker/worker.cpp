@@ -46,6 +46,12 @@ Status Worker::init_and_register() {
                                               generate_token(6)));
   }
   transfer_addr_ = transfer_listener_->address();
+  // Serve pool: drains GETs pushed by receiver-driven peer connections.
+  // Sends are enqueue-only on the reactor, so a handful of threads covers
+  // any number of peers (the old model burned one thread per connection).
+  for (int i = 0; i < 4; ++i) {
+    serve_pool_.emplace_back([this] { serve_pool_main(); });
+  }
   transfer_server_ = std::thread([this] { transfer_server_main(); });
 
   // Transfer pool.
@@ -117,6 +123,20 @@ void Worker::stop() {
   }
   transfer_pool_.clear();
   if (transfer_server_.joinable()) transfer_server_.join();
+  serve_jobs_.close();
+  for (auto& t : serve_pool_) {
+    if (t.joinable()) t.join();
+  }
+  serve_pool_.clear();
+  // Drop the receiver-driven peer connections with the map swapped out:
+  // each endpoint dtor synchronously deregisters from the reactor, which
+  // must never happen under our lock.
+  std::map<std::uint64_t, std::shared_ptr<Endpoint>> peers_to_drop;
+  {
+    MutexLock lock(threads_mutex_);
+    peers_to_drop.swap(serve_peers_);
+  }
+  peers_to_drop.clear();
 
   // Extract the hosts under the lock; stop and join the instances outside
   // it. instance->stop() and pump.join() block for up to a pop timeout, and
@@ -546,6 +566,31 @@ void Worker::handle_send_file(const proto::SendFileMsg& msg) {
   proto::FileDataMsg reply;
   reply.request_id = msg.request_id;
   reply.cache_name = msg.cache_name;
+  auto info = cache_->serve_info(msg.cache_name);
+  if (!info.ok()) {
+    reply.ok = false;
+    reply.error = info.error().to_string();
+    send_to_manager(reply);
+    return;
+  }
+  if (!info->is_dir) {
+    // Zero-copy: stream the file off disk instead of staging it.
+    reply.ok = true;
+    // Header then blob. Sends are frame-atomic but another thread could
+    // interleave a frame between these two; the manager tolerates that by
+    // matching the blob by tag.
+    send_to_manager(reply);
+    auto st = manager_->send_blob_file(
+        msg.cache_name, info->path.string(),
+        static_cast<std::uint64_t>(info->size));
+    if (!st.ok() && !stopping_.load()) {
+      VINE_LOG_WARN("worker", "%s: send_file blob of %s failed: %s",
+                    config_.id.c_str(), msg.cache_name.c_str(),
+                    st.error().message.c_str());
+    }
+    return;
+  }
+  // Directories are archived on the fly and must go through memory.
   auto data = cache_->read_for_transfer(msg.cache_name);
   if (!data.ok()) {
     reply.ok = false;
@@ -554,9 +599,6 @@ void Worker::handle_send_file(const proto::SendFileMsg& msg) {
     return;
   }
   reply.ok = true;
-  // Header then blob. Sends are frame-atomic but another thread could
-  // interleave a frame between these two; the manager tolerates that by
-  // matching the blob by tag.
   send_to_manager(reply);
   manager_->send_blob(msg.cache_name, std::move(data->first));
 }
@@ -583,14 +625,72 @@ void Worker::handle_end_workflow() {
 
 void Worker::transfer_server_main() {
   while (!stopping_.load()) {
-    auto peer = transfer_listener_->accept(200ms);
-    if (!peer.ok()) {
-      if (peer.error().code == Errc::timeout) continue;
+    auto accepted = transfer_listener_->accept(200ms);
+    if (!accepted.ok()) {
+      if (accepted.error().code == Errc::timeout) continue;
       return;  // listener closed
     }
-    MutexLock lock(threads_mutex_);
-    peer_threads_.emplace_back(
-        [this, p = std::shared_ptr<Endpoint>(std::move(*peer))] { serve_peer(p); });
+    std::shared_ptr<Endpoint> peer(std::move(*accepted));
+    const std::uint64_t id = next_peer_id_.fetch_add(1);
+    // Receiver-capable transports (TCP reactor) push frames to the serve
+    // pool: no thread per connection. The callback runs on the reactor
+    // thread and must only enqueue; it captures the id, never the
+    // endpoint, so there is no ownership cycle through the connection.
+    // Register before installing the receiver — the first GET can land on
+    // the pool the instant the callback is in place.
+    {
+      MutexLock lock(threads_mutex_);
+      serve_peers_.emplace(id, peer);
+    }
+    if (!peer->set_receiver([this, id](Result<Frame> frame) {
+          serve_jobs_.push(ServeJob{id, std::move(frame)});
+        })) {
+      MutexLock lock(threads_mutex_);
+      serve_peers_.erase(id);
+      peer_threads_.emplace_back(
+          [this, p = std::move(peer)] { serve_peer(p); });
+    }
+  }
+}
+
+void Worker::serve_pool_main() {
+  while (true) {
+    auto job = serve_jobs_.pop(200ms);
+    if (!job) {
+      if (serve_jobs_.closed()) return;
+      continue;
+    }
+    std::shared_ptr<Endpoint> peer;
+    {
+      MutexLock lock(threads_mutex_);
+      auto it = serve_peers_.find(job->peer_id);
+      if (it != serve_peers_.end()) peer = it->second;
+    }
+    if (!peer) continue;  // already dropped; late frame loses the race
+    if (!job->frame.ok()) {
+      // Death notification — the connection closed, timed out, or broke.
+      // It is always the receiver's last delivery for this id, so dropping
+      // our reference here leaks nothing. Destruction happens outside the
+      // lock: the endpoint dtor deregisters from the reactor.
+      std::shared_ptr<Endpoint> doomed;
+      {
+        MutexLock lock(threads_mutex_);
+        auto it = serve_peers_.find(job->peer_id);
+        if (it != serve_peers_.end()) {
+          doomed = std::move(it->second);
+          serve_peers_.erase(it);
+        }
+      }
+      peer.reset();
+      doomed.reset();
+      continue;
+    }
+    if (job->frame->kind != Frame::Kind::json) continue;
+    auto msg = proto::decode(job->frame->msg);
+    if (!msg.ok() || !std::holds_alternative<proto::GetMsg>(*msg)) continue;
+    // A false return means serve_get closed the connection; the reactor
+    // then delivers the death notification and the branch above cleans up.
+    serve_get(*peer, std::get<proto::GetMsg>(*msg));
   }
 }
 
@@ -604,52 +704,96 @@ void Worker::serve_peer(const std::shared_ptr<Endpoint>& peer) {
     if (frame->kind != Frame::Kind::json) continue;
     auto msg = proto::decode(frame->msg);
     if (!msg.ok() || !std::holds_alternative<proto::GetMsg>(*msg)) continue;
-    const auto& get = std::get<proto::GetMsg>(*msg);
+    if (!serve_get(*peer, std::get<proto::GetMsg>(*msg))) return;
+  }
+}
 
-    faults::WorkerFaults* flt = config_.faults.get();
-    if (flt && faults::WorkerFaults::take(flt->fail_peer_serves)) {
-      // Injected peer failure: drop the connection without answering, as a
-      // crashing server would. The requester sees a closed/timeout error.
-      flt->injected.fetch_add(1);
-      peer->close();
-      return;
-    }
+bool Worker::serve_get(Endpoint& peer, const proto::GetMsg& get) {
+  faults::WorkerFaults* flt = config_.faults.get();
+  if (flt && faults::WorkerFaults::take(flt->fail_peer_serves)) {
+    // Injected peer failure: drop the connection without answering, as a
+    // crashing server would. The requester sees a closed/timeout error.
+    flt->injected.fetch_add(1);
+    peer.close();
+    return false;
+  }
 
-    proto::ObjMsg obj;
-    obj.cache_name = get.cache_name;
+  proto::ObjMsg obj;
+  obj.cache_name = get.cache_name;
+  auto info = cache_->serve_info(get.cache_name);
+  if (!info.ok()) {
+    obj.ok = false;
+    obj.error = info.error().to_string();
+    peer.send_json(proto::encode(obj));
+    return true;
+  }
+  const bool stall = flt && faults::WorkerFaults::take(flt->stall_peer_serves);
+  // A stalled serve never ships its blob, so it must not consume a
+  // corruption injection (matches the order of the old serve loop).
+  const bool corrupt =
+      !stall && flt && faults::WorkerFaults::take(flt->corrupt_peer_blobs);
+
+  // Files go zero-copy: attest the memoized digest and let the reactor
+  // sendfile the object straight off disk. Directories (archived on the
+  // fly) and corruption injections (must flip a byte in transit) still
+  // stage the bytes in memory.
+  std::string staged;
+  const bool zero_copy = !info->is_dir && !corrupt;
+  if (zero_copy) {
+    obj.is_dir = false;
+    obj.digest = info->digest;
+  } else {
     auto data = cache_->read_for_transfer(get.cache_name);
     if (!data.ok()) {
       obj.ok = false;
       obj.error = data.error().to_string();
-      peer->send_json(proto::encode(obj));
-      continue;
+      peer.send_json(proto::encode(obj));
+      return true;
     }
-    obj.ok = true;
+    staged = std::move(data->first);
     obj.is_dir = data->second;
     // Attest the content so the receiver can reject in-flight corruption.
-    obj.digest = md5_buffer(data->first);
-
-    if (flt && faults::WorkerFaults::take(flt->stall_peer_serves)) {
-      // Injected mid-stream stall: the header goes out, the blob never
-      // does. The requester's transfer_io_timeout must unwedge it.
-      flt->injected.fetch_add(1);
-      peer->send_json(proto::encode(obj));
-      const double until = clock_.now() + flt->stall_ms.load() / 1000.0;
-      while (!stopping_.load() && clock_.now() < until) {
-        std::this_thread::sleep_for(10ms);
-      }
-      peer->close();
-      return;
-    }
-    if (flt && faults::WorkerFaults::take(flt->corrupt_peer_blobs)) {
+    obj.digest = md5_buffer(staged);
+    if (corrupt) {
       // Injected frame corruption: flip a byte after attesting the honest
       // digest, so the receiver's verification catches it.
       flt->injected.fetch_add(1);
-      if (!data->first.empty()) data->first[data->first.size() / 2] ^= 0x40;
+      if (!staged.empty()) staged[staged.size() / 2] ^= 0x40;
     }
-    peer->send_json(proto::encode(obj));
-    peer->send_blob(get.cache_name, std::move(data->first));
   }
+  obj.ok = true;
+
+  if (stall) {
+    // Injected mid-stream stall: the header goes out, the blob never
+    // does. The requester's transfer_io_timeout must unwedge it.
+    flt->injected.fetch_add(1);
+    peer.send_json(proto::encode(obj));
+    const double until = clock_.now() + flt->stall_ms.load() / 1000.0;
+    while (!stopping_.load() && clock_.now() < until) {
+      std::this_thread::sleep_for(10ms);
+    }
+    peer.close();
+    return false;
+  }
+
+  peer.send_json(proto::encode(obj));
+  if (zero_copy) {
+    auto st = peer.send_blob_file(get.cache_name, info->path.string(),
+                                  static_cast<std::uint64_t>(info->size));
+    if (!st.ok()) {
+      // The header already promised a blob; the object raced an eviction
+      // or the disk failed. Drop the connection so the requester retries
+      // instead of waiting for a blob that will never come.
+      VINE_LOG_WARN("worker", "%s: blob serve of %s failed: %s",
+                    config_.id.c_str(), get.cache_name.c_str(),
+                    st.error().message.c_str());
+      peer.close();
+      return false;
+    }
+  } else {
+    peer.send_blob(get.cache_name, std::move(staged));
+  }
+  return true;
 }
 
 }  // namespace vine

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <thread>
@@ -157,6 +158,11 @@ class Worker {
   // --- peer transfer service ---
   void transfer_server_main();
   void serve_peer(const std::shared_ptr<Endpoint>& peer);
+  /// Answer one GET on a peer connection (fault injection, digest
+  /// attestation, zero-copy blob send). Returns false when the connection
+  /// was dropped and serving must stop.
+  bool serve_get(Endpoint& peer, const proto::GetMsg& get);
+  void serve_pool_main();
 
   WorkerConfig config_;
   std::unique_ptr<CacheStore> cache_;
@@ -170,14 +176,32 @@ class Worker {
   std::vector<std::thread> transfer_pool_;
   std::thread transfer_server_;
 
+  // Event-driven peer serving (TCP transport): endpoints that support
+  // receiver callbacks push each inbound frame — and finally the death
+  // notification — into serve_jobs_ as {peer_id, frame}; a small fixed
+  // pool drains it. One pool serves every peer connection, replacing the
+  // old thread-per-peer model. Transports without receiver support
+  // (in-process channels) keep a legacy serve_peer thread instead.
+  struct ServeJob {
+    std::uint64_t peer_id = 0;
+    Result<Frame> frame;
+  };
+  MsgQueue<ServeJob> serve_jobs_;
+  std::vector<std::thread> serve_pool_;
+  std::atomic<std::uint64_t> next_peer_id_{1};
+
   // Guards task_threads_ and peer_threads_ (appended by the main loop and
-  // the transfer server, drained by stop()). Joins happen with the vectors
-  // swapped out, never under the lock.
+  // the transfer server, drained by stop()) and serve_peers_. Joins and
+  // endpoint destruction happen with the containers swapped out, never
+  // under the lock (an Endpoint dtor deregisters from the reactor).
   Mutex threads_mutex_{lock_rank::Rank::worker_threads};
   // running task executions
   std::vector<std::thread> task_threads_ VINE_GUARDED_BY(threads_mutex_);
   // per-peer-connection servers
   std::vector<std::thread> peer_threads_ VINE_GUARDED_BY(threads_mutex_);
+  // receiver-driven peer connections, keyed by their serve-job id
+  std::map<std::uint64_t, std::shared_ptr<Endpoint>> serve_peers_
+      VINE_GUARDED_BY(threads_mutex_);
 
   // Library instances by name, plus their sandboxes and result pumps.
   struct LibraryHost {

@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Scheduling/catalog and simulator hot-path benchmark harness.
 #
-# Builds the relwithdebinfo preset and runs three google-benchmark suites:
+# Builds the relwithdebinfo preset and runs four google-benchmark suites:
 #   micro_sched — scheduling/catalog micros (up to 2000 workers)
 #   micro_flow  — event-core + flow-network micros (up to 2000 flows)
 #   micro_obs   — vine::obs tracing emit path (absolute ns/event budgets)
+#   micro_net   — TCP data plane (small-frame throughput, blob serve GB/s)
 # plus, on full runs, wall-clock timings of the two transfer-heavy figure
 # replications at paper scale (fig11_transfer_methods, fig13_topeft_storage
-# --workers 500). Writes BENCH_sched.json, BENCH_sim.json, and
-# BENCH_obs.json at the repo root: items/sec (or seconds) per row next to
-# the frozen pre-refactor baseline, with the speedup factor (the obs suite
-# gates on absolute cost budgets instead — it is a new subsystem).
+# --workers 500). Writes BENCH_sched.json, BENCH_sim.json, BENCH_obs.json,
+# and BENCH_net.json at the repo root: items/sec (or seconds) per row next
+# to the frozen pre-refactor baseline, with the speedup factor (the obs
+# suite gates on absolute cost budgets instead — it is a new subsystem).
 #
 # Usage:
 #   tools/bench.sh           # full run (benchmark_min_time=0.2 per case)
@@ -20,10 +21,15 @@
 # The baseline constants were measured on the pre-refactor code (BASELINE
 # in the sched block: the commit before the interned-token catalog;
 # BASELINE_SIM: the commit before the incremental flow engine / tombstone-
-# free event core) on the same machine class the full run targets;
-# regenerate them only when intentionally re-baselining: git checkout
-# <pre-refactor-sha>, run this script, and transplant the "current"
-# numbers into the matching BASELINE table below.
+# free event core; BASELINE_NET: the commit before the epoll reactor,
+# with bench/micro_net.cpp built against the thread-per-connection
+# transport via -DVINE_BENCH_LEGACY_SEND) on the same machine class the
+# full run targets; regenerate them only when intentionally re-baselining:
+# git checkout <pre-refactor-sha>, run this script (for net: copy
+# bench/micro_net.cpp into a worktree at the pre-reactor commit, add the
+# target with the VINE_BENCH_LEGACY_SEND define, alternate runs with the
+# current build on a quiet machine), and transplant the "current" numbers
+# into the matching BASELINE table below.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,7 +39,7 @@ SMOKE=0
 
 cmake --preset relwithdebinfo >/dev/null
 cmake --build --preset relwithdebinfo -j "$(nproc)" \
-  --target micro_sched micro_flow micro_obs \
+  --target micro_sched micro_flow micro_obs micro_net \
           fig11_transfer_methods fig13_topeft_storage \
   >/dev/null
 
@@ -267,4 +273,86 @@ for name, gate in GATE_NS.items():
     if r and r["ns_per_event"] > gate:
         sys.exit(f'FAIL: {name} {r["ns_per_event"]} ns/event > {gate} ns budget')
 print("wrote BENCH_obs.json")
+PYEOF
+
+# ----------------------------------------------------------------- micro_net
+
+RAW_NET=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_SIM" "$RAW_OBS" "$RAW_NET"' EXIT
+
+if [[ "$SMOKE" == 1 ]]; then
+  ./build/bench/micro_net --benchmark_format=json \
+    --benchmark_min_time=0.01 > "$RAW_NET"
+else
+  ./build/bench/micro_net --benchmark_format=json \
+    --benchmark_min_time=0.4 > "$RAW_NET"
+fi
+
+SMOKE="$SMOKE" python3 - "$RAW_NET" <<'PYEOF'
+import json, os, sys
+
+# Throughput of the pre-reactor transport (one blocking write syscall per
+# frame, one parked reader thread per connection, blob serves copied
+# through userspace), measured from the identical bench source built with
+# -DVINE_BENCH_LEGACY_SEND at the pre-reactor commit. Medians of three
+# alternating runs on the same machine as the current numbers.
+BASELINE_NET_ITEMS = {
+    "BM_SmallFrames/8/real_time": 283557.0,
+    "BM_SmallFrames/64/real_time": 257576.0,
+    "BM_SmallFrames/256/real_time": 236216.0,
+}
+BASELINE_NET_BYTES = {
+    "BM_BlobServe/real_time": 2.6098e8,
+}
+
+raw = json.load(open(sys.argv[1]))
+rows = {}
+for b in raw["benchmarks"]:
+    name = b["name"]
+    ips = b.get("items_per_second")
+    bps = b.get("bytes_per_second")
+    if ips is not None:
+        base = BASELINE_NET_ITEMS.get(name)
+        rows[name] = {
+            "baseline_items_per_second": base,
+            "items_per_second": round(ips, 2),
+            "speedup": round(ips / base, 2) if base else None,
+        }
+    elif bps is not None:
+        base = BASELINE_NET_BYTES.get(name)
+        rows[name] = {
+            "baseline_bytes_per_second": base,
+            "bytes_per_second": round(bps, 2),
+            "speedup": round(bps / base, 2) if base else None,
+        }
+
+out = {
+    "suite": "micro_net",
+    "smoke": os.environ.get("SMOKE") == "1",
+    "context": raw.get("context", {}),
+    "benchmarks": rows,
+}
+with open("BENCH_net.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+for name, r in rows.items():
+    s = f' ({r["speedup"]}x)' if r["speedup"] else ""
+    if "items_per_second" in r:
+        print(f'{name}: {r["items_per_second"]:.0f} items/s{s}')
+    else:
+        print(f'{name}: {r["bytes_per_second"] / 1e6:.0f} MB/s{s}')
+
+# Loopback throughput needs a quiet machine for stable numbers (the
+# sender, reactor, and receiver share cores), so like the sched gate these
+# are full-run-only. Current margins on the baseline machine: ~6-7x small
+# frames at 256 connections, ~2.2x blob serve.
+if not out["smoke"]:
+    key = rows.get("BM_SmallFrames/256/real_time")
+    if key and key["speedup"] is not None and key["speedup"] < 5.0:
+        sys.exit(f'FAIL: BM_SmallFrames/256 speedup {key["speedup"]}x < 5x target')
+    key = rows.get("BM_BlobServe/real_time")
+    if key and key["speedup"] is not None and key["speedup"] < 2.0:
+        sys.exit(f'FAIL: BM_BlobServe speedup {key["speedup"]}x < 2x target')
+print("wrote BENCH_net.json")
 PYEOF

@@ -10,8 +10,11 @@
 //   new-delete       raw new/delete instead of RAII ownership
 //   catch-all        catch (...) that swallows instead of rethrowing
 //   errno-unchecked  strto* conversion with no errno check nearby
-//   raw-io           naked ::recv/::read outside the net layer, bypassing
+//   raw-io           naked ::recv/::read outside net/reactor.cpp, bypassing
 //                    the Endpoint timeout/shutdown discipline
+//   event-poll       ::poll/::select/epoll_* outside net/reactor.cpp; all
+//                    socket readiness multiplexing belongs to the reactor
+//                    (a second event loop fragments the data plane)
 //   manual-lock      raw .lock()/.unlock() calls outside RAII guards; an
 //                    early return or exception between them leaks the lock
 //   detached-thread  std::thread::detach(); detached threads outlive their
@@ -167,7 +170,9 @@ void scan_file(const fs::path& file, const std::string& rel,
 
   const bool is_clock_impl =
       rel == "common/clock.hpp" || rel == "common/clock.cpp";
-  const bool is_net_layer = rel.rfind("net/", 0) == 0;
+  // The reactor owns every socket syscall in the tree; even the rest of
+  // net/ (tcp.cpp adapters, channel transport) must stay I/O-free.
+  const bool is_reactor_impl = rel == "net/reactor.cpp";
 
   for (std::size_t i = 0; i < code.size(); ++i) {
     const std::string& c = code[i];
@@ -282,7 +287,7 @@ void scan_file(const fs::path& file, const std::string& rel,
     // recv() carries the idle/mid-frame timeout and shutdown discipline a
     // naked syscall bypasses (a silent peer would wedge the calling thread
     // forever, invisible to the heartbeat/eviction machinery).
-    if (!is_net_layer) {
+    if (!is_reactor_impl) {
       for (const char* fn : {"::recv", "::read"}) {
         std::size_t pos = c.find(fn);
         if (pos != std::string::npos &&
@@ -291,8 +296,29 @@ void scan_file(const fs::path& file, const std::string& rel,
           if (after < c.size() && c[after] == '(') {
             add(i, "raw-io",
                 std::string(fn) +
-                    "() outside net/; use Endpoint::recv with its timeout "
-                    "discipline");
+                    "() outside net/reactor.cpp; use Endpoint::recv with "
+                    "its timeout discipline");
+          }
+        }
+      }
+    }
+
+    // event-poll: readiness multiplexing outside the reactor means a
+    // second event loop owning sockets the reactor cannot see — blocking
+    // threads the deadline scan cannot kill and fds its teardown cannot
+    // close. All of it belongs in net/reactor.cpp.
+    if (!is_reactor_impl) {
+      for (const char* fn : {"::poll", "::select", "epoll_create",
+                             "epoll_ctl", "epoll_wait"}) {
+        std::size_t pos = c.find(fn);
+        if (pos != std::string::npos &&
+            (pos == 0 || !is_ident_char(c[pos - 1]))) {
+          std::size_t after = pos + std::string(fn).size();
+          if (after < c.size() && (c[after] == '(' || c[after] == '1')) {
+            add(i, "event-poll",
+                std::string(fn) +
+                    " outside net/reactor.cpp; socket multiplexing belongs "
+                    "to the reactor");
           }
         }
       }
