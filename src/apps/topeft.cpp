@@ -15,6 +15,7 @@ TopEftRun run_topeft(const TopEftParams& params, bool shared_storage) {
   SimConfig cfg;
   cfg.seed = params.seed;
   cfg.sched.worker_source_limit = params.worker_source_limit;
+  cfg.sched.lookahead.enabled = params.lookahead;
   cfg.retrieve_temp_outputs = shared_storage;
   cfg.manager_nic_Bps = params.manager_Bps;
 

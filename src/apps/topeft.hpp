@@ -44,6 +44,9 @@ struct TopEftParams {
   double worker_arrival_span = 1800;
 
   int worker_source_limit = 3;
+  /// Enable the workflow-aware lookahead pass (consumer-gravity placement
+  /// plus pipelined input prefetch). Off reproduces the greedy baseline.
+  bool lookahead = false;
   std::uint64_t seed = 17;
 };
 

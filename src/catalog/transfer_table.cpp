@@ -16,17 +16,26 @@ std::string TransferSource::account() const {
 std::string CurrentTransferTable::begin(const std::string& cache_name,
                                         const WorkerId& dest,
                                         const TransferSource& source,
-                                        double now) {
+                                        double now, bool prefetch) {
   TransferRecord rec;
   rec.uuid = generate_uuid();
   rec.cache_name = cache_name;
   rec.dest = dest;
   rec.source = source;
   rec.started_at = now;
-  ++inflight_by_source_[source.account()];
-  ++inflight_by_dest_[dest];
-  if (source.kind == TransferSource::Kind::worker) {
-    ++inflight_by_worker_src_[source.key];
+  rec.prefetch = prefetch;
+  if (prefetch) {
+    ++prefetch_inflight_;
+    ++prefetch_by_dest_[dest];
+    if (source.kind == TransferSource::Kind::worker) {
+      ++prefetch_by_worker_src_[source.key];
+    }
+  } else {
+    ++inflight_by_source_[source.account()];
+    ++inflight_by_dest_[dest];
+    if (source.kind == TransferSource::Kind::worker) {
+      ++inflight_by_worker_src_[source.key];
+    }
   }
   std::string uuid = rec.uuid;
   by_uuid_.emplace(uuid, std::move(rec));
@@ -34,6 +43,20 @@ std::string CurrentTransferTable::begin(const std::string& cache_name,
 }
 
 void CurrentTransferTable::decrement(const TransferRecord& rec) {
+  if (rec.prefetch) {
+    --prefetch_inflight_;
+    auto dit = prefetch_by_dest_.find(rec.dest);
+    if (dit != prefetch_by_dest_.end() && --dit->second <= 0) {
+      prefetch_by_dest_.erase(dit);
+    }
+    if (rec.source.kind == TransferSource::Kind::worker) {
+      auto wit = prefetch_by_worker_src_.find(rec.source.key);
+      if (wit != prefetch_by_worker_src_.end() && --wit->second <= 0) {
+        prefetch_by_worker_src_.erase(wit);
+      }
+    }
+    return;
+  }
   auto sit = inflight_by_source_.find(rec.source.account());
   if (sit != inflight_by_source_.end() && --sit->second <= 0) {
     inflight_by_source_.erase(sit);
@@ -74,6 +97,16 @@ int CurrentTransferTable::inflight_to(const WorkerId& dest) const {
   return it == inflight_by_dest_.end() ? 0 : it->second;
 }
 
+int CurrentTransferTable::prefetch_inflight_from_worker(const WorkerId& id) const {
+  auto it = prefetch_by_worker_src_.find(id);
+  return it == prefetch_by_worker_src_.end() ? 0 : it->second;
+}
+
+int CurrentTransferTable::prefetch_inflight_to(const WorkerId& dest) const {
+  auto it = prefetch_by_dest_.find(dest);
+  return it == prefetch_by_dest_.end() ? 0 : it->second;
+}
+
 bool CurrentTransferTable::pending_to(const std::string& cache_name,
                                       const WorkerId& dest) const {
   for (const auto& [_, rec] : by_uuid_) {
@@ -105,6 +138,9 @@ void CurrentTransferTable::audit(AuditReport& report) const {
   std::map<std::string, int> by_source;
   std::map<WorkerId, int> by_dest;
   std::map<WorkerId, int> by_worker_src;
+  int prefetch_total = 0;
+  std::map<WorkerId, int> pf_by_dest;
+  std::map<WorkerId, int> pf_by_worker_src;
   for (const auto& [uuid, rec] : by_uuid_) {
     report.check(uuid == rec.uuid, kSub,
                  "record keyed " + uuid + " carries uuid " + rec.uuid);
@@ -112,12 +148,24 @@ void CurrentTransferTable::audit(AuditReport& report) const {
                  "transfer " + uuid + " has no cache name");
     report.check(!rec.dest.empty(), kSub,
                  "transfer " + uuid + " has no destination worker");
+    if (rec.prefetch) {
+      ++prefetch_total;
+      ++pf_by_dest[rec.dest];
+      if (rec.source.kind == TransferSource::Kind::worker) {
+        ++pf_by_worker_src[rec.source.key];
+      }
+      continue;
+    }
     ++by_source[rec.source.account()];
     ++by_dest[rec.dest];
     if (rec.source.kind == TransferSource::Kind::worker) {
       ++by_worker_src[rec.source.key];
     }
   }
+  report.check(prefetch_inflight_ == prefetch_total, kSub,
+               "prefetch inflight counter is " +
+                   std::to_string(prefetch_inflight_) + " but the records total " +
+                   std::to_string(prefetch_total));
   // Report per-key diffs (not just "maps differ") so a violation names the
   // counter that drifted.
   auto diff = [&report](const auto& counters, const auto& recomputed,
@@ -139,6 +187,8 @@ void CurrentTransferTable::audit(AuditReport& report) const {
   diff(inflight_by_source_, by_source, "per-source");
   diff(inflight_by_dest_, by_dest, "per-destination");
   diff(inflight_by_worker_src_, by_worker_src, "per-worker-source");
+  diff(prefetch_by_dest_, pf_by_dest, "prefetch per-destination");
+  diff(prefetch_by_worker_src_, pf_by_worker_src, "prefetch per-worker-source");
 }
 
 std::vector<TransferRecord> CurrentTransferTable::snapshot() const {

@@ -44,13 +44,21 @@ struct TransferRecord {
   WorkerId dest;
   TransferSource source;
   double started_at = 0;
+  /// Background input prefetch (lookahead scheduling). Prefetch transfers
+  /// are accounted in a separate counter set so task-critical planning
+  /// never waits behind them, and vice versa the prefetch budget checks
+  /// never consume critical headroom.
+  bool prefetch = false;
 };
 
 class CurrentTransferTable {
  public:
   /// Register a new transfer; returns its UUID for the worker to echo.
+  /// `prefetch` routes the record into the prefetch transfer class (see
+  /// TransferRecord::prefetch).
   std::string begin(const std::string& cache_name, const WorkerId& dest,
-                    const TransferSource& source, double now);
+                    const TransferSource& source, double now,
+                    bool prefetch = false);
 
   /// Complete (or fail) a transfer by UUID; returns the record, or nullopt
   /// for an unknown/duplicate UUID.
@@ -67,6 +75,18 @@ class CurrentTransferTable {
 
   /// In-flight count arriving at this worker.
   int inflight_to(const WorkerId& dest) const;
+
+  // ---- prefetch transfer class. The inflight_* accessors above count
+  // ONLY task-critical transfers; these count only prefetch ones. ----
+
+  /// Total prefetch transfers currently in flight.
+  int prefetch_inflight() const { return prefetch_inflight_; }
+
+  /// Prefetch transfers currently served *by* this worker.
+  int prefetch_inflight_from_worker(const WorkerId& id) const;
+
+  /// Prefetch transfers currently arriving at this worker.
+  int prefetch_inflight_to(const WorkerId& dest) const;
 
   /// True when `cache_name` is already on its way to `dest` (avoid
   /// scheduling duplicate transfers for concurrent tasks).
@@ -96,6 +116,10 @@ class CurrentTransferTable {
   // Worker-keyed view of the worker-source slice of inflight_by_source_,
   // kept in lockstep so inflight_from_worker never builds an account string.
   std::map<WorkerId, int> inflight_by_worker_src_;
+  // Prefetch class: counted apart from the critical maps above.
+  int prefetch_inflight_ = 0;
+  std::map<WorkerId, int> prefetch_by_dest_;
+  std::map<WorkerId, int> prefetch_by_worker_src_;
 
   void decrement(const TransferRecord& rec);
 };

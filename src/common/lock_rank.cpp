@@ -38,6 +38,7 @@ const char* rank_name(Rank r) {
   switch (r) {
     case Rank::manager_connections: return "manager_connections";
     case Rank::worker_threads: return "worker_threads";
+    case Rank::worker_cancels: return "worker_cancels";
     case Rank::worker_libraries: return "worker_libraries";
     case Rank::cache_store: return "cache_store";
     case Rank::channel_fabric: return "channel_fabric";

@@ -29,6 +29,7 @@ namespace vine::lock_rank {
 enum class Rank : std::int32_t {
   manager_connections = 10,  ///< Manager::conn_mutex_
   worker_threads = 20,       ///< Worker::threads_mutex_
+  worker_cancels = 25,       ///< Worker::cancels_mutex_ (cancelled transfers)
   worker_libraries = 30,     ///< Worker::libraries_mutex_
   cache_store = 40,          ///< CacheStore::mutex_
   channel_fabric = 50,       ///< ChannelFabric::mutex_

@@ -54,6 +54,12 @@ Manager::Manager(ManagerConfig config)
   metrics_.expose("manager.recoveries", &stats_.recoveries);
   metrics_.expose("manager.workers_lost", &stats_.workers_lost);
   metrics_.expose("manager.workers_evicted", &stats_.workers_evicted);
+  metrics_.expose("manager.transfers_prefetch", &stats_.transfers_prefetch);
+  metrics_.expose("manager.bytes_prefetch", &stats_.bytes_prefetch);
+  metrics_.expose("sched.prefetch_issued", &stats_.prefetch_issued);
+  metrics_.expose("sched.prefetch_hit", &stats_.prefetch_hits);
+  metrics_.expose("sched.prefetch_cancelled", &stats_.prefetch_cancelled);
+  metrics_.expose("sched.prefetch_wasted_bytes", &stats_.prefetch_wasted_bytes);
 }
 
 void Manager::emit(obs::Event ev) {
@@ -651,6 +657,39 @@ void Manager::handle_cache_update(const WorkerId& worker,
   std::optional<TransferRecord> rec;
   if (!msg.transfer_id.empty()) rec = transfers_.finish(msg.transfer_id);
 
+  if (rec && rec->prefetch) {
+    // Background staging closes out of band from the critical path: a
+    // completed prefetch becomes an unclaimed replica (hit-counted when a
+    // placement lands on it); a "cancelled" reply is the worker honoring a
+    // cancel_transfer for a stale prediction; a genuine failure counts as
+    // a transfer failure but never blacklists its source or retries —
+    // speculative traffic must not poison critical-path source health.
+    prefetch_live_.erase(msg.transfer_id);
+    const std::int64_t bytes = std::max<std::int64_t>(msg.size, 0);
+    const bool cancelled = !msg.ok && msg.error == "cancelled";
+    emit(obs::Event::make_transfer_end(
+        clock_.now(), msg.cache_name, "prefetch", source_key_of(rec->source),
+        worker, worker, msg.ok ? bytes : (cancelled ? 0 : -1), msg.transfer_id,
+        msg.ok, msg.ok ? std::string() : msg.error));
+    if (msg.ok) {
+      replicas_.set_replica(msg.cache_name, worker, ReplicaState::present,
+                            msg.size);
+      ++stats_.transfers_prefetch;
+      stats_.bytes_prefetch += bytes;
+      prefetched_.insert({msg.cache_name, worker});
+      scheduler_.note_transfer_success(rec->source);
+    } else {
+      replicas_.remove_replica(msg.cache_name, worker);
+      if (cancelled) {
+        ++stats_.prefetch_cancelled;
+        stats_.prefetch_wasted_bytes += bytes;
+      } else {
+        ++stats_.transfer_failures;
+      }
+    }
+    return;
+  }
+
   // Trace note: the worker's CacheStore emits the cache_insert/cache_evict
   // for this update from its own vantage point (shared sink in a
   // LocalCluster); the manager records only the transfer completion.
@@ -757,6 +796,11 @@ void Manager::handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg&
   for (const auto& out : msg.outputs) {
     replicas_.set_replica(out.cache_name, worker, ReplicaState::present, out.size);
   }
+  // Done or retrying, the outputs are no longer "expected" anywhere: they
+  // either exist as replicas now or will be re-expected at re-placement.
+  for (const auto& out : task.spec.outputs) {
+    if (out.file) expected_outputs_.erase(out.file->cache_name);
+  }
 
   if (msg.ok) {
     TaskReport report = task.report;
@@ -860,9 +904,20 @@ void Manager::handle_worker_lost(const std::string& conn_id, bool evicted) {
   replicas_.remove_worker(worker);
   for (const TransferRecord& rec : transfers_.remove_worker(worker)) {
     emit(obs::Event::make_transfer_end(
-        clock_.now(), rec.cache_name, source_kind_name(rec.source.kind),
+        clock_.now(), rec.cache_name,
+        rec.prefetch ? "prefetch" : source_kind_name(rec.source.kind),
         source_key_of(rec.source), rec.dest, rec.dest, -1, rec.uuid,
         /*ok=*/false, "worker_lost"));
+    prefetch_live_.erase(rec.uuid);
+  }
+  // Lookahead bookkeeping that referenced the dead worker: unclaimed
+  // prefetched replicas died with its cache, and outputs expected there
+  // will be re-expected when their producers are re-placed.
+  for (auto it = prefetched_.begin(); it != prefetched_.end();) {
+    it = it->second == worker ? prefetched_.erase(it) : std::next(it);
+  }
+  for (auto it = expected_outputs_.begin(); it != expected_outputs_.end();) {
+    it = it->second == worker ? expected_outputs_.erase(it) : std::next(it);
   }
   auto wit = workers_.find(worker);
   if (wit != workers_.end()) {
@@ -1238,6 +1293,12 @@ void Manager::schedule_pass() {
   ++stats_.sched_passes;
   const std::int64_t scanned_before = stats_.tasks_scanned;
   std::int64_t dispatched_this_pass = 0;
+  const bool lookahead = config_.sched.lookahead.enabled;
+  if (lookahead) build_dag_view();
+  // One pass bracket: the scheduler's token->slot scratch survives across
+  // every pick below, and the DagView (when lookahead is on) feeds the
+  // consumer-gravity term.
+  scheduler_.begin_pass(lookahead ? &dag_view_ : nullptr);
   // Ready-queue dispatch: the pass walks only ready tasks (ascending id,
   // like the old full-table scan) against snapshots_, which is maintained
   // incrementally at every commit/release — no per-pass rebuild or
@@ -1295,6 +1356,22 @@ void Manager::schedule_pass() {
             ++stats_.cache_hits;
           }
         }
+        if (lookahead) {
+          for (const auto& in : task.spec.inputs) {
+            if (in.file &&
+                prefetched_.erase({in.file->cache_name, task.worker})) {
+              ++stats_.prefetch_hits;
+            }
+          }
+          // Later picks in this pass (and the prefetch planner) see this
+          // task's outputs as expected at its worker.
+          const auto slot = static_cast<std::uint32_t>(wit->second.slot);
+          for (const auto& out : task.spec.outputs) {
+            if (!out.file) continue;
+            expected_outputs_[out.file->cache_name] = task.worker;
+            dag_view_.note_expected(out.file->cache_name, slot);
+          }
+        }
       }
     }
 
@@ -1307,12 +1384,102 @@ void Manager::schedule_pass() {
       ++dispatched_this_pass;
     }
   }
+  if (lookahead) {
+    // Stale predictions die before new budget is spent.
+    cancel_stale_prefetches();
+    issue_prefetches();
+  }
+  scheduler_.end_pass();
 
   // Idle pumps would flood the trace with empty passes; record only the
   // passes that examined work.
   const std::int64_t scanned = stats_.tasks_scanned - scanned_before;
   if (config_.trace && scanned > 0) {
     emit(obs::Event::make_sched_pass(clock_.now(), scanned, dispatched_this_pass));
+  }
+}
+
+void Manager::build_dag_view() {
+  dag_view_.clear();
+  // Expected locations of in-flight producer outputs, resolved to span
+  // slots (lost producers' entries were pruned at worker loss).
+  for (const auto& [name, worker] : expected_outputs_) {
+    auto wit = workers_.find(worker);
+    if (wit != workers_.end()) {
+      dag_view_.note_expected(name, static_cast<std::uint32_t>(wit->second.slot));
+    }
+  }
+  // The waiting frontier: unplaced ready tasks held back by the
+  // producibility gate. Same walk order (ascending id) and same gate as
+  // the placement loop, but read-only.
+  for (const TaskId tid : ready_tasks_) {
+    const TaskRuntime& task = tasks_.at(tid);
+    if (!task.worker.empty()) continue;
+    bool waiting = false;
+    for (const auto& in : task.spec.inputs) {
+      if (in.file && in.file->kind == FileKind::temp &&
+          replicas_.present_count(in.file->cache_name) == 0) {
+        waiting = true;
+        break;
+      }
+    }
+    if (!waiting) continue;
+    const std::uint32_t idx = dag_view_.add_waiting(tid);
+    for (const auto& in : task.spec.inputs) {
+      if (!in.file) continue;
+      const bool pending = in.file->kind == FileKind::temp &&
+                           replicas_.present_count(in.file->cache_name) == 0;
+      dag_view_.add_dep(idx, in.file->cache_name,
+                        in.file->size_hint > 0 ? in.file->size_hint : 1,
+                        pending);
+    }
+  }
+}
+
+void Manager::issue_prefetches() {
+  auto plans = scheduler_.plan_prefetch(dag_view_, snapshots_, replicas_,
+                                        transfers_, clock_.now());
+  for (const auto& plan : plans) {
+    auto lit = level_of_.find(plan.cache_name);
+    std::string uuid = transfers_.begin(plan.cache_name, plan.dest, plan.source,
+                                        clock_.now(), /*prefetch=*/true);
+    replicas_.set_replica(plan.cache_name, plan.dest, ReplicaState::pending);
+    prefetch_live_[uuid] =
+        PrefetchTrack{plan.cache_name, plan.dest, plan.consumer, false};
+    ++stats_.prefetch_issued;
+    emit(obs::Event::make_transfer_begin(
+        clock_.now(), plan.cache_name, "prefetch", source_key_of(plan.source),
+        plan.dest, plan.dest, plan.bytes, uuid));
+    proto::FetchMsg msg;
+    msg.transfer_id = std::move(uuid);
+    msg.cache_name = plan.cache_name;
+    msg.level = lit != level_of_.end() ? lit->second : CacheLevel::workflow;
+    msg.source = plan.source;
+    msg.prefetch = true;
+    auto peer = workers_.find(plan.source.key);
+    if (peer != workers_.end()) {
+      msg.source_addr = snapshots_[peer->second.slot].transfer_addr;
+    }
+    send_to_worker(plan.dest, msg);
+  }
+}
+
+void Manager::cancel_stale_prefetches() {
+  for (auto& [uuid, track] : prefetch_live_) {
+    if (track.cancel_sent) continue;
+    auto it = tasks_.find(track.consumer);
+    const bool live = it != tasks_.end() &&
+                      it->second.state != TaskState::done &&
+                      it->second.state != TaskState::failed &&
+                      (it->second.worker.empty() ||
+                       it->second.worker == track.dest);
+    if (live) continue;
+    // Best-effort abort: the worker skips the fetch if it has not started.
+    // Accounting waits for the reply — whichever cache_update arrives
+    // ("cancelled" or a completed transfer that outran the cancel) closes
+    // the record, so the transfer table never leaks an entry.
+    send_to_worker(track.dest, proto::CancelTransferMsg{uuid});
+    track.cancel_sent = true;
   }
 }
 

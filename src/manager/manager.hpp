@@ -85,6 +85,13 @@ struct ManagerStats {
   std::int64_t recoveries = 0;         ///< producer re-runs for lost temps
   std::int64_t workers_lost = 0;       ///< disconnects + evictions
   std::int64_t workers_evicted = 0;    ///< of which: heartbeat-deadline evictions
+  // ---- lookahead input prefetch (sched.prefetch_* counters) ----
+  std::int64_t transfers_prefetch = 0;  ///< completed prefetch transfers
+  std::int64_t bytes_prefetch = 0;      ///< bytes moved by completed prefetches
+  std::int64_t prefetch_issued = 0;     ///< prefetch transfers started
+  std::int64_t prefetch_hits = 0;       ///< placed task found a prefetched input
+  std::int64_t prefetch_cancelled = 0;  ///< cancelled (stale prediction)
+  std::int64_t prefetch_wasted_bytes = 0;  ///< bytes moved by cancelled prefetches
 };
 
 class Manager {
@@ -266,6 +273,15 @@ class Manager {
 
   // --- scheduling (application thread) ---
   void schedule_pass();
+  /// Rebuild dag_view_ from the waiting frontier of ready_tasks_ and seed
+  /// expected output locations from in-flight producers (lookahead only).
+  void build_dag_view();
+  /// Issue the pass's planned background prefetches as tagged FetchMsgs.
+  void issue_prefetches();
+  /// Send best-effort cancel_transfer for live prefetches whose predicted
+  /// consumer finished, failed, or landed on a different worker. The
+  /// record stays open until the worker's cache_update reply closes it.
+  void cancel_stale_prefetches();
   /// Ensure `file` is (or is becoming) present at `worker`; true when
   /// already present. Issues at most one new instruction per call.
   bool ensure_file_at(const FileRef& file, const WorkerId& worker);
@@ -335,6 +351,23 @@ class Manager {
   FileReplicaTable replicas_;
   CurrentTransferTable transfers_;
   ManagerStats stats_;
+
+  // ---- lookahead state (all empty / untouched when lookahead is off) ----
+  DagView dag_view_;  ///< per-pass waiting-frontier view
+  /// Expected location of each not-yet-done task output: where its producer
+  /// was placed. Maintained at placement commit, consumed by build_dag_view,
+  /// erased on task completion/retry and worker loss.
+  std::map<std::string, WorkerId> expected_outputs_;
+  struct PrefetchTrack {
+    std::string cache_name;
+    WorkerId dest;
+    TaskId consumer = 0;
+    bool cancel_sent = false;  ///< cancel_transfer already sent; await reply
+  };
+  std::map<std::string, PrefetchTrack> prefetch_live_;  // transfer uuid -> track
+  /// (cache_name, worker) pairs whose replica arrived via prefetch and has
+  /// not yet been claimed by a placement (claimed = prefetch hit).
+  std::set<std::pair<std::string, WorkerId>> prefetched_;
   // Exposes every ManagerStats field as a gauge (registered in the
   // constructor); snapshotted into the trace by emit_counters().
   obs::MetricsRegistry metrics_;

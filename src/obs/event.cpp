@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/schema.hpp"
+
 namespace vine::obs {
 
 namespace {
@@ -150,7 +152,7 @@ Event Event::make_counters(double t,
 
 json::Value event_to_json(const Event& ev) {
   json::Object o;
-  o["v"] = 1;  // kSchemaVersion; duplicated literal avoids an include cycle
+  o["v"] = kSchemaVersion;
   o["seq"] = ev.seq;
   o["t"] = ev.t;
   o["kind"] = kind_name(ev.kind);

@@ -62,6 +62,8 @@ struct Event {
 
   std::string file;       ///< cache object name (transfers, cache churn)
   std::string source;     ///< transfer source kind: "manager" | "url" | "worker"
+                          ///< | "prefetch" (background staging; the serving
+                          ///< worker rides in source_key)
   std::string source_key; ///< url text or peer worker id when source != manager
   std::string dest;       ///< transfer destination node ("manager" or worker id)
   std::string xfer;       ///< transfer uuid pairing begin/end events

@@ -34,7 +34,7 @@ Result<void> validate_transfer(const json::Value& o, bool is_end) {
   if (!has_string(o, "file")) return bad("transfer event missing file");
   if (!has_string(o, "source")) return bad("transfer event missing source");
   const std::string& src = o.find("source")->as_string();
-  if (!in_vocab(src, {"manager", "url", "worker"})) {
+  if (!in_vocab(src, {"manager", "url", "worker", "prefetch"})) {
     return bad("transfer source not in vocabulary: " + src);
   }
   if (src != "manager" && !has_string(o, "source_key")) {

@@ -1,6 +1,6 @@
 // Versioned JSONL trace schema for vine::obs events.
 //
-// Schema v1, one canonical JSON object per line. Common required fields:
+// Schema v2, one canonical JSON object per line. Common required fields:
 //   v        int     == kSchemaVersion
 //   seq      int     > 0, strictly increasing across the trace
 //   t        number  >= 0, non-decreasing per emitter
@@ -25,7 +25,9 @@
 
 namespace vine::obs {
 
-inline constexpr std::int64_t kSchemaVersion = 1;
+// v2: the transfer-source vocabulary grew "prefetch" (lookahead scheduling's
+// background input staging; the source worker rides in source_key).
+inline constexpr std::int64_t kSchemaVersion = 2;
 
 /// Validate one parsed JSONL line against the per-event schema (required
 /// fields, types, enum vocabulary). Cross-event checks live in

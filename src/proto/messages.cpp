@@ -179,6 +179,7 @@ struct Encoder {
     o["cache_name"] = m.cache_name;
     o["level"] = level_to_wire(m.level);
     o["source"] = source_to_json(m.source, m.source_addr);
+    if (m.prefetch) o["prefetch"] = true;
     return Value(std::move(o));
   }
   Value operator()(const MiniTaskMsg& m) const {
@@ -200,6 +201,12 @@ struct Encoder {
     Object o;
     o["type"] = "unlink";
     o["cache_name"] = m.cache_name;
+    return Value(std::move(o));
+  }
+  Value operator()(const CancelTransferMsg& m) const {
+    Object o;
+    o["type"] = "cancel_transfer";
+    o["transfer_id"] = m.transfer_id;
     return Value(std::move(o));
   }
   Value operator()(const SendFileMsg& m) const {
@@ -329,6 +336,7 @@ Result<AnyMessage> decode(const json::Value& v) {
       m.source = source_from_json(*s);
       m.source_addr = s->get_string("addr");
     }
+    m.prefetch = v.get_bool("prefetch");
     return AnyMessage(std::move(m));
   }
   if (type == "mini_task") {
@@ -351,6 +359,11 @@ Result<AnyMessage> decode(const json::Value& v) {
   if (type == "unlink") {
     UnlinkMsg m;
     m.cache_name = v.get_string("cache_name");
+    return AnyMessage(std::move(m));
+  }
+  if (type == "cancel_transfer") {
+    CancelTransferMsg m;
+    m.transfer_id = v.get_string("transfer_id");
     return AnyMessage(std::move(m));
   }
   if (type == "send_file") {

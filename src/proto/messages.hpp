@@ -11,6 +11,7 @@
 //   mini_task    worker materializes a file by running a task spec
 //   run_task     execute a task (all inputs already cached)
 //   unlink       delete a cache object
+//   cancel_transfer abort a stale (prefetch) fetch instruction
 //   send_file    send a cached object back to the manager
 //   end_workflow clear task/workflow-lifetime cache state
 //   shutdown     terminate the worker
@@ -94,6 +95,10 @@ struct FetchMsg {
   CacheLevel level = CacheLevel::workflow;
   TransferSource source;     // url or worker
   std::string source_addr;   // peer transfer address for worker sources
+  /// Background lookahead staging rather than a task-critical input: the
+  /// worker tags the cached object so capacity pressure evicts it before
+  /// any live workflow state, and a cancel_transfer may abort it.
+  bool prefetch = false;
 };
 
 struct MiniTaskMsg {
@@ -109,6 +114,15 @@ struct RunTaskMsg {
 
 struct UnlinkMsg {
   std::string cache_name;
+};
+
+/// Abort a previously instructed (prefetch) transfer whose prediction went
+/// stale. Best-effort: a fetch that has not started is dropped; one already
+/// finished simply completes. Either way the worker answers with a
+/// cache_update echoing the transfer_id so the manager's transfer table
+/// closes the record.
+struct CancelTransferMsg {
+  std::string transfer_id;
 };
 
 struct SendFileMsg {
@@ -201,9 +215,9 @@ struct ObjMsg {  // followed by a blob frame when ok
 /// Any decoded protocol message.
 using AnyMessage =
     std::variant<PutMsg, FetchMsg, MiniTaskMsg, RunTaskMsg, UnlinkMsg,
-                 SendFileMsg, EndWorkflowMsg, ShutdownMsg, HelloMsg,
-                 HeartbeatMsg, CacheUpdateMsg, TaskDoneMsg, LibraryReadyMsg,
-                 FileDataMsg, GetMsg, ObjMsg>;
+                 CancelTransferMsg, SendFileMsg, EndWorkflowMsg, ShutdownMsg,
+                 HelloMsg, HeartbeatMsg, CacheUpdateMsg, TaskDoneMsg,
+                 LibraryReadyMsg, FileDataMsg, GetMsg, ObjMsg>;
 
 /// Encode any message to its JSON frame body.
 json::Value encode(const AnyMessage& msg);

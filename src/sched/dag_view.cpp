@@ -1,0 +1,49 @@
+#include "sched/dag_view.hpp"
+
+#include <cassert>
+
+namespace vine {
+
+void DagView::clear() {
+  waiting_.clear();
+  deps_.clear();
+  // Keep the interner and the token-indexed columns' capacity: a
+  // workflow's name universe is bounded and stable across passes, so the
+  // per-pass refill reuses nodes instead of churning allocations.
+  for (auto& v : consumers_) v.clear();
+  expected_.assign(expected_.size(), kNoSlot);
+}
+
+std::uint32_t DagView::intern(std::string_view cache_name) {
+  const std::uint32_t name = names_.intern(cache_name);
+  if (name >= consumers_.size()) {
+    consumers_.resize(name + 1);
+    expected_.resize(name + 1, kNoSlot);
+  }
+  return name;
+}
+
+std::uint32_t DagView::add_waiting(TaskId id) {
+  Waiting w;
+  w.id = id;
+  w.first_dep = static_cast<std::uint32_t>(deps_.size());
+  waiting_.push_back(w);
+  return static_cast<std::uint32_t>(waiting_.size() - 1);
+}
+
+void DagView::add_dep(std::uint32_t idx, std::string_view cache_name,
+                      std::int64_t bytes, bool pending) {
+  assert(idx + 1 == waiting_.size() && "deps must be added contiguously");
+  Waiting& w = waiting_[idx];
+  const std::uint32_t name = intern(cache_name);
+  consumers_[name].push_back(idx);
+  deps_.push_back({name, bytes, pending});
+  ++w.dep_count;
+  if (pending) ++w.missing;
+}
+
+void DagView::note_expected(std::string_view cache_name, std::uint32_t slot) {
+  expected_[intern(cache_name)] = slot;
+}
+
+}  // namespace vine

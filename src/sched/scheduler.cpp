@@ -1,12 +1,18 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 
 namespace vine {
 
 namespace {
 
 constexpr std::uint32_t kNoSlot = Interner::npos;
+
+// dep_token_cache_ sentinel: "not resolved this pass". Distinct from
+// FileReplicaTable::no_token, which is a valid cached answer.
+constexpr std::uint32_t kTokenUnresolved = 0xFFFFFFFEu;
 
 // The fit filter shared by every policy: resources, plus a live library
 // instance for function calls. Pinning is handled by the callers.
@@ -39,18 +45,60 @@ std::int64_t Scheduler::cached_bytes(const TaskSpec& task, const WorkerId& worke
   return bytes;
 }
 
+void Scheduler::begin_pass(const DagView* dag) {
+  in_pass_ = true;
+  dag_ = dag;
+  // One pass, one token->slot map: membership cannot change mid-pass, and
+  // every hit is verified by name anyway, so picks after the first reuse
+  // the map instead of re-deriving it (the per-pick rebuild this hoists).
+  rebuilt_ = false;
+  ++pass_stats_.passes;
+
+  if (dag && config_.lookahead.enabled) {
+    const LookaheadConfig& la = config_.lookahead;
+    // Decay table, built iteratively so the pick path never calls pow.
+    const auto horizon =
+        la.gravity_horizon > 0 ? static_cast<std::size_t>(la.gravity_horizon) : 0;
+    if (gravity_factor_.size() != horizon || factor_weight_ != la.gravity_weight ||
+        factor_decay_ != la.gravity_decay) {
+      gravity_factor_.resize(horizon);
+      double f = la.gravity_weight;
+      for (std::size_t m = 0; m < horizon; ++m) {
+        gravity_factor_[m] = f;
+        f *= la.gravity_decay;
+      }
+      factor_weight_ = la.gravity_weight;
+      factor_decay_ = la.gravity_decay;
+    }
+    // Dep tokens are resolved lazily, once per pass: present replicas
+    // cannot appear mid-pass (only cache updates create them, and those
+    // run between passes), so the cached answer is decision-identical.
+    dep_token_cache_.assign(dag->dep_total(), kTokenUnresolved);
+  }
+}
+
+void Scheduler::end_pass() {
+  in_pass_ = false;
+  dag_ = nullptr;
+}
+
 std::uint32_t Scheduler::slot_of(std::uint32_t worker_token,
                                  std::span<const WorkerSnapshot> workers,
                                  const FileReplicaTable& replicas) {
   if (worker_token < token_slot_.size()) {
     const std::uint32_t slot = token_slot_[worker_token];
-    if (slot != kNoSlot && slot < workers.size() &&
-        workers[slot].id == replicas.worker_name(worker_token)) {
-      return slot;
+    if (slot != kNoSlot && slot < workers.size()) {
+      // A map rebuilt during this call/pass is exact (span membership is
+      // fixed until the next begin_pass): skip the verify-by-name. Entries
+      // surviving from an earlier pass must still prove themselves.
+      if (rebuilt_ || workers[slot].id == replicas.worker_name(worker_token)) {
+        return slot;
+      }
     }
   }
   if (rebuilt_) return kNoSlot;  // map is fresh: the worker left the span
   rebuilt_ = true;
+  ++pass_stats_.slot_rebuilds;
   token_slot_.assign(replicas.worker_token_count(), kNoSlot);
   for (std::uint32_t slot = 0; slot < workers.size(); ++slot) {
     const std::uint32_t t = replicas.worker_token(workers[slot].id);
@@ -64,7 +112,11 @@ std::optional<WorkerId> Scheduler::pick_most_cached(
     const FileReplicaTable& replicas) {
   const std::size_t n = workers.size();
   ++epoch_;
-  rebuilt_ = false;
+  ++pass_stats_.picks;
+  // Outside a pass bracket (direct callers, benches) keep the legacy
+  // per-pick rebuild; inside one, begin_pass already reset rebuilt_ and the
+  // map survives across the pass's picks.
+  if (!in_pass_) rebuilt_ = false;
   if (checked_stamp_.size() < n) {
     checked_stamp_.resize(n, 0);
     fit_stamp_.resize(n, 0);
@@ -101,6 +153,15 @@ std::optional<WorkerId> Scheduler::pick_most_cached(
         bytes_[slot] += add;
       }
     }
+  }
+
+  // Lookahead: pull the placement toward where this task's outputs will be
+  // consumed. The credit lands in the same bytes_/scored_ accumulators, so
+  // a worker holding a consumer's sibling inputs can outrank one merely
+  // caching this task's own (often small) inputs. No-op unless a DagView
+  // is attached and the lookahead knob is on.
+  if (in_pass_ && dag_ && config_.lookahead.enabled) {
+    add_consumer_gravity(task, workers, replicas);
   }
 
   // Every scored worker carries >= 1 cached byte and so outranks every
@@ -214,6 +275,262 @@ std::optional<WorkerId> Scheduler::pick_worker(
   return best->id;
 }
 
+std::uint32_t Scheduler::dep_file_token(const DagView& dag, std::uint32_t dep_idx,
+                                        std::uint32_t name,
+                                        const FileReplicaTable& replicas) {
+  if (&dag != dag_ || dep_idx >= dep_token_cache_.size()) {
+    return replicas.file_token(dag.name_of(name));
+  }
+  std::uint32_t& cached = dep_token_cache_[dep_idx];
+  if (cached == kTokenUnresolved) cached = replicas.file_token(dag.name_of(name));
+  return cached;
+}
+
+void Scheduler::add_consumer_gravity(const TaskSpec& task,
+                                     std::span<const WorkerSnapshot> workers,
+                                     const FileReplicaTable& replicas) {
+  const LookaheadConfig& la = config_.lookahead;
+
+  // Same lazy fit gate and epoch-stamped accumulation as input scoring:
+  // gravity only credits workers this task could actually run on.
+  auto credit_slot = [&](std::uint32_t slot, std::int64_t credit) {
+    if (slot == kNoSlot || slot >= workers.size() || credit <= 0) return;
+    if (checked_stamp_[slot] != epoch_) {
+      checked_stamp_[slot] = epoch_;
+      if (fits(task, workers[slot])) fit_stamp_[slot] = epoch_;
+    }
+    if (fit_stamp_[slot] != epoch_) return;
+    if (byte_stamp_[slot] != epoch_) {
+      byte_stamp_[slot] = epoch_;
+      bytes_[slot] = credit;
+      scored_.push_back(slot);
+    } else {
+      bytes_[slot] += credit;
+    }
+  };
+
+  const std::size_t n = workers.size();
+  if (mass_stamp_.size() < n) {
+    mass_stamp_.resize(n, 0);
+    mass_.resize(n, 0);
+  }
+
+  for (const auto& out : task.outputs) {
+    if (!out.file) continue;
+    const std::uint32_t out_name = dag_->name_token(out.file->cache_name);
+    if (out_name == Interner::npos) continue;  // no waiting consumer wants it
+    for (const std::uint32_t ci : dag_->consumers_of(out_name)) {
+      const DagView::Waiting& cons = dag_->waiting(ci);
+      if (cons.missing <= 0 || cons.missing > la.gravity_horizon) continue;
+      const auto decay_idx = static_cast<std::size_t>(cons.missing - 1);
+      if (decay_idx >= gravity_factor_.size()) continue;
+      const double factor = gravity_factor_[decay_idx];
+      if (factor <= 0) continue;
+
+      // First pass: where does the consumer's *other* data sit?
+      // Accumulate sibling byte mass per slot — present replicas at their
+      // holders, pending outputs at their expected producer slots. Mass is
+      // counted regardless of whether this task fits at the slot (the
+      // consumer's eventual placement does not depend on our fit).
+      ++mass_seq_;
+      mass_slots_.clear();
+      std::int64_t total = 0;
+      std::int64_t out_bytes = out.file->size_hint > 0 ? out.file->size_hint : 1;
+      auto note_mass = [&](std::uint32_t slot, std::int64_t b) {
+        if (slot == kNoSlot || slot >= n || b <= 0) return;
+        total += b;
+        if (mass_stamp_[slot] != mass_seq_) {
+          mass_stamp_[slot] = mass_seq_;
+          mass_[slot] = b;
+          mass_slots_.push_back(slot);
+        } else {
+          mass_[slot] += b;
+        }
+      };
+      const std::span<const DagView::Dep> deps = dag_->deps(ci);
+      for (std::uint32_t j = 0; j < deps.size(); ++j) {
+        const DagView::Dep& d = deps[j];
+        if (d.name == out_name) {
+          if (d.bytes > 0) out_bytes = d.bytes;
+          continue;
+        }
+        const std::int64_t hint = d.bytes > 0 ? d.bytes : 1;
+        if (d.pending) {
+          note_mass(dag_->expected_at(d.name), hint);
+          continue;
+        }
+        const std::uint32_t ft =
+            dep_file_token(*dag_, cons.first_dep + j, d.name, replicas);
+        if (ft == FileReplicaTable::no_token) continue;
+        for (const auto& h : replicas.holders(ft)) {
+          if (h.replica.state != ReplicaState::present) continue;
+          note_mass(slot_of(h.worker, workers, replicas),
+                    h.replica.size > 0 ? h.replica.size : hint);
+        }
+      }
+      if (total <= 0) continue;
+
+      // Second pass: credit each slot with the bytes co-location can
+      // actually save — this task's *output* size — scaled by the fraction
+      // of the consumer's data at the slot (~ the chance the consumer
+      // lands there). Capping the consumer's total credit at
+      // factor * out_bytes keeps gravity from swamping own-input locality
+      // when the output is small relative to the inputs the task would
+      // abandon by moving.
+      for (const std::uint32_t slot : mass_slots_) {
+        credit_slot(slot, static_cast<std::int64_t>(
+                              factor * static_cast<double>(out_bytes) *
+                              static_cast<double>(mass_[slot]) /
+                              static_cast<double>(total)));
+      }
+    }
+  }
+}
+
+std::vector<PrefetchPlan> Scheduler::plan_prefetch(
+    const DagView& dag, std::span<const WorkerSnapshot> workers,
+    const FileReplicaTable& replicas, const CurrentTransferTable& transfers,
+    double now) {
+  std::vector<PrefetchPlan> plans;
+  const LookaheadConfig& la = config_.lookahead;
+  if (!la.enabled || workers.empty()) return plans;
+  int global_budget = la.prefetch_max_inflight - transfers.prefetch_inflight();
+  if (global_budget <= 0) return plans;
+  const bool consult_health = !health_.empty();
+  const std::size_t n = workers.size();
+  if (checked_stamp_.size() < n) {
+    checked_stamp_.resize(n, 0);
+    fit_stamp_.resize(n, 0);
+    byte_stamp_.resize(n, 0);
+    bytes_.resize(n, 0);
+  }
+  // Transfers planned this pass are folded into the budget/limit checks so
+  // one pass cannot overshoot what the live tables will show next pass.
+  // Source loads live in a token-indexed scratch (seeded lazily from the
+  // transfer table, bumped as plans are made) because the source scan runs
+  // per candidate dep; destinations are only counted once per waiting task,
+  // so a string map is fine — and necessary, since a predicted destination
+  // holding nothing has no worker token yet.
+  if (src_load_.size() < replicas.worker_token_count()) {
+    src_load_.resize(replicas.worker_token_count());
+  }
+  std::fill(src_load_.begin(), src_load_.end(), -1);
+  std::map<WorkerId, int> dest_issued;
+
+  for (std::uint32_t i = 0; i < dag.size() && global_budget > 0; ++i) {
+    const DagView::Waiting& wt = dag.waiting(i);
+    if (wt.missing <= 0 || wt.missing > la.prefetch_horizon) continue;
+
+    // Predict the destination: the worker expected to hold the most of this
+    // consumer's input bytes — present replicas plus the expected outputs
+    // of already-placed producers. No prediction signal, no prefetch.
+    ++epoch_;
+    scored_.clear();
+    auto accumulate = [&](std::uint32_t slot, std::int64_t add) {
+      if (slot == kNoSlot || slot >= n || add <= 0) return;
+      if (byte_stamp_[slot] != epoch_) {
+        byte_stamp_[slot] = epoch_;
+        bytes_[slot] = add;
+        scored_.push_back(slot);
+      } else {
+        bytes_[slot] += add;
+      }
+    };
+    {
+      const std::span<const DagView::Dep> deps = dag.deps(i);
+      for (std::uint32_t j = 0; j < deps.size(); ++j) {
+        const DagView::Dep& d = deps[j];
+        const std::int64_t hint = d.bytes > 0 ? d.bytes : 1;
+        if (d.pending) {
+          accumulate(dag.expected_at(d.name), hint);
+          continue;
+        }
+        const std::uint32_t ft =
+            dep_file_token(dag, wt.first_dep + j, d.name, replicas);
+        if (ft == FileReplicaTable::no_token) continue;
+        for (const auto& h : replicas.holders(ft)) {
+          if (h.replica.state != ReplicaState::present) continue;
+          accumulate(slot_of(h.worker, workers, replicas),
+                     h.replica.size > 0 ? h.replica.size : hint);
+        }
+      }
+    }
+    if (scored_.empty()) continue;
+    std::uint32_t best_slot = kNoSlot;
+    std::int64_t best_bytes = -1;
+    for (const std::uint32_t slot : scored_) {
+      if (bytes_[slot] > best_bytes ||
+          (bytes_[slot] == best_bytes && workers[slot].id < workers[best_slot].id)) {
+        best_slot = slot;
+        best_bytes = bytes_[slot];
+      }
+    }
+    const WorkerId& dest = workers[best_slot].id;
+
+    // Stage every materialized input that is not already at (or on its way
+    // to) the predicted destination, within the per-dest budget.
+    const std::uint32_t dest_token = replicas.worker_token(dest);
+    const int dest_inflight = transfers.prefetch_inflight_to(dest);
+    int& dest_count = dest_issued[dest];
+    const std::span<const DagView::Dep> wdeps = dag.deps(i);
+    for (std::uint32_t j = 0; j < wdeps.size(); ++j) {
+      const DagView::Dep& d = wdeps[j];
+      if (global_budget <= 0) break;
+      if (dest_inflight + dest_count >= la.prefetch_per_worker) break;
+      if (d.pending) continue;
+      const std::uint32_t ft =
+          dep_file_token(dag, wt.first_dep + j, d.name, replicas);
+      if (ft == FileReplicaTable::no_token) continue;
+
+      // Pick the least-busy healthy holder as the source, counting critical
+      // and prefetch transfers (plus this pass's plans) against the source
+      // limit — prefetch rides spare capacity only. A replica already at
+      // (or on its way to) the destination, in any state, kills the stage.
+      const WorkerId* src = nullptr;
+      std::uint32_t src_token = 0;
+      int src_load = 0;
+      std::int64_t src_size = 0;
+      bool at_dest = false;
+      for (const auto& h : replicas.holders(ft)) {
+        if (h.worker == dest_token) {
+          at_dest = true;
+          break;
+        }
+        if (h.replica.state != ReplicaState::present) continue;
+        const WorkerId& peer = replicas.worker_name(h.worker);
+        if (consult_health && health_.blacklisted_worker(peer, now)) continue;
+        int& load = src_load_[h.worker];
+        if (load < 0) {
+          load = transfers.inflight_from_worker(peer) +
+                 transfers.prefetch_inflight_from_worker(peer);
+        }
+        if (config_.worker_source_limit > 0 &&
+            load >= config_.worker_source_limit) {
+          continue;
+        }
+        if (!src || load < src_load) {
+          src = &peer;
+          src_token = h.worker;
+          src_load = load;
+          src_size = h.replica.size > 0 ? h.replica.size : (d.bytes > 0 ? d.bytes : 1);
+        }
+      }
+      if (at_dest || !src) continue;
+      PrefetchPlan plan;
+      plan.cache_name = dag.name_of(d.name);
+      plan.dest = dest;
+      plan.source = TransferSource::from_worker(*src);
+      plan.consumer = wt.id;
+      plan.bytes = src_size;
+      ++src_load_[src_token];
+      ++dest_count;
+      --global_budget;
+      plans.push_back(std::move(plan));
+    }
+  }
+  return plans;
+}
+
 std::optional<TransferSource> Scheduler::plan_source(
     const std::string& cache_name, const TransferSource& fixed,
     const WorkerId& dest, const FileReplicaTable& replicas,
@@ -266,13 +583,11 @@ std::optional<TransferSource> Scheduler::plan_source(
     const WorkerId* best_peer = nullptr;
     int best_inflight = 0;
     int best_score = 0;
-    bool any_peer = false;
     bool any_healthy_peer = false;
     for (const auto& h : replicas.holders(ft)) {
       if (h.replica.state != ReplicaState::present) continue;
       const WorkerId& peer = replicas.worker_name(h.worker);
       if (peer == dest) continue;
-      any_peer = true;
       if (consult_health && health_.blacklisted_worker(peer, now)) continue;
       any_healthy_peer = true;
       int inflight = transfers.inflight_from_worker(peer);
@@ -290,7 +605,7 @@ std::optional<TransferSource> Scheduler::plan_source(
     }
     if (best_peer) return TransferSource::from_worker(*best_peer);
     if (any_healthy_peer) return std::nullopt;  // healthy peers; wait for a slot
-    // any_peer && !any_healthy_peer: every holder is backing off — fall
+    // peers exist but none healthy: every holder is backing off — fall
     // through to the fixed source. (For temps the fixed source is the
     // manager placeholder the caller rejects, which amounts to waiting out
     // the backoff.)

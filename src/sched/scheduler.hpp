@@ -31,6 +31,7 @@
 #include "catalog/replica_table.hpp"
 #include "catalog/transfer_table.hpp"
 #include "common/rng.hpp"
+#include "sched/dag_view.hpp"
 #include "sched/source_health.hpp"
 #include "task/task_spec.hpp"
 
@@ -44,8 +45,40 @@ enum class PlacementPolicy : std::uint8_t {
   first_fit,    ///< first fitting worker by id (ablation baseline)
 };
 
+/// Workflow-aware lookahead: consumer-gravity placement plus pipelined
+/// input prefetch. Off by default; when disabled every decision is
+/// byte-identical to the greedy most_cached policy.
+struct LookaheadConfig {
+  bool enabled = false;
+
+  /// Consumers with at most this many missing producers exert gravity on
+  /// the placement of those producers. Large enough to cover a fan-in
+  /// stage's width (topeft accumulates 16-way).
+  int gravity_horizon = 64;
+
+  /// Gravity credit for one consumer input byte is
+  /// gravity_weight * gravity_decay^(missing - 1): a consumer one producer
+  /// away from ready pulls with full weight; distant ones decay.
+  double gravity_weight = 2.0;
+  double gravity_decay = 0.95;
+
+  /// Prefetch K: inputs of tasks predicted ready within the next
+  /// `prefetch_horizon` producer completions are staged ahead of time.
+  int prefetch_horizon = 4;
+
+  /// Budget caps: total concurrent prefetch transfers, and per predicted
+  /// destination. Prefetch admission also counts critical transfers
+  /// against worker_source_limit, so background staging only ever uses
+  /// spare source capacity.
+  int prefetch_max_inflight = 32;
+  int prefetch_per_worker = 2;
+};
+
 struct SchedulerConfig {
   PlacementPolicy placement = PlacementPolicy::most_cached;
+
+  /// Workflow-aware lookahead pass (gravity + prefetch); defaults off.
+  LookaheadConfig lookahead;
 
   /// Max concurrent transfers served *by* one worker (paper's best: 3).
   /// 0 = unlimited (Figure 11b's unsupervised mode).
@@ -81,15 +114,44 @@ struct SchedulerConfig {
   SourceHealthConfig health;
 };
 
+/// One planned background input-prefetch transfer (see plan_prefetch).
+struct PrefetchPlan {
+  std::string cache_name;
+  WorkerId dest;
+  TransferSource source;
+  TaskId consumer = 0;       ///< waiting task the prediction is for
+  std::int64_t bytes = 0;    ///< best known size (accounting/diagnostics)
+};
+
 /// Scheduler state that must persist across decisions (round-robin cursor,
 /// RNG) lives here; all cluster state is passed per call.
 class Scheduler {
  public:
+  /// Per-pass bookkeeping for the scratch-hoist regression tests: with the
+  /// worker set stable within a pass, token_slot_ must be rebuilt at most
+  /// once per pass, however many picks the pass makes.
+  struct PassStats {
+    std::int64_t passes = 0;
+    std::int64_t picks = 0;
+    std::int64_t slot_rebuilds = 0;
+  };
+
   explicit Scheduler(SchedulerConfig config = {}, std::uint64_t seed = 1)
       : config_(config), rng_(seed) {}
 
   const SchedulerConfig& config() const { return config_; }
   void set_config(const SchedulerConfig& c) { config_ = c; }
+
+  /// Bracket one scheduling pass. Within a pass the worker span's
+  /// membership is fixed, so the token->slot scratch survives across picks
+  /// (rebuilt at most once per pass instead of once per pick). `dag` is
+  /// the pass's waiting-frontier view (null when lookahead is off); it
+  /// feeds the consumer-gravity term and plan_prefetch. Decisions are
+  /// byte-identical with or without the bracket when lookahead is off.
+  void begin_pass(const DagView* dag = nullptr);
+  void end_pass();
+
+  const PassStats& pass_stats() const { return pass_stats_; }
 
   /// Pick a worker for `task` among `workers`, or nullopt when none fits.
   /// Honors task.pinned_worker. FunctionCall tasks additionally require a
@@ -120,6 +182,21 @@ class Scheduler {
   }
   const SourceHealth& source_health() const { return health_; }
 
+  /// Lookahead input prefetch: for every waiting task within
+  /// prefetch_horizon missing producers, predict its destination (the
+  /// worker expected to hold the most of its input bytes) and plan
+  /// background transfers of its already-materialized inputs toward it.
+  /// Plans respect worker_source_limit counting critical AND prefetch
+  /// transfers from each source, plus the lookahead budget caps; inputs
+  /// already present or pending at the destination are skipped. Empty when
+  /// lookahead is disabled. Call between begin_pass and end_pass, after
+  /// the pass's placements (so within-pass piles attract prefetch).
+  std::vector<PrefetchPlan> plan_prefetch(const DagView& dag,
+                                          std::span<const WorkerSnapshot> workers,
+                                          const FileReplicaTable& replicas,
+                                          const CurrentTransferTable& transfers,
+                                          double now);
+
   /// Scoring helper exposed for tests/benches: cached input bytes of
   /// `task` present on `worker`. An unknown replica size falls back to the
   /// file's declared size_hint, then to 1 byte (so presence still counts).
@@ -135,6 +212,18 @@ class Scheduler {
       const TaskSpec& task, std::span<const WorkerSnapshot> workers,
       const FileReplicaTable& replicas);
 
+  /// Consumer-gravity term of the lookahead policy: for each of `task`'s
+  /// outputs with a waiting consumer, credit the workers already holding
+  /// (or expected to produce) that consumer's *other* inputs. The credit is
+  /// the bytes co-location can actually save — this task's output size —
+  /// scaled per worker by the fraction of the consumer's sibling byte mass
+  /// there and by gravity_weight * decay^(missing-1). Folds into the same
+  /// epoch-stamped bytes_/scored_ accumulators as input scoring, so the
+  /// winner key simply becomes cached-input bytes + gravity credit.
+  void add_consumer_gravity(const TaskSpec& task,
+                            std::span<const WorkerSnapshot> workers,
+                            const FileReplicaTable& replicas);
+
   /// Span slot of the worker behind `worker_token`, or Interner::npos when
   /// that worker is not in `workers`. Served from token_slot_ with a
   /// verify-on-hit name check; rebuilds the map at most once per
@@ -143,9 +232,25 @@ class Scheduler {
                         std::span<const WorkerSnapshot> workers,
                         const FileReplicaTable& replicas);
 
+  /// Replica-table file token for dep `dep_idx` (global index into the
+  /// view's dep array), resolved once per pass and cached — the gravity
+  /// walk revisits a consumer's deps once per sibling pick, and the
+  /// string->token lookup is the expensive part. Falls through to a direct
+  /// lookup when the cache does not cover the view (plan_prefetch called
+  /// outside a matching pass).
+  std::uint32_t dep_file_token(const DagView& dag, std::uint32_t dep_idx,
+                               std::uint32_t name,
+                               const FileReplicaTable& replicas);
+
   SchedulerConfig config_;
   Rng rng_;
   SourceHealth health_;
+  PassStats pass_stats_;
+
+  /// Pass bracket state: between begin_pass/end_pass the token->slot map
+  /// survives across picks, and dag_ (when set) activates gravity scoring.
+  bool in_pass_ = false;
+  const DagView* dag_ = nullptr;
 
   /// Worker id last assigned by round_robin; the next pick resumes with
   /// the smallest fitting id after it (wrapping), so churn in the fitting
@@ -164,6 +269,28 @@ class Scheduler {
   std::vector<std::uint32_t> scored_;      // slots touched by holder scoring
   std::vector<std::uint32_t> token_slot_;  // worker token -> span slot
   std::vector<std::uint32_t> fitting_slots_;  // random-policy candidate list
+
+  // ---- lookahead pass scratch (filled by begin_pass when a DagView is
+  // attached and the knob is on; unused otherwise).
+  /// gravity_weight * decay^m for m in [0, gravity_horizon), built
+  /// iteratively (no pow on the pick path) and rebuilt only when the knob
+  /// values change.
+  std::vector<double> gravity_factor_;
+  double factor_weight_ = 0, factor_decay_ = 0;  // values gravity_factor_ was built for
+  /// Per-pass dep -> replica-table file token cache (kTokenUnresolved =
+  /// not looked up yet this pass; may cache no_token for unknown files).
+  std::vector<std::uint32_t> dep_token_cache_;
+  /// plan_prefetch scratch: per-worker-token source load (-1 = not yet
+  /// seeded from the transfer table this call), bumped as plans are made.
+  std::vector<int> src_load_;
+  /// add_consumer_gravity scratch: sibling byte mass per span slot for the
+  /// consumer currently being scored, validated by its own sequence number
+  /// (several consumers are massed within one pick, so epoch_ is too
+  /// coarse).
+  std::uint64_t mass_seq_ = 0;
+  std::vector<std::uint64_t> mass_stamp_;  // stamp == mass_seq_: mass_ valid
+  std::vector<std::int64_t> mass_;         // sibling bytes per slot
+  std::vector<std::uint32_t> mass_slots_;  // slots touched for this consumer
 };
 
 }  // namespace vine

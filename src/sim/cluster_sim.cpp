@@ -57,6 +57,12 @@ ClusterSim::ClusterSim(SimConfig config)
   metrics_.expose("sim.cache_hits", &stats_.cache_hits);
   metrics_.expose("sim.sched_passes", &stats_.sched_passes);
   metrics_.expose("sim.tasks_scanned", &stats_.tasks_scanned);
+  metrics_.expose("sim.transfers_prefetch", &stats_.transfers_prefetch);
+  metrics_.expose("sim.bytes_prefetch", &stats_.bytes_prefetch);
+  metrics_.expose("sched.prefetch_issued", &stats_.prefetch_issued);
+  metrics_.expose("sched.prefetch_hit", &stats_.prefetch_hits);
+  metrics_.expose("sched.prefetch_cancelled", &stats_.prefetch_cancelled);
+  metrics_.expose("sched.prefetch_wasted_bytes", &stats_.prefetch_wasted_bytes);
   manager_node_ = net_.add_node("manager", config_.manager_nic_Bps,
                                 config_.manager_nic_Bps, config_.stream_knee,
                                 config_.stream_beta);
@@ -127,7 +133,10 @@ double ClusterSim::run() {
   // Link each temp output back to its producer so crash recovery can walk
   // the ancestor chain of a lost replica.
   for (auto& t : tasks_) {
-    for (auto& out : t->outputs) out.file->producer = t.get();
+    for (auto& out : t->outputs) {
+      out.file->producer = t.get();
+      out.file->planned_bytes = out.size;
+    }
   }
   // Internal library-install tasks are synthesized per worker at join.
   for (auto& t : tasks_) {
@@ -207,7 +216,7 @@ namespace {
 vine::FileRef make_decl(const SimFile* f) {
   auto d = std::make_shared<FileDecl>();
   d->cache_name = f->name;
-  d->size_hint = f->size;
+  d->size_hint = f->size > 0 ? f->size : f->planned_bytes;
   d->kind = FileKind::buffer;  // kind is irrelevant to placement scoring
   return d;
 }
@@ -219,6 +228,12 @@ void ClusterSim::schedule_pass() {
   ++stats_.sched_passes;
   const std::int64_t scanned_before = stats_.tasks_scanned;
   std::int64_t dispatched_this_pass = 0;
+  const bool lookahead = config_.sched.lookahead.enabled;
+  if (lookahead) build_dag_view(now);
+  // One pass bracket: the scheduler's token->slot scratch survives across
+  // every pick below, and the DagView (when lookahead is on) feeds the
+  // consumer-gravity term.
+  scheduler_.begin_pass(lookahead ? &dag_view_ : nullptr);
 
   // Ready-queue dispatch: the pass walks only ready runs (ascending id,
   // matching the old full-table scan order) against snapshots_ and
@@ -258,6 +273,13 @@ void ClusterSim::schedule_pass() {
       for (const auto* in : task.inputs) {
         spec.inputs.push_back({make_decl(in), in->name});
       }
+      if (lookahead) {
+        // Outputs feed the consumer-gravity term; greedy ignores them, so
+        // the off path skips building the mounts entirely.
+        for (const auto& out : task.outputs) {
+          spec.outputs.push_back({make_decl(out.file), out.file->name});
+        }
+      }
       auto pick = scheduler_.pick_worker(spec, snapshots_, replicas_);
       if (!pick) continue;
 
@@ -272,6 +294,18 @@ void ClusterSim::schedule_pass() {
       for (const auto* in : task.inputs) {
         if (replicas_.has_present(in->name, run.worker)) ++stats_.cache_hits;
       }
+      if (lookahead) {
+        for (const auto* in : task.inputs) {
+          if (prefetched_.erase({in->name, run.worker})) ++stats_.prefetch_hits;
+        }
+        // Later picks in this pass (and the prefetch planner) see this
+        // task's outputs as expected at its worker.
+        const auto slot = static_cast<std::uint32_t>(workers_[*pick].slot);
+        for (const auto& out : task.outputs) {
+          expected_outputs_[out.file->name] = run.worker;
+          dag_view_.note_expected(out.file->name, slot);
+        }
+      }
     }
 
     bool all_present = true;
@@ -283,8 +317,136 @@ void ClusterSim::schedule_pass() {
       ++dispatched_this_pass;
     }
   }
+  if (lookahead) {
+    // Stale predictions die before new budget is spent.
+    cancel_stale_prefetches();
+    issue_prefetches(now);
+  }
+  scheduler_.end_pass();
   emit(vine::obs::Event::make_sched_pass(
       now, stats_.tasks_scanned - scanned_before, dispatched_this_pass));
+}
+
+void ClusterSim::build_dag_view(double now) {
+  dag_view_.clear();
+  // Expected locations of in-flight producer outputs, resolved to span
+  // slots (crashed producers were already erased from the map).
+  for (const auto& [name, worker] : expected_outputs_) {
+    auto wit = workers_.find(worker);
+    if (wit != workers_.end() && wit->second.joined) {
+      dag_view_.note_expected(name, static_cast<std::uint32_t>(wit->second.slot));
+    }
+  }
+  // The waiting frontier: submitted, unplaced tasks held back by the
+  // producibility gate. Same walk order (ascending id) and same gate as
+  // the placement loop, but read-only.
+  for (const auto tid : ready_runs_) {
+    const TaskRun& run = runs_.at(tid);
+    const SimTask& task = *run.task;
+    if (task.submit_at > now || !run.worker.empty()) continue;
+    bool waiting = false;
+    for (const auto* in : task.inputs) {
+      if (in->origin == SimFile::Origin::temp &&
+          replicas_.present_count(in->name) == 0 && !at_manager_.count(in->name)) {
+        waiting = true;
+        break;
+      }
+    }
+    if (!waiting) continue;
+    const std::uint32_t idx = dag_view_.add_waiting(tid);
+    for (const auto* in : task.inputs) {
+      const bool pending =
+          in->origin == SimFile::Origin::temp &&
+          replicas_.present_count(in->name) == 0 && !at_manager_.count(in->name);
+      const std::int64_t bytes =
+          in->size > 0 ? in->size
+                       : (in->planned_bytes > 0 ? in->planned_bytes : 1);
+      dag_view_.add_dep(idx, in->name, bytes, pending);
+    }
+  }
+}
+
+void ClusterSim::issue_prefetches(double now) {
+  auto plans =
+      scheduler_.plan_prefetch(dag_view_, snapshots_, replicas_, transfers_, now);
+  for (const auto& plan : plans) {
+    auto fit = files_.find(plan.cache_name);
+    if (fit == files_.end()) continue;
+    const SimFile* file = fit->second.get();
+    std::string uuid =
+        transfers_.begin(plan.cache_name, plan.dest, plan.source, now,
+                         /*prefetch=*/true);
+    replicas_.set_replica(plan.cache_name, plan.dest, ReplicaState::pending);
+    prefetch_live_[uuid] =
+        PrefetchTrack{file, plan.dest, plan.source.key, plan.consumer};
+    ++stats_.prefetch_issued;
+    PendingFetch pf;
+    pf.uuid = std::move(uuid);
+    pf.file = file;
+    pf.dest = plan.dest;
+    pf.source = plan.source;
+    pf.prefetch = true;
+    enqueue_fetch(std::move(pf));
+  }
+}
+
+void ClusterSim::cancel_stale_prefetches() {
+  if (prefetch_live_.empty()) return;
+  const double now = sim_.now();
+  std::vector<std::string> stale;
+  for (const auto& [uuid, track] : prefetch_live_) {
+    auto rit = runs_.find(track.consumer);
+    const bool live = rit != runs_.end() &&
+                      rit->second.state != TaskState::failed &&
+                      (rit->second.worker.empty() ||
+                       rit->second.worker == track.dest);
+    if (!live) stale.push_back(uuid);
+  }
+  for (const std::string& uuid : stale) {
+    PrefetchTrack track = prefetch_live_.at(uuid);
+    prefetch_live_.erase(uuid);
+    std::int64_t moved = 0;
+    auto iit = inflight_.find(uuid);
+    if (iit != inflight_.end()) {
+      PendingFetch pf = std::move(iit->second);
+      inflight_.erase(iit);
+      if (pf.flow) {
+        // cancel_flow rolls unmoved bytes back out of the source's
+        // bytes_sent; the difference is what the wire actually carried —
+        // the waste this cancellation writes off.
+        const NodeToken src = source_node(pf.source, pf.file);
+        const std::int64_t before = net_.bytes_sent_from(src);
+        net_.cancel_flow(pf.flow);
+        moved = std::max<std::int64_t>(
+            0, pf.file->size - (before - net_.bytes_sent_from(src)));
+      }
+      if (pf.event) sim_.cancel(pf.event);
+      auto wit = workers_.find(track.dest);
+      if (wit != workers_.end() && wit->second.joined) {
+        if (wit->second.active_fetches > 0) --wit->second.active_fetches;
+      }
+    } else {
+      // Still queued at the destination: drop it before it starts.
+      auto& q = worker_queue_[track.dest];
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->uuid == uuid) {
+          q.erase(it);
+          break;
+        }
+      }
+    }
+    transfers_.finish(uuid);  // nullopt when a crash already dropped it
+    replicas_.remove_replica(track.file->name, track.dest);
+    emit(vine::obs::Event::make_transfer_end(
+        now, track.file->name, "prefetch", track.src, track.dest, track.dest,
+        moved, uuid, /*ok=*/false, "prefetch_cancelled"));
+    ++stats_.prefetch_cancelled;
+    stats_.prefetch_wasted_bytes += moved;
+    auto wit = workers_.find(track.dest);
+    if (wit != workers_.end() && wit->second.joined) {
+      start_next_fetches(track.dest);
+    }
+  }
 }
 
 NodeToken ClusterSim::source_node(const TransferSource& src,
@@ -360,20 +522,35 @@ bool ClusterSim::ensure_file_at(const SimFile* file, const std::string& worker) 
 }
 
 void ClusterSim::enqueue_fetch(PendingFetch fetch) {
-  if (fetch.source.kind == TransferSource::Kind::worker && !fetch.is_unpack) {
+  if (fetch.source.kind == TransferSource::Kind::worker && !fetch.is_unpack &&
+      !fetch.prefetch) {
     stats_.max_worker_source_inflight =
         std::max(stats_.max_worker_source_inflight,
                  transfers_.inflight_from(fetch.source));
   }
   std::string dest = fetch.dest;
-  worker_queue_[dest].push_back(std::move(fetch));
+  auto& queue = worker_queue_[dest];
+  if (config_.sched.lookahead.enabled && !fetch.prefetch) {
+    // Task-critical fetches jump ahead of queued background prefetches.
+    auto it = std::find_if(queue.begin(), queue.end(),
+                           [](const PendingFetch& f) { return f.prefetch; });
+    queue.insert(it, std::move(fetch));
+  } else {
+    queue.push_back(std::move(fetch));
+  }
   start_next_fetches(dest);
 }
 
 void ClusterSim::start_next_fetches(const std::string& worker) {
   WorkerSim& w = workers_[worker];
   auto& queue = worker_queue_[worker];
-  while (w.active_fetches < config_.worker_parallel_transfers && !queue.empty()) {
+  while (!queue.empty()) {
+    // Prefetches leave one transfer slot free for task-critical arrivals,
+    // so background staging can never saturate a destination's queue.
+    const int cap = queue.front().prefetch
+                        ? config_.worker_parallel_transfers - 1
+                        : config_.worker_parallel_transfers;
+    if (w.active_fetches >= cap) break;
     PendingFetch fetch = std::move(queue.front());
     queue.pop_front();
     ++w.active_fetches;
@@ -384,7 +561,8 @@ void ClusterSim::start_next_fetches(const std::string& worker) {
 void ClusterSim::start_fetch(PendingFetch fetch) {
   {
     auto ev = vine::obs::Event::make_transfer_begin(
-        sim_.now(), fetch.file->name, source_kind_name(fetch.source.kind),
+        sim_.now(), fetch.file->name,
+        fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
         source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
         fetch.uuid);
     if (fetch.is_unpack) ev.detail = "unpack";
@@ -440,14 +618,22 @@ void ClusterSim::fail_inflight(const std::string& uuid) {
 
 void ClusterSim::fetch_failed(const PendingFetch& fetch) {
   emit(vine::obs::Event::make_transfer_end(
-      sim_.now(), fetch.file->name, source_kind_name(fetch.source.kind),
+      sim_.now(), fetch.file->name,
+      fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
       source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
       fetch.uuid, /*ok=*/false,
       fetch.corrupted ? "digest_reject" : "failed"));
   transfers_.finish(fetch.uuid);  // nullopt when a crash already dropped it
   replicas_.remove_replica(fetch.file->name, fetch.dest);
   ++stats_.transfer_failures;
-  scheduler_.note_transfer_failure(fetch.source, sim_.now());
+  if (fetch.prefetch) {
+    // A dead prefetch is not retried (the next pass may re-plan it) and —
+    // being best-effort background traffic — does not blacklist its
+    // source for task-critical planning.
+    prefetch_live_.erase(fetch.uuid);
+  } else {
+    scheduler_.note_transfer_failure(fetch.source, sim_.now());
+  }
   // Nothing may happen between now and the source's backoff expiry, and an
   // idle event queue ends the run — so book the retry pass explicitly.
   const double until =
@@ -465,12 +651,13 @@ void ClusterSim::fetch_failed(const PendingFetch& fetch) {
 
 void ClusterSim::fetch_complete(const PendingFetch& fetch) {
   emit(vine::obs::Event::make_transfer_end(
-      sim_.now(), fetch.file->name, source_kind_name(fetch.source.kind),
+      sim_.now(), fetch.file->name,
+      fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
       source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
       fetch.uuid, /*ok=*/true, fetch.is_unpack ? "unpack" : ""));
-  emit(vine::obs::Event::make_cache_insert(sim_.now(), fetch.dest,
-                                           fetch.file->name, fetch.file->size,
-                                           fetch.is_unpack ? "unpack" : "fetch"));
+  emit(vine::obs::Event::make_cache_insert(
+      sim_.now(), fetch.dest, fetch.file->name, fetch.file->size,
+      fetch.is_unpack ? "unpack" : (fetch.prefetch ? "prefetch" : "fetch")));
   transfers_.finish(fetch.uuid);
   // Self-sourced mini-tasks (unpack) say nothing about the worker's health
   // as a *peer* source, so they don't rehabilitate it (mirrors the
@@ -484,6 +671,13 @@ void ClusterSim::fetch_complete(const PendingFetch& fetch) {
 
   if (fetch.is_unpack) {
     ++stats_.unpacks;
+  } else if (fetch.prefetch) {
+    // Prefetched bytes are accounted in their own class — they never mix
+    // into the task-critical per-source totals the Figure-11/13 gates read.
+    ++stats_.transfers_prefetch;
+    stats_.bytes_prefetch += fetch.file->size;
+    prefetched_.insert({fetch.file->name, fetch.dest});
+    prefetch_live_.erase(fetch.uuid);
   } else {
     switch (fetch.source.kind) {
       case TransferSource::Kind::manager:
@@ -568,6 +762,8 @@ void ClusterSim::task_complete(TaskRun& run) {
 
   for (const auto& out : task.outputs) {
     out.file->size = out.size;
+    // The output exists now; lookahead no longer needs the producer hint.
+    expected_outputs_.erase(out.file->name);
     if (task.retrieve_outputs || config_.retrieve_temp_outputs) {
       // Shared-storage mode: the output *moves* to the manager rather than
       // staying cached at the worker; consumers must pull it back
@@ -785,11 +981,26 @@ void ClusterSim::fail_worker(const std::string& id_ref) {
     if (pf.flow) net_.cancel_flow(pf.flow);
     if (pf.event) sim_.cancel(pf.event);
     emit(vine::obs::Event::make_transfer_end(
-        now, pf.file->name, source_kind_name(pf.source.kind),
+        now, pf.file->name,
+        pf.prefetch ? "prefetch" : source_kind_name(pf.source.kind),
         source_key_of(pf.source), pf.dest, pf.dest, pf.file->size, pf.uuid,
         /*ok=*/false, "worker_lost"));
   }
   for (const auto& [_, uuid] : to_fail) fail_inflight(uuid);
+
+  // Lookahead bookkeeping: prefetches destined here died with the worker
+  // (queued ones went with worker_queue_, inflight ones with to_abort), its
+  // staged-but-unconsumed replicas are gone, and outputs expected from its
+  // re-queued tasks no longer have a predicted home.
+  for (auto it = prefetch_live_.begin(); it != prefetch_live_.end();) {
+    it = it->second.dest == id ? prefetch_live_.erase(it) : std::next(it);
+  }
+  for (auto it = prefetched_.begin(); it != prefetched_.end();) {
+    it = it->second == id ? prefetched_.erase(it) : std::next(it);
+  }
+  for (auto it = expected_outputs_.begin(); it != expected_outputs_.end();) {
+    it = it->second == id ? expected_outputs_.erase(it) : std::next(it);
+  }
 
   // 5. Transitive recovery: temps whose last replica died get their done
   //    producers re-queued, up the ancestor chain.

@@ -95,6 +95,10 @@ struct SimFile {
   /// start. Crash recovery walks these backlinks to re-run the ancestor
   /// chain of a lost replica.
   SimTask* producer = nullptr;
+  /// For temps: the producer's declared output size, recorded at run()
+  /// start. `size` stays 0 until the file is actually produced, so the
+  /// lookahead DagView reads this hint to weigh not-yet-produced inputs.
+  std::int64_t planned_bytes = 0;
 };
 
 /// A task in the simulated workflow.
@@ -136,6 +140,14 @@ struct SimStats {
   int tasks_unfinished = 0;
   std::int64_t sched_passes = 0;   ///< schedule_pass invocations
   std::int64_t tasks_scanned = 0;  ///< ready tasks examined across all passes
+
+  // ---- lookahead input prefetch (sched.prefetch_* counters) ----
+  std::int64_t transfers_prefetch = 0;  ///< completed prefetch transfers
+  std::int64_t bytes_prefetch = 0;      ///< bytes moved by completed prefetches
+  std::int64_t prefetch_issued = 0;     ///< prefetch transfers started
+  std::int64_t prefetch_hits = 0;       ///< placed task found a prefetched input
+  std::int64_t prefetch_cancelled = 0;  ///< cancelled (stale prediction)
+  std::int64_t prefetch_wasted_bytes = 0;  ///< bytes moved by cancelled prefetches
 
   /// Highest concurrent transfer count observed from any worker source —
   /// must never exceed the configured worker_source_limit in supervised
@@ -241,6 +253,7 @@ class ClusterSim {
     EventId event = 0;      ///< unpack completion / stall-timeout event
     std::uint64_t seq = 0;  ///< start order; fault victims picked by min seq
     bool corrupted = false; ///< frame_corrupt: digest check fails on arrival
+    bool prefetch = false;  ///< lookahead background staging (lower priority)
   };
 
   struct TaskRun {
@@ -257,6 +270,15 @@ class ClusterSim {
   void worker_join(const std::string& id);
   void request_schedule();
   void schedule_pass();
+  // ---- lookahead pass (no-ops unless config_.sched.lookahead.enabled) ----
+  /// Rebuild dag_view_ from the waiting frontier of ready_runs_ and seed
+  /// expected output locations from already-placed producers.
+  void build_dag_view(double now);
+  /// Issue the pass's planned background prefetches.
+  void issue_prefetches(double now);
+  /// Cancel live prefetches whose predicted consumer landed elsewhere
+  /// (or vanished); accounts cancelled count and wasted bytes.
+  void cancel_stale_prefetches();
   bool ensure_file_at(const SimFile* file, const std::string& worker);
   void enqueue_fetch(PendingFetch fetch);
   void start_next_fetches(const std::string& worker);
@@ -338,6 +360,23 @@ class ClusterSim {
   std::map<std::string, PendingFetch> inflight_;     // uuid -> fetch
   std::map<std::string, std::deque<PendingFetch>> worker_queue_;
   std::set<std::string> at_manager_;  ///< temp files retrieved to manager
+
+  // ---- lookahead state (all empty while the knob is off) ----
+  vine::DagView dag_view_;  ///< per-pass waiting-frontier view
+  /// Not-yet-materialized output name -> worker its producer was placed on.
+  /// Maintained at placement / completion / crash-requeue; seeds the
+  /// DagView's expected locations each pass.
+  std::map<std::string, std::string> expected_outputs_;
+  struct PrefetchTrack {
+    const SimFile* file = nullptr;
+    std::string dest;
+    vine::WorkerId src;
+    std::uint64_t consumer = 0;
+  };
+  std::map<std::string, PrefetchTrack> prefetch_live_;  // uuid -> track
+  /// (cache_name, worker) pairs whose replica arrived via prefetch and has
+  /// not yet been claimed by a placement (claimed = prefetch hit).
+  std::set<std::pair<std::string, std::string>> prefetched_;
 
   // Fault-plan events with after_tasks triggers, waiting on the target
   // worker's Nth real-task completion.

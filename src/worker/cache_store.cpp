@@ -63,14 +63,25 @@ Status CacheStore::make_room(std::int64_t needed) {
   std::int64_t used = 0;
   for (const auto& [_, e] : entries_) used += e.size;
   while (used + needed > capacity_) {
-    // Oldest worker-lifetime entry is the eviction victim; other levels
-    // are live workflow state and may only go via unlink/end_workflow.
+    // Two eviction classes, strictly ordered: unconsumed prefetch-staged
+    // objects go first (speculative bytes, whatever their level — the
+    // manager re-plans the transfer if the prediction was right after all),
+    // then the oldest worker-lifetime entry. Everything else is live
+    // workflow state and may only go via unlink/end_workflow.
     const std::string* victim = nullptr;
     std::uint64_t oldest = ~0ULL;
     for (const auto& [name, e] : entries_) {
-      if (e.level == CacheLevel::worker && e.last_access < oldest) {
+      if (e.prefetch && e.last_access < oldest) {
         oldest = e.last_access;
         victim = &name;
+      }
+    }
+    if (!victim) {
+      for (const auto& [name, e] : entries_) {
+        if (e.level == CacheLevel::worker && e.last_access < oldest) {
+          oldest = e.last_access;
+          victim = &name;
+        }
       }
     }
     if (!victim) {
@@ -87,6 +98,12 @@ Status CacheStore::make_room(std::int64_t needed) {
     VINE_LOG_INFO("cache", "evicted %s to make room", name.c_str());
   }
   return Status::success();
+}
+
+void CacheStore::mark_prefetch(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) it->second.prefetch = true;
 }
 
 std::vector<std::string> CacheStore::take_evictions() {
@@ -115,7 +132,7 @@ Status CacheStore::put_bytes(const std::string& name, std::string_view bytes,
   // The bytes are already in memory: hashing now is one extra pass and
   // spares the first zero-copy serve a full re-read of the object.
   entries_[name] = {level, static_cast<std::int64_t>(bytes.size()), false,
-                    ++access_tick_, md5_buffer(bytes)};
+                    ++access_tick_, false, md5_buffer(bytes)};
   trace_insert(name, static_cast<std::int64_t>(bytes.size()), "store");
   return Status::success();
 }
@@ -147,7 +164,8 @@ Status CacheStore::put_archive(const std::string& name,
     remove_all_quiet(tmp);
     return Error{Errc::io_error, "rename into cache failed: " + ec.message()};
   }
-  entries_[name] = {level, size.ok() ? *size : 0, true, ++access_tick_, {}};
+  entries_[name] = {level, size.ok() ? *size : 0, true, ++access_tick_, false,
+                    {}};
   trace_insert(name, size.ok() ? *size : 0, "store");
   return Status::success();
 }
@@ -170,7 +188,8 @@ Status CacheStore::adopt(const std::string& name, const fs::path& src,
     VINE_TRY_STATUS(copy_tree(src, path_of(name)));
     remove_all_quiet(src);
   }
-  entries_[name] = {level, size.ok() ? *size : 0, is_dir, ++access_tick_, {}};
+  entries_[name] = {level, size.ok() ? *size : 0, is_dir, ++access_tick_,
+                    false, {}};
   trace_insert(name, size.ok() ? *size : 0, "adopt");
   return Status::success();
 }
@@ -182,10 +201,14 @@ bool CacheStore::contains(const std::string& name) const {
 
 Result<fs::path> CacheStore::object_path(const std::string& name) const {
   MutexLock lock(mutex_);
-  if (!entries_.count(name)) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
     return Error{Errc::not_found, "not cached: " + name};
   }
-  const_cast<CacheStore*>(this)->touch(name);  // LRU bookkeeping only
+  // LRU bookkeeping only; a use also proves the prediction behind a
+  // prefetch right, promoting the entry out of the evict-first class.
+  const_cast<CacheStore*>(this)->touch(name);
+  const_cast<CacheEntry&>(it->second).prefetch = false;
   return path_of(name);
 }
 

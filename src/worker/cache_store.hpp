@@ -30,6 +30,12 @@ struct CacheEntry {
   std::int64_t size = 0;
   bool is_dir = false;
   std::uint64_t last_access = 0;  ///< LRU tick for eviction ordering
+  /// Staged by a lookahead prefetch and not yet consumed by any task.
+  /// Tagged entries rank below everything else under capacity pressure —
+  /// speculative bytes must never displace live workflow state or the
+  /// worker-lifetime hot cache. First object_path access (a task links the
+  /// input, or a peer pulls it) promotes the entry to a normal one.
+  bool prefetch = false;
   /// Memoized md5 hex of the file content; empty until first computed
   /// (put_bytes hashes inline while the data is in memory, everything else
   /// lazily on first serve). Directories never carry one — their transfer
@@ -97,6 +103,10 @@ class CacheStore {
   /// must fall back to read_for_transfer's archive path.
   Result<ServeInfo> serve_info(const std::string& name);
 
+  /// Tag a present object as prefetch-staged (see CacheEntry::prefetch).
+  /// No-op when absent.
+  void mark_prefetch(const std::string& name);
+
   Status remove_object(const std::string& name);
 
   /// Delete everything below worker lifetime (end of workflow GC).
@@ -133,8 +143,9 @@ class CacheStore {
  private:
   std::filesystem::path path_of(const std::string& name) const;
   Status validate_name(const std::string& name) const;
-  /// Evict LRU worker-lifetime entries until `needed` more bytes fit.
-  /// Caller holds mutex_. Fails when impossible.
+  /// Evict entries until `needed` more bytes fit: LRU prefetch-tagged
+  /// entries first (speculative bytes, any level), then LRU worker-lifetime
+  /// entries. Caller holds mutex_. Fails when impossible.
   Status make_room(std::int64_t needed) VINE_REQUIRES(mutex_);
   void touch(const std::string& name) VINE_REQUIRES(mutex_);
   // Trace emission helpers; no-ops until set_trace. Called with mutex_

@@ -239,6 +239,7 @@ void Worker::handle_frame(Frame frame) {
         else if constexpr (std::is_same_v<T, proto::MiniTaskMsg>) handle_mini_task(m);
         else if constexpr (std::is_same_v<T, proto::RunTaskMsg>) handle_run_task(m);
         else if constexpr (std::is_same_v<T, proto::UnlinkMsg>) handle_unlink(m);
+        else if constexpr (std::is_same_v<T, proto::CancelTransferMsg>) handle_cancel_transfer(m);
         else if constexpr (std::is_same_v<T, proto::SendFileMsg>) handle_send_file(m);
         else if constexpr (std::is_same_v<T, proto::EndWorkflowMsg>) handle_end_workflow();
         else if constexpr (std::is_same_v<T, proto::ShutdownMsg>) stopping_.store(true);
@@ -294,7 +295,19 @@ void Worker::transfer_worker_main() {
   }
 }
 
+bool Worker::take_cancel(const std::string& transfer_id) {
+  MutexLock lock(cancels_mutex_);
+  return cancelled_transfers_.erase(transfer_id) > 0;
+}
+
 void Worker::do_fetch(const proto::FetchMsg& msg) {
+  // A cancel_transfer that raced ahead of this job in the queue: skip the
+  // work and report "cancelled" so the manager can close its record. Only
+  // prefetches are ever cancelled; task-critical fetches are never stale.
+  if (take_cancel(msg.transfer_id)) {
+    send_cache_update(msg.cache_name, msg.transfer_id, false, 0, "cancelled");
+    return;
+  }
   if (cache_->contains(msg.cache_name)) {
     auto e = cache_->entry(msg.cache_name);
     send_cache_update(msg.cache_name, msg.transfer_id, true,
@@ -334,6 +347,9 @@ void Worker::do_fetch(const proto::FetchMsg& msg) {
                       stored.error().to_string());
     return;
   }
+  // Speculative bytes are tagged so eviction prefers them over live
+  // workflow state; the first task that links the object promotes it.
+  if (msg.prefetch) cache_->mark_prefetch(msg.cache_name);
   auto e = cache_->entry(msg.cache_name);
   send_cache_update(msg.cache_name, msg.transfer_id, true,
                     e.ok() ? e->size : 0, "");
@@ -562,6 +578,15 @@ void Worker::handle_unlink(const proto::UnlinkMsg& msg) {
   (void)cache_->remove_object(msg.cache_name);
 }
 
+void Worker::handle_cancel_transfer(const proto::CancelTransferMsg& msg) {
+  // Best-effort: if the fetch is still queued, the mark makes do_fetch
+  // answer "cancelled" instead of transferring. If it already ran, the
+  // completed cache_update is in flight and the mark dies with the next
+  // end_workflow — the manager treats whichever reply arrives as final.
+  MutexLock lock(cancels_mutex_);
+  cancelled_transfers_.insert(msg.transfer_id);
+}
+
 void Worker::handle_send_file(const proto::SendFileMsg& msg) {
   proto::FileDataMsg reply;
   reply.request_id = msg.request_id;
@@ -617,6 +642,12 @@ void Worker::handle_end_workflow() {
     remove_all_quiet(host.sandbox);
   }
   hosts.clear();
+  {
+    // Drop cancel marks whose fetches completed before the cancel arrived;
+    // transfer ids are workflow-scoped so none can match later workflows.
+    MutexLock lock(cancels_mutex_);
+    cancelled_transfers_.clear();
+  }
   cache_->end_workflow();
   maybe_audit("worker.end_workflow");
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -121,6 +122,7 @@ class Worker {
   void handle_mini_task(const proto::MiniTaskMsg& msg);
   void handle_run_task(const proto::RunTaskMsg& msg);
   void handle_unlink(const proto::UnlinkMsg& msg);
+  void handle_cancel_transfer(const proto::CancelTransferMsg& msg);
   void handle_send_file(const proto::SendFileMsg& msg);
   void handle_end_workflow();
 
@@ -145,6 +147,9 @@ class Worker {
   };
   void transfer_worker_main();
   void do_fetch(const proto::FetchMsg& msg);
+  /// True (and consumes the mark) when `transfer_id` was cancelled by the
+  /// manager before the fetch got to run.
+  bool take_cancel(const std::string& transfer_id);
   /// One peer-fetch attempt: connect, GET, verify the attested digest,
   /// store. do_fetch wraps this in the retry/backoff loop.
   Status fetch_from_peer(const proto::FetchMsg& msg);
@@ -216,6 +221,14 @@ class Worker {
   Mutex libraries_mutex_{lock_rank::Rank::worker_libraries};
   std::map<std::string, LibraryHost> libraries_
       VINE_GUARDED_BY(libraries_mutex_);
+
+  // Guards cancelled_transfers_: transfer ids cancelled by the manager
+  // (stale prefetch predictions). Written by the control loop, consumed by
+  // transfer-pool threads when their job reaches the front of the queue;
+  // cleared at end_workflow so ids for transfers that completed before the
+  // cancel arrived cannot pile up across workflows.
+  Mutex cancels_mutex_{lock_rank::Rank::worker_cancels};
+  std::set<std::string> cancelled_transfers_ VINE_GUARDED_BY(cancels_mutex_);
 
   std::thread run_thread_;
   std::atomic<bool> stopping_{false};

@@ -50,12 +50,14 @@ struct ChaosResult {
   SimStats stats;
 };
 
-ChaosResult run_chaos(std::uint64_t seed) {
+ChaosResult run_chaos(std::uint64_t seed, bool lookahead = false) {
   // Transfer uuids come from the process-global generator; reseeding keeps
   // the whole run (ids included) a pure function of the seed.
   vine::reseed_uuid_generator(seed);
 
-  ClusterSim cs(chaos_config(seed));
+  SimConfig cfg = chaos_config(seed);
+  cfg.sched.lookahead.enabled = lookahead;
+  ClusterSim cs(cfg);
   for (int i = 0; i < 4; ++i) cs.add_worker("w" + std::to_string(i), 0, 4);
   build_workflow(cs);
 
@@ -94,6 +96,29 @@ TEST(ChaosSim, SoakSeeds1Through10) {
 
 TEST(ChaosSim, SoakSeeds11Through20) {
   for (std::uint64_t seed = 11; seed <= 20; ++seed) run_chaos(seed);
+}
+
+TEST(ChaosSim, SoakWithLookaheadPrefetch) {
+  // Same fault schedules with lookahead scheduling + input prefetch live:
+  // crashes race in-flight prefetches and cancellations, predicted
+  // destinations die, and the run must still converge with clean tables.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    run_chaos(seed, /*lookahead=*/true);
+  }
+}
+
+TEST(ChaosSim, LookaheadReplayIsBitDeterministic) {
+  for (std::uint64_t seed : {3ull, 7ull}) {
+    ChaosResult a = run_chaos(seed, /*lookahead=*/true);
+    ChaosResult b = run_chaos(seed, /*lookahead=*/true);
+    EXPECT_EQ(a.makespan, b.makespan) << "seed " << seed;
+    EXPECT_EQ(a.stats.tasks_done, b.stats.tasks_done);
+    EXPECT_EQ(a.stats.bytes_from_peers, b.stats.bytes_from_peers);
+    EXPECT_EQ(a.stats.prefetch_issued, b.stats.prefetch_issued);
+    EXPECT_EQ(a.stats.prefetch_cancelled, b.stats.prefetch_cancelled);
+    EXPECT_EQ(a.stats.bytes_prefetch, b.stats.bytes_prefetch);
+    EXPECT_EQ(a.stats.prefetch_wasted_bytes, b.stats.prefetch_wasted_bytes);
+  }
 }
 
 TEST(ChaosSim, ReplayIsBitDeterministic) {

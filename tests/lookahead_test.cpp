@@ -1,0 +1,414 @@
+// Workflow-aware lookahead scheduling (consumer gravity + pipelined input
+// prefetch), exercised through ClusterSim — the same policy code the real
+// manager runs — plus the CacheStore eviction class and the per-pass
+// scheduler scratch that ride along with the feature.
+//
+// The load-bearing property: with the `lookahead` knob off, every decision
+// is byte-identical to the greedy most_cached policy, whatever the other
+// lookahead fields say. The feature tests then pin the three mechanisms
+// individually: gravity converges fan-in stages onto few workers, stale
+// prefetches are cancelled (and their waste accounted), and prefetch bytes
+// are accounted separately from task-critical transfers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/invariant.hpp"
+#include "common/rng.hpp"
+#include "common/uuid.hpp"
+#include "fsutil/fsutil.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cluster_sim.hpp"
+#include "worker/cache_store.hpp"
+
+namespace vinesim {
+namespace {
+
+// ------------------------------------------------------------------------
+// Lookahead-off lockstep: seeded layered DAGs, greedy vs. bracket-with-
+// knob-off. Everything observable must match exactly.
+
+struct RunResult {
+  double makespan = 0;
+  SimStats stats;
+};
+
+// A seeded layered workflow: `layers` stages of `width` tasks, each
+// consuming 1..3 temps from the previous layer (fan-in chosen by the seed)
+// plus a shared archive input, producing one temp for the next.
+void build_layered_dag(ClusterSim& cs, std::uint64_t seed, int layers = 4,
+                       int width = 8) {
+  vine::Rng rng(seed);
+  auto* common = cs.declare_file("common", 50'000'000, SimFile::Origin::archive);
+  std::vector<SimFile*> prev;
+  for (int layer = 0; layer < layers; ++layer) {
+    std::vector<SimFile*> next;
+    for (int i = 0; i < width; ++i) {
+      const std::string tag = std::to_string(layer) + "_" + std::to_string(i);
+      auto* out = cs.declare_file("t" + tag, 0, SimFile::Origin::temp);
+      auto* task =
+          cs.add_task("l" + std::to_string(layer), 0.2 + 0.1 * rng.below(5), 1.0);
+      task->inputs.push_back(common);
+      if (!prev.empty()) {
+        const std::uint64_t fan = 1 + rng.below(3);
+        for (std::uint64_t k = 0; k < fan; ++k) {
+          task->inputs.push_back(prev[rng.below(prev.size())]);
+        }
+      }
+      task->outputs.push_back(
+          {out, static_cast<std::int64_t>(10'000'000 + rng.below(90'000'000))});
+      next.push_back(out);
+    }
+    prev = std::move(next);
+  }
+}
+
+RunResult run_layered(std::uint64_t seed, const vine::LookaheadConfig& la) {
+  vine::reseed_uuid_generator(seed);
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.sched.lookahead = la;
+  ClusterSim cs(cfg);
+  for (int i = 0; i < 8; ++i) cs.add_worker("w" + std::to_string(i), 0, 4);
+  build_layered_dag(cs, seed);
+  RunResult r;
+  r.makespan = cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0) << "seed " << seed;
+  vine::AuditReport report;
+  cs.audit(report);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << "\n" << report.to_string();
+  r.stats = cs.stats();
+  return r;
+}
+
+TEST(Lookahead, OffIsByteIdenticalToGreedy) {
+  for (std::uint64_t seed : {1ull, 2ull, 5ull, 9ull}) {
+    // Greedy baseline: default-constructed lookahead (disabled).
+    RunResult greedy = run_layered(seed, vine::LookaheadConfig{});
+    // Knob off but every other field cranked: none of it may leak into a
+    // decision. The pass bracket and DagView plumbing run dead.
+    vine::LookaheadConfig off;
+    off.enabled = false;
+    off.gravity_weight = 50.0;
+    off.gravity_horizon = 128;
+    off.prefetch_horizon = 16;
+    off.prefetch_max_inflight = 256;
+    RunResult bracketed = run_layered(seed, off);
+
+    EXPECT_EQ(greedy.makespan, bracketed.makespan) << "seed " << seed;
+    EXPECT_EQ(greedy.stats.bytes_from_peers, bracketed.stats.bytes_from_peers);
+    EXPECT_EQ(greedy.stats.bytes_from_archive, bracketed.stats.bytes_from_archive);
+    EXPECT_EQ(greedy.stats.transfers_from_peers,
+              bracketed.stats.transfers_from_peers);
+    EXPECT_EQ(greedy.stats.cache_hits, bracketed.stats.cache_hits);
+    // Satellite regression: the pass bracket must not change how many
+    // passes run or how many tasks they scan.
+    EXPECT_EQ(greedy.stats.sched_passes, bracketed.stats.sched_passes);
+    EXPECT_EQ(greedy.stats.tasks_scanned, bracketed.stats.tasks_scanned);
+    // And with the knob off, no prefetch machinery may fire at all.
+    EXPECT_EQ(bracketed.stats.prefetch_issued, 0);
+    EXPECT_EQ(bracketed.stats.transfers_prefetch, 0);
+    EXPECT_EQ(bracketed.stats.prefetch_cancelled, 0);
+  }
+}
+
+// ------------------------------------------------------------------------
+// Consumer gravity: sibling producers of a common reducer converge onto
+// one worker, so the fan-in stage moves (far) fewer bytes in-cluster.
+
+RunResult run_fan_in(bool lookahead) {
+  vine::reseed_uuid_generator(42);
+  SimConfig cfg;
+  cfg.seed = 42;
+  cfg.sched.lookahead.enabled = lookahead;
+  ClusterSim cs(cfg);
+  for (int i = 0; i < 4; ++i) cs.add_worker("w" + std::to_string(i), 0, 4);
+  // 4 groups x 4 producers -> 1 reducer each. Producers have no inputs, so
+  // greedy placement spreads them least-loaded across the cluster and each
+  // reducer then pulls 3 of its 4 inputs over the wire. Gravity pulls
+  // siblings toward where the group's first output is expected instead.
+  constexpr std::int64_t kTempBytes = 100'000'000;
+  for (int g = 0; g < 4; ++g) {
+    auto* reduce = cs.add_task("reduce", 0.5, 1.0);
+    for (int p = 0; p < 4; ++p) {
+      const std::string tag = std::to_string(g) + "_" + std::to_string(p);
+      auto* out = cs.declare_file("part" + tag, 0, SimFile::Origin::temp);
+      auto* produce = cs.add_task("produce", 1.0, 1.0);
+      produce->outputs.push_back({out, kTempBytes});
+      reduce->inputs.push_back(out);
+    }
+  }
+  RunResult r;
+  r.makespan = cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  vine::AuditReport report;
+  cs.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  r.stats = cs.stats();
+  return r;
+}
+
+TEST(Lookahead, ConsumerGravityConvergesFanIn) {
+  RunResult greedy = run_fan_in(false);
+  RunResult ahead = run_fan_in(true);
+  const std::int64_t greedy_moved =
+      greedy.stats.bytes_from_peers + greedy.stats.bytes_prefetch;
+  const std::int64_t ahead_moved =
+      ahead.stats.bytes_from_peers + ahead.stats.bytes_prefetch;
+  // The acceptance bar for the whole feature, in miniature: >= 20% fewer
+  // in-cluster bytes, makespan no worse.
+  EXPECT_GT(greedy_moved, 0);
+  EXPECT_LE(ahead_moved * 5, greedy_moved * 4)
+      << "lookahead moved " << ahead_moved << "B vs greedy " << greedy_moved;
+  EXPECT_LE(ahead.makespan, greedy.makespan * 1.001);
+}
+
+// ------------------------------------------------------------------------
+// Prefetch pipelining: a waiting consumer's materialized inputs are staged
+// toward its predicted destination, counted apart from critical traffic.
+
+TEST(Lookahead, PrefetchStagesInputAheadAndCountsHit) {
+  vine::reseed_uuid_generator(7);
+  SimConfig cfg;
+  cfg.seed = 7;
+  cfg.sched.lookahead.enabled = true;
+  ClusterSim cs(cfg);
+  cs.add_worker("wa", 0, 4);
+  cs.add_worker("wb", 0, 4);
+  cs.add_worker("wc", 0, 4);
+
+  // f_big lands on wa fast, f_small on wb fast, f_slow on wc after 5 s of
+  // compute. While the consumer waits on f_slow it is predicted at wa (most
+  // input bytes), so f_small is prefetched wb -> wa and claimed at
+  // placement time; only f_slow moves on the critical path.
+  constexpr std::int64_t kBig = 4'000'000'000, kSmall = 100'000'000,
+                         kSlow = 10'000'000;
+  auto* f_big = cs.declare_file("f_big", 0, SimFile::Origin::temp);
+  auto* f_small = cs.declare_file("f_small", 0, SimFile::Origin::temp);
+  auto* f_slow = cs.declare_file("f_slow", 0, SimFile::Origin::temp);
+  auto* p_big = cs.add_task("p_big", 0.5, 1.0);
+  p_big->pin_worker = "wa";
+  p_big->outputs.push_back({f_big, kBig});
+  auto* p_small = cs.add_task("p_small", 0.5, 1.0);
+  p_small->pin_worker = "wb";
+  p_small->outputs.push_back({f_small, kSmall});
+  auto* p_slow = cs.add_task("p_slow", 5.0, 1.0);
+  p_slow->pin_worker = "wc";
+  p_slow->outputs.push_back({f_slow, kSlow});
+  auto* consume = cs.add_task("consume", 0.5, 1.0);
+  consume->inputs.push_back(f_big);
+  consume->inputs.push_back(f_small);
+  consume->inputs.push_back(f_slow);
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  EXPECT_EQ(cs.stats().prefetch_issued, 1);
+  EXPECT_EQ(cs.stats().transfers_prefetch, 1);
+  EXPECT_EQ(cs.stats().prefetch_hits, 1);
+  EXPECT_EQ(cs.stats().prefetch_cancelled, 0);
+  // The class accounting must not bleed: f_small's bytes are prefetch
+  // bytes, and the critical peer traffic is exactly f_slow.
+  EXPECT_EQ(cs.stats().bytes_prefetch, kSmall);
+  EXPECT_EQ(cs.stats().bytes_from_peers, kSlow);
+  EXPECT_EQ(cs.stats().transfers_from_peers, 1);
+  vine::AuditReport report;
+  cs.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Lookahead, StalePrefetchIsCancelledWithWasteAccounted) {
+  vine::reseed_uuid_generator(8);
+  SimConfig cfg;
+  cfg.seed = 8;
+  cfg.sched.lookahead.enabled = true;
+  ClusterSim cs(cfg);
+  cs.add_worker("wa", 0, 4);
+  cs.add_worker("wb", 0, 4);
+  cs.add_worker("wc", 0, 4);
+  cs.add_worker("wd", 0, 4);
+
+  // The prediction says wa (holds the big input), so the 10 GB f_mid
+  // starts moving wb -> wa (~8 s on the wire). But the consumer is pinned
+  // to wd: when f_slow lands at t=2 the placement contradicts the
+  // prediction and the half-done prefetch must be cancelled, its moved
+  // bytes written off as waste.
+  constexpr std::int64_t kBig = 20'000'000'000, kMid = 10'000'000'000,
+                         kSlow = 10'000'000;
+  auto* f_big = cs.declare_file("f_big", 0, SimFile::Origin::temp);
+  auto* f_mid = cs.declare_file("f_mid", 0, SimFile::Origin::temp);
+  auto* f_slow = cs.declare_file("f_slow", 0, SimFile::Origin::temp);
+  auto* p_big = cs.add_task("p_big", 0.5, 1.0);
+  p_big->pin_worker = "wa";
+  p_big->outputs.push_back({f_big, kBig});
+  auto* p_mid = cs.add_task("p_mid", 0.5, 1.0);
+  p_mid->pin_worker = "wb";
+  p_mid->outputs.push_back({f_mid, kMid});
+  auto* p_slow = cs.add_task("p_slow", 2.0, 1.0);
+  p_slow->pin_worker = "wc";
+  p_slow->outputs.push_back({f_slow, kSlow});
+  auto* consume = cs.add_task("consume", 0.5, 1.0);
+  consume->pin_worker = "wd";
+  consume->inputs.push_back(f_big);
+  consume->inputs.push_back(f_mid);
+  consume->inputs.push_back(f_slow);
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  EXPECT_EQ(cs.stats().prefetch_issued, 1);
+  EXPECT_EQ(cs.stats().prefetch_cancelled, 1);
+  EXPECT_EQ(cs.stats().prefetch_hits, 0);
+  EXPECT_EQ(cs.stats().transfers_prefetch, 0);
+  // Cancelled mid-flight: some bytes crossed the wire for nothing, but
+  // fewer than the whole object.
+  EXPECT_GT(cs.stats().prefetch_wasted_bytes, 0);
+  EXPECT_LT(cs.stats().prefetch_wasted_bytes, kMid);
+  // A cancelled prefetch is not a transfer failure and must not blacklist
+  // anything — the consumer still pulls all three inputs critically.
+  EXPECT_EQ(cs.stats().transfer_failures, 0);
+  EXPECT_EQ(cs.stats().bytes_from_peers, kBig + kMid + kSlow);
+  vine::AuditReport report;
+  cs.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Lookahead, PrefetchRespectsSourceLimitsAlongsideCriticalTraffic) {
+  // A fan-out where one worker holds everything: prefetch admission counts
+  // critical AND prefetch transfers against worker_source_limit, so the
+  // observed critical concurrency never exceeds the limit even with
+  // background staging in the mix.
+  vine::reseed_uuid_generator(9);
+  SimConfig cfg;
+  cfg.seed = 9;
+  cfg.sched.worker_source_limit = 2;
+  cfg.sched.lookahead.enabled = true;
+  cfg.sched.lookahead.prefetch_max_inflight = 8;
+  ClusterSim cs(cfg);
+  for (int i = 0; i < 6; ++i) cs.add_worker("w" + std::to_string(i), 0, 2);
+  auto* seed_task = cs.add_task("seed", 0.5, 1.0);
+  seed_task->pin_worker = "w0";
+  std::vector<SimFile*> parts;
+  for (int i = 0; i < 8; ++i) {
+    auto* f = cs.declare_file("part" + std::to_string(i), 0, SimFile::Origin::temp);
+    seed_task->outputs.push_back({f, 500'000'000});
+    parts.push_back(f);
+  }
+  // Each consumer needs two parts plus one slow gate input, so consumers
+  // wait (prefetchable) while the gate computes.
+  auto* gate = cs.declare_file("gate", 0, SimFile::Origin::temp);
+  auto* p_gate = cs.add_task("p_gate", 3.0, 1.0);
+  p_gate->pin_worker = "w5";
+  p_gate->outputs.push_back({gate, 1000});
+  for (int i = 0; i < 4; ++i) {
+    auto* c = cs.add_task("consume", 0.5, 1.0);
+    c->inputs.push_back(parts[2 * i]);
+    c->inputs.push_back(parts[2 * i + 1]);
+    c->inputs.push_back(gate);
+  }
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  EXPECT_LE(cs.stats().max_worker_source_inflight, 2);
+  vine::AuditReport report;
+  cs.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// ------------------------------------------------------------------------
+// Satellite: per-pass scheduler scratch. Within a pass the token->slot map
+// is rebuilt at most once however many picks run; across passes with
+// worker churn it rebuilds at most once per pass.
+
+TEST(Lookahead, PassScratchRebuildsAtMostOncePerPass) {
+  vine::Scheduler sched({}, 1);
+  vine::FileReplicaTable replicas;
+  std::vector<vine::WorkerSnapshot> workers;
+  auto add_worker = [&](int i) {
+    vine::WorkerSnapshot w;
+    w.id = "w" + std::to_string(i);
+    w.total = {.cores = 4, .memory_mb = 8000, .disk_mb = 50000, .gpus = 0};
+    workers.push_back(w);
+    replicas.set_replica("f0", w.id, vine::ReplicaState::present, 1000);
+  };
+  for (int i = 0; i < 16; ++i) add_worker(i);
+
+  auto file = std::make_shared<vine::FileDecl>();
+  file->cache_name = "f0";
+  file->size_hint = 1000;
+  vine::TaskSpec task;
+  task.resources = {.cores = 1, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+  task.inputs.push_back({file, "f0"});
+
+  constexpr int kPasses = 5, kPicksPerPass = 50;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    sched.begin_pass();
+    for (int pick = 0; pick < kPicksPerPass; ++pick) {
+      ASSERT_TRUE(sched.pick_worker(task, workers, replicas).has_value());
+    }
+    sched.end_pass();
+    // Membership churn between passes invalidates the map for the next one.
+    add_worker(100 + pass);
+  }
+  const auto& ps = sched.pass_stats();
+  EXPECT_EQ(ps.passes, kPasses);
+  EXPECT_EQ(ps.picks, kPasses * kPicksPerPass);
+  // The hoist guarantee: one rebuild per pass at most, not one per pick.
+  EXPECT_LE(ps.slot_rebuilds, ps.passes);
+  EXPECT_GE(ps.slot_rebuilds, 1);
+}
+
+// ------------------------------------------------------------------------
+// Satellite: CacheStore eviction classes. Prefetch-staged entries rank
+// below everything under capacity pressure; first use promotes them.
+
+TEST(Lookahead, PrefetchTaggedEntriesEvictFirst) {
+  vine::TempDir tmp("vine_lookahead_cache");
+  vine::CacheStore cache(tmp.path() / "cache", /*capacity_bytes=*/3000);
+  const std::string kilo(1000, 'x');
+  // Oldest entry is worker-lifetime (normally the first eviction victim);
+  // the prefetch-tagged workflow entry is *newest* yet must still go first.
+  ASSERT_TRUE(cache.put_bytes("wk-old", kilo, vine::CacheLevel::worker).ok());
+  ASSERT_TRUE(cache.put_bytes("wf-live", kilo, vine::CacheLevel::workflow).ok());
+  ASSERT_TRUE(cache.put_bytes("pf-staged", kilo, vine::CacheLevel::workflow).ok());
+  cache.mark_prefetch("pf-staged");
+
+  ASSERT_TRUE(cache.put_bytes("incoming", kilo, vine::CacheLevel::workflow).ok());
+  EXPECT_FALSE(cache.contains("pf-staged"));
+  EXPECT_TRUE(cache.contains("wk-old"));
+  EXPECT_TRUE(cache.contains("wf-live"));
+  auto evicted = cache.take_evictions();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "pf-staged");
+
+  // With no prefetch-tagged entries left, pressure falls back to the
+  // worker-lifetime LRU; live workflow state still never goes silently.
+  ASSERT_TRUE(cache.put_bytes("incoming2", kilo, vine::CacheLevel::workflow).ok());
+  EXPECT_FALSE(cache.contains("wk-old"));
+  EXPECT_TRUE(cache.contains("wf-live"));
+}
+
+TEST(Lookahead, FirstAccessPromotesPrefetchedEntry) {
+  vine::TempDir tmp("vine_lookahead_promote");
+  vine::CacheStore cache(tmp.path() / "cache", /*capacity_bytes=*/2000);
+  const std::string kilo(1000, 'y');
+  ASSERT_TRUE(cache.put_bytes("wk", kilo, vine::CacheLevel::worker).ok());
+  ASSERT_TRUE(cache.put_bytes("pf", kilo, vine::CacheLevel::workflow).ok());
+  cache.mark_prefetch("pf");
+  auto e = cache.entry("pf");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->prefetch);
+
+  // A task links the object: the prediction came true, the entry is live
+  // workflow state now and the eviction victim is the worker-lifetime LRU.
+  ASSERT_TRUE(cache.object_path("pf").ok());
+  e = cache.entry("pf");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->prefetch);
+
+  ASSERT_TRUE(cache.put_bytes("incoming", kilo, vine::CacheLevel::workflow).ok());
+  EXPECT_TRUE(cache.contains("pf"));
+  EXPECT_FALSE(cache.contains("wk"));
+}
+
+}  // namespace
+}  // namespace vinesim

@@ -102,7 +102,9 @@ TEST(ObsEvent, CanonicalJsonOmitsUnsetFields) {
   EXPECT_EQ(line.find("\"file\""), std::string::npos) << line;
   EXPECT_EQ(line.find("\"xfer\""), std::string::npos) << line;
   EXPECT_NE(line.find("\"kind\":\"worker_join\""), std::string::npos) << line;
-  EXPECT_NE(line.find("\"v\":1"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"v\":" + std::to_string(kSchemaVersion)),
+            std::string::npos)
+      << line;
 }
 
 // ---------------------------------------------------------------- schema ----
@@ -262,7 +264,7 @@ TEST(ObsSchema, LoadTraceFileReportsLineNumbers) {
   sink.flush();
   {
     std::ofstream out(path, std::ios::app);
-    out << "{\"v\":1,\"seq\":99}\n";  // line 3: schema-invalid
+    out << "{\"v\":" << kSchemaVersion << ",\"seq\":99}\n";  // line 3: schema-invalid
   }
 
   auto loaded = load_trace_file(path);

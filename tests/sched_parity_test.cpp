@@ -158,9 +158,13 @@ class RefScheduler {
 };
 
 // Drive fast and reference schedulers through `steps` decisions over a
-// churning cluster, asserting identical outcomes throughout.
+// churning cluster, asserting identical outcomes throughout. With
+// `bracketed` the fast scheduler runs every decision inside a
+// begin_pass/end_pass bracket and carries a lookahead config whose knob is
+// off but whose other fields are cranked — none of it may change a single
+// decision versus the bare reference.
 void run_parity(PlacementPolicy policy, bool supervised, std::uint64_t seed,
-                int steps = 300) {
+                int steps = 300, bool bracketed = false) {
   Rng driver(seed);
 
   SchedulerConfig cfg;
@@ -171,7 +175,14 @@ void run_parity(PlacementPolicy policy, bool supervised, std::uint64_t seed,
   cfg.manager_source_limit = static_cast<int>(driver.below(3));
 
   const std::uint64_t sched_seed = seed ^ 0x9e3779b97f4a7c15ull;
-  Scheduler fast(cfg, sched_seed);
+  SchedulerConfig cfg_fast = cfg;
+  if (bracketed) {
+    cfg_fast.lookahead.enabled = false;
+    cfg_fast.lookahead.gravity_weight = 100.0;
+    cfg_fast.lookahead.gravity_horizon = 256;
+    cfg_fast.lookahead.prefetch_horizon = 32;
+  }
+  Scheduler fast(cfg_fast, sched_seed);
   RefScheduler ref(cfg, sched_seed);
 
   // 10..500 workers, mixed shapes; some carry the library.
@@ -281,6 +292,7 @@ void run_parity(PlacementPolicy policy, bool supervised, std::uint64_t seed,
       task.library_name = "lib";
     }
 
+    if (bracketed) fast.begin_pass();
     const auto got = fast.pick_worker(task, workers, replicas);
     const auto want = ref.pick_worker(task, workers, replicas);
     ASSERT_EQ(got.has_value(), want.has_value()) << "pick at step " << step;
@@ -305,6 +317,13 @@ void run_parity(PlacementPolicy policy, bool supervised, std::uint64_t seed,
       ASSERT_EQ(plan_got->kind, plan_want->kind) << "plan at step " << step;
       ASSERT_EQ(plan_got->key, plan_want->key) << "plan at step " << step;
     }
+    if (bracketed) fast.end_pass();
+  }
+
+  if (bracketed) {
+    // The scratch hoist must actually hoist: at most one token->slot
+    // rebuild per pass across the whole churning run.
+    EXPECT_LE(fast.pass_stats().slot_rebuilds, fast.pass_stats().passes);
   }
 }
 
@@ -329,6 +348,17 @@ TEST(SchedParity, RandomPolicy) {
 TEST(SchedParity, RoundRobinPolicy) {
   for (std::uint64_t seed : {31u, 32u, 33u}) {
     run_parity(PlacementPolicy::round_robin, true, seed);
+  }
+}
+
+TEST(SchedParity, LookaheadOffBracketedLockstep) {
+  for (std::uint64_t seed : {51u, 52u, 53u, 54u}) {
+    run_parity(PlacementPolicy::most_cached, true, seed, 300,
+               /*bracketed=*/true);
+  }
+  for (std::uint64_t seed : {61u, 62u}) {
+    run_parity(PlacementPolicy::most_cached, false, seed, 300,
+               /*bracketed=*/true);
   }
 }
 
