@@ -1,0 +1,105 @@
+// Redundancy chaos soak — replication on vs off under worker loss.
+//
+// Runs the Figure-13 accumulation DAG at fig13@500 scale through the same
+// fault plans the chaos suite uses (>= 5% of the pool crashed, peer faults,
+// delays) twice per seed: once with the redundancy engine off and once with
+// k=2 replication on. The paper's robustness claim is that paying replica
+// bytes up front beats re-running producer chains after a loss, so the
+// gate is on-makespan <= off-makespan on average across the seeds, and
+// every replicated temp must survive without a producer re-run.
+//
+// Output: one CSV row per seed plus summary rows; tools/bench.sh parses
+// the rows into BENCH_redundancy.json and enforces the gate there too.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/report.hpp"
+#include "apps/topeft.hpp"
+#include "common/faults.hpp"
+#include "common/uuid.hpp"
+
+using namespace vineapps;
+
+namespace {
+
+struct SoakRun {
+  double makespan = 0;
+  vinesim::SimStats stats;
+};
+
+SoakRun run_soak(std::uint64_t seed, bool replication) {
+  vine::reseed_uuid_generator(seed);
+  TopEftParams p;
+  p.scale = 500.0 / 24000.0;  // fig13@500: ~500-task accumulation DAG
+  p.workers = 40;
+  p.worker_arrival_span = 300;
+  p.seed = seed;
+  p.redundancy.enabled = replication;
+
+  vine::faults::FaultPlanConfig fp;
+  fp.seed = seed;
+  fp.workers = p.workers;
+  fp.horizon = 1500.0;
+  fp.set_crash_fraction(0.05);
+  fp.peer_faults = 4;
+  fp.delays = 2;
+  fp.rejoin_mean = 120.0;
+  vine::faults::FaultPlan plan = vine::faults::FaultPlan::generate(fp);
+  p.faults = &plan;
+
+  TopEftRun run = run_topeft(p, /*shared_storage=*/false);
+  SoakRun r;
+  r.makespan = run.makespan;
+  r.stats = run.sim->stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    }
+  }
+
+  std::printf("# micro_redundancy: fig13@500 chaos soak, replication on vs off"
+              " (%d seeds)\n", seeds);
+  std::printf("redundancy_seed,seed,off_makespan_s,on_makespan_s,replications,"
+              "replica_repairs,recoveries_off,recoveries_on,"
+              "recoveries_replicated\n");
+
+  double sum_off = 0, sum_on = 0;
+  std::int64_t unfinished = 0, unreplicated_losses = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    SoakRun off = run_soak(static_cast<std::uint64_t>(s), false);
+    SoakRun on = run_soak(static_cast<std::uint64_t>(s), true);
+    std::printf("redundancy_seed,%d,%.3f,%.3f,%lld,%lld,%lld,%lld,%lld\n", s,
+                off.makespan, on.makespan,
+                static_cast<long long>(on.stats.replications),
+                static_cast<long long>(on.stats.replica_repairs),
+                static_cast<long long>(off.stats.recoveries),
+                static_cast<long long>(on.stats.recoveries),
+                static_cast<long long>(on.stats.recoveries_replicated));
+    sum_off += off.makespan;
+    sum_on += on.makespan;
+    unfinished += off.stats.tasks_unfinished + on.stats.tasks_unfinished;
+    unreplicated_losses += on.stats.recoveries_replicated;
+  }
+
+  double mean_off = sum_off / seeds;
+  double mean_on = sum_on / seeds;
+  summary_row("redundancy", "mean_makespan_off_s", mean_off);
+  summary_row("redundancy", "mean_makespan_on_s", mean_on);
+  summary_row("redundancy", "on_over_off", mean_on / mean_off);
+
+  // Shape: replication must not cost makespan on average (the replica
+  // transfers ride spare slots), every run must drain its DAG, and no
+  // temp that ever reached k replicas may have needed a producer re-run.
+  bool shape_ok = mean_on <= mean_off * 1.001 && unfinished == 0 &&
+                  unreplicated_losses == 0;
+  summary_row("redundancy", "shape_holds", shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

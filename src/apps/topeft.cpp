@@ -18,6 +18,8 @@ TopEftRun run_topeft(const TopEftParams& params, bool shared_storage) {
   cfg.sched.lookahead.enabled = params.lookahead;
   cfg.retrieve_temp_outputs = shared_storage;
   cfg.manager_nic_Bps = params.manager_Bps;
+  cfg.redundancy = params.redundancy;
+  cfg.factory = params.factory;
 
   auto sim = std::make_unique<ClusterSim>(cfg);
   vine::Rng rng(params.seed);
@@ -93,6 +95,7 @@ TopEftRun run_topeft(const TopEftParams& params, bool shared_storage) {
   final_task->retrieve_outputs = true;
   ++run.total_tasks;
 
+  if (params.faults) sim->apply_fault_plan(*params.faults);
   run.makespan = sim->run();
   run.sim = std::move(sim);
   return run;

@@ -48,6 +48,14 @@ struct TopEftParams {
   /// plus pipelined input prefetch). Off reproduces the greedy baseline.
   bool lookahead = false;
   std::uint64_t seed = 17;
+
+  /// Proactive k-replication of partial histograms (chaos sweeps contrast
+  /// replication on/off under the same fault plan).
+  vine::redundancy::RedundancyConfig redundancy{};
+  /// Elastic worker pool driven by queue depth and replication backlog.
+  vine::factory::FactoryConfig factory{};
+  /// Optional fault schedule applied before the run (not owned).
+  const vine::faults::FaultPlan* faults = nullptr;
 };
 
 struct TopEftRun {

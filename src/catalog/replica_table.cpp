@@ -49,6 +49,17 @@ void FileReplicaTable::set_replica(const std::string& cache_name,
   if (size >= 0) it->replica.size = size;
 }
 
+void FileReplicaTable::pin(const std::string& cache_name,
+                           const WorkerId& worker) {
+  std::uint32_t ft = file_token(cache_name);
+  std::uint32_t wt = worker_names_.lookup(worker);
+  if (ft == no_token || wt == no_token || wt >= workers_.size()) return;
+  FileEntry& entry = files_[ft];
+  auto it = holder_slot(entry, wt);
+  if (it == entry.holders.end() || it->worker != wt) return;
+  it->replica.pinned = true;
+}
+
 void FileReplicaTable::remove_replica(const std::string& cache_name,
                                       const WorkerId& worker) {
   std::uint32_t ft = file_token(cache_name);

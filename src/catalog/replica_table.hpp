@@ -38,6 +38,11 @@ enum class ReplicaState : std::uint8_t {
 struct Replica {
   ReplicaState state = ReplicaState::pending;
   std::int64_t size = -1;  ///< bytes once known
+  /// Pinned replicas are redundancy copies: the worker cache must never
+  /// evict them, and the scheduler skips them when accumulating consumer
+  /// gravity so a k-replicated temp is not double-counted as placement
+  /// mass (it still counts as a cache hit in pick_most_cached).
+  bool pinned = false;
 };
 
 class FileReplicaTable {
@@ -54,6 +59,10 @@ class FileReplicaTable {
   /// Record or update a replica of `cache_name` on `worker`.
   void set_replica(const std::string& cache_name, const WorkerId& worker,
                    ReplicaState state, std::int64_t size = -1);
+
+  /// Mark one existing replica pinned (eviction-exempt redundancy copy).
+  /// No-op when the (file, worker) pair has no record.
+  void pin(const std::string& cache_name, const WorkerId& worker);
 
   /// Forget one replica (deletion or failed transfer).
   void remove_replica(const std::string& cache_name, const WorkerId& worker);

@@ -15,6 +15,7 @@
 // arms exactly the number of faults the plan scheduled.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -63,6 +64,13 @@ struct FaultPlanConfig {
   double hang_chance = 0.3;    ///< fraction of "crashes" that hang instead
   double rejoin_mean = 0.0;    ///< > 0: crashed workers rejoin after ~Exp(mean)
   double stall_timeout = 1.0;  ///< how long a stalled transfer stays wedged
+
+  /// Express the crash count as a fraction of the pool: ">= 5% of workers
+  /// killed" soaks scale with cluster size instead of hard-coding counts.
+  /// Always at least one crash, so a tiny pool still sees chaos.
+  void set_crash_fraction(double fraction) {
+    crashes = std::max(1, static_cast<int>(workers * fraction));
+  }
 };
 
 /// A deterministic, time-sorted schedule of fault events.

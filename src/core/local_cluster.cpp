@@ -23,6 +23,9 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::create(LocalClusterConfig co
   }
   cluster->manager_ = std::make_unique<Manager>(config.manager);
   VINE_TRY_STATUS(cluster->manager_->start());
+  cluster->factory_ = factory::WorkerFactory(config.factory);
+  cluster->config_ = config;
+  cluster->root_ = root;
 
   for (int i = 0; i < config.workers; ++i) {
     WorkerConfig wc;
@@ -57,6 +60,91 @@ void LocalCluster::crash_worker(std::size_t i) {
   w.reset();
   // A crash takes the node's storage with it; a later restart joins cold.
   remove_all_quiet(worker_configs_.at(i).root_dir);
+}
+
+Result<std::size_t> LocalCluster::add_worker() {
+  WorkerConfig wc;
+  wc.id = "fw" + std::to_string(next_factory_worker_++);
+  wc.manager_addr = manager_->address();
+  wc.resources = config_.per_worker;
+  wc.root_dir = root_ / wc.id;
+  wc.max_concurrent_transfers = config_.max_concurrent_transfers_per_worker;
+  wc.fetcher = config_.fetcher;
+  wc.trace = config_.trace;
+  if (config_.tweak_worker) config_.tweak_worker(wc);
+  worker_configs_.push_back(wc);
+  VINE_TRY(auto worker, Worker::connect(std::move(wc)));
+  worker->start();
+  workers_.push_back(std::move(worker));
+  return workers_.size() - 1;
+}
+
+void LocalCluster::retire_worker(std::size_t i) {
+  auto& w = workers_.at(i);
+  if (!w) return;
+  w->stop();
+  w.reset();
+  // Storage stays on disk (contrast crash_worker): retirement is graceful,
+  // and a later restart_worker can bring the node back warm.
+}
+
+int LocalCluster::factory_pass() {
+  if (!factory_.enabled()) return 0;
+  const auto snaps = manager_->workers_snapshot();
+  factory::FactorySignals s;
+  s.now = manager_->now();
+  s.alive_workers = static_cast<int>(snaps.size());
+  double disk_total_mb = 0, disk_used_mb = 0;
+  for (const auto& snap : snaps) {
+    s.total_cores += snap.total.cores;
+    s.busy_cores += snap.committed.cores;
+    s.running_tasks += snap.running_tasks;
+    disk_total_mb += snap.total.disk_mb;
+    for (const auto& name : manager_->replicas().files_on(snap.id)) {
+      disk_used_mb += static_cast<double>(manager_->replicas().known_size(name)) /
+                      (1024.0 * 1024.0);
+    }
+  }
+  const auto outstanding = static_cast<std::int64_t>(manager_->outstanding());
+  s.ready_tasks = std::max<std::int64_t>(0, outstanding - s.running_tasks);
+  s.cache_pressure = disk_total_mb > 0 ? disk_used_mb / disk_total_mb : 0;
+  s.replication_backlog = manager_->replication_backlog();
+
+  const int verdict = factory_.decide(s);
+  if (verdict > 0) {
+    int spawned = 0;
+    for (int i = 0; i < verdict; ++i) {
+      if (add_worker()) ++spawned;
+    }
+    return spawned;
+  }
+  if (verdict < 0) {
+    // Retire only idle, fully replicated factory-spawned workers — the
+    // caller-declared pool is the deployment's fixture.
+    int retired = 0;
+    for (const auto& snap : snaps) {
+      if (retired == -verdict) break;
+      if (snap.id.rfind("fw", 0) != 0) continue;
+      if (snap.running_tasks > 0 || snap.committed.cores > 0) continue;
+      bool safe = true;
+      for (const auto& name : manager_->replicas().files_on(snap.id)) {
+        if (manager_->replicas().present_count(name) < 2) {
+          safe = false;
+          break;
+        }
+      }
+      if (!safe) continue;
+      for (std::size_t i = 0; i < worker_configs_.size(); ++i) {
+        if (worker_configs_[i].id == snap.id && workers_[i]) {
+          retire_worker(i);
+          ++retired;
+          break;
+        }
+      }
+    }
+    return -retired;
+  }
+  return 0;
 }
 
 Status LocalCluster::restart_worker(std::size_t i) {

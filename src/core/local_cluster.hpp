@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "factory/factory.hpp"
 #include "fsutil/fsutil.hpp"
 #include "manager/manager.hpp"
 #include "worker/worker.hpp"
@@ -40,6 +41,11 @@ struct LocalClusterConfig {
   /// manager's control-plane events and each worker's cache churn land in
   /// one stream. Null disables tracing.
   std::shared_ptr<obs::TraceSink> trace;
+
+  /// Elastic pool sizing (vine::factory). When enabled, factory_pass()
+  /// evaluates the shared policy against the manager's live state and
+  /// spawns "fw<N>" workers / retires idle factory-spawned ones.
+  factory::FactoryConfig factory{};
 };
 
 class LocalCluster {
@@ -71,6 +77,23 @@ class LocalCluster {
   /// Graceful shutdown (also done by the destructor).
   void shutdown();
 
+  /// Elastic pool: spawn one new "fw<N>" worker joined to the manager.
+  /// Returns its index (usable with worker()/retire_worker()).
+  Result<std::size_t> add_worker();
+
+  /// Gracefully stop worker i: its threads exit and the connection drops,
+  /// but — unlike crash_worker — its storage directory survives. Callers
+  /// (factory_pass) retire only idle, fully replicated workers, so the
+  /// manager-side disconnect triggers no recovery.
+  void retire_worker(std::size_t i);
+
+  /// Feed the factory one snapshot of manager state (ready depth, core
+  /// utilization, cache pressure, replication backlog) and execute its
+  /// verdict. Returns workers spawned (>0), retired (<0), or 0 for hold.
+  int factory_pass();
+
+  const factory::WorkerFactory& factory() const { return factory_; }
+
  private:
   LocalCluster() = default;
 
@@ -78,6 +101,10 @@ class LocalCluster {
   std::unique_ptr<Manager> manager_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<WorkerConfig> worker_configs_;  ///< for restart_worker
+  LocalClusterConfig config_;                 ///< template for spawned workers
+  std::filesystem::path root_;
+  factory::WorkerFactory factory_{factory::FactoryConfig{}};
+  int next_factory_worker_ = 0;  ///< fw<N> id allocator
 };
 
 }  // namespace vine

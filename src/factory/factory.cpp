@@ -1,0 +1,74 @@
+#include "factory/factory.hpp"
+
+#include <algorithm>
+
+namespace vine::factory {
+
+int WorkerFactory::decide(const FactorySignals& s) {
+  if (!config_.enabled) return 0;
+
+  // Below the floor is not a load signal — restore the pool immediately
+  // (no hysteresis: a chaos crash dropping the last worker must not wait
+  // three passes for a replacement).
+  if (s.alive_workers < config_.min_workers) {
+    up_streak_ = 0;
+    down_streak_ = 0;
+    last_action_at_ = s.now;
+    ever_acted_ = true;
+    ++stats_.scale_ups;
+    const int n = config_.min_workers - s.alive_workers;
+    stats_.workers_spawned += n;
+    return n;
+  }
+
+  const double idle_cores = std::max(0.0, s.total_cores - s.busy_cores);
+  const bool queue_deep =
+      static_cast<double>(s.ready_tasks) >
+      config_.up_tasks_per_core * std::max(idle_cores, 1.0);
+  const bool cache_tight = s.cache_pressure > config_.up_cache_pressure;
+  const bool backlog_stuck =
+      s.replication_backlog > config_.up_replication_backlog;
+  const bool want_up = (queue_deep || cache_tight || backlog_stuck) &&
+                       s.alive_workers < config_.max_workers;
+
+  const double utilization =
+      s.total_cores > 0 ? s.busy_cores / s.total_cores : 0.0;
+  const bool want_down = s.ready_tasks == 0 && s.replication_backlog == 0 &&
+                         utilization < config_.down_utilization &&
+                         s.alive_workers > config_.min_workers;
+
+  // Streaks: only consecutive agreement counts; a neutral or opposing pass
+  // resets both directions — this is the anti-flap half of the hysteresis.
+  up_streak_ = want_up ? up_streak_ + 1 : 0;
+  down_streak_ = want_down ? down_streak_ + 1 : 0;
+
+  // Cooldown is the other half: even a unanimous streak waits out the
+  // previous action before the pool moves again.
+  if (ever_acted_ && s.now - last_action_at_ < config_.cooldown_s) return 0;
+
+  if (up_streak_ >= config_.hysteresis) {
+    up_streak_ = 0;
+    down_streak_ = 0;
+    last_action_at_ = s.now;
+    ever_acted_ = true;
+    ++stats_.scale_ups;
+    const int n =
+        std::min(config_.step, config_.max_workers - s.alive_workers);
+    stats_.workers_spawned += n;
+    return n;
+  }
+  if (down_streak_ >= config_.hysteresis) {
+    up_streak_ = 0;
+    down_streak_ = 0;
+    last_action_at_ = s.now;
+    ever_acted_ = true;
+    ++stats_.scale_downs;
+    const int n =
+        std::min(config_.step, s.alive_workers - config_.min_workers);
+    stats_.workers_retired += n;
+    return -n;
+  }
+  return 0;
+}
+
+}  // namespace vine::factory

@@ -1,0 +1,105 @@
+// vine::factory — elastic worker-pool sizing (cctools' vine_factory, as a
+// policy object). The factory never talks to workers itself: hosts
+// (LocalCluster for the real runtime, ClusterSim at 10k scale) feed it a
+// signal snapshot each scheduling pass and execute its verdict — spawn n
+// workers, retire n idle ones, or hold.
+//
+// Signals and thresholds:
+//   * ready-queue depth: tasks waiting per available core. Deep queue ->
+//     scale up; an empty queue with mostly-idle cores -> scale down.
+//   * cache pressure: replica bytes vs aggregate disk. A nearly full
+//     cluster cache scales up even when cores are free — more disks is the
+//     only way to make room for replicas and prefetches.
+//   * replication backlog: temps still below their replication factor k.
+//     A persistent backlog means the redundancy engine cannot find
+//     destinations within its per-worker budgets; new workers are fresh
+//     budget.
+//
+// Hysteresis. Chaos-induced churn (crashes, rejoins, recovery re-runs)
+// makes every signal spiky; reacting per pass would flap the pool. An
+// action fires only after `hysteresis` *consecutive* passes agree on the
+// direction, and no sooner than `cooldown_s` after the previous action.
+// Any pass that disagrees resets the streak.
+//
+// Deterministic and mutex-free: runs on the host's application / event
+// thread, like vine::Scheduler and vine::redundancy.
+#pragma once
+
+#include <cstdint>
+
+namespace vine::factory {
+
+struct FactoryConfig {
+  /// Master switch. Off (the default) must leave host behavior byte-
+  /// identical to a build without the factory.
+  bool enabled = false;
+
+  int min_workers = 1;
+  int max_workers = 64;
+
+  /// Scale up when ready_tasks > up_tasks_per_core * idle cores (queue is
+  /// outrunning the pool).
+  double up_tasks_per_core = 2.0;
+
+  /// Scale up when cache bytes / disk capacity exceeds this fraction.
+  double up_cache_pressure = 0.85;
+
+  /// Scale up when this many temps sit below their replication target.
+  int up_replication_backlog = 8;
+
+  /// Scale down only when the ready queue is empty, the replication
+  /// backlog is clear, and busy cores / total cores is below this.
+  double down_utilization = 0.25;
+
+  /// Consecutive agreeing passes required before acting.
+  int hysteresis = 3;
+
+  /// Minimum spacing between actions (seconds of host time).
+  double cooldown_s = 5.0;
+
+  /// Workers spawned / retired per action.
+  int step = 1;
+};
+
+/// One pass worth of host state, as the factory sees it.
+struct FactorySignals {
+  double now = 0;
+  int alive_workers = 0;
+  std::int64_t ready_tasks = 0;   ///< submitted, not yet running
+  std::int64_t running_tasks = 0;
+  double total_cores = 0;         ///< Σ cores over alive workers
+  double busy_cores = 0;          ///< Σ committed cores
+  double cache_pressure = 0;      ///< replica bytes / aggregate disk (0..1)
+  int replication_backlog = 0;    ///< redundancy engine backlog()
+};
+
+struct FactoryStats {
+  std::int64_t scale_ups = 0;
+  std::int64_t scale_downs = 0;
+  std::int64_t workers_spawned = 0;
+  std::int64_t workers_retired = 0;
+};
+
+class WorkerFactory {
+ public:
+  explicit WorkerFactory(FactoryConfig config) : config_(config) {}
+
+  bool enabled() const { return config_.enabled; }
+  const FactoryConfig& config() const { return config_; }
+  const FactoryStats& stats() const { return stats_; }
+
+  /// Evaluate one pass: > 0 means spawn that many workers, < 0 retire that
+  /// many (the host retires only provably idle, fully replicated ones),
+  /// 0 means hold. Clamped so the pool stays within [min, max].
+  int decide(const FactorySignals& s);
+
+ private:
+  FactoryConfig config_;
+  FactoryStats stats_;
+  int up_streak_ = 0;
+  int down_streak_ = 0;
+  double last_action_at_ = 0;
+  bool ever_acted_ = false;
+};
+
+}  // namespace vine::factory

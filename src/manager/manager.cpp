@@ -36,7 +36,9 @@ std::string source_key_of(const TransferSource& source) {
 }  // namespace
 
 Manager::Manager(ManagerConfig config)
-    : config_(std::move(config)), scheduler_(config_.sched, config_.seed) {
+    : config_(std::move(config)),
+      scheduler_(config_.sched, config_.seed),
+      redundancy_(config_.redundancy) {
   if (!config_.fetcher) config_.fetcher = std::make_shared<FileUrlFetcher>();
   metrics_.expose("manager.tasks_done", &stats_.tasks_done);
   metrics_.expose("manager.tasks_failed", &stats_.tasks_failed);
@@ -60,6 +62,15 @@ Manager::Manager(ManagerConfig config)
   metrics_.expose("sched.prefetch_hit", &stats_.prefetch_hits);
   metrics_.expose("sched.prefetch_cancelled", &stats_.prefetch_cancelled);
   metrics_.expose("sched.prefetch_wasted_bytes", &stats_.prefetch_wasted_bytes);
+  // Gated on the feature: exposing these unconditionally would grow the
+  // counters events of every replication-off trace.
+  if (config_.redundancy.enabled) {
+    metrics_.expose("manager.replications", &stats_.replications);
+    metrics_.expose("manager.replication_bytes", &stats_.replication_bytes);
+    metrics_.expose("manager.replica_repairs", &stats_.replica_repairs);
+    metrics_.expose("manager.recoveries_replicated",
+                    &stats_.recoveries_replicated);
+  }
 }
 
 void Manager::emit(obs::Event ev) {
@@ -526,6 +537,7 @@ void Manager::pump(std::chrono::milliseconds timeout) {
   }
   if (config_.heartbeat_deadline_ms > 0) evict_silent_workers();
   schedule_pass();
+  if (redundancy_.enabled()) issue_replications();
   if (!replication_goals_.empty()) process_replication_requests();
 }
 
@@ -656,6 +668,32 @@ void Manager::handle_cache_update(const WorkerId& worker,
                                   const proto::CacheUpdateMsg& msg) {
   std::optional<TransferRecord> rec;
   if (!msg.transfer_id.empty()) rec = transfers_.finish(msg.transfer_id);
+
+  // Replication fetches share the prefetch transfer class, so this branch
+  // must win before the rec->prefetch one below.
+  if (rec && replication_live_.erase(msg.transfer_id) > 0) {
+    const std::int64_t bytes = std::max<std::int64_t>(msg.size, 0);
+    emit(obs::Event::make_transfer_end(
+        clock_.now(), msg.cache_name, "replica", source_key_of(rec->source),
+        worker, worker, msg.ok ? bytes : -1, msg.transfer_id, msg.ok,
+        msg.ok ? std::string() : msg.error));
+    if (msg.ok) {
+      replicas_.set_replica(msg.cache_name, worker, ReplicaState::present,
+                            msg.size);
+      replicas_.pin(msg.cache_name, worker);
+      ++stats_.replications;
+      stats_.replication_bytes += bytes;
+      scheduler_.note_transfer_success(rec->source);
+      redundancy_.note_replica_done(msg.cache_name, worker, true, bytes);
+    } else {
+      // Like prefetch failures: count it, but never blacklist the source —
+      // background traffic must not poison critical-path source health.
+      replicas_.remove_replica(msg.cache_name, worker);
+      ++stats_.transfer_failures;
+      redundancy_.note_replica_done(msg.cache_name, worker, false, bytes);
+    }
+    return;
+  }
 
   if (rec && rec->prefetch) {
     // Background staging closes out of band from the critical path: a
@@ -803,6 +841,32 @@ void Manager::handle_task_done(const WorkerId& worker, const proto::TaskDoneMsg&
   }
 
   if (msg.ok) {
+    // A completed consumer closes its producers' recovery episodes: the
+    // recovered temps were consumed, so a *later* loss of the same outputs
+    // is a new recovery, not a continuation (see TaskRuntime::recovering).
+    for (const auto& in : task.spec.inputs) {
+      if (!in.file || in.file->kind != FileKind::temp ||
+          in.file->producer_task == 0) {
+        continue;
+      }
+      auto pit = tasks_.find(in.file->producer_task);
+      if (pit != tasks_.end()) pit->second.recovering = false;
+    }
+    if (redundancy_.enabled() && !task.is_library) {
+      const double runtime_s = std::max(0.0, msg.finished_at - msg.started_at);
+      std::vector<std::string> temp_inputs;
+      for (const auto& in : task.spec.inputs) {
+        if (in.file && in.file->kind == FileKind::temp) {
+          temp_inputs.push_back(in.file->cache_name);
+        }
+      }
+      for (const auto& out : task.spec.outputs) {
+        if (!out.file || out.file->kind != FileKind::temp) continue;
+        redundancy_.note_produced(out.file->cache_name, runtime_s,
+                                  replicas_.known_size(out.file->cache_name),
+                                  temp_inputs);
+      }
+    }
     TaskReport report = task.report;
     report.state = TaskState::done;
     report.exit_code = msg.exit_code;
@@ -893,22 +957,29 @@ void Manager::handle_worker_lost(const std::string& conn_id, bool evicted) {
 
   ++stats_.workers_lost;
   VINE_LOG_WARN("manager", "worker %s disconnected", worker.c_str());
+  // Captured before the purge: the redundancy repair hook below needs to
+  // know which files just lost a holder.
+  const std::vector<std::string> lost = replicas_.files_on(worker);
   if (config_.trace) {
     // Replicas that die with the worker, then the transfers they abort —
     // the closing membership event goes last so begin/end pairing in the
     // trace stays exact.
-    for (const std::string& name : replicas_.files_on(worker)) {
+    for (const std::string& name : lost) {
       emit(obs::Event::make_cache_evict(clock_.now(), worker, name, "worker_lost"));
     }
   }
   replicas_.remove_worker(worker);
   for (const TransferRecord& rec : transfers_.remove_worker(worker)) {
+    const bool replication = replication_live_.erase(rec.uuid) > 0;
     emit(obs::Event::make_transfer_end(
         clock_.now(), rec.cache_name,
-        rec.prefetch ? "prefetch" : source_kind_name(rec.source.kind),
+        replication ? "replica"
+                    : rec.prefetch ? "prefetch"
+                                   : source_kind_name(rec.source.kind),
         source_key_of(rec.source), rec.dest, rec.dest, -1, rec.uuid,
         /*ok=*/false, "worker_lost"));
     prefetch_live_.erase(rec.uuid);
+    if (replication) redundancy_.note_replica_done(rec.cache_name, rec.dest, false, 0);
   }
   // Lookahead bookkeeping that referenced the dead worker: unclaimed
   // prefetched replicas died with its cache, and outputs expected there
@@ -948,6 +1019,19 @@ void Manager::handle_worker_lost(const std::string& conn_id, bool evicted) {
       task.worker.clear();
       set_task_state(task, TaskState::ready);
     }
+  }
+
+  // Repair the replication invariant before touching the recovery path:
+  // surviving replicas below k re-enter the engine's queue and transfers
+  // go out now, so recover_lost_file below fires only for temps whose
+  // *every* copy died with this worker.
+  if (redundancy_.enabled()) {
+    for (const std::string& name :
+         redundancy_.note_worker_lost(worker, lost, replicas_)) {
+      ++stats_.replica_repairs;
+      emit(obs::Event::make_replica_repair(clock_.now(), worker, name));
+    }
+    issue_replications();
   }
 
   // Temp files whose only replica died: re-run their producers so waiting
@@ -1067,7 +1151,15 @@ void Manager::recover_lost_file(const FileRef& file) {
                   "temp %s lost with its last replica; re-running task %llu",
                   f->cache_name.c_str(),
                   static_cast<unsigned long long>(producer.spec.id));
-    ++stats_.recoveries;
+    // One logical recovery episode counts once: if the re-run's output died
+    // again before any consumer used it, this is the same episode.
+    if (!producer.recovering) ++stats_.recoveries;
+    producer.recovering = true;
+    if (redundancy_.enabled() && redundancy_.ever_satisfied(f->cache_name)) {
+      // A temp that reached k copies should never need its producer again;
+      // every such re-run is a replication invariant miss.
+      ++stats_.recoveries_replicated;
+    }
     set_task_state(producer, TaskState::ready);
     producer.worker.clear();
     // The producer's own temp inputs may also have died; walk upward.
@@ -1457,6 +1549,34 @@ void Manager::issue_prefetches() {
     msg.source = plan.source;
     msg.prefetch = true;
     auto peer = workers_.find(plan.source.key);
+    if (peer != workers_.end()) {
+      msg.source_addr = snapshots_[peer->second.slot].transfer_addr;
+    }
+    send_to_worker(plan.dest, msg);
+  }
+}
+
+void Manager::issue_replications() {
+  for (const auto& plan : redundancy_.plan(replicas_, transfers_, snapshots_)) {
+    const TransferSource src = TransferSource::from_worker(plan.source);
+    std::string uuid = transfers_.begin(plan.cache_name, plan.dest, src,
+                                        clock_.now(), /*prefetch=*/true);
+    replicas_.set_replica(plan.cache_name, plan.dest, ReplicaState::pending);
+    replication_live_.insert(uuid);
+    emit(obs::Event::make_transfer_begin(clock_.now(), plan.cache_name,
+                                         "replica", plan.source, plan.dest,
+                                         plan.dest, plan.bytes, uuid));
+    proto::FetchMsg msg;
+    msg.transfer_id = std::move(uuid);
+    msg.cache_name = plan.cache_name;
+    auto lit = level_of_.find(plan.cache_name);
+    msg.level = lit != level_of_.end() ? lit->second : CacheLevel::workflow;
+    msg.source = src;
+    // Not a prefetch on the worker side: the copy is live state from the
+    // first byte, and the pin exempts it from capacity eviction so the
+    // last copy of a temp can never be squeezed out.
+    msg.pin = true;
+    auto peer = workers_.find(plan.source);
     if (peer != workers_.end()) {
       msg.source_addr = snapshots_[peer->second.slot].transfer_addr;
     }

@@ -30,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "proto/messages.hpp"
+#include "redundancy/redundancy.hpp"
 #include "sched/scheduler.hpp"
 
 namespace vine {
@@ -42,6 +43,11 @@ struct ManagerConfig {
   std::string listen;
 
   SchedulerConfig sched{};
+
+  /// Proactive k-replication of temp outputs (vine::redundancy). Off by
+  /// default; when off, no replication path runs and traces stay
+  /// byte-identical to a build without the engine.
+  redundancy::RedundancyConfig redundancy{};
 
   /// URL access used for cache naming (HEAD requests); workers use their
   /// own fetcher for the actual downloads. Defaults to file:// support.
@@ -92,6 +98,13 @@ struct ManagerStats {
   std::int64_t prefetch_hits = 0;       ///< placed task found a prefetched input
   std::int64_t prefetch_cancelled = 0;  ///< cancelled (stale prediction)
   std::int64_t prefetch_wasted_bytes = 0;  ///< bytes moved by cancelled prefetches
+  // ---- redundancy (only advance when config.redundancy.enabled) ----
+  std::int64_t replications = 0;        ///< completed replication transfers
+  std::int64_t replication_bytes = 0;   ///< bytes moved by completed replications
+  std::int64_t replica_repairs = 0;     ///< survivors re-queued after a holder died
+  /// Producer re-runs for temps that had reached k copies at some point —
+  /// each one is a replication invariant miss (the soak asserts zero).
+  std::int64_t recoveries_replicated = 0;
 };
 
 class Manager {
@@ -208,6 +221,9 @@ class Manager {
   void shutdown();
 
   const ManagerStats& stats() const { return stats_; }
+  /// Temps still below their replication target — the elastic factory's
+  /// replication-backlog scale signal (0 while redundancy is off).
+  int replication_backlog() const { return redundancy_.backlog(); }
   const FileReplicaTable& replicas() const { return replicas_; }
   const CurrentTransferTable& transfers() const { return transfers_; }
   double now() const { return clock_.now(); }
@@ -242,6 +258,12 @@ class Manager {
     bool resources_committed = false;
     bool is_library = false;
     bool report_delivered = false;  ///< re-runs after recovery stay silent
+    /// A lost-temp recovery of this producer is still in flight: set when
+    /// recovery resets the task, cleared when a consumer of one of its
+    /// outputs completes. Guards stats_.recoveries against counting one
+    /// logical recovery episode twice when the re-run output dies again
+    /// before anyone consumed it.
+    bool recovering = false;
     TaskReport report;
   };
 
@@ -278,6 +300,9 @@ class Manager {
   void build_dag_view();
   /// Issue the pass's planned background prefetches as tagged FetchMsgs.
   void issue_prefetches();
+  /// Ask the redundancy engine for replica transfers and issue them as
+  /// pinned FetchMsgs riding the prefetch transfer class.
+  void issue_replications();
   /// Send best-effort cancel_transfer for live prefetches whose predicted
   /// consumer finished, failed, or landed on a different worker. The
   /// record stays open until the worker's cache_update reply closes it.
@@ -374,6 +399,13 @@ class Manager {
 
   // Outstanding replication goals: cache_name -> desired replica count.
   std::map<FileId, int> replication_goals_;
+
+  // ---- redundancy state (untouched when config.redundancy.enabled is off) ----
+  redundancy::RedundancyEngine redundancy_;
+  /// Transfer uuids of in-flight replication fetches; membership routes
+  /// their cache_updates to the replication branch (their records share
+  /// the prefetch transfer class with lookahead staging).
+  std::set<std::string> replication_live_;
 
   // Blobs that arrived for fetch_file round trips, keyed by tag.
   std::map<std::string, std::string> blob_stash_;

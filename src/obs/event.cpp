@@ -12,7 +12,8 @@ namespace {
 constexpr const char* kKindNames[] = {
     "task_state",    "transfer_begin", "transfer_end",   "cache_insert",
     "cache_evict",   "worker_join",    "worker_lost",    "worker_evicted",
-    "sched_pass",    "fault_injected", "counters",
+    "sched_pass",    "fault_injected", "counters",       "replica_repair",
+    "factory_scale",
 };
 constexpr std::size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
 
@@ -147,6 +148,25 @@ Event Event::make_counters(double t,
   ev.t = t;
   ev.kind = EventKind::counters;
   ev.counters = std::move(counters);
+  return ev;
+}
+
+Event Event::make_replica_repair(double t, std::string worker, std::string file,
+                                 std::string detail) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::replica_repair;
+  ev.worker = std::move(worker);
+  ev.file = std::move(file);
+  ev.detail = std::move(detail);
+  return ev;
+}
+
+Event Event::make_factory_scale(double t, std::string detail) {
+  Event ev;
+  ev.t = t;
+  ev.kind = EventKind::factory_scale;
+  ev.detail = std::move(detail);
   return ev;
 }
 

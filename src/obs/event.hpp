@@ -37,6 +37,8 @@ enum class EventKind : std::uint8_t {
   sched_pass,       ///< one scheduler pass: tasks scanned / dispatched
   fault_injected,   ///< a deterministic fault fired (chaos plans)
   counters,         ///< a MetricsRegistry snapshot (typically end of run)
+  replica_repair,   ///< redundancy engine queued a re-replication of a survivor
+  factory_scale,    ///< elastic worker factory scaled the pool (detail says how)
 };
 
 /// "task_state", "transfer_begin", ... — stable wire names.
@@ -62,8 +64,9 @@ struct Event {
 
   std::string file;       ///< cache object name (transfers, cache churn)
   std::string source;     ///< transfer source kind: "manager" | "url" | "worker"
-                          ///< | "prefetch" (background staging; the serving
-                          ///< worker rides in source_key)
+                          ///< | "prefetch" (background staging) | "replica"
+                          ///< (redundancy copy; for both background kinds the
+                          ///< serving worker rides in source_key)
   std::string source_key; ///< url text or peer worker id when source != manager
   std::string dest;       ///< transfer destination node ("manager" or worker id)
   std::string xfer;       ///< transfer uuid pairing begin/end events
@@ -106,6 +109,9 @@ struct Event {
                                    std::string worker = "");
   static Event make_counters(double t,
                              std::map<std::string, std::int64_t> counters);
+  static Event make_replica_repair(double t, std::string worker,
+                                   std::string file, std::string detail = "");
+  static Event make_factory_scale(double t, std::string detail);
 };
 
 /// Canonical JSON object for one event (sorted keys, unset fields omitted).

@@ -34,7 +34,7 @@ Result<void> validate_transfer(const json::Value& o, bool is_end) {
   if (!has_string(o, "file")) return bad("transfer event missing file");
   if (!has_string(o, "source")) return bad("transfer event missing source");
   const std::string& src = o.find("source")->as_string();
-  if (!in_vocab(src, {"manager", "url", "worker", "prefetch"})) {
+  if (!in_vocab(src, {"manager", "url", "worker", "prefetch", "replica"})) {
     return bad("transfer source not in vocabulary: " + src);
   }
   if (src != "manager" && !has_string(o, "source_key")) {
@@ -127,6 +127,17 @@ Result<void> validate_event_json(const json::Value& obj) {
       if (!c || !c->is_object()) return bad("counters event missing counters");
       for (const auto& [k, val] : c->as_object()) {
         if (!val.is_int()) return bad("counter " + k + " is not an integer");
+      }
+      break;
+    }
+    case EventKind::replica_repair: {
+      if (!has_string(obj, "worker")) return bad("replica_repair missing worker");
+      if (!has_string(obj, "file")) return bad("replica_repair missing file");
+      break;
+    }
+    case EventKind::factory_scale: {
+      if (!has_string(obj, "detail")) {
+        return bad("factory_scale missing detail (direction and pool size)");
       }
       break;
     }

@@ -10,10 +10,12 @@
 // validate_event_json(); TraceValidator adds the cross-event ordering
 // checks (seq monotonicity, per-emitter timestamp monotonicity).
 //
-// Compatibility policy: adding an optional field is backward compatible and
-// does NOT bump the version; renaming/removing a field, changing a field's
-// meaning, or growing an enum vocabulary bumps kSchemaVersion, and readers
-// reject versions they do not know.
+// Compatibility policy: adding an optional field, a new event kind, or a new
+// enum vocabulary member is backward compatible and does NOT bump the version
+// (older traces never contain the new values; readers that predate them fail
+// loudly on the unknown name). Renaming/removing a field, changing a field's
+// meaning, or repurposing an existing vocabulary member bumps kSchemaVersion,
+// and readers reject versions they do not know.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +28,9 @@
 namespace vine::obs {
 
 // v2: the transfer-source vocabulary grew "prefetch" (lookahead scheduling's
-// background input staging; the source worker rides in source_key).
+// background input staging; the source worker rides in source_key). Still v2
+// (additive): source "replica" plus the replica_repair and factory_scale
+// kinds, emitted only when k-replication / the elastic factory are enabled.
 inline constexpr std::int64_t kSchemaVersion = 2;
 
 /// Validate one parsed JSONL line against the per-event schema (required

@@ -180,6 +180,7 @@ struct Encoder {
     o["level"] = level_to_wire(m.level);
     o["source"] = source_to_json(m.source, m.source_addr);
     if (m.prefetch) o["prefetch"] = true;
+    if (m.pin) o["pin"] = true;
     return Value(std::move(o));
   }
   Value operator()(const MiniTaskMsg& m) const {
@@ -337,6 +338,7 @@ Result<AnyMessage> decode(const json::Value& v) {
       m.source_addr = s->get_string("addr");
     }
     m.prefetch = v.get_bool("prefetch");
+    m.pin = v.get_bool("pin");
     return AnyMessage(std::move(m));
   }
   if (type == "mini_task") {

@@ -99,6 +99,10 @@ struct FetchMsg {
   /// worker tags the cached object so capacity pressure evicts it before
   /// any live workflow state, and a cancel_transfer may abort it.
   bool prefetch = false;
+  /// Redundancy copy: the worker pins the cached object so capacity
+  /// pressure never evicts it (the manager relies on pinned replicas to
+  /// satisfy the replication invariant). Mutually exclusive with prefetch.
+  bool pin = false;
 };
 
 struct MiniTaskMsg {

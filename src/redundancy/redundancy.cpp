@@ -1,0 +1,232 @@
+#include "redundancy/redundancy.hpp"
+
+#include <algorithm>
+
+namespace vine::redundancy {
+
+void RedundancyEngine::note_produced(const std::string& cache_name,
+                                     double runtime_s, std::int64_t bytes,
+                                     std::span<const std::string> temp_inputs) {
+  if (!config_.enabled) return;
+  int depth = 1;
+  for (const std::string& in : temp_inputs) {
+    auto it = tracked_.find(in);
+    if (it != tracked_.end()) depth = std::max(depth, it->second.depth + 1);
+  }
+  Tracked& t = tracked_[cache_name];
+  // A re-produced file (recovery re-run) starts a fresh episode: its old
+  // copies are gone, so the satisfied marker and repair flag reset too.
+  t.runtime_s = runtime_s;
+  t.depth = depth;
+  t.bytes = bytes;
+  t.repair = false;
+  t.satisfied = false;
+  if (config_.replication_factor > 1 && !t.queued) {
+    t.queued = true;
+    queue_.insert(cache_name);
+  }
+}
+
+void RedundancyEngine::note_replica_done(const std::string& cache_name,
+                                         const WorkerId& dest, bool ok,
+                                         std::int64_t bytes) {
+  auto it = inflight_.find(cache_name);
+  if (it == inflight_.end() || !it->second.erase(dest)) return;
+  if (it->second.empty()) inflight_.erase(it);
+  --inflight_total_;
+  auto dit = inflight_to_.find(dest);
+  if (dit != inflight_to_.end() && --dit->second <= 0) inflight_to_.erase(dit);
+  auto tit = tracked_.find(cache_name);
+  const std::int64_t reserved = tit != tracked_.end() ? tit->second.bytes : bytes;
+  if (ok) {
+    ++stats_.completed;
+    stats_.bytes_replicated += std::max<std::int64_t>(bytes, 0);
+  } else {
+    // Refund the reservation so the retry (or another file) can spend it.
+    ++stats_.failed;
+    bytes_total_ -= reserved;
+    auto bit = bytes_to_.find(dest);
+    if (bit != bytes_to_.end()) {
+      bit->second -= reserved;
+      if (bit->second <= 0) bytes_to_.erase(bit);
+    }
+  }
+}
+
+std::vector<std::string> RedundancyEngine::note_worker_lost(
+    const WorkerId& worker, const std::vector<std::string>& lost,
+    const FileReplicaTable& replicas) {
+  std::vector<std::string> repairs;
+  if (!config_.enabled) return repairs;
+  // The worker's byte budget dies with it; a same-id rejoin starts cold.
+  bytes_to_.erase(worker);
+  for (const std::string& name : lost) {
+    auto it = tracked_.find(name);
+    if (it == tracked_.end()) continue;
+    Tracked& t = it->second;
+    const int present = replicas.present_count(name);
+    if (present == 0) {
+      // Every copy died: the recovery path owns this file now. Forget it —
+      // a successful producer re-run re-enters it via note_produced.
+      if (t.queued) queue_.erase(name);
+      tracked_.erase(it);
+      continue;
+    }
+    if (present < config_.replication_factor) {
+      t.repair = true;
+      if (!t.queued) {
+        t.queued = true;
+        queue_.insert(name);
+      }
+      ++stats_.repairs;
+      repairs.push_back(name);
+    }
+  }
+  return repairs;
+}
+
+bool RedundancyEngine::ever_satisfied(const std::string& cache_name) const {
+  auto it = tracked_.find(cache_name);
+  return it != tracked_.end() && it->second.satisfied;
+}
+
+double RedundancyEngine::score(const Tracked& t, double pressure) const {
+  const double bytes = static_cast<double>(std::max<std::int64_t>(t.bytes, 1));
+  return t.runtime_s * (1.0 + t.depth) / (bytes * pressure);
+}
+
+std::vector<ReplicaPlan> RedundancyEngine::plan(
+    const FileReplicaTable& replicas, const CurrentTransferTable& transfers,
+    std::span<const WorkerSnapshot> workers) {
+  std::vector<ReplicaPlan> out;
+  if (!config_.enabled || queue_.empty() || workers.size() < 2) return out;
+
+  // Replication yields to a busy fabric: every in-flight transfer (critical
+  // or background) inflates the byte cost, deflating every score equally —
+  // which matters once budgets cut the candidate list short.
+  const double pressure = 1.0 + static_cast<double>(transfers.size());
+
+  // Refresh the queue against the table: drop satisfied and fully lost
+  // files, rank the rest. Repairs outrank everything, then score descending,
+  // then name ascending — fully deterministic.
+  struct Candidate {
+    double rank = 0;
+    bool repair = false;
+    const std::string* name = nullptr;
+    int needed = 0;
+  };
+  std::vector<Candidate> cands;
+  cands.reserve(queue_.size());
+  for (auto qit = queue_.begin(); qit != queue_.end();) {
+    const std::string& name = *qit;
+    Tracked& t = tracked_.at(name);
+    const int present = replicas.present_count(name);
+    const auto ifl = inflight_.find(name);
+    const int pending = ifl == inflight_.end()
+                            ? 0
+                            : static_cast<int>(ifl->second.size());
+    if (present >= config_.replication_factor) {
+      if (!t.satisfied) {
+        t.satisfied = true;
+        ++stats_.satisfied;
+      }
+      t.queued = false;
+      t.repair = false;
+      qit = queue_.erase(qit);
+      continue;
+    }
+    if (present == 0) {
+      // Lost everything while queued (recovery owns it) — see
+      // note_worker_lost; this catches losses reported without the file on
+      // the dead worker's list (e.g. a failed critical fetch was its only
+      // pending copy).
+      t.queued = false;
+      qit = queue_.erase(qit);
+      continue;
+    }
+    const int needed = config_.replication_factor - present - pending;
+    if (needed > 0) {
+      cands.push_back({score(t, pressure), t.repair, &name, needed});
+    }
+    ++qit;
+  }
+  if (cands.empty()) return out;
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.repair != b.repair) return a.repair;
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return *a.name < *b.name;
+            });
+
+  // Destination order: ascending worker id (snapshots_ is swap-pop dense and
+  // its order is history-dependent; sorting restores determinism).
+  std::vector<const WorkerSnapshot*> by_id;
+  by_id.reserve(workers.size());
+  for (const WorkerSnapshot& w : workers) by_id.push_back(&w);
+  std::sort(by_id.begin(), by_id.end(),
+            [](const WorkerSnapshot* a, const WorkerSnapshot* b) {
+              return a->id < b->id;
+            });
+
+  for (const Candidate& c : cands) {
+    if (inflight_total_ >= config_.max_inflight) break;
+    if (static_cast<int>(out.size()) >= config_.max_plans_per_pass) break;
+    const std::string& name = *c.name;
+    const Tracked& t = tracked_.at(name);
+    if (config_.global_budget_bytes > 0 &&
+        bytes_total_ + t.bytes > config_.global_budget_bytes) {
+      continue;  // a smaller file may still fit
+    }
+
+    // Source: the present holder serving the fewest transfers right now
+    // (critical + prefetch classes), ties on id. workers_with returns
+    // holders in token order; sort by id for determinism.
+    std::vector<WorkerId> holders = replicas.workers_with(name);
+    std::sort(holders.begin(), holders.end());
+    const WorkerId* src = nullptr;
+    int src_load = 0;
+    for (const WorkerId& h : holders) {
+      const int load = transfers.inflight_from_worker(h) +
+                       transfers.prefetch_inflight_from_worker(h);
+      if (src == nullptr || load < src_load) {
+        src = &h;
+        src_load = load;
+      }
+    }
+    if (src == nullptr) continue;
+
+    int needed = c.needed;
+    const auto ifl = inflight_.find(name);
+    for (const WorkerSnapshot* w : by_id) {
+      if (needed <= 0) break;
+      if (inflight_total_ >= config_.max_inflight) break;
+      if (static_cast<int>(out.size()) >= config_.max_plans_per_pass) break;
+      const WorkerId& dest = w->id;
+      if (dest == *src) continue;
+      if (replicas.find(name, dest)) continue;  // holds or fetching already
+      if (ifl != inflight_.end() && ifl->second.count(dest)) continue;
+      auto iit = inflight_to_.find(dest);
+      if (iit != inflight_to_.end() && iit->second >= config_.per_dest_inflight) {
+        continue;
+      }
+      auto bit = bytes_to_.find(dest);
+      const std::int64_t spent = bit != bytes_to_.end() ? bit->second : 0;
+      if (config_.per_worker_budget_bytes > 0 &&
+          spent + t.bytes > config_.per_worker_budget_bytes) {
+        continue;
+      }
+      // Reserve and emit.
+      inflight_[name].insert(dest);
+      ++inflight_total_;
+      ++inflight_to_[dest];
+      bytes_total_ += t.bytes;
+      bytes_to_[dest] += t.bytes;
+      ++stats_.planned;
+      out.push_back({name, *src, dest, t.bytes, c.repair});
+      --needed;
+    }
+  }
+  return out;
+}
+
+}  // namespace vine::redundancy

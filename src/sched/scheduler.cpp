@@ -364,6 +364,10 @@ void Scheduler::add_consumer_gravity(const TaskSpec& task,
         if (ft == FileReplicaTable::no_token) continue;
         for (const auto& h : replicas.holders(ft)) {
           if (h.replica.state != ReplicaState::present) continue;
+          // Pinned holders are redundancy copies; counting them would let
+          // one k-replicated temp pull consumers toward k slots at once,
+          // multiplying its gravity by its replication factor.
+          if (h.replica.pinned) continue;
           note_mass(slot_of(h.worker, workers, replicas),
                     h.replica.size > 0 ? h.replica.size : hint);
         }

@@ -172,8 +172,9 @@ class Scheduler {
       const CurrentTransferTable& transfers, double now = 0.0);
 
   /// Failure feedback from the transfer layer: a failed transfer demotes
-  /// and temporarily blacklists its source; a completed one rehabilitates
-  /// it. plan_source folds this into peer choice and fallback.
+  /// and temporarily blacklists its source; a completed one halves its
+  /// score and reopens it. plan_source folds this into peer choice and
+  /// fallback.
   void note_transfer_failure(const TransferSource& source, double now) {
     health_.record_failure(source, now, config_.health);
   }

@@ -32,10 +32,24 @@ void SourceHealth::record_failure(const TransferSource& source, double now,
 }
 
 void SourceHealth::record_success(const TransferSource& source) {
+  // Decay toward zero rather than erase outright: each success halves the
+  // consecutive-failure score and reopens the source (the blacklist window
+  // only guards between failures, not after a proven-good transfer). A
+  // single transient hiccup (score 1) is forgotten by its next success,
+  // while a repeat offender must string together successes to regain its
+  // full plan_source ranking.
   if (source.kind == TransferSource::Kind::worker) {
-    workers_.erase(source.key);
+    auto it = workers_.find(source.key);
+    if (it == workers_.end()) return;
+    it->second.consecutive /= 2;
+    it->second.until = 0;
+    if (it->second.consecutive == 0) workers_.erase(it);
   } else {
-    others_.erase(source.account());
+    auto it = others_.find(source.account());
+    if (it == others_.end()) return;
+    it->second.consecutive /= 2;
+    it->second.until = 0;
+    if (it->second.consecutive == 0) others_.erase(it);
   }
 }
 

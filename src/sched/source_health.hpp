@@ -1,7 +1,9 @@
 // Per-source failure scoring with exponential backoff, feeding plan_source.
 // Every failed transfer against a source (a peer worker, a URL, the manager)
 // bumps its consecutive-failure count and blacklists it until
-// now + base * 2^(failures-1), capped; one success fully rehabilitates it.
+// now + base * 2^(failures-1), capped; each success halves the score and
+// clears the blacklist window, so a single hiccup is forgotten immediately
+// while a repeat offender earns its ranking back gradually.
 // plan_source skips blacklisted peers, prefers lower-scored peers among the
 // eligible, and — when *every* holder of a file is blacklisted rather than
 // merely saturated — falls back to the file's fixed source instead of
@@ -32,7 +34,8 @@ class SourceHealth {
   void record_failure(const TransferSource& source, double now,
                       const SourceHealthConfig& config);
 
-  /// Record a completed transfer; the source is fully rehabilitated.
+  /// Record a completed transfer: the source's score halves (erased at
+  /// zero) and any open blacklist window closes.
   void record_success(const TransferSource& source);
 
   /// True while the source's backoff window is open at `now`.

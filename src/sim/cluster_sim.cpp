@@ -37,7 +37,9 @@ ClusterSim::ClusterSim(SimConfig config)
     : config_(std::move(config)),
       net_(sim_),
       scheduler_(config_.sched, config_.seed),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      redundancy_(config_.redundancy),
+      factory_(config_.factory) {
   // A private sink keeps the Figure-12 views available even when the caller
   // did not ask for a full trace; retention stays off so paper-scale runs
   // do not hold millions of events in memory.
@@ -63,6 +65,15 @@ ClusterSim::ClusterSim(SimConfig config)
   metrics_.expose("sched.prefetch_hit", &stats_.prefetch_hits);
   metrics_.expose("sched.prefetch_cancelled", &stats_.prefetch_cancelled);
   metrics_.expose("sched.prefetch_wasted_bytes", &stats_.prefetch_wasted_bytes);
+  // Redundancy/factory gauges only exist while the knobs are on: exposing
+  // them unconditionally would change every counters event and break the
+  // byte-identity guarantee for replication-off traces.
+  if (config_.redundancy.enabled) {
+    metrics_.expose("sim.replications", &stats_.replications);
+    metrics_.expose("sim.replication_bytes", &stats_.replication_bytes);
+    metrics_.expose("sim.replica_repairs", &stats_.replica_repairs);
+    metrics_.expose("sim.recoveries_replicated", &stats_.recoveries_replicated);
+  }
   manager_node_ = net_.add_node("manager", config_.manager_nic_Bps,
                                 config_.manager_nic_Bps, config_.stream_knee,
                                 config_.stream_beta);
@@ -325,6 +336,8 @@ void ClusterSim::schedule_pass() {
   scheduler_.end_pass();
   emit(vine::obs::Event::make_sched_pass(
       now, stats_.tasks_scanned - scanned_before, dispatched_this_pass));
+  if (redundancy_.enabled()) issue_replications(now);
+  if (factory_.enabled()) evaluate_factory(now);
 }
 
 void ClusterSim::build_dag_view(double now) {
@@ -449,6 +462,145 @@ void ClusterSim::cancel_stale_prefetches() {
   }
 }
 
+void ClusterSim::issue_replications(double now) {
+  for (const auto& plan : redundancy_.plan(replicas_, transfers_, snapshots_)) {
+    auto fit = files_.find(plan.cache_name);
+    if (fit == files_.end()) {
+      redundancy_.note_replica_done(plan.cache_name, plan.dest, /*ok=*/false, 0);
+      continue;
+    }
+    const SimFile* file = fit->second.get();
+    const TransferSource src = TransferSource::from_worker(plan.source);
+    // Replication rides the transfer table's prefetch class so the
+    // per-source limits task-critical planning reads stay untouched.
+    std::string uuid = transfers_.begin(plan.cache_name, plan.dest, src, now,
+                                        /*prefetch=*/true);
+    replicas_.set_replica(plan.cache_name, plan.dest, ReplicaState::pending);
+    PendingFetch pf;
+    pf.uuid = std::move(uuid);
+    pf.file = file;
+    pf.dest = plan.dest;
+    pf.source = src;
+    pf.replica = true;
+    enqueue_fetch(std::move(pf));
+  }
+}
+
+void ClusterSim::evaluate_factory(double now) {
+  vine::factory::FactorySignals s;
+  s.now = now;
+  s.alive_workers = static_cast<int>(snapshots_.size());
+  for (const auto& snap : snapshots_) {
+    s.total_cores += snap.total.cores;
+    s.busy_cores += snap.committed.cores;
+    s.running_tasks += snap.running_tasks;
+  }
+  for (const auto tid : ready_runs_) {
+    const TaskRun& run = runs_.at(tid);
+    if (run.task->submit_at <= now && run.worker.empty()) ++s.ready_tasks;
+  }
+  // Sim workers model unlimited disk, so cache pressure never fires here;
+  // the ready-queue and replication-backlog signals carry the decision.
+  s.cache_pressure = 0;
+  s.replication_backlog = redundancy_.backlog();
+
+  const int verdict = factory_.decide(s);
+  if (verdict > 0) {
+    for (int i = 0; i < verdict; ++i) {
+      const std::string id = "fw" + std::to_string(next_factory_worker_++);
+      add_worker(id, now, config_.factory_worker_cores);
+      ++stats_.factory_spawned;
+      worker_join(id);
+    }
+    emit(vine::obs::Event::make_factory_scale(
+        now, "up:" + std::to_string(verdict) +
+                 " pool:" + std::to_string(snapshots_.size())));
+  } else if (verdict < 0) {
+    int retired = 0;
+    for (int i = 0; i < -verdict; ++i) {
+      if (!retire_idle_worker(now)) break;
+      ++retired;
+    }
+    if (retired > 0) {
+      emit(vine::obs::Event::make_factory_scale(
+          now, "down:" + std::to_string(retired) +
+                   " pool:" + std::to_string(snapshots_.size())));
+    }
+  }
+}
+
+bool ClusterSim::retire_idle_worker(double now) {
+  // Only factory-spawned workers ("fw<N>") are retirement candidates — the
+  // caller-declared pool is the experiment's fixture, and fault plans index
+  // into it. Candidates in id order for determinism.
+  for (const auto& [id, w] : workers_) {
+    if (!w.joined || id.rfind("fw", 0) != 0) continue;
+    const vine::WorkerSnapshot& snap = snapshots_[w.slot];
+    // Provably idle: nothing running or committed (library instances hold
+    // cores, so library hosts never retire), no fetch activity in or out.
+    if (snap.running_tasks > 0 || snap.committed.cores > 0) continue;
+    if (w.active_fetches > 0) continue;
+    auto qit = worker_queue_.find(id);
+    if (qit != worker_queue_.end() && !qit->second.empty()) continue;
+    bool transfers_touch = false;
+    for (const auto& [_, pf] : inflight_) {
+      if (pf.dest == id || (pf.source.kind == TransferSource::Kind::worker &&
+                            pf.source.key == id)) {
+        transfers_touch = true;
+        break;
+      }
+    }
+    if (transfers_touch) continue;
+    // Fully replicated: every file held here must survive the teardown.
+    const std::vector<std::string> held = replicas_.files_on(id);
+    bool safe = true;
+    for (const std::string& name : held) {
+      if (replicas_.present_count(name) < 2) {
+        safe = false;
+        break;
+      }
+    }
+    if (!safe) continue;
+
+    // Graceful teardown — same bookkeeping as a crash minus the damage:
+    // no tasks to requeue, no inflight to abort, nothing lost.
+    WorkerSim& worker = workers_[id];
+    {
+      vine::WorkerSnapshot& s = snapshots_[worker.slot];
+      total_avail_cores_ -= (worker.total.cores - s.committed.cores);
+      const std::size_t last = snapshots_.size() - 1;
+      if (worker.slot != last) {
+        snapshots_[worker.slot] = std::move(snapshots_[last]);
+        workers_[snapshots_[worker.slot].id].slot = worker.slot;
+      }
+      snapshots_.pop_back();
+    }
+    worker.joined = false;
+    for (const std::string& name : held) {
+      emit(vine::obs::Event::make_cache_evict(now, id, name, "retired"));
+    }
+    replicas_.remove_worker(id);
+    net_.remove_node(worker.node);
+    transfers_.remove_worker(id);
+    for (auto it = prefetched_.begin(); it != prefetched_.end();) {
+      it = it->second == id ? prefetched_.erase(it) : std::next(it);
+    }
+    for (auto it = expected_outputs_.begin(); it != expected_outputs_.end();) {
+      it = it->second == id ? expected_outputs_.erase(it) : std::next(it);
+    }
+    // Retiring a holder can drop a file below k: re-queue survivors.
+    for (const std::string& name :
+         redundancy_.note_worker_lost(id, held, replicas_)) {
+      ++stats_.replica_repairs;
+      emit(vine::obs::Event::make_replica_repair(now, id, name));
+    }
+    emit(vine::obs::Event::make_worker_lost(now, id, "retired"));
+    ++stats_.factory_retired;
+    return true;
+  }
+  return false;
+}
+
 NodeToken ClusterSim::source_node(const TransferSource& src,
                                   const SimFile* file) const {
   switch (src.kind) {
@@ -523,17 +675,20 @@ bool ClusterSim::ensure_file_at(const SimFile* file, const std::string& worker) 
 
 void ClusterSim::enqueue_fetch(PendingFetch fetch) {
   if (fetch.source.kind == TransferSource::Kind::worker && !fetch.is_unpack &&
-      !fetch.prefetch) {
+      !fetch.prefetch && !fetch.replica) {
     stats_.max_worker_source_inflight =
         std::max(stats_.max_worker_source_inflight,
                  transfers_.inflight_from(fetch.source));
   }
   std::string dest = fetch.dest;
   auto& queue = worker_queue_[dest];
-  if (config_.sched.lookahead.enabled && !fetch.prefetch) {
-    // Task-critical fetches jump ahead of queued background prefetches.
-    auto it = std::find_if(queue.begin(), queue.end(),
-                           [](const PendingFetch& f) { return f.prefetch; });
+  const bool background = fetch.prefetch || fetch.replica;
+  if ((config_.sched.lookahead.enabled || redundancy_.enabled()) && !background) {
+    // Task-critical fetches jump ahead of queued background traffic
+    // (prefetches and replication copies alike).
+    auto it = std::find_if(queue.begin(), queue.end(), [](const PendingFetch& f) {
+      return f.prefetch || f.replica;
+    });
     queue.insert(it, std::move(fetch));
   } else {
     queue.push_back(std::move(fetch));
@@ -545,9 +700,9 @@ void ClusterSim::start_next_fetches(const std::string& worker) {
   WorkerSim& w = workers_[worker];
   auto& queue = worker_queue_[worker];
   while (!queue.empty()) {
-    // Prefetches leave one transfer slot free for task-critical arrivals,
-    // so background staging can never saturate a destination's queue.
-    const int cap = queue.front().prefetch
+    // Background transfers (prefetch or replication) leave one slot free
+    // for task-critical arrivals, so they can never saturate a destination.
+    const int cap = (queue.front().prefetch || queue.front().replica)
                         ? config_.worker_parallel_transfers - 1
                         : config_.worker_parallel_transfers;
     if (w.active_fetches >= cap) break;
@@ -562,7 +717,9 @@ void ClusterSim::start_fetch(PendingFetch fetch) {
   {
     auto ev = vine::obs::Event::make_transfer_begin(
         sim_.now(), fetch.file->name,
-        fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
+        fetch.replica
+            ? "replica"
+            : fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
         source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
         fetch.uuid);
     if (fetch.is_unpack) ev.detail = "unpack";
@@ -619,7 +776,9 @@ void ClusterSim::fail_inflight(const std::string& uuid) {
 void ClusterSim::fetch_failed(const PendingFetch& fetch) {
   emit(vine::obs::Event::make_transfer_end(
       sim_.now(), fetch.file->name,
-      fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
+      fetch.replica
+          ? "replica"
+          : fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
       source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
       fetch.uuid, /*ok=*/false,
       fetch.corrupted ? "digest_reject" : "failed"));
@@ -631,6 +790,10 @@ void ClusterSim::fetch_failed(const PendingFetch& fetch) {
     // being best-effort background traffic — does not blacklist its
     // source for task-critical planning.
     prefetch_live_.erase(fetch.uuid);
+  } else if (fetch.replica) {
+    // Same best-effort rule for replication copies: refund the engine's
+    // budget so it can re-plan, but never poison the source's health.
+    redundancy_.note_replica_done(fetch.file->name, fetch.dest, /*ok=*/false, 0);
   } else {
     scheduler_.note_transfer_failure(fetch.source, sim_.now());
   }
@@ -652,12 +815,16 @@ void ClusterSim::fetch_failed(const PendingFetch& fetch) {
 void ClusterSim::fetch_complete(const PendingFetch& fetch) {
   emit(vine::obs::Event::make_transfer_end(
       sim_.now(), fetch.file->name,
-      fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
+      fetch.replica
+          ? "replica"
+          : fetch.prefetch ? "prefetch" : source_kind_name(fetch.source.kind),
       source_key_of(fetch.source), fetch.dest, fetch.dest, fetch.file->size,
       fetch.uuid, /*ok=*/true, fetch.is_unpack ? "unpack" : ""));
   emit(vine::obs::Event::make_cache_insert(
       sim_.now(), fetch.dest, fetch.file->name, fetch.file->size,
-      fetch.is_unpack ? "unpack" : (fetch.prefetch ? "prefetch" : "fetch")));
+      fetch.is_unpack
+          ? "unpack"
+          : (fetch.replica ? "replica" : (fetch.prefetch ? "prefetch" : "fetch"))));
   transfers_.finish(fetch.uuid);
   // Self-sourced mini-tasks (unpack) say nothing about the worker's health
   // as a *peer* source, so they don't rehabilitate it (mirrors the
@@ -671,6 +838,14 @@ void ClusterSim::fetch_complete(const PendingFetch& fetch) {
 
   if (fetch.is_unpack) {
     ++stats_.unpacks;
+  } else if (fetch.replica) {
+    // A landed replica is pinned: eviction must never drop a redundancy
+    // copy, and the engine's budget is refunded for the next plan.
+    replicas_.pin(fetch.file->name, fetch.dest);
+    ++stats_.replications;
+    stats_.replication_bytes += fetch.file->size;
+    redundancy_.note_replica_done(fetch.file->name, fetch.dest, /*ok=*/true,
+                                  fetch.file->size);
   } else if (fetch.prefetch) {
     // Prefetched bytes are accounted in their own class — they never mix
     // into the task-critical per-source totals the Figure-11/13 gates read.
@@ -774,6 +949,29 @@ void ClusterSim::task_complete(TaskRun& run) {
                             out.size);
       emit(vine::obs::Event::make_cache_insert(now, run.worker, out.file->name,
                                                out.size, "task_output"));
+    }
+  }
+
+  // A consumer completing closes its producers' recovery episodes: the
+  // re-produced temp has now been consumed, so a later loss of the same
+  // chain counts as a fresh recovery (mirrors the manager).
+  for (const auto* in : task.inputs) {
+    if (in->origin != SimFile::Origin::temp || in->producer == nullptr) continue;
+    auto pit = runs_.find(in->producer->id);
+    if (pit != runs_.end()) pit->second.recovering = false;
+  }
+
+  if (redundancy_.enabled()) {
+    // Tell the engine what this run just produced: observed runtime and the
+    // temp inputs whose ancestry deepens the loss cost.
+    std::vector<std::string> temp_inputs;
+    for (const auto* in : task.inputs) {
+      if (in->origin == SimFile::Origin::temp) temp_inputs.push_back(in->name);
+    }
+    const double runtime_s = std::max(0.0, now - run.started_at_);
+    for (const auto& out : task.outputs) {
+      if (task.retrieve_outputs || config_.retrieve_temp_outputs) continue;
+      redundancy_.note_produced(out.file->name, runtime_s, out.size, temp_inputs);
     }
   }
   request_schedule();
@@ -960,6 +1158,13 @@ void ClusterSim::fail_worker(const std::string& id_ref) {
   //    started fetches toward it are silently aborted; started fetches
   //    *from* it fail at their destinations, which score the source and
   //    re-plan. Victims are processed in start order for determinism.
+  for (const PendingFetch& pf : worker_queue_[id]) {
+    // Queued replication copies toward the dead worker never started;
+    // refund the engine's budget so it can re-plan them elsewhere.
+    if (pf.replica) {
+      redundancy_.note_replica_done(pf.file->name, pf.dest, /*ok=*/false, 0);
+    }
+  }
   worker_queue_[id].clear();
   w.active_fetches = 0;
   std::vector<std::pair<std::uint64_t, std::string>> to_abort, to_fail;
@@ -982,9 +1187,13 @@ void ClusterSim::fail_worker(const std::string& id_ref) {
     if (pf.event) sim_.cancel(pf.event);
     emit(vine::obs::Event::make_transfer_end(
         now, pf.file->name,
-        pf.prefetch ? "prefetch" : source_kind_name(pf.source.kind),
+        pf.replica ? "replica"
+                   : pf.prefetch ? "prefetch" : source_kind_name(pf.source.kind),
         source_key_of(pf.source), pf.dest, pf.dest, pf.file->size, pf.uuid,
         /*ok=*/false, "worker_lost"));
+    if (pf.replica) {
+      redundancy_.note_replica_done(pf.file->name, pf.dest, /*ok=*/false, 0);
+    }
   }
   for (const auto& [_, uuid] : to_fail) fail_inflight(uuid);
 
@@ -1002,7 +1211,19 @@ void ClusterSim::fail_worker(const std::string& id_ref) {
     it = it->second == id ? expected_outputs_.erase(it) : std::next(it);
   }
 
-  // 5. Transitive recovery: temps whose last replica died get their done
+  // 5. Replica repair first: survivors of the crash that fell below k are
+  //    re-queued for replication *before* the recovery sweep, so producer
+  //    re-runs fire only for temps whose every copy died.
+  if (redundancy_.enabled()) {
+    for (const std::string& name :
+         redundancy_.note_worker_lost(id, lost, replicas_)) {
+      ++stats_.replica_repairs;
+      emit(vine::obs::Event::make_replica_repair(now, id, name));
+    }
+    issue_replications(now);
+  }
+
+  // 6. Transitive recovery: temps whose last replica died get their done
   //    producers re-queued, up the ancestor chain.
   recover_lost_temps(lost, now);
   emit(vine::obs::Event::make_worker_lost(now, id, "crash"));
@@ -1040,7 +1261,15 @@ void ClusterSim::recover_lost_temps(const std::vector<std::string>& lost,
     if (rit == runs_.end()) continue;
     TaskRun& run = rit->second;
     if (run.state != TaskState::done) continue;  // already queued or running
-    ++stats_.recoveries;
+    // One recovery episode per producer: a re-produced output that dies
+    // again before any consumer ran extends the same episode.
+    if (!run.recovering) ++stats_.recoveries;
+    run.recovering = true;
+    if (redundancy_.enabled() && redundancy_.ever_satisfied(f->name)) {
+      // This temp had reached k copies and still lost them all — the
+      // replication invariant missed; the chaos soak asserts zero of these.
+      ++stats_.recoveries_replicated;
+    }
     run.worker.clear();
     run.committed = false;
     run.ready_at = now;
@@ -1133,6 +1362,10 @@ void ClusterSim::emit_counters() {
   snap["sim.faults_injected"] = stats_.faults_injected;
   snap["sim.transfer_failures"] = stats_.transfer_failures;
   snap["sim.recoveries"] = stats_.recoveries;
+  if (config_.factory.enabled) {
+    snap["sim.factory_spawned"] = stats_.factory_spawned;
+    snap["sim.factory_retired"] = stats_.factory_retired;
+  }
   emit(vine::obs::Event::make_counters(sim_.now(), std::move(snap)));
 }
 

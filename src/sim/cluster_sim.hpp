@@ -24,8 +24,10 @@
 #include "common/faults.hpp"
 #include "common/invariant.hpp"
 #include "common/rng.hpp"
+#include "factory/factory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
+#include "redundancy/redundancy.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/flow_network.hpp"
 #include "sim/simulation.hpp"
@@ -69,6 +71,18 @@ struct SimConfig {
   /// and consumers re-fetch it from there — the "shared storage" mode of
   /// Figure 13a. When false (default), temps stay in-cluster.
   bool retrieve_temp_outputs = false;
+
+  /// Proactive k-replication of temp outputs (the shared vine::redundancy
+  /// policy; same engine the real Manager runs). Off by default — off must
+  /// leave the event stream byte-identical to a build without the engine.
+  vine::redundancy::RedundancyConfig redundancy{};
+
+  /// Elastic worker pool (vine::factory): spawn "fw<N>" workers / retire
+  /// idle factory-spawned ones from the factory's per-pass verdicts.
+  vine::factory::FactoryConfig factory{};
+
+  /// Cores given to each factory-spawned worker.
+  double factory_worker_cores = 8;
 
   /// Shared event sink (emitter "sim"). When null the sim creates a private
   /// sink with full-event retention off, so the evaluation views stay
@@ -159,7 +173,17 @@ struct SimStats {
   int worker_rejoins = 0;     ///< crashed workers that came back
   int faults_injected = 0;    ///< fault-plan events that found a target
   int transfer_failures = 0;  ///< fetches that failed (injected or crash)
-  int recoveries = 0;         ///< done producers re-queued for lost temps
+  int recoveries = 0;         ///< recovery episodes (producer re-run chains)
+
+  // ---- redundancy & elasticity (advance only when the knobs are on) ----
+  std::int64_t replications = 0;        ///< completed replication transfers
+  std::int64_t replication_bytes = 0;   ///< bytes moved by completed replications
+  std::int64_t replica_repairs = 0;     ///< survivors re-queued after a holder died
+  /// Producer re-runs for temps that had reached k copies at some point —
+  /// each one is a replication invariant miss (the soak asserts zero).
+  std::int64_t recoveries_replicated = 0;
+  int factory_spawned = 0;  ///< workers the elastic factory brought up
+  int factory_retired = 0;  ///< idle factory workers gracefully retired
 };
 
 class ClusterSim {
@@ -254,6 +278,7 @@ class ClusterSim {
     std::uint64_t seq = 0;  ///< start order; fault victims picked by min seq
     bool corrupted = false; ///< frame_corrupt: digest check fails on arrival
     bool prefetch = false;  ///< lookahead background staging (lower priority)
+    bool replica = false;   ///< redundancy copy (background class, pinned on arrival)
   };
 
   struct TaskRun {
@@ -265,6 +290,11 @@ class ClusterSim {
     double started_at_ = 0;
     EventId dispatch_event = 0;    ///< pending dispatch; cancelled on crash
     EventId completion_event = 0;  ///< pending completion; cancelled on crash
+    /// A lost-temp recovery of this producer is still in flight: set when
+    /// recovery re-queues it, cleared when a consumer of one of its outputs
+    /// completes. Guards stats_.recoveries against double-counting one
+    /// logical episode across repeated losses (mirrors the manager).
+    bool recovering = false;
   };
 
   void worker_join(const std::string& id);
@@ -279,6 +309,14 @@ class ClusterSim {
   /// Cancel live prefetches whose predicted consumer landed elsewhere
   /// (or vanished); accounts cancelled count and wasted bytes.
   void cancel_stale_prefetches();
+  /// Ask the redundancy engine for replica transfers and enqueue them as
+  /// background fetches (pinned at the destination on completion).
+  void issue_replications(double now);
+  /// Feed the factory one pass worth of signals and execute its verdict.
+  void evaluate_factory(double now);
+  /// Gracefully retire one provably idle, fully replicated factory worker;
+  /// false when no candidate qualifies.
+  bool retire_idle_worker(double now);
   bool ensure_file_at(const SimFile* file, const std::string& worker);
   void enqueue_fetch(PendingFetch fetch);
   void start_next_fetches(const std::string& worker);
@@ -331,6 +369,10 @@ class ClusterSim {
   NodeToken sharedfs_node_ = kInvalidNode;
   vine::Scheduler scheduler_;
   vine::Rng rng_;
+  // ---- redundancy & elasticity (inert while their configs are off) ----
+  vine::redundancy::RedundancyEngine redundancy_;
+  vine::factory::WorkerFactory factory_;
+  int next_factory_worker_ = 1;  ///< fw<N> id allocator
 
   std::map<std::string, std::unique_ptr<SimFile>> files_;
   std::vector<std::unique_ptr<SimTask>> tasks_;

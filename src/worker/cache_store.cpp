@@ -71,14 +71,15 @@ Status CacheStore::make_room(std::int64_t needed) {
     const std::string* victim = nullptr;
     std::uint64_t oldest = ~0ULL;
     for (const auto& [name, e] : entries_) {
-      if (e.prefetch && e.last_access < oldest) {
+      if (e.prefetch && !e.pinned && e.last_access < oldest) {
         oldest = e.last_access;
         victim = &name;
       }
     }
     if (!victim) {
       for (const auto& [name, e] : entries_) {
-        if (e.level == CacheLevel::worker && e.last_access < oldest) {
+        if (e.level == CacheLevel::worker && !e.pinned &&
+            e.last_access < oldest) {
           oldest = e.last_access;
           victim = &name;
         }
@@ -104,6 +105,15 @@ void CacheStore::mark_prefetch(const std::string& name) {
   MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it != entries_.end()) it->second.prefetch = true;
+}
+
+void CacheStore::pin(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    it->second.pinned = true;
+    it->second.prefetch = false;
+  }
 }
 
 std::vector<std::string> CacheStore::take_evictions() {

@@ -41,6 +41,11 @@ struct CacheEntry {
   /// lazily on first serve). Directories never carry one — their transfer
   /// digest covers the packed archive, not the tree.
   std::string digest;
+  /// Redundancy replica: the manager pinned this object because it may be
+  /// the invariant-holding copy of a temp. Capacity pressure must never
+  /// evict it (both victim scans skip pinned entries); only an explicit
+  /// unlink or end_workflow removes it.
+  bool pinned = false;
 };
 
 /// Everything a peer serve needs to stream a file object straight off
@@ -106,6 +111,11 @@ class CacheStore {
   /// Tag a present object as prefetch-staged (see CacheEntry::prefetch).
   /// No-op when absent.
   void mark_prefetch(const std::string& name);
+
+  /// Pin a present object against capacity eviction (see CacheEntry::pinned).
+  /// Clears any prefetch tag — a pinned replica is live state. No-op when
+  /// absent.
+  void pin(const std::string& name);
 
   Status remove_object(const std::string& name);
 

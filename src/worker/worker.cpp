@@ -309,6 +309,9 @@ void Worker::do_fetch(const proto::FetchMsg& msg) {
     return;
   }
   if (cache_->contains(msg.cache_name)) {
+    // A replication fetch of an object we already hold (e.g. a prefetch
+    // landed first) still needs the eviction pin.
+    if (msg.pin) cache_->pin(msg.cache_name);
     auto e = cache_->entry(msg.cache_name);
     send_cache_update(msg.cache_name, msg.transfer_id, true,
                       e.ok() ? e->size : 0, "");
@@ -350,6 +353,9 @@ void Worker::do_fetch(const proto::FetchMsg& msg) {
   // Speculative bytes are tagged so eviction prefers them over live
   // workflow state; the first task that links the object promotes it.
   if (msg.prefetch) cache_->mark_prefetch(msg.cache_name);
+  // Redundancy copies are pinned: this may become the last surviving
+  // replica of a temp, so capacity pressure must never drop it.
+  if (msg.pin) cache_->pin(msg.cache_name);
   auto e = cache_->entry(msg.cache_name);
   send_cache_update(msg.cache_name, msg.transfer_id, true,
                     e.ok() ? e->size : 0, "");

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "apps/topeft.hpp"
 #include "common/faults.hpp"
 #include "common/invariant.hpp"
 #include "common/uuid.hpp"
@@ -50,13 +51,15 @@ struct ChaosResult {
   SimStats stats;
 };
 
-ChaosResult run_chaos(std::uint64_t seed, bool lookahead = false) {
+ChaosResult run_chaos(std::uint64_t seed, bool lookahead = false,
+                      bool replication = false) {
   // Transfer uuids come from the process-global generator; reseeding keeps
   // the whole run (ids included) a pure function of the seed.
   vine::reseed_uuid_generator(seed);
 
   SimConfig cfg = chaos_config(seed);
   cfg.sched.lookahead.enabled = lookahead;
+  cfg.redundancy.enabled = replication;
   ClusterSim cs(cfg);
   for (int i = 0; i < 4; ++i) cs.add_worker("w" + std::to_string(i), 0, 4);
   build_workflow(cs);
@@ -224,6 +227,167 @@ TEST(ChaosSim, LastWorkerCrashIsSkipped) {
   cs.run();
   EXPECT_EQ(cs.stats().tasks_unfinished, 0);
   EXPECT_EQ(cs.stats().worker_crashes, 0);
+}
+
+// --------------------------------------------------- replication & repair
+
+TEST(ChaosSim, SoakWithReplication) {
+  // Same fault schedules with proactive k=2 replication live: replica
+  // transfers race crashes, repairs race recoveries, and every seed must
+  // still converge with clean tables.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ChaosResult r = run_chaos(seed, /*lookahead=*/false, /*replication=*/true);
+    EXPECT_EQ(r.stats.recoveries_replicated, 0) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSim, ReplicationReplayIsBitDeterministic) {
+  for (std::uint64_t seed : {3ull, 7ull}) {
+    ChaosResult a = run_chaos(seed, false, /*replication=*/true);
+    ChaosResult b = run_chaos(seed, false, /*replication=*/true);
+    EXPECT_EQ(a.makespan, b.makespan) << "seed " << seed;
+    EXPECT_EQ(a.stats.tasks_done, b.stats.tasks_done);
+    EXPECT_EQ(a.stats.replications, b.stats.replications);
+    EXPECT_EQ(a.stats.replication_bytes, b.stats.replication_bytes);
+    EXPECT_EQ(a.stats.replica_repairs, b.stats.replica_repairs);
+    EXPECT_EQ(a.stats.recoveries, b.stats.recoveries);
+    EXPECT_EQ(a.stats.bytes_from_peers, b.stats.bytes_from_peers);
+    EXPECT_EQ(a.stats.sched_passes, b.stats.sched_passes);
+  }
+}
+
+TEST(ChaosSim, ReplicationAvoidsProducerRerun) {
+  // Deterministic single crash: the producer's output replicates to a peer
+  // before its worker dies, so the loss costs one repair instead of a
+  // producer re-run.
+  SimConfig cfg = chaos_config(1);
+  cfg.redundancy.enabled = true;
+  ClusterSim cs(cfg);
+  cs.add_worker("w0", 0, 2);
+  cs.add_worker("w1", 0, 2);
+  cs.add_worker("w2", 0, 2);
+  auto* mid = cs.declare_file("mid", 0, SimFile::Origin::temp);
+  auto* produce = cs.add_task("produce", 0.5, 1.0);
+  produce->outputs.push_back({mid, 1000000});  // small: replica lands fast
+  produce->pin_worker = "w0";
+  auto* consume = cs.add_task("consume", 0.5, 1.0, /*submit_at=*/3.0);
+  consume->inputs.push_back(mid);
+  consume->pin_worker = "w2";
+
+  cs.sim().at(2.0, [&] {
+    if (cs.joined_workers() > 1) cs.fail_worker("w0");
+  });
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  EXPECT_EQ(cs.stats().worker_crashes, 1);
+  EXPECT_GE(cs.stats().replications, 1);
+  EXPECT_GE(cs.stats().replica_repairs, 1);  // surviving copy fell below k
+  EXPECT_EQ(cs.stats().recoveries, 0);       // no producer re-run
+  EXPECT_EQ(cs.stats().recoveries_replicated, 0);
+  vine::AuditReport report;
+  cs.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ChaosSim, RecoveryEpisodeCountedOncePerProducer) {
+  // Two consumers lose the same temp in one pass, and the re-produced copy
+  // dies again before either consumer ran: one logical recovery episode,
+  // so manager-style accounting must report exactly one recovery.
+  ClusterSim cs(chaos_config(1));
+  cs.add_worker("w0", 0, 2);
+  cs.add_worker("w1", 0, 2);
+  cs.add_worker("w2", 0, 2);
+  auto* mid = cs.declare_file("mid", 0, SimFile::Origin::temp);
+  auto* produce = cs.add_task("produce", 0.5, 1.0);
+  produce->outputs.push_back({mid, 2000000000});  // ~1.6 s per consumer fetch
+  produce->pin_worker = "w0";
+  for (const char* w : {"w1", "w2"}) {
+    auto* consume = cs.add_task("consume", 0.5, 1.0);
+    consume->inputs.push_back(mid);
+    consume->pin_worker = w;
+  }
+
+  // First crash: both consumers' fetches are in flight; the only copy dies.
+  cs.sim().at(1.0, [&] {
+    if (cs.joined_workers() > 1) cs.fail_worker("w0");
+  });
+  cs.sim().at(1.2, [&] { cs.rejoin_worker("w0"); });
+  // Second crash: the re-produced copy (done ~1.7) dies again before any
+  // consumer finished pulling it — same episode, no second recovery.
+  cs.sim().at(2.4, [&] {
+    if (cs.joined_workers() > 1) cs.fail_worker("w0");
+  });
+  cs.sim().at(2.6, [&] { cs.rejoin_worker("w0"); });
+
+  cs.run();
+  EXPECT_EQ(cs.stats().tasks_unfinished, 0);
+  EXPECT_EQ(cs.stats().worker_crashes, 2);
+  EXPECT_EQ(cs.stats().recoveries, 1);
+}
+
+// ------------------------------------------------- fig13-scale soak
+
+ChaosResult run_topeft_chaos(std::uint64_t seed, bool replication) {
+  vine::reseed_uuid_generator(seed);
+  vineapps::TopEftParams p;
+  // fig13@500: the Figure-13 accumulation DAG scaled to ~500 tasks.
+  p.scale = 500.0 / 24000.0;
+  p.workers = 40;
+  p.worker_arrival_span = 300;
+  p.seed = seed;
+  p.redundancy.enabled = replication;
+
+  faults::FaultPlanConfig fp;
+  fp.seed = seed;
+  fp.workers = p.workers;
+  fp.horizon = 1500.0;
+  fp.set_crash_fraction(0.05);  // >= 5% of the pool killed
+  fp.peer_faults = 4;
+  fp.delays = 2;
+  fp.rejoin_mean = 120.0;
+  vine::faults::FaultPlan plan = faults::FaultPlan::generate(fp);
+  p.faults = &plan;
+
+  vineapps::TopEftRun run = vineapps::run_topeft(p, /*shared_storage=*/false);
+
+  ChaosResult r;
+  r.makespan = run.makespan;
+  r.stats = run.sim->stats();
+  EXPECT_EQ(r.stats.tasks_unfinished, 0) << "seed " << seed;
+  vine::AuditReport report;
+  run.sim->audit(report);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << "\n" << report.to_string();
+  return r;
+}
+
+TEST(ChaosSimTopEft, ReplicationSoakSeeds1Through10) {
+  // fig13-scale soak, replication on: k-replicated temps must never need a
+  // producer re-run (the redundancy invariant), across every fault plan.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ChaosResult r = run_topeft_chaos(seed, /*replication=*/true);
+    EXPECT_EQ(r.stats.recoveries_replicated, 0) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSimTopEft, ReplicationSoakSeeds11Through20) {
+  for (std::uint64_t seed = 11; seed <= 20; ++seed) {
+    ChaosResult r = run_topeft_chaos(seed, /*replication=*/true);
+    EXPECT_EQ(r.stats.recoveries_replicated, 0) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSimTopEft, ReplicationReplayIsBitDeterministic) {
+  for (std::uint64_t seed : {2ull, 9ull}) {
+    ChaosResult a = run_topeft_chaos(seed, /*replication=*/true);
+    ChaosResult b = run_topeft_chaos(seed, /*replication=*/true);
+    EXPECT_EQ(a.makespan, b.makespan) << "seed " << seed;
+    EXPECT_EQ(a.stats.tasks_done, b.stats.tasks_done);
+    EXPECT_EQ(a.stats.replications, b.stats.replications);
+    EXPECT_EQ(a.stats.replica_repairs, b.stats.replica_repairs);
+    EXPECT_EQ(a.stats.recoveries, b.stats.recoveries);
+    EXPECT_EQ(a.stats.bytes_from_peers, b.stats.bytes_from_peers);
+  }
 }
 
 TEST(ChaosSim, RejoinedWorkerTakesNewWork) {

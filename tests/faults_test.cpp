@@ -133,17 +133,45 @@ TEST(SourceHealth, UntilNeverMovesBackward) {
   EXPECT_DOUBLE_EQ(h.blacklist_until(w), 11.0);
 }
 
-TEST(SourceHealth, SuccessFullyRehabilitates) {
+TEST(SourceHealth, SingleHiccupForgottenOnSuccess) {
   SourceHealth h;
   SourceHealthConfig cfg;
   auto w = TransferSource::from_worker("w1");
   h.record_failure(w, 0.0, cfg);
-  h.record_failure(w, 0.0, cfg);
   EXPECT_FALSE(h.empty());
-  h.record_success(w);
+  h.record_success(w);  // 1 -> 0: one-off hiccup leaves no residue
   EXPECT_TRUE(h.empty());
   EXPECT_EQ(h.failures(w), 0);
   EXPECT_DOUBLE_EQ(h.blacklist_until(w), 0.0);
+}
+
+TEST(SourceHealth, SuccessHalvesScoreAndReopensWindow) {
+  SourceHealth h;
+  SourceHealthConfig cfg{.backoff_base_s = 1.0, .backoff_cap_s = 30.0};
+  auto w = TransferSource::from_worker("w1");
+  h.record_failure(w, 0.0, cfg);
+  h.record_failure(w, 0.0, cfg);
+  h.record_failure(w, 0.0, cfg);
+  EXPECT_EQ(h.failures(w), 3);
+  ASSERT_GT(h.blacklist_until(w), 0.0);
+
+  // A success halves the score (repeat offenders earn trust back gradually)
+  // and reopens the source immediately.
+  h.record_success(w);
+  EXPECT_EQ(h.failures(w), 1);
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 0.0);
+  EXPECT_FALSE(h.empty());
+
+  // The next failure resumes from the decayed score, not from scratch:
+  // 2 consecutive -> until = base * 2^1.
+  h.record_failure(w, 0.0, cfg);
+  EXPECT_EQ(h.failures(w), 2);
+  EXPECT_DOUBLE_EQ(h.blacklist_until(w), 2.0);
+
+  h.record_success(w);  // 2 -> 1
+  h.record_success(w);  // 1 -> 0: fully rehabilitated, entry dropped
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.failures(w), 0);
 }
 
 TEST(SourceHealth, UrlsTrackedSeparatelyFromWorkers) {
@@ -231,6 +259,33 @@ TEST(PlanSourceHealth, FailureScoreDemotesFlakyPeer) {
                                  f.replicas, f.transfers, 1000.0);
   ASSERT_TRUE(src.has_value());
   EXPECT_EQ(src->key, "w2");
+}
+
+TEST(PlanSourceHealth, SuccessDecayRestoresSelection) {
+  // Rise: w1's failure score demotes it below the cleaner peer. Decay:
+  // successes halve the score until w1 outranks w2 again. Re-selection:
+  // plan_source follows the scores at each step.
+  PlanFixture f;
+  f.replicas.set_replica("data", "w1", ReplicaState::present, 100);
+  f.replicas.set_replica("data", "w2", ReplicaState::present, 100);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 0.0);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 0.0);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w1"), 0.0);
+  f.sched.note_transfer_failure(TransferSource::from_worker("w2"), 0.0);
+
+  auto src = f.sched.plan_source("data", TransferSource::from_url("u"), "w3",
+                                 f.replicas, f.transfers, 1000.0);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->key, "w2");  // score 1 beats score 3
+
+  // Two successful transfers from w1 decay its score 3 -> 1 -> 0.
+  f.sched.note_transfer_success(TransferSource::from_worker("w1"));
+  f.sched.note_transfer_success(TransferSource::from_worker("w1"));
+
+  src = f.sched.plan_source("data", TransferSource::from_url("u"), "w3",
+                            f.replicas, f.transfers, 1000.0);
+  ASSERT_TRUE(src.has_value());
+  EXPECT_EQ(src->key, "w1");  // decayed to clean: outranks w2's score 1
 }
 
 TEST(PlanSourceHealth, BlacklistedFixedSourceReturnsNullopt) {

@@ -1,0 +1,346 @@
+// vine::redundancy policy engine and vine::factory pool-sizing units: cost
+// ranking, budgets and in-flight caps, the repair state machine, and the
+// factory's hysteresis/cooldown behavior. All table state is driven by hand
+// so every assertion pins one policy decision.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/replica_table.hpp"
+#include "catalog/transfer_table.hpp"
+#include "catalog/worker_info.hpp"
+#include "factory/factory.hpp"
+#include "redundancy/redundancy.hpp"
+
+namespace vine::redundancy {
+namespace {
+
+const std::vector<std::string> kNoInputs;
+
+std::vector<WorkerSnapshot> pool(std::initializer_list<const char*> ids) {
+  std::vector<WorkerSnapshot> v;
+  for (const char* id : ids) {
+    WorkerSnapshot s;
+    s.id = id;
+    s.total = {.cores = 4, .memory_mb = 0, .disk_mb = 0, .gpus = 0};
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+RedundancyConfig on() {
+  RedundancyConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+struct Tables {
+  FileReplicaTable replicas;
+  CurrentTransferTable transfers;
+};
+
+TEST(Redundancy, DisabledEngineStaysInert) {
+  RedundancyEngine eng{RedundancyConfig{}};
+  Tables t;
+  t.replicas.set_replica("mid", "w1", ReplicaState::present, 100);
+  eng.note_produced("mid", 10.0, 100, kNoInputs);
+  auto snaps = pool({"w1", "w2"});
+  EXPECT_TRUE(eng.plan(t.replicas, t.transfers, snaps).empty());
+  EXPECT_EQ(eng.backlog(), 0);
+}
+
+TEST(Redundancy, PlansSecondCopyOnDistinctWorker) {
+  RedundancyEngine eng{on()};
+  Tables t;
+  t.replicas.set_replica("mid", "w1", ReplicaState::present, 100);
+  eng.note_produced("mid", 5.0, 100, kNoInputs);
+  EXPECT_EQ(eng.backlog(), 1);
+
+  auto snaps = pool({"w1", "w2", "w3"});
+  auto plans = eng.plan(t.replicas, t.transfers, snaps);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].cache_name, "mid");
+  EXPECT_EQ(plans[0].source, "w1");
+  EXPECT_EQ(plans[0].dest, "w2");  // lowest non-holder id
+  EXPECT_FALSE(plans[0].repair);
+  // The copy is self-accounted in flight: replanning must not duplicate it.
+  EXPECT_TRUE(eng.plan(t.replicas, t.transfers, snaps).empty());
+}
+
+TEST(Redundancy, SingleWorkerPoolCannotReplicate) {
+  RedundancyEngine eng{on()};
+  Tables t;
+  t.replicas.set_replica("mid", "w1", ReplicaState::present, 100);
+  eng.note_produced("mid", 5.0, 100, kNoInputs);
+  auto snaps = pool({"w1"});
+  EXPECT_TRUE(eng.plan(t.replicas, t.transfers, snaps).empty());
+  EXPECT_EQ(eng.backlog(), 1);  // still wanted; a joiner can satisfy later
+}
+
+TEST(Redundancy, ExpensiveProducerOutranksCheapOne) {
+  RedundancyConfig cfg = on();
+  cfg.max_plans_per_pass = 1;
+  RedundancyEngine eng{cfg};
+  Tables t;
+  t.replicas.set_replica("cheap", "w1", ReplicaState::present, 1000000);
+  t.replicas.set_replica("hot", "w1", ReplicaState::present, 1000);
+  eng.note_produced("cheap", 1.0, 1000000, kNoInputs);
+  eng.note_produced("hot", 100.0, 1000, kNoInputs);
+
+  auto snaps = pool({"w1", "w2"});
+  auto plans = eng.plan(t.replicas, t.transfers, snaps);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].cache_name, "hot");
+}
+
+TEST(Redundancy, AncestorDepthMultipliesLossCost) {
+  RedundancyConfig cfg = on();
+  cfg.max_plans_per_pass = 1;
+  RedundancyEngine eng{cfg};
+  Tables t;
+  // Names chosen so alphabetical tie-break would pick the wrong one: only
+  // the depth term can put the deep child ("zz-child") first.
+  t.replicas.set_replica("aa-root", "w1", ReplicaState::present, 1000);
+  t.replicas.set_replica("zz-child", "w1", ReplicaState::present, 1000);
+  eng.note_produced("aa-root", 10.0, 1000, kNoInputs);
+  const std::vector<std::string> chain{"aa-root"};
+  eng.note_produced("zz-child", 10.0, 1000, chain);
+
+  auto snaps = pool({"w1", "w2"});
+  auto plans = eng.plan(t.replicas, t.transfers, snaps);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].cache_name, "zz-child");
+}
+
+TEST(Redundancy, RepairOutranksEveryFreshCandidate) {
+  RedundancyConfig cfg = on();
+  cfg.max_plans_per_pass = 1;
+  RedundancyEngine eng{cfg};
+  Tables t;
+  // "damaged" reaches k=2, then loses a holder; its raw score is tiny next
+  // to "fresh", but repair priority must win anyway.
+  t.replicas.set_replica("damaged", "w1", ReplicaState::present, 1000000);
+  eng.note_produced("damaged", 0.01, 1000000, kNoInputs);
+  auto snaps3 = pool({"w1", "w2", "w3"});
+  auto first = eng.plan(t.replicas, t.transfers, snaps3);
+  ASSERT_EQ(first.size(), 1u);
+  t.replicas.set_replica("damaged", "w2", ReplicaState::present, 1000000);
+  eng.note_replica_done("damaged", "w2", /*ok=*/true, 1000000);
+  EXPECT_TRUE(eng.plan(t.replicas, t.transfers, snaps3).empty());  // satisfied
+  EXPECT_TRUE(eng.ever_satisfied("damaged"));
+
+  t.replicas.remove_worker("w2");
+  auto repairs = eng.note_worker_lost("w2", {"damaged"}, t.replicas);
+  ASSERT_EQ(repairs.size(), 1u);
+  EXPECT_EQ(repairs[0], "damaged");
+  EXPECT_TRUE(eng.ever_satisfied("damaged"));  // invariant marker survives
+
+  eng.note_produced("fresh", 1000.0, 1, kNoInputs);
+  t.replicas.set_replica("fresh", "w1", ReplicaState::present, 1);
+  auto plans = eng.plan(t.replicas, t.transfers, snaps3);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].cache_name, "damaged");
+  EXPECT_TRUE(plans[0].repair);
+}
+
+TEST(Redundancy, FullLossLeavesEngineToRecovery) {
+  RedundancyEngine eng{on()};
+  Tables t;
+  t.replicas.set_replica("mid", "w1", ReplicaState::present, 100);
+  eng.note_produced("mid", 5.0, 100, kNoInputs);
+  t.replicas.remove_worker("w1");
+  EXPECT_TRUE(eng.note_worker_lost("w1", {"mid"}, t.replicas).empty());
+  EXPECT_EQ(eng.backlog(), 0);
+  EXPECT_FALSE(eng.ever_satisfied("mid"));
+  auto snaps = pool({"w2", "w3"});
+  EXPECT_TRUE(eng.plan(t.replicas, t.transfers, snaps).empty());
+}
+
+TEST(Redundancy, GlobalBudgetSkipsLargeButFitsSmall) {
+  RedundancyConfig cfg = on();
+  cfg.global_budget_bytes = 500;
+  RedundancyEngine eng{cfg};
+  Tables t;
+  t.replicas.set_replica("big", "w1", ReplicaState::present, 1000);
+  t.replicas.set_replica("small", "w1", ReplicaState::present, 100);
+  eng.note_produced("big", 1000.0, 1000, kNoInputs);  // top score, too big
+  eng.note_produced("small", 1.0, 100, kNoInputs);
+
+  auto snaps = pool({"w1", "w2"});
+  auto plans = eng.plan(t.replicas, t.transfers, snaps);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].cache_name, "small");
+
+  // A failure refunds the reservation: the same copy can be replanned.
+  eng.note_replica_done("small", "w2", /*ok=*/false, 0);
+  t.replicas.remove_replica("small", "w2");
+  plans = eng.plan(t.replicas, t.transfers, snaps);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].cache_name, "small");
+}
+
+TEST(Redundancy, PerDestInflightCapSpreadsCopies) {
+  RedundancyConfig cfg = on();
+  cfg.replication_factor = 3;
+  cfg.per_dest_inflight = 1;
+  RedundancyEngine eng{cfg};
+  Tables t;
+  t.replicas.set_replica("mid", "w1", ReplicaState::present, 100);
+  eng.note_produced("mid", 5.0, 100, kNoInputs);
+
+  auto snaps = pool({"w1", "w2", "w3"});
+  auto plans = eng.plan(t.replicas, t.transfers, snaps);
+  ASSERT_EQ(plans.size(), 2u);  // k-1 = 2 copies wanted, one per dest
+  EXPECT_EQ(plans[0].dest, "w2");
+  EXPECT_EQ(plans[1].dest, "w3");
+}
+
+TEST(Redundancy, MaxInflightGatesUntilCompletion) {
+  RedundancyConfig cfg = on();
+  cfg.max_inflight = 1;
+  RedundancyEngine eng{cfg};
+  Tables t;
+  t.replicas.set_replica("aa", "w1", ReplicaState::present, 100);
+  t.replicas.set_replica("bb", "w1", ReplicaState::present, 100);
+  eng.note_produced("aa", 10.0, 100, kNoInputs);
+  eng.note_produced("bb", 1.0, 100, kNoInputs);
+
+  auto snaps = pool({"w1", "w2"});
+  auto plans = eng.plan(t.replicas, t.transfers, snaps);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].cache_name, "aa");  // higher score goes first
+
+  // Completion frees the slot and satisfies "aa"; "bb" gets the next pass.
+  t.replicas.set_replica("aa", "w2", ReplicaState::present, 100);
+  eng.note_replica_done("aa", "w2", /*ok=*/true, 100);
+  plans = eng.plan(t.replicas, t.transfers, snaps);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].cache_name, "bb");
+  EXPECT_TRUE(eng.ever_satisfied("aa"));
+  EXPECT_EQ(eng.backlog(), 1);  // bb's copy still in flight
+}
+
+}  // namespace
+}  // namespace vine::redundancy
+
+namespace vine::factory {
+namespace {
+
+FactoryConfig fcfg() {
+  FactoryConfig c;
+  c.enabled = true;
+  c.min_workers = 1;
+  c.max_workers = 8;
+  c.hysteresis = 3;
+  c.cooldown_s = 5.0;
+  return c;
+}
+
+FactorySignals deep_queue(double now, int alive) {
+  FactorySignals s;
+  s.now = now;
+  s.alive_workers = alive;
+  s.ready_tasks = 100;
+  s.total_cores = alive * 4.0;
+  s.busy_cores = alive * 4.0;  // saturated: idle == 0
+  return s;
+}
+
+FactorySignals idle_pool(double now, int alive) {
+  FactorySignals s;
+  s.now = now;
+  s.alive_workers = alive;
+  s.ready_tasks = 0;
+  s.total_cores = alive * 4.0;
+  s.busy_cores = 0;
+  return s;
+}
+
+FactorySignals neutral(double now, int alive) {
+  FactorySignals s = idle_pool(now, alive);
+  s.busy_cores = s.total_cores;  // fully busy, nothing queued: hold
+  return s;
+}
+
+TEST(Factory, DisabledNeverActs) {
+  WorkerFactory f{FactoryConfig{}};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(f.decide(deep_queue(i, 1)), 0);
+}
+
+TEST(Factory, UpFiresAfterConsecutiveDeepPasses) {
+  WorkerFactory f{fcfg()};
+  EXPECT_EQ(f.decide(deep_queue(0, 2)), 0);
+  EXPECT_EQ(f.decide(deep_queue(1, 2)), 0);
+  EXPECT_EQ(f.decide(deep_queue(2, 2)), 1);
+  EXPECT_EQ(f.stats().scale_ups, 1);
+}
+
+TEST(Factory, DisagreeingPassResetsStreak) {
+  WorkerFactory f{fcfg()};
+  EXPECT_EQ(f.decide(deep_queue(0, 2)), 0);
+  EXPECT_EQ(f.decide(deep_queue(1, 2)), 0);
+  EXPECT_EQ(f.decide(neutral(2, 2)), 0);  // streak dies here
+  EXPECT_EQ(f.decide(deep_queue(3, 2)), 0);
+  EXPECT_EQ(f.decide(deep_queue(4, 2)), 0);
+  EXPECT_EQ(f.decide(deep_queue(5, 2)), 1);
+}
+
+TEST(Factory, CooldownSpacesConsecutiveActions) {
+  WorkerFactory f{fcfg()};
+  f.decide(deep_queue(0, 2));
+  f.decide(deep_queue(1, 2));
+  ASSERT_EQ(f.decide(deep_queue(2, 2)), 1);  // action at t=2
+  // Unanimous streak, but the pool just moved: wait out cooldown_s.
+  EXPECT_EQ(f.decide(deep_queue(3, 3)), 0);
+  EXPECT_EQ(f.decide(deep_queue(4, 3)), 0);
+  EXPECT_EQ(f.decide(deep_queue(5, 3)), 0);
+  EXPECT_EQ(f.decide(deep_queue(6, 3)), 0);
+  EXPECT_EQ(f.decide(deep_queue(7, 3)), 1);  // t - last == cooldown_s
+}
+
+TEST(Factory, BelowMinFloorRestoresImmediately) {
+  FactoryConfig c = fcfg();
+  c.min_workers = 3;
+  WorkerFactory f{c};
+  // No hysteresis below the floor: a crash-emptied pool refills at once.
+  EXPECT_EQ(f.decide(idle_pool(0, 0)), 3);
+  EXPECT_EQ(f.stats().workers_spawned, 3);
+}
+
+TEST(Factory, ScaleDownRequiresIdleAndClearBacklog) {
+  WorkerFactory f{fcfg()};
+  FactorySignals busy_backlog = idle_pool(0, 4);
+  busy_backlog.replication_backlog = 5;
+  for (int i = 0; i < 5; ++i) {
+    busy_backlog.now = i;
+    EXPECT_EQ(f.decide(busy_backlog), 0);  // backlog blocks down-scaling
+  }
+  EXPECT_EQ(f.decide(idle_pool(5, 4)), 0);
+  EXPECT_EQ(f.decide(idle_pool(6, 4)), 0);
+  EXPECT_EQ(f.decide(idle_pool(7, 4)), -1);
+  EXPECT_EQ(f.stats().scale_downs, 1);
+}
+
+TEST(Factory, ReplicationBacklogAloneScalesUp) {
+  WorkerFactory f{fcfg()};
+  FactorySignals s = neutral(0, 2);
+  s.replication_backlog = 9;  // > up_replication_backlog default of 8
+  EXPECT_EQ(f.decide(s), 0);
+  s.now = 1;
+  EXPECT_EQ(f.decide(s), 0);
+  s.now = 2;
+  EXPECT_EQ(f.decide(s), 1);
+}
+
+TEST(Factory, MaxWorkersClampsUpScaling) {
+  FactoryConfig c = fcfg();
+  c.max_workers = 2;
+  WorkerFactory f{c};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(f.decide(deep_queue(i, 2)), 0);  // at the ceiling: never up
+  }
+}
+
+}  // namespace
+}  // namespace vine::factory

@@ -6,10 +6,13 @@
 #   micro_flow  — event-core + flow-network micros (up to 2000 flows)
 #   micro_obs   — vine::obs tracing emit path (absolute ns/event budgets)
 #   micro_net   — TCP data plane (small-frame throughput, blob serve GB/s)
-# plus, on full runs, wall-clock timings of the two transfer-heavy figure
-# replications at paper scale (fig11_transfer_methods, fig13_topeft_storage
-# --workers 500). Writes BENCH_sched.json, BENCH_sim.json, BENCH_obs.json,
-# and BENCH_net.json at the repo root: items/sec (or seconds) per row next
+# plus the micro_redundancy chaos soak (fig13@500 makespan with replication
+# on vs off; gate: on <= off — the soak is deterministic, so the gate holds
+# at smoke seed counts too) and, on full runs, wall-clock timings of the two
+# transfer-heavy figure replications at paper scale (fig11_transfer_methods,
+# fig13_topeft_storage --workers 500). Writes BENCH_sched.json,
+# BENCH_sim.json, BENCH_obs.json, BENCH_net.json, and BENCH_redundancy.json
+# at the repo root: items/sec (or seconds) per row next
 # to the frozen pre-refactor baseline, with the speedup factor (the obs
 # suite gates on absolute cost budgets instead — it is a new subsystem).
 #
@@ -39,7 +42,7 @@ SMOKE=0
 
 cmake --preset relwithdebinfo >/dev/null
 cmake --build --preset relwithdebinfo -j "$(nproc)" \
-  --target micro_sched micro_flow micro_obs micro_net \
+  --target micro_sched micro_flow micro_obs micro_net micro_redundancy \
           fig11_transfer_methods fig13_topeft_storage \
   >/dev/null
 
@@ -375,4 +378,71 @@ if not out["smoke"]:
     if key and key["speedup"] is not None and key["speedup"] < 2.0:
         sys.exit(f'FAIL: BM_BlobServe speedup {key["speedup"]}x < 2x target')
 print("wrote BENCH_net.json")
+PYEOF
+
+# ---------------------------------------------------------- micro_redundancy
+
+RAW_RED=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_SIM" "$RAW_OBS" "$RAW_NET" "$RAW_RED"' EXIT
+
+# The soak is a deterministic simulation, so smoke runs keep the makespan
+# gate and just cover fewer fault plans.
+if [[ "$SMOKE" == 1 ]]; then
+  ./build/bench/micro_redundancy --seeds 2 > "$RAW_RED"
+else
+  ./build/bench/micro_redundancy --seeds 5 > "$RAW_RED"
+fi
+
+SMOKE="$SMOKE" python3 - "$RAW_RED" <<'PYEOF'
+import json, os, sys
+
+# fig13@500 chaos-soak makespans, replication on vs off on identical fault
+# plans. No pre-refactor baseline: replication-off IS the baseline, rerun
+# in the same process, so the gate is a self-contained A/B (on <= off) plus
+# the robustness invariant (no producer re-run for any replicated temp).
+seeds = {}
+for line in open(sys.argv[1]):
+    if not line.startswith("redundancy_seed,"):
+        continue
+    parts = line.strip().split(",")
+    if parts[1] == "seed":
+        continue
+    seeds[int(parts[1])] = {
+        "makespan_off_s": float(parts[2]),
+        "makespan_on_s": float(parts[3]),
+        "replications": int(parts[4]),
+        "replica_repairs": int(parts[5]),
+        "recoveries_off": int(parts[6]),
+        "recoveries_on": int(parts[7]),
+        "recoveries_replicated": int(parts[8]),
+    }
+
+mean_off = sum(r["makespan_off_s"] for r in seeds.values()) / len(seeds)
+mean_on = sum(r["makespan_on_s"] for r in seeds.values()) / len(seeds)
+out = {
+    "suite": "micro_redundancy",
+    "smoke": os.environ.get("SMOKE") == "1",
+    "workload": "fig13@500 chaos soak (>=5% workers crashed, k=2)",
+    "seeds": seeds,
+    "mean_makespan_off_s": round(mean_off, 3),
+    "mean_makespan_on_s": round(mean_on, 3),
+    "on_over_off": round(mean_on / mean_off, 4),
+}
+with open("BENCH_redundancy.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+for s, r in sorted(seeds.items()):
+    print(f'seed {s}: off {r["makespan_off_s"]:.1f}s on {r["makespan_on_s"]:.1f}s'
+          f' ({r["replications"]} replications, {r["replica_repairs"]} repairs)')
+print(f'mean makespan: off {mean_off:.1f}s, on {mean_on:.1f}s '
+      f'(ratio {out["on_over_off"]:.3f}, gate: <= 1.0)')
+
+if mean_on > mean_off * 1.001:
+    sys.exit(f'FAIL: replication-on mean makespan {mean_on:.1f}s > '
+             f'replication-off {mean_off:.1f}s')
+bad = {s: r for s, r in seeds.items() if r["recoveries_replicated"] > 0}
+if bad:
+    sys.exit(f'FAIL: replicated temps needed producer re-runs: {bad}')
+print("wrote BENCH_redundancy.json")
 PYEOF
