@@ -1,0 +1,188 @@
+#include "apps/instances.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vineapps {
+
+using vine::wfgen::InstanceFile;
+using vine::wfgen::InstanceTask;
+using vine::wfgen::WorkflowInstance;
+
+namespace {
+
+InstanceTask make_task(std::string id, std::string category, double runtime) {
+  InstanceTask t;
+  t.id = std::move(id);
+  t.category = std::move(category);
+  t.runtime_s = runtime;
+  return t;
+}
+
+/// Append a gather sink consuming one named output of every current leaf
+/// (tasks whose ids are in `leaves`), emitting a single small result.
+void add_gather_sink(WorkflowInstance& inst, const std::string& id,
+                     const std::string& category,
+                     const std::vector<std::string>& leaves,
+                     const std::vector<InstanceFile>& leaf_outputs) {
+  InstanceTask sink = make_task(id, category, 1.0);
+  sink.parents = leaves;
+  sink.inputs = leaf_outputs;
+  sink.outputs.push_back({id + "-out", 1000});
+  inst.tasks.push_back(std::move(sink));
+}
+
+}  // namespace
+
+WorkflowInstance blast_instance(const BlastParams& params) {
+  WorkflowInstance inst;
+  inst.name = "blast-s" + std::to_string(params.seed);
+  inst.shape = "blast";
+  inst.seed = params.seed;
+
+  // Archive staging + unpack mini-tasks fold into the unpacked sizes.
+  const InstanceFile sw{"blast-sw", params.sw_unpacked_bytes};
+  const InstanceFile db{"landmark-db", params.db_unpacked_bytes};
+
+  vine::Rng rng(params.seed);
+  std::vector<std::string> leaves;
+  std::vector<InstanceFile> results;
+  for (int i = 0; i < params.tasks; ++i) {
+    InstanceTask t = make_task("blast-" + std::to_string(i), "blast",
+                               rng.exponential(params.mean_task_seconds));
+    t.inputs = {InstanceFile{"query-" + std::to_string(i), params.query_bytes},
+                sw, db};
+    t.outputs.push_back({t.id + "-out", 100 * 1000});
+    leaves.push_back(t.id);
+    results.push_back(t.outputs.front());
+    inst.tasks.push_back(std::move(t));
+  }
+  add_gather_sink(inst, "blast-report", "report", leaves, results);
+  return inst;
+}
+
+WorkflowInstance topeft_instance(const TopEftParams& params) {
+  WorkflowInstance inst;
+  inst.name = "topeft-s" + std::to_string(params.seed);
+  inst.shape = "topeft";
+  inst.seed = params.seed;
+
+  vine::Rng rng(params.seed);
+  int n_data = std::max(1, static_cast<int>(params.processors_data * params.scale));
+  int n_mc = std::max(1, static_cast<int>(params.processors_mc * params.scale));
+  int next_file = 0;
+
+  // One phase: processors + accumulation tree; returns the phase root's
+  // (task id, output file). Mirrors run_topeft's construction and rng order.
+  auto build_phase = [&](const std::string& tag, int n_proc,
+                         std::int64_t chunk_bytes, double mean_seconds) {
+    std::vector<std::pair<std::string, InstanceFile>> level;
+    for (int i = 0; i < n_proc; ++i) {
+      InstanceTask t = make_task("proc-" + tag + "-" + std::to_string(next_file),
+                                 "proc-" + tag, rng.exponential(mean_seconds));
+      t.inputs.push_back({tag + "-chunk-" + std::to_string(next_file), chunk_bytes});
+      t.outputs.push_back({tag + "-part-" + std::to_string(next_file),
+                           params.partial_histogram_bytes});
+      ++next_file;
+      level.emplace_back(t.id, t.outputs.front());
+      inst.tasks.push_back(std::move(t));
+    }
+
+    std::int64_t out_bytes = params.partial_histogram_bytes;
+    while (level.size() > 1) {
+      out_bytes = static_cast<std::int64_t>(
+          static_cast<double>(out_bytes) * params.histogram_growth);
+      std::vector<std::pair<std::string, InstanceFile>> next;
+      for (std::size_t i = 0; i < level.size(); i += params.accumulation_fan_in) {
+        InstanceTask t =
+            make_task("accum-" + tag + "-" + std::to_string(next_file),
+                      "accum-" + tag,
+                      rng.exponential(params.mean_accumulator_seconds));
+        t.outputs.push_back(
+            {tag + "-acc-" + std::to_string(next_file), out_bytes});
+        ++next_file;
+        for (std::size_t j = i;
+             j < std::min(level.size(), i + params.accumulation_fan_in); ++j) {
+          t.parents.push_back(level[j].first);
+          t.inputs.push_back(level[j].second);
+        }
+        next.emplace_back(t.id, t.outputs.front());
+        inst.tasks.push_back(std::move(t));
+      }
+      level = std::move(next);
+    }
+    return level.front();
+  };
+
+  auto data_root = build_phase("data", n_data, params.chunk_bytes_data,
+                               params.mean_processor_seconds_data);
+  auto mc_root = build_phase("mc", n_mc, params.chunk_bytes_mc,
+                             params.mean_processor_seconds_mc);
+
+  InstanceTask fin = make_task("final", "final",
+                               rng.exponential(params.mean_accumulator_seconds));
+  fin.parents = {data_root.first, mc_root.first};
+  fin.inputs = {data_root.second, mc_root.second};
+  fin.outputs.push_back({"final-histograms", static_cast<std::int64_t>(2e9)});
+  inst.tasks.push_back(std::move(fin));
+  return inst;
+}
+
+WorkflowInstance colmena_instance(const ColmenaParams& params) {
+  WorkflowInstance inst;
+  inst.name = "colmena-s" + std::to_string(params.seed);
+  inst.shape = "colmena";
+  inst.seed = params.seed;
+
+  const InstanceFile env{"colmena-env", params.env_unpacked_bytes};
+
+  vine::Rng rng(params.seed);
+  std::vector<std::string> leaves;
+  std::vector<InstanceFile> results;
+  auto add_bag = [&](const std::string& category, int count, double mean) {
+    for (int i = 0; i < count; ++i) {
+      InstanceTask t = make_task(category + "-" + std::to_string(i), category,
+                                 rng.exponential(mean));
+      t.inputs = {env};
+      t.outputs.push_back({t.id + "-out", 50 * 1000});
+      leaves.push_back(t.id);
+      results.push_back(t.outputs.front());
+      inst.tasks.push_back(std::move(t));
+    }
+  };
+  add_bag("inference", params.inference_tasks, params.mean_inference_seconds);
+  add_bag("simulation", params.simulation_tasks, params.mean_simulation_seconds);
+  add_gather_sink(inst, "colmena-steer", "steer", leaves, results);
+  return inst;
+}
+
+WorkflowInstance bgd_instance(const BgdParams& params) {
+  WorkflowInstance inst;
+  inst.name = "bgd-s" + std::to_string(params.seed);
+  inst.shape = "bgd";
+  inst.seed = params.seed;
+
+  const InstanceFile env{"bgd-env", params.env_unpacked_bytes};
+
+  vine::Rng rng(params.seed);
+  std::vector<std::string> leaves;
+  std::vector<InstanceFile> results;
+  for (int i = 0; i < params.function_calls; ++i) {
+    InstanceTask t =
+        make_task("bgd-call-" + std::to_string(i), "bgd-call",
+                  rng.uniform(params.min_call_seconds, params.max_call_seconds));
+    t.inputs = {env};
+    t.outputs.push_back({t.id + "-out", 10 * 1000});
+    leaves.push_back(t.id);
+    results.push_back(t.outputs.front());
+    inst.tasks.push_back(std::move(t));
+  }
+  add_gather_sink(inst, "bgd-model", "model", leaves, results);
+  return inst;
+}
+
+}  // namespace vineapps

@@ -1,0 +1,37 @@
+// Spec exporters: each paper application rendered as a vine::wfgen
+// WorkflowInstance, so the four apps ride the vine_workbench matrix like
+// any generated shape. The exports are structural approximations of the
+// sim-native runs — archive unpacking mini-tasks and library installs are
+// folded into external input files and task runtimes, and apps without a
+// natural final task gain a gather sink so every instance ends in exactly
+// one childless task. Durations draw from a private vine::Rng seeded with
+// the app's seed, in the same order as the sim-native builder, so the two
+// views of an app stay distribution-identical.
+#pragma once
+
+#include "apps/bgd.hpp"
+#include "apps/blast.hpp"
+#include "apps/colmena.hpp"
+#include "apps/topeft.hpp"
+#include "wfgen/instance.hpp"
+
+namespace vineapps {
+
+/// BLAST (Figures 3 & 9): N query tasks sharing the unpacked software and
+/// reference database, gathered by a report sink.
+vine::wfgen::WorkflowInstance blast_instance(const BlastParams& params);
+
+/// TopEFT (Figures 12a/d & 13): data + Monte-Carlo processor phases feeding
+/// exponential-growth accumulation trees into one final combination task.
+vine::wfgen::WorkflowInstance topeft_instance(const TopEftParams& params);
+
+/// Colmena-XTB (Figures 12b/e): inference + simulation task bags sharing
+/// the 4.2 GB unpacked environment, gathered by a steering sink.
+vine::wfgen::WorkflowInstance colmena_instance(const ColmenaParams& params);
+
+/// BGD (Figures 12c/f): serverless function calls sharing the library
+/// environment (init cost amortized away, as with an installed Library),
+/// gathered by a model sink.
+vine::wfgen::WorkflowInstance bgd_instance(const BgdParams& params);
+
+}  // namespace vineapps

@@ -1,0 +1,319 @@
+#include "wfgen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vine::wfgen {
+
+const char* to_string(Shape shape) {
+  switch (shape) {
+    case Shape::chain: return "chain";
+    case Shape::fanout: return "fanout";
+    case Shape::fanin: return "fanin";
+    case Shape::diamond: return "diamond";
+    case Shape::forkjoin: return "forkjoin";
+    case Shape::montage: return "montage";
+    case Shape::epigenomics: return "epigenomics";
+  }
+  return "unknown";
+}
+
+std::optional<Shape> shape_from_string(std::string_view name) {
+  for (Shape s : kAllShapes) {
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
+double Dist::sample(Rng& rng) const {
+  double v = 0;
+  switch (kind) {
+    case Kind::constant:
+      v = a;
+      break;
+    case Kind::uniform:
+      v = rng.uniform(a, b);
+      break;
+    case Kind::exponential:
+      v = rng.exponential(a);
+      break;
+    case Kind::lognormal:
+      v = std::exp(rng.normal(a, b));
+      break;
+    case Kind::pareto: {
+      // Inverse transform: xm / U^(1/alpha), U in (0, 1].
+      double u = 1.0 - rng.uniform();
+      v = a / std::pow(u, 1.0 / std::max(b, 1e-9));
+      break;
+    }
+  }
+  if (min > 0) v = std::max(v, min);
+  if (max > 0) v = std::min(v, max);
+  return v;
+}
+
+namespace {
+
+/// Builder holding the draw-order discipline: durations and sizes are
+/// sampled exactly when a task/file is created, in construction order, so
+/// the byte-for-byte determinism contract is the construction order itself.
+class Builder {
+ public:
+  explicit Builder(const WorkloadSpec& spec) : spec_(spec), rng_(spec.seed) {
+    inst_.shape = to_string(spec.shape);
+    inst_.seed = spec.seed;
+    inst_.name = spec.name.empty()
+                     ? std::string(to_string(spec.shape)) + "-s" +
+                           std::to_string(spec.seed)
+                     : spec.name;
+  }
+
+  /// New task with a freshly sampled duration. Returns its index.
+  std::size_t task(const std::string& category) {
+    InstanceTask t;
+    t.id = "t" + std::to_string(inst_.tasks.size() + 1);
+    t.category = category;
+    t.runtime_s = positive(spec_.duration.sample(rng_));
+    t.cores = spec_.cores > 0 ? spec_.cores : 1.0;
+    inst_.tasks.push_back(std::move(t));
+    return inst_.tasks.size() - 1;
+  }
+
+  /// Attach a fresh external input (workflow input file) to `t`.
+  void external_input(std::size_t t) {
+    InstanceFile f;
+    f.name = "ext" + std::to_string(++next_ext_);
+    f.bytes = bytes(spec_.input_bytes);
+    inst_.tasks[t].inputs.push_back(std::move(f));
+  }
+
+  /// Declare a fresh output on `t`; returns the file (by value, for linking).
+  InstanceFile output(std::size_t t) {
+    InstanceFile f;
+    f.name = inst_.tasks[t].id + "-out" +
+             std::to_string(inst_.tasks[t].outputs.size() + 1);
+    f.bytes = bytes(spec_.output_bytes);
+    inst_.tasks[t].outputs.push_back(f);
+    return f;
+  }
+
+  /// Data edge: `child` consumes `file` produced by `parent`.
+  void consume(std::size_t child, std::size_t parent, const InstanceFile& file) {
+    InstanceTask& c = inst_.tasks[child];
+    const std::string& pid = inst_.tasks[parent].id;
+    if (std::find(c.parents.begin(), c.parents.end(), pid) == c.parents.end()) {
+      c.parents.push_back(pid);
+    }
+    c.inputs.push_back(file);
+  }
+
+  WorkflowInstance take() { return std::move(inst_); }
+
+ private:
+  std::int64_t bytes(const Dist& dist) {
+    return std::max<std::int64_t>(1, std::llround(dist.sample(rng_)));
+  }
+  static double positive(double v) { return std::max(v, 1e-3); }
+
+  const WorkloadSpec& spec_;
+  Rng rng_;
+  WorkflowInstance inst_;
+  int next_ext_ = 0;
+};
+
+void gen_chain(const WorkloadSpec& spec, Builder& b) {
+  const int n = std::max(2, spec.tasks);
+  std::size_t prev = b.task("stage1");
+  b.external_input(prev);
+  InstanceFile carried = b.output(prev);
+  for (int i = 1; i < n; ++i) {
+    std::size_t t = b.task("stage" + std::to_string(i + 1));
+    b.consume(t, prev, carried);
+    carried = b.output(t);
+    prev = t;
+  }
+}
+
+/// Broadcast tree: the root's single output is consumed by `fan` children,
+/// each child's output by `fan` grandchildren, for `depth` levels (total
+/// capped by spec.tasks); a gather sink consumes every leaf output.
+void gen_fanout(const WorkloadSpec& spec, Builder& b) {
+  const int fan = std::max(2, spec.fan);
+  const int depth = std::max(1, spec.depth);
+  const int cap = std::max(4, spec.tasks);
+
+  std::size_t root = b.task("root");
+  b.external_input(root);
+  std::vector<std::pair<std::size_t, InstanceFile>> level = {
+      {root, b.output(root)}};
+  int total = 1;
+  for (int d = 0; d < depth && total < cap; ++d) {
+    std::vector<std::pair<std::size_t, InstanceFile>> next;
+    for (const auto& [parent, file] : level) {
+      bool expanded = false;
+      for (int k = 0; k < fan && total < cap; ++k) {
+        std::size_t t = b.task("expand" + std::to_string(d + 1));
+        b.consume(t, parent, file);
+        next.emplace_back(t, b.output(t));
+        ++total;
+        expanded = true;
+      }
+      // The task cap cut this node off mid-level: carry it forward so the
+      // gather sink still consumes its output (single-sink invariant).
+      if (!expanded) next.emplace_back(parent, file);
+    }
+    level = std::move(next);
+  }
+  std::size_t sink = b.task("gather");
+  for (const auto& [parent, file] : level) b.consume(sink, parent, file);
+  b.output(sink);
+}
+
+/// Reduction tree: `width` leaves (each with an external input) merged
+/// `fan`-way per level down to a single root, the natural sink.
+void gen_fanin(const WorkloadSpec& spec, Builder& b) {
+  const int fan = std::max(2, spec.fan);
+  const int width = std::max(2, spec.width);
+
+  std::vector<std::pair<std::size_t, InstanceFile>> level;
+  for (int i = 0; i < width; ++i) {
+    std::size_t t = b.task("leaf");
+    b.external_input(t);
+    level.emplace_back(t, b.output(t));
+  }
+  int depth = 0;
+  while (level.size() > 1) {
+    ++depth;
+    std::vector<std::pair<std::size_t, InstanceFile>> next;
+    for (std::size_t i = 0; i < level.size(); i += fan) {
+      std::size_t t = b.task("merge" + std::to_string(depth));
+      for (std::size_t j = i; j < std::min(level.size(), i + fan); ++j) {
+        b.consume(t, level[j].first, level[j].second);
+      }
+      next.emplace_back(t, b.output(t));
+    }
+    level = std::move(next);
+  }
+}
+
+void gen_diamond(const WorkloadSpec& spec, Builder& b) {
+  const int width = std::max(2, spec.width);
+  std::size_t source = b.task("source");
+  b.external_input(source);
+  InstanceFile common = b.output(source);
+  std::vector<std::pair<std::size_t, InstanceFile>> mids;
+  for (int i = 0; i < width; ++i) {
+    std::size_t t = b.task("transform");
+    b.consume(t, source, common);
+    mids.emplace_back(t, b.output(t));
+  }
+  std::size_t sink = b.task("sink");
+  for (const auto& [t, file] : mids) b.consume(sink, t, file);
+  b.output(sink);
+}
+
+/// `depth` repeated fork/join stages; each join's output seeds the next fork.
+void gen_forkjoin(const WorkloadSpec& spec, Builder& b) {
+  const int width = std::max(2, spec.width);
+  const int depth = std::max(1, spec.depth);
+  std::size_t prev = b.task("seed");
+  b.external_input(prev);
+  InstanceFile carried = b.output(prev);
+  for (int d = 0; d < depth; ++d) {
+    std::vector<std::pair<std::size_t, InstanceFile>> forks;
+    for (int i = 0; i < width; ++i) {
+      std::size_t t = b.task("fork" + std::to_string(d + 1));
+      b.consume(t, prev, carried);
+      forks.emplace_back(t, b.output(t));
+    }
+    std::size_t join = b.task("join" + std::to_string(d + 1));
+    for (const auto& [t, file] : forks) b.consume(join, t, file);
+    carried = b.output(join);
+    prev = join;
+  }
+}
+
+/// Montage-like mosaic: `width` project tasks (one tile each), overlap
+/// difference tasks on adjacent tile pairs (the cross links), a fit
+/// aggregation, per-tile background correction consuming both the fit and
+/// the tile, the mosaic assembly, and a final shrink (the sink).
+void gen_montage(const WorkloadSpec& spec, Builder& b) {
+  const int width = std::max(2, spec.width);
+
+  std::vector<std::size_t> projects;
+  std::vector<InstanceFile> tiles;
+  for (int i = 0; i < width; ++i) {
+    std::size_t t = b.task("project");
+    b.external_input(t);
+    projects.push_back(t);
+    tiles.push_back(b.output(t));
+  }
+  std::vector<std::pair<std::size_t, InstanceFile>> diffs;
+  for (int i = 0; i + 1 < width; ++i) {
+    std::size_t diff = b.task("diff");
+    b.consume(diff, projects[i], tiles[i]);
+    b.consume(diff, projects[i + 1], tiles[i + 1]);
+    diffs.emplace_back(diff, b.output(diff));
+  }
+  std::size_t fit = b.task("fit");
+  for (const auto& [diff, file] : diffs) b.consume(fit, diff, file);
+  InstanceFile model = b.output(fit);
+  std::vector<std::pair<std::size_t, InstanceFile>> corrected;
+  for (int i = 0; i < width; ++i) {
+    std::size_t bg = b.task("background");
+    b.consume(bg, fit, model);
+    b.consume(bg, projects[i], tiles[i]);
+    corrected.emplace_back(bg, b.output(bg));
+  }
+  std::size_t mosaic = b.task("mosaic");
+  for (const auto& [bg, file] : corrected) b.consume(mosaic, bg, file);
+  std::size_t shrink = b.task("shrink");
+  b.consume(shrink, mosaic, b.output(mosaic));
+  b.output(shrink);
+}
+
+/// Epigenomics-like: one split task scatters `width` chunks; each chunk
+/// runs a `depth`-stage pipeline; a merge gathers the pipeline tails and an
+/// index task (the sink) finishes.
+void gen_epigenomics(const WorkloadSpec& spec, Builder& b) {
+  const int width = std::max(2, spec.width);
+  const int depth = std::max(2, spec.depth);
+
+  std::size_t split = b.task("split");
+  b.external_input(split);
+  std::vector<std::pair<std::size_t, InstanceFile>> tails;
+  for (int i = 0; i < width; ++i) {
+    InstanceFile chunk = b.output(split);
+    std::size_t prev = split;
+    for (int d = 0; d < depth; ++d) {
+      std::size_t t = b.task("pipe" + std::to_string(d + 1));
+      b.consume(t, prev, chunk);
+      chunk = b.output(t);
+      prev = t;
+    }
+    tails.emplace_back(prev, chunk);
+  }
+  std::size_t merge = b.task("merge");
+  for (const auto& [tail, file] : tails) b.consume(merge, tail, file);
+  std::size_t index = b.task("index");
+  b.consume(index, merge, b.output(merge));
+  b.output(index);
+}
+
+}  // namespace
+
+WorkflowInstance generate(const WorkloadSpec& spec) {
+  Builder b(spec);
+  switch (spec.shape) {
+    case Shape::chain: gen_chain(spec, b); break;
+    case Shape::fanout: gen_fanout(spec, b); break;
+    case Shape::fanin: gen_fanin(spec, b); break;
+    case Shape::diamond: gen_diamond(spec, b); break;
+    case Shape::forkjoin: gen_forkjoin(spec, b); break;
+    case Shape::montage: gen_montage(spec, b); break;
+    case Shape::epigenomics: gen_epigenomics(spec, b); break;
+  }
+  return b.take();
+}
+
+}  // namespace vine::wfgen

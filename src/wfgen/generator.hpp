@@ -1,0 +1,115 @@
+// Seeded, deterministic workflow generator (vine::wfgen): WorkloadSpec ->
+// WorkflowInstance. Shapes cover the structures the paper's four apps only
+// sample — chains, broadcast fan-out trees, fan-in reduction trees,
+// diamonds, fork-join ladders — plus Montage- and epigenomics-like recipes
+// (the classic WfCommons families: cross-linked mosaic levels, parallel
+// per-chunk pipelines into a merge). Task durations and file sizes draw
+// from heavy-tailed distributions (lognormal / Pareto) so a handful of
+// elephant tasks and files dominate, as in production traces.
+//
+// Determinism contract: generate() consumes only the spec and a vine::Rng
+// seeded from spec.seed, in a fixed draw order. The same spec therefore
+// yields the same WorkflowInstance — and, through the canonical exporter,
+// byte-identical JSON — on every platform. All durations and sizes are
+// clamped strictly positive, every generated DAG is acyclic, and every
+// task has a path to the single sink task.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "wfgen/instance.hpp"
+
+namespace vine::wfgen {
+
+/// DAG shape families.
+enum class Shape : std::uint8_t {
+  chain,        ///< linear pipeline of `tasks` stages
+  fanout,       ///< broadcast tree: each level's output feeds `fan` children
+  fanin,        ///< reduction tree: `width` leaves merged `fan`-way to a root
+  diamond,      ///< source -> `width` parallel transforms -> sink
+  forkjoin,     ///< `depth` repeated (fork to `width`, join) stages
+  montage,      ///< mosaic recipe: project -> overlap diffs -> fit ->
+                ///< background correction -> mosaic -> shrink
+  epigenomics,  ///< split -> `width` pipelines of `depth` stages -> merge ->
+                ///< index
+};
+
+const char* to_string(Shape shape);
+std::optional<Shape> shape_from_string(std::string_view name);
+
+/// All shape families, in canonical order (workbench/default matrices).
+inline constexpr Shape kAllShapes[] = {
+    Shape::chain,   Shape::fanout,  Shape::fanin,      Shape::diamond,
+    Shape::forkjoin, Shape::montage, Shape::epigenomics,
+};
+
+/// A sampling distribution for durations (seconds) or file sizes (bytes).
+/// Samples are clamped to [min, max] (max <= 0 means unbounded above) and
+/// the generator additionally floors them strictly positive.
+struct Dist {
+  enum class Kind : std::uint8_t {
+    constant,     ///< always `a`
+    uniform,      ///< uniform in [a, b]
+    exponential,  ///< mean `a`
+    lognormal,    ///< exp(Normal(mu = a, sigma = b)) — heavy right tail
+    pareto,       ///< xm = a, alpha = b — power-law tail (alpha <= 2: wild)
+  };
+  Kind kind = Kind::lognormal;
+  double a = 1.0;
+  double b = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double sample(Rng& rng) const;
+
+  static Dist constant(double v) {
+    return {Kind::constant, v, 0, 0, 0};
+  }
+  static Dist uniform(double lo, double hi) {
+    return {Kind::uniform, lo, hi, 0, 0};
+  }
+  static Dist exponential(double mean) {
+    return {Kind::exponential, mean, 0, 0, 0};
+  }
+  static Dist lognormal(double mu, double sigma, double lo = 0, double hi = 0) {
+    return {Kind::lognormal, mu, sigma, lo, hi};
+  }
+  static Dist pareto(double xm, double alpha, double lo = 0, double hi = 0) {
+    return {Kind::pareto, xm, alpha, lo, hi};
+  }
+};
+
+/// Everything the generator consumes. Shape parameters are interpreted per
+/// family (see the Shape comments); unused ones are ignored.
+struct WorkloadSpec {
+  Shape shape = Shape::chain;
+  std::uint64_t seed = 1;
+
+  int tasks = 12;  ///< chain length; also caps fanout tree growth
+  int width = 6;   ///< parallel branches (fanin leaves, diamond/forkjoin
+                   ///< width, montage tiles, epigenomics pipelines)
+  int depth = 3;   ///< levels (fanout tree, forkjoin stages, epigenomics
+                   ///< per-pipeline stages)
+  int fan = 3;     ///< tree arity for fanout/fanin
+
+  double cores = 1.0;  ///< cores per task
+
+  /// Task runtime seconds: lognormal around ~20 s with a heavy tail.
+  Dist duration = Dist::lognormal(3.0, 1.0, 0.05, 7200);
+  /// External (workflow-input) file sizes: Pareto, megabyte median.
+  Dist input_bytes = Dist::pareto(2e6, 1.3, 1e4, 4e9);
+  /// Produced (intermediate/output) file sizes: Pareto, heavier tail.
+  Dist output_bytes = Dist::pareto(4e6, 1.2, 1e4, 4e9);
+
+  /// Instance name; empty -> "<shape>-s<seed>".
+  std::string name;
+};
+
+/// Generate the instance for `spec`. Pure function of the spec.
+WorkflowInstance generate(const WorkloadSpec& spec);
+
+}  // namespace vine::wfgen

@@ -1,0 +1,356 @@
+#include "wfgen/instance.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace vine::wfgen {
+
+namespace {
+
+/// Validation core shared by validate() and the importer. On failure,
+/// `locus` (when non-null) receives the token — a task id or file name —
+/// closest to the violation, so the importer can map it to a source line.
+Result<void> validate_impl(const WorkflowInstance& inst, std::string* locus) {
+  auto fail = [&](const std::string& token, const std::string& msg) -> Result<void> {
+    if (locus) *locus = token;
+    return Error{Errc::invalid_argument, msg};
+  };
+
+  if (inst.tasks.empty()) {
+    return fail("tasks", "instance has no tasks");
+  }
+
+  std::map<std::string, std::size_t, std::less<>> by_id;
+  for (std::size_t i = 0; i < inst.tasks.size(); ++i) {
+    const InstanceTask& t = inst.tasks[i];
+    if (t.id.empty()) {
+      return fail("id", "task " + std::to_string(i) + " has an empty id");
+    }
+    if (!by_id.emplace(t.id, i).second) {
+      return fail(t.id, "duplicate task id \"" + t.id + "\"");
+    }
+  }
+
+  // File book-keeping: producer per file name, one consistent size per name.
+  std::map<std::string, std::string, std::less<>> producer;  // file -> task id
+  std::map<std::string, std::int64_t, std::less<>> size_of;
+  auto check_file = [&](const InstanceTask& t, const InstanceFile& f,
+                        const char* role) -> Result<void> {
+    if (f.name.empty()) {
+      return fail(t.id, "task \"" + t.id + "\" has an empty " + role +
+                            " file name");
+    }
+    if (f.bytes < 0) {
+      return fail(f.name, "file \"" + f.name + "\" of task \"" + t.id +
+                              "\" has negative sizeInBytes " +
+                              std::to_string(f.bytes));
+    }
+    auto [it, fresh] = size_of.emplace(f.name, f.bytes);
+    if (!fresh && it->second != f.bytes) {
+      return fail(f.name, "file \"" + f.name + "\" declared with conflicting "
+                              "sizes " + std::to_string(it->second) + " and " +
+                              std::to_string(f.bytes));
+    }
+    return Result<void>::success();
+  };
+
+  for (const InstanceTask& t : inst.tasks) {
+    if (!(t.cores > 0)) {
+      return fail(t.id, "task \"" + t.id + "\" has non-positive cores");
+    }
+    if (t.runtime_s < 0) {
+      return fail(t.id, "task \"" + t.id + "\" has negative runtimeInSeconds");
+    }
+    std::set<std::string, std::less<>> seen_parents;
+    for (const std::string& p : t.parents) {
+      if (p == t.id) {
+        return fail(t.id, "task \"" + t.id + "\" lists itself as a parent");
+      }
+      if (!by_id.count(p)) {
+        return fail(p, "task \"" + t.id + "\" references unknown parent \"" +
+                           p + "\"");
+      }
+      if (!seen_parents.insert(p).second) {
+        return fail(t.id, "task \"" + t.id + "\" lists parent \"" + p +
+                              "\" twice");
+      }
+    }
+    std::set<std::string, std::less<>> seen_files;
+    for (const InstanceFile& f : t.inputs) {
+      if (auto ok = check_file(t, f, "input"); !ok) return ok;
+      if (!seen_files.insert(f.name).second) {
+        return fail(t.id, "task \"" + t.id + "\" consumes file \"" + f.name +
+                              "\" twice");
+      }
+    }
+    for (const InstanceFile& f : t.outputs) {
+      if (auto ok = check_file(t, f, "output"); !ok) return ok;
+      if (!seen_files.insert(f.name).second) {
+        return fail(t.id, "task \"" + t.id + "\" declares file \"" + f.name +
+                              "\" twice");
+      }
+      auto [it, fresh] = producer.emplace(f.name, t.id);
+      if (!fresh) {
+        return fail(f.name, "file \"" + f.name + "\" produced by both \"" +
+                                it->second + "\" and \"" + t.id + "\"");
+      }
+    }
+  }
+
+  // Data-dependency consistency: consuming a produced file requires the
+  // producer among the parents (pure-external inputs have no producer).
+  for (const InstanceTask& t : inst.tasks) {
+    for (const InstanceFile& f : t.inputs) {
+      auto it = producer.find(f.name);
+      if (it == producer.end()) continue;
+      if (std::find(t.parents.begin(), t.parents.end(), it->second) ==
+          t.parents.end()) {
+        return fail(t.id, "task \"" + t.id + "\" consumes file \"" + f.name +
+                              "\" produced by \"" + it->second +
+                              "\" which is not among its parents");
+      }
+    }
+  }
+
+  // Acyclicity over the parent edges (Kahn). Any remainder is a cycle.
+  std::map<std::string, int, std::less<>> indegree;
+  std::map<std::string, std::vector<std::string>, std::less<>> children;
+  for (const InstanceTask& t : inst.tasks) {
+    indegree.emplace(t.id, static_cast<int>(t.parents.size()));
+    for (const std::string& p : t.parents) children[p].push_back(t.id);
+  }
+  std::deque<std::string> frontier;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) frontier.push_back(id);
+  }
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    std::string id = std::move(frontier.front());
+    frontier.pop_front();
+    ++visited;
+    auto it = children.find(id);
+    if (it == children.end()) continue;
+    for (const std::string& c : it->second) {
+      if (--indegree[c] == 0) frontier.push_back(c);
+    }
+  }
+  if (visited != inst.tasks.size()) {
+    // Report the first (in instance order) task stuck on the cycle.
+    for (const InstanceTask& t : inst.tasks) {
+      if (indegree[t.id] > 0) {
+        return fail(t.id, "dependency cycle through task \"" + t.id + "\"");
+      }
+    }
+  }
+  return Result<void>::success();
+}
+
+json::Value file_to_json(const InstanceFile& f) {
+  json::Object o;
+  o["name"] = f.name;
+  o["sizeInBytes"] = f.bytes;
+  return json::Value(std::move(o));
+}
+
+/// 1-based line number of the first occurrence of `"token"` (as a quoted
+/// JSON string) in `text`; falls back to the first occurrence of the bare
+/// token, then to line 1. Pretty-printed instances put each task and file
+/// on its own lines, so this lands on (or next to) the offending construct.
+std::size_t line_of(std::string_view text, std::string_view token) {
+  std::string quoted = "\"";
+  quoted.append(token);
+  quoted.push_back('"');
+  std::size_t pos = text.find(quoted);
+  if (pos == std::string_view::npos) pos = text.find(token);
+  if (pos == std::string_view::npos) return 1;
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+/// Line number for a json::parse failure ("... at offset N").
+std::size_t line_of_parse_error(std::string_view text, const std::string& msg) {
+  std::size_t at = msg.rfind("offset ");
+  if (at == std::string::npos) return 1;
+  std::size_t offset = 0;
+  const char* begin = msg.data() + at + 7;
+  auto [ptr, ec] = std::from_chars(begin, msg.data() + msg.size(), offset);
+  if (ec != std::errc() || offset > text.size()) return 1;
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+Result<std::vector<InstanceFile>> parse_files(const json::Value& task,
+                                              const char* key,
+                                              const std::string& task_id) {
+  std::vector<InstanceFile> out;
+  const json::Value* arr = task.find(key);
+  if (!arr) return out;
+  if (!arr->is_array()) {
+    return Error{Errc::parse_error,
+                 "task \"" + task_id + "\": " + key + " is not an array"};
+  }
+  for (const json::Value& f : arr->as_array()) {
+    if (!f.is_object()) {
+      return Error{Errc::parse_error,
+                   "task \"" + task_id + "\": " + key + " entry is not an object"};
+    }
+    InstanceFile file;
+    const json::Value* name = f.find("name");
+    if (!name || !name->is_string()) {
+      return Error{Errc::parse_error, "task \"" + task_id + "\": " + key +
+                                          " entry is missing a string name"};
+    }
+    file.name = name->as_string();
+    const json::Value* size = f.find("sizeInBytes");
+    if (!size || !size->is_number()) {
+      return Error{Errc::parse_error, "file \"" + file.name +
+                                          "\" is missing numeric sizeInBytes"};
+    }
+    file.bytes = size->as_int();
+    out.push_back(std::move(file));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<void> WorkflowInstance::validate() const {
+  return validate_impl(*this, nullptr);
+}
+
+json::Value WorkflowInstance::to_json() const {
+  json::Object doc;
+  doc["format"] = kInstanceFormat;
+  doc["version"] = kInstanceVersion;
+  doc["name"] = name;
+  if (!shape.empty()) doc["shape"] = shape;
+  if (seed != 0) doc["seed"] = static_cast<std::int64_t>(seed);
+  json::Array tasks_json;
+  for (const InstanceTask& t : tasks) {
+    json::Object o;
+    o["id"] = t.id;
+    if (!t.category.empty()) o["category"] = t.category;
+    o["runtimeInSeconds"] = t.runtime_s;
+    o["cores"] = t.cores;
+    json::Array parents;
+    for (const std::string& p : t.parents) parents.emplace_back(p);
+    o["parents"] = json::Value(std::move(parents));
+    json::Array in, out;
+    for (const InstanceFile& f : t.inputs) in.push_back(file_to_json(f));
+    for (const InstanceFile& f : t.outputs) out.push_back(file_to_json(f));
+    o["inputFiles"] = json::Value(std::move(in));
+    o["outputFiles"] = json::Value(std::move(out));
+    tasks_json.emplace_back(std::move(o));
+  }
+  doc["tasks"] = json::Value(std::move(tasks_json));
+  return json::Value(std::move(doc));
+}
+
+std::string export_instance(const WorkflowInstance& instance) {
+  return instance.to_json().dump_pretty() + "\n";
+}
+
+Result<WorkflowInstance> import_instance(std::string_view text) {
+  auto at_line = [&](std::size_t line, const std::string& msg) {
+    return Error{Errc::parse_error, "line " + std::to_string(line) + ": " + msg};
+  };
+
+  auto parsed = json::parse(text);
+  if (!parsed) {
+    return at_line(line_of_parse_error(text, parsed.error().message),
+                   parsed.error().message);
+  }
+  const json::Value& doc = *parsed;
+  if (!doc.is_object()) {
+    return at_line(1, "instance document is not a JSON object");
+  }
+  if (const json::Value* fmt = doc.find("format");
+      fmt && (!fmt->is_string() || fmt->as_string() != kInstanceFormat)) {
+    return at_line(line_of(text, "format"),
+                   "unknown format (want \"" + std::string(kInstanceFormat) +
+                       "\")");
+  }
+  const json::Value* version = doc.find("version");
+  if (!version || !version->is_int()) {
+    return at_line(1, "missing integer \"version\" field");
+  }
+  if (version->as_int() != kInstanceVersion) {
+    return at_line(line_of(text, "version"),
+                   "unsupported instance version " +
+                       std::to_string(version->as_int()) + " (have " +
+                       std::to_string(kInstanceVersion) + ")");
+  }
+
+  WorkflowInstance inst;
+  inst.name = doc.get_string("name");
+  inst.shape = doc.get_string("shape");
+  inst.seed = static_cast<std::uint64_t>(doc.get_int("seed"));
+
+  const json::Value* tasks = doc.find("tasks");
+  if (!tasks || !tasks->is_array()) {
+    return at_line(1, "missing \"tasks\" array");
+  }
+  for (const json::Value& tj : tasks->as_array()) {
+    if (!tj.is_object()) {
+      return at_line(line_of(text, "tasks"), "tasks entry is not an object");
+    }
+    InstanceTask t;
+    const json::Value* id = tj.find("id");
+    if (!id || !id->is_string() ) {
+      return at_line(line_of(text, "tasks"),
+                     "task entry " + std::to_string(inst.tasks.size()) +
+                         " is missing a string id");
+    }
+    t.id = id->as_string();
+    t.category = tj.get_string("category");
+    t.runtime_s = tj.get_double("runtimeInSeconds", 1.0);
+    t.cores = tj.get_double("cores", 1.0);
+    if (const json::Value* parents = tj.find("parents")) {
+      if (!parents->is_array()) {
+        return at_line(line_of(text, t.id),
+                       "task \"" + t.id + "\": parents is not an array");
+      }
+      for (const json::Value& p : parents->as_array()) {
+        if (!p.is_string()) {
+          return at_line(line_of(text, t.id),
+                         "task \"" + t.id + "\": parent id is not a string");
+        }
+        t.parents.push_back(p.as_string());
+      }
+    }
+    auto in = parse_files(tj, "inputFiles", t.id);
+    if (!in) return at_line(line_of(text, t.id), in.error().message);
+    t.inputs = std::move(*in);
+    auto out = parse_files(tj, "outputFiles", t.id);
+    if (!out) return at_line(line_of(text, t.id), out.error().message);
+    t.outputs = std::move(*out);
+    inst.tasks.push_back(std::move(t));
+  }
+
+  std::string locus;
+  if (auto ok = validate_impl(inst, &locus); !ok) {
+    return at_line(line_of(text, locus), ok.error().message);
+  }
+  return inst;
+}
+
+Result<WorkflowInstance> import_instance_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error{Errc::io_error, "cannot open instance file: " + path};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto result = import_instance(buf.str());
+  if (!result) {
+    return Error{result.error().code, path + ": " + result.error().message};
+  }
+  return result;
+}
+
+}  // namespace vine::wfgen

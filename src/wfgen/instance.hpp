@@ -1,0 +1,92 @@
+// Versioned JSON workflow-instance format (vine::wfgen), the interchange
+// point between the seeded generator, external traces, and the replay
+// harness. The field vocabulary is WfCommons-compatible — tasks with
+// `parents`, `inputFiles`/`outputFiles` carrying `sizeInBytes` — flattened
+// into one document:
+//
+//   {
+//     "format": "vine-workflow-instance",
+//     "version": 1,
+//     "name": "chain-s7",
+//     "shape": "chain",          // provenance label, optional
+//     "seed": 7,                 // generator seed, optional
+//     "tasks": [
+//       {"id": "t1", "category": "stage", "runtimeInSeconds": 12.5,
+//        "cores": 1, "parents": [],
+//        "inputFiles":  [{"name": "ext1", "sizeInBytes": 1000000}],
+//        "outputFiles": [{"name": "t1-out", "sizeInBytes": 2000000}]}
+//     ]
+//   }
+//
+// Determinism contract: export_instance() serializes through the canonical
+// key-sorted JSON writer, so the same WorkflowInstance always produces the
+// same bytes, and a generator run is byte-reproducible from its spec.
+// import_instance() never asserts on malformed input: every structural or
+// semantic violation (unparseable JSON, cycle, dangling parent id, negative
+// byte count, duplicate producer, ...) comes back as a line-numbered error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json/json.hpp"
+
+namespace vine::wfgen {
+
+inline constexpr std::int64_t kInstanceVersion = 1;
+inline constexpr const char* kInstanceFormat = "vine-workflow-instance";
+
+/// One file reference (input or output) with its byte size.
+struct InstanceFile {
+  std::string name;
+  std::int64_t bytes = 0;
+};
+
+/// One task. Parents are task ids; data dependencies are expressed by an
+/// input file that appears in a parent's outputs. A parent edge with no
+/// shared file is a pure control dependency (the replay harness backs it
+/// with a synthetic 1-byte file so both halves enforce it).
+struct InstanceTask {
+  std::string id;
+  std::string category;
+  double runtime_s = 1.0;
+  double cores = 1.0;
+  std::vector<std::string> parents;
+  std::vector<InstanceFile> inputs;
+  std::vector<InstanceFile> outputs;
+};
+
+/// A whole workflow instance. Task order is the submission order replay
+/// uses (so task N here is task id N in both halves). The generator always
+/// emits topological order; imported instances need not be topological for
+/// the sim backend, but the runtime backend submits in order and requires
+/// every temp's producer to precede its consumers.
+struct WorkflowInstance {
+  std::string name;
+  std::string shape;       ///< generator shape label ("" for imports)
+  std::uint64_t seed = 0;  ///< generator seed (0 for imports)
+  std::vector<InstanceTask> tasks;
+
+  /// Structural validation: non-empty unique ids, existing parents, no
+  /// self/duplicate parents, acyclic, sizes >= 0, runtimes >= 0, cores > 0,
+  /// every file produced by at most one task and size-consistent across
+  /// references, and every consumed produced-file's producer is a parent.
+  Result<void> validate() const;
+
+  /// Canonical JSON document (key-sorted, 2-space pretty).
+  json::Value to_json() const;
+};
+
+/// Serialize canonically. Same instance -> same bytes, always.
+std::string export_instance(const WorkflowInstance& instance);
+
+/// Parse + validate a JSON workflow instance. All errors — syntactic and
+/// semantic — carry the 1-based line number of the offending construct.
+Result<WorkflowInstance> import_instance(std::string_view text);
+
+/// Convenience: read and import a file (errors prefixed with the path).
+Result<WorkflowInstance> import_instance_file(const std::string& path);
+
+}  // namespace vine::wfgen

@@ -22,6 +22,8 @@
 #include "files/url_fetcher.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/cluster_sim.hpp"
+#include "wfgen/generator.hpp"
+#include "wfgen/replay.hpp"
 
 namespace vine {
 namespace {
@@ -160,6 +162,94 @@ TEST(Differential, SameDagAgreesAcrossRuntimeAndSim) {
       {"U", {"url"}}, {"B", {"manager"}}, {"T1", {"worker"}}};
   EXPECT_EQ(rt.file_sources, want);
   EXPECT_EQ(sim.file_sources, want);
+}
+
+// ---------------------------------------------------- generated workloads ----
+
+// One small generated instance per shape family through both halves via the
+// wfgen replay harness, with round-robin pinning forcing identical
+// placement. The halves must agree on the completed task set, the worker
+// each task ran on, the transfer source kind behind every logical file, and
+// a dependency-respecting completion order.
+TEST(Differential, GeneratedWorkloadsAgreeAcrossRuntimeAndSim) {
+  using wfgen::Dist;
+  using wfgen::Shape;
+  using wfgen::WorkloadSpec;
+
+  std::vector<WorkloadSpec> specs;
+  for (Shape shape : {Shape::chain, Shape::fanout, Shape::fanin, Shape::diamond}) {
+    WorkloadSpec spec;
+    spec.shape = shape;
+    spec.seed = 13;
+    spec.tasks = 4;  // chain length / fanout cap
+    spec.width = 3;
+    spec.depth = 2;
+    spec.fan = 2;
+    spec.duration = Dist::constant(0.2);
+    spec.input_bytes = Dist::constant(64);
+    spec.output_bytes = Dist::constant(128);
+    specs.push_back(spec);
+  }
+
+  for (const WorkloadSpec& spec : specs) {
+    SCOPED_TRACE(wfgen::to_string(spec.shape));
+    const wfgen::WorkflowInstance inst = wfgen::generate(spec);
+
+    wfgen::ReplayOptions opt;
+    opt.workers = 2;
+    opt.worker_cores = 4;
+    opt.seed = 29;
+    opt.pin_round_robin = true;
+
+    // ---- runtime half -----------------------------------------------------
+    opt.backend = wfgen::Backend::runtime;
+    opt.trace = std::make_shared<obs::TraceSink>(
+        obs::TraceSinkOptions{.retain_events = true, .jsonl_path = ""});
+    auto rt_result = wfgen::run_workload(inst, opt);
+    ASSERT_TRUE(rt_result.ok()) << rt_result.error().message;
+    std::map<std::string, std::string> rt_names;
+    for (const auto& [logical, cache] : rt_result->cache_names) {
+      rt_names[cache] = logical;
+    }
+    TraceDigest rt = digest(opt.trace->events(), rt_names);
+
+    // ---- sim half ---------------------------------------------------------
+    opt.backend = wfgen::Backend::sim;
+    opt.trace = std::make_shared<obs::TraceSink>(
+        obs::TraceSinkOptions{.retain_events = true, .jsonl_path = ""});
+    auto sim_result = wfgen::run_workload(inst, opt);
+    ASSERT_TRUE(sim_result.ok()) << sim_result.error().message;
+    EXPECT_EQ(sim_result->tasks_unfinished, 0);
+    std::map<std::string, std::string> sim_names;
+    for (const auto& [logical, cache] : sim_result->cache_names) {
+      sim_names[cache] = logical;
+    }
+    TraceDigest sim = digest(opt.trace->events(), sim_names);
+
+    // ---- agreement --------------------------------------------------------
+    EXPECT_EQ(rt.tasks_done.size(), inst.tasks.size());
+    EXPECT_EQ(rt.tasks_done, sim.tasks_done);
+    EXPECT_EQ(rt.ran_on, sim.ran_on);  // round-robin pins honored identically
+    EXPECT_EQ(rt.file_sources, sim.file_sources);
+
+    // Dependency-respecting completion order in both halves: every parent's
+    // done event precedes its child's. Task N of the instance is id N.
+    std::map<std::string, std::uint64_t> task_ids;
+    for (std::size_t i = 0; i < inst.tasks.size(); ++i) {
+      task_ids[inst.tasks[i].id] = i + 1;
+    }
+    for (const auto& t : inst.tasks) {
+      for (const std::string& parent : t.parents) {
+        const std::uint64_t p = task_ids.at(parent), c = task_ids.at(t.id);
+        ASSERT_TRUE(rt.done_seq.count(p) && rt.done_seq.count(c));
+        EXPECT_LT(rt.done_seq.at(p), rt.done_seq.at(c))
+            << parent << " -> " << t.id << " (runtime)";
+        ASSERT_TRUE(sim.done_seq.count(p) && sim.done_seq.count(c));
+        EXPECT_LT(sim.done_seq.at(p), sim.done_seq.at(c))
+            << parent << " -> " << t.id << " (sim)";
+      }
+    }
+  }
 }
 
 }  // namespace

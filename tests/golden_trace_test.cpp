@@ -24,6 +24,8 @@
 #include "obs/schema.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/cluster_sim.hpp"
+#include "wfgen/generator.hpp"
+#include "wfgen/replay.hpp"
 
 namespace vine {
 namespace {
@@ -114,6 +116,44 @@ TEST(GoldenTrace, SimDiamondFullFidelity) {
   check_golden("sim_diamond.jsonl", lines);
 }
 
+// One tiny generated recipe per shape family, replayed on the simulator at
+// full fidelity (the generator and sim are both seeded-deterministic, so
+// every field must reproduce). Catches drift in the generator's draw order
+// and DAG wiring as well as in the event vocabulary.
+TEST(GoldenTrace, SimWfgenShapesFullFidelity) {
+  for (wfgen::Shape shape : wfgen::kAllShapes) {
+    SCOPED_TRACE(wfgen::to_string(shape));
+    wfgen::WorkloadSpec spec;
+    spec.shape = shape;
+    spec.seed = 31;
+    spec.tasks = 5;
+    spec.width = 3;
+    spec.depth = 2;
+    spec.fan = 2;
+    spec.duration = wfgen::Dist::uniform(0.2, 1.0);
+    spec.input_bytes = wfgen::Dist::constant(20e6);
+    spec.output_bytes = wfgen::Dist::constant(30e6);
+
+    wfgen::ReplayOptions opt;
+    opt.workers = 2;
+    opt.worker_cores = 4;
+    opt.seed = 31;
+    opt.trace = std::make_shared<obs::TraceSink>(
+        obs::TraceSinkOptions{.retain_events = true, .jsonl_path = ""});
+    auto result = wfgen::run_workload(wfgen::generate(spec), opt);
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    EXPECT_EQ(result->tasks_unfinished, 0);
+
+    std::vector<std::string> lines;
+    for (const auto& ev : opt.trace->events()) {
+      lines.push_back(obs::event_to_jsonl(ev));
+    }
+    check_golden(
+        (std::string("wfgen_") + wfgen::to_string(shape) + ".jsonl").c_str(),
+        lines);
+  }
+}
+
 // ------------------------------------------------------------ runtime half --
 
 /// Strip the run-dependent fields from a runtime trace and return the
@@ -180,8 +220,12 @@ TEST(GoldenTrace, RuntimeChainNormalized) {
 // documentation of the wire format, so they must not drift from the schema.
 TEST(GoldenTrace, GoldensAreSchemaValid) {
   if (update_mode()) GTEST_SKIP() << "goldens being rewritten this run";
-  for (const char* name : {"sim_diamond.jsonl", "runtime_chain.jsonl"}) {
-    auto lines = read_lines(golden_path(name));
+  std::vector<std::string> names = {"sim_diamond.jsonl", "runtime_chain.jsonl"};
+  for (wfgen::Shape shape : wfgen::kAllShapes) {
+    names.push_back(std::string("wfgen_") + wfgen::to_string(shape) + ".jsonl");
+  }
+  for (const std::string& name : names) {
+    auto lines = read_lines(golden_path(name.c_str()));
     ASSERT_FALSE(lines.empty()) << name;
     for (const auto& line : lines) {
       auto parsed = json::parse(line);

@@ -13,12 +13,15 @@
 #include <vector>
 
 #include "common/faults.hpp"
+#include "common/rng.hpp"
 #include "common/uuid.hpp"
 #include "core/taskvine.hpp"
 #include "fsutil/fsutil.hpp"
 #include "obs/schema.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/cluster_sim.hpp"
+#include "wfgen/generator.hpp"
+#include "wfgen/instance.hpp"
 
 namespace vine {
 namespace {
@@ -223,6 +226,66 @@ TEST(TraceFuzz, RuntimeChaosProducesSchemaValidTraces) {
     run_runtime_chaos(seed,
                       (dir.path() / ("rt" + std::to_string(seed) + ".jsonl"))
                           .string());
+  }
+}
+
+// -------------------------------------------------- instance importer ----
+
+// Seeded mutation fuzz of the workflow-instance importer: start from valid
+// exported instances and apply random byte-level damage (flips, deletions,
+// insertions, truncations, duplicated spans). The importer must never
+// crash or assert — every call returns either a parsed instance that
+// re-validates, or a line-numbered error.
+TEST(TraceFuzz, InstanceImporterSurvivesMutatedDocuments) {
+  Rng rng(4242);
+
+  std::vector<std::string> corpus;
+  for (wfgen::Shape shape :
+       {wfgen::Shape::chain, wfgen::Shape::fanin, wfgen::Shape::montage}) {
+    wfgen::WorkloadSpec spec;
+    spec.shape = shape;
+    spec.seed = 100 + static_cast<std::uint64_t>(shape);
+    spec.tasks = 6;
+    spec.width = 3;
+    spec.depth = 2;
+    corpus.push_back(wfgen::export_instance(wfgen::generate(spec)));
+  }
+
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string doc = corpus[rng.below(corpus.size())];
+    const int mutations = static_cast<int>(rng.range(1, 4));
+    for (int mut = 0; mut < mutations && !doc.empty(); ++mut) {
+      const std::size_t pos = rng.below(doc.size());
+      switch (rng.below(5)) {
+        case 0:  // flip a byte to a random printable (or not) char
+          doc[pos] = static_cast<char>(rng.range(1, 255));
+          break;
+        case 1:  // delete a short span
+          doc.erase(pos, rng.range(1, 16));
+          break;
+        case 2:  // insert junk
+          doc.insert(pos, std::string(rng.range(1, 8),
+                                      static_cast<char>(rng.range(32, 126))));
+          break;
+        case 3:  // truncate
+          doc.resize(pos);
+          break;
+        default:  // duplicate a span elsewhere (re-orders structure)
+          doc.insert(rng.below(doc.size() + 1),
+                     doc.substr(pos, rng.range(1, 32)));
+          break;
+      }
+    }
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    auto r = wfgen::import_instance(doc);
+    if (r.ok()) {
+      // Mutation happened to keep the document well-formed: the imported
+      // instance must satisfy the full structural contract.
+      auto valid = r->validate();
+      EXPECT_TRUE(valid.ok()) << valid.error().message;
+    } else {
+      EXPECT_FALSE(r.error().message.empty());
+    }
   }
 }
 

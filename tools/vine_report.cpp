@@ -13,8 +13,12 @@
 //   vine_report TRACE.jsonl [--tasks] [--workers] [--matrix]
 //               [--bandwidth SECONDS] [--counters] [--validate-only]
 //   vine_report --chaos SEED --out TRACE.jsonl
+//   vine_report --workbench SUMMARY.json
 //
-// With no view flag, every view is printed. Exit codes: 0 success,
+// With no view flag, every view is printed. A trace that is missing,
+// unreadable, schema-invalid, truncated mid-record, or empty (zero events)
+// is an error, not an empty report. `--workbench` renders a
+// vine_workbench summary.json as a per-cell table. Exit codes: 0 success,
 // 1 usage error, 2 schema/validation failure.
 #include <algorithm>
 #include <charconv>
@@ -24,6 +28,8 @@
 
 #include "common/faults.hpp"
 #include "common/uuid.hpp"
+#include "fsutil/fsutil.hpp"
+#include "json/json.hpp"
 #include "obs/schema.hpp"
 #include "obs/trace_sink.hpp"
 #include "obs/views.hpp"
@@ -35,7 +41,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: vine_report TRACE.jsonl [--tasks] [--workers] [--matrix]\n"
                "                   [--bandwidth SECONDS] [--counters] [--validate-only]\n"
-               "       vine_report --chaos SEED --out TRACE.jsonl\n");
+               "       vine_report --chaos SEED --out TRACE.jsonl\n"
+               "       vine_report --workbench SUMMARY.json\n");
   return 1;
 }
 
@@ -159,6 +166,61 @@ void print_counters(const vine::obs::ViewBuilder& views) {
   std::printf("\n");
 }
 
+// Render a vine_workbench summary.json (format "vine-workbench-summary" v1)
+// as the matrix table; exit 2 when any cell failed so CI can gate on it.
+int render_workbench(const std::string& path) {
+  auto text = vine::read_file(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "cannot read summary %s: %s\n", path.c_str(),
+                 text.error().message.c_str());
+    return 2;
+  }
+  auto doc = vine::json::parse(*text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "invalid summary %s: %s\n", path.c_str(),
+                 doc.error().message.c_str());
+    return 2;
+  }
+  if (doc->get_string("format") != "vine-workbench-summary") {
+    std::fprintf(stderr, "%s is not a vine-workbench summary\n", path.c_str());
+    return 2;
+  }
+  const vine::json::Value* cells = doc->find("cells");
+  if (!cells || !cells->is_array() || cells->as_array().empty()) {
+    std::fprintf(stderr, "summary %s has no cells\n", path.c_str());
+    return 2;
+  }
+
+  std::printf("== workbench matrix (%zu cells) ==\n", cells->as_array().size());
+  std::printf("%-34s %6s %6s %10s %9s %9s %6s %6s %6s %8s  %s\n", "cell",
+              "tasks", "done", "makespan", "peerMB", "mgrMB", "pfhit", "repl",
+              "recov", "events", "status");
+  int failed = 0;
+  for (const auto& cell : cells->as_array()) {
+    const bool ok = cell.get_bool("ok");
+    if (!ok) ++failed;
+    std::string status = ok ? "ok" : "FAIL: " + cell.get_string("error", "?");
+    std::printf("%-34s %6lld %6lld %10.3f %9.1f %9.1f %6lld %6lld %6lld %8lld  %s\n",
+                cell.get_string("cell", "?").c_str(),
+                static_cast<long long>(cell.get_int("tasks")),
+                static_cast<long long>(cell.get_int("tasksDone")),
+                cell.get_double("makespan"),
+                static_cast<double>(cell.get_int("bytesFromPeers")) / 1e6,
+                static_cast<double>(cell.get_int("bytesFromManager")) / 1e6,
+                static_cast<long long>(cell.get_int("prefetchHits")),
+                static_cast<long long>(cell.get_int("replications")),
+                static_cast<long long>(cell.get_int("recoveries")),
+                static_cast<long long>(cell.get_int("events")),
+                status.c_str());
+  }
+  if (failed != 0) {
+    std::fprintf(stderr, "%d of %zu cells failed\n", failed,
+                 cells->as_array().size());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +231,7 @@ int main(int argc, char** argv) {
   double bin_seconds = 1.0;
   std::uint64_t chaos_seed = 0;
   bool chaos = false;
+  std::string workbench_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -191,6 +254,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--out") {
       if (++i >= argc) return usage();
       out_path = argv[i];
+    } else if (arg == "--workbench") {
+      if (++i >= argc) return usage();
+      workbench_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (trace_path.empty()) {
@@ -204,11 +270,22 @@ int main(int argc, char** argv) {
     if (out_path.empty() || !trace_path.empty()) return usage();
     return run_chaos(chaos_seed, out_path);
   }
+  if (!workbench_path.empty()) {
+    if (!trace_path.empty()) return usage();
+    return render_workbench(workbench_path);
+  }
   if (trace_path.empty()) return usage();
 
   auto events = vine::obs::load_trace_file(trace_path);
   if (!events.ok()) {
     std::fprintf(stderr, "invalid trace: %s\n", events.error().message.c_str());
+    return 2;
+  }
+  if (events->empty()) {
+    // An empty (or effectively empty) trace means the producer wrote
+    // nothing — render an error, never a plausible-looking empty report.
+    std::fprintf(stderr, "invalid trace: %s contains no events\n",
+                 trace_path.c_str());
     return 2;
   }
   std::printf("%s: %zu schema-valid events\n\n", trace_path.c_str(),

@@ -1,0 +1,445 @@
+// vine_workbench — the shape x policy x fault-seed validation matrix
+// (ISSUE: one command sweeping generated workflow shapes and the paper apps
+// across scheduler policies, replication on/off, and seeded fault plans in
+// the simulator). Every cell writes a schema-v2 obs trace, is re-validated
+// through vine::obs::load_trace_file, and contributes one row to
+// out/summary.json (format "vine-workbench-summary" v1), which
+// `vine_report --workbench` renders as a table.
+//
+// Usage:
+//   vine_workbench --out DIR
+//     [--shapes chain,fanout,fanin,diamond,forkjoin,montage,epigenomics,
+//               blast,topeft,colmena,bgd]     (default chain,fanout,fanin,diamond)
+//     [--policies greedy,lookahead,random,roundrobin,firstfit]
+//                                             (default greedy,lookahead)
+//     [--replication off,on]                  (default off)
+//     [--fault-seeds 0,5,11]                  (default 0; 0 = no faults)
+//     [--workers N] [--cores C]               (default 8 workers x 4 cores)
+//     [--tasks N]                             (generated shapes; default 24)
+//     [--scale X]                             (multiplies --tasks; default 1)
+//     [--seed S]                              (generator + sim seed; default 1)
+//     [--apps]                                (append the four paper apps)
+//     [--keep-going]                          (run every cell despite failures)
+//
+// Each generated shape's instance is exported once to out/<shape>.instance.json
+// and replayed identically across its policy/replication/fault cells, so a
+// row difference is the knob, not the workload. Exit codes: 0 all cells ok,
+// 1 usage error, 2 at least one cell failed.
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/instances.hpp"
+#include "common/faults.hpp"
+#include "fsutil/fsutil.hpp"
+#include "json/json.hpp"
+#include "obs/schema.hpp"
+#include "obs/trace_sink.hpp"
+#include "wfgen/generator.hpp"
+#include "wfgen/replay.hpp"
+
+namespace {
+
+using vine::wfgen::WorkflowInstance;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vine_workbench --out DIR [--shapes LIST] [--policies LIST]\n"
+               "                      [--replication off,on] [--fault-seeds LIST]\n"
+               "                      [--workers N] [--cores C] [--tasks N]\n"
+               "                      [--scale X] [--seed S] [--apps] [--keep-going]\n");
+  return 1;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_int(const std::string& s, int* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_double(const std::string& s, double* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+/// Resolve a scheduler policy name; false on unknown names.
+bool make_sched(const std::string& policy, vine::SchedulerConfig* out) {
+  *out = vine::SchedulerConfig{};
+  if (policy == "greedy") {
+    out->placement = vine::PlacementPolicy::most_cached;
+  } else if (policy == "lookahead") {
+    out->placement = vine::PlacementPolicy::most_cached;
+    out->lookahead.enabled = true;
+  } else if (policy == "random") {
+    out->placement = vine::PlacementPolicy::random;
+  } else if (policy == "roundrobin") {
+    out->placement = vine::PlacementPolicy::round_robin;
+  } else if (policy == "firstfit") {
+    out->placement = vine::PlacementPolicy::first_fit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Build the instance for a matrix "shape": either a wfgen generated shape
+/// or one of the four paper apps at workbench scale (small enough that the
+/// full default matrix stays comfortably inside a CI smoke budget).
+bool make_instance(const std::string& shape, std::uint64_t seed, int tasks,
+                   WorkflowInstance* out) {
+  if (shape == "blast") {
+    vineapps::BlastParams p;
+    p.tasks = std::max(4, tasks / 2);
+    p.seed = seed;
+    *out = vineapps::blast_instance(p);
+    return true;
+  }
+  if (shape == "topeft") {
+    vineapps::TopEftParams p;
+    p.scale = 0.001;  // 4 data + 19 mc processors plus the accumulation tree
+    p.seed = seed;
+    *out = vineapps::topeft_instance(p);
+    return true;
+  }
+  if (shape == "colmena") {
+    vineapps::ColmenaParams p;
+    p.inference_tasks = std::max(2, tasks / 4);
+    p.simulation_tasks = std::max(4, tasks / 2);
+    p.seed = seed;
+    *out = vineapps::colmena_instance(p);
+    return true;
+  }
+  if (shape == "bgd") {
+    vineapps::BgdParams p;
+    p.function_calls = std::max(4, tasks);
+    p.seed = seed;
+    *out = vineapps::bgd_instance(p);
+    return true;
+  }
+
+  auto parsed = vine::wfgen::shape_from_string(shape);
+  if (!parsed) return false;
+  vine::wfgen::WorkloadSpec spec;
+  spec.shape = *parsed;
+  spec.seed = seed;
+  spec.tasks = tasks;
+  // Keep workbench byte sizes modest: the matrix measures scheduling and
+  // recovery behavior, not fabric saturation.
+  spec.input_bytes = vine::wfgen::Dist::pareto(2e6, 1.3, 1e4, 64e6);
+  spec.output_bytes = vine::wfgen::Dist::pareto(4e6, 1.2, 1e4, 64e6);
+  *out = vine::wfgen::generate(spec);
+  return true;
+}
+
+struct Cell {
+  std::string name;
+  std::string shape;
+  std::string policy;
+  bool replication = false;
+  std::uint64_t fault_seed = 0;
+  std::string trace_file;  // relative to --out
+
+  bool ok = false;
+  std::string error;
+  int tasks = 0;
+  int tasks_done = 0;
+  int tasks_unfinished = 0;
+  double makespan = 0;
+  std::int64_t events = 0;
+  vinesim::SimStats stats{};
+};
+
+vine::json::Value cell_to_json(const Cell& c) {
+  vine::json::Object o;
+  o["cell"] = c.name;
+  o["shape"] = c.shape;
+  o["policy"] = c.policy;
+  o["replication"] = c.replication;
+  o["faultSeed"] = c.fault_seed;
+  o["trace"] = c.trace_file;
+  o["ok"] = c.ok;
+  if (!c.error.empty()) o["error"] = c.error;
+  o["tasks"] = c.tasks;
+  o["tasksDone"] = c.tasks_done;
+  o["tasksUnfinished"] = c.tasks_unfinished;
+  o["makespan"] = c.makespan;
+  o["events"] = c.events;
+  o["bytesFromPeers"] = c.stats.bytes_from_peers;
+  o["bytesFromManager"] = c.stats.bytes_from_manager;
+  o["bytesPrefetch"] = c.stats.bytes_prefetch;
+  o["prefetchHits"] = c.stats.prefetch_hits;
+  o["replications"] = c.stats.replications;
+  o["recoveries"] = c.stats.recoveries;
+  o["workerCrashes"] = c.stats.worker_crashes;
+  return vine::json::Value(std::move(o));
+}
+
+void run_cell(Cell* cell, const WorkflowInstance& inst,
+              const std::filesystem::path& out_dir, std::uint64_t sim_seed,
+              int workers, double cores) {
+  cell->tasks = static_cast<int>(inst.tasks.size());
+
+  vine::wfgen::ReplayOptions opt;
+  opt.backend = vine::wfgen::Backend::sim;
+  opt.workers = workers;
+  opt.worker_cores = cores;
+  opt.seed = sim_seed;
+  if (!make_sched(cell->policy, &opt.sched)) {
+    cell->error = "unknown policy \"" + cell->policy + "\"";
+    return;
+  }
+  if (cell->replication) {
+    opt.redundancy.enabled = true;
+    opt.redundancy.replication_factor = 2;
+  }
+
+  vine::faults::FaultPlan plan;
+  if (cell->fault_seed != 0) {
+    vine::faults::FaultPlanConfig fp;
+    fp.seed = cell->fault_seed;
+    fp.workers = workers;
+    fp.horizon = 8.0;
+    fp.crashes = 2;
+    fp.peer_faults = 2;
+    fp.delays = 1;
+    fp.rejoin_mean = 2.0;
+    fp.stall_timeout = 0.5;
+    plan = vine::faults::FaultPlan::generate(fp);
+    opt.faults = &plan;
+  }
+
+  const std::filesystem::path trace_path = out_dir / cell->trace_file;
+  opt.trace = std::make_shared<vine::obs::TraceSink>(vine::obs::TraceSinkOptions{
+      .retain_events = false, .jsonl_path = trace_path.string()});
+
+  auto result = vine::wfgen::run_workload(inst, opt);
+  opt.trace.reset();  // flush + close the trace before validating it
+  if (!result.ok()) {
+    cell->error = result.error().message;
+    return;
+  }
+  cell->tasks_done = result->tasks_done;
+  cell->tasks_unfinished = result->tasks_unfinished;
+  cell->makespan = result->makespan;
+  cell->stats = result->sim_stats;
+
+  auto events = vine::obs::load_trace_file(trace_path.string());
+  if (!events.ok()) {
+    cell->error = "trace invalid: " + events.error().message;
+    return;
+  }
+  cell->events = static_cast<std::int64_t>(events->size());
+  if (cell->events == 0) {
+    cell->error = "trace is empty";
+    return;
+  }
+  if (cell->tasks_unfinished != 0) {
+    cell->error = std::to_string(cell->tasks_unfinished) + " tasks unfinished";
+    return;
+  }
+  cell->ok = true;
+}
+
+void print_table(const std::vector<Cell>& cells) {
+  std::printf("%-34s %6s %6s %10s %9s %9s %6s %6s %6s %8s  %s\n", "cell",
+              "tasks", "done", "makespan", "peerMB", "mgrMB", "pfhit", "repl",
+              "recov", "events", "status");
+  for (const Cell& c : cells) {
+    std::printf("%-34s %6d %6d %10.3f %9.1f %9.1f %6lld %6lld %6lld %8lld  %s\n",
+                c.name.c_str(), c.tasks, c.tasks_done, c.makespan,
+                static_cast<double>(c.stats.bytes_from_peers) / 1e6,
+                static_cast<double>(c.stats.bytes_from_manager) / 1e6,
+                static_cast<long long>(c.stats.prefetch_hits),
+                static_cast<long long>(c.stats.replications),
+                static_cast<long long>(c.stats.recoveries),
+                static_cast<long long>(c.events),
+                c.ok ? "ok" : ("FAIL: " + c.error).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir_arg;
+  std::vector<std::string> shapes = {"chain", "fanout", "fanin", "diamond"};
+  std::vector<std::string> policies = {"greedy", "lookahead"};
+  std::vector<bool> replication = {false};
+  std::vector<std::uint64_t> fault_seeds = {0};
+  int workers = 8;
+  double cores = 4;
+  int tasks = 24;
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  bool keep_going = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
+    if (arg == "--out") {
+      const char* v = next();
+      if (!v) return usage();
+      out_dir_arg = v;
+    } else if (arg == "--shapes") {
+      const char* v = next();
+      if (!v) return usage();
+      shapes = split_list(v);
+    } else if (arg == "--policies") {
+      const char* v = next();
+      if (!v) return usage();
+      policies = split_list(v);
+    } else if (arg == "--replication") {
+      const char* v = next();
+      if (!v) return usage();
+      replication.clear();
+      for (const std::string& r : split_list(v)) {
+        if (r == "on") {
+          replication.push_back(true);
+        } else if (r == "off") {
+          replication.push_back(false);
+        } else {
+          return usage();
+        }
+      }
+    } else if (arg == "--fault-seeds") {
+      const char* v = next();
+      if (!v) return usage();
+      fault_seeds.clear();
+      for (const std::string& f : split_list(v)) {
+        std::uint64_t fs = 0;
+        if (!parse_u64(f, &fs)) return usage();
+        fault_seeds.push_back(fs);
+      }
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v || !parse_int(v, &workers) || workers <= 0) return usage();
+    } else if (arg == "--cores") {
+      const char* v = next();
+      if (!v || !parse_double(v, &cores) || cores <= 0) return usage();
+    } else if (arg == "--tasks") {
+      const char* v = next();
+      if (!v || !parse_int(v, &tasks) || tasks <= 0) return usage();
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v || !parse_double(v, &scale) || scale <= 0) return usage();
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v || !parse_u64(v, &seed)) return usage();
+    } else if (arg == "--apps") {
+      for (const char* app : {"blast", "topeft", "colmena", "bgd"}) {
+        if (std::find(shapes.begin(), shapes.end(), app) == shapes.end()) {
+          shapes.push_back(app);
+        }
+      }
+    } else if (arg == "--keep-going") {
+      keep_going = true;
+    } else {
+      return usage();
+    }
+  }
+  if (out_dir_arg.empty() || shapes.empty() || policies.empty() ||
+      replication.empty() || fault_seeds.empty()) {
+    return usage();
+  }
+
+  const std::filesystem::path out_dir(out_dir_arg);
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir_arg.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  const int scaled_tasks =
+      std::max(4, static_cast<int>(static_cast<double>(tasks) * scale));
+
+  // One instance per shape, reused across every policy/replication/fault
+  // cell of that shape and exported next to the traces for replayability.
+  std::map<std::string, WorkflowInstance> instances;
+  for (const std::string& shape : shapes) {
+    WorkflowInstance inst;
+    if (!make_instance(shape, seed, scaled_tasks, &inst)) {
+      std::fprintf(stderr, "unknown shape \"%s\"\n", shape.c_str());
+      return 1;
+    }
+    auto wrote = vine::write_file_atomic(out_dir / (shape + ".instance.json"),
+                                         vine::wfgen::export_instance(inst));
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "cannot write instance for %s: %s\n", shape.c_str(),
+                   wrote.error().message.c_str());
+      return 1;
+    }
+    instances.emplace(shape, std::move(inst));
+  }
+
+  std::vector<Cell> cells;
+  bool any_failed = false;
+  for (const std::string& shape : shapes) {
+    for (const std::string& policy : policies) {
+      for (bool rep : replication) {
+        for (std::uint64_t fs : fault_seeds) {
+          Cell cell;
+          cell.shape = shape;
+          cell.policy = policy;
+          cell.replication = rep;
+          cell.fault_seed = fs;
+          cell.name = shape + "-" + policy + (rep ? "-repon" : "-repoff") +
+                      "-f" + std::to_string(fs);
+          cell.trace_file = cell.name + ".jsonl";
+          run_cell(&cell, instances.at(shape), out_dir, seed, workers, cores);
+          if (!cell.ok) {
+            any_failed = true;
+            std::fprintf(stderr, "cell %s FAILED: %s\n", cell.name.c_str(),
+                         cell.error.c_str());
+          }
+          cells.push_back(std::move(cell));
+          if (any_failed && !keep_going) goto done;
+        }
+      }
+    }
+  }
+done:
+
+  vine::json::Object summary;
+  summary["format"] = "vine-workbench-summary";
+  summary["version"] = 1;
+  vine::json::Array rows;
+  for (const Cell& c : cells) rows.push_back(cell_to_json(c));
+  summary["cells"] = vine::json::Value(std::move(rows));
+  auto wrote = vine::write_file_atomic(
+      out_dir / "summary.json",
+      vine::json::Value(std::move(summary)).dump_pretty() + "\n");
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "cannot write summary: %s\n",
+                 wrote.error().message.c_str());
+    return 2;
+  }
+
+  print_table(cells);
+  std::printf("\n%zu cells -> %s\n", cells.size(),
+              (out_dir / "summary.json").string().c_str());
+  return any_failed ? 2 : 0;
+}
